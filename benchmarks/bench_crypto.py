@@ -1,0 +1,162 @@
+"""B2 — primitive costs underneath every flow.
+
+Expected shapes: RSA keygen ≫ sign ≫ verify; 2048-bit ≈ 4-8× the cost of
+1024-bit for private-key operations; the handshake ≈ 2 signs + 2 verifies +
+key transport + chain validation; the record layer runs at AES-GCM speed
+(hundreds of MB/s), so bulk data is never the bottleneck — signatures are.
+"""
+
+import threading
+
+import pytest
+
+from repro.pki.ca import CertificateAuthority
+from repro.pki.keys import KeyPair, PooledKeySource
+from repro.pki.names import DistinguishedName
+from repro.pki.proxy import create_proxy
+from repro.pki.validation import ChainValidator
+from repro.transport.channel import accept_secure, connect_secure
+from repro.transport.delegation import accept_delegation, delegate_credential
+from repro.transport.links import pipe_pair
+from repro.transport.records import ContentType, RecordReader, RecordWriter
+
+
+@pytest.fixture(scope="module", params=[1024, 2048])
+def pki(request):
+    bits = request.param
+    pool = PooledKeySource(bits, size=8)
+    ca = CertificateAuthority(
+        DistinguishedName.parse(f"/O=Bench/CN=CA {bits}"), key=pool.new_key()
+    )
+    user = ca.issue_credential(
+        DistinguishedName.grid_user("Bench", "X", "User"), key=pool.new_key()
+    )
+    host = ca.issue_host_credential("bench.example.org", key=pool.new_key())
+    validator = ChainValidator([ca.certificate])
+    return bits, pool, ca, user, host, validator
+
+
+def test_b2_rsa_keygen(benchmark, pki):
+    bits = pki[0]
+    benchmark(lambda: KeyPair.generate(bits))
+    benchmark.extra_info["bits"] = bits
+
+
+def test_b2_sign_verify(benchmark, pki):
+    bits, pool, *_ = pki
+    key = pool.new_key()
+    message = b"m" * 256
+
+    def sign_and_verify():
+        signature = key.sign(message)
+        assert key.public.verify(signature, message)
+
+    benchmark(sign_and_verify)
+    benchmark.extra_info["bits"] = bits
+
+
+def test_b2_proxy_creation(benchmark, pki):
+    bits, pool, _ca, user, *_ = pki
+    benchmark(lambda: create_proxy(user, lifetime=3600, key_source=pool))
+    benchmark.extra_info["bits"] = bits
+
+
+def test_b2_chain_validation(benchmark, pki):
+    bits, pool, _ca, user, _host, validator = pki
+    proxy = create_proxy(create_proxy(user, key_source=pool), key_source=pool)
+    chain = proxy.full_chain()
+    benchmark(lambda: validator.validate(chain))
+    benchmark.extra_info["bits"] = bits
+    benchmark.extra_info["chain_length"] = len(chain)
+
+
+def test_b2_handshake(benchmark, pki):
+    bits, _pool, _ca, user, host, validator = pki
+
+    def handshake():
+        client_end, server_end = pipe_pair()
+        result = {}
+
+        def server():
+            result["channel"] = accept_secure(server_end, host, validator)
+
+        thread = threading.Thread(target=server)
+        thread.start()
+        channel = connect_secure(client_end, user, validator)
+        thread.join()
+        channel.close()
+        result["channel"].close()
+
+    benchmark(handshake)
+    benchmark.extra_info["bits"] = bits
+
+
+def test_b2_handshake_anonymous(benchmark, pki):
+    """Server-auth-only (browser-style) handshake: one signature and one
+    chain validation fewer than mutual — the Web-HTTPS cost floor."""
+    bits, _pool, _ca, _user, host, validator = pki
+
+    def handshake():
+        client_end, server_end = pipe_pair()
+        result = {}
+
+        def server():
+            result["channel"] = accept_secure(
+                server_end, host, validator, allow_anonymous=True
+            )
+
+        thread = threading.Thread(target=server)
+        thread.start()
+        channel = connect_secure(client_end, None, validator)
+        thread.join()
+        channel.close()
+        result["channel"].close()
+
+    benchmark(handshake)
+    benchmark.extra_info["bits"] = bits
+    benchmark.extra_info["mode"] = "anonymous"
+
+
+def test_b2_delegation_over_channel(benchmark, pki):
+    bits, pool, _ca, user, host, validator = pki
+    client_end, server_end = pipe_pair()
+    channels = {}
+
+    def server():
+        channels["server"] = accept_secure(server_end, host, validator)
+
+    thread = threading.Thread(target=server)
+    thread.start()
+    channels["client"] = connect_secure(client_end, user, validator)
+    thread.join()
+
+    def delegate_once():
+        result = {}
+
+        def acceptor():
+            result["cred"] = accept_delegation(channels["server"], key_source=pool)
+
+        thread = threading.Thread(target=acceptor)
+        thread.start()
+        delegate_credential(channels["client"], user, lifetime=600)
+        thread.join()
+
+    benchmark(delegate_once)
+    benchmark.extra_info["bits"] = bits
+    channels["client"].close()
+
+
+@pytest.mark.parametrize("size", [1024, 65536])
+def test_b2_record_layer_throughput(benchmark, size):
+    writer = RecordWriter(bytes(16), bytes(12))
+    reader = RecordReader(bytes(16), bytes(12))
+    payload = b"\xab" * size
+
+    def roundtrip():
+        reader.open(writer.seal(ContentType.DATA, payload))
+
+    benchmark(roundtrip)
+    benchmark.extra_info["payload_bytes"] = size
+    benchmark.extra_info["MB_per_second"] = round(
+        size / benchmark.stats.stats.mean / 1e6, 1
+    )

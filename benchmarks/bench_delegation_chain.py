@@ -1,0 +1,74 @@
+"""T1 — delegation chains (§2.4): cost versus chain depth.
+
+Expected shapes: chain validation is linear in depth (one signature verify
+per link); handshake cost grows mildly with the credential's chain length
+(more certificate bytes, more verifies); depth never changes *who* the
+chain authenticates as.
+"""
+
+import threading
+
+import pytest
+
+from repro.pki.proxy import create_proxy
+from repro.transport.channel import accept_secure, connect_secure
+from repro.transport.links import pipe_pair
+
+
+def deep_proxy(tb, user, depth: int):
+    cred = user.credential
+    for _ in range(depth):
+        cred = create_proxy(cred, lifetime=3600, key_source=tb.key_source)
+    return cred
+
+
+@pytest.fixture(scope="module")
+def alice(tcp_tb):
+    return tcp_tb.new_user("alice")
+
+
+@pytest.mark.parametrize("depth", [1, 2, 4, 8])
+def test_t1_validation_vs_depth(benchmark, tcp_tb, alice, depth):
+    cred = deep_proxy(tcp_tb, alice, depth)
+    chain = cred.full_chain()
+    ident = benchmark(lambda: tcp_tb.validator.validate(chain))
+    assert ident.identity == alice.dn
+    benchmark.extra_info["depth"] = depth
+
+
+@pytest.mark.parametrize("depth", [1, 4, 8])
+def test_t1_handshake_vs_depth(benchmark, tcp_tb, alice, depth):
+    cred = deep_proxy(tcp_tb, alice, depth)
+    host = tcp_tb.ca.issue_host_credential(
+        f"deep{depth}.example.org", key=tcp_tb.key_source.new_key()
+    )
+
+    def handshake():
+        client_end, server_end = pipe_pair()
+        result = {}
+
+        def server():
+            result["c"] = accept_secure(server_end, host, tcp_tb.validator)
+
+        thread = threading.Thread(target=server)
+        thread.start()
+        channel = connect_secure(client_end, cred, tcp_tb.validator)
+        thread.join()
+        channel.close()
+        result["c"].close()
+
+    benchmark(handshake)
+    benchmark.extra_info["depth"] = depth
+
+
+@pytest.mark.parametrize("depth", [1, 4])
+def test_t1_storage_op_vs_depth(benchmark, tcp_tb, alice, depth):
+    """A real service call through a deep chain (per-connection cost)."""
+    cred = deep_proxy(tcp_tb, alice, depth)
+
+    def store():
+        with tcp_tb.storage_client(cred) as storage:
+            storage.store("bench.dat", b"x" * 128)
+
+    benchmark(store)
+    benchmark.extra_info["depth"] = depth

@@ -1,0 +1,64 @@
+"""F1 — Figure 1: ``myproxy-init`` latency.
+
+One full PUT: mutual-auth handshake, protocol exchange, delegation of a
+proxy to the repository, pass-phrase verifier derivation, encrypted
+persistence, commit response.
+
+Expected shape: dominated by public-key operations (2 handshake signatures
++ 1 proxy signature + RSA key transport) plus the PBKDF2 verifier; clearly
+slower than GET (bench_fig2) because PUT additionally pays the KDF and the
+at-rest encryption.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.client import myproxy_init_from_longterm
+from benchmarks.conftest import PASS
+
+_counter = itertools.count()
+
+
+@pytest.fixture(scope="module")
+def alice(tcp_tb):
+    return tcp_tb.new_user("alice")
+
+
+def test_fig1_myproxy_init(benchmark, tcp_tb, alice):
+    client = tcp_tb.myproxy_client(alice.credential)
+
+    def put_once():
+        name = f"bench-{next(_counter)}"
+        myproxy_init_from_longterm(
+            client,
+            alice.credential,
+            username="alice",
+            passphrase=PASS,
+            key_source=tcp_tb.key_source,
+            cred_name=name,
+        )
+
+    benchmark(put_once)
+    benchmark.extra_info["stored_entries"] = tcp_tb.myproxy.repository.count()
+    benchmark.extra_info["ops_per_second"] = 1.0 / benchmark.stats["mean"]
+
+
+def test_fig1_grid_proxy_init_component(benchmark, tcp_tb, alice):
+    """The local grid-proxy-init step alone (no network), for comparison."""
+    from repro.pki.proxy import create_proxy
+
+    benchmark(
+        lambda: create_proxy(
+            alice.credential, lifetime=3600, key_source=tcp_tb.key_source
+        )
+    )
+
+
+def test_fig1_kdf_component(benchmark, tcp_tb):
+    """The pass-phrase verifier derivation alone (the PUT-only cost)."""
+    from repro.core.repository import make_passphrase_verifier
+
+    iterations = tcp_tb.myproxy.policy.kdf_iterations
+    benchmark(lambda: make_passphrase_verifier(PASS, iterations))
+    benchmark.extra_info["kdf_iterations"] = iterations

@@ -1,0 +1,93 @@
+"""F2 — Figure 2: ``myproxy-get-delegation`` latency, by auth method.
+
+One full GET: handshake, authentication (pass phrase / OTP / long-term),
+key decryption, delegation back to the requester.
+
+Expected shapes:
+- GET ≈ PUT minus the KDF-side costs but plus the at-rest key *decryption*;
+  same order of magnitude, both handshake-dominated;
+- OTP auth is *cheaper* than pass-phrase auth (one hash step vs PBKDF2),
+  the quantified case for §6.3;
+- GET from a long-term entry (§6.1) costs the same as from a stored proxy —
+  server-side minting is not a premium feature.
+"""
+
+import pytest
+
+from repro.core.otp import OTPGenerator
+from repro.core.protocol import AuthMethod
+from repro.pki.proxy import create_proxy
+from benchmarks.conftest import PASS
+
+
+@pytest.fixture(scope="module")
+def requester(tcp_tb, registered_user):
+    return tcp_tb.new_user("requester")
+
+
+def test_fig2_get_passphrase(benchmark, tcp_tb, registered_user, requester):
+    client = tcp_tb.myproxy_client(requester.credential)
+
+    proxy = benchmark(
+        lambda: client.get_delegation(
+            username="alice", passphrase=PASS, lifetime=3600
+        )
+    )
+    assert proxy.identity == registered_user.dn
+    benchmark.extra_info["ops_per_second"] = 1.0 / benchmark.stats["mean"]
+
+
+def test_fig2_get_otp(benchmark, tcp_tb, requester):
+    """OTP authentication: hash-chain verify instead of PBKDF2."""
+    user = tcp_tb.new_user("otpbench")
+    # The chain length bounds how many GETs the benchmark may run; the
+    # client-side word computation is O(remaining) hashes per word, so keep
+    # it modest or the *generator* dominates the measurement.
+    gen = OTPGenerator("bench secret", "seed", count=2048)
+    proxy = create_proxy(user.credential, lifetime=7 * 86400,
+                         key_source=tcp_tb.key_source)
+    tcp_tb.myproxy_client(user.credential).put(
+        proxy, username="otpbench", auth_method=AuthMethod.OTP, otp=gen,
+        lifetime=7 * 86400,
+    )
+    client = tcp_tb.myproxy_client(requester.credential)
+
+    benchmark(
+        lambda: client.get_delegation(
+            username="otpbench", passphrase=gen.next_word(),
+            auth_method=AuthMethod.OTP, lifetime=3600,
+        )
+    )
+    benchmark.extra_info["otp_words_remaining"] = gen.remaining
+
+
+def test_fig2_get_from_longterm(benchmark, tcp_tb, requester):
+    """§6.1 server-side minting from a stored long-term credential."""
+    user = tcp_tb.new_user("ltbench")
+    tcp_tb.myproxy_client(user.credential).store_longterm(
+        user.credential, username="ltbench", passphrase=PASS
+    )
+    client = tcp_tb.myproxy_client(requester.credential)
+
+    benchmark(
+        lambda: client.get_delegation(
+            username="ltbench", passphrase=PASS, lifetime=3600
+        )
+    )
+
+
+def test_fig2_rejected_get(benchmark, tcp_tb, registered_user, requester):
+    """Refusal latency: a wrong pass phrase must not be cheaper to probe
+    than a correct one (the PBKDF2 runs either way)."""
+    from repro.util.errors import AuthenticationError
+
+    client = tcp_tb.myproxy_client(requester.credential)
+
+    def denied():
+        try:
+            client.get_delegation(username="alice", passphrase="wrong guess 1")
+        except AuthenticationError:
+            return
+        raise AssertionError("wrong pass phrase was accepted")
+
+    benchmark(denied)

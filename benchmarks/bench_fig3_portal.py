@@ -1,0 +1,76 @@
+"""F3 — Figure 3: the full portal flow through a real browser connection.
+
+login = browser HTTPS handshake + portal→repository GET (Figure 2) + two
+redirected page loads.  Expected shape: login ≈ Figure-2 GET plus ~2 extra
+handshakes (browser→portal per request); pure page loads are far cheaper
+than login (no repository round trip); job submission adds one
+GRAM handshake + one delegation.
+"""
+
+import pytest
+
+from repro.grid.gram import JobSpec
+from benchmarks.conftest import PASS
+
+LOGIN = {
+    "username": "alice",
+    "passphrase": PASS,
+    "repository": "repo-0",
+    "lifetime_hours": "2",
+    "auth_method": "passphrase",
+}
+BASE = "https://portal.example.org"
+
+
+@pytest.fixture(scope="module")
+def portal(tcp_tb, registered_user):
+    return tcp_tb.new_portal("portal")
+
+
+def test_fig3_login_logout_cycle(benchmark, tcp_tb, portal):
+    def cycle():
+        browser = tcp_tb.browser()  # a fresh kiosk every time
+        response = browser.post(f"{BASE}/login", LOGIN)
+        assert "Dashboard" in response.text
+        browser.post(f"{BASE}/logout", {})
+
+    benchmark(cycle)
+    benchmark.extra_info["logins_per_second"] = 1.0 / benchmark.stats.stats.mean
+
+
+def test_fig3_dashboard_page(benchmark, tcp_tb, portal):
+    """A logged-in page load: no repository interaction, one HTTPS request."""
+    browser = tcp_tb.browser()
+    browser.post(f"{BASE}/login", LOGIN)
+
+    def load():
+        assert browser.get(f"{BASE}/portal").status == 200
+
+    benchmark(load)
+
+
+def test_fig3_job_submission(benchmark, tcp_tb, portal):
+    browser = tcp_tb.browser()
+    browser.post(f"{BASE}/login", LOGIN)
+
+    def submit():
+        response = browser.post(
+            f"{BASE}/jobs", {"kind": "compute", "duration": "60"}
+        )
+        assert "submitted job-" in response.text
+
+    benchmark(submit)
+    benchmark.extra_info["jobs_submitted"] = len(tcp_tb.gram.jobs())
+
+
+def test_fig3_file_store_via_portal(benchmark, tcp_tb, portal):
+    browser = tcp_tb.browser()
+    browser.post(f"{BASE}/login", LOGIN)
+
+    def store():
+        response = browser.post(
+            f"{BASE}/files", {"path": "bench.txt", "content": "x" * 256}
+        )
+        assert response.status == 200
+
+    benchmark(store)

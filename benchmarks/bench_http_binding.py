@@ -1,0 +1,93 @@
+"""X7/§6.4 — the HTTP binding vs. the native channel protocol.
+
+Expected shape: per-operation cost is within the same order of magnitude —
+both are dominated by the handshake and RSA work; HTTP adds JSON/HTTP
+framing but *removes* one delegation round trip on GET (the CSR rides the
+request), so the two bindings land close together.  Renewal-by-possession
+(§6.6) costs about the same as a pass-phrase GET minus the PBKDF2.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.httpbinding import HttpMyProxyClient, MyProxyHttpGateway
+from repro.core.protocol import AuthMethod
+from repro.transport.links import SocketLink
+from benchmarks.conftest import PASS
+
+
+@pytest.fixture(scope="module")
+def gateway(tcp_tb, registered_user):
+    gw = MyProxyHttpGateway(tcp_tb.myproxy, key_source=tcp_tb.key_source)
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    sock.listen(16)
+    sock.settimeout(0.2)
+    stop = threading.Event()
+
+    def _loop():
+        while not stop.is_set():
+            try:
+                conn, _ = sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(
+                target=gw.handle_secure_link, args=(SocketLink(conn),), daemon=True
+            ).start()
+
+    thread = threading.Thread(target=_loop, daemon=True)
+    thread.start()
+    yield gw, sock.getsockname()
+    stop.set()
+    sock.close()
+
+
+@pytest.fixture(scope="module")
+def requester(tcp_tb):
+    return tcp_tb.new_user("httpreq")
+
+
+def test_x7_get_over_http_binding(benchmark, tcp_tb, gateway, requester):
+    _gw, endpoint = gateway
+    client = HttpMyProxyClient(
+        endpoint, requester.credential, tcp_tb.validator,
+        key_source=tcp_tb.key_source,
+    )
+    proxy = benchmark(
+        lambda: client.get_delegation(username="alice", passphrase=PASS, lifetime=3600)
+    )
+    assert proxy.has_key
+    benchmark.extra_info["binding"] = "http"
+
+
+def test_x7_get_over_channel_protocol(benchmark, tcp_tb, registered_user, requester):
+    """The baseline for the comparison, same repository, same machine."""
+    client = tcp_tb.myproxy_client(requester.credential)
+    benchmark(
+        lambda: client.get_delegation(username="alice", passphrase=PASS, lifetime=3600)
+    )
+    benchmark.extra_info["binding"] = "channel"
+
+
+def test_x7_put_over_http_binding(benchmark, tcp_tb, gateway):
+    import itertools
+
+    _gw, endpoint = gateway
+    user = tcp_tb.new_user("httpputter")
+    client = HttpMyProxyClient(
+        endpoint, user.credential, tcp_tb.validator, key_source=tcp_tb.key_source
+    )
+    counter = itertools.count()
+
+    def put_once():
+        client.put(
+            user.credential, username="httpputter", passphrase=PASS,
+            lifetime=86400.0, cred_name=f"h{next(counter)}",
+        )
+
+    benchmark(put_once)
+    benchmark.extra_info["binding"] = "http (two requests)"

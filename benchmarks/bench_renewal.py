@@ -1,0 +1,49 @@
+"""X6 — §6.6 renewal-by-possession, measured in isolation.
+
+Expected shape: cheaper than a pass-phrase GET — possession (already proven
+by the channel handshake) replaces the PBKDF2 verifier check, and the
+server-sealed key opens with one AES-GCM operation instead of a
+pass-phrase KDF decrypt.
+"""
+
+from repro.core.client import myproxy_init_from_longterm
+from repro.core.protocol import AuthMethod
+from benchmarks.conftest import PASS
+
+
+def test_x6_renewal_by_possession(benchmark, tcp_tb):
+    user = tcp_tb.new_user("renewbench")
+    client = tcp_tb.myproxy_client(user.credential)
+    myproxy_init_from_longterm(
+        client, user.credential, username="renewbench", passphrase=PASS,
+        key_source=tcp_tb.key_source, renewers=("*",),
+    )
+    current = client.get_delegation(
+        username="renewbench", passphrase=PASS, lifetime=3600
+    )
+    renew_client = tcp_tb.myproxy_client(current)
+
+    benchmark(
+        lambda: renew_client.get_delegation(
+            username="renewbench", auth_method=AuthMethod.RENEWAL, lifetime=3600
+        )
+    )
+    benchmark.extra_info["auth"] = "renewal (possession)"
+
+
+def test_x6_passphrase_get_baseline(benchmark, tcp_tb):
+    """Same repository and machine state, pass-phrase auth — the ablation."""
+    user = tcp_tb.new_user("renewbase")
+    client = tcp_tb.myproxy_client(user.credential)
+    myproxy_init_from_longterm(
+        client, user.credential, username="renewbase", passphrase=PASS,
+        key_source=tcp_tb.key_source,
+    )
+    requester = tcp_tb.new_user("renewreq")
+    getter = tcp_tb.myproxy_client(requester.credential)
+    benchmark(
+        lambda: getter.get_delegation(
+            username="renewbase", passphrase=PASS, lifetime=3600
+        )
+    )
+    benchmark.extra_info["auth"] = "passphrase"

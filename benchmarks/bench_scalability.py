@@ -1,0 +1,114 @@
+"""B1 — §3.3's scalability goals, quantified.
+
+- retrieval throughput versus concurrent clients against one repository
+  (expected: scales with threads until RSA work saturates the cores, then
+  flattens — the crossover is the machine's core count);
+- one portal fanning out over multiple repositories (expected: per-
+  repository throughput roughly flat as repositories are added, since each
+  repository is an independent server).
+"""
+
+import itertools
+import threading
+
+import pytest
+
+from repro.core.client import myproxy_init_from_longterm
+from repro.testbed import GridTestbed
+from benchmarks.conftest import PASS
+
+GETS_PER_ROUND = 16
+
+
+def _concurrent_gets(tb, requester, concurrency: int, total: int, username="alice"):
+    errors = []
+    counter = itertools.count()
+
+    def worker():
+        client = tb.myproxy_client(requester.credential)
+        while next(counter) < total:
+            try:
+                client.get_delegation(username=username, passphrase=PASS, lifetime=3600)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+                return
+
+    threads = [threading.Thread(target=worker) for _ in range(concurrency)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(120)
+    assert not errors, errors[:1]
+
+
+@pytest.mark.parametrize("concurrency", [1, 2, 4, 8])
+def test_b1_retrieval_throughput_vs_concurrency(
+    benchmark, tcp_tb, registered_user, concurrency
+):
+    requester = tcp_tb.users.get("requester") or tcp_tb.new_user("requester")
+
+    benchmark.pedantic(
+        _concurrent_gets,
+        args=(tcp_tb, requester, concurrency, GETS_PER_ROUND),
+        rounds=3,
+        iterations=1,
+    )
+    rate = GETS_PER_ROUND / benchmark.stats.stats.mean
+    benchmark.extra_info["concurrency"] = concurrency
+    benchmark.extra_info["gets_per_second"] = round(rate, 2)
+
+
+@pytest.mark.parametrize("n_repositories", [1, 2, 4])
+def test_b1_portal_across_repositories(benchmark, key_pool, n_repositories):
+    """§3.3: 'a portal should be able to use multiple systems'."""
+    tb = GridTestbed(
+        transport="tcp", key_source=key_pool, n_repositories=n_repositories
+    )
+    try:
+        alice = tb.new_user("alice")
+        for label in tb.myproxy_targets:
+            client = tb.myproxy_client(alice.credential, label)
+            myproxy_init_from_longterm(
+                client, alice.credential, username="alice", passphrase=PASS,
+                key_source=tb.key_source,
+            )
+        requester = tb.new_user("requester")
+        labels = list(tb.myproxy_targets)
+        rotation = itertools.cycle(labels)
+
+        def round_robin_gets():
+            for _ in range(GETS_PER_ROUND):
+                label = next(rotation)
+                tb.myproxy_client(requester.credential, label).get_delegation(
+                    username="alice", passphrase=PASS, lifetime=3600
+                )
+
+        benchmark.pedantic(round_robin_gets, rounds=2, iterations=1)
+        benchmark.extra_info["n_repositories"] = n_repositories
+        benchmark.extra_info["gets_per_second"] = round(
+            GETS_PER_ROUND / benchmark.stats.stats.mean, 2
+        )
+    finally:
+        tb.close()
+
+
+def test_b1_many_users_one_repository(benchmark, key_pool):
+    """Serving 32 distinct users: per-user state must not degrade service."""
+    tb = GridTestbed(transport="tcp", key_source=key_pool)
+    try:
+        users = [tb.new_user(f"user{i:02d}") for i in range(32)]
+        for user in users:
+            tb.myproxy_init(user, passphrase=PASS)
+        requester = tb.new_user("requester")
+        rotation = itertools.cycle([u.name for u in users])
+
+        def one_get():
+            tb.myproxy_get(
+                username=next(rotation), passphrase=PASS,
+                requester=requester.credential, lifetime=3600,
+            )
+
+        benchmark(one_get)
+        benchmark.extra_info["distinct_users"] = len(users)
+    finally:
+        tb.close()

@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures.
+
+The paper reports no performance numbers, so these benchmarks *characterize*
+the reproduced system (see EXPERIMENTS.md for the expected shapes):
+per-operation latency of each figure's flow, crypto primitive costs, and
+scalability against concurrency and repository size.
+
+Conventions:
+
+- protocol benchmarks run over **TCP loopback** (the deployment shape);
+  micro-benchmarks of primitives use in-memory pipes;
+- RSA-1024 keys via a pre-generated pool keep key *generation* out of
+  protocol measurements (bench_crypto measures generation separately);
+- every benchmark stores derived rates in ``benchmark.extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pki.keys import PooledKeySource
+from repro.testbed import GridTestbed
+
+BENCH_BITS = 1024
+PASS = "benchmark pass phrase 1"
+
+
+@pytest.fixture(scope="session")
+def key_pool() -> PooledKeySource:
+    return PooledKeySource(BENCH_BITS, size=32)
+
+
+@pytest.fixture(scope="module")
+def tcp_tb(key_pool):
+    """One TCP testbed per benchmark module."""
+    testbed = GridTestbed(transport="tcp", key_source=key_pool)
+    yield testbed
+    testbed.close()
+
+
+@pytest.fixture(scope="module")
+def registered_user(tcp_tb):
+    """alice with a one-week credential in the repository (Figure 1 done)."""
+    alice = tcp_tb.new_user("alice")
+    tcp_tb.myproxy_init(alice, passphrase=PASS)
+    return alice

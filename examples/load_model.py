@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Sizing a MyProxy deployment (§3.3): the capacity table.
+
+Uses the calibrated discrete-event model (`repro.sim`) to answer the
+question the paper's scalability goal implies: how much concurrent portal
+traffic can one repository host take, per core count, before retrieval
+latency leaves the interactive regime?
+
+The service-time calibration is the measured Figure-2 GET mean from the
+benchmark run recorded in EXPERIMENTS.md (≈15 ms); swap in your own
+bench numbers for your own hardware.
+
+Run:  python examples/load_model.py
+"""
+
+from repro.sim.model import (
+    ServiceTimes,
+    format_table,
+    simulate_burst,
+    sweep_offered_load,
+)
+
+
+def main() -> None:
+    service = ServiceTimes.measured_get()
+    capacity_per_core = 1.0 / service.mean
+
+    print(f"calibration: GET service time {service.mean * 1000:.1f} ms "
+          f"(≈{capacity_per_core:.0f} retrievals/s per crypto core)\n")
+
+    for cores in (1, 2, 4, 8):
+        capacity = cores * capacity_per_core
+        rates = [round(f * capacity, 1) for f in (0.2, 0.5, 0.8, 0.9, 0.95)]
+        rows = sweep_offered_load(rates, cores=cores, service=service,
+                                  horizon=180.0, seed=1)
+        print(f"--- {cores} crypto core(s), capacity ≈ {capacity:.0f}/s ---")
+        print(format_table(rows))
+        print()
+
+    print("--- the morning login storm (2 cores, 5/s background) ---")
+    for burst in (50, 200, 500):
+        result = simulate_burst(burst_size=burst, cores=2, service=service,
+                                background_rate=5.0, horizon=120.0, seed=1)
+        print(f"  burst of {burst:3d} logins: p50 "
+              f"{result.percentile(50) * 1000:7.1f} ms, p99 "
+              f"{result.percentile(99) * 1000:8.1f} ms, "
+              f"queue peaked at {result.max_queue_depth}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Figure 3, end to end: a browser at a "kiosk" drives the Grid via a portal.
+
+The user's long-term credential lives only on their workstation; the kiosk
+browser holds nothing but a session cookie.  The portal retrieves a 2-hour
+proxy from MyProxy, submits a job through GRAM (which stores its result in
+mass storage *as the user*), and logout wipes the delegated credential.
+
+Run:  python examples/portal_workflow.py
+"""
+
+from repro.testbed import GridTestbed
+from repro.util.clock import ManualClock
+
+
+def main() -> None:
+    clock = ManualClock()
+    with GridTestbed(clock=clock) as tb:
+        # Workstation side: enroll and run myproxy-init (Figure 1).
+        alice = tb.new_user("alice")
+        tb.myproxy_init(alice, passphrase="correct horse battery 42")
+        print(f"[workstation] {alice.dn} delegated a 7-day proxy to repo-0")
+
+        portal = tb.new_portal("portal")
+        print(f"[portal]      {portal.config.name} is up (HTTPS only: "
+              f"{portal.config.https_only})")
+
+        # Kiosk side: a bare browser.
+        browser = tb.browser()
+        base = "https://portal.example.org"
+
+        # A careless plain-HTTP login attempt is refused (§5.2).
+        refused = browser.post(
+            "http://portal.example.org/login",
+            {"username": "alice", "passphrase": "correct horse battery 42"},
+        )
+        print(f"[kiosk]       plain-HTTP login -> {refused.status} (refused)")
+
+        # Step 1-3 of Figure 3 over HTTPS.
+        page = browser.post(
+            f"{base}/login",
+            {
+                "username": "alice",
+                "passphrase": "correct horse battery 42",
+                "repository": "repo-0",
+                "lifetime_hours": "2",
+                "auth_method": "passphrase",
+            },
+        )
+        assert "Dashboard" in page.text
+        ((_repo, proxy),) = portal.held_credentials().values()
+        print(f"[portal]      now holds a proxy for {proxy.identity} "
+              f"({proxy.seconds_remaining(clock) / 3600:.1f}h)")
+
+        # Use the Grid through the portal: submit a compute+store job.
+        page = browser.post(
+            f"{base}/jobs",
+            {"kind": "compute-store", "duration": "1800",
+             "output_path": "experiment/result.dat"},
+        )
+        print("[kiosk]       job submitted through the portal")
+
+        # Half an hour of simulated compute passes...
+        clock.advance(1801)
+        tb.gram.poll_jobs()
+        (job,) = tb.gram.jobs()
+        print(f"[gram]        {job.job_id} -> {job.state.value} ({job.detail})")
+        data = tb.storage.file_bytes("alice", "experiment/result.dat")
+        print(f"[storage]     result stored as user 'alice' ({len(data)} bytes)")
+
+        # Store a file directly, list it.
+        browser.post(f"{base}/files", {"path": "notes.txt", "content": "hi grid"})
+        listing = browser.get(f"{base}/files")
+        assert "notes.txt" in listing.text
+        print("[kiosk]       stored and listed notes.txt via the portal")
+
+        # Logout destroys the delegated credential (§4.3).
+        browser.post(f"{base}/logout", {})
+        print(f"[portal]      credentials held after logout: "
+              f"{portal.active_credential_count()}")
+
+
+if __name__ == "__main__":
+    main()

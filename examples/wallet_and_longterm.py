@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""§6.1 + §6.2: managed long-term credentials and the electronic wallet.
+
+alice belongs to two virtual organizations.  She stores her *long-term*
+credential with the repository once (§6.1 — no more key files on her
+laptop), registers a second proxy credential for data work, catalogs both
+in a wallet, and lets the wallet pick — and *narrow* — the right credential
+for each task (§6.2/§6.5).
+
+Run:  python examples/wallet_and_longterm.py
+"""
+
+from repro.core.wallet import TaskSpec, Wallet
+from repro.grid.gram import JobSpec
+from repro.pki.proxy import create_proxy
+from repro.testbed import GridTestbed
+from repro.util.clock import ManualClock
+
+PASS = "correct horse battery 42"
+
+
+def main() -> None:
+    clock = ManualClock()
+    with GridTestbed(clock=clock) as tb:
+        alice = tb.new_user("alice")
+        client = tb.myproxy_client(alice.credential)
+
+        # §6.1: park the long-term credential with the repository.  The key
+        # is encrypted under the pass phrase *before* it leaves the laptop.
+        client.store_longterm(alice.credential, username="alice",
+                              passphrase=PASS, cred_name="ncsa-main")
+        print("stored long-term credential 'ncsa-main' "
+              "(server-side proxy minting enabled)")
+
+        # A second, ordinary delegated credential for the data VO.
+        data_proxy = create_proxy(alice.credential, lifetime=3 * 86400,
+                                  key_source=tb.key_source, clock=clock)
+        client.put(data_proxy, username="alice", passphrase=PASS,
+                   cred_name="npaci-data", lifetime=3 * 86400)
+        print("delegated 3-day proxy credential 'npaci-data'")
+
+        # §6.2: the wallet catalog.
+        wallet = Wallet(client=client, username="alice", clock=clock,
+                        key_source=tb.key_source)
+        wallet.register("ncsa-main", purposes={"compute", "storage"},
+                        organization="NCSA", description="primary identity")
+        wallet.register("npaci-data", purposes={"storage"},
+                        organization="NPACI", description="data federation")
+
+        for row in client.info(username="alice"):
+            kind = "long-term" if row.long_term else "proxy"
+            print(f"  repo holds: {row.cred_name:<12} {kind:<9} "
+                  f"{row.seconds_remaining / 86400:5.1f} days left")
+
+        # Task 1: submit a compute job — the wallet picks ncsa-main and
+        # embeds only job-submission rights.
+        compute_task = TaskSpec(purpose="compute",
+                                operations=frozenset({"submit_job"}),
+                                resources=frozenset({"gram"}))
+        chosen = wallet.select(compute_task)
+        cred = wallet.credential_for_task(compute_task, passphrase=PASS)
+        print(f"\ncompute task -> wallet chose {chosen.cred_name!r}")
+        with tb.gram_client(cred) as gram:
+            job_id = gram.submit(JobSpec(duration=60), delegate_from=cred,
+                                 clock=clock)
+        print(f"  submitted {job_id} with a submit_job-only credential")
+
+        # That same narrowed credential cannot touch storage:
+        from repro.util.errors import AuthorizationError
+
+        try:
+            with tb.storage_client(cred) as storage:
+                storage.store("sneaky.txt", b"nope")
+        except AuthorizationError as exc:
+            print(f"  storage refused it, as intended: {exc}")
+
+        # Task 2: move data — the wallet picks by organization preference.
+        data_task = TaskSpec(purpose="storage", organization="NPACI",
+                             operations=frozenset({"store", "fetch", "list"}))
+        chosen = wallet.select(data_task)
+        cred = wallet.credential_for_task(data_task, passphrase=PASS)
+        print(f"\nstorage task -> wallet chose {chosen.cred_name!r}")
+        with tb.storage_client(cred) as storage:
+            storage.store("dataset.bin", b"\x00" * 512)
+            print(f"  stored dataset.bin; files: {storage.list()}")
+
+        # §6.1 again, months later: the proxy credential has long expired,
+        # but the managed long-term credential still mints fresh proxies.
+        clock.advance(90 * 86400)
+        cred = wallet.credential_for_task(TaskSpec(purpose="compute"),
+                                          passphrase=PASS)
+        print(f"\n90 days later: 'ncsa-main' still mints proxies "
+              f"({cred.seconds_remaining(clock) / 3600:.1f}h, "
+              f"identity {cred.identity})")
+
+
+if __name__ == "__main__":
+    main()

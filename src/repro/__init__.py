@@ -1,0 +1,27 @@
+"""Reproduction of *An Online Credential Repository for the Grid: MyProxy*
+(Novotny, Tuecke, Welch — HPDC 2001).
+
+The package is layered bottom-up:
+
+- :mod:`repro.util` — errors, controllable clock, encodings, concurrency.
+- :mod:`repro.pki` — the Public Key Infrastructure substrate of §2.1: keys,
+  Distinguished Names, a Certificate Authority, end-entity certificates and
+  GSI *proxy* certificates (§2.3), plus chain validation.
+- :mod:`repro.transport` — the SSL-style mutually-authenticated, encrypted
+  channel of §2.2 and GSI *delegation* over that channel (§2.4).
+- :mod:`repro.gsi` — gridmap files and DN access-control lists.
+- :mod:`repro.core` — the paper's contribution: the MyProxy protocol,
+  repository, server and client tools (§4), plus the §6 extensions
+  (one-time passwords, electronic wallet, managed long-term credentials,
+  renewal for long-running jobs).
+- :mod:`repro.web` / :mod:`repro.portal` — a small web stack and the Grid
+  Portal application of §3/§4.3.
+- :mod:`repro.grid` — GSI-protected Grid services (GRAM-like job service,
+  mass-storage service) used to exercise delegated credentials.
+- :mod:`repro.condor` — Condor-G-style long-running job manager (§6.6).
+- :mod:`repro.attacks` — executable versions of the §5 threat analysis.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

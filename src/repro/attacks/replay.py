@@ -1,0 +1,50 @@
+"""Replay attacks (§5.1, §5.2).
+
+Two replays the paper reasons about:
+
+1. replaying a *captured pass phrase* through a valid portal — succeeds
+   with static pass phrases ("the compromised pass phrase could be used in
+   a replay attack against the portal") and fails with one-time passwords;
+2. replaying *captured wire bytes* at the secure channel — fails inside a
+   connection (record sequence numbers) and across connections (fresh
+   randoms and keys per handshake).
+
+:func:`replay_http_request` performs (1) mechanically: take a request the
+eavesdropper captured off plain HTTP and resend it verbatim, as a new
+client, to the same portal.
+"""
+
+from __future__ import annotations
+
+from repro.web.http11 import HttpRequest, HttpResponse
+
+
+def replay_http_request(
+    captured: bytes | HttpRequest, transport_factory
+) -> HttpResponse:
+    """Resend a captured HTTP request byte-for-byte from a new connection.
+
+    ``transport_factory`` produces a fresh
+    :class:`~repro.web.client.HttpTransport` to the victim portal (the
+    attacker can always open their own connection).  Cookies inside the
+    captured request are replayed too — a real sniffer has them.
+    """
+    data = captured.serialize() if isinstance(captured, HttpRequest) else bytes(captured)
+    transport = transport_factory()
+    try:
+        return HttpResponse.parse(transport.roundtrip(data))
+    finally:
+        transport.close()
+
+
+def strip_cookies(captured: bytes) -> bytes:
+    """The same replay but without the victim's session cookie.
+
+    Models the common case where the sniffer saw the login POST (which
+    predates the session) rather than a later in-session request.
+    """
+    request = HttpRequest.parse(captured)
+    request.headers = [
+        (k, v) for (k, v) in request.headers if k.lower() != "cookie"
+    ]
+    return request.serialize()

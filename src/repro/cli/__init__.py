@@ -1,0 +1,21 @@
+"""Command-line tools mirroring the original MyProxy and Globus releases.
+
+====================================  =======================================
+tool                                  paper reference
+====================================  =======================================
+``myproxy-server``                    the repository daemon (§4.1)
+``myproxy-init``                      Figure 1 (delegate to the repository)
+``myproxy-get-delegation``            Figure 2 (retrieve a delegation)
+``myproxy-destroy``                   §4.1 ("destroy any credentials they
+                                      previously delegated")
+``myproxy-info``                      housekeeping (original distribution)
+``myproxy-change-pass-phrase``        housekeeping (original distribution)
+``grid-proxy-init``                   §2.5 (local proxy creation)
+``grid-proxy-info``                   inspect a proxy file
+``grid-cert-request``                 §2.1 enrollment (request + CA signing)
+====================================  =======================================
+
+All tools exchange PEM files compatible with
+:class:`repro.pki.credentials.Credential` and talk TCP to the servers in
+this package.  Every ``main`` accepts an ``argv`` list for testing.
+"""

@@ -1,0 +1,91 @@
+"""Shared plumbing for the command-line tools."""
+
+from __future__ import annotations
+
+import argparse
+import getpass
+import sys
+from pathlib import Path
+
+from repro.pki.certs import Certificate
+from repro.pki.credentials import Credential
+from repro.pki.validation import ChainValidator
+from repro.util.errors import ReproError
+from repro.util.logging import configure_cli_logging
+
+
+def add_common_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trusted-ca",
+        action="append",
+        default=None,
+        metavar="PEM",
+        help="CA certificate to trust (repeatable)",
+    )
+    parser.add_argument(
+        "--trusted-ca-dir",
+        default=None,
+        metavar="DIR",
+        help="hashed trust directory (/etc/grid-security/certificates style); "
+             "CRLs found there are applied",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+
+
+def add_server_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-s",
+        "--server",
+        required=True,
+        metavar="HOST:PORT",
+        help="MyProxy repository endpoint",
+    )
+
+
+def parse_endpoint(text: str) -> tuple[str, int]:
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        raise SystemExit(f"bad endpoint {text!r}, expected HOST:PORT")
+    return host, int(port)
+
+
+def build_validator(args: argparse.Namespace) -> ChainValidator:
+    if getattr(args, "trusted_ca_dir", None):
+        from repro.pki.trustdir import TrustDirectory
+
+        validator = TrustDirectory(args.trusted_ca_dir).build_validator()
+        for path in args.trusted_ca or []:
+            for cert in Certificate.list_from_pem(Path(path).read_bytes()):
+                validator.add_anchor(cert)
+        return validator
+    if not args.trusted_ca:
+        raise SystemExit("provide --trusted-ca and/or --trusted-ca-dir")
+    anchors = []
+    for path in args.trusted_ca:
+        anchors.extend(Certificate.list_from_pem(Path(path).read_bytes()))
+    return ChainValidator(anchors)
+
+
+def load_credential(path: str, passphrase: str | None = None) -> Credential:
+    return Credential.import_pem(Path(path).read_bytes(), passphrase)
+
+
+def prompt_passphrase(args: argparse.Namespace, attr: str, prompt: str) -> str:
+    """CLI secret input: flag value if given, else an interactive prompt."""
+    value = getattr(args, attr, None)
+    if value is not None:
+        return value
+    return getpass.getpass(prompt)
+
+
+def run_tool(main_body, args: argparse.Namespace) -> int:
+    """Uniform error handling for every tool."""
+    configure_cli_logging(getattr(args, "verbose", False))
+    try:
+        main_body()
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 130

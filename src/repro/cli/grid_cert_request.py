@@ -1,0 +1,118 @@
+"""``grid-cert-request`` — enrollment with a Grid CA (§2.1).
+
+Two subcommands covering both halves of the enrollment exchange:
+
+- ``request``: generate a key pair (encrypted with a pass phrase, §2.1) and
+  a certificate-signing request file to send to the CA;
+- ``sign``: the CA operator's half — sign a request with the CA credential
+  and emit the user's certificate.
+
+There is also ``new-ca`` to bootstrap a CA credential for demos.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.cli.common import load_credential, prompt_passphrase, run_tool
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certs import Certificate, build_certificate
+from repro.pki.credentials import Credential
+from repro.pki.keys import KeyPair, PublicKey
+from repro.pki.names import DistinguishedName
+from repro.util.clock import SYSTEM_CLOCK
+from repro.util.logging import configure_cli_logging
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="grid-cert-request", description="Grid CA enrollment tools."
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    req = sub.add_parser("request", help="generate a key and a signing request")
+    req.add_argument("--dn", required=True, help='e.g. "/O=Grid/OU=Example/CN=Alice"')
+    req.add_argument("--key-passphrase", default=None)
+    req.add_argument("--bits", type=int, default=2048)
+    req.add_argument("--key-out", required=True, metavar="PEM")
+    req.add_argument("--request-out", required=True, metavar="JSON")
+
+    sign = sub.add_parser("sign", help="CA half: sign a request")
+    sign.add_argument("--ca", required=True, metavar="PEM", help="CA credential file")
+    sign.add_argument("--ca-passphrase", default=None)
+    sign.add_argument("--request", required=True, metavar="JSON")
+    sign.add_argument("--days", type=float, default=365.0)
+    sign.add_argument("--cert-out", required=True, metavar="PEM")
+    sign.add_argument("--serial", type=int, default=None)
+
+    newca = sub.add_parser("new-ca", help="bootstrap a demo CA")
+    newca.add_argument("--dn", required=True)
+    newca.add_argument("--bits", type=int, default=2048)
+    newca.add_argument("--ca-passphrase", default=None)
+    newca.add_argument("--credential-out", required=True, metavar="PEM")
+    newca.add_argument("--certificate-out", required=True, metavar="PEM",
+                       help="public CA certificate for trust-anchor distribution")
+    return parser
+
+
+def _do_request(args: argparse.Namespace) -> None:
+    key_pass = prompt_passphrase(args, "key_passphrase", "New key pass phrase: ")
+    dn = DistinguishedName.parse(args.dn)
+    key = KeyPair.generate(args.bits)
+    key_out = Path(args.key_out)
+    key_out.write_bytes(key.to_pem(key_pass))
+    key_out.chmod(0o600)
+    Path(args.request_out).write_text(
+        json.dumps(
+            {"dn": str(dn), "public_key_pem": key.public.to_pem().decode("ascii")},
+            indent=1,
+        ),
+        "utf-8",
+    )
+    print(f"key written to {key_out}; mail {args.request_out} to your CA")
+
+
+def _do_sign(args: argparse.Namespace) -> None:
+    ca_cred = load_credential(args.ca, args.ca_passphrase)
+    request = json.loads(Path(args.request).read_text("utf-8"))
+    dn = DistinguishedName.parse(request["dn"])
+    public_key = PublicKey.from_pem(request["public_key_pem"].encode("ascii"))
+    import secrets as _secrets
+
+    now = SYSTEM_CLOCK.now()
+    cert = build_certificate(
+        subject=dn,
+        issuer=ca_cred.certificate.subject,
+        subject_public_key=public_key,
+        signing_key=ca_cred.require_key(),
+        serial=args.serial if args.serial is not None else (_secrets.randbits(63) | 1),
+        not_before=now - 300.0,
+        not_after=now + args.days * 86400.0,
+    )
+    Path(args.cert_out).write_bytes(cert.to_pem())
+    print(f"certificate for {dn} written to {args.cert_out}")
+
+
+def _do_new_ca(args: argparse.Namespace) -> None:
+    ca_pass = prompt_passphrase(args, "ca_passphrase", "CA key pass phrase: ")
+    ca = CertificateAuthority(DistinguishedName.parse(args.dn), key_bits=args.bits)
+    credential = ca.export_credential()
+    cred_out = Path(args.credential_out)
+    cred_out.write_bytes(credential.export_pem(ca_pass))
+    cred_out.chmod(0o600)
+    Path(args.certificate_out).write_bytes(ca.certificate.to_pem())
+    print(f"CA credential written to {cred_out}; distribute {args.certificate_out}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    configure_cli_logging(args.verbose)
+    body = {"request": _do_request, "sign": _do_sign, "new-ca": _do_new_ca}[args.command]
+    return run_tool(lambda: body(args), args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

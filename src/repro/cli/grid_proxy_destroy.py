@@ -1,0 +1,50 @@
+"""``grid-proxy-destroy`` — zeroize and remove a local proxy file (§2.3).
+
+Proxies are plaintext on disk, so destruction overwrites before unlinking,
+as the Globus tool did.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from pathlib import Path
+
+from repro.cli.common import run_tool
+from repro.util.logging import configure_cli_logging
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="grid-proxy-destroy",
+        description="Securely remove proxy credential files.",
+    )
+    parser.add_argument("proxies", nargs="+", metavar="PEM",
+                        help="proxy file(s) to destroy")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    configure_cli_logging(args.verbose)
+
+    def _body() -> None:
+        for name in args.proxies:
+            path = Path(name)
+            if not path.exists():
+                print(f"{path}: no such file (already destroyed?)")
+                continue
+            size = path.stat().st_size
+            with open(path, "r+b") as fh:
+                fh.write(b"\0" * size)
+                fh.flush()
+                os.fsync(fh.fileno())
+            path.unlink()
+            print(f"destroyed {path} ({size} bytes zeroized)")
+
+    return run_tool(_body, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""``grid-proxy-info`` — inspect a credential file."""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.cli.common import run_tool
+from repro.pki.credentials import Credential
+from repro.pki.proxy import ProxyType, effective_restrictions
+from repro.util.clock import SYSTEM_CLOCK
+from repro.util.logging import configure_cli_logging
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="grid-proxy-info", description="Print details of a credential file."
+    )
+    parser.add_argument("proxy", metavar="PEM", help="credential file to inspect")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    configure_cli_logging(args.verbose)
+
+    def _body() -> None:
+        credential = Credential.import_pem(Path(args.proxy).read_bytes())
+        cert = credential.certificate
+        remaining = credential.seconds_remaining(SYSTEM_CLOCK)
+        print(f"subject  : {cert.subject}")
+        print(f"identity : {credential.identity}")
+        print(f"issuer   : {cert.issuer}")
+        print(f"type     : {ProxyType.of(cert).value} (depth {credential.proxy_depth})")
+        print(f"key      : {'present' if credential.has_key else 'absent'}")
+        hours = remaining / 3600.0
+        print(f"timeleft : {max(hours, 0.0):.2f}h" + (" (EXPIRED)" if remaining <= 0 else ""))
+        restrictions = effective_restrictions(credential.full_chain())
+        if not restrictions.is_unrestricted:
+            print(f"restrictions: {restrictions.to_payload()}")
+
+    return run_tool(_body, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

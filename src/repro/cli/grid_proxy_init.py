@@ -1,0 +1,65 @@
+"""``grid-proxy-init`` — create a local proxy credential (§2.5)."""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.cli.common import load_credential, prompt_passphrase, run_tool
+from repro.pki.proxy import ProxyRestrictions, create_proxy
+from repro.util.logging import configure_cli_logging
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="grid-proxy-init",
+        description="Create a proxy credential from your long-term credential.",
+    )
+    parser.add_argument("--credential", required=True, metavar="PEM")
+    parser.add_argument("--key-passphrase", default=None,
+                        help="pass phrase of the long-term key (prompted if omitted and needed)")
+    parser.add_argument("-t", "--hours", type=float, default=12.0,
+                        help="proxy lifetime (§2.3: 'on the order of hours or days')")
+    parser.add_argument("--limited", action="store_true",
+                        help="create a limited proxy")
+    parser.add_argument("--operation", action="append", default=None,
+                        help="restrict the proxy to these operations (§6.5, repeatable)")
+    parser.add_argument("--resource", action="append", default=None,
+                        help="restrict the proxy to these services (§6.5, repeatable)")
+    parser.add_argument("-o", "--out", required=True, metavar="PEM")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    configure_cli_logging(args.verbose)
+
+    def _body() -> None:
+        try:
+            longterm = load_credential(args.credential, args.key_passphrase)
+        except Exception:
+            key_pass = prompt_passphrase(args, "key_passphrase", "Key pass phrase: ")
+            longterm = load_credential(args.credential, key_pass)
+        restrictions = None
+        if args.operation or args.resource:
+            restrictions = ProxyRestrictions(
+                operations=frozenset(args.operation) if args.operation else None,
+                resources=frozenset(args.resource) if args.resource else None,
+            )
+        proxy = create_proxy(
+            longterm,
+            lifetime=args.hours * 3600.0,
+            limited=args.limited,
+            restrictions=restrictions,
+        )
+        out = Path(args.out)
+        out.write_bytes(proxy.export_pem())  # proxies are stored unencrypted (§2.3)
+        out.chmod(0o600)
+        print(f"proxy for {proxy.identity} valid {args.hours:g}h written to {out}")
+
+    return run_tool(_body, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

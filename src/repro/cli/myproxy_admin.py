@@ -1,0 +1,120 @@
+"""``myproxy-admin`` — on-host repository administration.
+
+Operates directly on a repository spool directory (the admin is on the
+repository host, like the original ``myproxy-admin-query`` /
+``myproxy-admin-purge`` tools); the server need not be running.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.cli.common import run_tool
+from repro.core.admin import RepositoryAdmin
+from repro.core.sqlrepository import open_repository
+from repro.util.logging import configure_cli_logging
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="myproxy-admin", description="Administer a MyProxy spool directory."
+    )
+    parser.add_argument("--storage-dir", default=None, metavar="DIR",
+                        help="spool directory or .db file (required except for 'audit')")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query", help="list stored credentials")
+    query.add_argument("-l", "--username", default=None, help="filter by user")
+    query.add_argument("--expired-only", action="store_true")
+
+    sub.add_parser("stats", help="aggregate repository statistics")
+
+    purge = sub.add_parser("purge", help="delete expired credentials")
+    purge.add_argument("--grace-hours", type=float, default=1.0,
+                       help="only purge entries dead for at least this long")
+
+    remove = sub.add_parser("remove-user", help="delete all of a user's credentials")
+    remove.add_argument("-l", "--username", required=True)
+
+    audit = sub.add_parser("audit", help="inspect a persistent audit trail")
+    audit.add_argument("--audit-file", required=True, metavar="JSONL")
+    audit.add_argument("-l", "--username", default=None)
+    audit.add_argument("--failures-only", action="store_true")
+    audit.add_argument("--tail", type=int, default=None,
+                       help="show only the last N records")
+    return parser
+
+
+def _fmt_row(row) -> str:
+    state = "EXPIRED" if row.expired else f"{row.seconds_remaining / 3600:.1f}h left"
+    kind = "long-term" if row.long_term else "proxy"
+    renewable = " renewable" if row.renewable else ""
+    return (
+        f"  {row.username}/{row.cred_name:<12} {kind:<9} "
+        f"auth={row.auth_method:<10} {state}{renewable}  owner={row.owner_dn}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    configure_cli_logging(args.verbose)
+
+    def _body() -> None:
+        if args.command != "audit" and args.storage_dir is None:
+            raise SystemExit(f"--storage-dir is required for {args.command!r}")
+        admin = (
+            RepositoryAdmin(open_repository(args.storage_dir))
+            if args.storage_dir is not None
+            else None
+        )
+        if args.command == "query":
+            rows = admin.list_expired() if args.expired_only else admin.list_all()
+            if args.username:
+                rows = [r for r in rows if r.username == args.username]
+            if not rows:
+                print("no matching credentials")
+                return
+            for row in rows:
+                print(_fmt_row(row))
+        elif args.command == "stats":
+            for key, value in admin.stats().items():
+                print(f"  {key}: {value}")
+        elif args.command == "purge":
+            removed = admin.purge_expired(grace=args.grace_hours * 3600.0)
+            print(f"purged {len(removed)} expired credential(s)")
+            for row in removed:
+                print(_fmt_row(row))
+        elif args.command == "remove-user":
+            count = admin.remove_user(args.username)
+            print(f"removed {count} credential(s) for {args.username}")
+        elif args.command == "audit":
+            from pathlib import Path
+
+            from repro.core.server import AuditRecord
+
+            records = [
+                AuditRecord.from_json(line)
+                for line in Path(args.audit_file).read_text("utf-8").splitlines()
+                if line.strip()
+            ]
+            if args.username:
+                records = [r for r in records if r.username == args.username]
+            if args.failures_only:
+                records = [r for r in records if not r.ok]
+            if args.tail is not None:
+                records = records[-args.tail:]
+            if not records:
+                print("no matching audit records")
+                return
+            for r in records:
+                outcome = "OK  " if r.ok else "DENY"
+                print(f"  {r.at:14.3f} {outcome} {r.command:<18} "
+                      f"{r.username or '-':<12} peer={r.peer}  {r.detail}")
+
+    return run_tool(_body, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,103 @@
+"""``myproxy-server`` — run the online credential repository (§4.1)."""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.cli.common import add_common_args, build_validator, load_credential, run_tool
+from repro.core.policy import ServerPolicy
+from repro.core.server import MyProxyServer
+from repro.core.sqlrepository import open_repository
+from repro.gsi.acl import AccessControlList
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="myproxy-server",
+        description="Run a MyProxy online credential repository.",
+    )
+    add_common_args(parser)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7512)  # the historical port
+    parser.add_argument(
+        "--credential", required=True, metavar="PEM", help="the repository's host credential"
+    )
+    parser.add_argument(
+        "--storage-dir", required=True, metavar="DIR", help="credential spool directory"
+    )
+    parser.add_argument(
+        "--config", default=None, metavar="FILE",
+        help="myproxy-server.config-style policy file (flags below override it)",
+    )
+    parser.add_argument(
+        "--audit-file", default=None, metavar="JSONL",
+        help="append a persistent audit trail here (inspect with myproxy-admin audit)",
+    )
+    parser.add_argument(
+        "--accepted-credentials",
+        action="append",
+        default=None,
+        metavar="DN_GLOB",
+        help="who may delegate to this repository (repeatable; default: anyone)",
+    )
+    parser.add_argument(
+        "--authorized-retrievers",
+        action="append",
+        default=None,
+        metavar="DN_GLOB",
+        help="who may retrieve delegations (repeatable; default: anyone)",
+    )
+    parser.add_argument(
+        "--max-stored-lifetime-days", type=float, default=None,
+        help="cap on credentials delegated to the repository (paper default: one week)",
+    )
+    parser.add_argument(
+        "--max-delegation-lifetime-hours", type=float, default=None,
+        help="cap on proxies delegated from the repository",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    def _body() -> None:
+        if args.config:
+            from repro.core.config import load_server_config
+
+            policy = load_server_config(args.config)
+        else:
+            policy = ServerPolicy()
+        if args.max_stored_lifetime_days is not None:
+            policy.max_stored_lifetime = args.max_stored_lifetime_days * 86400.0
+        if args.max_delegation_lifetime_hours is not None:
+            policy.max_delegation_lifetime = args.max_delegation_lifetime_hours * 3600.0
+        if args.accepted_credentials:
+            policy.accepted_credentials = AccessControlList(
+                args.accepted_credentials, name="accepted_credentials"
+            )
+        if args.authorized_retrievers:
+            policy.authorized_retrievers = AccessControlList(
+                args.authorized_retrievers, name="authorized_retrievers"
+            )
+        server = MyProxyServer(
+            load_credential(args.credential),
+            build_validator(args),
+            repository=open_repository(args.storage_dir),
+            policy=policy,
+            audit_path=args.audit_file,
+        )
+        host, port = server.start(args.host, args.port)
+        print(f"myproxy-server listening on {host}:{port}")
+        try:
+            while True:
+                time.sleep(3600)
+        finally:
+            server.stop()
+
+    return run_tool(_body, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

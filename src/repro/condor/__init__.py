@@ -1,0 +1,18 @@
+"""Condor-G-style management of long-running jobs (§6.6).
+
+"The Condor-G system provides support for this by e-mailing a user when
+they need to refresh their credentials.  However this can be inconvenient
+for the user.  We plan to investigate mechanisms to enable MyProxy to
+securely support long-running applications by being able to supply them
+with fresh credentials when needed."
+
+:class:`~repro.condor.manager.CondorGManager` implements both worlds:
+``NOTIFY`` mode reproduces the legacy behaviour (collect "please refresh"
+notifications and let the job die if nobody acts), ``RENEW`` mode is the
+paper's proposal (a :class:`~repro.core.renewal.RenewalAgent` fetches fresh
+proxies from MyProxy and refreshes the job in place).
+"""
+
+from repro.condor.manager import CondorGManager, ManagedJob, ManagerMode
+
+__all__ = ["CondorGManager", "ManagedJob", "ManagerMode"]

@@ -1,0 +1,366 @@
+"""The MyProxy client tools as a Python API (§4.1, §4.2).
+
+One method per command-line tool of the original release:
+
+=============================  =========================================
+paper / original tool          method
+=============================  =========================================
+``myproxy-init``               :meth:`MyProxyClient.put` (Figure 1)
+``myproxy-get-delegation``     :meth:`MyProxyClient.get_delegation`
+                               (Figure 2)
+``myproxy-destroy``            :meth:`MyProxyClient.destroy`
+``myproxy-info``               :meth:`MyProxyClient.info`
+``myproxy-change-pass-phrase`` :meth:`MyProxyClient.change_passphrase`
+(§6.1 extensions)              :meth:`MyProxyClient.store_longterm`,
+                               :meth:`MyProxyClient.retrieve_longterm`
+=============================  =========================================
+
+A client is configured with the credential it authenticates *as* (a user's
+proxy for ``put``, a portal's host credential for ``get_delegation``) and
+the endpoint of one repository; a portal that talks to several repositories
+holds one client per repository (§3.3's scalability goal).
+
+Every operation runs on a fresh mutually-authenticated channel, exactly as
+the short-lived original clients did.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.otp import OTPGenerator
+from repro.core.protocol import (
+    DEFAULT_CRED_NAME,
+    AuthMethod,
+    Command,
+    Request,
+    Response,
+)
+from repro.core.policy import ONE_WEEK
+from repro.pki.credentials import Credential
+from repro.pki.keys import KeySource
+from repro.pki.proxy import create_proxy
+from repro.pki.validation import ChainValidator
+from repro.transport.channel import SecureChannel, connect_secure
+from repro.transport.delegation import accept_delegation, delegate_credential
+from repro.transport.links import Link
+from repro.util.clock import SYSTEM_CLOCK, Clock
+from repro.util.errors import AuthenticationError, ProtocolError
+
+LinkFactory = Callable[[], Link]
+
+
+@dataclass(frozen=True)
+class StoredCredentialInfo:
+    """One row of a ``myproxy-info`` answer."""
+
+    cred_name: str
+    owner: str
+    not_after: float
+    seconds_remaining: float
+    max_get_lifetime: float
+    auth_method: str
+    long_term: bool
+    retrievers: tuple[str, ...] | None
+
+
+class MyProxyClient:
+    """Speaks the MyProxy protocol to one repository."""
+
+    def __init__(
+        self,
+        target: tuple[str, int] | LinkFactory,
+        credential: Credential,
+        validator: ChainValidator,
+        *,
+        clock: Clock = SYSTEM_CLOCK,
+        key_source: KeySource | None = None,
+    ) -> None:
+        self._target = target
+        self.credential = credential
+        self.validator = validator
+        self.clock = clock
+        self.key_source = key_source
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _open(self) -> SecureChannel:
+        target = self._target
+        if callable(target):
+            return connect_secure(target(), self.credential, self.validator)
+        return connect_secure(target, self.credential, self.validator)
+
+    @staticmethod
+    def _expect_ok(channel: SecureChannel) -> Response:
+        response = Response.decode(channel.recv())
+        if not response.ok:
+            raise AuthenticationError(f"server refused: {response.error}")
+        return response
+
+    # -- Figure 1: delegate a proxy *to* the repository ------------------------
+
+    def put(
+        self,
+        source_credential: Credential,
+        *,
+        username: str,
+        passphrase: str = "",
+        lifetime: float = ONE_WEEK,
+        max_get_lifetime: float | None = None,
+        retrievers: tuple[str, ...] | None = None,
+        renewers: tuple[str, ...] | None = None,
+        cred_name: str = DEFAULT_CRED_NAME,
+        auth_method: AuthMethod = AuthMethod.PASSPHRASE,
+        otp: OTPGenerator | None = None,
+        site_realm: str | None = None,
+    ) -> Response:
+        """``myproxy-init``: delegate ``source_credential`` to the repository.
+
+        ``source_credential`` is normally the user's long-term credential
+        (already decrypted locally — the pass phrase for the *key file*
+        never leaves the machine; the ``passphrase`` argument here is the
+        separate §4.1 retrieval secret).
+
+        For ``auth_method=OTP`` pass an :class:`OTPGenerator`; for ``SITE``
+        pass the realm name.  Returns the commit response.
+        """
+        secret = passphrase
+        if auth_method is AuthMethod.OTP:
+            if otp is None:
+                raise ProtocolError("OTP registration needs an OTPGenerator")
+            secret = json.dumps(otp.initial_verifier().to_payload())
+        elif auth_method is AuthMethod.SITE:
+            if not site_realm:
+                raise ProtocolError("site registration needs a realm name")
+            secret = site_realm
+
+        request = Request(
+            command=Command.PUT,
+            username=username,
+            passphrase=secret,
+            lifetime=lifetime,
+            cred_name=cred_name,
+            auth_method=auth_method,
+            max_get_lifetime=max_get_lifetime,
+            retrievers=retrievers,
+            renewers=renewers,
+        )
+        with self._open() as channel:
+            channel.send(request.encode())
+            self._expect_ok(channel)
+            delegate_credential(
+                channel, source_credential, lifetime=lifetime, clock=self.clock
+            )
+            return self._expect_ok(channel)
+
+    # -- Figure 2: retrieve a delegation *from* the repository ------------------
+
+    def get_delegation(
+        self,
+        *,
+        username: str,
+        passphrase: str = "",
+        lifetime: float = 0.0,
+        cred_name: str = DEFAULT_CRED_NAME,
+        auth_method: AuthMethod = AuthMethod.PASSPHRASE,
+    ) -> Credential:
+        """``myproxy-get-delegation``: obtain a fresh proxy for ``username``.
+
+        ``passphrase`` carries whatever secret the entry's auth method
+        expects (static pass phrase, the next OTP word, or a site ticket).
+        Returns the delegated proxy credential, private key and all —
+        generated locally; only the public half traveled.
+        """
+        request = Request(
+            command=Command.GET,
+            username=username,
+            passphrase=passphrase,
+            lifetime=lifetime,
+            cred_name=cred_name,
+            auth_method=auth_method,
+        )
+        with self._open() as channel:
+            channel.send(request.encode())
+            self._expect_ok(channel)
+            return accept_delegation(channel, key_source=self.key_source)
+
+    # -- housekeeping -----------------------------------------------------------
+
+    def info(self, *, username: str) -> list[StoredCredentialInfo]:
+        """``myproxy-info``: list the credentials you own under ``username``."""
+        request = Request(command=Command.INFO, username=username)
+        with self._open() as channel:
+            channel.send(request.encode())
+            response = self._expect_ok(channel)
+        rows = response.info.get("credentials", [])
+        return [
+            StoredCredentialInfo(
+                cred_name=row["cred_name"],
+                owner=row["owner"],
+                not_after=float(row["not_after"]),
+                seconds_remaining=float(row["seconds_remaining"]),
+                max_get_lifetime=float(row["max_get_lifetime"]),
+                auth_method=row["auth_method"],
+                long_term=bool(row["long_term"]),
+                retrievers=tuple(row["retrievers"]) if row["retrievers"] is not None else None,
+            )
+            for row in rows
+        ]
+
+    def destroy(
+        self, *, username: str, cred_name: str = DEFAULT_CRED_NAME
+    ) -> Response:
+        """``myproxy-destroy``: remove a credential you own."""
+        request = Request(command=Command.DESTROY, username=username, cred_name=cred_name)
+        with self._open() as channel:
+            channel.send(request.encode())
+            return self._expect_ok(channel)
+
+    def change_passphrase(
+        self,
+        *,
+        username: str,
+        old_passphrase: str,
+        new_passphrase: str,
+        cred_name: str = DEFAULT_CRED_NAME,
+    ) -> Response:
+        """``myproxy-change-pass-phrase``."""
+        request = Request(
+            command=Command.CHANGE_PASSPHRASE,
+            username=username,
+            passphrase=old_passphrase,
+            new_passphrase=new_passphrase,
+            cred_name=cred_name,
+        )
+        with self._open() as channel:
+            channel.send(request.encode())
+            return self._expect_ok(channel)
+
+    # -- trust distribution ------------------------------------------------------
+
+    def get_trustroots(self) -> tuple[list, list]:
+        """``myproxy-get-trustroots``: the repository's CAs and fresh CRLs.
+
+        Returns ``(certificates, crls)``.  Works anonymously too: construct
+        the client with ``credential=None`` (the server must allow it).
+        """
+        from repro.pki.ca import CertificateRevocationList
+        from repro.pki.certs import Certificate
+
+        request = Request(command=Command.TRUSTROOTS, username="trustroots")
+        with self._open() as channel:
+            channel.send(request.encode())
+            response = self._expect_ok(channel)
+        cas = [
+            Certificate.from_pem(pem.encode("ascii"))
+            for pem in response.info.get("cas", [])
+        ]
+        crls = [
+            CertificateRevocationList.from_json(doc)
+            for doc in response.info.get("crls", [])
+        ]
+        return cas, crls
+
+    def refresh_trust_directory(self, trustdir) -> tuple[int, int]:
+        """Install fetched anchors + CRLs into a local trust directory.
+
+        Returns ``(cas_installed, crls_installed)``.  CRL signatures are
+        verified against their CA at install time, so a hostile repository
+        cannot plant revocations for CAs it does not control.
+        """
+        cas, crls = self.get_trustroots()
+        ca_count = 0
+        for ca in cas:
+            trustdir.install_ca(ca)
+            ca_count += 1
+        crl_count = 0
+        for crl in crls:
+            trustdir.install_crl(crl)
+            crl_count += 1
+        return ca_count, crl_count
+
+    # -- §6.1: managed long-term credentials --------------------------------------
+
+    def store_longterm(
+        self,
+        credential: Credential,
+        *,
+        username: str,
+        passphrase: str,
+        cred_name: str = DEFAULT_CRED_NAME,
+        max_get_lifetime: float | None = None,
+        retrievers: tuple[str, ...] | None = None,
+    ) -> Response:
+        """Store a *long-term* credential for server-side proxy minting.
+
+        The private key is encrypted under ``passphrase`` locally before
+        transmission, and the repository persists exactly those bytes — the
+        plaintext long-term key never exists on the server's disk.
+        """
+        request = Request(
+            command=Command.STORE,
+            username=username,
+            passphrase=passphrase,
+            cred_name=cred_name,
+            max_get_lifetime=max_get_lifetime,
+            retrievers=retrievers,
+        )
+        blob = credential.export_pem(passphrase)
+        with self._open() as channel:
+            channel.send(request.encode())
+            self._expect_ok(channel)
+            channel.send(blob)
+            return self._expect_ok(channel)
+
+    def retrieve_longterm(
+        self,
+        *,
+        username: str,
+        passphrase: str,
+        cred_name: str = DEFAULT_CRED_NAME,
+    ) -> Credential:
+        """Fetch a stored long-term credential back (key arrives encrypted)."""
+        request = Request(
+            command=Command.RETRIEVE,
+            username=username,
+            passphrase=passphrase,
+            cred_name=cred_name,
+        )
+        with self._open() as channel:
+            channel.send(request.encode())
+            self._expect_ok(channel)
+            blob = channel.recv()
+        return Credential.import_pem(blob, passphrase)
+
+
+def myproxy_init_from_longterm(
+    client: MyProxyClient,
+    longterm: Credential,
+    *,
+    username: str,
+    passphrase: str,
+    lifetime: float = ONE_WEEK,
+    key_source: KeySource | None = None,
+    **put_kwargs,
+) -> Response:
+    """The exact §4.1 flow: mint a proxy locally, then delegate it onward.
+
+    ``myproxy-init`` does not hand the long-term credential itself to the
+    repository — it creates a proxy (so the repository only ever holds
+    short-term material) and delegates *that*.
+    """
+    proxy = create_proxy(
+        longterm,
+        lifetime=lifetime,
+        key_source=key_source,
+        clock=client.clock,
+    )
+    return client.put(
+        proxy,
+        username=username,
+        passphrase=passphrase,
+        lifetime=lifetime,
+        **put_kwargs,
+    )

@@ -1,0 +1,127 @@
+"""The ``myproxy-server.config`` file (§4.1's "local policy", §5.1's ACLs).
+
+The original server was configured with a flat directive file; this module
+parses the same style into a :class:`~repro.core.policy.ServerPolicy`::
+
+    # who may delegate to this repository (repeatable)
+    accepted_credentials "/O=Grid/OU=People/CN=*"
+    # who may retrieve delegations (repeatable)
+    authorized_retrievers "/O=Grid/CN=host/portal.*"
+    # who may renew by possession (repeatable; §6.6)
+    authorized_renewers "/O=Grid/OU=People/CN=*"
+
+    max_stored_lifetime_days      7
+    max_delegation_lifetime_hours 12
+    default_delegation_lifetime_hours 2
+
+    passphrase_min_length 8
+    passphrase_require_non_alpha
+
+    kdf_iterations 20000
+    disable_otp            # or disable_passphrase / disable_site / disable_renewal
+
+Unknown directives are an error (silently ignored security configuration
+is how deployments end up open).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.policy import PassphrasePolicy, ServerPolicy
+from repro.gsi.acl import AccessControlList
+from repro.util.errors import ConfigError
+
+_ACL_KEYS = ("accepted_credentials", "authorized_retrievers", "authorized_renewers")
+_NUMBER_KEYS = {
+    "max_stored_lifetime_days": 86400.0,
+    "max_delegation_lifetime_hours": 3600.0,
+    "default_delegation_lifetime_hours": 3600.0,
+    "passphrase_min_length": None,  # integer, no unit
+    "kdf_iterations": None,
+}
+_FLAG_KEYS = (
+    "passphrase_require_non_alpha",
+    "disable_passphrase",
+    "disable_otp",
+    "disable_site",
+    "disable_renewal",
+)
+
+
+def _split_directive(line: str) -> tuple[str, str]:
+    key, _, rest = line.partition(" ")
+    return key.strip(), rest.strip().strip('"')
+
+
+def parse_server_config(text: str) -> ServerPolicy:
+    """Parse directive text into a fully-populated policy."""
+    acls: dict[str, list[str]] = {key: [] for key in _ACL_KEYS}
+    numbers: dict[str, float] = {}
+    flags: set[str] = set()
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        key, value = _split_directive(line)
+        if key in _ACL_KEYS:
+            if not value:
+                raise ConfigError(f"line {lineno}: {key} needs a DN glob")
+            acls[key].append(value)
+        elif key in _NUMBER_KEYS:
+            try:
+                numbers[key] = float(value)
+            except ValueError as exc:
+                raise ConfigError(f"line {lineno}: {key} needs a number") from exc
+            if numbers[key] <= 0:
+                raise ConfigError(f"line {lineno}: {key} must be positive")
+        elif key in _FLAG_KEYS:
+            if value:
+                raise ConfigError(f"line {lineno}: {key} takes no value")
+            flags.add(key)
+        else:
+            raise ConfigError(f"line {lineno}: unknown directive {key!r}")
+
+    def _acl(key: str) -> AccessControlList:
+        patterns = acls[key]
+        if not patterns:
+            return AccessControlList.allow_all(key)
+        return AccessControlList(patterns, name=key)
+
+    def _scaled(key: str, default: float) -> float:
+        unit = _NUMBER_KEYS[key]
+        if key not in numbers:
+            return default
+        return numbers[key] * (unit or 1.0)
+
+    defaults = ServerPolicy()
+    passphrase_policy = PassphrasePolicy(
+        min_length=int(numbers.get("passphrase_min_length",
+                                   defaults.passphrase_policy.min_length)),
+        require_non_alpha="passphrase_require_non_alpha" in flags,
+    )
+    return ServerPolicy(
+        max_stored_lifetime=_scaled(
+            "max_stored_lifetime_days", defaults.max_stored_lifetime
+        ),
+        max_delegation_lifetime=_scaled(
+            "max_delegation_lifetime_hours", defaults.max_delegation_lifetime
+        ),
+        default_delegation_lifetime=_scaled(
+            "default_delegation_lifetime_hours", defaults.default_delegation_lifetime
+        ),
+        passphrase_policy=passphrase_policy,
+        accepted_credentials=_acl("accepted_credentials"),
+        authorized_retrievers=_acl("authorized_retrievers"),
+        authorized_renewers=_acl("authorized_renewers"),
+        kdf_iterations=int(numbers.get("kdf_iterations", defaults.kdf_iterations)),
+        allow_passphrase_auth="disable_passphrase" not in flags,
+        allow_otp_auth="disable_otp" not in flags,
+        allow_site_auth="disable_site" not in flags,
+        allow_renewal_auth="disable_renewal" not in flags,
+    )
+
+
+def load_server_config(path: str | Path) -> ServerPolicy:
+    return parse_server_config(Path(path).read_text("utf-8"))

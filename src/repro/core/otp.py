@@ -1,0 +1,132 @@
+"""One-time passwords, S/KEY style (§5.1, §6.3, RFC 2289 [12]).
+
+The paper twice proposes replacing the static pass phrase with "a one-time
+password system [12]" — to defeat replay of a captured pass phrase and to
+lift the HTTPS-only requirement on portals.  We implement the hash-chain
+scheme of RFC 2289 (Lamport's scheme):
+
+- the user picks a secret and a seed, computes ``w_i = H^i(secret || seed)``
+  and registers ``w_n`` with the server;
+- to authenticate, the user presents ``w_{n-1}``; the server checks
+  ``H(w_{n-1}) == w_n``, then *replaces* its stored verifier with
+  ``w_{n-1}`` and decrements the counter;
+- an eavesdropper who captures ``w_{n-1}`` learns nothing useful: it has
+  already been consumed, and inverting ``H`` to get ``w_{n-2}`` is
+  infeasible.
+
+:class:`OTPGenerator` is the client side (holds the secret);
+:class:`OTPVerifier` is the server-side state (stores only the last used
+word — never the secret), serialized into the repository entry metadata.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.util.errors import AuthenticationError, PolicyError
+
+_WORD_LEN = 16  # 128-bit words, hex-encoded on the wire
+
+
+def _fold(digest: bytes) -> bytes:
+    """Fold a SHA-256 digest to the word size (as RFC 2289 folds MD4/MD5)."""
+    half = len(digest) // 2
+    return bytes(a ^ b for a, b in zip(digest[:half], digest[half:]))[:_WORD_LEN]
+
+
+def otp_step(word: bytes) -> bytes:
+    """One application of the chain hash ``H``."""
+    return _fold(hashlib.sha256(word).digest())
+
+
+class OTPGenerator:
+    """Client side of an OTP chain.
+
+    Tracks which word to emit next; once the chain is exhausted the user
+    must re-initialize (exactly like a paper S/KEY calculator running out).
+    """
+
+    def __init__(self, secret: str, seed: str, count: int = 100) -> None:
+        if count < 2:
+            raise PolicyError("an OTP chain needs at least 2 steps")
+        if not secret or not seed:
+            raise PolicyError("OTP secret and seed must be non-empty")
+        self.seed = seed
+        self.count = count
+        self._base = _fold(
+            hashlib.sha256(secret.encode("utf-8") + b"\0" + seed.encode("utf-8")).digest()
+        )
+        self._next_index = count - 1  # the first word presented is w_{n-1}
+
+    def word(self, index: int) -> str:
+        """``w_index`` as hex (``w_0`` is the chain base)."""
+        if index < 0 or index > self.count:
+            raise PolicyError(f"OTP index {index} outside chain of {self.count}")
+        word = self._base
+        for _ in range(index):
+            word = otp_step(word)
+        return word.hex()
+
+    def initial_verifier(self) -> "OTPVerifier":
+        """What the server stores at registration time: ``w_n``."""
+        return OTPVerifier(seed=self.seed, counter=self.count, verifier_hex=self.word(self.count))
+
+    def next_word(self) -> str:
+        """The next one-time password, consuming one chain step."""
+        if self._next_index < 0:
+            raise PolicyError("OTP chain exhausted; re-initialize with the server")
+        word = self.word(self._next_index)
+        self._next_index -= 1
+        return word
+
+    @property
+    def remaining(self) -> int:
+        return self._next_index + 1
+
+
+@dataclass(frozen=True)
+class OTPVerifier:
+    """Server-side chain state: the last accepted word and its index."""
+
+    seed: str
+    counter: int
+    verifier_hex: str
+
+    def verify(self, presented_hex: str) -> "OTPVerifier":
+        """Check one presented word; return the advanced state.
+
+        Raises :class:`AuthenticationError` on any mismatch.  Replaying a
+        previously accepted word fails because the counter has moved on.
+        """
+        if self.counter <= 0:
+            raise AuthenticationError("OTP chain exhausted on the server")
+        try:
+            presented = bytes.fromhex(presented_hex)
+        except ValueError as exc:
+            raise AuthenticationError("malformed one-time password") from exc
+        if len(presented) != _WORD_LEN:
+            raise AuthenticationError("one-time password has wrong length")
+        expected = bytes.fromhex(self.verifier_hex)
+        if not hmac.compare_digest(otp_step(presented), expected):
+            raise AuthenticationError("one-time password rejected")
+        return OTPVerifier(
+            seed=self.seed, counter=self.counter - 1, verifier_hex=presented_hex
+        )
+
+    # -- persistence into repository metadata ------------------------------
+
+    def to_payload(self) -> dict:
+        return {"seed": self.seed, "counter": self.counter, "verifier": self.verifier_hex}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "OTPVerifier":
+        try:
+            return cls(
+                seed=str(payload["seed"]),
+                counter=int(payload["counter"]),
+                verifier_hex=str(payload["verifier"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise AuthenticationError("corrupt OTP state") from exc

@@ -1,0 +1,223 @@
+"""The MyProxy client↔server protocol (§4, §6.4).
+
+The paper notes the protocol "was quickly designed as a prototype"; the real
+implementation spoke newline-separated ``KEY=value`` text.  We keep that
+shape (``VERSION`` first, then ``COMMAND`` and its arguments) and add the
+fields the §6 extensions need:
+
+==================  =======================================================
+field               meaning
+==================  =======================================================
+VERSION             must be ``MYPROXYv2-REPRO``
+COMMAND             numeric command code (see :class:`Command`)
+USERNAME            the *user identity* of §4.1 — "typically different from
+                    the user's DN ... more memorable and concise"
+CRED_NAME           which of the user's credentials (§6.2 wallet); default
+                    ``default``
+AUTH_METHOD         ``passphrase`` | ``otp`` | ``site`` (§6.3)
+PASSPHRASE          the secret for the chosen method (an OTP word or a
+                    site ticket travels in the same field)
+LIFETIME            requested proxy lifetime, seconds (float)
+MAX_GET_LIFETIME    PUT only: cap on later retrievals (§4.1's "retrieval
+                    restrictions ... a maximum lifetime")
+RETRIEVERS          PUT only: comma-separated DN globs further narrowing
+                    who may retrieve *this* credential
+RENEWERS            PUT only: comma-separated DN globs enabling §6.6
+                    renewal-by-possession for this credential (absent =
+                    renewal disabled)
+NEW_PASSPHRASE      CHANGE_PASSPHRASE only
+==================  =======================================================
+
+Responses carry ``RESPONSE=0`` (OK) or ``RESPONSE=1`` plus ``ERROR``, and
+INFO replies append ``INFO`` with a JSON document.  After an OK response to
+``PUT``/``GET``/``STORE``/``RETRIEVE``, the corresponding credential
+transfer runs on the same secure channel (see
+:mod:`repro.transport.delegation` for PUT/GET).
+
+Every message rides the mutually-authenticated encrypted channel — §5.1:
+"all data passing to and from the server is encrypted".
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+from repro.util.encoding import decode_kv, encode_kv
+from repro.util.errors import ProtocolError
+
+PROTOCOL_VERSION = "MYPROXYv2-REPRO"
+
+DEFAULT_CRED_NAME = "default"
+
+
+class Command(enum.IntEnum):
+    """Repository operations."""
+
+    GET = 0
+    PUT = 1
+    INFO = 2
+    DESTROY = 3
+    CHANGE_PASSPHRASE = 4
+    STORE = 5
+    RETRIEVE = 6
+    #: Fetch the repository's trust anchors + CRLs (the original's
+    #: ``myproxy-get-trustroots``): how clients keep CRLs fresh and how a
+    #: host that trusts *one* federation CA learns about the rest.
+    TRUSTROOTS = 7
+
+
+class AuthMethod(str, enum.Enum):
+    """How the retrieval secret in ``PASSPHRASE`` is to be interpreted.
+
+    ``RENEWAL`` carries no secret at all: the requester proves possession
+    of a *live proxy for the same identity* through the channel handshake
+    itself (§6.6 — how a renewal agent refreshes a job's credential
+    without holding the user's pass phrase).  Only usable for GET, and only
+    when the stored entry opted in with a ``RENEWERS`` list.
+    """
+
+    PASSPHRASE = "passphrase"
+    OTP = "otp"
+    SITE = "site"
+    RENEWAL = "renewal"
+
+
+@dataclass(frozen=True)
+class Request:
+    """A decoded client request."""
+
+    command: Command
+    username: str
+    passphrase: str = ""
+    lifetime: float = 0.0
+    cred_name: str = DEFAULT_CRED_NAME
+    auth_method: AuthMethod = AuthMethod.PASSPHRASE
+    max_get_lifetime: float | None = None
+    retrievers: tuple[str, ...] | None = None
+    renewers: tuple[str, ...] | None = None
+    new_passphrase: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.username:
+            raise ProtocolError("USERNAME must not be empty")
+        if len(self.username) > 256:
+            raise ProtocolError("USERNAME too long")
+        if self.lifetime < 0:
+            raise ProtocolError("LIFETIME must be non-negative")
+
+    # -- wire form ------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        fields: dict[str, str] = {
+            "VERSION": PROTOCOL_VERSION,
+            "COMMAND": str(int(self.command)),
+            "USERNAME": self.username,
+            "CRED_NAME": self.cred_name,
+            "AUTH_METHOD": self.auth_method.value,
+            "PASSPHRASE": self.passphrase,
+            "LIFETIME": f"{self.lifetime:.3f}",
+        }
+        if self.max_get_lifetime is not None:
+            fields["MAX_GET_LIFETIME"] = f"{self.max_get_lifetime:.3f}"
+        if self.retrievers is not None:
+            fields["RETRIEVERS"] = ",".join(self.retrievers)
+        if self.renewers is not None:
+            fields["RENEWERS"] = ",".join(self.renewers)
+        if self.new_passphrase:
+            fields["NEW_PASSPHRASE"] = self.new_passphrase
+        return encode_kv(fields)
+
+    @classmethod
+    def decode(cls, data: bytes) -> Request:
+        fields = decode_kv(data)
+        if fields.get("VERSION") != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version {fields.get('VERSION')!r}"
+            )
+        try:
+            command = Command(int(fields["COMMAND"]))
+        except (KeyError, ValueError) as exc:
+            raise ProtocolError("missing or unknown COMMAND") from exc
+        try:
+            auth_method = AuthMethod(fields.get("AUTH_METHOD", "passphrase"))
+        except ValueError as exc:
+            raise ProtocolError(
+                f"unknown AUTH_METHOD {fields.get('AUTH_METHOD')!r}"
+            ) from exc
+        def _dn_list(key: str) -> tuple[str, ...] | None:
+            raw = fields.get(key)
+            if raw is None:
+                return None
+            return tuple(p for p in raw.split(",") if p)
+
+        retrievers = _dn_list("RETRIEVERS")
+        renewers = _dn_list("RENEWERS")
+
+        def _lifetime(key: str) -> float:
+            try:
+                return float(fields.get(key, "0"))
+            except ValueError as exc:
+                raise ProtocolError(f"malformed {key}") from exc
+
+        max_get = fields.get("MAX_GET_LIFETIME")
+        return cls(
+            command=command,
+            username=fields.get("USERNAME", ""),
+            passphrase=fields.get("PASSPHRASE", ""),
+            lifetime=_lifetime("LIFETIME"),
+            cred_name=fields.get("CRED_NAME", DEFAULT_CRED_NAME),
+            auth_method=auth_method,
+            max_get_lifetime=_lifetime("MAX_GET_LIFETIME") if max_get is not None else None,
+            retrievers=retrievers,
+            renewers=renewers,
+            new_passphrase=fields.get("NEW_PASSPHRASE", ""),
+        )
+
+
+@dataclass(frozen=True)
+class Response:
+    """A decoded server response."""
+
+    ok: bool
+    error: str = ""
+    info: dict = field(default_factory=dict)
+
+    @classmethod
+    def success(cls, info: dict | None = None) -> Response:
+        return cls(ok=True, info=info or {})
+
+    @classmethod
+    def failure(cls, error: str) -> Response:
+        return cls(ok=False, error=error)
+
+    def encode(self) -> bytes:
+        fields: dict[str, str] = {
+            "VERSION": PROTOCOL_VERSION,
+            "RESPONSE": "0" if self.ok else "1",
+        }
+        if self.error:
+            fields["ERROR"] = self.error.replace("\n", " ")
+        if self.info:
+            fields["INFO"] = json.dumps(self.info, sort_keys=True)
+        return encode_kv(fields)
+
+    @classmethod
+    def decode(cls, data: bytes) -> Response:
+        fields = decode_kv(data)
+        if fields.get("VERSION") != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version {fields.get('VERSION')!r}"
+            )
+        code = fields.get("RESPONSE")
+        if code not in ("0", "1"):
+            raise ProtocolError(f"malformed RESPONSE {code!r}")
+        info_raw = fields.get("INFO", "")
+        try:
+            info = json.loads(info_raw) if info_raw else {}
+        except json.JSONDecodeError as exc:
+            raise ProtocolError("malformed INFO payload") from exc
+        if not isinstance(info, dict):
+            raise ProtocolError("INFO payload must be a JSON object")
+        return cls(ok=code == "0", error=fields.get("ERROR", ""), info=info)

@@ -1,0 +1,358 @@
+"""The credential repository storage layer (§4.1, §5.1).
+
+What the repository holds, per (user identity, credential name):
+
+- the delegated certificate and its chain (public material);
+- the delegated **private key, encrypted at rest** — §5.1: "the repository
+  encrypts the credentials that it holds with the pass phrase provided by
+  the user.  Because of this, even if the repository host is compromised,
+  an intruder would still need to decrypt the keys individually or wait
+  until a portal connects and provides a pass phrase";
+- a pass-phrase *verifier* (salted PBKDF2 digest — never the pass phrase
+  itself) or the equivalent OTP/site-auth state (§6.3);
+- the §4.1 retrieval restrictions: a maximum delegation lifetime and an
+  optional per-credential retriever DN list.
+
+Key-encryption modes (an explicit design tension the paper's §6.3 inherits):
+with *pass-phrase* authentication the key is encrypted under the pass
+phrase itself, so the server cannot decrypt stored keys between logins.
+With *OTP* or *site* authentication there is no stable user secret to
+encrypt under, so those entries are sealed with a server-held master key —
+protecting against file-system theft but not a fully compromised server.
+``EXPERIMENTS.md`` (S1/S5) measures both sides of that trade.
+
+Two backends with one interface: :class:`MemoryRepository` (tests,
+benchmarks) and :class:`FileRepository` (what a deployment would run; files
+are mode 0600 inside a mode 0700 spool directory, written atomically).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import hmac
+import json
+import os
+import secrets
+import threading
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from cryptography.hazmat.primitives.ciphers.aead import AESGCM
+
+from repro.util.errors import AuthenticationError, NotFoundError, RepositoryError
+
+KEY_ENC_PASSPHRASE = "passphrase"
+KEY_ENC_SERVER = "server-key"
+
+_PBKDF2_HASH = "sha256"
+
+
+# --------------------------------------------------------------------------
+# pass-phrase verifiers
+# --------------------------------------------------------------------------
+
+
+def make_passphrase_verifier(passphrase: str, iterations: int) -> dict:
+    """Salted PBKDF2 verifier stored in entry metadata."""
+    salt = secrets.token_bytes(16)
+    digest = hashlib.pbkdf2_hmac(
+        _PBKDF2_HASH, passphrase.encode("utf-8"), salt, iterations
+    )
+    return {
+        "method": "passphrase",
+        "salt": salt.hex(),
+        "hash": digest.hex(),
+        "iterations": iterations,
+    }
+
+
+def check_passphrase(verifier: dict, passphrase: str) -> bool:
+    """Constant-time pass-phrase check against a stored verifier."""
+    try:
+        salt = bytes.fromhex(verifier["salt"])
+        expected = bytes.fromhex(verifier["hash"])
+        iterations = int(verifier["iterations"])
+    except (KeyError, ValueError, TypeError):
+        return False
+    digest = hashlib.pbkdf2_hmac(
+        _PBKDF2_HASH, passphrase.encode("utf-8"), salt, iterations
+    )
+    return hmac.compare_digest(digest, expected)
+
+
+# --------------------------------------------------------------------------
+# server master-key sealing (for OTP / site-auth entries)
+# --------------------------------------------------------------------------
+
+
+class SecretBox:
+    """AES-GCM sealing under a server-held master key."""
+
+    def __init__(self, key: bytes | None = None) -> None:
+        if key is None:
+            key = secrets.token_bytes(32)
+        if len(key) not in (16, 24, 32):
+            raise RepositoryError("master key must be 16/24/32 bytes")
+        self._aead = AESGCM(key)
+
+    def seal(self, plaintext: bytes) -> bytes:
+        nonce = secrets.token_bytes(12)
+        return nonce + self._aead.encrypt(nonce, plaintext, b"repro-secretbox")
+
+    def open(self, blob: bytes) -> bytes:
+        if len(blob) < 12 + 16:
+            raise AuthenticationError("sealed blob too short")
+        try:
+            return self._aead.decrypt(blob[:12], blob[12:], b"repro-secretbox")
+        except Exception as exc:  # noqa: BLE001
+            raise AuthenticationError("sealed blob failed to open") from exc
+
+
+# --------------------------------------------------------------------------
+# entries
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RepositoryEntry:
+    """One stored credential and its retrieval policy."""
+
+    username: str
+    cred_name: str
+    owner_dn: str
+    certificate_pem: bytes  # leaf + chain, public material only
+    key_pem: bytes  # private key, always encrypted (see key_encryption)
+    key_encryption: str  # KEY_ENC_PASSPHRASE | KEY_ENC_SERVER
+    verifier: dict  # auth-method state (passphrase digest / OTP chain / site)
+    max_get_lifetime: float
+    retrievers: tuple[str, ...] | None
+    created_at: float
+    not_after: float
+    long_term: bool = False
+    #: §6.6 renewal-by-possession: DN globs allowed to renew, or None for
+    #: renewal disabled (the default — renewal weakens at-rest protection,
+    #: see key_pem_renewal).
+    renewers: tuple[str, ...] | None = None
+    #: A server-sealed copy of the private key, present only when renewal
+    #: is enabled: a renewer presents no pass phrase, so the server must be
+    #: able to open the key itself.  This mirrors the real MyProxy, which
+    #: documents that renewable credentials are stored without pass-phrase
+    #: encryption.
+    key_pem_renewal: bytes | None = None
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.username, self.cred_name)
+
+    @property
+    def auth_method(self) -> str:
+        return str(self.verifier.get("method", "passphrase"))
+
+    def with_verifier(self, verifier: dict) -> RepositoryEntry:
+        return replace(self, verifier=verifier)
+
+    # -- JSON persistence -----------------------------------------------------
+
+    def to_json(self) -> str:
+        doc = {
+            "username": self.username,
+            "cred_name": self.cred_name,
+            "owner_dn": self.owner_dn,
+            "certificate_pem": self.certificate_pem.decode("ascii"),
+            "key_pem": base64.b64encode(self.key_pem).decode("ascii"),
+            "key_encryption": self.key_encryption,
+            "verifier": self.verifier,
+            "max_get_lifetime": self.max_get_lifetime,
+            "retrievers": list(self.retrievers) if self.retrievers is not None else None,
+            "created_at": self.created_at,
+            "not_after": self.not_after,
+            "long_term": self.long_term,
+            "renewers": list(self.renewers) if self.renewers is not None else None,
+            "key_pem_renewal": (
+                base64.b64encode(self.key_pem_renewal).decode("ascii")
+                if self.key_pem_renewal is not None
+                else None
+            ),
+        }
+        return json.dumps(doc, sort_keys=True, indent=1)
+
+    @classmethod
+    def from_json(cls, text: str) -> RepositoryEntry:
+        try:
+            doc = json.loads(text)
+            retrievers = doc["retrievers"]
+            renewers = doc.get("renewers")
+            key_renewal = doc.get("key_pem_renewal")
+            return cls(
+                username=doc["username"],
+                cred_name=doc["cred_name"],
+                owner_dn=doc["owner_dn"],
+                certificate_pem=doc["certificate_pem"].encode("ascii"),
+                key_pem=base64.b64decode(doc["key_pem"]),
+                key_encryption=doc["key_encryption"],
+                verifier=dict(doc["verifier"]),
+                max_get_lifetime=float(doc["max_get_lifetime"]),
+                retrievers=tuple(retrievers) if retrievers is not None else None,
+                created_at=float(doc["created_at"]),
+                not_after=float(doc["not_after"]),
+                long_term=bool(doc["long_term"]),
+                renewers=tuple(renewers) if renewers is not None else None,
+                key_pem_renewal=(
+                    base64.b64decode(key_renewal) if key_renewal is not None else None
+                ),
+            )
+        except (KeyError, ValueError, TypeError, json.JSONDecodeError) as exc:
+            raise RepositoryError(f"corrupt repository entry: {exc}") from exc
+
+
+# --------------------------------------------------------------------------
+# backends
+# --------------------------------------------------------------------------
+
+
+class CredentialRepository:
+    """Abstract storage backend for repository entries."""
+
+    def put(self, entry: RepositoryEntry) -> None:
+        """Insert or replace the entry under ``entry.key``."""
+        raise NotImplementedError
+
+    def get(self, username: str, cred_name: str) -> RepositoryEntry:
+        """Fetch an entry or raise :class:`NotFoundError`."""
+        raise NotImplementedError
+
+    def delete(self, username: str, cred_name: str) -> bool:
+        """Remove an entry; True if one existed."""
+        raise NotImplementedError
+
+    def list_for(self, username: str) -> list[RepositoryEntry]:
+        raise NotImplementedError
+
+    def count(self) -> int:
+        raise NotImplementedError
+
+    def usernames(self) -> list[str]:
+        raise NotImplementedError
+
+
+class MemoryRepository(CredentialRepository):
+    """Dictionary-backed storage, used by tests and benchmarks."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._entries: dict[tuple[str, str], RepositoryEntry] = {}
+
+    def put(self, entry: RepositoryEntry) -> None:
+        with self._lock:
+            self._entries[entry.key] = entry
+
+    def get(self, username: str, cred_name: str) -> RepositoryEntry:
+        with self._lock:
+            entry = self._entries.get((username, cred_name))
+        if entry is None:
+            raise NotFoundError(
+                f"no credential {cred_name!r} stored for user {username!r}"
+            )
+        return entry
+
+    def delete(self, username: str, cred_name: str) -> bool:
+        with self._lock:
+            return self._entries.pop((username, cred_name), None) is not None
+
+    def list_for(self, username: str) -> list[RepositoryEntry]:
+        with self._lock:
+            return sorted(
+                (e for e in self._entries.values() if e.username == username),
+                key=lambda e: e.cred_name,
+            )
+
+    def count(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def usernames(self) -> list[str]:
+        with self._lock:
+            return sorted({u for (u, _) in self._entries})
+
+
+class FileRepository(CredentialRepository):
+    """One JSON file per entry, written atomically with restrictive modes.
+
+    File names are URL-safe base64 of ``username\\x00cred_name``, which both
+    avoids path traversal via hostile user names and keeps the mapping
+    bijective.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        os.chmod(self.root, 0o700)
+        self._lock = threading.RLock()
+
+    @staticmethod
+    def _filename(username: str, cred_name: str) -> str:
+        token = base64.urlsafe_b64encode(
+            username.encode("utf-8") + b"\x00" + cred_name.encode("utf-8")
+        ).decode("ascii")
+        return f"{token}.json"
+
+    @staticmethod
+    def _unfilename(name: str) -> tuple[str, str]:
+        raw = base64.urlsafe_b64decode(name.removesuffix(".json").encode("ascii"))
+        username, _, cred_name = raw.partition(b"\x00")
+        return username.decode("utf-8"), cred_name.decode("utf-8")
+
+    def _path(self, username: str, cred_name: str) -> Path:
+        return self.root / self._filename(username, cred_name)
+
+    def put(self, entry: RepositoryEntry) -> None:
+        path = self._path(entry.username, entry.cred_name)
+        data = entry.to_json().encode("utf-8")
+        with self._lock:
+            tmp = path.with_suffix(".json.tmp")
+            fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o600)
+            try:
+                os.write(fd, data)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            os.replace(tmp, path)
+
+    def get(self, username: str, cred_name: str) -> RepositoryEntry:
+        path = self._path(username, cred_name)
+        with self._lock:
+            if not path.exists():
+                raise NotFoundError(
+                    f"no credential {cred_name!r} stored for user {username!r}"
+                )
+            return RepositoryEntry.from_json(path.read_text("utf-8"))
+
+    def delete(self, username: str, cred_name: str) -> bool:
+        path = self._path(username, cred_name)
+        with self._lock:
+            if not path.exists():
+                return False
+            size = path.stat().st_size
+            with open(path, "r+b") as fh:  # zeroize before unlink
+                fh.write(b"\0" * size)
+                fh.flush()
+                os.fsync(fh.fileno())
+            path.unlink()
+            return True
+
+    def _iter_entries(self):
+        for path in sorted(self.root.glob("*.json")):
+            yield RepositoryEntry.from_json(path.read_text("utf-8"))
+
+    def list_for(self, username: str) -> list[RepositoryEntry]:
+        with self._lock:
+            return [e for e in self._iter_entries() if e.username == username]
+
+    def count(self) -> int:
+        with self._lock:
+            return sum(1 for _ in self.root.glob("*.json"))
+
+    def usernames(self) -> list[str]:
+        with self._lock:
+            return sorted({self._unfilename(p.name)[0] for p in self.root.glob("*.json")})

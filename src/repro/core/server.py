@@ -1,0 +1,896 @@
+"""The MyProxy repository server (§4, §5.1).
+
+One conversation per connection, as in the original:
+
+1. mutual GSI authentication (the client sees the repository's certificate,
+   so "an attacker [cannot impersonate] the repository in order to steal
+   credentials"; the repository authenticates the client for its ACLs);
+2. one :class:`~repro.core.protocol.Request`;
+3. a :class:`~repro.core.protocol.Response`;
+4. for PUT/GET/STORE/RETRIEVE, the credential transfer on the same channel
+   (GSI delegation for PUT/GET — private keys never travel; an encrypted
+   PEM blob for the §6.1 STORE/RETRIEVE of long-term credentials);
+5. for PUT/STORE, a final *commit* response after the server has validated
+   and persisted what it received.
+
+Authorization structure (§5.1):
+
+- ``accepted_credentials`` ACL — who may PUT/STORE/DESTROY/CHANGE;
+- ``authorized_retrievers`` ACL — who may GET/RETRIEVE ("particularly
+  important, as it prevents unauthorized clients from retrieving a user
+  proxy ... even if such clients are able to gain access to the user's
+  MyProxy authentication information");
+- per-credential retriever globs (§4.1 retrieval restrictions);
+- per-credential secret: pass phrase verifier, OTP chain (§6.3) or site
+  ticket realm (§6.3).
+
+GET/RETRIEVE failures deliberately return one generic message ("remote
+authorization/authentication failed") whether the user is unknown, the
+secret is wrong or the retriever is not allowed — so the repository cannot
+be used as a user-name oracle.  The audit log records the precise reason.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from collections import deque
+from dataclasses import dataclass, replace
+
+from repro.core.otp import OTPVerifier
+from repro.core.policy import ServerPolicy
+from repro.core.protocol import AuthMethod, Command, Request, Response
+from repro.core.repository import (
+    KEY_ENC_PASSPHRASE,
+    KEY_ENC_SERVER,
+    CredentialRepository,
+    MemoryRepository,
+    RepositoryEntry,
+    SecretBox,
+    check_passphrase,
+    make_passphrase_verifier,
+)
+from repro.core.siteauth import verify_ticket
+from repro.gsi.acl import AccessControlList
+from repro.pki.credentials import Credential
+from repro.pki.keys import KeyPair, KeySource
+from repro.pki.names import DistinguishedName
+from repro.pki.validation import ChainValidator, ValidatedIdentity
+from repro.transport.channel import SecureChannel, accept_secure
+from repro.transport.delegation import accept_delegation, delegate_credential
+from repro.transport.links import Link, SocketLink
+from repro.util.clock import SYSTEM_CLOCK, Clock
+from repro.util.concurrency import ServiceThread
+from repro.util.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    CredentialError,
+    NotFoundError,
+    PolicyError,
+    ProtocolError,
+    ReproError,
+    TransportError,
+)
+from repro.util.logging import get_logger
+
+_GENERIC_DENIAL = "remote authorization/authentication failed"
+
+logger = get_logger("core.server")
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One line of the server's security audit trail."""
+
+    at: float
+    peer: str
+    command: str
+    username: str
+    cred_name: str
+    ok: bool
+    detail: str
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "at": self.at,
+                "peer": self.peer,
+                "command": self.command,
+                "username": self.username,
+                "cred_name": self.cred_name,
+                "ok": self.ok,
+                "detail": self.detail,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "AuditRecord":
+        doc = json.loads(line)
+        return cls(
+            at=float(doc["at"]),
+            peer=str(doc["peer"]),
+            command=str(doc["command"]),
+            username=str(doc["username"]),
+            cred_name=str(doc["cred_name"]),
+            ok=bool(doc["ok"]),
+            detail=str(doc["detail"]),
+        )
+
+
+@dataclass
+class ServerStats:
+    """Operation counters, consumed by the benchmark harness."""
+
+    connections: int = 0
+    handshake_failures: int = 0
+    puts: int = 0
+    gets: int = 0
+    stores: int = 0
+    retrieves: int = 0
+    denials: int = 0
+    shed: int = 0  # TCP connections dropped by the load-shedding limit
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+
+class MyProxyServer:
+    """An online credential repository.
+
+    Parameters
+    ----------
+    credential:
+        The repository's own host credential — §5.2 notes these are kept
+        unencrypted so the service can run unattended.
+    validator:
+        Chain validator holding the CAs this repository trusts.
+    repository:
+        Storage backend; defaults to in-memory.
+    policy:
+        :class:`~repro.core.policy.ServerPolicy`; defaults are the paper's
+        (one week stored, hours delegated, both ACLs open).
+    master_box:
+        Seals private keys of OTP/site entries (which have no stable user
+        secret to encrypt under).  Fresh random key per server by default.
+    site_secrets:
+        ``realm → shared secret`` for §6.3 site-ticket verification.
+    key_source:
+        Where the server's delegation-acceptance key pairs come from
+        (swap in a pooled source for tests/benchmarks).
+    """
+
+    def __init__(
+        self,
+        credential: Credential,
+        validator: ChainValidator,
+        *,
+        repository: CredentialRepository | None = None,
+        policy: ServerPolicy | None = None,
+        clock: Clock = SYSTEM_CLOCK,
+        master_box: SecretBox | None = None,
+        site_secrets: dict[str, bytes] | None = None,
+        key_source: KeySource | None = None,
+        audit_limit: int = 10_000,
+        audit_path: str | None = None,
+        max_concurrent_connections: int = 64,
+    ) -> None:
+        if credential.key is None:
+            raise CredentialError("the repository needs its private key to run")
+        self.credential = credential
+        self.validator = validator
+        self.repository = repository if repository is not None else MemoryRepository()
+        self.policy = policy or ServerPolicy()
+        self.clock = clock
+        self.master_box = master_box or SecretBox()
+        self.site_secrets = dict(site_secrets or {})
+        self.key_source = key_source
+        self.stats = ServerStats()
+        self._audit: deque[AuditRecord] = deque(maxlen=audit_limit)
+        self._audit_lock = threading.Lock()
+        # Optional persistent audit trail (JSON lines, append-only, 0600):
+        # the in-memory deque is bounded, but §5.1's "allows time for the
+        # intrusion to be detected" presumes a trail that survives.
+        self._audit_path = audit_path
+        if audit_path is not None:
+            import os as _os
+
+            fd = _os.open(audit_path, _os.O_WRONLY | _os.O_CREAT | _os.O_APPEND, 0o600)
+            _os.close(fd)
+        self._listener: ServiceThread | None = None
+        self._listen_sock: socket.socket | None = None
+        self._endpoint: tuple[str, int] | None = None
+        # Load shedding: beyond this many in-flight conversations, new TCP
+        # connections are closed before any crypto is spent on them (a
+        # repository on a "tightly secured host" should degrade predictably,
+        # not fall over).
+        self._conn_slots = threading.BoundedSemaphore(max_concurrent_connections)
+        # Online-guessing lockout state: (username, cred_name) → recent
+        # failed-auth timestamps.
+        self._failed_auths: dict[tuple[str, str], list[float]] = {}
+        self._failed_lock = threading.Lock()
+        # OTP verification is read-verify-advance on shared state; without
+        # serialization, two concurrent logins presenting the *same* word
+        # could both pass (a classic TOCTOU double-spend).
+        self._otp_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # lifecycle (TCP mode)
+    # ------------------------------------------------------------------
+
+    def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Listen on TCP and serve until :meth:`stop`.  Returns endpoint."""
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, port))
+        sock.listen(64)
+        sock.settimeout(0.2)
+        self._listen_sock = sock
+        self._endpoint = sock.getsockname()
+
+        def _serve_conn(conn: socket.socket) -> None:
+            try:
+                self.handle_link(SocketLink(conn))
+            finally:
+                self._conn_slots.release()
+
+        def _loop(stop_event: threading.Event) -> None:
+            while not stop_event.is_set():
+                try:
+                    conn, _addr = sock.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                if not self._conn_slots.acquire(blocking=False):
+                    self.stats.shed += 1
+                    conn.close()
+                    continue
+                conn.settimeout(30.0)
+                threading.Thread(
+                    target=_serve_conn,
+                    args=(conn,),
+                    daemon=True,
+                    name="myproxy-conn",
+                ).start()
+
+        self._listener = ServiceThread(_loop, "myproxy-listener")
+        self._listener.start()
+        logger.info("MyProxy server listening on %s:%d", *self._endpoint)
+        return self._endpoint
+
+    def stop(self) -> None:
+        if self._listener is not None:
+            self._listener.stop()
+            self._listener = None
+        if self._listen_sock is not None:
+            self._listen_sock.close()
+            self._listen_sock = None
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        if self._endpoint is None:
+            raise RuntimeError("server is not listening")
+        return self._endpoint
+
+    def __enter__(self) -> MyProxyServer:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # audit
+    # ------------------------------------------------------------------
+
+    def _audit_event(
+        self,
+        peer: str,
+        command: str,
+        username: str,
+        cred_name: str,
+        ok: bool,
+        detail: str,
+    ) -> None:
+        record = AuditRecord(
+            at=self.clock.now(),
+            peer=peer,
+            command=command,
+            username=username,
+            cred_name=cred_name,
+            ok=ok,
+            detail=detail,
+        )
+        with self._audit_lock:
+            self._audit.append(record)
+            if self._audit_path is not None:
+                with open(self._audit_path, "a", encoding="utf-8") as fh:
+                    fh.write(record.to_json() + "\n")
+        if not ok:
+            self.stats.denials += 1
+            logger.info("denied %s %s/%s from %s: %s", command, username, cred_name, peer, detail)
+
+    def audit_log(self) -> list[AuditRecord]:
+        with self._audit_lock:
+            return list(self._audit)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+
+    def handle_link(self, link: Link) -> None:
+        """Serve one complete conversation on ``link`` (any transport)."""
+        self.stats.connections += 1
+        try:
+            channel = accept_secure(
+                link,
+                self.credential,
+                self.validator,
+                allow_anonymous=self.policy.allow_anonymous_trustroots,
+            )
+        except ReproError as exc:
+            self.stats.handshake_failures += 1
+            self._audit_event("<unauthenticated>", "handshake", "", "", False, str(exc))
+            return
+        try:
+            self._serve_channel(channel)
+        except (TransportError, ProtocolError) as exc:
+            self._audit_event(
+                str(channel.peer.identity), "conversation", "", "", False, str(exc)
+            )
+        finally:
+            channel.close()
+
+    def _serve_channel(self, channel: SecureChannel) -> None:
+        peer = channel.peer
+        peer_name = str(peer.identity) if peer is not None else "<anonymous>"
+        try:
+            request = Request.decode(channel.recv())
+        except ProtocolError as exc:
+            channel.send(Response.failure(f"bad request: {exc}").encode())
+            raise
+        if peer is None and request.command is not Command.TRUSTROOTS:
+            # Anonymous channels exist only for public trust material.
+            self._audit_event(
+                peer_name, request.command.name, request.username,
+                request.cred_name, False, "anonymous client",
+            )
+            channel.send(Response.failure(_GENERIC_DENIAL).encode())
+            return
+        handler = {
+            Command.PUT: self._do_put,
+            Command.GET: self._do_get,
+            Command.INFO: self._do_info,
+            Command.DESTROY: self._do_destroy,
+            Command.CHANGE_PASSPHRASE: self._do_change_passphrase,
+            Command.STORE: self._do_store,
+            Command.RETRIEVE: self._do_retrieve,
+            Command.TRUSTROOTS: self._do_trustroots,
+        }[request.command]
+        try:
+            handler(channel, peer, request)
+        except (AuthenticationError, AuthorizationError, NotFoundError) as exc:
+            self._audit_event(
+                peer_name,
+                request.command.name,
+                request.username,
+                request.cred_name,
+                False,
+                str(exc),
+            )
+            channel.send(Response.failure(_GENERIC_DENIAL).encode())
+        except (PolicyError, CredentialError, ProtocolError) as exc:
+            self._audit_event(
+                peer_name,
+                request.command.name,
+                request.username,
+                request.cred_name,
+                False,
+                str(exc),
+            )
+            channel.send(Response.failure(str(exc)).encode())
+
+    # ------------------------------------------------------------------
+    # shared checks
+    # ------------------------------------------------------------------
+
+    def _require_acl(self, acl: AccessControlList, peer: ValidatedIdentity) -> None:
+        if not acl.allows(peer.identity):
+            raise AuthorizationError(
+                f"{peer.identity} is not on the {acl.name} list"
+            )
+
+    def _check_lockout(self, key: tuple[str, str]) -> None:
+        if self.policy.max_failed_auths <= 0:
+            return
+        cutoff = self.clock.now() - self.policy.lockout_window
+        with self._failed_lock:
+            recent = [t for t in self._failed_auths.get(key, []) if t > cutoff]
+            self._failed_auths[key] = recent
+            if len(recent) >= self.policy.max_failed_auths:
+                raise AuthenticationError(
+                    f"too many failed authentications for {key[0]}/{key[1]}; "
+                    "locked out"
+                )
+
+    def _record_failed_auth(self, key: tuple[str, str]) -> None:
+        with self._failed_lock:
+            self._failed_auths.setdefault(key, []).append(self.clock.now())
+
+    def _verify_secret(self, entry: RepositoryEntry, request: Request) -> RepositoryEntry:
+        """Authenticate a request against an entry's stored secret state.
+
+        Returns the (possibly advanced) entry — OTP verification consumes a
+        chain step, which is persisted *before* any credential leaves the
+        server, so a failed delegation cannot be replayed.
+
+        Failed checks feed the online-guessing lockout; once tripped, even
+        the correct secret is refused until the window drains (the §5.1
+        "allows time for intrusion to be detected" property, automated).
+        """
+        key = (entry.username, entry.cred_name)
+        self._check_lockout(key)
+        try:
+            return self._verify_secret_inner(entry, request)
+        except AuthenticationError:
+            self._record_failed_auth(key)
+            raise
+
+    def _verify_secret_inner(
+        self, entry: RepositoryEntry, request: Request
+    ) -> RepositoryEntry:
+        method = entry.auth_method
+        if request.auth_method.value != method:
+            raise AuthenticationError(
+                f"entry uses {method} authentication, request used "
+                f"{request.auth_method.value}"
+            )
+        if method == AuthMethod.PASSPHRASE.value:
+            if not self.policy.allow_passphrase_auth:
+                raise AuthenticationError("pass-phrase authentication is disabled")
+            if not check_passphrase(entry.verifier, request.passphrase):
+                raise AuthenticationError("wrong pass phrase")
+            return entry
+        if method == AuthMethod.OTP.value:
+            if not self.policy.allow_otp_auth:
+                raise AuthenticationError("one-time-password authentication is disabled")
+            with self._otp_lock:
+                # Re-read under the lock: verify-and-advance must be atomic
+                # or a raced word could be spent twice.
+                entry = self.repository.get(entry.username, entry.cred_name)
+                state = OTPVerifier.from_payload(entry.verifier.get("otp", {}))
+                advanced = state.verify(request.passphrase)
+                updated = entry.with_verifier(
+                    {"method": "otp", "otp": advanced.to_payload()}
+                )
+                self.repository.put(updated)
+            return updated
+        if method == AuthMethod.SITE.value:
+            if not self.policy.allow_site_auth:
+                raise AuthenticationError("site authentication is disabled")
+            realm = str(entry.verifier.get("realm", ""))
+            secret = self.site_secrets.get(realm)
+            if secret is None:
+                raise AuthenticationError(f"no shared secret for realm {realm!r}")
+            verify_ticket(
+                request.passphrase,
+                entry.username,
+                secret,
+                clock=self.clock,
+                expected_realm=realm,
+            )
+            return entry
+        raise AuthenticationError(f"unknown authentication method {method!r}")
+
+    def _initial_verifier(self, request: Request) -> tuple[dict, str]:
+        """Build verifier metadata + key-encryption mode from a PUT/STORE."""
+        if request.auth_method is AuthMethod.PASSPHRASE:
+            self.policy.passphrase_policy.check(request.passphrase)
+            return (
+                make_passphrase_verifier(
+                    request.passphrase, self.policy.kdf_iterations
+                ),
+                KEY_ENC_PASSPHRASE,
+            )
+        if request.auth_method is AuthMethod.OTP:
+            try:
+                payload = json.loads(request.passphrase)
+                state = OTPVerifier.from_payload(payload)
+            except (json.JSONDecodeError, AuthenticationError) as exc:
+                raise PolicyError(f"bad OTP initialization: {exc}") from exc
+            if state.counter < 2:
+                raise PolicyError("OTP chain too short to be useful")
+            return ({"method": "otp", "otp": state.to_payload()}, KEY_ENC_SERVER)
+        if request.auth_method is AuthMethod.SITE:
+            realm = request.passphrase
+            if realm not in self.site_secrets:
+                raise PolicyError(f"repository has no trust for site realm {realm!r}")
+            return ({"method": "site", "realm": realm}, KEY_ENC_SERVER)
+        raise PolicyError(f"unsupported auth method {request.auth_method}")
+
+    def _decrypt_entry_key(self, entry: RepositoryEntry, request: Request) -> KeyPair:
+        """Recover the stored private key for delegation."""
+        if entry.key_encryption == KEY_ENC_PASSPHRASE:
+            if entry.long_term:
+                # Long-term entries keep the user's original PEM blob
+                # (certificates + encrypted key) verbatim.
+                return Credential.import_pem(
+                    entry.key_pem, request.passphrase
+                ).require_key()
+            return KeyPair.from_pem(entry.key_pem, request.passphrase)
+        if entry.key_encryption == KEY_ENC_SERVER:
+            return KeyPair.from_pem(self.master_box.open(entry.key_pem))
+        raise CredentialError(f"unknown key encryption {entry.key_encryption!r}")
+
+    def _load_entry_credential(
+        self, entry: RepositoryEntry, key: KeyPair
+    ) -> Credential:
+        from repro.pki.certs import Certificate
+
+        certs = Certificate.list_from_pem(entry.certificate_pem)
+        return Credential(certificate=certs[0], key=key, chain=tuple(certs[1:]))
+
+    # ------------------------------------------------------------------
+    # PUT — Figure 1, myproxy-init
+    # ------------------------------------------------------------------
+
+    def _do_put(
+        self, channel: SecureChannel, peer: ValidatedIdentity, request: Request
+    ) -> None:
+        self._require_acl(self.policy.accepted_credentials, peer)
+        self.policy.passphrase_policy.check_username(request.username)
+        lifetime = request.lifetime or self.policy.max_stored_lifetime
+        self.policy.check_stored_lifetime(lifetime)
+        verifier, key_encryption = self._initial_verifier(request)
+
+        channel.send(Response.success({"accepted": True}).encode())
+        delegated = accept_delegation(channel, key_source=self.key_source)
+
+        # Post-delegation validation, answered by the commit response.
+        try:
+            if delegated.identity != peer.identity:
+                raise PolicyError(
+                    "delegated credential does not belong to the authenticated "
+                    f"client ({delegated.identity} vs {peer.identity})"
+                )
+            self.validator.validate(delegated.full_chain())
+            now = self.clock.now()
+            slack = 120.0
+            if delegated.certificate.not_after > now + self.policy.max_stored_lifetime + slack:
+                raise PolicyError(
+                    "delegated credential outlives the server's stored-lifetime policy"
+                )
+            max_get = request.max_get_lifetime
+            if max_get is None or max_get <= 0:
+                max_get = self.policy.max_delegation_lifetime
+            key_pem: bytes
+            if key_encryption == KEY_ENC_PASSPHRASE:
+                key_pem = delegated.require_key().to_pem(request.passphrase)
+            else:
+                key_pem = self.master_box.seal(delegated.require_key().to_pem())
+            # §6.6: enabling renewal requires a server-openable key copy —
+            # the renewer presents no secret (the real MyProxy documents
+            # the same weakening for renewable credentials).
+            key_pem_renewal = None
+            if request.renewers is not None:
+                if not self.policy.allow_renewal_auth:
+                    raise PolicyError("this repository does not allow renewal")
+                key_pem_renewal = self.master_box.seal(
+                    delegated.require_key().to_pem()
+                )
+            cert_pem = b"".join(c.to_pem() for c in delegated.full_chain())
+            entry = RepositoryEntry(
+                username=request.username,
+                cred_name=request.cred_name,
+                owner_dn=str(peer.identity),
+                certificate_pem=cert_pem,
+                key_pem=key_pem,
+                key_encryption=key_encryption,
+                verifier=verifier,
+                max_get_lifetime=max_get,
+                retrievers=request.retrievers,
+                created_at=now,
+                not_after=delegated.certificate.not_after,
+                long_term=False,
+                renewers=request.renewers,
+                key_pem_renewal=key_pem_renewal,
+            )
+            self.repository.put(entry)
+        except ReproError as exc:
+            self._audit_event(
+                str(peer.identity), "PUT", request.username, request.cred_name, False, str(exc)
+            )
+            channel.send(Response.failure(str(exc)).encode())
+            return
+        self.stats.puts += 1
+        self._audit_event(
+            str(peer.identity), "PUT", request.username, request.cred_name, True,
+            f"stored until {entry.not_after:.0f}",
+        )
+        channel.send(
+            Response.success(
+                {"stored": True, "not_after": entry.not_after, "cred_name": entry.cred_name}
+            ).encode()
+        )
+
+    # ------------------------------------------------------------------
+    # GET — Figure 2, myproxy-get-delegation
+    # ------------------------------------------------------------------
+
+    def _verify_renewal(
+        self, entry: RepositoryEntry, peer: ValidatedIdentity
+    ) -> KeyPair:
+        """§6.6 renewal-by-possession: authorize and unseal the key.
+
+        The requester authenticated the *channel* with a live proxy; the
+        handshake's possession proof is the renewal credential.  We require
+        that proxy to name the same identity that owns the stored entry,
+        plus the server-wide and per-credential renewer ACLs.
+        """
+        if not self.policy.allow_renewal_auth:
+            raise AuthenticationError("renewal authentication is disabled")
+        if not self.policy.authorized_renewers.allows(peer.identity):
+            raise AuthorizationError(
+                f"{peer.identity} is not on the authorized_renewers list"
+            )
+        if entry.renewers is None or entry.key_pem_renewal is None:
+            raise AuthorizationError("this credential was not stored as renewable")
+        per_cred = AccessControlList(entry.renewers, name="credential renewers")
+        if not per_cred.allows(peer.identity):
+            raise AuthorizationError(
+                f"{peer.identity} is not among this credential's allowed renewers"
+            )
+        if str(peer.identity) != entry.owner_dn:
+            raise AuthorizationError(
+                "renewal requires a live credential for the same identity "
+                f"({peer.identity} vs {entry.owner_dn})"
+            )
+        return KeyPair.from_pem(self.master_box.open(entry.key_pem_renewal))
+
+    def _do_get(
+        self, channel: SecureChannel, peer: ValidatedIdentity, request: Request
+    ) -> None:
+        self._require_acl(self.policy.authorized_retrievers, peer)
+        entry = self.repository.get(request.username, request.cred_name)
+
+        if request.auth_method is AuthMethod.RENEWAL:
+            key = self._verify_renewal(entry, peer)
+        else:
+            entry = self._verify_secret(entry, request)
+            if entry.retrievers is not None:
+                per_cred = AccessControlList(
+                    entry.retrievers, name="credential retrievers"
+                )
+                if not per_cred.allows(peer.identity):
+                    raise AuthorizationError(
+                        f"{peer.identity} is not among this credential's "
+                        "allowed retrievers"
+                    )
+            key = None  # decrypted below, after the expiry check
+
+        now = self.clock.now()
+        if entry.not_after <= now:
+            raise AuthenticationError("stored credential has expired")
+
+        lifetime = self.policy.clamp_delegation_lifetime(request.lifetime)
+        lifetime = min(lifetime, entry.max_get_lifetime, entry.not_after - now)
+
+        if key is None:
+            key = self._decrypt_entry_key(entry, request)
+        stored = self._load_entry_credential(entry, key)
+
+        channel.send(
+            Response.success({"granted_lifetime": lifetime, "cred_name": entry.cred_name}).encode()
+        )
+        issued = delegate_credential(
+            channel, stored, lifetime=lifetime, clock=self.clock
+        )
+        self.stats.gets += 1
+        self._audit_event(
+            str(peer.identity), "GET", request.username, request.cred_name, True,
+            f"delegated until {issued.not_after:.0f} "
+            f"(auth={request.auth_method.value})",
+        )
+
+    # ------------------------------------------------------------------
+    # INFO / DESTROY / CHANGE_PASSPHRASE
+    # ------------------------------------------------------------------
+
+    def _owned_entries(
+        self, peer: ValidatedIdentity, username: str
+    ) -> list[RepositoryEntry]:
+        entries = [
+            e
+            for e in self.repository.list_for(username)
+            if e.owner_dn == str(peer.identity)
+        ]
+        if not entries:
+            raise AuthorizationError(
+                f"{peer.identity} owns no credentials stored under {username!r}"
+            )
+        return entries
+
+    def _do_info(
+        self, channel: SecureChannel, peer: ValidatedIdentity, request: Request
+    ) -> None:
+        self._require_acl(self.policy.accepted_credentials, peer)
+        entries = self._owned_entries(peer, request.username)
+        now = self.clock.now()
+        info = {
+            "username": request.username,
+            "credentials": [
+                {
+                    "cred_name": e.cred_name,
+                    "owner": e.owner_dn,
+                    "not_after": e.not_after,
+                    "seconds_remaining": max(e.not_after - now, 0.0),
+                    "max_get_lifetime": e.max_get_lifetime,
+                    "auth_method": e.auth_method,
+                    "long_term": e.long_term,
+                    "retrievers": list(e.retrievers) if e.retrievers is not None else None,
+                }
+                for e in entries
+            ],
+        }
+        self._audit_event(
+            str(peer.identity), "INFO", request.username, "", True, f"{len(entries)} entries"
+        )
+        channel.send(Response.success(info).encode())
+
+    def _do_destroy(
+        self, channel: SecureChannel, peer: ValidatedIdentity, request: Request
+    ) -> None:
+        self._require_acl(self.policy.accepted_credentials, peer)
+        entry = self.repository.get(request.username, request.cred_name)
+        if entry.owner_dn != str(peer.identity):
+            raise AuthorizationError(
+                f"{peer.identity} does not own {request.username}/{request.cred_name}"
+            )
+        self.repository.delete(request.username, request.cred_name)
+        self._audit_event(
+            str(peer.identity), "DESTROY", request.username, request.cred_name, True, "destroyed"
+        )
+        channel.send(Response.success({"destroyed": True}).encode())
+
+    def _do_change_passphrase(
+        self, channel: SecureChannel, peer: ValidatedIdentity, request: Request
+    ) -> None:
+        self._require_acl(self.policy.accepted_credentials, peer)
+        entry = self.repository.get(request.username, request.cred_name)
+        if entry.owner_dn != str(peer.identity):
+            raise AuthorizationError(
+                f"{peer.identity} does not own {request.username}/{request.cred_name}"
+            )
+        if entry.auth_method != AuthMethod.PASSPHRASE.value:
+            raise PolicyError("only pass-phrase entries support CHANGE_PASSPHRASE")
+        entry = self._verify_secret(entry, request)
+        self.policy.passphrase_policy.check(request.new_passphrase)
+        if entry.key_encryption == KEY_ENC_PASSPHRASE:
+            key = KeyPair.from_pem(entry.key_pem, request.passphrase)
+            new_key_pem = key.to_pem(request.new_passphrase)
+        else:  # pragma: no cover - passphrase entries are passphrase-encrypted
+            new_key_pem = entry.key_pem
+        updated = replace(
+            entry,
+            key_pem=new_key_pem,
+            verifier=make_passphrase_verifier(
+                request.new_passphrase, self.policy.kdf_iterations
+            ),
+        )
+        self.repository.put(updated)
+        self._audit_event(
+            str(peer.identity), "CHANGE_PASSPHRASE", request.username, request.cred_name,
+            True, "pass phrase changed",
+        )
+        channel.send(Response.success({"changed": True}).encode())
+
+    # ------------------------------------------------------------------
+    # TRUSTROOTS — anchor + CRL distribution (myproxy-get-trustroots)
+    # ------------------------------------------------------------------
+
+    def _do_trustroots(
+        self, channel: SecureChannel, peer: ValidatedIdentity | None, request: Request
+    ) -> None:
+        """Return this repository's trust fabric: CA certs and fresh CRLs.
+
+        All public material — clients use it to bootstrap a trust
+        directory or, routinely, to refresh revocation lists.
+        """
+        info = {
+            "cas": [a.to_pem().decode("ascii") for a in self.validator.anchors],
+            "crls": [crl.to_json() for crl in self.validator.crls],
+        }
+        peer_name = str(peer.identity) if peer is not None else "<anonymous>"
+        self._audit_event(
+            peer_name, "TRUSTROOTS", request.username, "", True,
+            f"{len(info['cas'])} CAs, {len(info['crls'])} CRLs",
+        )
+        channel.send(Response.success(info).encode())
+
+    # ------------------------------------------------------------------
+    # STORE / RETRIEVE — §6.1 managed long-term credentials
+    # ------------------------------------------------------------------
+
+    def _do_store(
+        self, channel: SecureChannel, peer: ValidatedIdentity, request: Request
+    ) -> None:
+        self._require_acl(self.policy.accepted_credentials, peer)
+        self.policy.passphrase_policy.check_username(request.username)
+        if request.auth_method is not AuthMethod.PASSPHRASE:
+            raise PolicyError("STORE requires pass-phrase protection of the key")
+        if request.renewers is not None:
+            # STORE's guarantee is that the plaintext long-term key never
+            # exists server-side; a renewal copy would break it.
+            raise PolicyError(
+                "long-term entries cannot be renewable; use PUT for that"
+            )
+        verifier, _mode = self._initial_verifier(request)
+
+        channel.send(Response.success({"accepted": True}).encode())
+        blob = channel.recv()
+
+        try:
+            # The key inside the blob stays encrypted under the user's pass
+            # phrase end to end: the server verifies it can decrypt (to
+            # reject typos) but persists the encrypted form it received.
+            credential = Credential.import_pem(blob, request.passphrase)
+            if credential.key is None:
+                raise CredentialError("STORE payload has no private key")
+            if credential.identity != peer.identity:
+                raise PolicyError("may only store your own long-term credential")
+            self.validator.validate(credential.full_chain())
+            from repro.pki.certs import Certificate
+
+            certs = Certificate.list_from_pem(blob)
+            cert_pem = b"".join(c.to_pem() for c in certs)
+            entry = RepositoryEntry(
+                username=request.username,
+                cred_name=request.cred_name,
+                owner_dn=str(peer.identity),
+                certificate_pem=cert_pem,
+                key_pem=blob,  # original PEM, key still pass-phrase-encrypted
+                key_encryption=KEY_ENC_PASSPHRASE,
+                verifier=verifier,
+                max_get_lifetime=request.max_get_lifetime
+                or self.policy.max_delegation_lifetime,
+                retrievers=request.retrievers,
+                created_at=self.clock.now(),
+                not_after=credential.certificate.not_after,
+                long_term=True,
+            )
+            self.repository.put(entry)
+        except ReproError as exc:
+            self._audit_event(
+                str(peer.identity), "STORE", request.username, request.cred_name, False, str(exc)
+            )
+            channel.send(Response.failure(str(exc)).encode())
+            return
+        self.stats.stores += 1
+        self._audit_event(
+            str(peer.identity), "STORE", request.username, request.cred_name, True,
+            "long-term credential stored",
+        )
+        channel.send(Response.success({"stored": True, "long_term": True}).encode())
+
+    def _do_retrieve(
+        self, channel: SecureChannel, peer: ValidatedIdentity, request: Request
+    ) -> None:
+        self._require_acl(self.policy.authorized_retrievers, peer)
+        entry = self.repository.get(request.username, request.cred_name)
+        if not entry.long_term:
+            raise AuthorizationError("RETRIEVE is only allowed for long-term entries")
+        entry = self._verify_secret(entry, request)
+        if entry.retrievers is not None:
+            per_cred = AccessControlList(entry.retrievers, name="credential retrievers")
+            if not per_cred.allows(peer.identity):
+                raise AuthorizationError(
+                    f"{peer.identity} is not among this credential's allowed retrievers"
+                )
+        channel.send(Response.success({"long_term": True}).encode())
+        channel.send(entry.key_pem)  # the original pass-phrase-encrypted PEM
+        self.stats.retrieves += 1
+        self._audit_event(
+            str(peer.identity), "RETRIEVE", request.username, request.cred_name, True,
+            "long-term credential returned (key still encrypted)",
+        )

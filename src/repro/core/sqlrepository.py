@@ -1,0 +1,138 @@
+"""An SQLite repository backend.
+
+The file-per-entry spool matches the original deployment; a database
+backend is what a 2020s operator would reach for — single file, atomic
+transactions, queryable by the admin tools.  Entries are stored as their
+canonical JSON documents (one schema for all backends), with the lookup
+columns lifted out for indexing.
+
+SQLite connections are not shareable across threads, so the backend keeps
+one connection per thread; SQLite's own locking serializes writers.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+from pathlib import Path
+
+from repro.core.repository import CredentialRepository, RepositoryEntry
+from repro.util.errors import NotFoundError, RepositoryError
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS credentials (
+    username   TEXT NOT NULL,
+    cred_name  TEXT NOT NULL,
+    owner_dn   TEXT NOT NULL,
+    not_after  REAL NOT NULL,
+    document   TEXT NOT NULL,
+    PRIMARY KEY (username, cred_name)
+);
+CREATE INDEX IF NOT EXISTS idx_credentials_username ON credentials (username);
+CREATE INDEX IF NOT EXISTS idx_credentials_not_after ON credentials (not_after);
+"""
+
+
+class SqliteRepository(CredentialRepository):
+    """Credential storage in a single SQLite database file."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._local = threading.local()
+        with self._connection() as conn:
+            conn.executescript(_SCHEMA)
+        # The database carries every user's encrypted keys: owner-only.
+        os.chmod(self.path, 0o600)
+
+    def _connection(self) -> sqlite3.Connection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = sqlite3.connect(self.path, timeout=10.0)
+            conn.execute("PRAGMA journal_mode=WAL")
+            self._local.conn = conn
+        return conn
+
+    # -- CredentialRepository interface ------------------------------------
+
+    def put(self, entry: RepositoryEntry) -> None:
+        conn = self._connection()
+        with conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO credentials "
+                "(username, cred_name, owner_dn, not_after, document) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (
+                    entry.username,
+                    entry.cred_name,
+                    entry.owner_dn,
+                    entry.not_after,
+                    entry.to_json(),
+                ),
+            )
+
+    def get(self, username: str, cred_name: str) -> RepositoryEntry:
+        row = self._connection().execute(
+            "SELECT document FROM credentials WHERE username=? AND cred_name=?",
+            (username, cred_name),
+        ).fetchone()
+        if row is None:
+            raise NotFoundError(
+                f"no credential {cred_name!r} stored for user {username!r}"
+            )
+        return RepositoryEntry.from_json(row[0])
+
+    def delete(self, username: str, cred_name: str) -> bool:
+        conn = self._connection()
+        with conn:
+            cursor = conn.execute(
+                "DELETE FROM credentials WHERE username=? AND cred_name=?",
+                (username, cred_name),
+            )
+        return cursor.rowcount > 0
+
+    def list_for(self, username: str) -> list[RepositoryEntry]:
+        rows = self._connection().execute(
+            "SELECT document FROM credentials WHERE username=? ORDER BY cred_name",
+            (username,),
+        ).fetchall()
+        return [RepositoryEntry.from_json(row[0]) for row in rows]
+
+    def count(self) -> int:
+        (count,) = self._connection().execute(
+            "SELECT COUNT(*) FROM credentials"
+        ).fetchone()
+        return int(count)
+
+    def usernames(self) -> list[str]:
+        rows = self._connection().execute(
+            "SELECT DISTINCT username FROM credentials ORDER BY username"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    # -- extras the admin layer can exploit --------------------------------
+
+    def expired_before(self, cutoff: float) -> list[tuple[str, str]]:
+        """Indexed lookup of dead entries (cheap even at large counts)."""
+        rows = self._connection().execute(
+            "SELECT username, cred_name FROM credentials WHERE not_after <= ?",
+            (cutoff,),
+        ).fetchall()
+        return [(row[0], row[1]) for row in rows]
+
+    def close(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+
+def open_repository(path: str | os.PathLike) -> CredentialRepository:
+    """Open a spool by convention: ``*.db``/``*.sqlite`` → SQLite, else files."""
+    from repro.core.repository import FileRepository
+
+    text = str(path)
+    if text.endswith((".db", ".sqlite", ".sqlite3")):
+        return SqliteRepository(path)
+    return FileRepository(path)

@@ -1,0 +1,208 @@
+"""The electronic wallet (§6.2).
+
+"We plan to investigate having the credential repository act as an
+electronic wallet — a storage mechanism for all of a user's credentials.
+This wallet would be able, when given information about the task a user
+wishes to undertake, to correctly select credentials for the task, embed
+the minimum needed rights in those credentials, and then return the
+credentials to the user."
+
+Three pieces, mapping to the three clauses:
+
+- *storage of all of a user's credentials*: the repository already keys
+  entries by ``(username, cred_name)``; the wallet keeps a catalog of what
+  each named credential is for;
+- *correctly select credentials for the task*: :meth:`Wallet.select`
+  matches a :class:`TaskSpec` against the catalog (purpose tags, issuing
+  organization, remaining lifetime);
+- *embed the minimum needed rights*: :meth:`Wallet.credential_for_task`
+  retrieves a delegation and then derives a **restricted** proxy (§6.5)
+  carrying only the operations/resources the task declared.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.client import MyProxyClient, StoredCredentialInfo
+from repro.pki.credentials import Credential
+from repro.pki.keys import KeySource
+from repro.pki.proxy import ProxyRestrictions, create_proxy
+from repro.util.clock import SYSTEM_CLOCK, Clock
+from repro.util.errors import ConfigError, NotFoundError
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """What the user is about to do, for credential selection."""
+
+    purpose: str  # e.g. "compute", "storage", "astro-collab"
+    operations: frozenset[str] = frozenset()  # rights to embed, e.g. {"submit_job"}
+    resources: frozenset[str] | None = None  # target services, None = any
+    organization: str | None = None  # preferred issuing organization
+    min_lifetime: float = 600.0  # don't pick nearly-expired credentials
+
+
+@dataclass(frozen=True)
+class WalletEntry:
+    """Catalog metadata for one stored credential."""
+
+    cred_name: str
+    purposes: frozenset[str]
+    organization: str
+    description: str = ""
+
+    def to_payload(self) -> dict:
+        return {
+            "cred_name": self.cred_name,
+            "purposes": sorted(self.purposes),
+            "organization": self.organization,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> WalletEntry:
+        return cls(
+            cred_name=str(payload["cred_name"]),
+            purposes=frozenset(payload["purposes"]),
+            organization=str(payload["organization"]),
+            description=str(payload.get("description", "")),
+        )
+
+
+@dataclass
+class Wallet:
+    """A user's view over their multiple repository credentials.
+
+    The wallet does not hold keys; it holds the *catalog* (which credential
+    is for what) and drives the repository client.
+    """
+
+    client: MyProxyClient
+    username: str
+    clock: Clock = SYSTEM_CLOCK
+    key_source: KeySource | None = None
+    _entries: dict[str, WalletEntry] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    # -- catalog --------------------------------------------------------------
+
+    def register(
+        self,
+        cred_name: str,
+        *,
+        purposes: frozenset[str] | set[str],
+        organization: str,
+        description: str = "",
+    ) -> None:
+        """Record what a stored credential is good for."""
+        if not purposes:
+            raise ConfigError("a wallet entry needs at least one purpose")
+        entry = WalletEntry(
+            cred_name=cred_name,
+            purposes=frozenset(purposes),
+            organization=organization,
+            description=description,
+        )
+        with self._lock:
+            self._entries[cred_name] = entry
+
+    def forget(self, cred_name: str) -> None:
+        with self._lock:
+            self._entries.pop(cred_name, None)
+
+    def entries(self) -> list[WalletEntry]:
+        with self._lock:
+            return sorted(self._entries.values(), key=lambda e: e.cred_name)
+
+    # -- selection (§6.2: "correctly select credentials for the task") ----------
+
+    def select(self, task: TaskSpec) -> WalletEntry:
+        """Pick the best stored credential for ``task`` or raise.
+
+        Ranking: purpose must match; organization match is preferred;
+        among the remainder, the credential with the most remaining
+        lifetime on the server wins (checked live via ``myproxy-info``).
+        """
+        candidates = [e for e in self.entries() if task.purpose in e.purposes]
+        if not candidates:
+            raise NotFoundError(
+                f"no wallet credential is registered for purpose {task.purpose!r}"
+            )
+        live: dict[str, StoredCredentialInfo] = {
+            row.cred_name: row for row in self.client.info(username=self.username)
+        }
+        scored: list[tuple[int, float, WalletEntry]] = []
+        for entry in candidates:
+            row = live.get(entry.cred_name)
+            if row is None or row.seconds_remaining < task.min_lifetime:
+                continue
+            org_match = 1 if task.organization in (None, entry.organization) else 0
+            if task.organization is not None and not org_match:
+                continue
+            scored.append((org_match, row.seconds_remaining, entry))
+        if not scored:
+            raise NotFoundError(
+                f"no stored credential for purpose {task.purpose!r} has "
+                f">= {task.min_lifetime:.0f}s of lifetime left"
+            )
+        scored.sort(key=lambda t: (t[0], t[1]), reverse=True)
+        return scored[0][2]
+
+    # -- retrieval with minimum rights (§6.2 + §6.5) -----------------------------
+
+    def credential_for_task(
+        self,
+        task: TaskSpec,
+        *,
+        passphrase: str,
+        lifetime: float = 0.0,
+    ) -> Credential:
+        """Select, retrieve, and *narrow* a credential for ``task``.
+
+        The proxy that comes back from the repository is immediately
+        re-proxied with a §6.5 restriction extension carrying only the
+        task's declared operations/resources — "embed the minimum needed
+        rights" — so anything downstream (a compromised portal, a stolen
+        file) holds a credential that can do nothing else.
+        """
+        entry = self.select(task)
+        delegated = self.client.get_delegation(
+            username=self.username,
+            passphrase=passphrase,
+            cred_name=entry.cred_name,
+            lifetime=lifetime,
+        )
+        if not task.operations and task.resources is None:
+            return delegated
+        restrictions = ProxyRestrictions(
+            operations=task.operations or None,
+            resources=task.resources,
+        )
+        return create_proxy(
+            delegated,
+            lifetime=max(delegated.seconds_remaining(self.clock), 1.0),
+            restrictions=restrictions,
+            key_source=self.key_source,
+            clock=self.clock,
+        )
+
+    # -- persistence --------------------------------------------------------------
+
+    def save_catalog(self, path: str | Path) -> None:
+        doc = {"username": self.username, "entries": [e.to_payload() for e in self.entries()]}
+        Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True), "utf-8")
+
+    def load_catalog(self, path: str | Path) -> None:
+        doc = json.loads(Path(path).read_text("utf-8"))
+        if doc.get("username") != self.username:
+            raise ConfigError(
+                f"catalog belongs to {doc.get('username')!r}, wallet is {self.username!r}"
+            )
+        with self._lock:
+            self._entries = {
+                e["cred_name"]: WalletEntry.from_payload(e) for e in doc["entries"]
+            }

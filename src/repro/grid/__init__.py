@@ -1,0 +1,31 @@
+"""GSI-protected Grid services (§2.4, §2.5).
+
+These are the resources the paper's flows terminate in: "The user could
+then use a GSI-enabled application, such as the Globus Toolkit's GRAM or
+Secure Shell, to connect to a remote host" and "a user's job that needs to
+be able to authenticate as the user to [a] mass storage system to store the
+result of a long computation".
+
+- :mod:`repro.grid.service` — the base GSI service: mutual authentication,
+  gridmap mapping, JSON request dispatch, optional in-connection delegation.
+- :mod:`repro.grid.storage` — a mass-storage file service (accepts limited
+  proxies, as data movers classically did).
+- :mod:`repro.grid.gram` — a GRAM-like job service: submission with
+  delegation, simulated long-running jobs that authenticate onward to mass
+  storage with their delegated credentials, credential refresh for §6.6.
+"""
+
+from repro.grid.gram import GramClient, GramService, JobSpec, JobState
+from repro.grid.service import GsiService, ServiceClient
+from repro.grid.storage import StorageClient, StorageService
+
+__all__ = [
+    "GramClient",
+    "GramService",
+    "GsiService",
+    "JobSpec",
+    "JobState",
+    "ServiceClient",
+    "StorageClient",
+    "StorageService",
+]

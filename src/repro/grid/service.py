@@ -1,0 +1,223 @@
+"""Base class for GSI-protected Grid services.
+
+Every Grid service in this reproduction follows the same shape:
+
+1. accept a mutually-authenticated secure channel;
+2. build a :class:`~repro.gsi.context.SecurityContext` (peer identity plus
+   this service's gridmap);
+3. serve JSON requests (``{"op": ..., ...}`` → ``{"ok": ..., ...}``) until
+   the client closes — handlers may run delegation sub-protocols on the
+   same channel (that is how GRAM receives job credentials).
+
+Subclasses implement :meth:`GsiService.dispatch`.
+
+:class:`ServiceClient` is the matching client-side helper: open a channel,
+exchange JSON, optionally delegate.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+from repro.gsi.context import SecurityContext
+from repro.gsi.gridmap import GridMap
+from repro.pki.credentials import Credential
+from repro.pki.validation import ChainValidator
+from repro.transport.channel import SecureChannel, accept_secure, connect_secure
+from repro.transport.links import Link, SocketLink
+from repro.util.clock import SYSTEM_CLOCK, Clock
+from repro.util.concurrency import ServiceThread
+from repro.util.errors import (
+    AuthorizationError,
+    ProtocolError,
+    ReproError,
+    TransportError,
+)
+from repro.util.logging import get_logger
+
+logger = get_logger("grid.service")
+
+
+def send_json(channel: SecureChannel, obj: dict) -> None:
+    channel.send(json.dumps(obj, sort_keys=True).encode("utf-8"))
+
+
+def recv_json(channel: SecureChannel) -> dict:
+    data = channel.recv()
+    try:
+        obj = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("peer sent malformed JSON") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("JSON message must be an object")
+    return obj
+
+
+class GsiService:
+    """A TCP (or pipe) server fronted by GSI mutual authentication."""
+
+    def __init__(
+        self,
+        name: str,
+        credential: Credential,
+        validator: ChainValidator,
+        gridmap: GridMap,
+        *,
+        clock: Clock = SYSTEM_CLOCK,
+        key_source=None,
+    ) -> None:
+        self.name = name
+        self.credential = credential
+        self.validator = validator
+        self.gridmap = gridmap
+        self.clock = clock
+        #: Where keys for *accepted delegations* come from (job credentials,
+        #: transfer credentials).  Defaults to fresh per-delegation keys.
+        self.key_source = key_source
+        self._listener: ServiceThread | None = None
+        self._listen_sock: socket.socket | None = None
+        self._endpoint: tuple[str, int] | None = None
+
+    # -- dispatch (subclass API) ------------------------------------------------
+
+    def dispatch(
+        self, ctx: SecurityContext, request: dict, channel: SecureChannel
+    ) -> dict:
+        """Handle one request; return the response object."""
+        raise NotImplementedError
+
+    # -- serving ------------------------------------------------------------
+
+    def handle_link(self, link: Link) -> None:
+        """Serve one connection end to end (any transport)."""
+        try:
+            channel = accept_secure(link, self.credential, self.validator)
+        except ReproError as exc:
+            logger.info("%s: handshake rejected: %s", self.name, exc)
+            return
+        ctx = SecurityContext(channel=channel, peer=channel.peer, service_name=self.name)
+        try:
+            while True:
+                try:
+                    request = recv_json(channel)
+                except TransportError:
+                    break  # client closed
+                except ProtocolError as exc:
+                    # Desynchronized or hostile peer (e.g. stray stream
+                    # chunks after a refused upload): drop the connection
+                    # rather than guess at framing.
+                    logger.info("%s: dropping desynchronized peer: %s", self.name, exc)
+                    break
+                try:
+                    response = self.dispatch(ctx, request, channel)
+                except (AuthorizationError, ProtocolError, ReproError) as exc:
+                    response = {"ok": False, "error": str(exc)}
+                try:
+                    send_json(channel, response)
+                except TransportError:
+                    break
+        finally:
+            channel.close()
+
+    def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, port))
+        sock.listen(64)
+        sock.settimeout(0.2)
+        self._listen_sock = sock
+        self._endpoint = sock.getsockname()
+
+        def _loop(stop_event: threading.Event) -> None:
+            while not stop_event.is_set():
+                try:
+                    conn, _addr = sock.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                conn.settimeout(30.0)
+                threading.Thread(
+                    target=self.handle_link,
+                    args=(SocketLink(conn),),
+                    daemon=True,
+                    name=f"{self.name}-conn",
+                ).start()
+
+        self._listener = ServiceThread(_loop, f"{self.name}-listener")
+        self._listener.start()
+        logger.info("%s listening on %s:%d", self.name, *self._endpoint)
+        return self._endpoint
+
+    def stop(self) -> None:
+        if self._listener is not None:
+            self._listener.stop()
+            self._listener = None
+        if self._listen_sock is not None:
+            self._listen_sock.close()
+            self._listen_sock = None
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        if self._endpoint is None:
+            raise RuntimeError(f"{self.name} is not listening")
+        return self._endpoint
+
+    def __enter__(self) -> GsiService:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class ServiceClient:
+    """Client-side channel + JSON plumbing shared by Gram/Storage clients."""
+
+    def __init__(
+        self,
+        target,
+        credential: Credential,
+        validator: ChainValidator,
+    ) -> None:
+        self._target = target
+        self.credential = credential
+        self.validator = validator
+        self._channel: SecureChannel | None = None
+
+    def _open(self) -> SecureChannel:
+        if self._channel is None:
+            target = self._target
+            link = target() if callable(target) else target
+            if isinstance(link, Link):
+                self._channel = connect_secure(link, self.credential, self.validator)
+            else:
+                self._channel = connect_secure(tuple(link), self.credential, self.validator)
+        return self._channel
+
+    @property
+    def channel(self) -> SecureChannel:
+        return self._open()
+
+    def call(self, request: dict) -> dict:
+        """One request/response exchange; raises on ``ok: false``."""
+        channel = self._open()
+        send_json(channel, request)
+        response = recv_json(channel)
+        if not response.get("ok", False):
+            raise AuthorizationError(
+                f"service refused {request.get('op')!r}: {response.get('error')}"
+            )
+        return response
+
+    def close(self) -> None:
+        if self._channel is not None:
+            self._channel.close()
+            self._channel = None
+
+    def __enter__(self) -> ServiceClient:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

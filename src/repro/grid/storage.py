@@ -1,0 +1,300 @@
+"""A mass-storage service (§2.4's motivating example).
+
+"An example of this is a user's job that needs to be able to authenticate
+as the user to [a] mass storage system to store the result of a long
+computation."
+
+Semantics modeled on GSI-ftp-era data services:
+
+- namespace per *local user* (gridmap-resolved), so a delegated proxy
+  lands in the same home as the user's own certificate would;
+- **limited proxies are accepted** — the classic GSI split where data
+  movers take limited proxies but gatekeepers do not (see
+  :mod:`repro.grid.gram`);
+- §6.5 restrictions are enforced per operation (``store`` / ``fetch`` /
+  ``list`` / ``delete`` / ``transfer`` against this service's name);
+- per-user byte quota, because every real mass-storage system has one;
+- **streaming** transfers (``store_stream`` / ``fetch_stream``): data rides
+  the channel in chunks after a JSON header, so files are not bounded by a
+  single frame;
+- **third-party transfer** (``transfer``): the client delegates a
+  credential to this server, which then pushes a file to a *peer* storage
+  service authenticated *as the user* — the GridFTP-style pattern that is
+  the whole point of §2.4 delegation.
+"""
+
+from __future__ import annotations
+
+import base64
+import threading
+from collections.abc import Iterable, Iterator
+
+from repro.grid.service import GsiService, ServiceClient, recv_json, send_json
+from repro.gsi.context import SecurityContext
+from repro.transport.channel import SecureChannel
+from repro.transport.delegation import accept_delegation, delegate_credential
+from repro.util.errors import AuthorizationError, NotFoundError, PolicyError, ProtocolError
+
+DEFAULT_QUOTA = 64 * 1024 * 1024
+STREAM_CHUNK = 256 * 1024
+_STREAM_END = b""
+
+
+class StorageService(GsiService):
+    """In-memory per-user object store behind GSI."""
+
+    def __init__(
+        self,
+        *args,
+        quota_bytes: int = DEFAULT_QUOTA,
+        peers: dict | None = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.quota_bytes = quota_bytes
+        #: Named peer storage endpoints this server may push to in
+        #: third-party transfers (operator-configured, like GridFTP's
+        #: known data nodes): name → connect target.
+        self.peers = dict(peers or {})
+        self._lock = threading.Lock()
+        self._files: dict[str, dict[str, bytes]] = {}
+
+    # -- direct (test/inspection) access ----------------------------------------
+
+    def file_bytes(self, local_user: str, path: str) -> bytes:
+        with self._lock:
+            try:
+                return self._files[local_user][path]
+            except KeyError as exc:
+                raise NotFoundError(f"no file {path!r} for {local_user}") from exc
+
+    def usage(self, local_user: str) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._files.get(local_user, {}).values())
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _store_bytes(self, user: str, path: str, data: bytes) -> None:
+        with self._lock:
+            home = self._files.setdefault(user, {})
+            projected = sum(len(v) for p, v in home.items() if p != path) + len(data)
+            if projected > self.quota_bytes:
+                raise PolicyError(
+                    f"quota exceeded for {user}: {projected} > {self.quota_bytes}"
+                )
+            home[path] = data
+
+    def dispatch(
+        self, ctx: SecurityContext, request: dict, channel: SecureChannel
+    ) -> dict:
+        op = request.get("op")
+        if op not in (
+            "store", "fetch", "list", "delete",
+            "store_stream", "fetch_stream", "transfer",
+        ):
+            raise ProtocolError(f"unknown storage operation {op!r}")
+        # Data services accept limited proxies; restrictions still apply.
+        ctx.authorize(op, allow_limited=True)
+        user = ctx.local_user(self.gridmap)
+        path = str(request.get("path", ""))
+        if op != "list" and (not path or path.startswith("/") or ".." in path):
+            raise ProtocolError(f"bad path {path!r}")
+
+        if op == "store_stream":
+            return self._op_store_stream(user, path, channel)
+        if op == "fetch_stream":
+            return self._op_fetch_stream(user, path, channel)
+        if op == "transfer":
+            return self._op_transfer(ctx, user, path, request, channel)
+
+        if op == "store":
+            try:
+                data = base64.b64decode(str(request.get("data", "")), validate=True)
+            except Exception as exc:  # noqa: BLE001
+                raise ProtocolError("store payload is not valid base64") from exc
+            self._store_bytes(user, path, data)
+            return {"ok": True, "stored": len(data), "path": path}
+
+        if op == "fetch":
+            with self._lock:
+                home = self._files.get(user, {})
+                if path not in home:
+                    raise AuthorizationError(f"no such file {path!r}")
+                data = home[path]
+            return {"ok": True, "path": path, "data": base64.b64encode(data).decode("ascii")}
+
+        if op == "delete":
+            with self._lock:
+                removed = self._files.get(user, {}).pop(path, None)
+            return {"ok": True, "deleted": removed is not None}
+
+        # list
+        with self._lock:
+            names = sorted(self._files.get(user, {}))
+        return {"ok": True, "files": names}
+
+    # ------------------------------------------------------------------
+    # streaming (chunks on the channel after a go-ahead)
+    # ------------------------------------------------------------------
+
+    def _op_store_stream(self, user: str, path: str, channel: SecureChannel) -> dict:
+        send_json(channel, {"ok": True, "proceed": "stream"})
+        chunks = bytearray()
+        while True:
+            chunk = channel.recv()
+            if chunk == _STREAM_END:
+                break
+            chunks += chunk
+            if len(chunks) > self.quota_bytes:
+                raise PolicyError(f"stream exceeds quota for {user}")
+        self._store_bytes(user, path, bytes(chunks))
+        return {"ok": True, "stored": len(chunks), "path": path}
+
+    def _op_fetch_stream(self, user: str, path: str, channel: SecureChannel) -> dict:
+        with self._lock:
+            home = self._files.get(user, {})
+            if path not in home:
+                raise AuthorizationError(f"no such file {path!r}")
+            data = home[path]
+        send_json(channel, {"ok": True, "proceed": "stream", "size": len(data)})
+        for offset in range(0, len(data), STREAM_CHUNK):
+            channel.send(data[offset : offset + STREAM_CHUNK])
+        channel.send(_STREAM_END)
+        return {"ok": True, "sent": len(data)}
+
+    # ------------------------------------------------------------------
+    # third-party transfer: push to a peer, authenticated as the user
+    # ------------------------------------------------------------------
+
+    def _op_transfer(
+        self,
+        ctx: SecurityContext,
+        user: str,
+        path: str,
+        request: dict,
+        channel: SecureChannel,
+    ) -> dict:
+        destination = str(request.get("destination", ""))
+        dest_path = str(request.get("dest_path", path))
+        if not dest_path or dest_path.startswith("/") or ".." in dest_path:
+            raise ProtocolError(f"bad destination path {dest_path!r}")
+        target = self.peers.get(destination)
+        if target is None:
+            raise AuthorizationError(
+                f"{self.name} has no configured peer {destination!r}"
+            )
+        with self._lock:
+            home = self._files.get(user, {})
+            if path not in home:
+                raise AuthorizationError(f"no such file {path!r}")
+            data = home[path]
+
+        # Receive a delegation so the push runs under the *user's*
+        # identity at the destination — never under this server's.
+        send_json(channel, {"ok": True, "proceed": "delegate"})
+        credential = accept_delegation(channel, key_source=self.key_source)
+        if credential.identity != ctx.peer.identity:
+            raise AuthorizationError(
+                "transfer credential does not match the requesting identity"
+            )
+        with StorageClient(target, credential, self.validator) as remote:
+            stored = remote.store(dest_path, data)
+        return {
+            "ok": True,
+            "transferred": stored,
+            "destination": destination,
+            "dest_path": dest_path,
+        }
+
+
+class StorageClient(ServiceClient):
+    """Typed operations against a :class:`StorageService`."""
+
+    def store(self, path: str, data: bytes) -> int:
+        response = self.call(
+            {"op": "store", "path": path, "data": base64.b64encode(data).decode("ascii")}
+        )
+        return int(response["stored"])
+
+    def store_stream(self, path: str, chunks: Iterable[bytes]) -> int:
+        """Upload in chunks; suited to data larger than one frame."""
+        channel = self.channel
+        send_json(channel, {"op": "store_stream", "path": path})
+        go = recv_json(channel)
+        if not go.get("ok", False):
+            raise AuthorizationError(f"store_stream refused: {go.get('error')}")
+        for chunk in chunks:
+            if chunk:
+                channel.send(bytes(chunk))
+        channel.send(_STREAM_END)
+        response = recv_json(channel)
+        if not response.get("ok", False):
+            raise AuthorizationError(f"store_stream failed: {response.get('error')}")
+        return int(response["stored"])
+
+    def fetch_stream(self, path: str) -> Iterator[bytes]:
+        """Download in chunks (a generator; fully drains the stream)."""
+        channel = self.channel
+        send_json(channel, {"op": "fetch_stream", "path": path})
+        go = recv_json(channel)
+        if not go.get("ok", False):
+            raise AuthorizationError(f"fetch_stream refused: {go.get('error')}")
+
+        def _chunks() -> Iterator[bytes]:
+            while True:
+                chunk = channel.recv()
+                if chunk == _STREAM_END:
+                    break
+                yield chunk
+            final = recv_json(channel)
+            if not final.get("ok", False):  # pragma: no cover - send side done
+                raise AuthorizationError(f"fetch_stream failed: {final.get('error')}")
+
+        return _chunks()
+
+    def transfer(
+        self,
+        path: str,
+        *,
+        destination: str,
+        dest_path: str | None = None,
+        credential=None,
+        clock=None,
+    ) -> int:
+        """Third-party transfer: have the server push ``path`` to a peer.
+
+        ``credential`` is what gets delegated for the push (defaults to the
+        credential this client authenticated with).
+        """
+        from repro.util.clock import SYSTEM_CLOCK
+
+        channel = self.channel
+        send_json(
+            channel,
+            {
+                "op": "transfer",
+                "path": path,
+                "destination": destination,
+                "dest_path": dest_path or path,
+            },
+        )
+        go = recv_json(channel)
+        if not go.get("ok", False):
+            raise AuthorizationError(f"transfer refused: {go.get('error')}")
+        delegate_credential(
+            channel, credential or self.credential, clock=clock or SYSTEM_CLOCK
+        )
+        response = recv_json(channel)
+        if not response.get("ok", False):
+            raise AuthorizationError(f"transfer failed: {response.get('error')}")
+        return int(response["transferred"])
+
+    def fetch(self, path: str) -> bytes:
+        response = self.call({"op": "fetch", "path": path})
+        return base64.b64decode(response["data"])
+
+    def list(self) -> list[str]:
+        return list(self.call({"op": "list"})["files"])
+
+    def delete(self, path: str) -> bool:
+        return bool(self.call({"op": "delete", "path": path})["deleted"])

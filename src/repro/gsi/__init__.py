@@ -1,0 +1,18 @@
+"""GSI authorization pieces: gridmap files, DN access-control lists and the
+per-connection security context (§2.1, §5.1).
+
+Authentication (proving a DN) happens in :mod:`repro.transport`; this
+package answers the *authorization* questions that follow:
+
+- "Resources then typically have local configuration for mapping the DN to
+  a local identity" — :class:`~repro.gsi.gridmap.GridMap`;
+- "A list of authorized clients is defined by two access control lists" —
+  :class:`~repro.gsi.acl.AccessControlList`;
+- what a service knows about its peer — :class:`~repro.gsi.context.SecurityContext`.
+"""
+
+from repro.gsi.acl import AccessControlList
+from repro.gsi.context import SecurityContext
+from repro.gsi.gridmap import GridMap
+
+__all__ = ["AccessControlList", "GridMap", "SecurityContext"]

@@ -1,0 +1,77 @@
+"""DN-pattern access-control lists (§5.1).
+
+"The MyProxy repository authenticates all incoming connections, restricting
+service to authorized clients.  A list of authorized clients is defined by
+two access control lists, one for clients allowed to delegate to the
+repository (typically users), and a second for clients allowed to request
+delegations from the repository (typically portals)."
+
+Patterns are shell-style globs over the slash-form DN, matching the real
+server's ``accepted_credentials`` / ``authorized_retrievers`` configuration::
+
+    /O=Grid/OU=Example/CN=*          # any user in the example OU
+    /O=Grid/CN=host/portal.*         # the portal hosts
+    *                                # everyone (a CA-authenticated DN is
+                                     # still required — this is post-auth)
+
+Matching is against the *base identity*: a portal authenticating with a
+proxy of its host credential matches patterns written for the host DN.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+from collections.abc import Iterable
+
+from repro.pki.names import DistinguishedName
+from repro.util.errors import ConfigError
+
+
+class AccessControlList:
+    """An ordered list of allow patterns (deny-by-default)."""
+
+    def __init__(self, patterns: Iterable[str] = (), *, name: str = "acl") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._patterns: list[str] = []
+        for pattern in patterns:
+            self.add(pattern)
+
+    @classmethod
+    def allow_all(cls, name: str = "acl") -> AccessControlList:
+        return cls(["*"], name=name)
+
+    @classmethod
+    def deny_all(cls, name: str = "acl") -> AccessControlList:
+        return cls([], name=name)
+
+    def add(self, pattern: str) -> None:
+        pattern = pattern.strip()
+        if not pattern:
+            raise ConfigError("empty ACL pattern")
+        if pattern != "*" and not pattern.startswith("/"):
+            raise ConfigError(
+                f"ACL pattern must be '*' or a slash-form DN glob: {pattern!r}"
+            )
+        with self._lock:
+            self._patterns.append(pattern)
+
+    def remove(self, pattern: str) -> None:
+        with self._lock:
+            self._patterns = [p for p in self._patterns if p != pattern]
+
+    @property
+    def patterns(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._patterns)
+
+    def allows(self, dn: DistinguishedName) -> bool:
+        """True iff the DN's base identity matches any allow pattern."""
+        subject = str(dn.base_identity())
+        with self._lock:
+            patterns = list(self._patterns)
+        return any(fnmatch.fnmatchcase(subject, pattern) for pattern in patterns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AccessControlList {self.name} patterns={self.patterns}>"

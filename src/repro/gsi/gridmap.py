@@ -1,0 +1,94 @@
+"""The gridmap file: DN → local account mapping (§2.1).
+
+"Unix hosts have a file containing DN and username pairs."  The on-disk
+format matches Globus's ``grid-mapfile``::
+
+    "/O=Grid/OU=Example/CN=Alice" alice
+    "/O=Grid/OU=Example/CN=Bob" bob
+
+Lookups are always performed on the *effective identity* (proxy CNs
+stripped), so a delegated proxy maps to the same account as the user's own
+certificate — the property that makes delegation useful at all.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.pki.names import DistinguishedName
+from repro.util.errors import AuthorizationError, ConfigError
+
+_LINE = re.compile(r'^"(?P<dn>[^"]+)"\s+(?P<user>\S+)\s*$')
+
+
+class GridMap:
+    """Thread-safe DN → local-username map with grid-mapfile persistence."""
+
+    def __init__(self, entries: Iterable[tuple[DistinguishedName, str]] = ()) -> None:
+        self._lock = threading.Lock()
+        self._map: dict[DistinguishedName, str] = {}
+        for dn, user in entries:
+            self.add(dn, user)
+
+    def add(self, dn: DistinguishedName, local_user: str) -> None:
+        if dn.last_cn_is_proxy:
+            raise ConfigError("gridmap entries must use base identities, not proxies")
+        if not local_user or not local_user.isprintable() or " " in local_user:
+            raise ConfigError(f"bad local username {local_user!r}")
+        with self._lock:
+            self._map[dn] = local_user
+
+    def remove(self, dn: DistinguishedName) -> None:
+        with self._lock:
+            self._map.pop(dn, None)
+
+    def lookup(self, dn: DistinguishedName) -> str:
+        """Map an authenticated DN to a local account or raise.
+
+        The DN is reduced to its base identity first, so proxies of any
+        depth resolve to their owner's account.
+        """
+        base = dn.base_identity()
+        with self._lock:
+            user = self._map.get(base)
+        if user is None:
+            raise AuthorizationError(f"no gridmap entry for {base}")
+        return user
+
+    def knows(self, dn: DistinguishedName) -> bool:
+        with self._lock:
+            return dn.base_identity() in self._map
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._map)
+
+    # -- file format ----------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> GridMap:
+        gridmap = cls()
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            match = _LINE.match(line)
+            if match is None:
+                raise ConfigError(f"gridmap line {lineno} is malformed: {raw!r}")
+            gridmap.add(DistinguishedName.parse(match["dn"]), match["user"])
+        return gridmap
+
+    @classmethod
+    def load(cls, path: str | Path) -> GridMap:
+        return cls.parse(Path(path).read_text("utf-8"))
+
+    def dump(self) -> str:
+        with self._lock:
+            items = sorted(self._map.items(), key=lambda kv: str(kv[0]))
+        return "".join(f'"{dn}" {user}\n' for dn, user in items)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.dump(), "utf-8")

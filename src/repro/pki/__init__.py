@@ -1,0 +1,42 @@
+"""Public Key Infrastructure substrate (paper §2.1, §2.3).
+
+This package provides everything the GSI layer of the paper assumes:
+
+- :mod:`repro.pki.names` — Distinguished Names in the Globus slash form
+  (``/O=Grid/OU=Example/CN=Alice``).
+- :mod:`repro.pki.keys` — RSA key pairs, signing, encrypted PEM storage.
+- :mod:`repro.pki.certs` — X.509 certificate wrapper and inspection.
+- :mod:`repro.pki.ca` — a Certificate Authority with lifetime policy and
+  revocation, playing the role of the Grid CAs of §2.1.
+- :mod:`repro.pki.proxy` — GSI *proxy certificates* (§2.3): short-term
+  credentials signed by the user's long-term key, including *limited*
+  proxies and the *restricted* proxies of §6.5.
+- :mod:`repro.pki.validation` — certificate-chain validation including the
+  proxy-specific rules that stock X.509 validators do not know.
+- :mod:`repro.pki.credentials` — the ``Credential`` bundle (certificate +
+  private key + chain), encrypted serialization and the on-disk store with
+  Unix-permission semantics (§3.2's "protected only by file system
+  permissions").
+"""
+
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certs import Certificate
+from repro.pki.credentials import Credential, CredentialStore
+from repro.pki.keys import KeyPair
+from repro.pki.names import DistinguishedName
+from repro.pki.proxy import ProxyRestrictions, ProxyType, create_proxy
+from repro.pki.validation import ChainValidator, ValidatedIdentity
+
+__all__ = [
+    "CertificateAuthority",
+    "Certificate",
+    "ChainValidator",
+    "Credential",
+    "CredentialStore",
+    "DistinguishedName",
+    "KeyPair",
+    "ProxyRestrictions",
+    "ProxyType",
+    "ValidatedIdentity",
+    "create_proxy",
+]

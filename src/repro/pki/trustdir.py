@@ -1,0 +1,132 @@
+"""Trust-anchor directories (the ``/etc/grid-security/certificates`` model).
+
+Grid hosts in the paper's era did not configure trust in code: operators
+dropped CA certificates (and their CRLs) into a well-known directory, named
+by a hash of the CA's subject so lookups are O(1):
+
+.. code-block:: text
+
+    certificates/
+        a1b2c3d4.0        # CA certificate (PEM)
+        a1b2c3d4.r0       # its CRL (signed; JSON in this reproduction)
+        9f8e7d6c.0        # a second CA
+        ...
+
+:class:`TrustDirectory` reads and writes that layout and builds a ready
+:class:`~repro.pki.validation.ChainValidator` from it — CRLs are verified
+against their CA before installation, and unverifiable files are reported,
+not silently skipped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+from repro.pki.ca import CertificateRevocationList, validate_crl
+from repro.pki.certs import Certificate
+from repro.pki.names import DistinguishedName
+from repro.pki.validation import ChainValidator
+from repro.util.clock import SYSTEM_CLOCK, Clock
+from repro.util.errors import ValidationError
+from repro.util.logging import get_logger
+
+logger = get_logger("pki.trustdir")
+
+
+def subject_hash(name: DistinguishedName) -> str:
+    """The 8-hex-digit directory hash of a CA subject."""
+    return hashlib.sha256(str(name).encode("utf-8")).hexdigest()[:8]
+
+
+class TrustDirectory:
+    """One hashed trust-anchor directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- installation (the operator side) ------------------------------------
+
+    def install_ca(self, certificate: Certificate) -> Path:
+        """Drop a CA certificate in, named by its subject hash."""
+        if not certificate.is_ca:
+            raise ValidationError("only CA certificates belong in a trust directory")
+        if not certificate.signed_by(certificate.public_key):
+            raise ValidationError("trust-directory CAs must be self-signed roots")
+        path = self.root / f"{subject_hash(certificate.subject)}.0"
+        path.write_bytes(certificate.to_pem())
+        return path
+
+    def install_crl(self, crl: CertificateRevocationList) -> Path:
+        """Drop a CRL in next to its CA (which must already be installed)."""
+        ca = self._ca_for(crl.issuer)
+        if ca is None:
+            raise ValidationError(
+                f"no installed CA for CRL issuer {crl.issuer}"
+            )
+        validate_crl(crl, ca)
+        path = self.root / f"{subject_hash(crl.issuer)}.r0"
+        path.write_text(crl.to_json(), "utf-8")
+        return path
+
+    def remove_ca(self, name: DistinguishedName) -> bool:
+        """Withdraw trust in a CA (certificate and CRL both removed)."""
+        digest = subject_hash(name)
+        removed = False
+        for suffix in (".0", ".r0"):
+            path = self.root / f"{digest}{suffix}"
+            if path.exists():
+                path.unlink()
+                removed = True
+        return removed
+
+    # -- loading (the service side) ---------------------------------------------
+
+    def _ca_for(self, name: DistinguishedName) -> Certificate | None:
+        path = self.root / f"{subject_hash(name)}.0"
+        if not path.exists():
+            return None
+        return Certificate.from_pem(path.read_bytes())
+
+    def anchors(self) -> list[Certificate]:
+        found = []
+        for path in sorted(self.root.glob("*.0")):
+            try:
+                cert = Certificate.from_pem(path.read_bytes())
+            except ValidationError as exc:
+                logger.warning("skipping unreadable anchor %s: %s", path, exc)
+                continue
+            expected = f"{subject_hash(cert.subject)}.0"
+            if path.name != expected:
+                logger.warning(
+                    "skipping %s: name does not match subject hash (%s)",
+                    path, expected,
+                )
+                continue
+            found.append(cert)
+        return found
+
+    def crls(self) -> list[CertificateRevocationList]:
+        found = []
+        for path in sorted(self.root.glob("*.r0")):
+            try:
+                found.append(CertificateRevocationList.from_json(path.read_text("utf-8")))
+            except ValidationError as exc:
+                logger.warning("skipping unreadable CRL %s: %s", path, exc)
+        return found
+
+    def build_validator(self, *, clock: Clock = SYSTEM_CLOCK, **kwargs) -> ChainValidator:
+        """A validator trusting exactly this directory's contents.
+
+        CRLs whose signature does not verify against their installed CA are
+        rejected loudly (a tampered trust directory must not fail open into
+        "nothing is revoked").
+        """
+        anchors = self.anchors()
+        if not anchors:
+            raise ValidationError(f"trust directory {self.root} holds no CAs")
+        validator = ChainValidator(anchors, clock=clock, **kwargs)
+        for crl in self.crls():
+            validator.update_crl(crl)  # raises on bad signature/unknown CA
+        return validator

@@ -1,0 +1,227 @@
+"""Certificate-chain validation, including the GSI proxy rules (§2.1–§2.3).
+
+Stock X.509 validators reject proxy chains — the "issuer" of a proxy is an
+end-entity certificate, which classic path validation forbids.  This module
+implements the GSI path algorithm:
+
+1. the chain (leaf first) must terminate in a certificate issued by a
+   configured *trust anchor* (a CA root);
+2. the certificate directly under the CA is the end-entity certificate
+   (EEC): not CA-shaped, not proxy-shaped, CRL-checked against its CA;
+3. every certificate below the EEC must follow the proxy rules — subject is
+   the issuer's subject plus one ``CN=proxy``/``CN=limited proxy``
+   component, signed by the issuer's key, not a CA, and *limitation
+   propagates*: below a limited proxy only limited proxies may appear;
+4. every certificate must be inside its own validity window (± skew);
+5. restriction extensions (§6.5) intersect along the chain.
+
+The output, :class:`ValidatedIdentity`, is what every authorization decision
+in the system consumes: the effective user DN, the proxy type, and the
+effective restrictions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.pki.ca import CertificateRevocationList, validate_crl
+from repro.pki.certs import CLOCK_SKEW, Certificate
+from repro.pki.names import DistinguishedName
+from repro.pki.proxy import ProxyRestrictions, ProxyType, effective_restrictions
+from repro.util.clock import SYSTEM_CLOCK, Clock
+from repro.util.errors import ExpiredError, RevokedError, ValidationError
+
+MAX_PROXY_DEPTH = 16
+"""Hard ceiling on delegation chain length, against pathological chains."""
+
+
+@dataclass(frozen=True)
+class ValidatedIdentity:
+    """The result of successful chain validation."""
+
+    subject: DistinguishedName
+    identity: DistinguishedName
+    proxy_type: ProxyType
+    proxy_depth: int
+    restrictions: ProxyRestrictions
+    leaf: Certificate
+    eec: Certificate
+    anchor: Certificate
+
+    @property
+    def is_limited(self) -> bool:
+        return self.proxy_type is ProxyType.LIMITED
+
+    def permits(self, operation: str, resource: str | None = None) -> bool:
+        """Restriction check a Grid service applies before serving (§6.5)."""
+        return self.restrictions.permits(operation, resource)
+
+    @property
+    def not_after(self) -> float:
+        """Earliest expiry along the validated chain."""
+        return self.leaf.not_after
+
+
+class ChainValidator:
+    """Validates certificate chains against a set of trusted CA roots.
+
+    Thread-safe; one validator is typically shared by a whole server.  CRLs
+    are pushed in via :meth:`update_crl` (pull-based distribution, as in
+    deployed Grid CAs).
+    """
+
+    def __init__(
+        self,
+        trust_anchors: Sequence[Certificate],
+        *,
+        clock: Clock = SYSTEM_CLOCK,
+        skew: float = CLOCK_SKEW,
+        max_proxy_depth: int = MAX_PROXY_DEPTH,
+        crl_max_age: float | None = None,
+    ) -> None:
+        self.clock = clock
+        self.skew = skew
+        self.max_proxy_depth = max_proxy_depth
+        #: If set, EECs are refused when their CA's CRL is *missing or
+        #: older* than this many seconds — the strict mode for sites that
+        #: treat "no fresh revocation data" as "no" (defaults to lenient,
+        #: as deployed Grid validators were).
+        self.crl_max_age = crl_max_age
+        self._anchors: dict[DistinguishedName, Certificate] = {}
+        for anchor in trust_anchors:
+            if not anchor.is_ca:
+                raise ValidationError(f"trust anchor {anchor.subject} is not a CA")
+            if not anchor.signed_by(anchor.public_key):
+                raise ValidationError(f"trust anchor {anchor.subject} is not self-signed")
+            self._anchors[anchor.subject] = anchor
+        if not self._anchors:
+            raise ValidationError("a validator needs at least one trust anchor")
+        self._crls: dict[DistinguishedName, CertificateRevocationList] = {}
+
+    @property
+    def anchors(self) -> tuple[Certificate, ...]:
+        return tuple(self._anchors.values())
+
+    def add_anchor(self, anchor: Certificate) -> None:
+        if not anchor.is_ca or not anchor.signed_by(anchor.public_key):
+            raise ValidationError("refusing non-self-signed trust anchor")
+        self._anchors[anchor.subject] = anchor
+
+    def update_crl(self, crl: CertificateRevocationList) -> None:
+        """Install a CRL after verifying its signature against its CA."""
+        anchor = self._anchors.get(crl.issuer)
+        if anchor is None:
+            raise ValidationError(f"CRL from unknown CA {crl.issuer}")
+        validate_crl(crl, anchor)
+        self._crls[crl.issuer] = crl
+
+    @property
+    def crls(self) -> tuple[CertificateRevocationList, ...]:
+        """The installed CRLs (for redistribution — see TRUSTROOTS)."""
+        return tuple(self._crls.values())
+
+    # -- the path algorithm ---------------------------------------------------
+
+    def validate(self, chain: Sequence[Certificate]) -> ValidatedIdentity:
+        """Validate ``chain`` (leaf first) and return the proven identity.
+
+        Raises :class:`ValidationError` (or a subclass —
+        :class:`ExpiredError`, :class:`RevokedError`) on any defect.
+        """
+        certs = [c for c in chain]
+        if not certs:
+            raise ValidationError("empty certificate chain")
+        # Peers may append the CA root itself; drop it, we trust our own copy.
+        while certs and certs[-1].subject in self._anchors:
+            dropped = certs.pop()
+            if self._anchors[dropped.subject].raw != dropped.raw:
+                raise ValidationError(
+                    f"chain carries a different certificate for trusted CA "
+                    f"{dropped.subject}"
+                )
+        if not certs:
+            raise ValidationError("chain contains only the trust anchor")
+        if len(certs) - 1 > self.max_proxy_depth:
+            raise ValidationError(
+                f"proxy chain depth {len(certs) - 1} exceeds maximum "
+                f"{self.max_proxy_depth}"
+            )
+
+        now = self.clock.now()
+        top = certs[-1]
+        anchor = self._anchors.get(top.issuer)
+        if anchor is None:
+            raise ValidationError(f"chain does not reach a trusted CA: {top.issuer}")
+        if not anchor.valid_at(now, self.skew):
+            raise ExpiredError(f"trust anchor {anchor.subject} is outside validity")
+        self._check_one(top, parent_key=anchor.public_key, now=now, label="EEC")
+        if top.is_ca:
+            raise ValidationError("end-entity certificate asserts CA=TRUE")
+        if top.subject.last_cn_is_proxy:
+            raise ValidationError("CA-issued certificate has a proxy-shaped subject")
+        crl = self._crls.get(anchor.subject)
+        if self.crl_max_age is not None:
+            if crl is None:
+                raise ValidationError(
+                    f"no CRL installed for {anchor.subject} (strict mode)"
+                )
+            if now - crl.issued_at > self.crl_max_age:
+                raise ValidationError(
+                    f"CRL for {anchor.subject} is {now - crl.issued_at:.0f}s old "
+                    f"(max {self.crl_max_age:.0f}s)"
+                )
+        if crl is not None and crl.is_revoked(top.serial):
+            raise RevokedError(f"certificate {top.subject} (serial {top.serial}) is revoked")
+
+        # Walk downward from the EEC to the leaf, enforcing proxy rules.
+        limited_seen = False
+        for child_index in range(len(certs) - 2, -1, -1):
+            child = certs[child_index]
+            parent = certs[child_index + 1]
+            self._check_one(child, parent_key=parent.public_key, now=now, label="proxy")
+            if child.is_ca:
+                raise ValidationError("proxy certificate asserts CA=TRUE")
+            if not child.subject.is_proxy_of(parent.subject):
+                raise ValidationError(
+                    f"{child.subject} does not follow the proxy naming rule "
+                    f"for issuer {parent.subject}"
+                )
+            if child.issuer != parent.subject:
+                raise ValidationError("proxy issuer field does not match signer subject")
+            is_limited = child.subject.last_cn_is_limited
+            if limited_seen and not is_limited:
+                raise ValidationError(
+                    "full proxy appears below a limited proxy (limitation must propagate)"
+                )
+            limited_seen = limited_seen or is_limited
+
+        restrictions = effective_restrictions(tuple(certs))
+        if restrictions.max_delegation_depth is not None and restrictions.max_delegation_depth < 0:
+            raise ValidationError("delegation depth restriction exceeded")
+
+        leaf = certs[0]
+        return ValidatedIdentity(
+            subject=leaf.subject,
+            identity=leaf.subject.base_identity(),
+            proxy_type=ProxyType.of(leaf),
+            proxy_depth=len(certs) - 1,
+            restrictions=restrictions,
+            leaf=leaf,
+            eec=top,
+            anchor=anchor,
+        )
+
+    def _check_one(
+        self, cert: Certificate, *, parent_key, now: float, label: str
+    ) -> None:
+        if not cert.signed_by(parent_key):
+            raise ValidationError(
+                f"bad signature on {label} certificate {cert.subject}"
+            )
+        if now < cert.not_before - self.skew:
+            raise ValidationError(
+                f"{label} certificate {cert.subject} is not yet valid"
+            )
+        if now > cert.not_after + self.skew:
+            raise ExpiredError(f"{label} certificate {cert.subject} has expired")

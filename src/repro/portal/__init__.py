@@ -1,0 +1,17 @@
+"""The Grid Portal (§3, §4.3, Figure 3).
+
+"By combining a web server and Grid-enabled software, a Grid Portal allows
+the use of a standard Web browser as a simple graphical client for Grid
+applications."
+
+:class:`~repro.portal.portal.GridPortal` wires the web stack to the Grid:
+a browser logs in with its MyProxy user identity and pass phrase (step 1),
+the portal authenticates to a MyProxy repository with its *own* credential
+and requests a delegation (step 2), the repository delegates the user's
+proxy back (step 3), and from then on the portal submits jobs and moves
+files *as the user* until logout deletes the proxy or it expires.
+"""
+
+from repro.portal.portal import GridPortal, PortalConfig
+
+__all__ = ["GridPortal", "PortalConfig"]

@@ -1,0 +1,152 @@
+"""HTML rendering for the Grid portal.
+
+Era-appropriate server-rendered pages: forms and tables, no scripts.  Kept
+separate from the route logic so the portal's security behaviour is easy to
+audit in :mod:`repro.portal.portal`.
+"""
+
+from __future__ import annotations
+
+import html
+
+
+def _page(title: str, body: str) -> str:
+    return (
+        "<!DOCTYPE html><html><head>"
+        f"<title>{html.escape(title)}</title></head>"
+        f"<body><h1>{html.escape(title)}</h1>{body}"
+        "<hr><p><em>MyProxy Grid Portal (HPDC 2001 reproduction)</em></p>"
+        "</body></html>"
+    )
+
+
+def login_page(
+    *, portal_name: str, repositories: list[str], error: str = "", insecure: bool = False
+) -> str:
+    notice = ""
+    if error:
+        notice += f'<p class="error"><b>Login failed:</b> {html.escape(error)}</p>'
+    if insecure:
+        notice += (
+            "<p><b>Warning:</b> this connection is not secured with SSL; "
+            "logins are disabled (see the portal security policy).</p>"
+        )
+    options = "".join(
+        f'<option value="{html.escape(r)}">{html.escape(r)}</option>' for r in repositories
+    )
+    body = f"""
+    {notice}
+    <form method="POST" action="/login">
+      <p>MyProxy user name: <input name="username"></p>
+      <p>Pass phrase: <input type="password" name="passphrase"></p>
+      <p>Credential name (wallet, §6.2): <input name="cred_name" value="default"></p>
+      <p>Repository: <select name="repository">{options}</select></p>
+      <p>Proxy lifetime (hours): <input name="lifetime_hours" value="2"></p>
+      <p>Auth method:
+        <select name="auth_method">
+          <option value="passphrase">pass phrase</option>
+          <option value="otp">one-time password</option>
+          <option value="site">site ticket</option>
+        </select></p>
+      <p><input type="submit" value="Log in to the Grid"></p>
+    </form>
+    """
+    return _page(f"{portal_name} — Grid Login", body)
+
+
+def dashboard_page(
+    *,
+    portal_name: str,
+    username: str,
+    identity: str,
+    proxy_seconds_left: float,
+    repository: str,
+) -> str:
+    body = f"""
+    <p>Logged in as <b>{html.escape(username)}</b>
+       (Grid identity <code>{html.escape(identity)}</code>)
+       via repository <b>{html.escape(repository)}</b>.</p>
+    <p>Delegated proxy lifetime remaining:
+       <b>{proxy_seconds_left:.0f} seconds</b>.</p>
+    <ul>
+      <li><a href="/jobs">Jobs</a></li>
+      <li><a href="/files">Files</a></li>
+    </ul>
+    <form method="POST" action="/logout"><input type="submit" value="Log out"></form>
+    """
+    return _page(f"{portal_name} — Dashboard", body)
+
+
+def jobs_page(*, portal_name: str, jobs: list[dict], message: str = "") -> str:
+    def _cancel_cell(job: dict) -> str:
+        if job.get("state") != "active":
+            return "<td></td>"
+        job_id = html.escape(str(job.get("job_id")))
+        return (
+            '<td><form method="POST" action="/jobs/cancel">'
+            f'<input type="hidden" name="job_id" value="{job_id}">'
+            '<input type="submit" value="Cancel"></form></td>'
+        )
+
+    rows = "".join(
+        "<tr>"
+        f"<td>{html.escape(str(j.get('job_id')))}</td>"
+        f"<td>{html.escape(str(j.get('state')))}</td>"
+        f"<td>{html.escape(str(j.get('kind')))}</td>"
+        f"<td>{float(j.get('remaining', 0.0)):.0f}s</td>"
+        f"<td>{html.escape(str(j.get('detail', '')))}</td>"
+        f"{_cancel_cell(j)}"
+        "</tr>"
+        for j in jobs
+    )
+    note = f"<p><b>{html.escape(message)}</b></p>" if message else ""
+    body = f"""
+    {note}
+    <table border="1">
+      <tr><th>Job</th><th>State</th><th>Kind</th><th>Remaining</th><th>Detail</th><th></th></tr>
+      {rows or '<tr><td colspan="6">no jobs</td></tr>'}
+    </table>
+    <h2>Submit a job</h2>
+    <form method="POST" action="/jobs">
+      <p>Kind:
+        <select name="kind">
+          <option value="compute">compute</option>
+          <option value="compute-store">compute + store result</option>
+        </select></p>
+      <p>Duration (seconds): <input name="duration" value="60"></p>
+      <p>Output path: <input name="output_path" value="result.dat"></p>
+      <p><input type="submit" value="Submit"></p>
+    </form>
+    <p><a href="/portal">Back to dashboard</a></p>
+    """
+    return _page(f"{portal_name} — Jobs", body)
+
+
+def files_page(*, portal_name: str, files: list[str], message: str = "") -> str:
+    from urllib.parse import quote
+
+    rows = "".join(
+        f'<li><code>{html.escape(f)}</code> '
+        f'(<a href="/files/download?path={quote(f, safe="")}">download</a>)</li>'
+        for f in files
+    )
+    note = f"<p><b>{html.escape(message)}</b></p>" if message else ""
+    body = f"""
+    {note}
+    <ul>{rows or '<li>no files</li>'}</ul>
+    <h2>Store a file</h2>
+    <form method="POST" action="/files">
+      <p>Path: <input name="path" value="notes.txt"></p>
+      <p>Content: <input name="content" value="hello grid"></p>
+      <p><input type="submit" value="Store"></p>
+    </form>
+    <p><a href="/portal">Back to dashboard</a></p>
+    """
+    return _page(f"{portal_name} — Files", body)
+
+
+def logged_out_page(portal_name: str) -> str:
+    return _page(
+        f"{portal_name} — Logged out",
+        '<p>Your delegated credential has been destroyed.</p><p><a href="/">Log in again</a></p>',
+    )

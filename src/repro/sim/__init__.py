@@ -1,0 +1,37 @@
+"""A discrete-event performance model of a MyProxy deployment.
+
+The in-process benchmarks (B1) measure one CPython process, where the GIL
+hides the scaling behaviour a real multi-core / multi-process deployment
+would show.  This package answers the §3.3 sizing questions analytically:
+*how many concurrent portals can one repository host serve before retrieval
+latency blows up, and where is the knee?*
+
+- :mod:`repro.sim.des` — a minimal event-driven simulation core;
+- :mod:`repro.sim.model` — the repository as a ``c``-server queue with
+  measured per-operation service times (calibrated against
+  ``bench_fig2_retrieval``), plus workload generators (steady Poisson
+  traffic and the "morning login storm").
+
+The model is validated against M/M/c queueing theory in
+``tests/sim/`` and drives ``examples/load_model.py``.
+"""
+
+from repro.sim.des import Simulator
+from repro.sim.model import (
+    RepositoryModel,
+    ServiceTimes,
+    SimulationResult,
+    simulate_burst,
+    simulate_load,
+    sweep_offered_load,
+)
+
+__all__ = [
+    "RepositoryModel",
+    "ServiceTimes",
+    "SimulationResult",
+    "Simulator",
+    "simulate_burst",
+    "simulate_load",
+    "sweep_offered_load",
+]

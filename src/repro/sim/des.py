@@ -1,0 +1,52 @@
+"""A minimal discrete-event simulation core.
+
+Classic event-list design: a priority queue of ``(time, seq, action)``
+entries, a clock that jumps from event to event, and nothing else.  The
+``seq`` tiebreaker makes simultaneous events deterministic, which keeps
+every simulation reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+
+
+class Simulator:
+    """An event loop over virtual time."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue, (self.now + delay, next(self._seq), action))
+
+    def run_until(self, horizon: float) -> None:
+        """Process events in order until the clock would pass ``horizon``."""
+        while self._queue and self._queue[0][0] <= horizon:
+            time, _seq, action = heapq.heappop(self._queue)
+            self.now = time
+            self.events_processed += 1
+            action()
+        self.now = max(self.now, horizon)
+
+    def run_all(self, hard_limit: int = 10_000_000) -> None:
+        """Drain the queue completely (bounded against runaway models)."""
+        while self._queue:
+            if self.events_processed >= hard_limit:
+                raise RuntimeError("simulation exceeded the event hard limit")
+            time, _seq, action = heapq.heappop(self._queue)
+            self.now = time
+            self.events_processed += 1
+            action()
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,130 @@
+"""The :class:`SecureChannel` — what applications actually use.
+
+After a successful handshake, a channel moves byte messages with privacy,
+integrity and in-order replay protection (§2.2), and exposes the peer's
+validated identity for authorization decisions (gridmap lookups, the
+MyProxy ACLs).
+
+Channels are full-duplex and safe for one reader plus one writer thread,
+matching the request/response protocols built on top.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.pki.credentials import Credential
+from repro.pki.validation import ChainValidator, ValidatedIdentity
+from repro.transport.handshake import HandshakeResult, client_handshake, server_handshake
+from repro.transport.links import Link, connect_tcp
+from repro.transport.records import ContentType
+from repro.util.errors import TransportError
+
+_ALERT_CLOSE = b"close notify"
+
+
+class SecureChannel:
+    """An authenticated, encrypted message channel over a :class:`Link`."""
+
+    def __init__(self, link: Link, result: HandshakeResult) -> None:
+        self._link = link
+        #: ``None`` for an anonymous (browser-style) client, on the server side.
+        self.peer: ValidatedIdentity | None = result.peer
+        self.is_client = result.is_client
+        # Continue the handshake's record streams: their sequence numbers
+        # already cover the Finished messages, so no AES-GCM nonce repeats.
+        self._writer = result.writer
+        self._reader = result.reader
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._closed = False
+
+    # -- data ---------------------------------------------------------------
+
+    def send(self, message: bytes) -> None:
+        """Encrypt and send one application message."""
+        with self._send_lock:
+            if self._closed:
+                raise TransportError("channel is closed")
+            self._link.send_frame(self._writer.seal(ContentType.DATA, message))
+
+    def recv(self) -> bytes:
+        """Receive the next application message.
+
+        Raises :class:`TransportError` once the peer closes the channel.
+        """
+        with self._recv_lock:
+            while True:
+                if self._closed:
+                    raise TransportError("channel is closed")
+                ctype, payload = self._reader.open(self._link.recv_frame())
+                if ctype is ContentType.DATA:
+                    return payload
+                if ctype is ContentType.ALERT:
+                    self._closed = True
+                    raise TransportError(
+                        f"peer closed channel: {payload.decode('utf-8', 'replace')}"
+                    )
+                raise TransportError(f"unexpected record type {ctype} after handshake")
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Send a close alert (best effort) and shut the link."""
+        with self._send_lock:
+            if not self._closed:
+                self._closed = True
+                try:
+                    self._link.send_frame(
+                        self._writer.seal(ContentType.ALERT, _ALERT_CLOSE)
+                    )
+                except TransportError:
+                    pass
+        self._link.close()
+
+    def __enter__(self) -> SecureChannel:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def connect_secure(
+    target: Link | tuple[str, int],
+    credential: Credential | None,
+    validator: ChainValidator,
+    *,
+    timeout: float = 10.0,
+) -> SecureChannel:
+    """Open a channel as the initiating (client) side.
+
+    ``target`` is an existing :class:`Link` (tests, pipes) or a
+    ``(host, port)`` TCP endpoint.  ``credential=None`` connects
+    anonymously (browser-style); GSI services will refuse that.
+    """
+    link = target if isinstance(target, Link) else connect_tcp(*target, timeout=timeout)
+    try:
+        return SecureChannel(link, client_handshake(link, credential, validator))
+    except Exception:
+        link.close()
+        raise
+
+
+def accept_secure(
+    link: Link,
+    credential: Credential,
+    validator: ChainValidator,
+    *,
+    allow_anonymous: bool = False,
+) -> SecureChannel:
+    """Open a channel as the accepting (server) side."""
+    try:
+        return SecureChannel(
+            link,
+            server_handshake(
+                link, credential, validator, allow_anonymous=allow_anonymous
+            ),
+        )
+    except Exception:
+        link.close()
+        raise

@@ -1,0 +1,309 @@
+"""The mutual-authentication handshake (§2.2).
+
+Structure follows SSL 3.0 with certificate-based client authentication,
+the configuration GSI always runs:
+
+.. code-block:: text
+
+    client                                  server
+    ------                                  ------
+    ClientHello(random, cert chain)  ---->
+                                     <----  ServerHello(random, cert chain)
+                                     <----  ServerVerify(sig over transcript)
+    KeyExchange(RSA-OAEP(pre_master)) ---->
+    ClientVerify(sig over transcript) ---->
+    [keys derived on both sides]
+    Finished(client MAC)  ~~encrypted~~~->
+                          <~~encrypted~~~  Finished(server MAC)
+
+Both certificate chains are validated with the full GSI proxy rules
+(:class:`repro.pki.validation.ChainValidator`) — this is what lets a portal
+authenticate to the MyProxy server with a *proxy* credential, and what makes
+impersonating the repository fail (§5.1: "MyProxy clients also require
+mutual authentication of the repository").
+
+The two ``*Verify`` signatures prove possession of the private keys; the
+``Finished`` MACs (sent under the derived keys) prove both sides derived the
+same secrets and saw the same transcript.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.pki.credentials import Credential
+from repro.pki.validation import ChainValidator, ValidatedIdentity
+from repro.transport.kdf import (
+    PRE_MASTER_LEN,
+    RANDOM_LEN,
+    SessionKeys,
+    TranscriptHash,
+    derive_session_keys,
+    finished_mac,
+    macs_equal,
+)
+from repro.transport.links import Link
+from repro.transport.records import ContentType, RecordReader, RecordWriter
+from repro.util.encoding import pack_fields, unpack_fields
+from repro.util.errors import HandshakeError, IntegrityError, TransportError, ValidationError
+
+PROTOCOL_VERSION = b"GSIv1"
+
+_T_CLIENT_HELLO = b"CH"
+_T_SERVER_HELLO = b"SH"
+_T_SERVER_VERIFY = b"SV"
+_T_KEY_EXCHANGE = b"KX"
+_T_CLIENT_VERIFY = b"CV"
+_T_FINISHED = b"FN"
+_T_FAILURE = b"HF"
+
+_LABEL_CLIENT = b"client finished"
+_LABEL_SERVER = b"server finished"
+
+
+@dataclass(frozen=True)
+class HandshakeResult:
+    """Everything a channel needs after a successful handshake.
+
+    ``peer`` is ``None`` when the peer authenticated anonymously (only
+    possible for clients, only when the server allows it — the Web-browser
+    case of §3.2, where the user's Grid credentials are not available).
+
+    The record ``writer``/``reader`` are the same objects that sealed and
+    opened the Finished messages, so their sequence numbers continue into
+    the data phase — re-keying from zero with the same keys would reuse an
+    AES-GCM nonce, which must never happen.
+    """
+
+    keys: SessionKeys
+    peer: ValidatedIdentity | None
+    is_client: bool
+    writer: RecordWriter
+    reader: RecordReader
+
+
+def _fail(link: Link, reason: str) -> None:
+    """Best-effort failure notice to the peer, then raise."""
+    try:
+        link.send_frame(pack_fields([_T_FAILURE, reason.encode("utf-8")]))
+    except TransportError:
+        pass
+    raise HandshakeError(reason)
+
+
+def _expect(message: bytes, expected_type: bytes, link: Link) -> list[bytes]:
+    fields = unpack_fields(message)
+    if not fields:
+        _fail(link, "empty handshake message")
+    if fields[0] == _T_FAILURE:
+        detail = fields[1].decode("utf-8", "replace") if len(fields) > 1 else "unknown"
+        raise HandshakeError(f"peer aborted handshake: {detail}")
+    if fields[0] != expected_type:
+        _fail(
+            link,
+            f"unexpected handshake message {fields[0]!r}, wanted {expected_type!r}",
+        )
+    return fields
+
+
+def _validate_peer_chain(
+    link: Link, validator: ChainValidator, chain_pem: bytes, who: str
+) -> ValidatedIdentity:
+    from repro.pki.certs import Certificate
+
+    try:
+        chain = Certificate.list_from_pem(chain_pem)
+        return validator.validate(chain)
+    except ValidationError as exc:
+        _fail(link, f"{who} certificate chain rejected: {exc}")
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+def client_handshake(
+    link: Link, credential: Credential | None, validator: ChainValidator
+) -> HandshakeResult:
+    """Run the client side of the handshake over ``link``.
+
+    ``credential=None`` performs an *anonymous* (server-auth-only)
+    handshake — standard Web SSL, what a browser does.  GSI services refuse
+    it; the portal's HTTPS front door accepts it.
+    """
+    if credential is not None and credential.key is None:
+        raise HandshakeError("client credential has no private key")
+    transcript = TranscriptHash()
+    client_random = secrets.token_bytes(RANDOM_LEN)
+    chain_pem = (
+        b"".join(c.to_pem() for c in credential.full_chain())
+        if credential is not None
+        else b""
+    )
+
+    hello = pack_fields([_T_CLIENT_HELLO, PROTOCOL_VERSION, client_random, chain_pem])
+    link.send_frame(hello)
+    transcript.add(hello)
+
+    server_hello = link.recv_frame()
+    fields = _expect(server_hello, _T_SERVER_HELLO, link)
+    if len(fields) != 4:
+        _fail(link, "malformed ServerHello")
+    _, version, server_random, server_chain_pem = fields
+    if version != PROTOCOL_VERSION:
+        _fail(link, f"server speaks {version!r}, not {PROTOCOL_VERSION!r}")
+    if len(server_random) != RANDOM_LEN:
+        _fail(link, "bad server random length")
+    transcript.add(server_hello)
+
+    peer = _validate_peer_chain(link, validator, server_chain_pem, "server")
+
+    server_verify = link.recv_frame()
+    fields = _expect(server_verify, _T_SERVER_VERIFY, link)
+    if len(fields) != 2:
+        _fail(link, "malformed ServerVerify")
+    if not peer.leaf.public_key.verify(fields[1], _LABEL_SERVER + transcript.digest()):
+        _fail(link, "server failed to prove possession of its private key")
+    transcript.add(server_verify)
+
+    pre_master = secrets.token_bytes(PRE_MASTER_LEN)
+    key_exchange = pack_fields(
+        [_T_KEY_EXCHANGE, peer.leaf.public_key.encrypt(pre_master)]
+    )
+    link.send_frame(key_exchange)
+    transcript.add(key_exchange)
+
+    client_sig = (
+        credential.sign(_LABEL_CLIENT + transcript.digest())
+        if credential is not None
+        else b""
+    )
+    client_verify = pack_fields([_T_CLIENT_VERIFY, client_sig])
+    link.send_frame(client_verify)
+    transcript.add(client_verify)
+
+    keys = derive_session_keys(pre_master, client_random, server_random)
+    digest = transcript.digest()
+
+    writer = RecordWriter(keys.client_write_key, keys.client_iv_salt)
+    reader = RecordReader(keys.server_write_key, keys.server_iv_salt)
+
+    fin = pack_fields(
+        [_T_FINISHED, finished_mac(keys.client_finished_key, digest, _LABEL_CLIENT)]
+    )
+    link.send_frame(writer.seal(ContentType.HANDSHAKE, fin))
+
+    try:
+        ctype, payload = reader.open(link.recv_frame())
+    except IntegrityError as exc:
+        raise HandshakeError(f"server Finished failed to decrypt: {exc}") from exc
+    if ctype is not ContentType.HANDSHAKE:
+        raise HandshakeError("expected encrypted Finished from server")
+    fin_fields = unpack_fields(payload, 2)
+    if fin_fields[0] != _T_FINISHED or not macs_equal(
+        fin_fields[1], finished_mac(keys.server_finished_key, digest, _LABEL_SERVER)
+    ):
+        raise HandshakeError("server Finished MAC mismatch")
+
+    return HandshakeResult(
+        keys=keys, peer=peer, is_client=True, writer=writer, reader=reader
+    )
+
+
+def server_handshake(
+    link: Link,
+    credential: Credential,
+    validator: ChainValidator,
+    *,
+    allow_anonymous: bool = False,
+) -> HandshakeResult:
+    """Run the server side of the handshake over ``link``.
+
+    ``allow_anonymous=True`` accepts clients that present no certificate
+    chain (browsers); GSI services leave it off, so every peer is
+    authenticated before any application byte flows.
+    """
+    if credential.key is None:
+        raise HandshakeError("server credential has no private key")
+    transcript = TranscriptHash()
+
+    client_hello = link.recv_frame()
+    fields = _expect(client_hello, _T_CLIENT_HELLO, link)
+    if len(fields) != 4:
+        _fail(link, "malformed ClientHello")
+    _, version, client_random, client_chain_pem = fields
+    if version != PROTOCOL_VERSION:
+        _fail(link, f"client speaks {version!r}, not {PROTOCOL_VERSION!r}")
+    if len(client_random) != RANDOM_LEN:
+        _fail(link, "bad client random length")
+    transcript.add(client_hello)
+
+    peer: ValidatedIdentity | None
+    if client_chain_pem:
+        peer = _validate_peer_chain(link, validator, client_chain_pem, "client")
+    elif allow_anonymous:
+        peer = None
+    else:
+        _fail(link, "this service requires client authentication")
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    server_random = secrets.token_bytes(RANDOM_LEN)
+    chain_pem = b"".join(c.to_pem() for c in credential.full_chain())
+    server_hello = pack_fields([_T_SERVER_HELLO, PROTOCOL_VERSION, server_random, chain_pem])
+    link.send_frame(server_hello)
+    transcript.add(server_hello)
+
+    server_sig = credential.sign(_LABEL_SERVER + transcript.digest())
+    server_verify = pack_fields([_T_SERVER_VERIFY, server_sig])
+    link.send_frame(server_verify)
+    transcript.add(server_verify)
+
+    key_exchange = link.recv_frame()
+    fields = _expect(key_exchange, _T_KEY_EXCHANGE, link)
+    if len(fields) != 2:
+        _fail(link, "malformed KeyExchange")
+    try:
+        pre_master = credential.require_key().decrypt(fields[1])
+    except Exception:  # noqa: BLE001 - treat as handshake failure
+        _fail(link, "could not decrypt pre-master secret")
+    if len(pre_master) != PRE_MASTER_LEN:
+        _fail(link, "pre-master secret has wrong length")
+    transcript.add(key_exchange)
+
+    client_verify = link.recv_frame()
+    fields = _expect(client_verify, _T_CLIENT_VERIFY, link)
+    if len(fields) != 2:
+        _fail(link, "malformed ClientVerify")
+    if peer is not None:
+        if not peer.leaf.public_key.verify(
+            fields[1], _LABEL_CLIENT + transcript.digest()
+        ):
+            _fail(link, "client failed to prove possession of its private key")
+    elif fields[1]:
+        _fail(link, "anonymous client sent a ClientVerify signature")
+    transcript.add(client_verify)
+
+    keys = derive_session_keys(pre_master, client_random, server_random)
+    digest = transcript.digest()
+
+    writer = RecordWriter(keys.server_write_key, keys.server_iv_salt)
+    reader = RecordReader(keys.client_write_key, keys.client_iv_salt)
+
+    try:
+        ctype, payload = reader.open(link.recv_frame())
+    except IntegrityError as exc:
+        raise HandshakeError(f"client Finished failed to decrypt: {exc}") from exc
+    if ctype is not ContentType.HANDSHAKE:
+        raise HandshakeError("expected encrypted Finished from client")
+    fin_fields = unpack_fields(payload, 2)
+    if fin_fields[0] != _T_FINISHED or not macs_equal(
+        fin_fields[1], finished_mac(keys.client_finished_key, digest, _LABEL_CLIENT)
+    ):
+        raise HandshakeError("client Finished MAC mismatch")
+
+    fin = pack_fields(
+        [_T_FINISHED, finished_mac(keys.server_finished_key, digest, _LABEL_SERVER)]
+    )
+    link.send_frame(writer.seal(ContentType.HANDSHAKE, fin))
+
+    return HandshakeResult(
+        keys=keys, peer=peer, is_client=False, writer=writer, reader=reader
+    )

@@ -1,0 +1,116 @@
+"""Transcript hashing and the handshake key schedule.
+
+Faithful in structure to the SSL 3.0 design the paper relied on ([11]),
+modernized in primitives: the 48-byte pre-master secret travels under RSA
+key transport, and both traffic keys and the Finished MAC keys are derived
+from ``pre_master || client_random || server_random`` with HKDF-SHA256.
+
+Key material layout (in derivation order):
+
+====================  =====  ==========================================
+name                  bytes  use
+====================  =====  ==========================================
+client_write_key        16   AES-128-GCM key, client→server records
+server_write_key        16   AES-128-GCM key, server→client records
+client_iv_salt          12   nonce salt, client→server
+server_iv_salt          12   nonce salt, server→client
+client_finished_key     32   HMAC key for the client Finished message
+server_finished_key     32   HMAC key for the server Finished message
+====================  =====  ==========================================
+"""
+
+from __future__ import annotations
+
+import hmac
+from dataclasses import dataclass
+
+from cryptography.hazmat.primitives import hashes
+from cryptography.hazmat.primitives.kdf.hkdf import HKDF
+
+PRE_MASTER_LEN = 48
+RANDOM_LEN = 32
+
+_KEY_LEN = 16
+_SALT_LEN = 12
+_FIN_LEN = 32
+_TOTAL = 2 * _KEY_LEN + 2 * _SALT_LEN + 2 * _FIN_LEN
+
+_INFO = b"repro-gsi-secure-conversation-v1"
+
+
+class TranscriptHash:
+    """Running SHA-256 over every handshake message, in wire order.
+
+    Both peers feed identical bytes, so signing/MACing the digest binds each
+    side to the entire negotiation (defeating message-substitution games).
+    """
+
+    def __init__(self) -> None:
+        self._hash = hashes.Hash(hashes.SHA256())
+        self._count = 0
+
+    def add(self, message: bytes) -> None:
+        self._hash.update(len(message).to_bytes(4, "big"))
+        self._hash.update(message)
+        self._count += 1
+
+    def digest(self) -> bytes:
+        """Digest of everything added so far (non-destructive)."""
+        return self._hash.copy().finalize()
+
+    @property
+    def message_count(self) -> int:
+        return self._count
+
+
+@dataclass(frozen=True)
+class SessionKeys:
+    """The derived key material for one connection."""
+
+    client_write_key: bytes
+    server_write_key: bytes
+    client_iv_salt: bytes
+    server_iv_salt: bytes
+    client_finished_key: bytes
+    server_finished_key: bytes
+
+
+def derive_session_keys(
+    pre_master: bytes, client_random: bytes, server_random: bytes
+) -> SessionKeys:
+    """HKDF expansion of the shared secret into directional key material."""
+    if len(pre_master) != PRE_MASTER_LEN:
+        raise ValueError(f"pre-master secret must be {PRE_MASTER_LEN} bytes")
+    if len(client_random) != RANDOM_LEN or len(server_random) != RANDOM_LEN:
+        raise ValueError(f"handshake randoms must be {RANDOM_LEN} bytes")
+    hkdf = HKDF(
+        algorithm=hashes.SHA256(),
+        length=_TOTAL,
+        salt=client_random + server_random,
+        info=_INFO,
+    )
+    block = hkdf.derive(pre_master)
+    offsets = [
+        _KEY_LEN,
+        _KEY_LEN,
+        _SALT_LEN,
+        _SALT_LEN,
+        _FIN_LEN,
+        _FIN_LEN,
+    ]
+    parts = []
+    cursor = 0
+    for size in offsets:
+        parts.append(block[cursor : cursor + size])
+        cursor += size
+    return SessionKeys(*parts)
+
+
+def finished_mac(finished_key: bytes, transcript_digest: bytes, label: bytes) -> bytes:
+    """The Finished-message MAC: HMAC-SHA256 over label + transcript."""
+    return hmac.new(finished_key, label + transcript_digest, "sha256").digest()
+
+
+def macs_equal(a: bytes, b: bytes) -> bool:
+    """Constant-time comparison for MAC/passphrase verifier checks."""
+    return hmac.compare_digest(a, b)

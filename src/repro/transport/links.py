@@ -1,0 +1,161 @@
+"""Byte-stream links with length-prefixed framing.
+
+A :class:`Link` moves opaque frames between two endpoints; everything above
+(records, handshake, application protocols) is transport-agnostic.  Two
+implementations:
+
+- :class:`SocketLink` — a TCP connection (what deployments use, and what the
+  benchmarks measure);
+- :class:`PipeLink` — an in-memory queue pair (what most unit tests use, and
+  what the §5 attack harness taps to play eavesdropper).
+
+Frames are length-prefixed with a 4-byte big-endian header.  A frame of
+length zero is reserved as the end-of-stream marker.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import struct
+import threading
+
+from repro.util.errors import TransportError
+
+_HEADER = struct.Struct(">I")
+
+MAX_FRAME = 64 * 1024 * 1024
+"""Upper bound on a frame, to bound hostile allocations."""
+
+
+class Link:
+    """Abstract reliable, ordered frame transport."""
+
+    def send_frame(self, frame: bytes) -> None:
+        raise NotImplementedError
+
+    def recv_frame(self) -> bytes:
+        """Block for the next frame; raise :class:`TransportError` on EOF."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> Link:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SocketLink(Link):
+    """Frames over a connected TCP socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def send_frame(self, frame: bytes) -> None:
+        if len(frame) > MAX_FRAME:
+            raise TransportError(f"frame of {len(frame)} bytes exceeds limit")
+        header = _HEADER.pack(len(frame))
+        with self._send_lock:
+            try:
+                self._sock.sendall(header + frame)
+            except OSError as exc:
+                raise TransportError(f"socket send failed: {exc}") from exc
+
+    def _recv_exact(self, count: int) -> bytes:
+        chunks = bytearray()
+        while len(chunks) < count:
+            try:
+                chunk = self._sock.recv(count - len(chunks))
+            except OSError as exc:
+                raise TransportError(f"socket recv failed: {exc}") from exc
+            if not chunk:
+                raise TransportError("connection closed by peer")
+            chunks += chunk
+        return bytes(chunks)
+
+    def recv_frame(self) -> bytes:
+        with self._recv_lock:
+            (length,) = _HEADER.unpack(self._recv_exact(_HEADER.size))
+            if length > MAX_FRAME:
+                raise TransportError(f"peer declared a {length}-byte frame")
+            if length == 0:
+                raise TransportError("connection closed by peer")
+            return self._recv_exact(length)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+class PipeLink(Link):
+    """One endpoint of an in-memory frame pipe (see :func:`pipe_pair`).
+
+    Supports *taps*: callables invoked with every frame that passes through,
+    in each direction — the eavesdropper hook used by
+    :mod:`repro.attacks`.
+    """
+
+    _CLOSE = object()
+
+    def __init__(self, outbox: queue.Queue, inbox: queue.Queue, name: str) -> None:
+        self._outbox = outbox
+        self._inbox = inbox
+        self._name = name
+        self._closed = False
+        self.send_taps: list = []
+        self.recv_taps: list = []
+
+    def send_frame(self, frame: bytes) -> None:
+        if self._closed:
+            raise TransportError(f"{self._name}: link is closed")
+        for tap in self.send_taps:
+            tap(frame)
+        self._outbox.put(frame)
+
+    def recv_frame(self, timeout: float = 30.0) -> bytes:
+        if self._closed:
+            raise TransportError(f"{self._name}: link is closed")
+        try:
+            frame = self._inbox.get(timeout=timeout)
+        except queue.Empty as exc:
+            raise TransportError(f"{self._name}: recv timed out") from exc
+        if frame is self._CLOSE:
+            self._closed = True
+            raise TransportError("connection closed by peer")
+        for tap in self.recv_taps:
+            tap(frame)
+        return frame
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._outbox.put(self._CLOSE)
+
+
+def pipe_pair(name: str = "pipe") -> tuple[PipeLink, PipeLink]:
+    """A connected pair of in-memory links (client end, server end)."""
+    a_to_b: queue.Queue = queue.Queue()
+    b_to_a: queue.Queue = queue.Queue()
+    return (
+        PipeLink(a_to_b, b_to_a, f"{name}:client"),
+        PipeLink(b_to_a, a_to_b, f"{name}:server"),
+    )
+
+
+def connect_tcp(host: str, port: int, timeout: float = 10.0) -> SocketLink:
+    """Dial a TCP endpoint and wrap it in a :class:`SocketLink`."""
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        raise TransportError(f"could not connect to {host}:{port}: {exc}") from exc
+    sock.settimeout(timeout)
+    return SocketLink(sock)

@@ -1,0 +1,36 @@
+"""Cross-cutting utilities: error hierarchy, controllable time, encodings,
+logging and concurrency helpers.
+
+Nothing in this package knows about PKI or MyProxy; it exists so the layers
+above share one vocabulary for failures, time and wire encodings.
+"""
+
+from repro.util.clock import Clock, ManualClock, SystemClock
+from repro.util.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    ConfigError,
+    CredentialError,
+    ExpiredError,
+    PolicyError,
+    ProtocolError,
+    ReproError,
+    TransportError,
+    ValidationError,
+)
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "SystemClock",
+    "ReproError",
+    "ConfigError",
+    "CredentialError",
+    "ExpiredError",
+    "PolicyError",
+    "ProtocolError",
+    "TransportError",
+    "ValidationError",
+    "AuthenticationError",
+    "AuthorizationError",
+]

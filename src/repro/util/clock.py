@@ -1,0 +1,97 @@
+"""Controllable time.
+
+Credential lifetimes are central to MyProxy: repository credentials default
+to one week, portal proxies to a few hours, and several of the paper's
+security arguments (§5.1) rest on "the required delay allows credentials to
+expire".  Tests must be able to fast-forward time rather than sleep, so every
+component that checks expiry takes a :class:`Clock`.
+
+Certificates embed absolute UTC validity times; :class:`ManualClock` lets a
+test mint a certificate valid for one hour and then *observe* it expire by
+advancing the clock, with no wall-time cost.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from datetime import datetime, timedelta, timezone
+
+
+def _to_datetime(epoch: float) -> datetime:
+    return datetime.fromtimestamp(epoch, tz=timezone.utc)
+
+
+class Clock:
+    """Abstract time source.  ``now()`` returns seconds since the epoch."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def now_dt(self) -> datetime:
+        """Current time as an aware UTC :class:`~datetime.datetime`."""
+        return _to_datetime(self.now())
+
+    def after(self, seconds: float) -> datetime:
+        """UTC datetime ``seconds`` from now (used for notAfter fields)."""
+        return self.now_dt() + timedelta(seconds=seconds)
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Wall-clock time; the default everywhere."""
+
+    def now(self) -> float:
+        return time.time()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+
+class ManualClock(Clock):
+    """A clock tests drive by hand.
+
+    ``sleep`` advances the clock instead of blocking, and wakes any thread
+    blocked in :meth:`wait_until`, so timeout-driven code (renewal agents,
+    session reapers) can be exercised deterministically.
+    """
+
+    def __init__(self, start: float | None = None) -> None:
+        self._now = float(start if start is not None else time.time())
+        self._cond = threading.Condition()
+
+    def now(self) -> float:
+        with self._cond:
+            return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError("cannot move a ManualClock backwards")
+        with self._cond:
+            self._now += seconds
+            self._cond.notify_all()
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def wait_until(self, deadline: float, real_timeout: float = 5.0) -> bool:
+        """Block (in real time) until the manual clock reaches ``deadline``.
+
+        Returns ``True`` if the deadline was reached, ``False`` on real-time
+        timeout — used by agent threads that poll for expiry in tests.
+        """
+        end = time.monotonic() + real_timeout
+        with self._cond:
+            while self._now < deadline:
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+
+SYSTEM_CLOCK = SystemClock()
+"""Shared default clock instance."""

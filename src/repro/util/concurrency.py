@@ -1,0 +1,67 @@
+"""Thread lifecycle helpers for the servers in this package.
+
+Every long-running component (MyProxy server, portal web server, Grid
+services, renewal agents) follows the same pattern: a daemon thread with an
+explicit ``start``/``stop`` and a stop event it polls.  Centralizing that
+here keeps the servers small and makes shutdown reliable in tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+
+class ServiceThread:
+    """A restartable worker thread with a cooperative stop flag.
+
+    ``target`` is called as ``target(stop_event)`` and is expected to return
+    promptly once the event is set.
+    """
+
+    def __init__(self, target: Callable[[threading.Event], None], name: str) -> None:
+        self._target = target
+        self._name = name
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.running:
+            raise RuntimeError(f"{self._name} already running")
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._target, args=(self._stop,), name=self._name, daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+            if thread.is_alive():
+                raise RuntimeError(f"{self._name} did not stop within {timeout}s")
+        self._thread = None
+
+
+def wait_for(
+    predicate: Callable[[], bool],
+    timeout: float = 5.0,
+    interval: float = 0.005,
+    message: str = "condition",
+) -> None:
+    """Poll ``predicate`` until true or raise ``TimeoutError``.
+
+    Used by tests and examples to synchronize with background services
+    without fixed sleeps.
+    """
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() >= deadline:
+            raise TimeoutError(f"timed out waiting for {message}")
+        time.sleep(interval)

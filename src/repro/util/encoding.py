@@ -1,0 +1,133 @@
+"""Wire and storage encodings shared across layers.
+
+Three small formats live here:
+
+- *netstrings* — length-prefixed byte strings used to compose handshake and
+  delegation messages (``b"5:hello"`` style, but with a fixed 4-byte
+  big-endian length for simplicity and O(1) parsing);
+- *PEM-style armoring* — ``-----BEGIN X-----`` blocks used by the credential
+  store so stored material is recognizably typed, like the original's PEM
+  files;
+- *key=value lines* — the MyProxy protocol's text framing (§4), kept here so
+  both the client and the server parse it identically.
+"""
+
+from __future__ import annotations
+
+import base64
+import struct
+from collections.abc import Iterable, Mapping
+
+from repro.util.errors import ProtocolError
+
+_LEN = struct.Struct(">I")
+
+MAX_FIELD = 16 * 1024 * 1024
+"""Upper bound on a single encoded field, to bound hostile allocations."""
+
+
+def pack_fields(fields: Iterable[bytes]) -> bytes:
+    """Concatenate byte fields with 4-byte big-endian length prefixes."""
+    out = bytearray()
+    for field in fields:
+        if len(field) > MAX_FIELD:
+            raise ProtocolError(f"field of {len(field)} bytes exceeds limit")
+        out += _LEN.pack(len(field))
+        out += field
+    return bytes(out)
+
+
+def unpack_fields(data: bytes, count: int | None = None) -> list[bytes]:
+    """Inverse of :func:`pack_fields`.
+
+    If ``count`` is given, exactly that many fields must be present; the
+    whole buffer must be consumed either way.
+    """
+    fields: list[bytes] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if offset + _LEN.size > total:
+            raise ProtocolError("truncated length prefix")
+        (length,) = _LEN.unpack_from(data, offset)
+        offset += _LEN.size
+        if length > MAX_FIELD:
+            raise ProtocolError(f"declared field of {length} bytes exceeds limit")
+        if offset + length > total:
+            raise ProtocolError("truncated field body")
+        fields.append(data[offset : offset + length])
+        offset += length
+    if count is not None and len(fields) != count:
+        raise ProtocolError(f"expected {count} fields, found {len(fields)}")
+    return fields
+
+
+def pem_encode(label: str, payload: bytes) -> str:
+    """Armor ``payload`` in a PEM-style block with the given label."""
+    body = base64.encodebytes(payload).decode("ascii").strip()
+    return f"-----BEGIN {label}-----\n{body}\n-----END {label}-----\n"
+
+
+def pem_decode(text: str, label: str) -> bytes:
+    """Extract the payload of the first PEM block with ``label``."""
+    begin = f"-----BEGIN {label}-----"
+    end = f"-----END {label}-----"
+    try:
+        start = text.index(begin) + len(begin)
+        stop = text.index(end, start)
+    except ValueError as exc:
+        raise ProtocolError(f"no PEM block labeled {label!r}") from exc
+    body = text[start:stop].strip()
+    try:
+        return base64.b64decode(body.encode("ascii"), validate=False)
+    except Exception as exc:  # noqa: BLE001 - normalize decode failures
+        raise ProtocolError(f"bad base64 in PEM block {label!r}") from exc
+
+
+def pem_blocks(text: str, label: str) -> list[bytes]:
+    """Extract *all* PEM blocks with ``label``, in order of appearance."""
+    blocks: list[bytes] = []
+    rest = text
+    begin = f"-----BEGIN {label}-----"
+    while begin in rest:
+        blocks.append(pem_decode(rest, label))
+        rest = rest[rest.index(f"-----END {label}-----") + 1 :]
+    return blocks
+
+
+def encode_kv(fields: Mapping[str, str]) -> bytes:
+    """Encode a mapping as ``KEY=value`` lines (MyProxy protocol framing).
+
+    Keys must be ``[A-Z_]+``; values must not contain newlines.  Order is
+    preserved because the protocol requires ``VERSION`` first.
+    """
+    lines = []
+    for key, value in fields.items():
+        if not key or not all(c.isupper() or c == "_" for c in key):
+            raise ProtocolError(f"bad protocol key {key!r}")
+        if "\n" in value or "\r" in value:
+            raise ProtocolError(f"newline in protocol value for {key!r}")
+        lines.append(f"{key}={value}")
+    return ("\n".join(lines) + "\n").encode("utf-8")
+
+
+def decode_kv(data: bytes) -> dict[str, str]:
+    """Inverse of :func:`encode_kv`.  Duplicate keys are a protocol error."""
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError("protocol message is not UTF-8") from exc
+    out: dict[str, str] = {}
+    # Split on "\n" only — str.splitlines would also split on U+0085 etc.,
+    # letting a crafted value smuggle extra protocol lines.
+    for raw in text.split("\n"):
+        line = raw.strip("\r")
+        if not line:
+            continue
+        key, sep, value = line.partition("=")
+        if not sep:
+            raise ProtocolError(f"malformed protocol line {line!r}")
+        if key in out:
+            raise ProtocolError(f"duplicate protocol key {key!r}")
+        out[key] = value
+    return out

@@ -1,0 +1,80 @@
+"""Exception hierarchy shared by every layer of the reproduction.
+
+The hierarchy mirrors the failure domains of the original system:
+
+- :class:`CredentialError` / :class:`ValidationError` / :class:`ExpiredError`
+  — PKI-level failures (bad chain, bad signature, lifetime exceeded).
+- :class:`TransportError` / :class:`ProtocolError` — wire-level failures
+  (handshake rejected, malformed message).
+- :class:`AuthenticationError` / :class:`AuthorizationError` — the two
+  distinct refusals the MyProxy server can issue: *you are not who you say*
+  vs *you are not allowed to do that* (the paper's two ACLs, §5.1).
+- :class:`PolicyError` — local policy refusals (weak pass phrase, lifetime
+  above the server cap; §4.1).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A configuration file or parameter set is invalid."""
+
+
+class CredentialError(ReproError):
+    """A credential is malformed, incomplete or unusable."""
+
+
+class ValidationError(CredentialError):
+    """A certificate or certificate chain failed validation."""
+
+
+class ExpiredError(ValidationError):
+    """A certificate, proxy or session is past its lifetime."""
+
+
+class RevokedError(ValidationError):
+    """A certificate has been revoked by its CA."""
+
+
+class TransportError(ReproError):
+    """The secure channel failed (handshake, record layer, or socket)."""
+
+
+class HandshakeError(TransportError):
+    """The mutual-authentication handshake was rejected."""
+
+
+class IntegrityError(TransportError):
+    """A record failed authentication (tampering or replay on the wire)."""
+
+
+class ProtocolError(ReproError):
+    """A peer sent a message that violates the application protocol."""
+
+
+class AuthenticationError(ReproError):
+    """The presented identity proof (pass phrase, OTP, ticket) is wrong."""
+
+
+class AuthorizationError(ReproError):
+    """An authenticated party asked for something its ACLs do not allow."""
+
+
+class PolicyError(ReproError):
+    """A request violates local policy (pass-phrase rules, lifetime caps)."""
+
+
+class RepositoryError(ReproError):
+    """The credential repository storage layer failed."""
+
+
+class NotFoundError(RepositoryError):
+    """No such credential / user in the repository."""
+
+
+class LockedError(RepositoryError):
+    """A repository entry is locked by a concurrent writer."""

@@ -1,0 +1,29 @@
+"""A small from-scratch web stack (§3.1, §5.2).
+
+The paper's portal requirements are protocol-level: any standard browser
+must work (§3.1), logins must be HTTPS-only because "transmitting the name
+and pass phrase over unencrypted HTTP would allow any intruder to snoop the
+pass phrase" (§5.2), and "because HTTP is a stateless protocol, [session
+tracking] is often accomplished with cookies" (§5.2).
+
+- :mod:`repro.web.http11` — HTTP/1.1 message parsing and serialization,
+  cookies, forms, redirects.
+- :mod:`repro.web.sessions` — cookie-keyed server-side sessions with expiry.
+- :mod:`repro.web.server` — a routed web server that listens plain (HTTP)
+  and/or over the secure channel with anonymous clients (HTTPS).
+- :mod:`repro.web.client` — a scriptable browser with a cookie jar.
+"""
+
+from repro.web.client import Browser
+from repro.web.http11 import HttpRequest, HttpResponse
+from repro.web.server import WebServer
+from repro.web.sessions import Session, SessionStore
+
+__all__ = [
+    "Browser",
+    "HttpRequest",
+    "HttpResponse",
+    "Session",
+    "SessionStore",
+    "WebServer",
+]

@@ -1,0 +1,95 @@
+"""Cookie-keyed server-side sessions (§5.2).
+
+"It is also the portal's responsibility ... to map the credentials to the
+user's web session.  This requires session tracking between clients and
+servers ... often accomplished with cookies."
+
+Sessions carry only plain data here; the portal keeps credentials in its
+own map keyed by session id, so destroying a session and wiping its
+credential are a single logical act (see
+:meth:`repro.portal.portal.GridPortal._logout`).
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+from dataclasses import dataclass, field
+
+from repro.util.clock import SYSTEM_CLOCK, Clock
+
+SESSION_COOKIE = "REPROSESSID"
+DEFAULT_TTL = 3600.0
+
+
+@dataclass
+class Session:
+    """One logged-in (or anonymous) browser session."""
+
+    session_id: str
+    created_at: float
+    expires_at: float
+    data: dict = field(default_factory=dict)
+
+    @property
+    def authenticated(self) -> bool:
+        return bool(self.data.get("username"))
+
+
+class SessionStore:
+    """Thread-safe session table with absolute expiry."""
+
+    def __init__(self, *, ttl: float = DEFAULT_TTL, clock: Clock = SYSTEM_CLOCK) -> None:
+        self.ttl = ttl
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._sessions: dict[str, Session] = {}
+        #: Called with the session id whenever a session dies (expiry or
+        #: destroy) — the portal hooks credential wiping here.
+        self.on_destroy: list = []
+
+    def create(self) -> Session:
+        now = self.clock.now()
+        session = Session(
+            session_id=secrets.token_urlsafe(24),
+            created_at=now,
+            expires_at=now + self.ttl,
+        )
+        with self._lock:
+            self._sessions[session.session_id] = session
+        return session
+
+    def get(self, session_id: str | None) -> Session | None:
+        """Look up a live session; expired sessions are destroyed on touch."""
+        if not session_id:
+            return None
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            return None
+        if session.expires_at <= self.clock.now():
+            self.destroy(session_id)
+            return None
+        return session
+
+    def destroy(self, session_id: str) -> bool:
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            return False
+        for hook in self.on_destroy:
+            hook(session_id)
+        return True
+
+    def reap(self) -> int:
+        """Destroy every expired session; returns how many died."""
+        now = self.clock.now()
+        with self._lock:
+            dead = [sid for sid, s in self._sessions.items() if s.expires_at <= now]
+        for sid in dead:
+            self.destroy(sid)
+        return len(dead)
+
+    def count(self) -> int:
+        with self._lock:
+            return len(self._sessions)

@@ -1,0 +1,22 @@
+"""CLI-test housekeeping.
+
+The tools call :func:`repro.util.logging.configure_cli_logging`, which
+installs a stream handler bound to pytest's captured stderr.  That stream
+is closed when the test module ends, and any later log line from a daemon
+thread would print a spurious "--- Logging error ---".  Restore the
+library-default null handler afterwards.
+"""
+
+import logging
+
+import pytest
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _restore_repro_logging():
+    root = logging.getLogger("repro")
+    saved_handlers = list(root.handlers)
+    saved_level = root.level
+    yield
+    root.handlers[:] = saved_handlers
+    root.setLevel(saved_level)

@@ -1,0 +1,94 @@
+"""The §6.1 store/retrieve tools and the trust-directory CLI option."""
+
+import pytest
+
+from repro.cli import myproxy_retrieve, myproxy_store
+from repro.core.server import MyProxyServer
+from repro.pki.ca import CertificateAuthority
+from repro.pki.credentials import Credential
+from repro.pki.names import DistinguishedName
+from repro.pki.trustdir import TrustDirectory
+from repro.pki.validation import ChainValidator
+
+KEYPASS = "keyfile phrase 3"
+MYPASS = "repository phrase 7"
+
+
+@pytest.fixture(scope="module")
+def world(tmp_path_factory):
+    root = tmp_path_factory.mktemp("storecli")
+    from repro.pki.keys import PooledKeySource
+
+    pool = PooledKeySource(1024, size=4)
+    ca = CertificateAuthority(
+        DistinguishedName.parse("/O=Grid/CN=Store CA"), key=pool.new_key()
+    )
+    # Distribute trust via a hashed directory (exercises --trusted-ca-dir).
+    trustdir = TrustDirectory(root / "certificates")
+    trustdir.install_ca(ca.certificate)
+
+    alice = ca.issue_credential(
+        DistinguishedName.grid_user("Grid", "Store", "Alice"), key=pool.new_key()
+    )
+    usercred = root / "usercred.pem"
+    usercred.write_bytes(alice.export_pem(KEYPASS))
+    usercred.chmod(0o600)
+
+    server = MyProxyServer(
+        ca.issue_host_credential("mp.example.org", key=pool.new_key()),
+        ChainValidator([ca.certificate]),
+        key_source=pool,
+    )
+    host, port = server.start()
+    yield {
+        "root": root,
+        "server": server,
+        "endpoint": f"{host}:{port}",
+        "trustdir": str(root / "certificates"),
+        "usercred": str(usercred),
+        "alice": alice,
+    }
+    server.stop()
+
+
+class TestStoreRetrieveCycle:
+    def test_store_then_retrieve(self, world, tmp_path, capsys):
+        base = [
+            "-s", world["endpoint"], "--trusted-ca-dir", world["trustdir"],
+            "--credential", world["usercred"], "--key-passphrase", KEYPASS,
+            "-l", "alice",
+        ]
+        assert myproxy_store.main(base + ["--passphrase", MYPASS]) == 0
+        assert "stored" in capsys.readouterr().out
+        assert world["server"].repository.get("alice", "default").long_term
+
+        out = tmp_path / "retrieved.pem"
+        assert myproxy_retrieve.main(
+            base + ["--passphrase", MYPASS, "-o", str(out)]
+        ) == 0
+        retrieved = Credential.import_pem(out.read_bytes(), MYPASS)
+        assert retrieved.identity == world["alice"].identity
+        assert (out.stat().st_mode & 0o777) == 0o600
+        # The written file is encrypted: no pass phrase, no key.
+        from repro.util.errors import CredentialError
+
+        with pytest.raises(CredentialError):
+            Credential.import_pem(out.read_bytes())
+
+    def test_wrong_passphrase_fails_cleanly(self, world, tmp_path, capsys):
+        assert myproxy_retrieve.main([
+            "-s", world["endpoint"], "--trusted-ca-dir", world["trustdir"],
+            "--credential", world["usercred"], "--key-passphrase", KEYPASS,
+            "-l", "alice", "--passphrase", "wrong wrong",
+            "-o", str(tmp_path / "x.pem"),
+        ]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_trust_config_rejected(self, world, tmp_path):
+        with pytest.raises(SystemExit):
+            myproxy_retrieve.main([
+                "-s", world["endpoint"],
+                "--credential", world["usercred"], "--key-passphrase", KEYPASS,
+                "-l", "alice", "--passphrase", MYPASS,
+                "-o", str(tmp_path / "x.pem"),
+            ])

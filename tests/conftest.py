@@ -1,0 +1,88 @@
+"""Shared fixtures.
+
+Key generation dominates test run time, so a session-scoped
+:class:`~repro.pki.keys.PooledKeySource` is shared by everything; the
+certificates themselves are still minted per test (they embed clock times).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pki.ca import CertificateAuthority
+from repro.pki.keys import PooledKeySource
+from repro.pki.names import DistinguishedName
+from repro.pki.validation import ChainValidator
+from repro.testbed import GridTestbed
+from repro.util.clock import ManualClock
+
+TEST_BITS = 1024
+EPOCH = 1_600_000_000.0  # a fixed, comfortably modern starting instant
+
+
+@pytest.fixture(scope="session")
+def key_pool() -> PooledKeySource:
+    return PooledKeySource(TEST_BITS, size=24)
+
+
+@pytest.fixture()
+def clock() -> ManualClock:
+    return ManualClock(EPOCH)
+
+
+@pytest.fixture()
+def ca(clock, key_pool) -> CertificateAuthority:
+    return CertificateAuthority(
+        DistinguishedName.parse("/O=Grid/OU=Repro/CN=Test CA"),
+        clock=clock,
+        key=key_pool.new_key(),
+    )
+
+
+@pytest.fixture()
+def validator(ca, clock) -> ChainValidator:
+    return ChainValidator([ca.certificate], clock=clock)
+
+
+@pytest.fixture()
+def alice(ca, key_pool):
+    return ca.issue_credential(
+        DistinguishedName.grid_user("Grid", "Repro", "Alice"), key=key_pool.new_key()
+    )
+
+
+@pytest.fixture()
+def bob(ca, key_pool):
+    return ca.issue_credential(
+        DistinguishedName.grid_user("Grid", "Repro", "Bob"), key=key_pool.new_key()
+    )
+
+
+@pytest.fixture()
+def host_cred(ca, key_pool):
+    return ca.issue_host_credential("service.example.org", key=key_pool.new_key())
+
+
+@pytest.fixture()
+def tb(clock, key_pool):
+    """A pipe-transport Grid testbed on a manual clock."""
+    testbed = GridTestbed(clock=clock, key_source=key_pool)
+    yield testbed
+    testbed.close()
+
+
+@pytest.fixture()
+def tb_factory(clock, key_pool):
+    """For tests needing a customized testbed (policies, multiple repos)."""
+    testbeds = []
+
+    def _make(**kwargs) -> GridTestbed:
+        kwargs.setdefault("clock", clock)
+        kwargs.setdefault("key_source", key_pool)
+        testbed = GridTestbed(**kwargs)
+        testbeds.append(testbed)
+        return testbed
+
+    yield _make
+    for testbed in testbeds:
+        testbed.close()

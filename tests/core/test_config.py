@@ -1,0 +1,110 @@
+"""The myproxy-server.config parser."""
+
+import pytest
+
+from repro.core.config import load_server_config, parse_server_config
+from repro.pki.names import DistinguishedName
+from repro.util.errors import ConfigError, PolicyError
+
+FULL = """
+# a production-ish configuration
+accepted_credentials "/O=Grid/OU=People/CN=*"
+accepted_credentials "/O=Partner/OU=Staff/CN=*"
+authorized_retrievers "/O=Grid/CN=host/portal.*"
+authorized_renewers "/O=Grid/OU=People/CN=*"
+
+max_stored_lifetime_days 3          # tighter than the paper default
+max_delegation_lifetime_hours 4
+default_delegation_lifetime_hours 1
+
+passphrase_min_length 10
+passphrase_require_non_alpha
+kdf_iterations 50000
+disable_otp
+"""
+
+
+class TestParsing:
+    def test_full_config(self):
+        policy = parse_server_config(FULL)
+        assert policy.max_stored_lifetime == 3 * 86400.0
+        assert policy.max_delegation_lifetime == 4 * 3600.0
+        assert policy.default_delegation_lifetime == 3600.0
+        assert policy.kdf_iterations == 50_000
+        assert policy.allow_otp_auth is False
+        assert policy.allow_passphrase_auth is True
+        assert policy.allow_renewal_auth is True
+
+    def test_acls_applied(self):
+        policy = parse_server_config(FULL)
+        person = DistinguishedName.parse("/O=Grid/OU=People/CN=Alice")
+        partner = DistinguishedName.parse("/O=Partner/OU=Staff/CN=Bob")
+        portal = DistinguishedName.parse("/O=Grid/CN=host/portal.x.org")
+        assert policy.accepted_credentials.allows(person)
+        assert policy.accepted_credentials.allows(partner)
+        assert not policy.accepted_credentials.allows(portal)
+        assert policy.authorized_retrievers.allows(portal)
+        assert not policy.authorized_retrievers.allows(person)
+        assert policy.authorized_renewers.allows(person)
+
+    def test_passphrase_policy_applied(self):
+        policy = parse_server_config(FULL)
+        policy.passphrase_policy.check("long enough 123!")
+        with pytest.raises(PolicyError):
+            policy.passphrase_policy.check("short 1")  # < 10 chars
+        with pytest.raises(PolicyError):
+            policy.passphrase_policy.check("onlyalphabetichere")
+
+    def test_empty_config_gives_paper_defaults(self):
+        policy = parse_server_config("")
+        assert policy.max_stored_lifetime == 7 * 86400.0  # one week (§4.3)
+        anyone = DistinguishedName.parse("/O=X/CN=Y")
+        assert policy.accepted_credentials.allows(anyone)
+
+    def test_comments_and_blanks_ignored(self):
+        policy = parse_server_config("\n# nothing\n   \n# else\n")
+        assert policy.allow_passphrase_auth
+
+    def test_unknown_directive_is_an_error(self):
+        with pytest.raises(ConfigError, match="unknown directive"):
+            parse_server_config("allow_everything yes\n")
+
+    def test_bad_number_reported_with_line(self):
+        with pytest.raises(ConfigError, match="line 2"):
+            parse_server_config("\nmax_stored_lifetime_days soon\n")
+
+    def test_nonpositive_number_refused(self):
+        with pytest.raises(ConfigError):
+            parse_server_config("kdf_iterations 0\n")
+
+    def test_flag_with_value_refused(self):
+        with pytest.raises(ConfigError):
+            parse_server_config("disable_otp yes\n")
+
+    def test_acl_without_pattern_refused(self):
+        with pytest.raises(ConfigError):
+            parse_server_config("accepted_credentials\n")
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "myproxy-server.config"
+        path.write_text(FULL, "utf-8")
+        assert load_server_config(path).kdf_iterations == 50_000
+
+
+class TestConfigDrivenServer:
+    def test_policy_file_governs_a_live_server(self, tb_factory):
+        """End to end: a config-file policy actually constrains the server."""
+        policy = parse_server_config(
+            'max_stored_lifetime_days 1\npassphrase_min_length 15\n'
+        )
+        tb = tb_factory(myproxy_policy=policy)
+        user = tb.new_user("confuser")
+        from repro.util.errors import AuthenticationError
+
+        with pytest.raises(AuthenticationError):  # phrase too short now
+            tb.myproxy_init(user, passphrase="only twelve c")
+        with pytest.raises(AuthenticationError):  # week > 1-day cap
+            tb.myproxy_init(user, passphrase="long enough for fifteen")
+        assert tb.myproxy_init(
+            user, passphrase="long enough for fifteen", lifetime=86400.0
+        ).ok

@@ -1,0 +1,221 @@
+"""§6.4: the HTTP binding of the MyProxy protocol."""
+
+import threading
+
+import pytest
+
+from repro.core.httpbinding import HttpMyProxyClient, MyProxyHttpGateway
+from repro.core.protocol import AuthMethod
+from repro.pki.proxy import create_proxy
+from repro.transport.links import pipe_pair
+from repro.util.errors import AuthenticationError, HandshakeError
+
+PASS = "correct horse 42"
+
+
+@pytest.fixture()
+def gateway(tb):
+    return MyProxyHttpGateway(tb.myproxy, key_source=tb.key_source)
+
+
+def http_client(tb, gateway, credential):
+    def _target():
+        client_end, server_end = pipe_pair("http-binding")
+        threading.Thread(
+            target=gateway.handle_secure_link, args=(server_end,), daemon=True
+        ).start()
+        return client_end
+
+    return HttpMyProxyClient(
+        _target, credential, tb.validator, key_source=tb.key_source, clock=tb.clock
+    )
+
+
+@pytest.fixture()
+def world(tb, gateway):
+    alice = tb.new_user("alice")
+    svc = tb.new_user("svc")
+    return tb, gateway, alice, svc
+
+
+class TestPutOverHttp:
+    def test_two_step_put_stores_credential(self, world, clock):
+        tb, gateway, alice, _ = world
+        client = http_client(tb, gateway, alice.credential)
+        answer = client.put(
+            alice.credential, username="alice", passphrase=PASS, lifetime=7 * 86400
+        )
+        assert answer["stored"]
+        entry = tb.myproxy.repository.get("alice", "default")
+        assert entry.owner_dn == str(alice.dn)
+        assert entry.not_after == pytest.approx(clock.now() + 7 * 86400, abs=600)
+
+    def test_put_session_single_use(self, world):
+        """A replayed complete with a consumed token is refused."""
+        import secrets as s
+
+        tb, gateway, alice, _ = world
+        client = http_client(tb, gateway, alice.credential)
+        nonce = s.token_hex(16)
+        begin = client._call("/myproxy/put/begin", {"nonce": nonce})
+        # consume it once (mismatched cert is fine — it will fail, consuming
+        # the session)
+        with pytest.raises(AuthenticationError):
+            client._call(
+                "/myproxy/put/complete",
+                {"token": begin["token"], "username": "alice",
+                 "passphrase": PASS, "lifetime": 3600,
+                 "certificate_pem": "", "chain_pem": ""},
+            )
+        with pytest.raises(AuthenticationError, match="refused"):
+            client._call(
+                "/myproxy/put/complete",
+                {"token": begin["token"], "username": "alice",
+                 "passphrase": PASS, "lifetime": 3600,
+                 "certificate_pem": "", "chain_pem": ""},
+            )
+
+    def test_put_session_expires(self, world, clock):
+        import secrets as s
+
+        tb, gateway, alice, _ = world
+        client = http_client(tb, gateway, alice.credential)
+        begin = client._call("/myproxy/put/begin", {"nonce": s.token_hex(16)})
+        clock.advance(200)  # past PUT_SESSION_TTL
+        with pytest.raises(AuthenticationError):
+            client._call(
+                "/myproxy/put/complete",
+                {"token": begin["token"], "username": "alice",
+                 "passphrase": PASS, "lifetime": 3600,
+                 "certificate_pem": "", "chain_pem": ""},
+            )
+
+    def test_put_token_bound_to_identity(self, world):
+        """Mallory cannot complete alice's PUT session."""
+        import secrets as s
+
+        tb, gateway, alice, _ = world
+        mallory = tb.new_user("mallory")
+        alice_client = http_client(tb, gateway, alice.credential)
+        begin = alice_client._call("/myproxy/put/begin", {"nonce": s.token_hex(16)})
+        mallory_client = http_client(tb, gateway, mallory.credential)
+        with pytest.raises(AuthenticationError):
+            mallory_client._call(
+                "/myproxy/put/complete",
+                {"token": begin["token"], "username": "mallory",
+                 "passphrase": PASS, "lifetime": 3600,
+                 "certificate_pem": "", "chain_pem": ""},
+            )
+
+
+class TestGetOverHttp:
+    @pytest.fixture()
+    def stored(self, world):
+        tb, gateway, alice, svc = world
+        http_client(tb, gateway, alice.credential).put(
+            alice.credential, username="alice", passphrase=PASS, lifetime=7 * 86400
+        )
+        return tb, gateway, alice, svc
+
+    def test_get_returns_usable_credential(self, stored, clock):
+        tb, gateway, alice, svc = stored
+        client = http_client(tb, gateway, svc.credential)
+        proxy = client.get_delegation(
+            username="alice", passphrase=PASS, lifetime=3600
+        )
+        assert proxy.identity == alice.dn
+        assert proxy.has_key
+        assert tb.validator.validate(proxy.full_chain())
+        assert proxy.seconds_remaining(clock) == pytest.approx(3600, abs=300)
+
+    def test_wrong_passphrase_refused(self, stored):
+        tb, gateway, _, svc = stored
+        client = http_client(tb, gateway, svc.credential)
+        with pytest.raises(AuthenticationError):
+            client.get_delegation(username="alice", passphrase="nope nope")
+
+    def test_interoperates_with_channel_protocol(self, stored):
+        """Credentials PUT over HTTP are retrievable over the classic
+        channel protocol, and vice versa — one repository, two bindings."""
+        tb, gateway, alice, svc = stored
+        # HTTP PUT (done in fixture) → channel GET:
+        channel_proxy = tb.myproxy_get(
+            username="alice", passphrase=PASS, requester=svc.credential
+        )
+        assert channel_proxy.identity == alice.dn
+        # channel PUT → HTTP GET:
+        bob = tb.new_user("bob")
+        tb.myproxy_init(bob, passphrase=PASS)
+        http_proxy = http_client(tb, gateway, svc.credential).get_delegation(
+            username="bob", passphrase=PASS
+        )
+        assert http_proxy.identity == bob.dn
+
+    def test_renewal_over_http(self, world, clock):
+        tb, gateway, alice, svc = world
+        http_client(tb, gateway, alice.credential).put(
+            alice.credential, username="alice", passphrase=PASS,
+            lifetime=7 * 86400, renewers=("*",),
+        )
+        current = http_client(tb, gateway, svc.credential).get_delegation(
+            username="alice", passphrase=PASS, lifetime=3600
+        )
+        clock.advance(3000)
+        fresh = http_client(tb, gateway, current).get_delegation(
+            username="alice", auth_method=AuthMethod.RENEWAL, lifetime=3600
+        )
+        assert fresh.certificate.not_after > current.certificate.not_after
+
+
+class TestHousekeepingOverHttp:
+    @pytest.fixture()
+    def stored(self, world):
+        tb, gateway, alice, svc = world
+        client = http_client(tb, gateway, alice.credential)
+        client.put(alice.credential, username="alice", passphrase=PASS,
+                   lifetime=7 * 86400)
+        return tb, gateway, alice, client
+
+    def test_info(self, stored):
+        _, _, _, client = stored
+        rows = client.info(username="alice")
+        assert len(rows) == 1 and rows[0]["cred_name"] == "default"
+
+    def test_change_passphrase_and_destroy(self, stored, world):
+        tb, gateway, alice, client = stored
+        client.change_passphrase(
+            username="alice", old_passphrase=PASS, new_passphrase="rotated 88"
+        )
+        svc = tb.users["svc"]
+        getter = http_client(tb, gateway, svc.credential)
+        with pytest.raises(AuthenticationError):
+            getter.get_delegation(username="alice", passphrase=PASS)
+        assert getter.get_delegation(
+            username="alice", passphrase="rotated 88"
+        ).identity == alice.dn
+        client.destroy(username="alice")
+        with pytest.raises(AuthenticationError):
+            getter.get_delegation(username="alice", passphrase="rotated 88")
+
+
+class TestTransportSecurity:
+    def test_anonymous_clients_rejected_at_handshake(self, world):
+        """Unlike the portal, the gateway demands client certificates."""
+        tb, gateway, _, _ = world
+        client_end, server_end = pipe_pair()
+        threading.Thread(
+            target=gateway.handle_secure_link, args=(server_end,), daemon=True
+        ).start()
+        from repro.transport.channel import connect_secure
+
+        with pytest.raises(HandshakeError):
+            connect_secure(client_end, None, tb.validator)
+
+    def test_gateway_audits_denials(self, world):
+        tb, gateway, alice, svc = world
+        client = http_client(tb, gateway, svc.credential)
+        with pytest.raises(AuthenticationError):
+            client.get_delegation(username="ghost", passphrase="x" * 8)
+        assert any(
+            r.command == "HTTP" and not r.ok for r in tb.myproxy.audit_log()
+        )

@@ -1,0 +1,102 @@
+"""X1: managed long-term credentials (§6.1 STORE/RETRIEVE)."""
+
+import pytest
+
+from repro.util.errors import AuthenticationError
+
+PASS = "correct horse 42"
+
+
+@pytest.fixture()
+def stored(tb):
+    alice = tb.new_user("alice")
+    client = tb.myproxy_client(alice.credential)
+    client.store_longterm(alice.credential, username="alice", passphrase=PASS,
+                          cred_name="longterm")
+    return tb, alice, client
+
+
+class TestStore:
+    def test_entry_marked_long_term(self, stored):
+        tb, _, _ = stored
+        entry = tb.myproxy.repository.get("alice", "longterm")
+        assert entry.long_term
+
+    def test_server_never_holds_plaintext_key(self, stored):
+        """§6.1 + §5.1: the key stays pass-phrase-encrypted at rest."""
+        tb, alice, _ = stored
+        entry = tb.myproxy.repository.get("alice", "longterm")
+        assert b"ENCRYPTED PRIVATE KEY" in entry.key_pem
+        # And without the pass phrase it does not load:
+        from repro.pki.credentials import Credential
+        from repro.util.errors import CredentialError
+
+        with pytest.raises(CredentialError):
+            Credential.import_pem(entry.key_pem)
+
+    def test_store_someone_elses_credential_refused(self, tb):
+        alice = tb.new_user("alice")
+        mallory = tb.new_user("mallory")
+        client = tb.myproxy_client(mallory.credential)
+        with pytest.raises(AuthenticationError, match="refused"):
+            client.store_longterm(alice.credential, username="alice", passphrase=PASS)
+
+    def test_store_requires_strong_passphrase(self, tb):
+        alice = tb.new_user("alice")
+        client = tb.myproxy_client(alice.credential)
+        with pytest.raises(AuthenticationError):
+            client.store_longterm(alice.credential, username="alice", passphrase="abc")
+
+
+class TestServerSideMinting:
+    def test_get_mints_proxy_from_stored_eec(self, stored, clock):
+        """The §6.1 goal: the repository delegates from the long-term
+        credential, so the user never needs local key files again."""
+        tb, alice, _ = stored
+        requester = tb.new_user("portal")
+        proxy = tb.myproxy_client(requester.credential).get_delegation(
+            username="alice", passphrase=PASS, cred_name="longterm", lifetime=3600
+        )
+        assert proxy.identity == alice.dn
+        assert proxy.proxy_depth == 1  # minted directly off the EEC
+        assert tb.validator.validate(proxy.full_chain())
+
+    def test_minting_survives_months(self, stored, clock):
+        """Unlike a stored proxy (1 week), a long-term entry keeps working."""
+        tb, alice, _ = stored
+        clock.advance(60 * 86400)  # two months
+        requester = tb.new_user("portal2")
+        proxy = tb.myproxy_client(requester.credential).get_delegation(
+            username="alice", passphrase=PASS, cred_name="longterm"
+        )
+        assert proxy.identity == alice.dn
+
+
+class TestRetrieve:
+    def test_retrieve_returns_full_credential(self, stored):
+        tb, alice, client = stored
+        back = client.retrieve_longterm(username="alice", passphrase=PASS,
+                                        cred_name="longterm")
+        assert back.identity == alice.dn
+        assert back.has_key
+
+    def test_retrieve_wire_blob_is_encrypted(self, stored):
+        """Even on RETRIEVE the key travels pass-phrase-encrypted."""
+        tb, _, client = stored
+        entry = tb.myproxy.repository.get("alice", "longterm")
+        assert b"BEGIN ENCRYPTED PRIVATE KEY" in entry.key_pem
+
+    def test_retrieve_wrong_passphrase_refused(self, stored):
+        _, _, client = stored
+        with pytest.raises(AuthenticationError):
+            client.retrieve_longterm(username="alice", passphrase="wrong!",
+                                     cred_name="longterm")
+
+    def test_retrieve_refused_for_proxy_entries(self, tb):
+        """RETRIEVE must not leak ordinary delegated proxies."""
+        user = tb.new_user("norm")
+        tb.myproxy_init(user, passphrase=PASS)
+        with pytest.raises(AuthenticationError):
+            tb.myproxy_client(user.credential).retrieve_longterm(
+                username="norm", passphrase=PASS
+            )

@@ -1,0 +1,131 @@
+"""X3: the S/KEY-style one-time-password chains (§5.1, §6.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.otp import OTPGenerator, OTPVerifier, otp_step
+from repro.util.errors import AuthenticationError, PolicyError
+
+
+class TestChainMath:
+    def test_words_form_a_hash_chain(self):
+        gen = OTPGenerator("secret", "seed", count=10)
+        w3 = bytes.fromhex(gen.word(3))
+        w4 = bytes.fromhex(gen.word(4))
+        assert otp_step(w3) == w4
+
+    def test_chain_deterministic_per_secret(self):
+        a = OTPGenerator("secret", "seed", count=10)
+        b = OTPGenerator("secret", "seed", count=10)
+        assert a.word(5) == b.word(5)
+
+    def test_chain_differs_by_secret_and_seed(self):
+        base = OTPGenerator("secret", "seed", count=10).word(5)
+        assert OTPGenerator("other", "seed", count=10).word(5) != base
+        assert OTPGenerator("secret", "other", count=10).word(5) != base
+
+
+class TestAuthentication:
+    def test_full_chain_consumed_in_order(self):
+        gen = OTPGenerator("secret", "seed", count=6)
+        state = gen.initial_verifier()
+        for _ in range(gen.count - 1):
+            state = state.verify(gen.next_word())
+        assert state.counter == 1
+
+    def test_wrong_word_rejected(self):
+        gen = OTPGenerator("secret", "seed", count=5)
+        state = gen.initial_verifier()
+        with pytest.raises(AuthenticationError):
+            state.verify("00" * 16)
+
+    def test_replayed_word_rejected(self):
+        gen = OTPGenerator("secret", "seed", count=5)
+        state = gen.initial_verifier()
+        word = gen.next_word()
+        state = state.verify(word)
+        with pytest.raises(AuthenticationError):
+            state.verify(word)  # same word again
+
+    def test_skipping_ahead_rejected(self):
+        """Presenting w_{n-2} when the server expects w_{n-1} fails."""
+        gen = OTPGenerator("secret", "seed", count=5)
+        state = gen.initial_verifier()
+        _skipped = gen.next_word()
+        with pytest.raises(AuthenticationError):
+            state.verify(gen.next_word())
+
+    def test_eavesdropped_word_useless_for_next_login(self):
+        """The crux of §5.1: capture one word, cannot produce the next."""
+        gen = OTPGenerator("secret", "seed", count=5)
+        state = gen.initial_verifier()
+        captured = gen.next_word()
+        state = state.verify(captured)
+        # The attacker knows `captured` = w_{n-1}; the next login needs
+        # w_{n-2} = a preimage of it. Hashing forward never helps:
+        forward = otp_step(bytes.fromhex(captured)).hex()
+        with pytest.raises(AuthenticationError):
+            state.verify(forward)
+
+    def test_malformed_word_rejected(self):
+        state = OTPGenerator("s", "x", count=3).initial_verifier()
+        for bad in ("zz", "", "not hex at all", "ab" * 99):
+            with pytest.raises(AuthenticationError):
+                state.verify(bad)
+
+    def test_exhausted_chain_refuses(self):
+        gen = OTPGenerator("secret", "seed", count=2)
+        state = gen.initial_verifier()
+        state = state.verify(gen.next_word())
+        state = state.verify(gen.next_word())
+        assert state.counter == 0
+        with pytest.raises(AuthenticationError):
+            state.verify("00" * 16)
+
+    def test_generator_exhaustion_refuses(self):
+        gen = OTPGenerator("secret", "seed", count=2)
+        gen.next_word()
+        gen.next_word()
+        with pytest.raises(PolicyError, match="exhausted"):
+            gen.next_word()
+
+
+class TestPersistence:
+    def test_payload_roundtrip(self):
+        state = OTPGenerator("secret", "seed", count=7).initial_verifier()
+        assert OTPVerifier.from_payload(state.to_payload()) == state
+
+    def test_corrupt_payload_rejected(self):
+        with pytest.raises(AuthenticationError):
+            OTPVerifier.from_payload({"seed": "x"})
+
+
+class TestConstruction:
+    def test_too_short_chain_refused(self):
+        with pytest.raises(PolicyError):
+            OTPGenerator("secret", "seed", count=1)
+
+    def test_empty_secret_refused(self):
+        with pytest.raises(PolicyError):
+            OTPGenerator("", "seed")
+        with pytest.raises(PolicyError):
+            OTPGenerator("secret", "")
+
+    def test_remaining_counts_down(self):
+        gen = OTPGenerator("secret", "seed", count=5)
+        assert gen.remaining == 5  # words w4 .. w0
+        gen.next_word()
+        assert gen.remaining == 4
+
+
+@given(
+    secret=st.text(min_size=1, max_size=16),
+    seed=st.text(min_size=1, max_size=8),
+    count=st.integers(min_value=2, max_value=20),
+)
+def test_property_whole_chain_authenticates(secret, seed, count):
+    gen = OTPGenerator(secret, seed, count=count)
+    state = gen.initial_verifier()
+    while gen.remaining:
+        state = state.verify(gen.next_word())
+    assert state.counter == 0

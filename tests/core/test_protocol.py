@@ -1,0 +1,129 @@
+"""The MyProxy wire protocol: encode/decode, versioning, robustness."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.protocol import AuthMethod, Command, Request, Response
+from repro.util.errors import ProtocolError
+
+
+class TestRequest:
+    def test_roundtrip_minimal(self):
+        request = Request(command=Command.GET, username="alice")
+        assert Request.decode(request.encode()) == request
+
+    def test_roundtrip_full(self):
+        request = Request(
+            command=Command.PUT,
+            username="alice",
+            passphrase="correct horse 42",
+            lifetime=604800.0,
+            cred_name="wallet-1",
+            auth_method=AuthMethod.OTP,
+            max_get_lifetime=7200.0,
+            retrievers=("/O=Grid/CN=host/portal.*", "/O=Grid/CN=renewer"),
+            new_passphrase="",
+        )
+        assert Request.decode(request.encode()) == request
+
+    def test_version_first_on_wire(self):
+        data = Request(command=Command.GET, username="u").encode()
+        assert data.startswith(b"VERSION=MYPROXYv2-REPRO\n")
+
+    def test_wrong_version_rejected(self):
+        data = Request(command=Command.GET, username="u").encode()
+        with pytest.raises(ProtocolError, match="version"):
+            Request.decode(data.replace(b"MYPROXYv2-REPRO", b"MYPROXYv1"))
+
+    def test_unknown_command_rejected(self):
+        data = Request(command=Command.GET, username="u").encode()
+        with pytest.raises(ProtocolError):
+            Request.decode(data.replace(b"COMMAND=0", b"COMMAND=99"))
+
+    def test_unknown_auth_method_rejected(self):
+        data = Request(command=Command.GET, username="u").encode()
+        with pytest.raises(ProtocolError):
+            Request.decode(data.replace(b"AUTH_METHOD=passphrase", b"AUTH_METHOD=magic"))
+
+    def test_empty_username_rejected(self):
+        with pytest.raises(ProtocolError):
+            Request(command=Command.GET, username="")
+
+    def test_negative_lifetime_rejected(self):
+        with pytest.raises(ProtocolError):
+            Request(command=Command.GET, username="u", lifetime=-1.0)
+
+    def test_passphrase_may_contain_equals_and_spaces(self):
+        request = Request(
+            command=Command.GET, username="u", passphrase="a=b c,d;e"
+        )
+        assert Request.decode(request.encode()).passphrase == "a=b c,d;e"
+
+    def test_empty_retrievers_distinct_from_absent(self):
+        present = Request(command=Command.PUT, username="u", retrievers=())
+        absent = Request(command=Command.PUT, username="u", retrievers=None)
+        assert Request.decode(present.encode()).retrievers == ()
+        assert Request.decode(absent.encode()).retrievers is None
+
+
+class TestResponse:
+    def test_success_roundtrip(self):
+        response = Response.success({"granted_lifetime": 7200.0})
+        decoded = Response.decode(response.encode())
+        assert decoded.ok and decoded.info == {"granted_lifetime": 7200.0}
+
+    def test_failure_roundtrip(self):
+        response = Response.failure("remote authorization/authentication failed")
+        decoded = Response.decode(response.encode())
+        assert not decoded.ok
+        assert "failed" in decoded.error
+
+    def test_error_newlines_flattened(self):
+        decoded = Response.decode(Response.failure("two\nlines").encode())
+        assert decoded.error == "two lines"
+
+    def test_malformed_info_rejected(self):
+        data = Response.success({"a": 1}).encode().replace(b'{"a": 1}', b"{broken")
+        with pytest.raises(ProtocolError):
+            Response.decode(data)
+
+    def test_non_object_info_rejected(self):
+        data = Response.success({"a": 1}).encode().replace(b'{"a": 1}', b"[1,2]")
+        with pytest.raises(ProtocolError):
+            Response.decode(data)
+
+    def test_bad_response_code_rejected(self):
+        data = Response.success().encode().replace(b"RESPONSE=0", b"RESPONSE=7")
+        with pytest.raises(ProtocolError):
+            Response.decode(data)
+
+
+_usernames = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789._@-"),
+    min_size=1,
+    max_size=32,
+)
+_phrases = st.text(
+    alphabet=st.characters(blacklist_characters="\n\r", blacklist_categories=("Cs",)),
+    max_size=48,
+)
+
+
+@given(
+    command=st.sampled_from(list(Command)),
+    username=_usernames,
+    passphrase=_phrases,
+    lifetime=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+    cred_name=_usernames,
+    auth=st.sampled_from(list(AuthMethod)),
+)
+def test_property_request_roundtrip(command, username, passphrase, lifetime, cred_name, auth):
+    request = Request(
+        command=command,
+        username=username,
+        passphrase=passphrase,
+        lifetime=round(lifetime, 3),
+        cred_name=cred_name,
+        auth_method=auth,
+    )
+    assert Request.decode(request.encode()) == request

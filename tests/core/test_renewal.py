@@ -1,0 +1,128 @@
+"""The renewal agent (§6.6), against a bare credential holder."""
+
+import pytest
+
+from repro.core.protocol import AuthMethod
+from repro.core.otp import OTPGenerator
+from repro.core.renewal import RenewalAgent, RenewalTarget
+from repro.util.errors import ReproError
+
+PASS = "correct horse 42"
+
+
+class Holder:
+    """A minimal credential-holding 'job'."""
+
+    def __init__(self, credential):
+        self.credential = credential
+        self.done = False
+
+
+@pytest.fixture()
+def setup(tb):
+    alice = tb.new_user("alice")
+    tb.myproxy_init(alice, passphrase=PASS)
+    requester = tb.new_user("renewsvc")
+    client = tb.myproxy_client(requester.credential)
+    proxy = client.get_delegation(username="alice", passphrase=PASS, lifetime=3600)
+    holder = Holder(proxy)
+    agent = RenewalAgent(client, clock=tb.clock)
+    return tb, holder, agent
+
+
+def target(holder, **overrides) -> RenewalTarget:
+    defaults = dict(
+        name="job-1",
+        get_credential=lambda: holder.credential,
+        set_credential=lambda c: setattr(holder, "credential", c),
+        username="alice",
+        secret=lambda: PASS,
+        lifetime=3600.0,
+        threshold=600.0,
+        finished=lambda: holder.done,
+    )
+    defaults.update(overrides)
+    return RenewalTarget(**defaults)
+
+
+class TestRenewal:
+    def test_no_renewal_while_fresh(self, setup):
+        tb, holder, agent = setup
+        agent.register(target(holder))
+        assert agent.check_once() == []
+
+    def test_renews_when_below_threshold(self, setup, clock):
+        tb, holder, agent = setup
+        agent.register(target(holder))
+        old_not_after = holder.credential.certificate.not_after
+        clock.advance(3600 - 300)  # 300s left < 600s threshold
+        assert agent.check_once() == ["job-1"]
+        assert holder.credential.certificate.not_after > old_not_after
+
+    def test_repeated_renewals(self, setup, clock):
+        tb, holder, agent = setup
+        agent.register(target(holder))
+        renewals = 0
+        for _ in range(5):
+            clock.advance(3300)
+            renewals += len(agent.check_once())
+        assert renewals == 5
+        assert holder.credential.seconds_remaining(clock) > 0
+
+    def test_finished_target_dropped(self, setup, clock):
+        tb, holder, agent = setup
+        agent.register(target(holder))
+        holder.done = True
+        clock.advance(3500)
+        assert agent.check_once() == []
+        # And it was unregistered: a second pass is still a no-op.
+        assert agent.check_once() == []
+
+    def test_failed_renewal_recorded_not_raised(self, setup, clock):
+        tb, holder, agent = setup
+        agent.register(target(holder, secret=lambda: "wrong passphrase"))
+        clock.advance(3300)
+        assert agent.check_once() == []
+        assert any(not e.ok for e in agent.events)
+
+    def test_successful_renewal_recorded(self, setup, clock):
+        tb, holder, agent = setup
+        agent.register(target(holder))
+        clock.advance(3300)
+        agent.check_once()
+        assert any(e.ok and e.target == "job-1" for e in agent.events)
+
+    def test_duplicate_registration_refused(self, setup):
+        tb, holder, agent = setup
+        agent.register(target(holder))
+        with pytest.raises(ReproError):
+            agent.register(target(holder))
+
+    def test_otp_renewal_consumes_words(self, tb, clock, key_pool):
+        """Renewal works with one-time passwords, one word per renewal."""
+        from repro.pki.proxy import create_proxy
+
+        user = tb.new_user("otpjob")
+        gen = OTPGenerator("renew secret", "s1", count=10)
+        client = tb.myproxy_client(user.credential)
+        week_proxy = create_proxy(user.credential, lifetime=7 * 86400,
+                                  key_source=key_pool, clock=clock)
+        client.put(week_proxy, username="otpjob", auth_method=AuthMethod.OTP,
+                   otp=gen, lifetime=7 * 86400)
+
+        svc = tb.new_user("svc")
+        svc_client = tb.myproxy_client(svc.credential)
+        proxy = svc_client.get_delegation(
+            username="otpjob", passphrase=gen.next_word(),
+            auth_method=AuthMethod.OTP, lifetime=3600,
+        )
+        holder = Holder(proxy)
+        agent = RenewalAgent(svc_client, clock=clock)
+        agent.register(
+            target(holder, username="otpjob", secret=gen.next_word,
+                   auth_method=AuthMethod.OTP)
+        )
+        before = gen.remaining
+        clock.advance(3300)
+        assert agent.check_once() == ["job-1"]
+        assert gen.remaining == before - 1

@@ -1,0 +1,226 @@
+"""§6.6 renewal-by-possession (the real MyProxy "renewers" mechanism).
+
+A renewal agent holds no user secret at all: it authenticates to the
+repository *with the expiring proxy itself*, and the server re-delegates if
+(a) renewal is enabled server-side, (b) the entry was stored with a
+RENEWERS list, and (c) the presented identity matches the stored owner.
+"""
+
+import pytest
+
+from repro.core.policy import ServerPolicy
+from repro.core.protocol import AuthMethod
+from repro.core.renewal import RenewalAgent, RenewalTarget
+from repro.pki.proxy import create_proxy
+from repro.util.errors import AuthenticationError
+
+PASS = "correct horse 42"
+
+
+def put_renewable(tb, user, renewers=("*",), **kwargs):
+    proxy = create_proxy(user.credential, lifetime=7 * 86400,
+                         key_source=tb.key_source, clock=tb.clock)
+    return tb.myproxy_client(user.credential).put(
+        proxy, username=user.name, passphrase=PASS, lifetime=7 * 86400,
+        renewers=renewers, **kwargs,
+    )
+
+
+@pytest.fixture()
+def renewable(tb):
+    alice = tb.new_user("alice")
+    put_renewable(tb, alice)
+    # The "job's" current proxy, near the end of its life.
+    svc = tb.new_user("svc")
+    current = tb.myproxy_client(svc.credential).get_delegation(
+        username="alice", passphrase=PASS, lifetime=3600
+    )
+    return tb, alice, current
+
+
+class TestStorage:
+    def test_renewable_entry_has_sealed_copy(self, tb):
+        alice = tb.new_user("alice")
+        put_renewable(tb, alice)
+        entry = tb.myproxy.repository.get("alice", "default")
+        assert entry.renewers == ("*",)
+        assert entry.key_pem_renewal is not None
+        # The sealed copy opens only with the server's master key.
+        from repro.core.repository import SecretBox
+        from repro.util.errors import AuthenticationError as AuthErr
+
+        with pytest.raises(AuthErr):
+            SecretBox().open(entry.key_pem_renewal)
+
+    def test_non_renewable_entry_has_no_copy(self, tb):
+        alice = tb.new_user("alice")
+        tb.myproxy_init(alice, passphrase=PASS)
+        entry = tb.myproxy.repository.get("alice", "default")
+        assert entry.renewers is None and entry.key_pem_renewal is None
+
+    def test_put_renewable_refused_when_policy_disables(self, tb_factory):
+        tb = tb_factory(myproxy_policy=ServerPolicy(allow_renewal_auth=False))
+        alice = tb.new_user("alice")
+        with pytest.raises(AuthenticationError, match="renewal"):
+            put_renewable(tb, alice)
+
+    def test_store_longterm_refuses_renewers(self, tb):
+        """STORE guarantees the plaintext key never exists server-side;
+        a renewable copy would break that, so the server refuses.  The
+        client API exposes no such knob — drive the protocol directly."""
+        from repro.core.protocol import Command, Request, Response
+        from repro.transport.channel import connect_secure
+
+        alice = tb.new_user("alice")
+        request = Request(command=Command.STORE, username="alice",
+                          passphrase=PASS, renewers=("*",))
+        channel = connect_secure(
+            tb.myproxy_targets["repo-0"](), alice.credential, tb.validator
+        )
+        channel.send(request.encode())
+        response = Response.decode(channel.recv())
+        channel.close()
+        assert not response.ok and "renewable" in response.error
+
+
+class TestRenewalGet:
+    def test_possession_renews_without_secret(self, renewable, clock):
+        tb, alice, current = renewable
+        client = tb.myproxy_client(current)  # authenticated AS the proxy
+        clock.advance(3000)
+        fresh = client.get_delegation(
+            username="alice", passphrase="", auth_method=AuthMethod.RENEWAL,
+            lifetime=3600,
+        )
+        assert fresh.identity == alice.dn
+        assert fresh.certificate.not_after > current.certificate.not_after
+        audit = [r for r in tb.myproxy.audit_log() if r.ok and r.command == "GET"][-1]
+        assert "auth=renewal" in audit.detail
+
+    def test_renewal_chains_indefinitely_within_stored_life(self, renewable, clock):
+        """Each renewed proxy can authenticate the next renewal — the agent
+        never needs a secret for the whole stored-credential lifetime."""
+        tb, alice, current = renewable
+        for _ in range(4):
+            clock.advance(3000)
+            client = tb.myproxy_client(current)
+            current = client.get_delegation(
+                username="alice", passphrase="",
+                auth_method=AuthMethod.RENEWAL, lifetime=3600,
+            )
+        assert current.seconds_remaining(clock) > 0
+
+    def test_wrong_identity_cannot_renew(self, renewable):
+        tb, _, _ = renewable
+        mallory = tb.new_user("mallory")
+        proxy = create_proxy(mallory.credential, key_source=tb.key_source,
+                             clock=tb.clock)
+        with pytest.raises(AuthenticationError):
+            tb.myproxy_client(proxy).get_delegation(
+                username="alice", passphrase="", auth_method=AuthMethod.RENEWAL
+            )
+
+    def test_non_renewable_entry_refuses(self, tb):
+        alice = tb.new_user("alice")
+        tb.myproxy_init(alice, passphrase=PASS)  # no renewers
+        svc = tb.new_user("svc")
+        current = tb.myproxy_client(svc.credential).get_delegation(
+            username="alice", passphrase=PASS
+        )
+        with pytest.raises(AuthenticationError):
+            tb.myproxy_client(current).get_delegation(
+                username="alice", passphrase="", auth_method=AuthMethod.RENEWAL
+            )
+
+    def test_renewers_pattern_enforced(self, tb):
+        """A RENEWERS list naming a different DN blocks even the owner."""
+        alice = tb.new_user("alice")
+        put_renewable(tb, alice, renewers=("/O=Grid/OU=Repro/CN=SomeoneElse",))
+        svc = tb.new_user("svc")
+        current = tb.myproxy_client(svc.credential).get_delegation(
+            username="alice", passphrase=PASS
+        )
+        with pytest.raises(AuthenticationError):
+            tb.myproxy_client(current).get_delegation(
+                username="alice", passphrase="", auth_method=AuthMethod.RENEWAL
+            )
+
+    def test_passphrase_get_still_works_on_renewable_entry(self, renewable):
+        tb, alice, _ = renewable
+        svc2 = tb.new_user("svc2")
+        proxy = tb.myproxy_client(svc2.credential).get_delegation(
+            username="alice", passphrase=PASS
+        )
+        assert proxy.identity == alice.dn
+
+    def test_renewal_survives_passphrase_change(self, renewable):
+        tb, alice, current = renewable
+        tb.myproxy_client(alice.credential).change_passphrase(
+            username="alice", old_passphrase=PASS, new_passphrase="rotated 99",
+        )
+        fresh = tb.myproxy_client(current).get_delegation(
+            username="alice", passphrase="", auth_method=AuthMethod.RENEWAL
+        )
+        assert fresh.identity == alice.dn
+
+    def test_expired_proxy_cannot_renew(self, renewable, clock):
+        """The window is real: once the proxy is dead, possession is gone —
+        the handshake itself refuses the expired credential."""
+        from repro.util.errors import ReproError
+
+        tb, _, current = renewable
+        clock.advance(3600 + 400)
+        with pytest.raises(ReproError):
+            tb.myproxy_client(current).get_delegation(
+                username="alice", passphrase="", auth_method=AuthMethod.RENEWAL
+            )
+
+
+class TestAgentIntegration:
+    def test_agent_renews_with_no_secret_at_all(self, renewable, clock):
+        tb, alice, current = renewable
+        holder = {"cred": current}
+        svc = tb.users["svc"]
+        agent = RenewalAgent(
+            tb.myproxy_client(svc.credential),
+            clock=clock,
+            client_factory=lambda cred: tb.myproxy_client(cred),
+        )
+        agent.register(
+            RenewalTarget(
+                name="job-r",
+                get_credential=lambda: holder["cred"],
+                set_credential=lambda c: holder.__setitem__("cred", c),
+                username="alice",
+                secret=lambda: (_ for _ in ()).throw(AssertionError("no secret!")),
+                auth_method=AuthMethod.RENEWAL,
+                lifetime=3600.0,
+                threshold=900.0,
+            )
+        )
+        renewed = 0
+        for _ in range(5):
+            clock.advance(3000)
+            renewed += len(agent.check_once())
+        assert renewed == 5
+        assert holder["cred"].seconds_remaining(clock) > 0
+
+    def test_agent_without_factory_records_failure(self, renewable, clock):
+        tb, _, current = renewable
+        holder = {"cred": current}
+        svc = tb.users["svc"]
+        agent = RenewalAgent(tb.myproxy_client(svc.credential), clock=clock)
+        agent.register(
+            RenewalTarget(
+                name="job-r",
+                get_credential=lambda: holder["cred"],
+                set_credential=lambda c: holder.__setitem__("cred", c),
+                username="alice",
+                secret=lambda: "",
+                auth_method=AuthMethod.RENEWAL,
+                threshold=900.0,
+            )
+        )
+        clock.advance(3000)
+        assert agent.check_once() == []
+        assert any("client_factory" in e.detail for e in agent.events)

@@ -1,0 +1,275 @@
+"""The MyProxy server's command handling, exercised through the client API.
+
+The Figure-1/Figure-2 happy paths live in tests/integration/; these tests
+cover the command surface and its refusals.
+"""
+
+import pytest
+
+from repro.core.policy import ServerPolicy
+from repro.core.protocol import AuthMethod
+from repro.core.otp import OTPGenerator
+from repro.core.siteauth import SiteAuthority
+from repro.util.errors import AuthenticationError
+
+
+PASS = "correct horse 42"
+
+
+@pytest.fixture()
+def seeded(tb):
+    """A testbed with alice registered in MyProxy."""
+    alice = tb.new_user("alice")
+    tb.myproxy_init(alice, passphrase=PASS)
+    portal = tb.new_user("portalsvc")  # stands in for a portal's identity
+    return tb, alice, portal
+
+
+class TestPut:
+    def test_put_stores_credential_with_week_expiry(self, seeded, clock):
+        tb, alice, _ = seeded
+        entry = tb.myproxy.repository.get("alice", "default")
+        assert entry.owner_dn == str(alice.dn)
+        assert entry.not_after == pytest.approx(clock.now() + 7 * 86400, abs=600)
+
+    def test_put_weak_passphrase_refused(self, tb):
+        user = tb.new_user("weak")
+        with pytest.raises(AuthenticationError, match="dictionary|characters"):
+            tb.myproxy_init(user, passphrase="password")
+        assert tb.myproxy.repository.count() == 0
+
+    def test_put_bad_username_refused(self, tb):
+        user = tb.new_user("spacey")
+        with pytest.raises(AuthenticationError):
+            tb.myproxy_init(user, passphrase=PASS, username="has space")
+
+    def test_put_over_policy_lifetime_refused(self, tb_factory):
+        tb = tb_factory(myproxy_policy=ServerPolicy(max_stored_lifetime=3600.0))
+        user = tb.new_user("eager")
+        with pytest.raises(AuthenticationError, match="exceeds"):
+            tb.myproxy_init(user, passphrase=PASS)  # defaults to one week
+
+    def test_put_cannot_store_someone_elses_credential(self, tb, key_pool, clock):
+        """Authenticate as mallory, try to delegate alice's credential."""
+        from repro.pki.proxy import create_proxy
+
+        alice = tb.new_user("alice2")
+        mallory = tb.new_user("mallory")
+        client = tb.myproxy_client(mallory.credential)
+        alice_proxy = create_proxy(alice.credential, key_source=key_pool, clock=clock)
+        with pytest.raises(AuthenticationError, match="refused"):
+            client.put(alice_proxy, username="alice2", passphrase=PASS)
+        assert tb.myproxy.repository.count() == 0
+
+    def test_put_second_credential_name(self, seeded):
+        tb, alice, _ = seeded
+        from repro.pki.proxy import create_proxy
+
+        client = tb.myproxy_client(alice.credential)
+        proxy = create_proxy(
+            alice.credential, lifetime=86400, key_source=tb.key_source, clock=tb.clock
+        )
+        client.put(proxy, username="alice", passphrase=PASS, cred_name="second",
+                   lifetime=86400)
+        names = {e.cred_name for e in tb.myproxy.repository.list_for("alice")}
+        assert names == {"default", "second"}
+
+
+class TestGet:
+    def test_get_with_correct_passphrase(self, seeded):
+        tb, alice, portal = seeded
+        proxy = tb.myproxy_get(
+            username="alice", passphrase=PASS, requester=portal.credential, lifetime=3600
+        )
+        assert proxy.identity == alice.dn
+        assert tb.validator.validate(proxy.full_chain())
+
+    def test_get_wrong_passphrase_generic_denial(self, seeded):
+        tb, _, portal = seeded
+        with pytest.raises(AuthenticationError) as exc_info:
+            tb.myproxy_get(username="alice", passphrase="wrong wrong", requester=portal.credential)
+        # §5.1-adjacent: the refusal must not disclose what went wrong.
+        assert "remote authorization/authentication failed" in str(exc_info.value)
+
+    def test_get_unknown_user_same_generic_denial(self, seeded):
+        tb, _, portal = seeded
+        with pytest.raises(AuthenticationError) as unknown_exc:
+            tb.myproxy_get(username="nobody", passphrase=PASS, requester=portal.credential)
+        with pytest.raises(AuthenticationError) as badpass_exc:
+            tb.myproxy_get(username="alice", passphrase="bad pass 1", requester=portal.credential)
+        assert str(unknown_exc.value) == str(badpass_exc.value)
+
+    def test_get_lifetime_clamped_to_server_policy(self, seeded, clock):
+        tb, _, portal = seeded
+        proxy = tb.myproxy_get(
+            username="alice", passphrase=PASS, requester=portal.credential,
+            lifetime=9999 * 3600.0,
+        )
+        max_allowed = tb.myproxy.policy.max_delegation_lifetime
+        assert proxy.seconds_remaining(clock) <= max_allowed + 300
+
+    def test_get_lifetime_clamped_to_user_restriction(self, tb, clock):
+        """§4.1: the user caps what retrievers may take."""
+        user = tb.new_user("cautious")
+        tb.myproxy_init(user, passphrase=PASS, max_get_lifetime=600.0)
+        requester = tb.new_user("req")
+        proxy = tb.myproxy_get(
+            username="cautious", passphrase=PASS, requester=requester.credential,
+            lifetime=7200.0,
+        )
+        assert proxy.seconds_remaining(clock) <= 600.0 + 300
+
+    def test_get_default_lifetime_is_hours_not_week(self, seeded, clock):
+        tb, _, portal = seeded
+        proxy = tb.myproxy_get(username="alice", passphrase=PASS, requester=portal.credential)
+        assert proxy.seconds_remaining(clock) <= 12 * 3600 + 300
+
+    def test_repeated_gets_allowed(self, seeded):
+        """§4.3: 'this process could then be repeated as many times as the
+        user desires until the credentials ... expire'."""
+        tb, _, portal = seeded
+        for _ in range(3):
+            assert tb.myproxy_get(
+                username="alice", passphrase=PASS, requester=portal.credential
+            ).has_key
+
+    def test_per_credential_retriever_restriction(self, tb):
+        user = tb.new_user("picky")
+        friend = tb.new_user("friend")
+        stranger = tb.new_user("stranger")
+        tb.myproxy_init(
+            user, passphrase=PASS, retrievers=(str(friend.dn),)
+        )
+        assert tb.myproxy_get(
+            username="picky", passphrase=PASS, requester=friend.credential
+        ).identity == user.dn
+        with pytest.raises(AuthenticationError):
+            tb.myproxy_get(username="picky", passphrase=PASS, requester=stranger.credential)
+
+
+class TestInfoDestroyChange:
+    def test_info_lists_owned_credentials(self, seeded):
+        tb, alice, _ = seeded
+        rows = tb.myproxy_client(alice.credential).info(username="alice")
+        assert len(rows) == 1
+        assert rows[0].cred_name == "default"
+        assert rows[0].auth_method == "passphrase"
+        assert rows[0].seconds_remaining > 0
+
+    def test_info_refused_for_non_owner(self, seeded):
+        tb, _, portal = seeded
+        with pytest.raises(AuthenticationError):
+            tb.myproxy_client(portal.credential).info(username="alice")
+
+    def test_destroy_removes_entry(self, seeded):
+        tb, alice, portal = seeded
+        tb.myproxy_client(alice.credential).destroy(username="alice")
+        with pytest.raises(AuthenticationError):
+            tb.myproxy_get(username="alice", passphrase=PASS, requester=portal.credential)
+
+    def test_destroy_refused_for_non_owner(self, seeded):
+        tb, _, portal = seeded
+        with pytest.raises(AuthenticationError):
+            tb.myproxy_client(portal.credential).destroy(username="alice")
+
+    def test_change_passphrase(self, seeded):
+        tb, alice, portal = seeded
+        tb.myproxy_client(alice.credential).change_passphrase(
+            username="alice", old_passphrase=PASS, new_passphrase="brand new 77"
+        )
+        with pytest.raises(AuthenticationError):
+            tb.myproxy_get(username="alice", passphrase=PASS, requester=portal.credential)
+        assert tb.myproxy_get(
+            username="alice", passphrase="brand new 77", requester=portal.credential
+        ).has_key
+
+    def test_change_passphrase_needs_old(self, seeded):
+        tb, alice, _ = seeded
+        with pytest.raises(AuthenticationError):
+            tb.myproxy_client(alice.credential).change_passphrase(
+                username="alice", old_passphrase="wrong", new_passphrase="brand new 77"
+            )
+
+    def test_change_passphrase_new_must_pass_policy(self, seeded):
+        tb, alice, _ = seeded
+        with pytest.raises(AuthenticationError, match="dictionary|characters"):
+            tb.myproxy_client(alice.credential).change_passphrase(
+                username="alice", old_passphrase=PASS, new_passphrase="password"
+            )
+
+
+class TestAlternateAuth:
+    def test_otp_register_and_get(self, tb, key_pool, clock):
+        from repro.pki.proxy import create_proxy
+
+        user = tb.new_user("otpuser")
+        gen = OTPGenerator("otp secret", "seed0", count=8)
+        client = tb.myproxy_client(user.credential)
+        proxy = create_proxy(user.credential, lifetime=7 * 86400,
+                             key_source=key_pool, clock=clock)
+        client.put(proxy, username="otpuser", auth_method=AuthMethod.OTP, otp=gen,
+                   lifetime=7 * 86400)
+        requester = tb.new_user("req2")
+        got = tb.myproxy_client(requester.credential).get_delegation(
+            username="otpuser", passphrase=gen.next_word(), auth_method=AuthMethod.OTP
+        )
+        assert got.identity == user.dn
+
+    def test_site_ticket_auth(self, tb, key_pool, clock):
+        from repro.pki.proxy import create_proxy
+
+        site = SiteAuthority("EXAMPLE.ORG", clock=clock)
+        site.register_user("carol", "site pass 9")
+        tb.myproxy.site_secrets["EXAMPLE.ORG"] = site.shared_secret
+
+        carol = tb.new_user("carol")
+        client = tb.myproxy_client(carol.credential)
+        proxy = create_proxy(carol.credential, lifetime=7 * 86400,
+                             key_source=key_pool, clock=clock)
+        client.put(proxy, username="carol", auth_method=AuthMethod.SITE,
+                   site_realm="EXAMPLE.ORG", lifetime=7 * 86400)
+
+        ticket = site.login("carol", "site pass 9")
+        got = tb.myproxy_client(carol.credential).get_delegation(
+            username="carol", passphrase=ticket, auth_method=AuthMethod.SITE
+        )
+        assert got.identity == carol.dn
+
+    def test_method_mismatch_refused(self, seeded):
+        """An entry registered with a pass phrase refuses OTP login."""
+        tb, _, portal = seeded
+        with pytest.raises(AuthenticationError):
+            tb.myproxy_client(portal.credential).get_delegation(
+                username="alice", passphrase="aa" * 16, auth_method=AuthMethod.OTP
+            )
+
+    def test_disabled_method_refused(self, tb_factory):
+        tb = tb_factory(myproxy_policy=ServerPolicy(allow_passphrase_auth=False))
+        user = tb.new_user("nopass")
+        tb.myproxy_init(user, passphrase=PASS)
+        requester = tb.new_user("req3")
+        with pytest.raises(AuthenticationError):
+            tb.myproxy_get(username="nopass", passphrase=PASS, requester=requester.credential)
+
+
+class TestAudit:
+    def test_failed_gets_audited_with_detail(self, seeded):
+        tb, _, portal = seeded
+        try:
+            tb.myproxy_get(username="alice", passphrase="wrong!", requester=portal.credential)
+        except AuthenticationError:
+            pass
+        failures = [r for r in tb.myproxy.audit_log() if not r.ok]
+        assert any("pass phrase" in r.detail for r in failures)
+
+    def test_successful_operations_audited(self, seeded):
+        tb, _, portal = seeded
+        tb.myproxy_get(username="alice", passphrase=PASS, requester=portal.credential)
+        commands = [r.command for r in tb.myproxy.audit_log() if r.ok]
+        assert "PUT" in commands and "GET" in commands
+
+    def test_stats_counters(self, seeded):
+        tb, _, portal = seeded
+        before = tb.myproxy.stats.gets
+        tb.myproxy_get(username="alice", passphrase=PASS, requester=portal.credential)
+        assert tb.myproxy.stats.gets == before + 1

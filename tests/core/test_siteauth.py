@@ -1,0 +1,68 @@
+"""X3: site-security tickets as an alternate auth mechanism (§6.3)."""
+
+import pytest
+
+from repro.core.siteauth import SiteAuthority, verify_ticket
+from repro.util.clock import ManualClock
+from repro.util.errors import AuthenticationError
+
+
+@pytest.fixture()
+def site(clock):
+    authority = SiteAuthority("EXAMPLE.ORG", clock=clock)
+    authority.register_user("alice", "site password 1")
+    return authority
+
+
+class TestLogin:
+    def test_valid_login_yields_verifiable_ticket(self, site, clock):
+        ticket = site.login("alice", "site password 1")
+        verify_ticket(ticket, "alice", site.shared_secret, clock=clock,
+                      expected_realm="EXAMPLE.ORG")  # no raise
+
+    def test_wrong_password_refused(self, site):
+        with pytest.raises(AuthenticationError):
+            site.login("alice", "wrong")
+
+    def test_unknown_user_refused(self, site):
+        with pytest.raises(AuthenticationError):
+            site.login("mallory", "anything")
+
+
+class TestVerification:
+    def test_ticket_bound_to_user(self, site, clock):
+        ticket = site.login("alice", "site password 1")
+        with pytest.raises(AuthenticationError, match="different user"):
+            verify_ticket(ticket, "bob", site.shared_secret, clock=clock)
+
+    def test_ticket_bound_to_realm(self, site, clock):
+        ticket = site.login("alice", "site password 1")
+        with pytest.raises(AuthenticationError, match="realm"):
+            verify_ticket(ticket, "alice", site.shared_secret, clock=clock,
+                          expected_realm="OTHER.ORG")
+
+    def test_ticket_expires(self, site, clock):
+        ticket = site.login("alice", "site password 1", lifetime=60.0)
+        clock.advance(61.0)
+        with pytest.raises(AuthenticationError, match="expired"):
+            verify_ticket(ticket, "alice", site.shared_secret, clock=clock)
+
+    def test_foreign_secret_rejected(self, site, clock):
+        other = SiteAuthority("EXAMPLE.ORG", clock=clock)
+        ticket = site.login("alice", "site password 1")
+        with pytest.raises(AuthenticationError):
+            verify_ticket(ticket, "alice", other.shared_secret, clock=clock)
+
+    def test_tampered_ticket_rejected(self, site, clock):
+        import base64
+
+        ticket = site.login("alice", "site password 1")
+        raw = bytearray(base64.b64decode(ticket))
+        raw[5] ^= 0xFF
+        tampered = base64.b64encode(bytes(raw)).decode()
+        with pytest.raises(AuthenticationError):
+            verify_ticket(tampered, "alice", site.shared_secret, clock=clock)
+
+    def test_garbage_ticket_rejected(self, site, clock):
+        with pytest.raises(AuthenticationError):
+            verify_ticket("not base64 !!!", "alice", site.shared_secret, clock=clock)

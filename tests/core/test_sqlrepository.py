@@ -1,0 +1,80 @@
+"""SQLite backend specifics (shared behaviours run in test_repository.py)."""
+
+import threading
+
+import pytest
+
+from repro.core.sqlrepository import SqliteRepository, open_repository
+from tests.core.test_repository import entry
+
+
+class TestPersistence:
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "spool.db"
+        repo = SqliteRepository(path)
+        repo.put(entry())
+        repo.close()
+        reopened = SqliteRepository(path)
+        assert reopened.get("alice", "default").username == "alice"
+
+    def test_database_mode_0600(self, tmp_path):
+        path = tmp_path / "spool.db"
+        SqliteRepository(path)
+        assert (path.stat().st_mode & 0o777) == 0o600
+
+    def test_expired_before_index(self, tmp_path):
+        repo = SqliteRepository(tmp_path / "spool.db")
+        repo.put(entry(username="a", not_after=100.0))
+        repo.put(entry(username="b", owner_dn="/O=X/CN=B", not_after=300.0))
+        assert repo.expired_before(200.0) == [("a", "default")]
+
+    def test_concurrent_threads(self, tmp_path):
+        repo = SqliteRepository(tmp_path / "spool.db")
+        errors = []
+
+        def hammer(i):
+            try:
+                for n in range(15):
+                    repo.put(entry(username=f"user{i}", not_after=float(n)))
+                    repo.get(f"user{i}", "default")
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert errors == []
+        assert repo.count() == 4
+
+
+class TestOpenRepository:
+    def test_suffix_dispatch(self, tmp_path):
+        from repro.core.repository import FileRepository
+
+        assert isinstance(open_repository(tmp_path / "x.db"), SqliteRepository)
+        assert isinstance(open_repository(tmp_path / "x.sqlite"), SqliteRepository)
+        assert isinstance(open_repository(tmp_path / "spooldir"), FileRepository)
+
+
+class TestServedFromSqlite:
+    def test_full_myproxy_flow_on_sqlite(self, tmp_path, key_pool, clock):
+        """The server runs unchanged on the SQLite backend."""
+        from repro.core.client import myproxy_init_from_longterm
+        from repro.testbed import GridTestbed
+
+        tb = GridTestbed(clock=clock, key_source=key_pool)
+        try:
+            # Swap the backend under the live server.
+            tb.myproxy.repository = SqliteRepository(tmp_path / "spool.db")
+            alice = tb.new_user("alice")
+            assert tb.myproxy_init(alice, passphrase="correct horse 42").ok
+            svc = tb.new_user("svc")
+            proxy = tb.myproxy_get(
+                username="alice", passphrase="correct horse 42",
+                requester=svc.credential,
+            )
+            assert proxy.identity == alice.dn
+        finally:
+            tb.close()

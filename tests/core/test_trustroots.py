@@ -1,0 +1,127 @@
+"""TRUSTROOTS: trust-anchor and CRL distribution via the repository."""
+
+import pytest
+
+from repro.core.client import MyProxyClient
+from repro.core.policy import ServerPolicy
+from repro.pki.trustdir import TrustDirectory
+from repro.util.errors import AuthenticationError, ReproError
+
+PASS = "correct horse 42"
+
+
+class TestAuthenticatedFetch:
+    def test_fetch_returns_the_fabric(self, tb):
+        user = tb.new_user("alice")
+        cas, crls = tb.myproxy_client(user.credential).get_trustroots()
+        assert [c.subject for c in cas] == [tb.ca.name]
+        assert crls == []  # none installed yet
+
+    def test_crls_included_once_installed(self, tb):
+        user = tb.new_user("alice")
+        victim = tb.new_user("victim")
+        tb.ca.revoke(victim.credential.certificate)
+        tb.validator.update_crl(tb.ca.crl())
+        _cas, crls = tb.myproxy_client(user.credential).get_trustroots()
+        assert len(crls) == 1
+        assert crls[0].is_revoked(victim.credential.certificate.serial)
+
+    def test_refresh_into_trust_directory(self, tb, tmp_path, clock):
+        user = tb.new_user("alice")
+        tb.validator.update_crl(tb.ca.crl())
+        trustdir = TrustDirectory(tmp_path / "certificates")
+        cas, crls = tb.myproxy_client(user.credential).refresh_trust_directory(trustdir)
+        assert (cas, crls) == (1, 1)
+        validator = trustdir.build_validator(clock=clock)
+        assert validator.validate(user.credential.full_chain())
+
+    def test_crl_refresh_propagates_revocation(self, tb, tmp_path, clock):
+        """The operational win: clients learn revocations via the repo."""
+        alice = tb.new_user("alice")
+        mallory = tb.new_user("mallory")
+        trustdir = TrustDirectory(tmp_path / "certificates")
+        client = tb.myproxy_client(alice.credential)
+        client.refresh_trust_directory(trustdir)
+        local_validator = trustdir.build_validator(clock=clock)
+        assert local_validator.validate(mallory.credential.full_chain())
+
+        # mallory is compromised: the CA revokes, the repo learns, clients sync.
+        tb.ca.revoke(mallory.credential.certificate)
+        tb.validator.update_crl(tb.ca.crl())
+        client.refresh_trust_directory(trustdir)
+        refreshed = trustdir.build_validator(clock=clock)
+        from repro.util.errors import RevokedError
+
+        with pytest.raises(RevokedError):
+            refreshed.validate(mallory.credential.full_chain())
+
+
+class TestAnonymousFetch:
+    def test_anonymous_client_can_fetch(self, tb):
+        client = MyProxyClient(
+            tb.myproxy_targets["repo-0"], None, tb.validator, clock=tb.clock
+        )
+        cas, _crls = client.get_trustroots()
+        assert len(cas) == 1
+
+    def test_anonymous_client_cannot_do_anything_else(self, tb):
+        alice = tb.new_user("alice")
+        tb.myproxy_init(alice, passphrase=PASS)
+        anonymous = MyProxyClient(
+            tb.myproxy_targets["repo-0"], None, tb.validator, clock=tb.clock
+        )
+        with pytest.raises(AuthenticationError):
+            anonymous.get_delegation(username="alice", passphrase=PASS)
+        with pytest.raises(AuthenticationError):
+            anonymous.info(username="alice")
+        denied = [r for r in tb.myproxy.audit_log() if not r.ok]
+        assert any(r.peer == "<anonymous>" for r in denied)
+
+    def test_anonymous_fetch_can_be_disabled(self, tb_factory):
+        tb = tb_factory(
+            myproxy_policy=ServerPolicy(allow_anonymous_trustroots=False)
+        )
+        anonymous = MyProxyClient(
+            tb.myproxy_targets["repo-0"], None, tb.validator, clock=tb.clock
+        )
+        with pytest.raises(ReproError):  # refused in the handshake
+            anonymous.get_trustroots()
+        # Authenticated fetch still fine:
+        user = tb.new_user("alice")
+        cas, _ = tb.myproxy_client(user.credential).get_trustroots()
+        assert cas
+
+
+class TestCli:
+    def test_cli_end_to_end(self, key_pool, tmp_path, capsys):
+        from repro.cli.myproxy_get_trustroots import main
+        from repro.core.server import MyProxyServer
+        from repro.pki.ca import CertificateAuthority
+        from repro.pki.names import DistinguishedName
+        from repro.pki.validation import ChainValidator
+
+        ca = CertificateAuthority(
+            DistinguishedName.parse("/O=Grid/CN=TR CA"), key=key_pool.new_key()
+        )
+        ca_pem = tmp_path / "ca.pem"
+        ca_pem.write_bytes(ca.certificate.to_pem())
+        validator = ChainValidator([ca.certificate])
+        validator.update_crl(ca.crl())
+        server = MyProxyServer(
+            ca.issue_host_credential("tr.example.org", key=key_pool.new_key()),
+            validator,
+            key_source=key_pool,
+        )
+        host, port = server.start()
+        try:
+            assert main([
+                "-s", f"{host}:{port}", "--trusted-ca", str(ca_pem),
+                "--out-dir", str(tmp_path / "certificates"),
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "1 CA certificate(s) and 1 CRL(s)" in out
+            synced = TrustDirectory(tmp_path / "certificates")
+            assert len(synced.anchors()) == 1
+            assert len(synced.crls()) == 1
+        finally:
+            server.stop()

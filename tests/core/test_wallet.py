@@ -1,0 +1,109 @@
+"""X2: the electronic wallet (§6.2)."""
+
+import pytest
+
+from repro.core.wallet import TaskSpec, Wallet
+from repro.pki.proxy import create_proxy
+from repro.util.errors import ConfigError, NotFoundError
+
+PASS = "correct horse 42"
+
+
+@pytest.fixture()
+def wallet(tb, clock, key_pool):
+    """alice with two credentials: compute (NCSA) and storage (NPACI)."""
+    alice = tb.new_user("alice")
+    client = tb.myproxy_client(alice.credential)
+
+    for cred_name, lifetime in (("ncsa-compute", 7 * 86400), ("npaci-data", 3 * 86400)):
+        proxy = create_proxy(alice.credential, lifetime=lifetime,
+                             key_source=key_pool, clock=clock)
+        client.put(proxy, username="alice", passphrase=PASS,
+                   cred_name=cred_name, lifetime=lifetime)
+
+    wallet = Wallet(client=client, username="alice", clock=clock, key_source=key_pool)
+    wallet.register("ncsa-compute", purposes={"compute"}, organization="NCSA")
+    wallet.register("npaci-data", purposes={"storage", "compute"}, organization="NPACI")
+    return tb, alice, wallet
+
+
+class TestSelection:
+    def test_selects_by_purpose(self, wallet):
+        _, _, w = wallet
+        assert w.select(TaskSpec(purpose="storage")).cred_name == "npaci-data"
+
+    def test_prefers_longer_remaining_lifetime(self, wallet):
+        _, _, w = wallet
+        # Both entries match "compute"; ncsa has 7 days left vs npaci's 3.
+        assert w.select(TaskSpec(purpose="compute")).cred_name == "ncsa-compute"
+
+    def test_organization_preference_wins(self, wallet):
+        _, _, w = wallet
+        chosen = w.select(TaskSpec(purpose="compute", organization="NPACI"))
+        assert chosen.cred_name == "npaci-data"
+
+    def test_unknown_purpose_raises(self, wallet):
+        _, _, w = wallet
+        with pytest.raises(NotFoundError):
+            w.select(TaskSpec(purpose="quantum"))
+
+    def test_nearly_expired_candidates_skipped(self, wallet, clock):
+        tb, _, w = wallet
+        clock.advance(3 * 86400 - 100)  # npaci-data nearly dead
+        chosen = w.select(TaskSpec(purpose="compute", min_lifetime=3600))
+        assert chosen.cred_name == "ncsa-compute"
+
+    def test_all_expired_raises(self, wallet, clock):
+        _, _, w = wallet
+        clock.advance(8 * 86400)
+        with pytest.raises(NotFoundError):
+            w.select(TaskSpec(purpose="compute"))
+
+
+class TestMinimumRights:
+    def test_task_credential_carries_only_task_rights(self, wallet):
+        """§6.2: 'embed the minimum needed rights in those credentials'."""
+        tb, alice, w = wallet
+        cred = w.credential_for_task(
+            TaskSpec(purpose="storage", operations=frozenset({"store"}),
+                     resources=frozenset({"mass-storage"})),
+            passphrase=PASS,
+        )
+        ident = tb.validator.validate(cred.full_chain())
+        assert ident.identity == alice.dn
+        assert ident.permits("store", "mass-storage")
+        assert not ident.permits("submit_job", "gram")
+
+    def test_unrestricted_task_returns_plain_delegation(self, wallet):
+        tb, alice, w = wallet
+        cred = w.credential_for_task(TaskSpec(purpose="compute"), passphrase=PASS)
+        ident = tb.validator.validate(cred.full_chain())
+        assert ident.restrictions.is_unrestricted
+
+
+class TestCatalog:
+    def test_register_requires_purpose(self, wallet):
+        _, _, w = wallet
+        with pytest.raises(ConfigError):
+            w.register("x", purposes=set(), organization="Y")
+
+    def test_forget(self, wallet):
+        _, _, w = wallet
+        w.forget("ncsa-compute")
+        assert [e.cred_name for e in w.entries()] == ["npaci-data"]
+
+    def test_catalog_save_load(self, wallet, tmp_path):
+        tb, _, w = wallet
+        path = tmp_path / "wallet.json"
+        w.save_catalog(path)
+        fresh = Wallet(client=w.client, username="alice", clock=w.clock)
+        fresh.load_catalog(path)
+        assert {e.cred_name for e in fresh.entries()} == {"ncsa-compute", "npaci-data"}
+
+    def test_catalog_username_mismatch(self, wallet, tmp_path):
+        _, _, w = wallet
+        path = tmp_path / "wallet.json"
+        w.save_catalog(path)
+        other = Wallet(client=w.client, username="bob", clock=w.clock)
+        with pytest.raises(ConfigError):
+            other.load_catalog(path)

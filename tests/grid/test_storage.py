@@ -1,0 +1,122 @@
+"""The mass-storage service: per-user namespaces, quotas, proxy rules."""
+
+import pytest
+
+from repro.pki.proxy import ProxyRestrictions, create_proxy
+from repro.util.errors import AuthorizationError
+
+PASS = "correct horse 42"
+
+
+@pytest.fixture()
+def grid(tb, key_pool, clock):
+    alice = tb.new_user("alice")
+    bob = tb.new_user("bob")
+    alice_proxy = create_proxy(alice.credential, key_source=key_pool, clock=clock)
+    bob_proxy = create_proxy(bob.credential, key_source=key_pool, clock=clock)
+    return tb, alice_proxy, bob_proxy
+
+
+class TestFileOperations:
+    def test_store_fetch_roundtrip(self, grid):
+        tb, alice_proxy, _ = grid
+        with tb.storage_client(alice_proxy) as storage:
+            assert storage.store("data/run1.dat", b"results!") == 8
+            assert storage.fetch("data/run1.dat") == b"results!"
+
+    def test_list_and_delete(self, grid):
+        tb, alice_proxy, _ = grid
+        with tb.storage_client(alice_proxy) as storage:
+            storage.store("a.txt", b"1")
+            storage.store("b.txt", b"2")
+            assert storage.list() == ["a.txt", "b.txt"]
+            assert storage.delete("a.txt") is True
+            assert storage.delete("a.txt") is False
+            assert storage.list() == ["b.txt"]
+
+    def test_fetch_missing_refused(self, grid):
+        tb, alice_proxy, _ = grid
+        with tb.storage_client(alice_proxy) as storage:
+            with pytest.raises(AuthorizationError):
+                storage.fetch("ghost.dat")
+
+    def test_overwrite_replaces(self, grid):
+        tb, alice_proxy, _ = grid
+        with tb.storage_client(alice_proxy) as storage:
+            storage.store("f", b"old")
+            storage.store("f", b"new")
+            assert storage.fetch("f") == b"new"
+
+
+class TestNamespaceIsolation:
+    def test_users_see_only_their_own_files(self, grid):
+        tb, alice_proxy, bob_proxy = grid
+        with tb.storage_client(alice_proxy) as storage:
+            storage.store("private.txt", b"alice's data")
+        with tb.storage_client(bob_proxy) as storage:
+            assert storage.list() == []
+            with pytest.raises(AuthorizationError):
+                storage.fetch("private.txt")
+
+    def test_proxy_maps_to_owner_namespace(self, grid, tb, key_pool, clock):
+        """A deep delegation chain still lands in the user's own home."""
+        tb_, alice_proxy, _ = grid
+        deep = create_proxy(alice_proxy, key_source=key_pool, clock=clock)
+        with tb_.storage_client(alice_proxy) as storage:
+            storage.store("x", b"via proxy1")
+        with tb_.storage_client(deep) as storage:
+            assert storage.fetch("x") == b"via proxy1"
+
+    def test_unmapped_user_refused(self, tb, key_pool, clock, ca):
+        from repro.pki.names import DistinguishedName
+
+        stranger = tb.ca.issue_credential(
+            DistinguishedName.grid_user("Grid", "Repro", "Stranger"),
+            key=key_pool.new_key(),
+        )  # CA-valid but no gridmap entry
+        with tb.storage_client(stranger) as storage:
+            with pytest.raises(AuthorizationError, match="gridmap"):
+                storage.list()
+
+
+class TestProxyRules:
+    def test_limited_proxy_accepted_for_data(self, grid, tb, key_pool, clock):
+        tb_, alice_proxy, _ = grid
+        limited = create_proxy(alice_proxy, limited=True, key_source=key_pool, clock=clock)
+        with tb_.storage_client(limited) as storage:
+            storage.store("ok.txt", b"limited proxies may move data")
+
+    def test_restricted_proxy_enforced(self, tb, key_pool, clock):
+        user = tb.new_user("restricted")
+        fetch_only = create_proxy(
+            user.credential,
+            restrictions=ProxyRestrictions(operations=frozenset({"fetch", "list"})),
+            key_source=key_pool,
+            clock=clock,
+        )
+        with tb.storage_client(fetch_only) as storage:
+            assert storage.list() == []
+            with pytest.raises(AuthorizationError, match="restricted"):
+                storage.store("nope.txt", b"write denied")
+
+
+class TestQuota:
+    def test_quota_enforced(self, tb_factory, key_pool, clock):
+        tb = tb_factory()
+        tb.storage.quota_bytes = 100
+        user = tb.new_user("hoarder")
+        proxy = create_proxy(user.credential, key_source=key_pool, clock=clock)
+        with tb.storage_client(proxy) as storage:
+            storage.store("a", b"x" * 60)
+            with pytest.raises(AuthorizationError, match="quota"):
+                storage.store("b", b"x" * 60)
+            # Replacing the existing file within quota is fine.
+            storage.store("a", b"x" * 90)
+        assert tb.storage.usage("hoarder") == 90
+
+    def test_bad_paths_refused(self, grid):
+        tb, alice_proxy, _ = grid
+        with tb.storage_client(alice_proxy) as storage:
+            for bad in ("/abs", "../escape", ""):
+                with pytest.raises(AuthorizationError):
+                    storage.store(bad, b"x")

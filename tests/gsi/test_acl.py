@@ -1,0 +1,62 @@
+"""DN access-control lists — the §5.1 mechanism."""
+
+import pytest
+
+from repro.gsi.acl import AccessControlList
+from repro.pki.names import DistinguishedName
+from repro.util.errors import ConfigError
+
+ALICE = DistinguishedName.grid_user("Grid", "Repro", "Alice")
+PORTAL = DistinguishedName.parse("/O=Grid/CN=host/portal.example.org")
+
+
+class TestMatching:
+    def test_exact_match(self):
+        acl = AccessControlList([str(ALICE)])
+        assert acl.allows(ALICE)
+
+    def test_glob_match(self):
+        acl = AccessControlList(["/O=Grid/OU=Repro/CN=*"])
+        assert acl.allows(ALICE)
+        assert not acl.allows(PORTAL)
+
+    def test_star_allows_everyone(self):
+        acl = AccessControlList.allow_all()
+        assert acl.allows(ALICE) and acl.allows(PORTAL)
+
+    def test_empty_denies_everyone(self):
+        acl = AccessControlList.deny_all()
+        assert not acl.allows(ALICE)
+
+    def test_proxy_matches_base_identity_pattern(self):
+        """A portal authenticating with a proxy matches its host pattern."""
+        acl = AccessControlList(["/O=Grid/CN=host/portal.*"])
+        assert acl.allows(PORTAL.proxy_subject())
+
+    def test_case_sensitive(self):
+        acl = AccessControlList(["/O=Grid/OU=Repro/CN=alice"])
+        assert not acl.allows(ALICE)  # CN is 'Alice'
+
+    def test_multiple_patterns_any_match(self):
+        acl = AccessControlList(["/O=Elsewhere/*", str(ALICE)])
+        assert acl.allows(ALICE)
+
+
+class TestManagement:
+    def test_add_remove(self):
+        acl = AccessControlList()
+        acl.add(str(ALICE))
+        assert acl.allows(ALICE)
+        acl.remove(str(ALICE))
+        assert not acl.allows(ALICE)
+
+    def test_bad_patterns_refused(self):
+        with pytest.raises(ConfigError):
+            AccessControlList([""])
+        with pytest.raises(ConfigError):
+            AccessControlList(["no-leading-slash"])
+
+    def test_patterns_snapshot(self):
+        acl = AccessControlList(["*"], name="retrievers")
+        assert acl.patterns == ("*",)
+        assert acl.name == "retrievers"

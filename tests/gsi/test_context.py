@@ -1,0 +1,69 @@
+"""Security context checks: limited-proxy rule and §6.5 restrictions."""
+
+import pytest
+
+from repro.gsi.context import SecurityContext
+from repro.gsi.gridmap import GridMap
+from repro.pki.proxy import ProxyRestrictions, create_proxy
+from repro.util.errors import AuthorizationError
+
+
+def make_ctx(validator, credential, service="gram"):
+    ident = validator.validate(credential.full_chain())
+    return SecurityContext(channel=None, peer=ident, service_name=service)
+
+
+class TestLimitedRule:
+    def test_full_proxy_may_submit(self, validator, alice, clock, key_pool):
+        proxy = create_proxy(alice, key_source=key_pool, clock=clock)
+        ctx = make_ctx(validator, proxy)
+        ctx.authorize("submit_job", allow_limited=False)  # no raise
+
+    def test_limited_proxy_may_not_submit(self, validator, alice, clock, key_pool):
+        limited = create_proxy(alice, limited=True, key_source=key_pool, clock=clock)
+        ctx = make_ctx(validator, limited)
+        with pytest.raises(AuthorizationError, match="limited"):
+            ctx.authorize("submit_job", allow_limited=False)
+
+    def test_limited_proxy_may_move_data(self, validator, alice, clock, key_pool):
+        limited = create_proxy(alice, limited=True, key_source=key_pool, clock=clock)
+        ctx = make_ctx(validator, limited, service="mass-storage")
+        ctx.authorize("store", allow_limited=True)  # no raise
+
+
+class TestRestrictions:
+    def test_restricted_proxy_blocked_outside_whitelist(
+        self, validator, alice, clock, key_pool
+    ):
+        storage_only = create_proxy(
+            alice,
+            restrictions=ProxyRestrictions(operations=frozenset({"store", "fetch"})),
+            key_source=key_pool,
+            clock=clock,
+        )
+        gram_ctx = make_ctx(validator, storage_only, service="gram")
+        with pytest.raises(AuthorizationError, match="restricted"):
+            gram_ctx.authorize("submit_job")
+        storage_ctx = make_ctx(validator, storage_only, service="mass-storage")
+        storage_ctx.authorize("store")  # no raise
+
+    def test_resource_restriction(self, validator, alice, clock, key_pool):
+        only_storage_host = create_proxy(
+            alice,
+            restrictions=ProxyRestrictions(resources=frozenset({"mass-storage"})),
+            key_source=key_pool,
+            clock=clock,
+        )
+        with pytest.raises(AuthorizationError):
+            make_ctx(validator, only_storage_host, service="gram").authorize("anything")
+
+
+class TestGridmapResolution:
+    def test_local_user(self, validator, alice, clock, key_pool):
+        gridmap = GridMap([(alice.subject, "alice")])
+        proxy = create_proxy(alice, key_source=key_pool, clock=clock)
+        assert make_ctx(validator, proxy).local_user(gridmap) == "alice"
+
+    def test_unmapped_user_refused(self, validator, alice):
+        with pytest.raises(AuthorizationError):
+            make_ctx(validator, alice).local_user(GridMap())

@@ -1,0 +1,77 @@
+"""Gridmap files: DN → local account (§2.1)."""
+
+import pytest
+
+from repro.gsi.gridmap import GridMap
+from repro.pki.names import DistinguishedName
+from repro.util.errors import AuthorizationError, ConfigError
+
+ALICE = DistinguishedName.grid_user("Grid", "Repro", "Alice")
+BOB = DistinguishedName.grid_user("Grid", "Repro", "Bob")
+
+
+class TestLookup:
+    def test_known_dn_maps(self):
+        gridmap = GridMap([(ALICE, "alice")])
+        assert gridmap.lookup(ALICE) == "alice"
+
+    def test_unknown_dn_refused(self):
+        gridmap = GridMap([(ALICE, "alice")])
+        with pytest.raises(AuthorizationError):
+            gridmap.lookup(BOB)
+
+    def test_proxy_resolves_to_owner_account(self):
+        gridmap = GridMap([(ALICE, "alice")])
+        deep_proxy = ALICE.proxy_subject().proxy_subject(limited=True)
+        assert gridmap.lookup(deep_proxy) == "alice"
+
+    def test_knows(self):
+        gridmap = GridMap([(ALICE, "alice")])
+        assert gridmap.knows(ALICE.proxy_subject())
+        assert not gridmap.knows(BOB)
+
+    def test_remove(self):
+        gridmap = GridMap([(ALICE, "alice")])
+        gridmap.remove(ALICE)
+        with pytest.raises(AuthorizationError):
+            gridmap.lookup(ALICE)
+
+
+class TestValidation:
+    def test_proxy_entry_refused(self):
+        with pytest.raises(ConfigError):
+            GridMap([(ALICE.proxy_subject(), "alice")])
+
+    def test_bad_username_refused(self):
+        with pytest.raises(ConfigError):
+            GridMap([(ALICE, "has space")])
+        with pytest.raises(ConfigError):
+            GridMap([(ALICE, "")])
+
+
+class TestFileFormat:
+    GOOD = (
+        '# grid-mapfile\n'
+        '"/O=Grid/OU=Repro/CN=Alice" alice\n'
+        '\n'
+        '"/O=Grid/OU=Repro/CN=Bob" bob\n'
+    )
+
+    def test_parse(self):
+        gridmap = GridMap.parse(self.GOOD)
+        assert gridmap.lookup(ALICE) == "alice"
+        assert gridmap.lookup(BOB) == "bob"
+        assert len(gridmap) == 2
+
+    def test_dump_parse_roundtrip(self):
+        gridmap = GridMap([(ALICE, "alice"), (BOB, "bob")])
+        assert GridMap.parse(gridmap.dump()).lookup(BOB) == "bob"
+
+    def test_malformed_line_reports_number(self):
+        with pytest.raises(ConfigError, match="line 2"):
+            GridMap.parse('"/O=Grid/CN=Ok" fine\nnot a gridmap line\n')
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "grid-mapfile"
+        GridMap([(ALICE, "alice")]).save(path)
+        assert GridMap.load(path).lookup(ALICE) == "alice"

@@ -1,0 +1,174 @@
+"""Concurrency stress: many clients, mixed commands, one repository.
+
+The repository's consistency promises must survive interleaving: counters
+match the audit trail, per-user entries end in the expected state, and no
+cross-user contamination occurs.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.client import myproxy_init_from_longterm
+from repro.util.errors import ReproError
+
+PASS = "correct horse 42"
+N_USERS = 6
+GETS_PER_USER = 3
+
+
+class TestMixedWorkload:
+    def test_interleaved_puts_gets_destroys(self, tb):
+        users = [tb.new_user(f"user{i}") for i in range(N_USERS)]
+        retriever = tb.new_user("retriever")
+        errors: list[Exception] = []
+        barrier = threading.Barrier(N_USERS)
+
+        def lifecycle(user):
+            try:
+                barrier.wait(timeout=30)
+                client = tb.myproxy_client(user.credential)
+                myproxy_init_from_longterm(
+                    client, user.credential, username=user.name,
+                    passphrase=PASS, key_source=tb.key_source,
+                )
+                getter = tb.myproxy_client(retriever.credential)
+                for _ in range(GETS_PER_USER):
+                    proxy = getter.get_delegation(
+                        username=user.name, passphrase=PASS, lifetime=3600
+                    )
+                    assert proxy.identity == user.dn
+                rows = client.info(username=user.name)
+                assert len(rows) == 1
+                client.destroy(username=user.name)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=lifecycle, args=(u,)) for u in users]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert errors == []
+        assert tb.myproxy.repository.count() == 0
+        assert tb.myproxy.stats.puts == N_USERS
+        assert tb.myproxy.stats.gets == N_USERS * GETS_PER_USER
+        ok_destroys = [
+            r for r in tb.myproxy.audit_log() if r.command == "DESTROY" and r.ok
+        ]
+        assert len(ok_destroys) == N_USERS
+
+    def test_concurrent_gets_against_one_credential(self, tb):
+        """Hot-credential contention: every retrieval still validates."""
+        alice = tb.new_user("alice")
+        tb.myproxy_init(alice, passphrase=PASS)
+        retriever = tb.new_user("retriever")
+        results, errors = [], []
+
+        def get_once():
+            try:
+                proxy = tb.myproxy_get(
+                    username="alice", passphrase=PASS,
+                    requester=retriever.credential, lifetime=3600,
+                )
+                results.append(tb.validator.validate(proxy.full_chain()).identity)
+            except ReproError as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=get_once) for _ in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert errors == []
+        assert len(results) == 12
+        assert all(identity == alice.dn for identity in results)
+
+    def test_concurrent_otp_gets_serialize_correctly(self, tb, key_pool, clock):
+        """OTP chain state under racing retrievals: each word is consumed
+        exactly once; stale words are refused, never double-spent."""
+        from repro.core.otp import OTPGenerator
+        from repro.core.protocol import AuthMethod
+        from repro.pki.proxy import create_proxy
+
+        user = tb.new_user("otprace")
+        gen = OTPGenerator("race secret", "s", count=20)
+        proxy = create_proxy(user.credential, lifetime=7 * 86400,
+                             key_source=key_pool, clock=clock)
+        tb.myproxy_client(user.credential).put(
+            proxy, username="otprace", auth_method=AuthMethod.OTP, otp=gen,
+            lifetime=7 * 86400,
+        )
+        requester = tb.new_user("req")
+        client = tb.myproxy_client(requester.credential)
+        outcomes = []
+        lock = threading.Lock()
+        words = [gen.next_word() for _ in range(6)]  # w_{n-1} .. w_{n-6}
+
+        def try_word(word):
+            try:
+                client.get_delegation(username="otprace", passphrase=word,
+                                      auth_method=AuthMethod.OTP)
+                with lock:
+                    outcomes.append("ok")
+            except ReproError:
+                with lock:
+                    outcomes.append("refused")
+
+        # Race all six words at once.  The server accepts only words that
+        # are exactly-next when checked; any interleaving yields at least
+        # one success and never a double-spend.
+        threads = [threading.Thread(target=try_word, args=(w,)) for w in words]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert len(outcomes) == 6
+        assert outcomes.count("ok") >= 1
+        # Whatever happened, the chain state is consistent: the server's
+        # counter dropped exactly once per success.
+        entry = tb.myproxy.repository.get("otprace", "default")
+        from repro.core.otp import OTPVerifier
+
+        state = OTPVerifier.from_payload(entry.verifier["otp"])
+        assert state.counter == 20 - outcomes.count("ok")
+
+    def test_same_otp_word_cannot_be_double_spent(self, tb, key_pool, clock):
+        """TOCTOU guard: racing the *same* word yields exactly one success."""
+        from repro.core.otp import OTPGenerator
+        from repro.core.protocol import AuthMethod
+        from repro.pki.proxy import create_proxy
+
+        user = tb.new_user("otprace2")
+        gen = OTPGenerator("race secret 2", "s", count=10)
+        proxy = create_proxy(user.credential, lifetime=7 * 86400,
+                             key_source=key_pool, clock=clock)
+        tb.myproxy_client(user.credential).put(
+            proxy, username="otprace2", auth_method=AuthMethod.OTP, otp=gen,
+            lifetime=7 * 86400,
+        )
+        requester = tb.new_user("req2")
+        client = tb.myproxy_client(requester.credential)
+        word = gen.next_word()
+        outcomes = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def spend():
+            try:
+                barrier.wait(timeout=30)
+                client.get_delegation(username="otprace2", passphrase=word,
+                                      auth_method=AuthMethod.OTP)
+                with lock:
+                    outcomes.append("ok")
+            except ReproError:
+                with lock:
+                    outcomes.append("refused")
+
+        threads = [threading.Thread(target=spend) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert outcomes.count("ok") == 1
+        assert outcomes.count("refused") == 7

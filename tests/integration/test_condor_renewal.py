@@ -1,0 +1,200 @@
+"""X5 — §6.6: long-running jobs outliving their proxies.
+
+NOTIFY mode reproduces Condor-G's legacy "e-mail the user" behaviour (and
+the failure when nobody acts); RENEW mode is the paper's proposal — MyProxy
+supplies fresh credentials and the job completes.
+"""
+
+import pytest
+
+from repro.condor.manager import CondorGManager, ManagerMode
+from repro.grid.gram import JobSpec, JobState
+
+PASS = "correct horse 42"
+JOB_DURATION = 4 * 3600.0  # 4 hours of simulated compute
+PROXY_LIFETIME = 3600.0  # but only 1-hour proxies
+
+
+@pytest.fixture()
+def world(tb):
+    alice = tb.new_user("alice")
+    tb.myproxy_init(alice, passphrase=PASS)
+    svc = tb.new_user("condorsvc", local_user="condor")
+    client = tb.myproxy_client(svc.credential)
+
+    def manager(mode):
+        return CondorGManager(
+            gram_target=tb.gram_target,
+            myproxy_client=client,
+            credential=svc.credential,
+            validator=tb.validator,
+            clock=tb.clock,
+            mode=mode,
+            renewal_threshold=600.0,
+            delegated_lifetime=PROXY_LIFETIME,
+        )
+
+    return tb, manager
+
+
+def run_to_completion(tb, manager, job_id, clock, *, step=600.0):
+    """Advance time in steps, ticking both GRAM and the manager.
+
+    The step must not exceed the renewal threshold, or a proxy can expire
+    between ticks — exactly the operational constraint a real renewal
+    daemon's poll interval lives under.
+    """
+    total = 0.0
+    while total < JOB_DURATION + 2 * step:
+        clock.advance(step)
+        total += step
+        tb.gram.poll_jobs()
+        manager.tick()
+        state = tb.gram.job(job_id).state
+        if state is not JobState.ACTIVE:
+            return state
+    return tb.gram.job(job_id).state
+
+
+class TestNotifyMode:
+    def test_job_fails_and_user_was_notified(self, world, clock):
+        """The paper's 'inconvenient' status quo: notification without
+        action means the job dies when its proxy expires."""
+        tb, make = world
+        manager = make(ManagerMode.NOTIFY)
+        job_id = manager.submit(
+            JobSpec(duration=JOB_DURATION), username="alice", secret=lambda: PASS
+        )
+        state = run_to_completion(tb, manager, job_id, clock)
+        assert state is JobState.FAILED
+        assert "expired" in tb.gram.job(job_id).detail
+        # The user WAS warned before the failure (the e-mail went out).
+        assert manager.notifications
+        assert "please refresh" in manager.notifications[0].message
+
+    def test_notification_sent_once(self, world, clock):
+        tb, make = world
+        manager = make(ManagerMode.NOTIFY)
+        manager.submit(
+            JobSpec(duration=JOB_DURATION), username="alice", secret=lambda: PASS
+        )
+        clock.advance(3000)
+        manager.tick()
+        manager.tick()
+        assert len(manager.notifications) == 1
+
+
+class TestRenewMode:
+    def test_job_completes_via_repeated_renewals(self, world, clock):
+        """The §6.6 proposal, working: a 4-hour job on 1-hour proxies."""
+        tb, make = world
+        manager = make(ManagerMode.RENEW)
+        job_id = manager.submit(
+            JobSpec(kind="compute-store", duration=JOB_DURATION,
+                    output_path="marathon.dat"),
+            username="alice",
+            secret=lambda: PASS,
+        )
+        state = run_to_completion(tb, manager, job_id, clock)
+        assert state is JobState.DONE
+        record = tb.gram.job(job_id)
+        assert record.renewals >= 3  # 4h job, 1h proxies, renew at <10min
+        # The final act (storage as alice) used the renewed credential.
+        assert tb.storage.file_bytes("alice", "marathon.dat")
+
+    def test_renewal_stops_when_job_finishes(self, world, clock):
+        tb, make = world
+        manager = make(ManagerMode.RENEW)
+        job_id = manager.submit(
+            JobSpec(duration=1200), username="alice", secret=lambda: PASS
+        )
+        clock.advance(1300)
+        tb.gram.poll_jobs()
+        assert tb.gram.job(job_id).state is JobState.DONE
+        gets_before = tb.myproxy.stats.gets
+        clock.advance(7200)
+        manager.tick()
+        assert tb.myproxy.stats.gets == gets_before  # no pointless renewals
+
+    def test_renewal_fails_cleanly_after_repo_credential_destroyed(self, world, clock):
+        """If the user destroys their repository credential mid-run, the
+        renewal fails and the job eventually dies with its proxy — there is
+        no hidden credential channel."""
+        tb, make = world
+        manager = make(ManagerMode.RENEW)
+        job_id = manager.submit(
+            JobSpec(duration=JOB_DURATION), username="alice", secret=lambda: PASS
+        )
+        tb.myproxy_client(tb.users["alice"].credential).destroy(username="alice")
+        state = run_to_completion(tb, manager, job_id, clock)
+        assert state is JobState.FAILED
+        assert any(not e.ok for e in manager.agent.events)
+
+
+class TestPossessionRenewMode:
+    def test_secretless_manager_completes_long_job(self, tb, clock):
+        """The strongest §6.6 configuration: after the initial login the
+        manager holds no user secret — renewals authenticate with the
+        job's own expiring proxy."""
+        from repro.condor.manager import CondorGManager, ManagerMode
+
+        alice = tb.new_user("alice")
+        tb.myproxy_init(alice, passphrase=PASS, renewers=("*",))
+        svc = tb.new_user("condorsvc2", local_user="condor2")
+        manager = CondorGManager(
+            gram_target=tb.gram_target,
+            myproxy_client=tb.myproxy_client(svc.credential),
+            credential=svc.credential,
+            validator=tb.validator,
+            clock=tb.clock,
+            mode=ManagerMode.RENEW,
+            renewal_threshold=600.0,
+            delegated_lifetime=PROXY_LIFETIME,
+            myproxy_client_factory=lambda cred: tb.myproxy_client(cred),
+        )
+        used_once = {"count": 0}
+
+        def one_shot_secret():
+            used_once["count"] += 1
+            return PASS
+
+        job_id = manager.submit(
+            JobSpec(duration=JOB_DURATION),
+            username="alice",
+            secret=one_shot_secret,
+            renew_by_possession=True,
+        )
+        state = run_to_completion(tb, manager, job_id, clock)
+        assert state is JobState.DONE
+        assert tb.gram.job(job_id).renewals >= 3
+        # The pass phrase was consulted exactly once, at submission.
+        assert used_once["count"] == 1
+
+    def test_possession_mode_fails_without_renewers(self, tb, clock):
+        """If the user did not opt in at myproxy-init time, the secretless
+        manager cannot keep the job alive — opt-in is enforced."""
+        from repro.condor.manager import CondorGManager, ManagerMode
+
+        alice = tb.new_user("alice")
+        tb.myproxy_init(alice, passphrase=PASS)  # no renewers
+        svc = tb.new_user("condorsvc3", local_user="condor3")
+        manager = CondorGManager(
+            gram_target=tb.gram_target,
+            myproxy_client=tb.myproxy_client(svc.credential),
+            credential=svc.credential,
+            validator=tb.validator,
+            clock=tb.clock,
+            mode=ManagerMode.RENEW,
+            renewal_threshold=600.0,
+            delegated_lifetime=PROXY_LIFETIME,
+            myproxy_client_factory=lambda cred: tb.myproxy_client(cred),
+        )
+        job_id = manager.submit(
+            JobSpec(duration=JOB_DURATION),
+            username="alice",
+            secret=lambda: PASS,
+            renew_by_possession=True,
+        )
+        state = run_to_completion(tb, manager, job_id, clock)
+        assert state is JobState.FAILED
+        assert any(not e.ok for e in manager.agent.events)

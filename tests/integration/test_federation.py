@@ -1,0 +1,104 @@
+"""Cross-CA federation: multiple trust anchors in one Grid (§2.1, §6.2).
+
+"As the number of organizations and CAs grow it is inevitable that users
+will end up with multiple credentials" — here the infrastructure side of
+that: one repository/portal/service fabric trusting two CAs at once, users
+from either working side by side.
+"""
+
+import pytest
+
+from repro.pki.ca import CertificateAuthority
+from repro.pki.names import DistinguishedName
+from repro.util.errors import AuthenticationError, HandshakeError
+
+PASS = "correct horse 42"
+
+
+@pytest.fixture()
+def federated(tb, key_pool, clock):
+    """Add a second CA to the testbed's trust fabric, plus one of its users."""
+    partner_ca = CertificateAuthority(
+        DistinguishedName.parse("/O=PartnerGrid/CN=Partner CA"),
+        clock=clock,
+        key=key_pool.new_key(),
+    )
+    tb.validator.add_anchor(partner_ca.certificate)
+    dn = DistinguishedName.grid_user("PartnerGrid", "People", "Pia")
+    pia_cred = partner_ca.issue_credential(dn, key=key_pool.new_key())
+    tb.gridmap.add(dn, "pia")
+    return tb, partner_ca, pia_cred, dn
+
+
+class TestFederation:
+    def test_partner_user_full_myproxy_cycle(self, federated):
+        from repro.core.client import myproxy_init_from_longterm
+
+        tb, _ca, pia, dn = federated
+        client = tb.myproxy_client(pia)
+        myproxy_init_from_longterm(
+            client, pia, username="pia", passphrase=PASS, key_source=tb.key_source
+        )
+        svc = tb.new_user("svc")
+        proxy = tb.myproxy_get(username="pia", passphrase=PASS,
+                               requester=svc.credential)
+        assert proxy.identity == dn
+        ident = tb.validator.validate(proxy.full_chain())
+        assert str(ident.anchor.subject) == "/O=PartnerGrid/CN=Partner CA"
+
+    def test_both_grids_share_services(self, federated, key_pool, clock):
+        from repro.pki.proxy import create_proxy
+
+        tb, _ca, pia, _dn = federated
+        alice = tb.new_user("alice")
+        for cred, user in ((pia, "pia"), (alice.credential, "alice")):
+            proxy = create_proxy(cred, key_source=key_pool, clock=clock)
+            with tb.storage_client(proxy) as storage:
+                storage.store("home.txt", f"{user}'s file".encode())
+        assert tb.storage.file_bytes("pia", "home.txt") == b"pia's file"
+        assert tb.storage.file_bytes("alice", "home.txt") == b"alice's file"
+
+    def test_partner_portal_login(self, federated):
+        from repro.core.client import myproxy_init_from_longterm
+
+        tb, _ca, pia, dn = federated
+        myproxy_init_from_longterm(
+            tb.myproxy_client(pia), pia, username="pia", passphrase=PASS,
+            key_source=tb.key_source,
+        )
+        tb.new_portal("fedportal")
+        browser = tb.browser()
+        response = browser.post(
+            "https://fedportal.example.org/login",
+            {"username": "pia", "passphrase": PASS, "repository": "repo-0",
+             "lifetime_hours": "2", "auth_method": "passphrase"},
+        )
+        assert "Dashboard" in response.text
+        assert str(dn) in response.text
+
+    def test_revoking_one_ca_does_not_affect_the_other(self, federated, clock):
+        """Per-CA CRLs stay per-CA."""
+        from repro.pki.proxy import create_proxy
+
+        tb, partner_ca, pia, _dn = federated
+        alice = tb.new_user("alice")
+        partner_ca.revoke(pia.certificate)
+        tb.validator.update_crl(partner_ca.crl())
+        from repro.util.errors import RevokedError
+
+        with pytest.raises(RevokedError):
+            tb.validator.validate(pia.full_chain())
+        assert tb.validator.validate(alice.credential.full_chain())
+
+    def test_unfederated_ca_still_refused(self, tb, key_pool, clock):
+        """Adding one partner does not open the door to everyone."""
+        stranger_ca = CertificateAuthority(
+            DistinguishedName.parse("/O=Strangers/CN=CA"),
+            clock=clock, key=key_pool.new_key(),
+        )
+        stranger = stranger_ca.issue_credential(
+            DistinguishedName.grid_user("Strangers", "X", "Sam"),
+            key=key_pool.new_key(),
+        )
+        with pytest.raises((AuthenticationError, HandshakeError)):
+            tb.myproxy_client(stranger).info(username="whoever")

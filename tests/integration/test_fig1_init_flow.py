@@ -1,0 +1,81 @@
+"""F1 — Figure 1: the ``myproxy-init`` flow.
+
+"Normally, a user would start by using the myproxy-init client program
+along with their permanent credentials to contact the repository and
+delegate a set of proxy credentials to the server along with authentication
+information and retrieval restrictions.  ...  The credentials delegated to
+the repository normally have a lifetime of a week."
+"""
+
+import pytest
+
+from repro.core.policy import ONE_WEEK
+
+PASS = "correct horse 42"
+
+
+class TestFigure1:
+    def test_full_init_flow(self, tb, clock):
+        alice = tb.new_user("alice")
+        response = tb.myproxy_init(alice, passphrase=PASS)
+        assert response.ok and response.info["stored"]
+
+        entry = tb.myproxy.repository.get("alice", "default")
+        # The repository holds a *proxy* of alice, never her EEC key.
+        assert entry.owner_dn == str(alice.dn)
+        assert not entry.long_term
+        # One-week default lifetime (§4.1).
+        assert entry.not_after == pytest.approx(clock.now() + ONE_WEEK, abs=600)
+
+    def test_user_chooses_identity_and_passphrase(self, tb):
+        """§4.1: 'Both the user identity and pass phrase are chosen by the
+        user' — and the identity need not resemble the DN."""
+        alice = tb.new_user("alice")
+        tb.myproxy_init(alice, passphrase=PASS, username="al")
+        entry = tb.myproxy.repository.get("al", "default")
+        assert entry.username == "al"
+        assert "al" != str(alice.dn)
+
+    def test_user_chooses_shorter_lifetime(self, tb, clock):
+        """§4.1: 'The user can change this to any length of time desired.'"""
+        alice = tb.new_user("alice")
+        tb.myproxy_init(alice, passphrase=PASS, lifetime=86400.0)
+        entry = tb.myproxy.repository.get("alice", "default")
+        assert entry.not_after == pytest.approx(clock.now() + 86400.0, abs=600)
+
+    def test_retrieval_restrictions_recorded(self, tb):
+        """§4.1: 'retrieval restrictions ... a maximum lifetime for proxy
+        credentials that the repository may delegate on the user's behalf'."""
+        alice = tb.new_user("alice")
+        tb.myproxy_init(
+            alice, passphrase=PASS, max_get_lifetime=3600.0,
+            retrievers=("/O=Grid/OU=Repro/CN=host/*",),
+        )
+        entry = tb.myproxy.repository.get("alice", "default")
+        assert entry.max_get_lifetime == 3600.0
+        assert entry.retrievers == ("/O=Grid/OU=Repro/CN=host/*",)
+
+    def test_eec_key_never_reaches_the_repository(self, tb):
+        """What makes Figure 1 delegation (not upload): the long-term key
+        stays home."""
+        alice = tb.new_user("alice")
+        tb.myproxy_init(alice, passphrase=PASS)
+        entry = tb.myproxy.repository.get("alice", "default")
+        eec_pub = alice.credential.key.public
+        from repro.pki.certs import Certificate
+        from repro.pki.keys import KeyPair
+
+        # The stored (encrypted) key decrypts to a key that is NOT the EEC key.
+        stored_key = KeyPair.from_pem(entry.key_pem, PASS)
+        assert stored_key.public != eec_pub
+        # And the stored chain leads back to the EEC certificate.
+        chain = Certificate.list_from_pem(entry.certificate_pem)
+        assert chain[-1].public_key == eec_pub
+
+    def test_myproxy_destroy_at_any_point(self, tb):
+        """§4.1: 'The user can also, at any point, use the myproxy-destroy
+        client program to destroy any credentials they previously delegated.'"""
+        alice = tb.new_user("alice")
+        tb.myproxy_init(alice, passphrase=PASS)
+        tb.myproxy_client(alice.credential).destroy(username="alice")
+        assert tb.myproxy.repository.count() == 0

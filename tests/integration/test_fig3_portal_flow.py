@@ -1,0 +1,98 @@
+"""F3 — Figure 3: the complete portal scenario, step by step.
+
+"Step 1: User sends authentication data to portal.
+ Step 2: Web portal authenticates to repository and sends request,
+         including user authentication data.
+ Step 3: Repository delegates user credentials to portal."
+
+Then: "The portal then can securely access the Grid using standard Grid
+applications as the user normally would."
+"""
+
+import pytest
+
+PASS = "correct horse 42"
+BASE = "https://portal.example.org"
+LOGIN = {
+    "username": "alice",
+    "passphrase": PASS,
+    "repository": "repo-0",
+    "lifetime_hours": "2",
+    "auth_method": "passphrase",
+}
+
+
+@pytest.fixture()
+def world(tb):
+    alice = tb.new_user("alice")
+    tb.myproxy_init(alice, passphrase=PASS)  # the prerequisite Figure-1 step
+    portal = tb.new_portal("portal")
+    browser = tb.browser()
+    return tb, alice, portal, browser
+
+
+class TestFigure3:
+    def test_steps_1_to_3(self, world):
+        tb, alice, portal, browser = world
+        gets_before = tb.myproxy.stats.gets
+
+        # Step 1: the browser posts the user's authentication data.
+        response = browser.post(f"{BASE}/login", LOGIN)
+        assert "Dashboard" in response.text
+
+        # Step 2 happened: the repository served a GET from the portal,
+        # authenticated as the portal's own host identity.
+        assert tb.myproxy.stats.gets == gets_before + 1
+        get_audit = [r for r in tb.myproxy.audit_log() if r.command == "GET"][-1]
+        assert "host/portal.example.org" in get_audit.peer
+
+        # Step 3 happened: the portal now holds a proxy for alice.
+        ((_repo, credential),) = portal.held_credentials().values()
+        assert credential.identity == alice.dn
+        assert tb.validator.validate(credential.full_chain())
+
+    def test_browser_is_credential_free(self, world):
+        """§3.1: the user is at a kiosk — nothing secret lives client-side
+        except the typed pass phrase; the browser holds only a cookie."""
+        tb, _, _, browser = world
+        browser.post(f"{BASE}/login", LOGIN)
+        jar = browser.cookies["portal.example.org"]
+        assert set(jar) == {"REPROSESSID"}
+
+    def test_portal_accesses_grid_as_the_user(self, world, clock):
+        """'The portal then can securely access the Grid ... as the user
+        normally would': job submission + output storage, end to end."""
+        tb, alice, _, browser = world
+        browser.post(f"{BASE}/login", LOGIN)
+        browser.post(
+            f"{BASE}/jobs",
+            {"kind": "compute-store", "duration": "30", "output_path": "result.out"},
+        )
+        clock.advance(31)
+        tb.gram.poll_jobs()
+        # The job ran as alice and its output landed in alice's storage.
+        assert tb.storage.file_bytes("alice", "result.out")
+        (job,) = tb.gram.jobs()
+        assert job.owner_dn == str(alice.dn)
+
+    def test_whole_cycle_repeatable_from_fresh_browser(self, world):
+        """§4.3: 'This process could then be repeated as many times as the
+        user desires' — a new kiosk session works identically."""
+        tb, _, portal, first_browser = world
+        first_browser.post(f"{BASE}/login", LOGIN)
+        first_browser.post(f"{BASE}/logout", {})
+        kiosk = tb.browser()  # different machine, empty cookie jar
+        response = kiosk.post(f"{BASE}/login", LOGIN)
+        assert "Dashboard" in response.text
+        assert portal.active_credential_count() == 1
+
+    def test_multiple_portals_one_repository(self, world):
+        """§3.3: 'Multiple portals should be able to use a single system.'"""
+        tb, _, portal_a, browser = world
+        portal_b = tb.new_portal("portalb")
+        browser.post(f"{BASE}/login", LOGIN)
+        browser_b = tb.browser()
+        browser_b.post("https://portalb.example.org/login", LOGIN)
+        assert portal_a.active_credential_count() == 1
+        assert portal_b.active_credential_count() == 1
+        assert tb.myproxy.stats.gets >= 2

@@ -1,0 +1,74 @@
+"""S8 — the lifetime hierarchy of §2.1/§2.3/§4.3, end to end.
+
+years (EEC)  >  one week (repository)  >  hours (portal proxy)
+"""
+
+import pytest
+
+from repro.util.errors import AuthenticationError, ValidationError
+
+PASS = "correct horse 42"
+BASE = "https://portal.example.org"
+LOGIN = {
+    "username": "alice",
+    "passphrase": PASS,
+    "repository": "repo-0",
+    "lifetime_hours": "2",
+    "auth_method": "passphrase",
+}
+
+
+@pytest.fixture()
+def world(tb):
+    alice = tb.new_user("alice")
+    tb.myproxy_init(alice, passphrase=PASS)
+    portal = tb.new_portal("portal")
+    browser = tb.browser()
+    browser.post(f"{BASE}/login", LOGIN)
+    return tb, alice, portal, browser
+
+
+class TestLifetimeHierarchy:
+    def test_ordering_holds(self, world, clock):
+        tb, alice, portal, _ = world
+        eec_left = alice.credential.seconds_remaining(clock)
+        repo_left = tb.myproxy.repository.get("alice", "default").not_after - clock.now()
+        ((_r, portal_proxy),) = portal.held_credentials().values()
+        portal_left = portal_proxy.seconds_remaining(clock)
+        assert eec_left > repo_left > portal_left
+
+    def test_after_three_hours_portal_proxy_dead_repo_alive(self, world, clock):
+        tb, _, portal, browser = world
+        clock.advance(3 * 3600)
+        # Portal proxy (2h) is gone...
+        response = browser.get(f"{BASE}/portal")
+        assert "MyProxy user name" in response.text
+        # ...but a fresh login works because the repo credential (1wk) lives.
+        assert "Dashboard" in browser.post(f"{BASE}/login", LOGIN).text
+
+    def test_after_eight_days_repo_dead_eec_alive(self, world, clock):
+        tb, alice, _, browser = world
+        clock.advance(8 * 86400)
+        response = browser.post(f"{BASE}/login", LOGIN, follow_redirects=False)
+        assert response.status == 401  # repository credential expired
+        # The user's own EEC still works: rerun myproxy-init (Figure 1)...
+        assert alice.credential.seconds_remaining(clock) > 0
+        tb.myproxy_init(alice, passphrase=PASS)
+        assert "Dashboard" in browser.post(f"{BASE}/login", LOGIN).text
+
+    def test_expired_portal_proxy_rejected_by_services(self, world, clock):
+        tb, _, portal, _ = world
+        ((_repo, proxy),) = portal.held_credentials().values()  # pre-expiry snapshot
+        clock.advance(3 * 3600)
+        with pytest.raises(ValidationError):
+            tb.validator.validate(proxy.full_chain())
+
+    def test_expired_repo_credential_cannot_serve_even_with_passphrase(
+        self, world, clock
+    ):
+        tb, _, _, _ = world
+        clock.advance(8 * 86400)
+        requester = tb.new_user("late")
+        with pytest.raises(AuthenticationError):
+            tb.myproxy_get(username="alice", passphrase=PASS,
+                           requester=requester.credential)

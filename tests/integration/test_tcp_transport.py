@@ -1,0 +1,81 @@
+"""The same flows over real TCP loopback sockets (deployment shape)."""
+
+import pytest
+
+from repro.testbed import GridTestbed
+
+PASS = "correct horse 42"
+
+
+@pytest.fixture()
+def tcp_tb(key_pool):
+    testbed = GridTestbed(transport="tcp", key_source=key_pool)
+    yield testbed
+    testbed.close()
+
+
+class TestOverTcp:
+    def test_init_and_get(self, tcp_tb):
+        alice = tcp_tb.new_user("alice")
+        assert tcp_tb.myproxy_init(alice, passphrase=PASS).ok
+        svc = tcp_tb.new_user("svc")
+        proxy = tcp_tb.myproxy_get(
+            username="alice", passphrase=PASS, requester=svc.credential
+        )
+        assert proxy.identity == alice.dn
+
+    def test_grid_services_over_tcp(self, tcp_tb):
+        from repro.pki.proxy import create_proxy
+
+        alice = tcp_tb.new_user("alice")
+        proxy = create_proxy(alice.credential, key_source=tcp_tb.key_source)
+        with tcp_tb.storage_client(proxy) as storage:
+            storage.store("tcp.txt", b"over real sockets")
+        assert tcp_tb.storage.file_bytes("alice", "tcp.txt") == b"over real sockets"
+
+    def test_full_portal_flow_over_tcp(self, tcp_tb):
+        alice = tcp_tb.new_user("alice")
+        tcp_tb.myproxy_init(alice, passphrase=PASS)
+        portal = tcp_tb.new_portal("portal")
+        browser = tcp_tb.browser()
+        response = browser.post(
+            "https://portal.example.org/login",
+            {"username": "alice", "passphrase": PASS, "repository": "repo-0",
+             "lifetime_hours": "2", "auth_method": "passphrase"},
+        )
+        assert "Dashboard" in response.text
+        assert portal.active_credential_count() == 1
+        # Plain HTTP over a real socket is refused for login, as on pipes.
+        refused = browser.post(
+            "http://portal.example.org/login",
+            {"username": "alice", "passphrase": PASS},
+        )
+        assert refused.status == 403
+
+    def test_concurrent_retrievals(self, tcp_tb):
+        import threading
+
+        alice = tcp_tb.new_user("alice")
+        tcp_tb.myproxy_init(alice, passphrase=PASS)
+        svc = tcp_tb.new_user("svc")
+        results = []
+        errors = []
+
+        def _get():
+            try:
+                results.append(
+                    tcp_tb.myproxy_get(
+                        username="alice", passphrase=PASS, requester=svc.credential
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=_get) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert errors == []
+        assert len(results) == 8
+        assert all(p.identity == alice.dn for p in results)

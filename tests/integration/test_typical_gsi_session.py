@@ -1,0 +1,97 @@
+"""T1 — §2.5: "Typical GSI Usage", without MyProxy in the picture.
+
+"A typical session with GSI would involve the user using their pass phrase
+and a GSI tool called grid-proxy-init to create a proxy credential from
+their long-term credential.  The user could then use a GSI-enabled
+application ... to connect to a remote host ... and delegate a proxy
+credential to the remote host.  The process running on the remote host
+could then further authenticate with GSI to other hosts."
+"""
+
+import pytest
+
+from repro.grid.gram import JobSpec, JobState
+from repro.pki.proxy import create_proxy
+
+PASS_FOR_KEYFILE = "my keyfile phrase 1"
+
+
+class TestTypicalSession:
+    def test_grid_proxy_init_then_gram_then_storage(self, tb, key_pool, clock):
+        alice = tb.new_user("alice")
+
+        # grid-proxy-init: pass phrase unlocks the long-term key locally,
+        # a 12h proxy appears on local disk (here: in memory).
+        from repro.pki.credentials import Credential
+
+        keyfile = alice.credential.export_pem(PASS_FOR_KEYFILE)
+        longterm = Credential.import_pem(keyfile, PASS_FOR_KEYFILE)
+        proxy = create_proxy(longterm, lifetime=12 * 3600,
+                             key_source=key_pool, clock=clock)
+
+        # GRAM submit with delegation; the job later authenticates onward
+        # to mass storage as alice (chained use of the delegated proxy).
+        with tb.gram_client(proxy) as gram:
+            job_id = gram.submit(
+                JobSpec(kind="compute-store", duration=600,
+                        output_path="longrun/final.dat"),
+                delegate_from=proxy,
+                clock=clock,
+            )
+        clock.advance(601)
+        tb.gram.poll_jobs()
+        assert tb.gram.job(job_id).state is JobState.DONE
+        assert tb.storage.file_bytes("alice", "longrun/final.dat")
+
+    def test_single_passphrase_entry_many_authentications(self, tb, key_pool, clock):
+        """§2.3's point: one pass-phrase entry, then the proxy authenticates
+        repeatedly without further prompts."""
+        alice = tb.new_user("alice")
+        proxy = create_proxy(alice.credential, key_source=key_pool, clock=clock)
+        for i in range(3):
+            with tb.storage_client(proxy) as storage:
+                storage.store(f"f{i}", b"x")
+        with tb.storage_client(proxy) as storage:
+            assert len(storage.list()) == 3
+
+    def test_delegation_chain_across_three_hosts(self, tb, key_pool, clock):
+        """§2.4: 'one can delegate credentials to host A and then the
+        process on host A can delegate credentials to host B'."""
+        import threading
+
+        from repro.transport.channel import accept_secure, connect_secure
+        from repro.transport.delegation import accept_delegation, delegate_credential
+        from repro.transport.links import pipe_pair
+
+        alice = tb.new_user("alice")
+        host_a = tb.ca.issue_host_credential("a.example.org", key=tb.key_source.new_key())
+        host_b = tb.ca.issue_host_credential("b.example.org", key=tb.key_source.new_key())
+        proxy = create_proxy(alice.credential, key_source=key_pool, clock=clock)
+
+        def hop(client_cred, delegating_cred, server_cred):
+            client_end, server_end = pipe_pair()
+            result = {}
+
+            def _srv():
+                channel = accept_secure(server_end, server_cred, tb.validator)
+                result["cred"] = accept_delegation(channel, key_source=key_pool)
+                channel.close()
+
+            thread = threading.Thread(target=_srv)
+            thread.start()
+            channel = connect_secure(client_end, client_cred, tb.validator)
+            delegate_credential(channel, delegating_cred, clock=clock)
+            channel.close()
+            thread.join(10)
+            return result["cred"]
+
+        on_a = hop(proxy, proxy, host_a)
+        on_b = hop(on_a, on_a, host_b)
+        ident = tb.validator.validate(on_b.full_chain())
+        assert ident.identity == alice.dn
+        assert ident.proxy_depth == 3  # proxy → A → B
+
+        # And host B can use it against real services as alice:
+        with tb.storage_client(on_b) as storage:
+            storage.store("from-host-b.txt", b"chained!")
+        assert tb.storage.file_bytes("alice", "from-host-b.txt") == b"chained!"

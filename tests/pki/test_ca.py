@@ -1,0 +1,133 @@
+"""Certificate Authority: issuance policy, serials, revocation."""
+
+import pytest
+
+from repro.pki.ca import CaPolicy, CertificateAuthority, validate_crl
+from repro.pki.keys import KeyPair
+from repro.pki.names import DistinguishedName
+from repro.util.clock import ManualClock
+from repro.util.errors import PolicyError, ValidationError
+
+ALICE = DistinguishedName.grid_user("Grid", "Repro", "Alice")
+
+
+class TestRoot:
+    def test_root_is_self_signed_ca(self, ca):
+        root = ca.certificate
+        assert root.is_ca
+        assert root.subject == root.issuer
+        assert root.signed_by(root.public_key)
+
+    def test_root_serial_is_one(self, ca):
+        assert ca.certificate.serial == 1
+
+
+class TestIssuance:
+    def test_issued_cert_links_to_ca(self, ca, key_pool):
+        cred = ca.issue_credential(ALICE, key=key_pool.new_key())
+        cert = cred.certificate
+        assert cert.issuer == ca.name
+        assert cert.signed_by(ca.public_key)
+        assert not cert.is_ca
+
+    def test_serials_monotonically_increase(self, ca, key_pool):
+        a = ca.issue_credential(ALICE, key=key_pool.new_key())
+        b = ca.issue_credential(
+            DistinguishedName.grid_user("Grid", "Repro", "Bob"), key=key_pool.new_key()
+        )
+        assert b.certificate.serial > a.certificate.serial
+
+    def test_lifetime_respects_request(self, ca, clock, key_pool):
+        cred = ca.issue_credential(ALICE, lifetime=3600.0, key=key_pool.new_key())
+        assert cred.certificate.not_after == pytest.approx(clock.now() + 3600.0)
+
+    def test_lifetime_capped_by_policy(self, clock, key_pool):
+        ca = CertificateAuthority(
+            DistinguishedName.parse("/O=Grid/CN=Strict CA"),
+            policy=CaPolicy(max_lifetime=100.0),
+            clock=clock,
+            key=key_pool.new_key(),
+        )
+        with pytest.raises(PolicyError):
+            ca.issue(ALICE, key_pool.new_key().public, lifetime=101.0)
+
+    def test_nonpositive_lifetime_refused(self, ca, key_pool):
+        with pytest.raises(PolicyError):
+            ca.issue(ALICE, key_pool.new_key().public, lifetime=0.0)
+
+    def test_proxy_shaped_subject_refused(self, ca, key_pool):
+        with pytest.raises(PolicyError):
+            ca.issue(ALICE.proxy_subject(), key_pool.new_key().public)
+
+    def test_reissuing_ca_name_refused(self, ca, key_pool):
+        with pytest.raises(PolicyError):
+            ca.issue(ca.name, key_pool.new_key().public)
+
+    def test_host_credential_convention(self, ca, key_pool):
+        cred = ca.issue_host_credential("portal.example.org", key=key_pool.new_key())
+        assert cred.subject.common_name == "host/portal.example.org"
+
+    def test_backdating_tolerates_issuee_clock_skew(self, ca, clock, key_pool):
+        cred = ca.issue_credential(ALICE, key=key_pool.new_key())
+        assert cred.certificate.not_before < clock.now()
+
+
+class TestRevocation:
+    def test_fresh_crl_is_empty_and_verifies(self, ca):
+        crl = ca.crl()
+        assert not crl.serials
+        assert crl.verify(ca.public_key)
+
+    def test_revocation_appears_in_crl(self, ca, key_pool):
+        cred = ca.issue_credential(ALICE, key=key_pool.new_key())
+        ca.revoke(cred.certificate)
+        crl = ca.crl()
+        assert crl.is_revoked(cred.certificate.serial)
+        assert ca.is_revoked(cred.certificate.serial)
+
+    def test_revoke_by_serial(self, ca):
+        ca.revoke(42)
+        assert ca.crl().is_revoked(42)
+
+    def test_cannot_revoke_root(self, ca):
+        with pytest.raises(PolicyError):
+            ca.revoke(1)
+
+    def test_crl_signature_binds_contents(self, ca, key_pool):
+        from dataclasses import replace
+
+        crl = ca.crl()
+        forged = replace(crl, serials=frozenset({999}))
+        assert not forged.verify(ca.public_key)
+
+    def test_validate_crl_rejects_wrong_issuer(self, ca, clock, key_pool):
+        other = CertificateAuthority(
+            DistinguishedName.parse("/O=Grid/CN=Other CA"),
+            clock=clock,
+            key=key_pool.new_key(),
+        )
+        with pytest.raises(ValidationError):
+            validate_crl(ca.crl(), other.certificate)
+
+
+class TestConcurrency:
+    def test_parallel_issuance_yields_unique_serials(self, ca):
+        import threading
+
+        key = KeyPair.generate(1024)
+        serials = []
+        lock = threading.Lock()
+
+        def _issue(i):
+            cert = ca.issue(
+                DistinguishedName.grid_user("Grid", "Repro", f"U{i}"), key.public
+            )
+            with lock:
+                serials.append(cert.serial)
+
+        threads = [threading.Thread(target=_issue, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(serials)) == 16

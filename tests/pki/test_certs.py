@@ -1,0 +1,85 @@
+"""Certificate wrapper: validity windows, extensions, serialization."""
+
+import pytest
+
+from repro.pki.certs import CLOCK_SKEW, Certificate, build_certificate
+from repro.util.errors import ValidationError
+
+
+class TestValidity:
+    def test_valid_inside_window(self, alice, clock):
+        assert alice.certificate.valid_at(clock.now())
+
+    def test_invalid_before_and_after(self, alice):
+        cert = alice.certificate
+        assert not cert.valid_at(cert.not_before - CLOCK_SKEW - 1)
+        assert not cert.valid_at(cert.not_after + CLOCK_SKEW + 1)
+
+    def test_skew_grace(self, alice):
+        cert = alice.certificate
+        assert cert.valid_at(cert.not_after + CLOCK_SKEW - 1)
+
+    def test_seconds_remaining_goes_negative(self, alice, clock):
+        clock.advance(400 * 86400)
+        assert alice.certificate.seconds_remaining(clock) < 0
+
+    def test_empty_lifetime_refused_at_build(self, alice, clock, key_pool):
+        with pytest.raises(ValidationError):
+            build_certificate(
+                subject=alice.subject,
+                issuer=alice.subject,
+                subject_public_key=key_pool.new_key().public,
+                signing_key=alice.key,
+                serial=1,
+                not_before=clock.now(),
+                not_after=clock.now(),  # zero-length window
+            )
+
+
+class TestSerialization:
+    def test_pem_roundtrip(self, alice):
+        cert = alice.certificate
+        assert Certificate.from_pem(cert.to_pem()) == cert
+
+    def test_bundle_roundtrip_preserves_order(self, ca, alice):
+        bundle = alice.certificate.to_pem() + ca.certificate.to_pem()
+        certs = Certificate.list_from_pem(bundle)
+        assert [c.subject for c in certs] == [alice.subject, ca.name]
+
+    def test_garbage_pem_rejected(self):
+        with pytest.raises(ValidationError):
+            Certificate.from_pem(b"garbage")
+
+    def test_fingerprint_distinct_per_cert(self, ca, alice):
+        assert alice.certificate.fingerprint() != ca.certificate.fingerprint()
+
+
+class TestExtensions:
+    def test_ca_flag_readable(self, ca, alice):
+        assert ca.certificate.is_ca
+        assert not alice.certificate.is_ca
+
+    def test_restrictions_absent_by_default(self, alice):
+        assert alice.certificate.restrictions_payload is None
+
+    def test_restrictions_roundtrip(self, alice, clock, key_pool):
+        cert = build_certificate(
+            subject=alice.subject.proxy_subject(),
+            issuer=alice.subject,
+            subject_public_key=key_pool.new_key().public,
+            signing_key=alice.key,
+            serial=5,
+            not_before=clock.now(),
+            not_after=clock.now() + 60,
+            restrictions={"operations": ["store"], "resources": None,
+                          "max_delegation_depth": 1},
+        )
+        assert cert.restrictions_payload == {
+            "operations": ["store"],
+            "resources": None,
+            "max_delegation_depth": 1,
+        }
+
+    def test_signed_by_detects_wrong_key(self, ca, alice, key_pool):
+        assert alice.certificate.signed_by(ca.public_key)
+        assert not alice.certificate.signed_by(key_pool.new_key().public)

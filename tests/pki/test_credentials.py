@@ -1,0 +1,114 @@
+"""Credential bundles and the on-disk store with permission semantics."""
+
+import os
+
+import pytest
+
+from repro.pki.credentials import Credential, CredentialStore, default_proxy_name
+from repro.pki.proxy import create_proxy
+from repro.util.errors import CredentialError
+
+
+class TestCredential:
+    def test_identity_strips_proxy_levels(self, alice, clock, key_pool):
+        proxy = create_proxy(alice, key_source=key_pool, clock=clock)
+        assert proxy.identity == alice.subject
+        assert proxy.is_proxy and not alice.is_proxy
+
+    def test_seconds_remaining_uses_weakest_link(self, alice, clock, key_pool):
+        proxy = create_proxy(alice, lifetime=3600, key_source=key_pool, clock=clock)
+        assert proxy.seconds_remaining(clock) == pytest.approx(3600, abs=90)
+        clock.advance(3000)
+        assert proxy.seconds_remaining(clock) == pytest.approx(600, abs=90)
+
+    def test_without_key_drops_private_material(self, alice):
+        public_only = alice.without_key()
+        assert not public_only.has_key
+        with pytest.raises(CredentialError):
+            public_only.require_key()
+        assert b"PRIVATE KEY" not in public_only.export_pem()
+
+    def test_export_import_roundtrip_plaintext(self, alice, clock, key_pool):
+        proxy = create_proxy(alice, key_source=key_pool, clock=clock)
+        back = Credential.import_pem(proxy.export_pem())
+        assert back.certificate == proxy.certificate
+        assert back.chain == proxy.chain
+        assert back.key.public == proxy.key.public
+
+    def test_export_import_roundtrip_encrypted(self, alice):
+        blob = alice.export_pem("pass phrase 9")
+        assert Credential.import_pem(blob, "pass phrase 9").key.public == alice.key.public
+        with pytest.raises(CredentialError):
+            Credential.import_pem(blob, "wrong")
+
+    def test_import_rejects_mismatched_key(self, alice, bob):
+        franken = alice.certificate.to_pem() + bob.key.to_pem()
+        with pytest.raises(CredentialError):
+            Credential.import_pem(franken)
+
+    def test_import_rejects_keyless_garbage(self):
+        with pytest.raises(CredentialError):
+            Credential.import_pem(b"not a pem at all")
+
+    def test_full_chain_leaf_first(self, alice, clock, key_pool):
+        p1 = create_proxy(alice, key_source=key_pool, clock=clock)
+        p2 = create_proxy(p1, key_source=key_pool, clock=clock)
+        chain = p2.full_chain()
+        assert chain[0] == p2.certificate
+        assert chain[-1] == alice.certificate
+
+
+class TestCredentialStore:
+    def test_save_load_roundtrip(self, tmp_path, alice):
+        store = CredentialStore(tmp_path / "creds")
+        store.save("usercred", alice, passphrase="hunter22")
+        loaded = store.load("usercred", passphrase="hunter22")
+        assert loaded.subject == alice.subject
+
+    def test_file_mode_is_0600(self, tmp_path, alice):
+        store = CredentialStore(tmp_path / "creds")
+        path = store.save("usercred", alice)
+        assert (path.stat().st_mode & 0o777) == 0o600
+
+    def test_permissive_file_refused(self, tmp_path, alice):
+        """§2.3: proxies are protected only by file permissions — enforce them."""
+        store = CredentialStore(tmp_path / "creds")
+        path = store.save("proxy", alice)
+        os.chmod(path, 0o644)
+        with pytest.raises(CredentialError, match="mode"):
+            store.load("proxy")
+
+    def test_permission_check_can_be_disabled(self, tmp_path, alice):
+        store = CredentialStore(tmp_path / "creds", enforce_permissions=False)
+        path = store.save("proxy", alice)
+        os.chmod(path, 0o644)
+        assert store.load("proxy").subject == alice.subject
+
+    def test_delete_zeroizes_then_removes(self, tmp_path, alice):
+        store = CredentialStore(tmp_path / "creds")
+        path = store.save("proxy", alice)
+        assert store.delete("proxy") is True
+        assert not path.exists()
+        assert store.delete("proxy") is False
+
+    def test_names_listing(self, tmp_path, alice, bob):
+        store = CredentialStore(tmp_path / "creds")
+        store.save("a", alice)
+        store.save("b", bob)
+        assert store.names() == ["a", "b"]
+        assert "a" in store and "zzz" not in store
+
+    def test_path_traversal_refused(self, tmp_path, alice):
+        store = CredentialStore(tmp_path / "creds")
+        for bad in ("../evil", ".hidden", "", "a/b"):
+            with pytest.raises(CredentialError):
+                store.save(bad, alice)
+
+    def test_missing_name_raises(self, tmp_path):
+        store = CredentialStore(tmp_path / "creds")
+        with pytest.raises(CredentialError):
+            store.load("nope")
+
+    def test_default_proxy_name_follows_globus_convention(self):
+        assert default_proxy_name(1000) == "x509up_u1000"
+        assert default_proxy_name().startswith("x509up_u")

@@ -1,0 +1,116 @@
+"""Key pairs: signing, key transport, encrypted storage."""
+
+import pytest
+
+from repro.pki.keys import FreshKeySource, KeyPair, PooledKeySource, PublicKey
+from repro.util.errors import CredentialError
+
+
+@pytest.fixture(scope="module")
+def key():
+    return KeyPair.generate(1024)
+
+
+@pytest.fixture(scope="module")
+def other_key():
+    return KeyPair.generate(1024)
+
+
+class TestSignVerify:
+    def test_signature_verifies(self, key):
+        sig = key.sign(b"message")
+        assert key.public.verify(sig, b"message")
+
+    def test_signature_bound_to_message(self, key):
+        sig = key.sign(b"message")
+        assert not key.public.verify(sig, b"other message")
+
+    def test_signature_bound_to_key(self, key, other_key):
+        sig = key.sign(b"message")
+        assert not other_key.public.verify(sig, b"message")
+
+    def test_garbage_signature_rejected_not_raised(self, key):
+        assert key.public.verify(b"not a signature", b"message") is False
+
+
+class TestKeyTransport:
+    def test_roundtrip(self, key):
+        secret = b"s" * 48
+        assert key.decrypt(key.public.encrypt(secret)) == secret
+
+    def test_wrong_key_fails(self, key, other_key):
+        blob = key.public.encrypt(b"x" * 48)
+        with pytest.raises(CredentialError):
+            other_key.decrypt(blob)
+
+    def test_tampered_ciphertext_fails(self, key):
+        blob = bytearray(key.public.encrypt(b"x" * 48))
+        blob[len(blob) // 2] ^= 0xFF
+        with pytest.raises(CredentialError):
+            key.decrypt(bytes(blob))
+
+
+class TestStorage:
+    def test_plaintext_roundtrip(self, key):
+        pem = key.to_pem()
+        assert KeyPair.from_pem(pem).public == key.public
+
+    def test_encrypted_roundtrip(self, key):
+        pem = key.to_pem("open sesame")
+        assert KeyPair.from_pem(pem, "open sesame").public == key.public
+
+    def test_wrong_passphrase_rejected(self, key):
+        pem = key.to_pem("open sesame")
+        with pytest.raises(CredentialError):
+            KeyPair.from_pem(pem, "wrong")
+
+    def test_missing_passphrase_rejected(self, key):
+        pem = key.to_pem("open sesame")
+        with pytest.raises(CredentialError):
+            KeyPair.from_pem(pem)
+
+    def test_encrypted_pem_hides_key_material(self, key):
+        plain = key.to_pem()
+        encrypted = key.to_pem("open sesame")
+        # The plaintext DER body must not appear inside the encrypted PEM.
+        import base64
+
+        der = base64.b64decode(
+            b"".join(plain.splitlines()[1:-1])
+        )
+        assert der[:64] not in encrypted
+
+    def test_empty_passphrase_refused(self, key):
+        with pytest.raises(CredentialError):
+            key.to_pem("")
+
+    def test_public_pem_roundtrip(self, key):
+        assert PublicKey.from_pem(key.public.to_pem()) == key.public
+
+    def test_public_from_garbage_rejected(self):
+        with pytest.raises(CredentialError):
+            PublicKey.from_pem(b"junk")
+
+
+class TestKeySources:
+    def test_generate_rejects_weak_sizes(self):
+        with pytest.raises(CredentialError):
+            KeyPair.generate(512)
+
+    def test_fresh_source_produces_distinct_keys(self):
+        source = FreshKeySource(bits=1024)
+        assert source.new_key().public != source.new_key().public
+
+    def test_pooled_source_recycles(self):
+        source = PooledKeySource(1024, size=2)
+        keys = [source.new_key().public for _ in range(4)]
+        assert keys[0] == keys[2] and keys[1] == keys[3]
+        assert keys[0] != keys[1]
+
+    def test_pool_requires_positive_size(self):
+        with pytest.raises(ValueError):
+            PooledKeySource(1024, size=0)
+
+    def test_fingerprint_stable_and_distinct(self, key, other_key):
+        assert key.public.fingerprint() == key.public.fingerprint()
+        assert key.public.fingerprint() != other_key.public.fingerprint()

@@ -1,0 +1,110 @@
+"""Distinguished Names: parsing, rendering, and the proxy naming rule."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pki.names import LIMITED_PROXY_CN, PROXY_CN, DistinguishedName
+from repro.util.errors import ValidationError
+
+
+class TestParsing:
+    def test_parse_and_render_roundtrip(self):
+        text = "/O=Grid/OU=Example/CN=Alice"
+        assert str(DistinguishedName.parse(text)) == text
+
+    def test_parse_requires_leading_slash(self):
+        with pytest.raises(ValidationError):
+            DistinguishedName.parse("O=Grid/CN=Alice")
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            DistinguishedName.parse("/")
+
+    def test_parse_rejects_unknown_attribute(self):
+        with pytest.raises(ValidationError):
+            DistinguishedName.parse("/XX=什么/CN=Alice")
+
+    def test_slash_in_value_globus_style(self):
+        # The Globus host convention: CN=host/name contains a slash.
+        dn = DistinguishedName.parse("/O=Grid/CN=host/myproxy.example.org")
+        assert dn.rdns == (("O", "Grid"), ("CN", "host/myproxy.example.org"))
+        assert str(dn) == "/O=Grid/CN=host/myproxy.example.org"
+
+    def test_leading_continuation_rejected(self):
+        with pytest.raises(ValidationError):
+            DistinguishedName.parse("/noequals/CN=x")
+
+    def test_case_of_attribute_normalized(self):
+        dn = DistinguishedName.parse("/o=Grid/cn=Alice")
+        assert dn.rdns == (("O", "Grid"), ("CN", "Alice"))
+
+
+class TestX509Conversion:
+    def test_roundtrip_through_x509(self):
+        dn = DistinguishedName.parse("/C=US/O=Grid/OU=Example/CN=Alice")
+        assert DistinguishedName.from_x509(dn.to_x509()) == dn
+
+
+class TestProxyNaming:
+    def test_proxy_subject_appends_cn_proxy(self):
+        alice = DistinguishedName.grid_user("Grid", "Example", "Alice")
+        proxy = alice.proxy_subject()
+        assert proxy.rdns[-1] == ("CN", PROXY_CN)
+        assert proxy.is_proxy_of(alice)
+
+    def test_limited_proxy_subject(self):
+        alice = DistinguishedName.grid_user("Grid", "Example", "Alice")
+        proxy = alice.proxy_subject(limited=True)
+        assert proxy.rdns[-1] == ("CN", LIMITED_PROXY_CN)
+        assert proxy.last_cn_is_limited
+
+    def test_is_proxy_of_rejects_wrong_base(self):
+        alice = DistinguishedName.grid_user("Grid", "Example", "Alice")
+        bob = DistinguishedName.grid_user("Grid", "Example", "Bob")
+        assert not alice.proxy_subject().is_proxy_of(bob)
+
+    def test_is_proxy_of_rejects_non_proxy_cn(self):
+        alice = DistinguishedName.grid_user("Grid", "Example", "Alice")
+        impostor = alice.with_component("CN", "not a proxy")
+        assert not impostor.is_proxy_of(alice)
+
+    def test_base_identity_strips_all_proxy_levels(self):
+        alice = DistinguishedName.grid_user("Grid", "Example", "Alice")
+        deep = alice.proxy_subject().proxy_subject(limited=True).proxy_subject(limited=True)
+        assert deep.base_identity() == alice
+
+    def test_base_identity_of_plain_dn_is_itself(self):
+        alice = DistinguishedName.grid_user("Grid", "Example", "Alice")
+        assert alice.base_identity() == alice
+
+    def test_user_literally_named_proxy_is_not_stripped_to_nothing(self):
+        # A pathological DN whose only component is CN=proxy must survive.
+        dn = DistinguishedName((("CN", PROXY_CN),))
+        assert dn.base_identity() == dn
+
+    def test_common_name_returns_last_cn(self):
+        dn = DistinguishedName.parse("/O=Grid/CN=Alice/CN=proxy")
+        assert dn.common_name == "proxy"
+
+
+_value = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x2FF),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(st.lists(st.tuples(st.sampled_from(["O", "OU", "CN", "C"]), _value), min_size=1, max_size=5))
+def test_property_render_parse_roundtrip(rdns):
+    dn = DistinguishedName(tuple(rdns))
+    assert DistinguishedName.parse(str(dn)) == dn
+
+
+@given(st.lists(st.tuples(st.sampled_from(["O", "OU", "CN"]), _value), min_size=1, max_size=4),
+       st.integers(min_value=0, max_value=4))
+def test_property_proxy_chain_always_reduces_to_base(rdns, depth):
+    base = DistinguishedName(tuple(rdns))
+    dn = base
+    for i in range(depth):
+        dn = dn.proxy_subject(limited=(i % 2 == 0))
+    assert dn.base_identity() == base.base_identity()

@@ -1,0 +1,157 @@
+"""Proxy credentials (§2.3) and restricted proxies (§6.5)."""
+
+import pytest
+
+from repro.pki.proxy import (
+    ProxyRestrictions,
+    ProxyType,
+    create_proxy,
+    effective_restrictions,
+    sign_proxy_request,
+)
+from repro.util.errors import CredentialError, PolicyError
+
+
+class TestCreateProxy:
+    def test_proxy_has_fresh_key_and_correct_subject(self, alice, clock, key_pool):
+        proxy = create_proxy(alice, lifetime=3600, key_source=key_pool, clock=clock)
+        assert proxy.subject == alice.subject.proxy_subject()
+        assert proxy.certificate.issuer == alice.subject
+        assert proxy.has_key
+        # The proxy key must differ from the issuer key (its own key pair).
+        assert proxy.key.public != alice.key.public
+
+    def test_proxy_is_signed_by_issuer_key(self, alice, clock, key_pool):
+        proxy = create_proxy(alice, lifetime=3600, key_source=key_pool, clock=clock)
+        assert proxy.certificate.signed_by(alice.key.public)
+
+    def test_proxy_chain_carries_issuer(self, alice, clock, key_pool):
+        proxy = create_proxy(alice, lifetime=3600, key_source=key_pool, clock=clock)
+        assert proxy.chain == alice.full_chain()
+        assert proxy.proxy_depth == 1
+
+    def test_lifetime_clipped_to_issuer(self, ca, clock, key_pool):
+        shortlived = ca.issue_credential(
+            alice_dn(), lifetime=1000.0, key=key_pool.new_key()
+        )
+        proxy = create_proxy(shortlived, lifetime=10_000.0, key_source=key_pool, clock=clock)
+        assert proxy.certificate.not_after <= shortlived.certificate.not_after
+
+    def test_expired_issuer_refused(self, alice, clock, key_pool):
+        clock.advance(400 * 24 * 3600.0)  # past the 1-year default
+        with pytest.raises(PolicyError):
+            create_proxy(alice, lifetime=3600, key_source=key_pool, clock=clock)
+
+    def test_nonpositive_lifetime_refused(self, alice, clock, key_pool):
+        with pytest.raises(PolicyError):
+            create_proxy(alice, lifetime=0, key_source=key_pool, clock=clock)
+
+    def test_identity_preserved_across_depths(self, alice, clock, key_pool):
+        p1 = create_proxy(alice, lifetime=3600, key_source=key_pool, clock=clock)
+        p2 = create_proxy(p1, lifetime=1800, key_source=key_pool, clock=clock)
+        p3 = create_proxy(p2, lifetime=900, key_source=key_pool, clock=clock)
+        assert p3.identity == alice.subject
+        assert p3.proxy_depth == 3
+
+
+class TestSignRequest:
+    def test_key_never_needed_from_acceptor(self, alice, clock, key_pool):
+        remote_key = key_pool.new_key()
+        cert = sign_proxy_request(alice, remote_key.public, lifetime=600, clock=clock)
+        assert cert.public_key == remote_key.public
+
+    def test_cert_only_issuer_refused(self, alice, clock, key_pool):
+        with pytest.raises(CredentialError):
+            sign_proxy_request(
+                alice.without_key(), key_pool.new_key().public, clock=clock
+            )
+
+    def test_ca_certificate_cannot_sign_proxies(self, ca, clock, key_pool):
+        ca_cred = ca.export_credential()
+        with pytest.raises(PolicyError):
+            sign_proxy_request(ca_cred, key_pool.new_key().public, clock=clock)
+
+
+class TestLimitedProxies:
+    def test_limited_flag_in_subject(self, alice, clock, key_pool):
+        limited = create_proxy(alice, limited=True, key_source=key_pool, clock=clock)
+        assert ProxyType.of(limited.certificate) is ProxyType.LIMITED
+
+    def test_limitation_propagates(self, alice, clock, key_pool):
+        limited = create_proxy(alice, limited=True, key_source=key_pool, clock=clock)
+        with pytest.raises(PolicyError):
+            create_proxy(limited, limited=False, key_source=key_pool, clock=clock)
+
+    def test_limited_can_delegate_limited(self, alice, clock, key_pool):
+        limited = create_proxy(alice, limited=True, key_source=key_pool, clock=clock)
+        child = create_proxy(limited, limited=True, key_source=key_pool, clock=clock)
+        assert ProxyType.of(child.certificate) is ProxyType.LIMITED
+
+    def test_eec_classified_as_eec(self, alice):
+        assert ProxyType.of(alice.certificate) is ProxyType.EEC
+
+
+class TestRestrictions:
+    def test_unrestricted_permits_everything(self):
+        r = ProxyRestrictions.UNRESTRICTED
+        assert r.permits("anything", "anywhere")
+        assert r.is_unrestricted
+
+    def test_operations_whitelist(self):
+        r = ProxyRestrictions(operations=frozenset({"store"}))
+        assert r.permits("store")
+        assert not r.permits("submit_job")
+
+    def test_resources_whitelist(self):
+        r = ProxyRestrictions(resources=frozenset({"mass-storage"}))
+        assert r.permits("store", "mass-storage")
+        assert not r.permits("store", "gram")
+        assert r.permits("store")  # resource unknown → operations rule only
+
+    def test_narrowing_intersects(self):
+        a = ProxyRestrictions(operations=frozenset({"store", "fetch"}))
+        b = ProxyRestrictions(operations=frozenset({"fetch", "list"}))
+        assert a.narrowed_by(b).operations == frozenset({"fetch"})
+
+    def test_narrowing_with_unrestricted_is_identity(self):
+        a = ProxyRestrictions(operations=frozenset({"store"}), max_delegation_depth=2)
+        assert a.narrowed_by(ProxyRestrictions.UNRESTRICTED) == a
+
+    def test_payload_roundtrip(self):
+        r = ProxyRestrictions(
+            operations=frozenset({"store"}),
+            resources=frozenset({"mass-storage"}),
+            max_delegation_depth=3,
+        )
+        assert ProxyRestrictions.from_payload(r.to_payload()) == r
+
+    def test_restriction_embedded_in_certificate(self, alice, clock, key_pool):
+        r = ProxyRestrictions(operations=frozenset({"store"}))
+        proxy = create_proxy(
+            alice, restrictions=r, key_source=key_pool, clock=clock
+        )
+        assert proxy.certificate.restrictions_payload == r.to_payload()
+
+    def test_effective_restrictions_intersect_down_chain(self, alice, clock, key_pool):
+        r1 = ProxyRestrictions(operations=frozenset({"store", "fetch"}))
+        p1 = create_proxy(alice, restrictions=r1, key_source=key_pool, clock=clock)
+        r2 = ProxyRestrictions(operations=frozenset({"fetch"}))
+        p2 = create_proxy(p1, restrictions=r2, key_source=key_pool, clock=clock)
+        effective = effective_restrictions(p2.full_chain())
+        assert effective.operations == frozenset({"fetch"})
+
+    def test_delegation_depth_consumed_per_hop(self, alice, clock, key_pool):
+        r = ProxyRestrictions(max_delegation_depth=2)
+        p1 = create_proxy(alice, restrictions=r, key_source=key_pool, clock=clock)
+        p2 = create_proxy(p1, key_source=key_pool, clock=clock)
+        assert effective_restrictions(p2.full_chain()).max_delegation_depth == 1
+        p3 = create_proxy(p2, key_source=key_pool, clock=clock)
+        assert effective_restrictions(p3.full_chain()).max_delegation_depth == 0
+        with pytest.raises(PolicyError):
+            create_proxy(p3, key_source=key_pool, clock=clock)
+
+
+def alice_dn():
+    from repro.pki.names import DistinguishedName
+
+    return DistinguishedName.grid_user("Grid", "Repro", "Shortlived")

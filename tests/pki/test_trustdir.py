@@ -1,0 +1,103 @@
+"""Trust directories: hashed CA/CRL distribution."""
+
+import pytest
+
+from repro.pki.ca import CertificateAuthority, CertificateRevocationList
+from repro.pki.names import DistinguishedName
+from repro.pki.trustdir import TrustDirectory, subject_hash
+from repro.util.errors import RevokedError, ValidationError
+
+
+@pytest.fixture()
+def trustdir(tmp_path):
+    return TrustDirectory(tmp_path / "certificates")
+
+
+class TestInstallation:
+    def test_ca_file_named_by_subject_hash(self, trustdir, ca):
+        path = trustdir.install_ca(ca.certificate)
+        assert path.name == f"{subject_hash(ca.name)}.0"
+        assert path.read_bytes() == ca.certificate.to_pem()
+
+    def test_non_ca_refused(self, trustdir, alice):
+        with pytest.raises(ValidationError):
+            trustdir.install_ca(alice.certificate)
+
+    def test_crl_requires_installed_ca(self, trustdir, ca):
+        with pytest.raises(ValidationError, match="no installed CA"):
+            trustdir.install_crl(ca.crl())
+        trustdir.install_ca(ca.certificate)
+        path = trustdir.install_crl(ca.crl())
+        assert path.name == f"{subject_hash(ca.name)}.r0"
+
+    def test_tampered_crl_refused_at_install(self, trustdir, ca):
+        from dataclasses import replace
+
+        trustdir.install_ca(ca.certificate)
+        forged = replace(ca.crl(), serials=frozenset({7}))
+        with pytest.raises(ValidationError):
+            trustdir.install_crl(forged)
+
+    def test_remove_ca_withdraws_both_files(self, trustdir, ca):
+        trustdir.install_ca(ca.certificate)
+        trustdir.install_crl(ca.crl())
+        assert trustdir.remove_ca(ca.name) is True
+        assert trustdir.anchors() == []
+        assert trustdir.crls() == []
+        assert trustdir.remove_ca(ca.name) is False
+
+
+class TestLoading:
+    def test_validator_from_directory(self, trustdir, ca, alice, clock):
+        trustdir.install_ca(ca.certificate)
+        validator = trustdir.build_validator(clock=clock)
+        assert validator.validate(alice.full_chain()).identity == alice.subject
+
+    def test_multiple_cas(self, trustdir, ca, clock, key_pool):
+        other = CertificateAuthority(
+            DistinguishedName.parse("/O=Elsewhere/CN=Other CA"),
+            clock=clock, key=key_pool.new_key(),
+        )
+        trustdir.install_ca(ca.certificate)
+        trustdir.install_ca(other.certificate)
+        validator = trustdir.build_validator(clock=clock)
+        user = other.issue_credential(
+            DistinguishedName.grid_user("Elsewhere", "Y", "Zed"),
+            key=key_pool.new_key(),
+        )
+        assert validator.validate(user.full_chain()).anchor == other.certificate
+
+    def test_crl_applied(self, trustdir, ca, alice, clock):
+        ca.revoke(alice.certificate)
+        trustdir.install_ca(ca.certificate)
+        trustdir.install_crl(ca.crl())
+        validator = trustdir.build_validator(clock=clock)
+        with pytest.raises(RevokedError):
+            validator.validate(alice.full_chain())
+
+    def test_empty_directory_refused(self, trustdir, clock):
+        with pytest.raises(ValidationError, match="no CAs"):
+            trustdir.build_validator(clock=clock)
+
+    def test_misnamed_anchor_skipped(self, trustdir, ca, alice, clock):
+        """A certificate under the wrong hash name is ignored (defense
+        against spoofed drops), and loading still works for good entries."""
+        trustdir.install_ca(ca.certificate)
+        rogue = trustdir.root / "deadbeef.0"
+        rogue.write_bytes(ca.certificate.to_pem())
+        anchors = trustdir.anchors()
+        assert len(anchors) == 1
+
+    def test_garbage_files_skipped_with_warning(self, trustdir, ca, clock):
+        trustdir.install_ca(ca.certificate)
+        (trustdir.root / "ffffffff.0").write_bytes(b"not a pem")
+        (trustdir.root / "ffffffff.r0").write_text("{broken")
+        validator = trustdir.build_validator(clock=clock)
+        assert len(validator.anchors) == 1
+
+    def test_crl_roundtrip_through_json(self, ca, alice):
+        ca.revoke(alice.certificate)
+        crl = ca.crl()
+        loaded = CertificateRevocationList.from_json(crl.to_json())
+        assert loaded == crl
+        assert loaded.verify(ca.public_key)

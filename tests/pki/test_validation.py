@@ -1,0 +1,247 @@
+"""Chain validation: the GSI path algorithm, expiry, revocation."""
+
+import pytest
+
+from repro.pki.ca import CertificateAuthority
+from repro.pki.names import DistinguishedName
+from repro.pki.proxy import ProxyType, create_proxy
+from repro.pki.validation import ChainValidator
+from repro.util.errors import ExpiredError, RevokedError, ValidationError
+
+
+class TestBasicPaths:
+    def test_eec_alone_validates(self, validator, alice):
+        ident = validator.validate(alice.full_chain())
+        assert ident.identity == alice.subject
+        assert ident.proxy_type is ProxyType.EEC
+        assert ident.proxy_depth == 0
+
+    def test_proxy_chain_validates_to_base_identity(self, validator, alice, clock, key_pool):
+        p2 = create_proxy(
+            create_proxy(alice, key_source=key_pool, clock=clock),
+            key_source=key_pool,
+            clock=clock,
+        )
+        ident = validator.validate(p2.full_chain())
+        assert ident.identity == alice.subject
+        assert ident.proxy_depth == 2
+        assert ident.proxy_type is ProxyType.FULL
+
+    def test_chain_with_appended_anchor_accepted(self, validator, ca, alice):
+        chain = list(alice.full_chain()) + [ca.certificate]
+        assert validator.validate(chain).identity == alice.subject
+
+    def test_empty_chain_rejected(self, validator):
+        with pytest.raises(ValidationError):
+            validator.validate([])
+
+    def test_unknown_ca_rejected(self, clock, alice, key_pool):
+        other_ca = CertificateAuthority(
+            DistinguishedName.parse("/O=Other/CN=CA"), clock=clock, key=key_pool.new_key()
+        )
+        lonely_validator = ChainValidator([other_ca.certificate], clock=clock)
+        with pytest.raises(ValidationError):
+            lonely_validator.validate(alice.full_chain())
+
+    def test_limited_proxy_reported(self, validator, alice, clock, key_pool):
+        limited = create_proxy(alice, limited=True, key_source=key_pool, clock=clock)
+        ident = validator.validate(limited.full_chain())
+        assert ident.is_limited
+
+
+class TestForgery:
+    def test_substituted_leaf_key_rejected(self, validator, alice, clock, key_pool):
+        """A proxy cert whose signature doesn't verify must fail."""
+        genuine = create_proxy(alice, key_source=key_pool, clock=clock)
+        # Forge: re-sign the same subject with a *different* (attacker) key.
+        from repro.pki.certs import build_certificate
+        from repro.pki.keys import KeyPair
+
+        attacker = KeyPair.generate(1024)
+        forged = build_certificate(
+            subject=genuine.certificate.subject,
+            issuer=genuine.certificate.issuer,
+            subject_public_key=attacker.public,
+            signing_key=attacker,  # signed by the attacker, not Alice
+            serial=12345,
+            not_before=clock.now() - 60,
+            not_after=clock.now() + 3600,
+        )
+        with pytest.raises(ValidationError, match="signature"):
+            validator.validate([forged, *alice.full_chain()])
+
+    def test_proxy_naming_rule_enforced(self, validator, alice, bob, clock, key_pool):
+        """Bob cannot present a proxy that claims to be Alice's."""
+        from repro.pki.certs import build_certificate
+
+        key = key_pool.new_key()
+        rogue = build_certificate(
+            subject=alice.subject.proxy_subject(),  # claims Alice
+            issuer=bob.subject,  # issued by Bob
+            subject_public_key=key.public,
+            signing_key=bob.key,
+            serial=999,
+            not_before=clock.now() - 60,
+            not_after=clock.now() + 3600,
+        )
+        with pytest.raises(ValidationError):
+            validator.validate([rogue, *bob.full_chain()])
+
+    def test_proxy_with_ca_flag_rejected(self, validator, alice, clock, key_pool):
+        from repro.pki.certs import build_certificate
+
+        key = key_pool.new_key()
+        evil = build_certificate(
+            subject=alice.subject.proxy_subject(),
+            issuer=alice.subject,
+            subject_public_key=key.public,
+            signing_key=alice.key,
+            serial=77,
+            not_before=clock.now() - 60,
+            not_after=clock.now() + 3600,
+            is_ca=True,  # a proxy that claims CA powers
+        )
+        with pytest.raises(ValidationError, match="CA"):
+            validator.validate([evil, *alice.full_chain()])
+
+    def test_full_proxy_below_limited_rejected(self, validator, alice, clock, key_pool):
+        """Limitation must propagate: build the illegal chain by hand."""
+        from repro.pki.certs import build_certificate
+
+        limited = create_proxy(alice, limited=True, key_source=key_pool, clock=clock)
+        key = key_pool.new_key()
+        # Note the full (non-limited) subject issued by the limited proxy.
+        sneaky = build_certificate(
+            subject=limited.subject.proxy_subject(limited=False),
+            issuer=limited.subject,
+            subject_public_key=key.public,
+            signing_key=limited.key,
+            serial=88,
+            not_before=clock.now() - 60,
+            not_after=clock.now() + 3600,
+        )
+        with pytest.raises(ValidationError, match="limited"):
+            validator.validate([sneaky, *limited.full_chain()])
+
+    def test_different_cert_for_trusted_ca_name_rejected(self, ca, clock, alice, key_pool):
+        evil_ca = CertificateAuthority(ca.name, clock=clock, key=key_pool.new_key())
+        validator = ChainValidator([ca.certificate], clock=clock)
+        with pytest.raises(ValidationError):
+            validator.validate([*alice.full_chain(), evil_ca.certificate])
+
+    def test_depth_limit_enforced(self, ca, alice, clock, key_pool):
+        validator = ChainValidator([ca.certificate], clock=clock, max_proxy_depth=2)
+        cred = alice
+        for _ in range(3):
+            cred = create_proxy(cred, key_source=key_pool, clock=clock)
+        with pytest.raises(ValidationError, match="depth"):
+            validator.validate(cred.full_chain())
+
+
+class TestLifetimes:
+    def test_expired_proxy_rejected(self, validator, alice, clock, key_pool):
+        proxy = create_proxy(alice, lifetime=3600, key_source=key_pool, clock=clock)
+        clock.advance(3600 + 600)
+        with pytest.raises(ExpiredError):
+            validator.validate(proxy.full_chain())
+
+    def test_skew_tolerated_near_expiry(self, validator, alice, clock, key_pool):
+        proxy = create_proxy(alice, lifetime=3600, key_source=key_pool, clock=clock)
+        clock.advance(3600 + 100)  # inside the 300s default skew
+        assert validator.validate(proxy.full_chain())
+
+    def test_valid_proxy_of_expired_eec_rejected(self, ca, clock, key_pool):
+        short = ca.issue_credential(
+            DistinguishedName.grid_user("Grid", "Repro", "Flash"),
+            lifetime=1000.0,
+            key=key_pool.new_key(),
+        )
+        validator = ChainValidator([ca.certificate], clock=clock)
+        proxy = create_proxy(short, lifetime=900, key_source=key_pool, clock=clock)
+        clock.advance(2000)
+        with pytest.raises(ExpiredError):
+            validator.validate(proxy.full_chain())
+
+    def test_not_yet_valid_rejected(self, ca, clock, key_pool):
+        from repro.pki.certs import build_certificate
+
+        key = key_pool.new_key()
+        future = build_certificate(
+            subject=DistinguishedName.grid_user("Grid", "Repro", "Tomorrow"),
+            issuer=ca.name,
+            subject_public_key=key.public,
+            signing_key=ca.export_credential().key,
+            serial=1234,
+            not_before=clock.now() + 86400,
+            not_after=clock.now() + 2 * 86400,
+        )
+        validator = ChainValidator([ca.certificate], clock=clock)
+        with pytest.raises(ValidationError, match="not yet valid"):
+            validator.validate([future])
+
+
+class TestRevocation:
+    def test_revoked_eec_rejected_after_crl_update(self, ca, validator, alice, clock, key_pool):
+        proxy = create_proxy(alice, key_source=key_pool, clock=clock)
+        assert validator.validate(proxy.full_chain())
+        ca.revoke(alice.certificate)
+        validator.update_crl(ca.crl())
+        with pytest.raises(RevokedError):
+            validator.validate(proxy.full_chain())
+
+    def test_crl_from_unknown_ca_rejected(self, validator, clock, key_pool):
+        stranger = CertificateAuthority(
+            DistinguishedName.parse("/O=Strangers/CN=CA"), clock=clock, key=key_pool.new_key()
+        )
+        with pytest.raises(ValidationError):
+            validator.update_crl(stranger.crl())
+
+    def test_other_users_unaffected_by_revocation(self, ca, validator, alice, bob, clock):
+        ca.revoke(alice.certificate)
+        validator.update_crl(ca.crl())
+        assert validator.validate(bob.full_chain()).identity == bob.subject
+
+
+class TestValidatorConstruction:
+    def test_non_ca_anchor_rejected(self, alice, clock):
+        with pytest.raises(ValidationError):
+            ChainValidator([alice.certificate], clock=clock)
+
+    def test_needs_at_least_one_anchor(self, clock):
+        with pytest.raises(ValidationError):
+            ChainValidator([], clock=clock)
+
+    def test_multiple_anchors_supported(self, ca, clock, key_pool):
+        ca2 = CertificateAuthority(
+            DistinguishedName.parse("/O=Grid2/CN=CA2"), clock=clock, key=key_pool.new_key()
+        )
+        validator = ChainValidator([ca.certificate, ca2.certificate], clock=clock)
+        user2 = ca2.issue_credential(
+            DistinguishedName.grid_user("Grid2", "X", "Yana"), key=key_pool.new_key()
+        )
+        assert validator.validate(user2.full_chain()).anchor == ca2.certificate
+
+
+class TestCrlFreshness:
+    """Strict revocation mode: no fresh CRL, no service."""
+
+    def test_strict_mode_requires_a_crl(self, ca, alice, clock):
+        strict = ChainValidator([ca.certificate], clock=clock, crl_max_age=3600.0)
+        with pytest.raises(ValidationError, match="no CRL"):
+            strict.validate(alice.full_chain())
+        strict.update_crl(ca.crl())
+        assert strict.validate(alice.full_chain())
+
+    def test_stale_crl_refused(self, ca, alice, clock):
+        strict = ChainValidator([ca.certificate], clock=clock, crl_max_age=3600.0)
+        strict.update_crl(ca.crl())
+        clock.advance(3700)
+        with pytest.raises(ValidationError, match="old"):
+            strict.validate(alice.full_chain())
+        # A refreshed CRL restores service (the trustroots-refresh loop).
+        strict.update_crl(ca.crl())
+        assert strict.validate(alice.full_chain())
+
+    def test_lenient_default_unchanged(self, validator, alice, clock):
+        clock.advance(400 * 86400 - 366 * 86400)  # well within cert life
+        assert validator.validate(alice.full_chain())

@@ -1,0 +1,127 @@
+"""Property-based tests of the chain-validation invariants.
+
+For *any* legally-constructed delegation chain:
+
+- validation succeeds and reports the base identity, the correct depth and
+  the correct limited flag;
+- removing any intermediate certificate breaks validation;
+- the effective restrictions never *widen* along the chain.
+
+Key generation dominates, so a tiny shared key pool plus bounded example
+counts keep this fast.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+import pytest
+
+from repro.pki.ca import CertificateAuthority
+from repro.pki.keys import PooledKeySource
+from repro.pki.names import DistinguishedName
+from repro.pki.proxy import ProxyRestrictions, create_proxy
+from repro.pki.validation import ChainValidator
+from repro.util.clock import ManualClock
+from repro.util.errors import ValidationError
+
+_POOL = PooledKeySource(1024, size=4)
+_CLOCK = ManualClock(1_600_000_000.0)
+_CA = CertificateAuthority(
+    DistinguishedName.parse("/O=Grid/CN=Prop CA"), clock=_CLOCK, key=_POOL.new_key()
+)
+_USER = _CA.issue_credential(
+    DistinguishedName.grid_user("Grid", "Prop", "User"), key=_POOL.new_key()
+)
+_VALIDATOR = ChainValidator([_CA.certificate], clock=_CLOCK)
+
+# Each chain link: (limited?, operations-restriction or None)
+link_st = st.tuples(
+    st.booleans(),
+    st.one_of(
+        st.none(),
+        st.sets(st.sampled_from(["store", "fetch", "submit_job", "list"]),
+                min_size=1, max_size=3),
+    ),
+)
+chain_st = st.lists(link_st, min_size=1, max_size=5)
+
+
+def build_chain(links):
+    """Build a *legal* chain: once limited, stay limited."""
+    cred = _USER
+    limited = False
+    for wants_limited, ops in links:
+        limited = limited or wants_limited
+        restrictions = (
+            ProxyRestrictions(operations=frozenset(ops)) if ops is not None else None
+        )
+        cred = create_proxy(
+            cred,
+            lifetime=3600.0,
+            limited=limited,
+            restrictions=restrictions,
+            key_source=_POOL,
+            clock=_CLOCK,
+        )
+    return cred, limited
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(chain_st)
+def test_legal_chains_always_validate(links):
+    cred, limited = build_chain(links)
+    ident = _VALIDATOR.validate(cred.full_chain())
+    assert ident.identity == _USER.subject
+    assert ident.proxy_depth == len(links)
+    assert ident.is_limited == limited
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(chain_st, st.data())
+def test_removing_any_link_breaks_validation(links, data):
+    if len(links) < 2:
+        links = links + [(False, None)]
+    cred, _ = build_chain(links)
+    chain = list(cred.full_chain())
+    # Drop one certificate strictly inside the chain (not leaf, not EEC).
+    victim = data.draw(st.integers(min_value=1, max_value=len(chain) - 2))
+    broken = chain[:victim] + chain[victim + 1 :]
+    with pytest.raises(ValidationError):
+        _VALIDATOR.validate(broken)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(chain_st)
+def test_effective_restrictions_never_widen(links):
+    """At every prefix of the chain, the permitted-operation set can only
+    shrink or stay equal as links are added."""
+    cred = _USER
+    limited = False
+    previous_ops = None  # None = unrestricted
+    for wants_limited, ops in links:
+        limited = limited or wants_limited
+        restrictions = (
+            ProxyRestrictions(operations=frozenset(ops)) if ops is not None else None
+        )
+        cred = create_proxy(
+            cred, lifetime=3600.0, limited=limited, restrictions=restrictions,
+            key_source=_POOL, clock=_CLOCK,
+        )
+        ident = _VALIDATOR.validate(cred.full_chain())
+        current_ops = ident.restrictions.operations
+        if previous_ops is not None:
+            assert current_ops is not None
+            assert current_ops <= previous_ops
+        previous_ops = current_ops
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.booleans(), min_size=1, max_size=5))
+def test_limited_flag_is_sticky(limited_flags):
+    """The validated chain is limited iff any link was limited."""
+    cred = _USER
+    seen_limited = False
+    for flag in limited_flags:
+        seen_limited = seen_limited or flag
+        cred = create_proxy(
+            cred, lifetime=3600.0, limited=seen_limited, key_source=_POOL, clock=_CLOCK
+        )
+    assert _VALIDATOR.validate(cred.full_chain()).is_limited == any(limited_flags)

@@ -1,0 +1,49 @@
+"""HTML rendering safety: attacker-influenced strings are escaped.
+
+Job details, file names and error messages can contain hostile input (a
+user controls their own job parameters and file names); the portal must
+never reflect them as markup.
+"""
+
+from repro.portal import pages
+
+XSS = "<script>alert('pwned')</script>"
+ESCAPED = "&lt;script&gt;"
+
+
+class TestEscaping:
+    def test_login_error_escaped(self):
+        markup = pages.login_page(portal_name="p", repositories=["repo-0"],
+                                  error=XSS)
+        assert XSS not in markup and ESCAPED in markup
+
+    def test_repository_names_escaped(self):
+        markup = pages.login_page(portal_name="p", repositories=[XSS])
+        assert XSS not in markup
+
+    def test_job_fields_escaped(self):
+        job = {"job_id": XSS, "state": XSS, "kind": XSS, "remaining": 1.0,
+               "detail": XSS}
+        markup = pages.jobs_page(portal_name="p", jobs=[job])
+        assert XSS not in markup and ESCAPED in markup
+
+    def test_job_message_escaped(self):
+        markup = pages.jobs_page(portal_name="p", jobs=[], message=XSS)
+        assert XSS not in markup
+
+    def test_file_names_escaped_and_urlencoded(self):
+        markup = pages.files_page(portal_name="p", files=[XSS])
+        assert XSS not in markup
+        # The download link must be URL-encoded, not raw.
+        assert "download?path=%3Cscript%3E" in markup
+
+    def test_dashboard_identity_escaped(self):
+        markup = pages.dashboard_page(
+            portal_name="p", username=XSS, identity=XSS,
+            proxy_seconds_left=10.0, repository=XSS,
+        )
+        assert XSS not in markup
+
+    def test_portal_title_escaped(self):
+        markup = pages.logged_out_page(XSS)
+        assert XSS not in markup

@@ -1,0 +1,246 @@
+"""The Grid portal web application (§3, §4.3, §5.2)."""
+
+import pytest
+
+PASS = "correct horse 42"
+LOGIN = {
+    "username": "alice",
+    "passphrase": PASS,
+    "repository": "repo-0",
+    "lifetime_hours": "2",
+    "auth_method": "passphrase",
+}
+
+
+@pytest.fixture()
+def world(tb):
+    alice = tb.new_user("alice")
+    tb.myproxy_init(alice, passphrase=PASS)
+    portal = tb.new_portal("portal")
+    browser = tb.browser()
+    return tb, alice, portal, browser
+
+
+BASE = "https://portal.example.org"
+
+
+class TestLogin:
+    def test_login_page_served(self, world):
+        _, _, _, browser = world
+        page = browser.get(f"{BASE}/")
+        assert "MyProxy user name" in page.text
+
+    def test_https_login_succeeds_and_holds_proxy(self, world, clock):
+        tb, alice, portal, browser = world
+        response = browser.post(f"{BASE}/login", LOGIN)
+        assert response.status == 200 and "Dashboard" in response.text
+        held = portal.held_credentials()
+        assert len(held) == 1
+        (_repo, credential), = held.values()
+        assert credential.identity == alice.dn
+        # The requested 2h lifetime is honored.
+        assert credential.seconds_remaining(clock) == pytest.approx(7200, abs=300)
+
+    def test_plain_http_login_refused(self, world):
+        """§5.2: the portal 'must be configured to only allow ... HTTPS'."""
+        _, _, portal, browser = world
+        response = browser.post("http://portal.example.org/login", LOGIN)
+        assert response.status == 403
+        assert portal.active_credential_count() == 0
+
+    def test_http_allowed_when_policy_disabled(self, tb):
+        alice = tb.new_user("alice")
+        tb.myproxy_init(alice, passphrase=PASS)
+        tb.new_portal("lax", https_only=False)
+        browser = tb.browser()
+        response = browser.post("http://lax.example.org/login", LOGIN)
+        assert response.status == 200 and "Dashboard" in response.text
+
+    def test_wrong_passphrase_shows_login_error(self, world):
+        _, _, portal, browser = world
+        response = browser.post(
+            f"{BASE}/login", {**LOGIN, "passphrase": "wrong wrong"},
+            follow_redirects=False,
+        )
+        assert response.status == 401
+        assert "Login failed" in response.text
+        assert portal.active_credential_count() == 0
+
+    def test_missing_fields_rejected(self, world):
+        _, _, _, browser = world
+        assert browser.post(f"{BASE}/login", {"username": "alice"}).status == 400
+
+    def test_dashboard_requires_login(self, world):
+        _, _, _, browser = world
+        response = browser.get(f"{BASE}/portal")
+        assert "MyProxy user name" in response.text  # bounced to login
+
+
+class TestGridOperations:
+    def test_job_submission_through_portal(self, world, clock):
+        tb, _, _, browser = world
+        browser.post(f"{BASE}/login", LOGIN)
+        response = browser.post(
+            f"{BASE}/jobs",
+            {"kind": "compute", "duration": "60", "output_path": "r.dat"},
+        )
+        assert "submitted job-" in response.text
+        clock.advance(61)
+        tb.gram.poll_jobs()
+        jobs_page = browser.get(f"{BASE}/jobs")
+        assert "done" in jobs_page.text
+
+    def test_file_storage_through_portal(self, world):
+        tb, _, _, browser = world
+        browser.post(f"{BASE}/login", LOGIN)
+        browser.post(f"{BASE}/files", {"path": "notes.txt", "content": "hello grid"})
+        assert tb.storage.file_bytes("alice", "notes.txt") == b"hello grid"
+        listing = browser.get(f"{BASE}/files")
+        assert "notes.txt" in listing.text
+
+    def test_operations_run_as_the_user(self, world):
+        """The portal acts with the *user's* identity, not its own."""
+        tb, alice, _, browser = world
+        browser.post(f"{BASE}/login", LOGIN)
+        browser.post(f"{BASE}/jobs", {"kind": "compute", "duration": "60"})
+        (job,) = tb.gram.jobs()
+        assert job.owner_dn == str(alice.dn)
+        assert job.local_user == "alice"
+
+
+class TestLogoutAndExpiry:
+    def test_logout_deletes_credential(self, world):
+        """§4.3: 'logging out ... deletes the user's delegated credential'."""
+        _, _, portal, browser = world
+        browser.post(f"{BASE}/login", LOGIN)
+        assert portal.active_credential_count() == 1
+        response = browser.post(f"{BASE}/logout", {})
+        assert "destroyed" in response.text
+        assert portal.active_credential_count() == 0
+
+    def test_forgotten_login_expires_with_proxy(self, world, clock):
+        """§4.3: 'if a user forgets to log off, the credential will expire'."""
+        _, _, portal, browser = world
+        browser.post(f"{BASE}/login", {**LOGIN, "lifetime_hours": "1"})
+        clock.advance(3700)
+        # Next touch notices the dead proxy, wipes it, bounces to login.
+        response = browser.get(f"{BASE}/portal")
+        assert "MyProxy user name" in response.text
+        assert portal.active_credential_count() == 0
+
+    def test_session_expiry_wipes_credential(self, tb, clock):
+        alice = tb.new_user("alice")
+        tb.myproxy_init(alice, passphrase=PASS)
+        portal = tb.new_portal("shortsession", session_ttl=600.0)
+        browser = tb.browser()
+        browser.post("https://shortsession.example.org/login", LOGIN)
+        assert portal.active_credential_count() == 1
+        clock.advance(601)
+        browser.get("https://shortsession.example.org/portal")
+        assert portal.active_credential_count() == 0
+
+    def test_two_users_two_credentials(self, world):
+        tb, _, portal, browser = world
+        bob = tb.new_user("bob")
+        tb.myproxy_init(bob, passphrase="bob's secret 9")
+        browser.post(f"{BASE}/login", LOGIN)
+        browser2 = tb.browser()
+        browser2.post(
+            f"{BASE}/login",
+            {**LOGIN, "username": "bob", "passphrase": "bob's secret 9"},
+        )
+        held = portal.held_credentials()
+        identities = {str(c.identity) for _repo, c in held.values()}
+        assert len(held) == 2 and len(identities) == 2
+
+
+class TestMultiRepository:
+    def test_portal_uses_selected_repository(self, tb_factory):
+        """§3.3: 'a portal should be able to use multiple systems'."""
+        tb = tb_factory(n_repositories=2)
+        alice = tb.new_user("alice")
+        # alice registers only with repo-1.
+        tb.myproxy_init(alice, passphrase=PASS, repository="repo-1")
+        tb.new_portal("multi")
+        browser = tb.browser()
+        fail = browser.post(
+            "https://multi.example.org/login", {**LOGIN, "repository": "repo-0"},
+            follow_redirects=False,
+        )
+        assert fail.status == 401
+        ok = browser.post(
+            "https://multi.example.org/login", {**LOGIN, "repository": "repo-1"}
+        )
+        assert "Dashboard" in ok.text
+        assert "repo-1" in ok.text
+
+
+class TestWalletLogin:
+    def test_login_with_named_credential(self, tb, key_pool, clock):
+        """§6.2 through the browser: the login form selects a wallet entry."""
+        from repro.pki.proxy import create_proxy
+
+        alice = tb.new_user("alice")
+        client = tb.myproxy_client(alice.credential)
+        proxy = create_proxy(alice.credential, lifetime=3 * 86400,
+                             key_source=key_pool, clock=clock)
+        client.put(proxy, username="alice", passphrase=PASS,
+                   cred_name="conference", lifetime=3 * 86400)
+        tb.new_portal("walletportal")
+        browser = tb.browser()
+        response = browser.post(
+            "https://walletportal.example.org/login",
+            {**LOGIN, "cred_name": "conference"},
+        )
+        assert "Dashboard" in response.text
+
+    def test_login_with_unknown_credential_name_fails(self, world):
+        _, _, _, browser = world
+        response = browser.post(
+            f"{BASE}/login", {**LOGIN, "cred_name": "nonexistent"},
+            follow_redirects=False,
+        )
+        assert response.status == 401
+
+
+class TestJobCancelAndDownload:
+    def test_cancel_job_through_portal(self, world, clock):
+        tb, _, _, browser = world
+        browser.post(f"{BASE}/login", LOGIN)
+        page = browser.post(
+            f"{BASE}/jobs", {"kind": "compute", "duration": "5000"}
+        )
+        assert "Cancel" in page.text  # active jobs offer a cancel button
+        (job,) = tb.gram.jobs()
+        page = browser.post(f"{BASE}/jobs/cancel", {"job_id": job.job_id})
+        assert "now cancelled" in page.text
+        from repro.grid.gram import JobState
+
+        assert tb.gram.job(job.job_id).state is JobState.CANCELLED
+
+    def test_cancel_requires_login(self, world):
+        _, _, _, browser = world
+        response = browser.post(f"{BASE}/jobs/cancel", {"job_id": "job-00001"})
+        assert "MyProxy user name" in response.text  # bounced to login
+
+    def test_download_file_through_portal(self, world):
+        tb, _, _, browser = world
+        browser.post(f"{BASE}/login", LOGIN)
+        browser.post(f"{BASE}/files", {"path": "report.txt", "content": "the results"})
+        listing = browser.get(f"{BASE}/files")
+        assert "/files/download?path=report.txt" in listing.text
+        response = browser.get(f"{BASE}/files/download?path=report.txt")
+        assert response.status == 200
+        assert response.body == b"the results"
+        assert "attachment" in response.header("Content-Disposition")
+
+    def test_download_missing_file_refused(self, world):
+        _, _, _, browser = world
+        browser.post(f"{BASE}/login", LOGIN)
+        response = browser.get(f"{BASE}/files/download?path=ghost.bin")
+        assert response.status == 403
+
+    def test_download_requires_login(self, world):
+        tb, _, _, browser = world
+        response = browser.get(f"{BASE}/files/download?path=x", follow_redirects=False)
+        assert response.status == 303  # to the login page

@@ -1,0 +1,97 @@
+"""S2 (§5.1): the two access-control lists.
+
+"[The authorized retrievers list] is particularly important, as it prevents
+unauthorized clients from retrieving a user proxy from the repository, even
+if such clients are able to gain access to the user's MyProxy
+authentication information."
+"""
+
+import pytest
+
+from repro.core.policy import ServerPolicy
+from repro.gsi.acl import AccessControlList
+from repro.util.errors import AuthenticationError
+
+PASS = "correct horse 42"
+
+
+@pytest.fixture()
+def locked_down(tb_factory):
+    """Repository that only accepts example-OU users and one portal host."""
+    # NB: testbed users live under /O=Grid/OU=Repro/CN=<Name> and host
+    # credentials under /O=Grid/OU=Repro/CN=host/<fqdn>.  The accepted list
+    # names the user explicitly (a CN=* glob would also match host/...).
+    policy = ServerPolicy(
+        accepted_credentials=AccessControlList(
+            ["/O=Grid/OU=Repro/CN=Alice"], name="accepted_credentials"
+        ),
+        authorized_retrievers=AccessControlList(
+            ["/O=Grid/OU=Repro/CN=host/portal.example.org"],
+            name="authorized_retrievers",
+        ),
+    )
+    tb = tb_factory(myproxy_policy=policy)
+    alice = tb.new_user("alice")
+    tb.myproxy_init(alice, passphrase=PASS)
+    portal_cred = tb.ca.issue_host_credential(
+        "portal.example.org", key=tb.key_source.new_key()
+    )
+    return tb, alice, portal_cred
+
+
+class TestRetrieverAcl:
+    def test_listed_portal_can_retrieve(self, locked_down):
+        tb, alice, portal_cred = locked_down
+        proxy = tb.myproxy_get(username="alice", passphrase=PASS, requester=portal_cred)
+        assert proxy.identity == alice.dn
+
+    def test_stolen_passphrase_useless_to_unlisted_client(self, locked_down):
+        """The S2 crux: Mallory has the correct pass phrase but is not an
+        authorized retriever — the ACL stops her anyway."""
+        from repro.pki.names import DistinguishedName
+
+        tb, _, _ = locked_down
+        mallory = tb.ca.issue_credential(
+            DistinguishedName.parse("/O=Grid/OU=Elsewhere/CN=Mallory"),
+            key=tb.key_source.new_key(),
+        )
+        with pytest.raises(AuthenticationError):
+            tb.myproxy_get(username="alice", passphrase=PASS, requester=mallory)
+        denied = [r for r in tb.myproxy.audit_log() if not r.ok]
+        assert any("authorized_retrievers" in r.detail for r in denied)
+
+    def test_user_not_on_retriever_list_cannot_retrieve_own(self, locked_down):
+        """Separation of the two lists: users delegate, portals retrieve."""
+        tb, alice, _ = locked_down
+        with pytest.raises(AuthenticationError):
+            tb.myproxy_get(username="alice", passphrase=PASS, requester=alice.credential)
+
+
+class TestAcceptedCredentialsAcl:
+    def test_unlisted_identity_cannot_delegate(self, locked_down):
+        from repro.pki.names import DistinguishedName
+
+        tb, _, _ = locked_down
+        outsider_dn = DistinguishedName.parse("/O=Grid/OU=Elsewhere/CN=Outsider")
+        outsider = tb.ca.issue_credential(outsider_dn, key=tb.key_source.new_key())
+        tb.gridmap.add(outsider_dn, "outsider")
+        from repro.core.client import myproxy_init_from_longterm
+
+        client = tb.myproxy_client(outsider)
+        with pytest.raises(AuthenticationError):
+            myproxy_init_from_longterm(
+                client, outsider, username="outsider", passphrase=PASS,
+                key_source=tb.key_source,
+            )
+        assert tb.myproxy.repository.count() == 1  # only alice's
+
+    def test_portal_on_retriever_list_cannot_delegate(self, locked_down):
+        tb, _, portal_cred = locked_down
+        from repro.core.client import myproxy_init_from_longterm
+
+        client = tb.myproxy_client(portal_cred)
+        with pytest.raises(AuthenticationError):
+            myproxy_init_from_longterm(
+                client, portal_cred, username="portalish", passphrase=PASS,
+                key_source=tb.key_source,
+            )

@@ -1,0 +1,84 @@
+"""Online pass-phrase guessing: the lockout window.
+
+The PBKDF2 verifier prices *offline* attacks (S1); this prices *online*
+ones: an attacker hammering GET with candidate pass phrases trips a
+per-credential lockout long before a dictionary makes progress.
+"""
+
+import pytest
+
+from repro.core.policy import ServerPolicy
+from repro.util.errors import AuthenticationError
+
+PASS = "correct horse 42"
+
+
+@pytest.fixture()
+def guarded(tb_factory):
+    tb = tb_factory(
+        myproxy_policy=ServerPolicy(max_failed_auths=3, lockout_window=600.0)
+    )
+    alice = tb.new_user("alice")
+    tb.myproxy_init(alice, passphrase=PASS)
+    attacker = tb.new_user("attacker")
+    return tb, attacker
+
+
+def guess(tb, requester, phrase, username="alice"):
+    return tb.myproxy_get(username=username, passphrase=phrase, requester=requester.credential)
+
+
+class TestLockout:
+    def test_guessing_trips_the_lockout(self, guarded):
+        tb, attacker = guarded
+        for i in range(3):
+            with pytest.raises(AuthenticationError):
+                guess(tb, attacker, f"guess number {i}")
+        # The 4th attempt is refused *before* any verifier work — and so is
+        # the correct pass phrase (the cost of the control).
+        with pytest.raises(AuthenticationError):
+            guess(tb, attacker, "guess number 3")
+        with pytest.raises(AuthenticationError):
+            guess(tb, attacker, PASS)
+        locked = [r for r in tb.myproxy.audit_log() if "locked out" in r.detail]
+        assert locked
+
+    def test_lockout_drains_with_time(self, guarded, clock):
+        tb, attacker = guarded
+        for i in range(3):
+            with pytest.raises(AuthenticationError):
+                guess(tb, attacker, f"guess {i}")
+        clock.advance(601)
+        assert guess(tb, attacker, PASS).identity is not None
+
+    def test_lockout_is_per_credential(self, guarded):
+        tb, attacker = guarded
+        bob = tb.new_user("bob")
+        tb.myproxy_init(bob, passphrase="bob secret 77")
+        for i in range(3):
+            with pytest.raises(AuthenticationError):
+                guess(tb, attacker, f"guess {i}")  # against alice
+        # bob is unaffected.
+        assert guess(tb, attacker, "bob secret 77", username="bob").has_key
+
+    def test_successful_logins_do_not_accumulate(self, guarded):
+        tb, attacker = guarded
+        for _ in range(5):
+            assert guess(tb, attacker, PASS).has_key
+
+    def test_failures_below_threshold_recover(self, guarded):
+        tb, attacker = guarded
+        for i in range(2):
+            with pytest.raises(AuthenticationError):
+                guess(tb, attacker, f"guess {i}")
+        assert guess(tb, attacker, PASS).has_key
+
+    def test_lockout_disabled_when_zero(self, tb_factory):
+        tb = tb_factory(myproxy_policy=ServerPolicy(max_failed_auths=0))
+        alice = tb.new_user("alice")
+        tb.myproxy_init(alice, passphrase=PASS)
+        attacker = tb.new_user("attacker")
+        for i in range(15):
+            with pytest.raises(AuthenticationError):
+                guess(tb, attacker, f"guess {i}")
+        assert guess(tb, attacker, PASS).has_key

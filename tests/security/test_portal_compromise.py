@@ -1,0 +1,95 @@
+"""S6 (§5.1): compromise of a portal host.
+
+"Another risk is the compromise of a portal ... This risk is minimized by
+the fact the MyProxy server requires the user authentication information in
+addition to the authentication of the portal.  This requires that the
+intruder wait for the user to connect and provide this information, which
+allows time for intrusion to be detected or credentials to expire."
+"""
+
+import pytest
+
+from repro.attacks.compromise import loot_portal
+from repro.util.errors import AuthenticationError
+
+PASS = "correct horse 42"
+LOGIN = {
+    "username": "alice",
+    "passphrase": PASS,
+    "repository": "repo-0",
+    "lifetime_hours": "2",
+    "auth_method": "passphrase",
+}
+
+
+@pytest.fixture()
+def world(tb):
+    alice = tb.new_user("alice")
+    tb.myproxy_init(alice, passphrase=PASS)
+    portal = tb.new_portal("portal")
+    return tb, alice, portal
+
+
+class TestBeforeUserLogsIn:
+    def test_intruder_gets_no_user_credentials(self, world):
+        _, _, portal = world
+        loot = loot_portal(portal)
+        assert loot.user_proxies == []
+
+    def test_portal_credential_alone_cannot_retrieve(self, world):
+        """The portal's own (unencrypted, §5.2) credential is in the loot,
+        but the repository still demands the user's secret."""
+        tb, _, portal = world
+        loot = loot_portal(portal)
+        assert loot.portal_credential.has_key  # the intruder does hold this
+        with pytest.raises(AuthenticationError):
+            tb.myproxy_get(
+                username="alice", passphrase="guess?", requester=loot.portal_credential
+            )
+
+
+class TestAfterUserLogsIn:
+    def test_intruder_gets_exactly_the_sessions_proxies(self, world, clock):
+        tb, alice, portal = world
+        browser = tb.browser()
+        browser.post("https://portal.example.org/login", LOGIN)
+        loot = loot_portal(portal, clock=clock)
+        assert len(loot.user_proxies) == 1
+        stolen = loot.user_proxies[0]
+        assert stolen.identity == str(alice.dn)
+        # The damage window is the short proxy lifetime, not the week.
+        assert stolen.seconds_remaining <= 2 * 3600 + 300
+
+    def test_stolen_proxy_expires_quickly(self, world, clock):
+        """'allows time for ... credentials to expire' — quantified."""
+        tb, _, portal = world
+        browser = tb.browser()
+        browser.post("https://portal.example.org/login", LOGIN)
+        loot = loot_portal(portal, clock=clock)
+        stolen = loot.user_proxies[0].credential
+        clock.advance(2 * 3600 + 400)
+        from repro.util.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            tb.validator.validate(stolen.full_chain())
+        assert loot_portal(portal, clock=clock).usable_user_proxies == []
+
+    def test_stolen_proxy_cannot_touch_longterm_secret(self, world):
+        """The user's long-term credential never existed on the portal."""
+        tb, alice, portal = world
+        browser = tb.browser()
+        browser.post("https://portal.example.org/login", LOGIN)
+        loot = loot_portal(portal)
+        stolen = loot.user_proxies[0].credential
+        # The stolen proxy chains to the EEC but contains no EEC key.
+        assert stolen.key.public != alice.credential.key.public
+        eec_key_pem = alice.credential.key.to_pem()
+        assert eec_key_pem not in stolen.export_pem()
+
+    def test_logout_shrinks_the_window_immediately(self, world):
+        tb, _, portal = world
+        browser = tb.browser()
+        browser.post("https://portal.example.org/login", LOGIN)
+        assert len(loot_portal(portal).user_proxies) == 1
+        browser.post("https://portal.example.org/logout", {})
+        assert loot_portal(portal).user_proxies == []

@@ -1,0 +1,97 @@
+"""X4 (§6.5): restricted proxies bound the damage of credential theft.
+
+"This would allow users to explicitly place limitations on the credentials
+they delegate to the MyProxy server, so that even if the MyProxy server
+itself were compromised or the credentials themselves were somehow stolen,
+the damage that could be done with them would be significantly limited."
+"""
+
+import pytest
+
+from repro.core.client import MyProxyClient
+from repro.grid.gram import JobSpec
+from repro.pki.proxy import ProxyRestrictions, create_proxy
+from repro.util.errors import AuthorizationError
+
+PASS = "correct horse 42"
+
+
+@pytest.fixture()
+def world(tb, key_pool, clock):
+    """alice delegates a storage-only restricted proxy to the repository."""
+    alice = tb.new_user("alice")
+    restricted = create_proxy(
+        alice.credential,
+        lifetime=7 * 86400,
+        restrictions=ProxyRestrictions(
+            operations=frozenset({"store", "fetch", "list"}),
+            resources=frozenset({"mass-storage"}),
+        ),
+        key_source=key_pool,
+        clock=clock,
+    )
+    client = tb.myproxy_client(alice.credential)
+    client.put(restricted, username="alice", passphrase=PASS, lifetime=7 * 86400)
+    return tb, alice
+
+
+class TestStolenRestrictedProxy:
+    @pytest.fixture()
+    def stolen(self, world):
+        """The thief: retrieves a delegation with the (known) pass phrase."""
+        tb, _ = world
+        thief = tb.new_user("thief")
+        return tb, tb.myproxy_get(
+            username="alice", passphrase=PASS, requester=thief.credential
+        )
+
+    def test_restriction_survives_repository_delegation(self, stolen):
+        tb, proxy = stolen
+        ident = tb.validator.validate(proxy.full_chain())
+        assert not ident.permits("submit_job", "gram")
+        assert ident.permits("store", "mass-storage")
+
+    def test_stolen_proxy_cannot_submit_jobs(self, stolen, clock):
+        tb, proxy = stolen
+        with tb.gram_client(proxy) as gram:
+            with pytest.raises(AuthorizationError, match="restricted"):
+                gram.submit(JobSpec(), delegate_from=proxy, clock=clock)
+
+    def test_stolen_proxy_limited_to_declared_service(self, stolen):
+        tb, proxy = stolen
+        with tb.storage_client(proxy) as storage:
+            storage.store("allowed.txt", b"storage ops still work")
+            assert storage.fetch("allowed.txt") == b"storage ops still work"
+
+    def test_thief_cannot_escape_by_re_proxying(self, stolen, key_pool, clock):
+        """Restrictions only narrow: a proxy-of-the-proxy stays confined."""
+        tb, proxy = stolen
+        escalated = create_proxy(
+            proxy,
+            restrictions=ProxyRestrictions(),  # "unrestricted" attempt
+            key_source=key_pool,
+            clock=clock,
+        )
+        ident = tb.validator.validate(escalated.full_chain())
+        assert not ident.permits("submit_job", "gram")
+        with tb.gram_client(escalated) as gram:
+            with pytest.raises(AuthorizationError):
+                gram.submit(JobSpec(), delegate_from=escalated, clock=clock)
+
+
+class TestUnrestrictedBaseline:
+    def test_same_theft_without_restrictions_is_catastrophic(self, tb, key_pool, clock):
+        """The ablation: an unrestricted stored proxy gives the thief
+        everything — which is exactly why §6.5 matters."""
+        bob = tb.new_user("bob")
+        plain = create_proxy(bob.credential, lifetime=7 * 86400,
+                             key_source=key_pool, clock=clock)
+        tb.myproxy_client(bob.credential).put(
+            plain, username="bob", passphrase=PASS, lifetime=7 * 86400
+        )
+        thief = tb.new_user("thief2")
+        stolen = tb.myproxy_get(username="bob", passphrase=PASS,
+                                requester=thief.credential)
+        with tb.gram_client(stolen) as gram:
+            job_id = gram.submit(JobSpec(), delegate_from=stolen, clock=clock)
+        assert job_id  # full job-submission power as bob

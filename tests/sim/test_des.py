@@ -1,0 +1,75 @@
+"""The event-driven simulation core."""
+
+import pytest
+
+from repro.sim.des import Simulator
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.0, lambda: seen.append("c"))
+        sim.schedule(1.0, lambda: seen.append("a"))
+        sim.schedule(2.0, lambda: seen.append("b"))
+        sim.run_all()
+        assert seen == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        seen = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: seen.append(i))
+        sim.run_all()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 3:
+                sim.schedule(1.0, lambda: chain(n + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run_all()
+        assert seen == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_run_until_stops_at_horizon(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(5.0, lambda: seen.append(5))
+        sim.run_until(2.0)
+        assert seen == [1]
+        assert sim.now == 2.0
+        assert sim.pending == 1
+
+    def test_negative_delay_refused(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.1, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(RuntimeError, match="hard limit"):
+            sim.run_all(hard_limit=1000)
+
+    def test_determinism(self):
+        def run():
+            sim = Simulator()
+            seen = []
+            for i in range(20):
+                sim.schedule((i * 7) % 5 + 0.5, lambda i=i: seen.append(i))
+            sim.run_all()
+            return seen
+
+        assert run() == run()

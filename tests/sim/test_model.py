@@ -1,0 +1,120 @@
+"""The repository queueing model, validated against M/M/c theory."""
+
+import math
+
+import pytest
+
+from repro.sim.model import (
+    ServiceTimes,
+    format_table,
+    simulate_burst,
+    simulate_load,
+    sweep_offered_load,
+)
+
+SERVICE_MEAN = 0.015  # 15 ms, close to the measured GET
+
+
+def mm1_mean_sojourn(rate: float, mean_service: float) -> float:
+    """M/M/1 theory: E[T] = s / (1 - rho)."""
+    rho = rate * mean_service
+    assert rho < 1
+    return mean_service / (1 - rho)
+
+
+class TestAgainstTheory:
+    def test_mm1_mean_latency_matches_theory(self):
+        service = ServiceTimes(mean=SERVICE_MEAN, distribution="exponential")
+        rate = 0.5 / SERVICE_MEAN  # rho = 0.5
+        result = simulate_load(
+            offered_rate=rate, cores=1, service=service, horizon=600.0, seed=7
+        )
+        expected = mm1_mean_sojourn(rate, SERVICE_MEAN)
+        assert result.mean_latency == pytest.approx(expected, rel=0.15)
+
+    def test_utilization_tracks_rho(self):
+        service = ServiceTimes(mean=SERVICE_MEAN, distribution="exponential")
+        for rho in (0.3, 0.6, 0.9):
+            cores = 2
+            rate = rho * cores / SERVICE_MEAN
+            result = simulate_load(
+                offered_rate=rate, cores=cores, service=service,
+                horizon=600.0, seed=3,
+            )
+            assert result.utilization == pytest.approx(rho, rel=0.12)
+
+    def test_zero_contention_latency_is_service_time(self):
+        service = ServiceTimes(mean=SERVICE_MEAN, distribution="fixed")
+        result = simulate_load(
+            offered_rate=1.0, cores=4, service=service, horizon=120.0, seed=1
+        )
+        assert result.mean_latency == pytest.approx(SERVICE_MEAN, rel=0.05)
+        assert result.max_queue_depth <= 1
+
+    def test_more_cores_cut_latency_at_fixed_load(self):
+        service = ServiceTimes(mean=SERVICE_MEAN, distribution="exponential")
+        rate = 1.5 / SERVICE_MEAN  # would saturate 1 core (rho=1.5)
+        two = simulate_load(offered_rate=rate, cores=2, service=service,
+                            horizon=300.0, seed=5)
+        four = simulate_load(offered_rate=rate, cores=4, service=service,
+                             horizon=300.0, seed=5)
+        assert four.mean_latency < two.mean_latency
+
+    def test_saturation_shows_the_knee(self):
+        """Latency explodes past capacity — the B1 shape the GIL hides."""
+        service = ServiceTimes(mean=SERVICE_MEAN, distribution="exponential")
+        capacity = 2 / SERVICE_MEAN  # 2 cores
+        below = simulate_load(offered_rate=0.7 * capacity, cores=2,
+                              service=service, horizon=240.0, seed=11)
+        above = simulate_load(offered_rate=1.3 * capacity, cores=2,
+                              service=service, horizon=240.0, seed=11)
+        assert above.mean_latency > 10 * below.mean_latency
+        # And throughput saturates at ~capacity:
+        assert above.throughput <= capacity * 1.1
+
+    def test_deterministic_for_fixed_seed(self):
+        a = simulate_load(offered_rate=50.0, cores=2, horizon=60.0, seed=42)
+        b = simulate_load(offered_rate=50.0, cores=2, horizon=60.0, seed=42)
+        assert a.mean_latency == b.mean_latency
+        assert a.completed == b.completed
+
+
+class TestBurst:
+    def test_login_storm_hurts_tail_latency(self):
+        service = ServiceTimes(mean=SERVICE_MEAN, distribution="exponential")
+        calm = simulate_load(offered_rate=5.0, cores=2, service=service,
+                             horizon=60.0, seed=9)
+        storm = simulate_burst(burst_size=300, cores=2, service=service,
+                               background_rate=5.0, horizon=60.0, seed=9)
+        assert storm.percentile(99) > 5 * calm.percentile(99)
+        assert storm.max_queue_depth >= 100
+
+    def test_burst_eventually_drains(self):
+        storm = simulate_burst(burst_size=200, cores=4, horizon=120.0, seed=2)
+        # Everyone got served (background + burst all completed).
+        assert storm.completed >= 200
+
+
+class TestHarness:
+    def test_sweep_produces_monotone_utilization(self):
+        rows = sweep_offered_load([10, 40, 80], cores=2, horizon=60.0, seed=1)
+        utils = [row["utilization"] for row in rows]
+        assert utils == sorted(utils)
+        assert {"offered_per_s", "mean_ms", "p95_ms"} <= set(rows[0])
+
+    def test_format_table(self):
+        rows = sweep_offered_load([10], cores=2, horizon=30.0, seed=1)
+        table = format_table(rows)
+        assert "offered_per_s" in table.splitlines()[0]
+        assert len(table.splitlines()) == 2
+
+    def test_distributions(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for dist in ("exponential", "lognormal", "fixed"):
+            service = ServiceTimes(mean=0.01, distribution=dist)
+            samples = [service.sample(rng) for _ in range(2000)]
+            assert sum(samples) / len(samples) == pytest.approx(0.01, rel=0.1)
+        with pytest.raises(ValueError):
+            ServiceTimes(mean=0.01, distribution="uniform").sample(rng)

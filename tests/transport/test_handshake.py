@@ -1,0 +1,146 @@
+"""The mutual-authentication handshake (§2.2, §5.1)."""
+
+import threading
+
+import pytest
+
+from repro.pki.ca import CertificateAuthority
+from repro.pki.names import DistinguishedName
+from repro.pki.proxy import create_proxy
+from repro.pki.validation import ChainValidator
+from repro.transport.channel import accept_secure, connect_secure
+from repro.transport.links import pipe_pair
+from repro.util.errors import HandshakeError, TransportError
+
+
+def run_handshake(client_args, server_args, *, allow_anonymous=False):
+    """Drive both sides; return (client_channel, server_channel or exc)."""
+    cl, sl = pipe_pair()
+    result = {}
+
+    def _server():
+        try:
+            result["channel"] = accept_secure(
+                sl, *server_args, allow_anonymous=allow_anonymous
+            )
+        except Exception as exc:  # noqa: BLE001
+            result["error"] = exc
+
+    thread = threading.Thread(target=_server)
+    thread.start()
+    try:
+        client_channel = connect_secure(cl, *client_args)
+    finally:
+        thread.join(10)
+    if "error" in result:
+        raise result["error"]
+    return client_channel, result["channel"]
+
+
+class TestMutualAuth:
+    def test_both_sides_learn_peer_identity(self, alice, host_cred, validator):
+        c, s = run_handshake((alice, validator), (host_cred, validator))
+        assert c.peer.identity == host_cred.subject
+        assert s.peer.identity == alice.subject
+
+    def test_proxy_credential_authenticates_as_user(self, alice, host_cred, validator, clock, key_pool):
+        proxy = create_proxy(alice, key_source=key_pool, clock=clock)
+        _c, s = run_handshake((proxy, validator), (host_cred, validator))
+        assert s.peer.identity == alice.subject
+        assert s.peer.proxy_depth == 1
+
+    def test_data_flows_both_ways(self, alice, host_cred, validator):
+        c, s = run_handshake((alice, validator), (host_cred, validator))
+        c.send(b"request")
+        assert s.recv() == b"request"
+        s.send(b"response")
+        assert c.recv() == b"response"
+
+    def test_close_propagates(self, alice, host_cred, validator):
+        c, s = run_handshake((alice, validator), (host_cred, validator))
+        c.close()
+        with pytest.raises(TransportError):
+            s.recv()
+
+
+class TestRejections:
+    def test_untrusted_server_rejected_by_client(self, alice, validator, clock, key_pool):
+        evil_ca = CertificateAuthority(
+            DistinguishedName.parse("/O=Evil/CN=CA"), clock=clock, key=key_pool.new_key()
+        )
+        evil_host = evil_ca.issue_host_credential("fake.example.org", key=key_pool.new_key())
+        evil_validator = ChainValidator([evil_ca.certificate], clock=clock)
+        # The server will also fail (its "certificate chain rejected" is the
+        # client's error surfaced); the client must raise HandshakeError.
+        with pytest.raises(HandshakeError):
+            run_handshake((alice, validator), (evil_host, evil_validator))
+
+    def test_untrusted_client_rejected_by_server(self, host_cred, validator, clock, key_pool):
+        evil_ca = CertificateAuthority(
+            DistinguishedName.parse("/O=Evil/CN=CA"), clock=clock, key=key_pool.new_key()
+        )
+        mallory = evil_ca.issue_credential(
+            DistinguishedName.grid_user("Evil", "X", "Mallory"), key=key_pool.new_key()
+        )
+        evil_validator = ChainValidator([evil_ca.certificate, validator.anchors[0]], clock=clock)
+        with pytest.raises(HandshakeError):
+            run_handshake((mallory, evil_validator), (host_cred, validator))
+
+    def test_expired_client_rejected(self, ca, host_cred, validator, clock, key_pool):
+        flash = ca.issue_credential(
+            DistinguishedName.grid_user("Grid", "Repro", "Flash"),
+            lifetime=600.0,
+            key=key_pool.new_key(),
+        )
+        clock.advance(2000.0)
+        with pytest.raises(HandshakeError):
+            run_handshake((flash, validator), (host_cred, validator))
+
+    def test_keyless_credential_cannot_handshake(self, alice, validator):
+        cl, _sl = pipe_pair()
+        with pytest.raises(HandshakeError):
+            connect_secure(cl, alice.without_key(), validator)
+
+    def test_anonymous_refused_by_default(self, host_cred, validator):
+        with pytest.raises(HandshakeError, match="client authentication"):
+            run_handshake((None, validator), (host_cred, validator))
+
+    def test_stolen_certificate_without_key_fails(self, alice, bob, host_cred, validator):
+        """Mallory presents Alice's chain but holds Bob's key (no possession)."""
+        from repro.pki.credentials import Credential
+
+        franken = Credential(
+            certificate=alice.certificate, key=bob.key, chain=alice.chain
+        )
+        with pytest.raises(HandshakeError):
+            run_handshake((franken, validator), (host_cred, validator))
+
+
+class TestAnonymousMode:
+    def test_anonymous_allowed_when_enabled(self, host_cred, validator):
+        c, s = run_handshake(
+            (None, validator), (host_cred, validator), allow_anonymous=True
+        )
+        assert s.peer is None  # server knows the client is anonymous
+        assert c.peer.identity == host_cred.subject  # server still proven
+        c.send(b"GET / HTTP/1.1")
+        assert s.recv() == b"GET / HTTP/1.1"
+
+    def test_authenticated_client_still_works_with_anonymous_allowed(
+        self, alice, host_cred, validator
+    ):
+        _c, s = run_handshake(
+            (alice, validator), (host_cred, validator), allow_anonymous=True
+        )
+        assert s.peer.identity == alice.subject
+
+
+class TestChannelIntegrity:
+    def test_wire_tamper_detected(self, alice, host_cred, validator):
+        c, s = run_handshake((alice, validator), (host_cred, validator))
+        # Tamper with the next frame in flight via a tap on the raw link.
+        # (Simplest equivalent: feed the reader a corrupted record directly.)
+        record = bytearray(c._writer.seal(2, b"payload"))  # ContentType.DATA
+        record[-1] ^= 1
+        with pytest.raises(Exception):
+            s._reader.open(bytes(record))

@@ -1,0 +1,102 @@
+"""Key schedule and transcript hashing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.transport.kdf import (
+    PRE_MASTER_LEN,
+    RANDOM_LEN,
+    TranscriptHash,
+    derive_session_keys,
+    finished_mac,
+    macs_equal,
+)
+
+
+def _inputs(seed: int = 0):
+    pm = bytes((seed + i) % 256 for i in range(PRE_MASTER_LEN))
+    cr = bytes((seed + i + 1) % 256 for i in range(RANDOM_LEN))
+    sr = bytes((seed + i + 2) % 256 for i in range(RANDOM_LEN))
+    return pm, cr, sr
+
+
+class TestDerivation:
+    def test_deterministic(self):
+        assert derive_session_keys(*_inputs()) == derive_session_keys(*_inputs())
+
+    def test_all_outputs_distinct(self):
+        keys = derive_session_keys(*_inputs())
+        material = [
+            keys.client_write_key,
+            keys.server_write_key,
+            keys.client_iv_salt,
+            keys.server_iv_salt,
+            keys.client_finished_key,
+            keys.server_finished_key,
+        ]
+        assert len(set(material)) == len(material)
+
+    def test_sizes(self):
+        keys = derive_session_keys(*_inputs())
+        assert len(keys.client_write_key) == len(keys.server_write_key) == 16
+        assert len(keys.client_iv_salt) == len(keys.server_iv_salt) == 12
+        assert len(keys.client_finished_key) == 32
+
+    def test_any_input_change_changes_keys(self):
+        base = derive_session_keys(*_inputs())
+        for idx in range(3):
+            mutated = list(_inputs())
+            mutated[idx] = bytes([mutated[idx][0] ^ 1]) + mutated[idx][1:]
+            assert derive_session_keys(*mutated) != base
+
+    def test_wrong_lengths_rejected(self):
+        pm, cr, sr = _inputs()
+        with pytest.raises(ValueError):
+            derive_session_keys(pm[:-1], cr, sr)
+        with pytest.raises(ValueError):
+            derive_session_keys(pm, cr[:-1], sr)
+
+
+class TestTranscript:
+    def test_order_matters(self):
+        t1, t2 = TranscriptHash(), TranscriptHash()
+        t1.add(b"a"); t1.add(b"b")
+        t2.add(b"b"); t2.add(b"a")
+        assert t1.digest() != t2.digest()
+
+    def test_length_prefix_prevents_splicing(self):
+        # ("ab","c") must hash differently from ("a","bc").
+        t1, t2 = TranscriptHash(), TranscriptHash()
+        t1.add(b"ab"); t1.add(b"c")
+        t2.add(b"a"); t2.add(b"bc")
+        assert t1.digest() != t2.digest()
+
+    def test_digest_nondestructive(self):
+        t = TranscriptHash()
+        t.add(b"x")
+        first = t.digest()
+        assert t.digest() == first
+        t.add(b"y")
+        assert t.digest() != first
+
+    @given(st.lists(st.binary(max_size=64), max_size=8))
+    def test_same_messages_same_digest(self, messages):
+        t1, t2 = TranscriptHash(), TranscriptHash()
+        for m in messages:
+            t1.add(m)
+            t2.add(m)
+        assert t1.digest() == t2.digest()
+        assert t1.message_count == len(messages)
+
+
+class TestFinishedMac:
+    def test_label_separates_directions(self):
+        keys = derive_session_keys(*_inputs())
+        digest = TranscriptHash().digest()
+        assert finished_mac(keys.client_finished_key, digest, b"client") != finished_mac(
+            keys.client_finished_key, digest, b"server"
+        )
+
+    def test_macs_equal_is_correct(self):
+        assert macs_equal(b"same", b"same")
+        assert not macs_equal(b"same", b"diff")

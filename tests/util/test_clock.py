@@ -1,0 +1,67 @@
+"""Clock abstraction: manual time must be fully deterministic."""
+
+import threading
+
+import pytest
+
+from repro.util.clock import ManualClock, SystemClock
+
+
+class TestManualClock:
+    def test_starts_at_given_instant(self):
+        clock = ManualClock(1000.0)
+        assert clock.now() == 1000.0
+
+    def test_advance_moves_time_forward(self):
+        clock = ManualClock(1000.0)
+        clock.advance(250.5)
+        assert clock.now() == 1250.5
+
+    def test_advance_rejects_negative(self):
+        clock = ManualClock(1000.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_sleep_advances_instead_of_blocking(self):
+        clock = ManualClock(0.0)
+        clock.sleep(3600.0)  # must return immediately
+        assert clock.now() == 3600.0
+
+    def test_now_dt_is_utc(self):
+        clock = ManualClock(0.0)
+        dt = clock.now_dt()
+        assert dt.tzinfo is not None
+        assert dt.timestamp() == 0.0
+
+    def test_after_offsets_from_now(self):
+        clock = ManualClock(100.0)
+        assert clock.after(50.0).timestamp() == pytest.approx(150.0)
+
+    def test_wait_until_wakes_on_advance(self):
+        clock = ManualClock(0.0)
+        reached = threading.Event()
+
+        def _wait():
+            if clock.wait_until(100.0, real_timeout=5.0):
+                reached.set()
+
+        thread = threading.Thread(target=_wait)
+        thread.start()
+        clock.advance(100.0)
+        thread.join(5.0)
+        assert reached.is_set()
+
+    def test_wait_until_times_out_in_real_time(self):
+        clock = ManualClock(0.0)
+        assert clock.wait_until(10.0, real_timeout=0.05) is False
+
+
+class TestSystemClock:
+    def test_tracks_wall_time(self):
+        import time
+
+        clock = SystemClock()
+        before = time.time()
+        now = clock.now()
+        after = time.time()
+        assert before <= now <= after

@@ -1,0 +1,101 @@
+"""Wire encodings: framing, PEM armoring, key=value protocol lines."""
+
+import pytest
+
+from repro.util.encoding import (
+    decode_kv,
+    encode_kv,
+    pack_fields,
+    pem_blocks,
+    pem_decode,
+    pem_encode,
+    unpack_fields,
+)
+from repro.util.errors import ProtocolError
+
+
+class TestFields:
+    def test_roundtrip_multiple_fields(self):
+        fields = [b"", b"a", b"hello world", b"\x00\xff" * 10]
+        assert unpack_fields(pack_fields(fields)) == fields
+
+    def test_count_enforced(self):
+        data = pack_fields([b"a", b"b"])
+        assert unpack_fields(data, 2) == [b"a", b"b"]
+        with pytest.raises(ProtocolError):
+            unpack_fields(data, 3)
+
+    def test_truncated_length_prefix_rejected(self):
+        data = pack_fields([b"abc"])
+        with pytest.raises(ProtocolError):
+            unpack_fields(data[:2])
+
+    def test_truncated_body_rejected(self):
+        data = pack_fields([b"abcdef"])
+        with pytest.raises(ProtocolError):
+            unpack_fields(data[:-1])
+
+    def test_hostile_declared_length_rejected(self):
+        # A 4 GiB declared field must not trigger a 4 GiB allocation.
+        evil = (2**32 - 1).to_bytes(4, "big") + b"tiny"
+        with pytest.raises(ProtocolError):
+            unpack_fields(evil)
+
+    def test_oversized_field_refused_on_encode(self):
+        from repro.util.encoding import MAX_FIELD
+
+        with pytest.raises(ProtocolError):
+            pack_fields([b"x" * (MAX_FIELD + 1)])
+
+
+class TestPem:
+    def test_roundtrip(self):
+        payload = bytes(range(256)) * 3
+        text = pem_encode("REPRO TEST", payload)
+        assert pem_decode(text, "REPRO TEST") == payload
+
+    def test_label_mismatch(self):
+        text = pem_encode("A", b"x")
+        with pytest.raises(ProtocolError):
+            pem_decode(text, "B")
+
+    def test_multiple_blocks_in_order(self):
+        text = pem_encode("T", b"first") + "garbage\n" + pem_encode("T", b"second")
+        assert pem_blocks(text, "T") == [b"first", b"second"]
+
+    def test_surrounding_garbage_ignored(self):
+        text = "prologue\n" + pem_encode("T", b"data") + "epilogue"
+        assert pem_decode(text, "T") == b"data"
+
+
+class TestKv:
+    def test_roundtrip_preserves_values(self):
+        fields = {"VERSION": "MYPROXYv2-REPRO", "COMMAND": "0", "PASSPHRASE": "a b=c,d"}
+        assert decode_kv(encode_kv(fields)) == fields
+
+    def test_order_preserved_in_encoding(self):
+        data = encode_kv({"VERSION": "x", "COMMAND": "1"})
+        assert data.startswith(b"VERSION=x\nCOMMAND=1")
+
+    def test_lowercase_key_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_kv({"bad": "v"})
+
+    def test_newline_in_value_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_kv({"KEY": "a\nb"})
+
+    def test_duplicate_key_rejected_on_decode(self):
+        with pytest.raises(ProtocolError):
+            decode_kv(b"A=1\nA=2\n")
+
+    def test_line_without_equals_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_kv(b"JUSTAKEY\n")
+
+    def test_non_utf8_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_kv(b"\xff\xfe")
+
+    def test_empty_value_allowed(self):
+        assert decode_kv(encode_kv({"K": ""})) == {"K": ""}

@@ -1,0 +1,32 @@
+"""Property-based tests: the wire encodings must round-trip for any input."""
+
+import string
+
+from hypothesis import given, strategies as st
+
+from repro.util.encoding import decode_kv, encode_kv, pack_fields, unpack_fields
+
+field_lists = st.lists(st.binary(max_size=512), max_size=12)
+
+kv_keys = st.text(alphabet=string.ascii_uppercase + "_", min_size=1, max_size=16)
+kv_values = st.text(
+    alphabet=st.characters(blacklist_characters="\n\r", blacklist_categories=("Cs",)),
+    max_size=64,
+)
+
+
+@given(field_lists)
+def test_fields_roundtrip(fields):
+    assert unpack_fields(pack_fields(fields)) == fields
+
+
+@given(field_lists)
+def test_fields_concatenation_parses_as_concatenation(fields):
+    # Packing is associative with respect to concatenation of encodings.
+    encoded = pack_fields(fields[: len(fields) // 2]) + pack_fields(fields[len(fields) // 2 :])
+    assert unpack_fields(encoded) == fields
+
+
+@given(st.dictionaries(kv_keys, kv_values, max_size=10))
+def test_kv_roundtrip(fields):
+    assert decode_kv(encode_kv(fields)) == fields

@@ -1,0 +1,62 @@
+"""Session store: cookies, expiry, destroy hooks (§5.2)."""
+
+from repro.web.sessions import SessionStore
+
+
+class TestSessions:
+    def test_create_and_get(self, clock):
+        store = SessionStore(ttl=100.0, clock=clock)
+        session = store.create()
+        assert store.get(session.session_id) is session
+
+    def test_unknown_and_none_ids(self, clock):
+        store = SessionStore(clock=clock)
+        assert store.get("nope") is None
+        assert store.get(None) is None
+
+    def test_expiry(self, clock):
+        store = SessionStore(ttl=100.0, clock=clock)
+        session = store.create()
+        clock.advance(101.0)
+        assert store.get(session.session_id) is None
+
+    def test_expired_session_triggers_destroy_hook(self, clock):
+        store = SessionStore(ttl=100.0, clock=clock)
+        wiped = []
+        store.on_destroy.append(wiped.append)
+        session = store.create()
+        clock.advance(101.0)
+        store.get(session.session_id)
+        assert wiped == [session.session_id]
+
+    def test_destroy_hook_on_explicit_destroy(self, clock):
+        store = SessionStore(clock=clock)
+        wiped = []
+        store.on_destroy.append(wiped.append)
+        session = store.create()
+        assert store.destroy(session.session_id) is True
+        assert wiped == [session.session_id]
+        assert store.destroy(session.session_id) is False
+
+    def test_reap_removes_only_expired(self, clock):
+        store = SessionStore(ttl=100.0, clock=clock)
+        old = store.create()
+        clock.advance(60.0)
+        young = store.create()
+        clock.advance(50.0)  # old at 110s, young at 50s
+        assert store.reap() == 1
+        assert store.get(old.session_id) is None
+        assert store.get(young.session_id) is not None
+
+    def test_ids_are_unpredictable_length(self, clock):
+        store = SessionStore(clock=clock)
+        ids = {store.create().session_id for _ in range(50)}
+        assert len(ids) == 50
+        assert all(len(i) >= 24 for i in ids)
+
+    def test_authenticated_flag(self, clock):
+        store = SessionStore(clock=clock)
+        session = store.create()
+        assert not session.authenticated
+        session.data["username"] = "alice"
+        assert session.authenticated

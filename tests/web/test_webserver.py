@@ -1,0 +1,124 @@
+"""The web server: routing, sessions-over-cookies, both transports."""
+
+import threading
+
+import pytest
+
+from repro.transport.links import pipe_pair
+from repro.web.client import Browser, LinkTransport, SecureTransport
+from repro.web.http11 import HttpResponse
+from repro.web.server import WebServer
+from repro.web.sessions import SESSION_COOKIE
+
+
+@pytest.fixture()
+def server(clock, host_cred, validator):
+    web = WebServer("test", clock=clock, credential=host_cred, validator=validator)
+
+    @web.route("GET", "/")
+    def _home(ctx):
+        return HttpResponse.html("home")
+
+    @web.route("POST", "/count")
+    def _count(ctx):
+        ctx.session.data["n"] = ctx.session.data.get("n", 0) + 1
+        return HttpResponse.html(f"count={ctx.session.data['n']}")
+
+    @web.route("GET", "/secure-flag")
+    def _secure(ctx):
+        return HttpResponse.html(f"secure={ctx.secure}")
+
+    @web.route("GET", "/boom")
+    def _boom(ctx):
+        raise RuntimeError("handler bug")
+
+    return web
+
+
+def browser_for(server, validator):
+    def _connector(scheme, host, port):
+        client_end, server_end = pipe_pair()
+        if scheme == "https":
+            threading.Thread(
+                target=server.handle_secure_link, args=(server_end,), daemon=True
+            ).start()
+            return SecureTransport(client_end, validator)
+        threading.Thread(
+            target=server.handle_plain_link, args=(server_end,), daemon=True
+        ).start()
+        return LinkTransport(client_end)
+
+    return Browser(_connector)
+
+
+class TestRouting:
+    def test_route_dispatch(self, server, validator):
+        browser = browser_for(server, validator)
+        assert browser.get("http://site/").text == "home"
+
+    def test_404_for_unknown_path(self, server, validator):
+        browser = browser_for(server, validator)
+        assert browser.get("http://site/missing").status == 404
+
+    def test_405_for_wrong_method(self, server, validator):
+        browser = browser_for(server, validator)
+        assert browser.get("http://site/count").status == 405
+
+    def test_handler_crash_yields_500(self, server, validator):
+        browser = browser_for(server, validator)
+        assert browser.get("http://site/boom").status == 500
+
+    def test_duplicate_route_refused(self, server):
+        with pytest.raises(ValueError):
+            server.add_route("GET", "/", lambda ctx: HttpResponse.html("again"))
+
+
+class TestSessionsOverCookies:
+    def test_cookie_issued_once_and_session_persists(self, server, validator):
+        browser = browser_for(server, validator)
+        assert browser.post("http://site/count", {}).text == "count=1"
+        assert SESSION_COOKIE in browser.cookies["site"]
+        assert browser.post("http://site/count", {}).text == "count=2"
+
+    def test_separate_browsers_separate_sessions(self, server, validator):
+        b1 = browser_for(server, validator)
+        b2 = browser_for(server, validator)
+        assert b1.post("http://site/count", {}).text == "count=1"
+        assert b2.post("http://site/count", {}).text == "count=1"
+
+    def test_session_survives_transport_switch(self, server, validator):
+        """Cookie from HTTP reused over HTTPS (same host jar)."""
+        browser = browser_for(server, validator)
+        browser.post("http://site/count", {})
+        assert browser.post("https://site/count", {}).text == "count=2"
+
+
+class TestSecureMode:
+    def test_secure_flag_reflects_transport(self, server, validator):
+        browser = browser_for(server, validator)
+        assert browser.get("http://site/secure-flag").text == "secure=False"
+        assert browser.get("https://site/secure-flag").text == "secure=True"
+
+    def test_https_requires_server_credential(self, clock, validator):
+        bare = WebServer("bare", clock=clock)  # no credential
+        _c, server_end = pipe_pair()
+        with pytest.raises(RuntimeError):
+            bare.handle_secure_link(server_end)
+
+
+class TestTcpMode:
+    def test_real_sockets_end_to_end(self, server, validator):
+        from repro.web.client import tcp_connector
+
+        http = server.start_http()
+        https = server.start_https()
+        try:
+            browser = Browser(
+                lambda scheme, host, port: tcp_connector(validator)(
+                    scheme, *(http if scheme == "http" else https)
+                )
+            )
+            assert browser.get("http://127.0.0.1/").text == "home"
+            assert browser.get("https://127.0.0.1/secure-flag").text == "secure=True"
+        finally:
+            server.stop()
