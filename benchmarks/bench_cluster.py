@@ -1,0 +1,162 @@
+"""B5 — what the cluster costs and what it buys.
+
+Two questions the replication design (see ``repro.cluster``) raises:
+
+- **replicated-store overhead**: a semi-synchronous store pays for a log
+  append, an HMAC, and a synchronous apply on every replica before the
+  client is acknowledged.  Expected shape: cost grows roughly linearly
+  with the replica count on top of the single-node baseline;
+- **sharded retrieval throughput**: reads need no coordination — each
+  shard serves its own users — so concurrent Figure 2 retrievals should
+  scale with the shard count until RSA work saturates the cores.
+"""
+
+import itertools
+import threading
+
+import pytest
+
+from benchmarks.bench_repository import make_entry
+from benchmarks.conftest import PASS
+from repro.cluster import FailoverMyProxyClient, build_cluster
+from repro.core.client import RetryPolicy, myproxy_init_from_longterm
+from repro.core.repository import MemoryRepository
+from repro.core.server import MyProxyServer
+from repro.pki.ca import CertificateAuthority
+from repro.pki.names import DistinguishedName
+from repro.pki.validation import ChainValidator
+
+SECRET = bytes.fromhex("00112233445566778899aabbccddeeff")
+GETS_PER_ROUND = 16
+
+
+@pytest.fixture(scope="module")
+def world(key_pool):
+    ca = CertificateAuthority(
+        DistinguishedName.parse("/O=Bench/CN=Cluster CA"), key=key_pool.new_key()
+    )
+    return ca, ChainValidator([ca.certificate])
+
+
+def _make_cluster(world, key_pool, n, replication_factor):
+    ca, validator = world
+
+    def make_server(i, name, box):
+        cred = ca.issue_host_credential(f"{name}.bench.org", key=key_pool.new_key())
+        return MyProxyServer(
+            cred, validator, key_source=key_pool, master_box=box
+        )
+
+    return build_cluster(
+        make_server,
+        [MemoryRepository() for _ in range(n)],
+        secret=SECRET,
+        replication_factor=replication_factor,
+        min_sync_acks=min(1, replication_factor - 1),
+    )
+
+
+def _cluster_client(cluster, world, key_pool, credential):
+    _ca, validator = world
+    return FailoverMyProxyClient(
+        {name: node.target for name, node in cluster.nodes.items()},
+        cluster.router(),
+        credential,
+        validator,
+        retry=RetryPolicy(rounds=2, base_delay=0.01),
+        key_source=key_pool,
+    )
+
+
+# --------------------------------------------------------------------------
+# replicated-store overhead vs a single node (storage layer)
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ["single", "rf2", "rf3"])
+def test_b5_replicated_store_overhead(benchmark, world, key_pool, mode):
+    """One store, acknowledged: bare backend vs semi-sync replication."""
+    entries = [make_entry(i) for i in range(64)]
+    rotation = itertools.cycle(entries)
+
+    if mode == "single":
+        repo = MemoryRepository()
+
+        def store_one():
+            repo.put(next(rotation))
+    else:
+        cluster = _make_cluster(
+            world, key_pool, n=3, replication_factor=int(mode[-1])
+        )
+
+        def store_one():
+            entry = next(rotation)
+            cluster.primary_for(entry.username).repository.put(entry)
+
+    benchmark(store_one)
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["puts_per_second"] = round(
+        1.0 / benchmark.stats.stats.mean, 2
+    )
+
+
+# --------------------------------------------------------------------------
+# retrieval throughput as shards are added (full Figure 2 flow)
+# --------------------------------------------------------------------------
+
+
+def _concurrent_gets(make_client, usernames, concurrency, total):
+    errors = []
+    counter = itertools.count()
+    rotation = itertools.cycle(usernames)
+
+    def worker():
+        client = make_client()
+        while next(counter) < total:
+            try:
+                client.get_delegation(
+                    username=next(rotation), passphrase=PASS, lifetime=3600
+                )
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+                return
+
+    threads = [threading.Thread(target=worker) for _ in range(concurrency)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(120)
+    assert not errors, errors[:1]
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 4])
+def test_b5_retrieval_throughput_vs_shards(benchmark, world, key_pool, n_shards):
+    ca, _validator = world
+    cluster = _make_cluster(world, key_pool, n=n_shards, replication_factor=1)
+    usernames = [f"user{i}" for i in range(8)]
+    for username in usernames:
+        cred = ca.issue_credential(
+            DistinguishedName.grid_user("Bench", "Users", username.capitalize()),
+            key=key_pool.new_key(),
+        )
+        client = _cluster_client(cluster, world, key_pool, cred)
+        myproxy_init_from_longterm(
+            client, cred, username=username, passphrase=PASS, key_source=key_pool
+        )
+    requester = ca.issue_host_credential("portal.bench.org", key=key_pool.new_key())
+
+    benchmark.pedantic(
+        _concurrent_gets,
+        args=(
+            lambda: _cluster_client(cluster, world, key_pool, requester),
+            usernames,
+            4,
+            GETS_PER_ROUND,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["n_shards"] = n_shards
+    benchmark.extra_info["gets_per_second"] = round(
+        GETS_PER_ROUND / benchmark.stats.stats.mean, 2
+    )

@@ -38,6 +38,12 @@ def build_parser() -> argparse.ArgumentParser:
     remove = sub.add_parser("remove-user", help="delete all of a user's credentials")
     remove.add_argument("-l", "--username", required=True)
 
+    cluster = sub.add_parser(
+        "cluster-status",
+        help="replication counters from a cluster state directory",
+    )
+    cluster.add_argument("--state-dir", required=True, metavar="DIR")
+
     audit = sub.add_parser("audit", help="inspect a persistent audit trail")
     audit.add_argument("--audit-file", required=True, metavar="JSONL")
     audit.add_argument("-l", "--username", default=None)
@@ -62,7 +68,7 @@ def main(argv: list[str] | None = None) -> int:
     configure_cli_logging(args.verbose)
 
     def _body() -> None:
-        if args.command != "audit" and args.storage_dir is None:
+        if args.command not in ("audit", "cluster-status") and args.storage_dir is None:
             raise SystemExit(f"--storage-dir is required for {args.command!r}")
         admin = (
             RepositoryAdmin(open_repository(args.storage_dir))
@@ -89,6 +95,25 @@ def main(argv: list[str] | None = None) -> int:
         elif args.command == "remove-user":
             count = admin.remove_user(args.username)
             print(f"removed {count} credential(s) for {args.username}")
+        elif args.command == "cluster-status":
+            # The per-node ServerStats snapshots (replication counters
+            # included) as the coordinator last published them.
+            import json
+            from pathlib import Path
+
+            from repro.cli.myproxy_cluster import STATUS_FILE
+
+            doc = json.loads(
+                (Path(args.state_dir) / STATUS_FILE).read_text("utf-8")
+            )
+            print(f"failovers: {doc.get('failovers', 0)}")
+            for name, row in sorted(doc.get("nodes", {}).items()):
+                stats = row.get("stats", {})
+                print(f"  {name}: lag={row.get('replica_lag', 0)} "
+                      f"shipped={stats.get('replication_ops_shipped', 0)} "
+                      f"applied={stats.get('replication_ops_applied', 0)} "
+                      f"failures={stats.get('replication_failures', 0)} "
+                      f"failovers_won={stats.get('failovers', 0)}")
         elif args.command == "audit":
             from pathlib import Path
 

@@ -1,0 +1,126 @@
+"""``myproxy-cluster`` — administer a replicated repository cluster.
+
+Like ``myproxy-admin``, this is an *on-host* tool: it works against the
+cluster's state directory (``cluster_state_dir`` in the server config).
+The running coordinator publishes a status snapshot there
+(``cluster-status.json``) and polls a control file
+(``cluster-control.jsonl``) for appended admin commands on every
+heartbeat sweep:
+
+- ``status``  — pretty-print the latest snapshot (roles, per-node log
+  position, replica lag, replication counters, failover history);
+- ``promote`` — force a replica to take over a (dead) peer's shards;
+- ``resync``  — tell the coordinator to replay peers' log tails into a
+  restarted node until it has caught up.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.cli.common import run_tool
+from repro.util.errors import ConfigError
+
+STATUS_FILE = "cluster-status.json"
+CONTROL_FILE = "cluster-control.jsonl"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="myproxy-cluster",
+        description="Administer a replicated MyProxy repository cluster.",
+    )
+    parser.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help="the cluster_state_dir the coordinator publishes into",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    status = sub.add_parser("status", help="show the latest cluster snapshot")
+    status.add_argument("--json", action="store_true", help="raw JSON output")
+
+    promote = sub.add_parser(
+        "promote", help="promote a replica in place of a failed node"
+    )
+    promote.add_argument("--node", required=True, metavar="NAME",
+                         help="the failed node whose shards need a new primary")
+    promote.add_argument("--successor", default=None, metavar="NAME",
+                         help="which replica to promote (default: most caught-up)")
+
+    resync = sub.add_parser(
+        "resync", help="replay peers' replication logs into a restarted node"
+    )
+    resync.add_argument("--node", required=True, metavar="NAME")
+    return parser
+
+
+def _append_control(state_dir: Path, command: dict) -> None:
+    state_dir.mkdir(parents=True, exist_ok=True)
+    with open(state_dir / CONTROL_FILE, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(command, sort_keys=True) + "\n")
+
+
+def _print_status(doc: dict) -> None:
+    print(
+        f"cluster @ {doc.get('at', 0):.0f}  "
+        f"rf={doc.get('replication_factor')} "
+        f"min_sync_acks={doc.get('min_sync_acks')} "
+        f"failovers={doc.get('failovers', 0)}"
+    )
+    promotions = doc.get("promotions", {})
+    if promotions:
+        for dead, successor in sorted(promotions.items()):
+            print(f"  promotion: {dead} -> {successor}")
+    for name, row in sorted(doc.get("nodes", {}).items()):
+        stats = row.get("stats", {})
+        state = row.get("state", "?")
+        liveness = "up  " if row.get("alive") else "DOWN"
+        print(
+            f"  {name:<10} {liveness} ({state})  "
+            f"entries={row.get('entries', 0):<5} "
+            f"log_seq={row.get('log_seq', 0):<5} "
+            f"lag={row.get('replica_lag', 0):<4} "
+            f"shipped={stats.get('replication_ops_shipped', 0)} "
+            f"applied={stats.get('replication_ops_applied', 0)} "
+            f"ship_failures={stats.get('replication_failures', 0)} "
+            f"failovers_won={stats.get('failovers', 0)}"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    def _body() -> None:
+        state_dir = Path(args.state_dir)
+        if args.command == "status":
+            path = state_dir / STATUS_FILE
+            if not path.exists():
+                raise ConfigError(
+                    f"no {STATUS_FILE} under {state_dir} — is the cluster "
+                    "running with cluster_state_dir configured?"
+                )
+            doc = json.loads(path.read_text("utf-8"))
+            if args.json:
+                print(json.dumps(doc, indent=1, sort_keys=True))
+            else:
+                _print_status(doc)
+        elif args.command == "promote":
+            command = {"cmd": "promote", "node": args.node}
+            if args.successor:
+                command["successor"] = args.successor
+            _append_control(state_dir, command)
+            print(f"promote {args.node} queued; the coordinator applies it "
+                  "on its next heartbeat sweep")
+        elif args.command == "resync":
+            _append_control(state_dir, {"cmd": "resync", "node": args.node})
+            print(f"resync {args.node} queued; the coordinator applies it "
+                  "on its next heartbeat sweep")
+
+    return run_tool(_body, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -63,10 +63,13 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     def _body() -> None:
+        cluster_cfg = None
         if args.config:
-            from repro.core.config import load_server_config
+            from repro.core.config import load_config
 
-            policy = load_server_config(args.config)
+            config = load_config(args.config)
+            policy = config.policy
+            cluster_cfg = config.cluster
         else:
             policy = ServerPolicy()
         if args.max_stored_lifetime_days is not None:
@@ -81,14 +84,33 @@ def main(argv: list[str] | None = None) -> int:
             policy.authorized_retrievers = AccessControlList(
                 args.authorized_retrievers, name="authorized_retrievers"
             )
+        from repro.core.repository import SecretBox
+
+        master_box = None
+        if cluster_cfg is not None:
+            # Every cluster member must seal OTP/site keys under the same
+            # master key, or a promoted replica could not open them.
+            from repro.cluster.cluster import cluster_master_box
+
+            master_box = cluster_master_box(cluster_cfg.secret)
         server = MyProxyServer(
             load_credential(args.credential),
             build_validator(args),
             repository=open_repository(args.storage_dir),
             policy=policy,
             audit_path=args.audit_file,
+            master_box=master_box or SecretBox(),
         )
+        if cluster_cfg is not None:
+            server.cluster_role = "member"
+            server.cluster_peers = cluster_cfg.peer_names()
         host, port = server.start(args.host, args.port)
+        if cluster_cfg is not None:
+            print(
+                f"cluster node {cluster_cfg.node_name} of "
+                f"{', '.join(cluster_cfg.peer_names())} "
+                f"(rf={cluster_cfg.replication_factor})"
+            )
         print(f"myproxy-server listening on {host}:{port}")
         try:
             while True:

@@ -1,0 +1,51 @@
+"""A replicated, sharded credential-repository cluster.
+
+The paper assumes a single repository host — "a tightly secured host,
+comparable to a Kerberos Domain Controller" (§5.1) — which is both a
+scaling bottleneck and a single point of failure.  This package grows the
+reproduction past that assumption while preserving every §5 security
+property:
+
+- :mod:`repro.cluster.replog` — an ordered, HMAC-authenticated replication
+  log layered over any :class:`~repro.core.repository.CredentialRepository`
+  backend.  Only ciphertext crosses the replication channel: entries carry
+  keys encrypted under the user's pass phrase (or sealed under the shared
+  cluster master key), exactly as they sit on disk.
+- :mod:`repro.cluster.hashring` — a consistent-hash router that shards
+  users across N primaries with a configurable replication factor.
+- :mod:`repro.cluster.health` — heartbeat-driven failure detection.
+- :mod:`repro.cluster.node` / :mod:`repro.cluster.cluster` — cluster
+  membership, semi-synchronous replication (a store is acknowledged only
+  once it reached at least ``min_sync_acks`` replicas), and automatic
+  promotion of the most-caught-up replica when a primary dies.
+- :mod:`repro.cluster.failover` — a failover-aware client that routes by
+  shard and retries across endpoints with jittered exponential backoff, so
+  the paper's Figure 1–3 flows complete through a node kill.
+"""
+
+from repro.cluster.cluster import MyProxyCluster, build_cluster
+from repro.cluster.failover import ClusterRouter, FailoverMyProxyClient
+from repro.cluster.hashring import ConsistentHashRing
+from repro.cluster.health import FailureDetector, HeartbeatMonitor
+from repro.cluster.node import ClusterNode
+from repro.cluster.replog import (
+    ReplicatedOp,
+    ReplicatingRepository,
+    ReplicationLog,
+    apply_op,
+)
+
+__all__ = [
+    "ClusterNode",
+    "ClusterRouter",
+    "ConsistentHashRing",
+    "FailoverMyProxyClient",
+    "FailureDetector",
+    "HeartbeatMonitor",
+    "MyProxyCluster",
+    "ReplicatedOp",
+    "ReplicatingRepository",
+    "ReplicationLog",
+    "apply_op",
+    "build_cluster",
+]

@@ -1,0 +1,398 @@
+"""The cluster coordinator: sharding, semi-sync replication, failover.
+
+:class:`MyProxyCluster` ties the pieces together:
+
+- a :class:`~repro.cluster.hashring.ConsistentHashRing` assigns each user
+  a preference list of ``replication_factor`` nodes (primary first);
+- every write a node accepts is shipped to the other members of the user's
+  preference list *before* the client is acknowledged (semi-synchronous:
+  at least ``min_sync_acks`` replicas must confirm, so killing the primary
+  immediately after an ack can never lose the credential);
+- a :class:`~repro.cluster.health.FailureDetector` watches heartbeats, and
+  :meth:`check_failover` promotes the most-caught-up replica of a dead
+  primary — routing follows the promotion, clients follow routing via
+  retry (see :mod:`repro.cluster.failover`);
+- an admin control path (status snapshot + command file) backs the
+  ``myproxy-cluster`` CLI: status, promote, resync.
+
+All replication payloads stay ciphertext (see :mod:`repro.cluster.replog`);
+the §5.1 encrypted-at-rest property holds on every replica.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+
+from repro.cluster.failover import ClusterRouter
+from repro.cluster.hashring import ConsistentHashRing
+from repro.cluster.health import FailureDetector, HeartbeatMonitor
+from repro.cluster.node import ClusterNode
+from repro.cluster.replog import ReplicatedOp
+from repro.core.repository import SecretBox
+from repro.core.server import MyProxyServer
+from repro.util.clock import SYSTEM_CLOCK, Clock
+from repro.util.errors import ConfigError, RepositoryError, TransportError
+from repro.util.logging import get_logger
+
+logger = get_logger("cluster.cluster")
+
+STATUS_FILE = "cluster-status.json"
+CONTROL_FILE = "cluster-control.jsonl"
+
+
+class MyProxyCluster:
+    """Membership, routing and failover for a set of cluster nodes."""
+
+    def __init__(
+        self,
+        nodes: list[ClusterNode],
+        *,
+        replication_factor: int = 2,
+        min_sync_acks: int = 1,
+        failover_timeout: float = 5.0,
+        heartbeat_interval: float = 1.0,
+        clock: Clock = SYSTEM_CLOCK,
+        state_dir: str | os.PathLike | None = None,
+    ) -> None:
+        if not nodes:
+            raise ConfigError("a cluster needs at least one node")
+        if replication_factor < 1:
+            raise ConfigError("replication_factor must be at least 1")
+        if replication_factor > len(nodes):
+            raise ConfigError(
+                f"replication_factor {replication_factor} exceeds "
+                f"cluster size {len(nodes)}"
+            )
+        if min_sync_acks > replication_factor - 1:
+            raise ConfigError(
+                "min_sync_acks cannot exceed the number of replicas "
+                f"({replication_factor - 1})"
+            )
+        self.nodes: dict[str, ClusterNode] = {}
+        for node in nodes:
+            if node.name in self.nodes:
+                raise ConfigError(f"duplicate node name {node.name!r}")
+            self.nodes[node.name] = node
+        self.replication_factor = replication_factor
+        self.min_sync_acks = min_sync_acks
+        self.clock = clock
+        self.ring = ConsistentHashRing([n.name for n in nodes])
+        self.detector = FailureDetector(timeout=failover_timeout, clock=clock)
+        for node in nodes:
+            self.detector.record_heartbeat(node.name)
+        #: dead node name -> the replica promoted in its place.
+        self._promotions: dict[str, str] = {}
+        self._promote_lock = threading.Lock()
+        self.failovers = 0
+        self._state_dir = Path(state_dir) if state_dir is not None else None
+        self._control_offset = 0
+        self._monitor: HeartbeatMonitor | None = None
+        for node in nodes:
+            node.server.cluster_peers = tuple(sorted(self.nodes))
+            node.repository.shipper = self._make_shipper(node)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def _resolve(self, name: str) -> str:
+        """Follow the promotion chain from a (possibly dead) node name."""
+        seen = set()
+        while name in self._promotions and name not in seen:
+            seen.add(name)
+            name = self._promotions[name]
+        return name
+
+    def preference(self, username: str) -> list[ClusterNode]:
+        """The user's current replica set, promotions applied, primary first."""
+        chosen: list[ClusterNode] = []
+        for name in self.ring.preference_list(username):
+            node = self.nodes[self._resolve(name)]
+            if node not in chosen:
+                chosen.append(node)
+            if len(chosen) == self.replication_factor:
+                break
+        return chosen
+
+    def primary_for(self, username: str) -> ClusterNode:
+        return self.preference(username)[0]
+
+    def router(self) -> ClusterRouter:
+        """A client-side router over this cluster's static membership."""
+        return ClusterRouter(sorted(self.nodes), self.replication_factor)
+
+    # ------------------------------------------------------------------
+    # replication shipping (primary side)
+    # ------------------------------------------------------------------
+
+    def _make_shipper(self, origin: ClusterNode):
+        def _ship(op: ReplicatedOp) -> None:
+            replicas = [
+                node
+                for node in self.preference(op.username)
+                if node is not origin and node.alive
+            ]
+            acks = 0
+            for replica in replicas:
+                try:
+                    replica.receive([op])
+                    acks += 1
+                    origin.server.stats.replication_ops_shipped += 1
+                except (TransportError, RepositoryError):
+                    origin.server.stats.replication_failures += 1
+                    logger.warning(
+                        "shipping %s#%d to %s failed", op.origin, op.seq, replica.name
+                    )
+            # Semi-sync: never demand more acks than there are live
+            # replicas (a degraded shard keeps accepting writes), but with
+            # replicas available the client ack waits for them.
+            needed = min(self.min_sync_acks, len(replicas))
+            if acks < needed:
+                raise RepositoryError(
+                    f"write {op.origin}#{op.seq} reached {acks} replicas, "
+                    f"needs {needed}; refusing to acknowledge"
+                )
+
+        return _ship
+
+    # ------------------------------------------------------------------
+    # health + failover
+    # ------------------------------------------------------------------
+
+    def sweep_heartbeats(self) -> None:
+        for node in self.nodes.values():
+            try:
+                if node.ping():
+                    self.detector.record_heartbeat(node.name)
+            except Exception:  # noqa: BLE001 - a dead node is the signal
+                pass
+
+    def check_failover(self) -> list[tuple[str, str]]:
+        """Promote replicas for every newly-dead node.  Returns promotions."""
+        performed: list[tuple[str, str]] = []
+        with self._promote_lock:
+            for name in self.detector.suspects(self.nodes):
+                if name in self._promotions:
+                    continue  # already failed over
+                promoted = self._promote_locked(name)
+                if promoted is not None:
+                    performed.append((name, promoted))
+        if self._state_dir is not None and performed:
+            self.save_status()
+        return performed
+
+    def _successors(self, dead: str) -> list[ClusterNode]:
+        """Live promotion candidates for a dead node.
+
+        A node's vnodes are scattered around the ring, so its shards'
+        replicas can sit on any peer — every live node is a candidate; the
+        most-caught-up one (by the dead primary's log) wins.
+        """
+        return [
+            node
+            for name, node in sorted(self.nodes.items())
+            if name != dead and node.alive and self._resolve(name) != dead
+        ]
+
+    def _promote_locked(self, dead: str, successor: str | None = None) -> str | None:
+        candidates = self._successors(dead)
+        if not candidates:
+            logger.error("no live replica to promote for %s", dead)
+            return None
+        if successor is not None:
+            chosen = self.nodes[successor]
+            if not chosen.alive:
+                raise ConfigError(f"cannot promote dead node {successor!r}")
+        else:
+            # The most-caught-up replica: the one that applied the most of
+            # the dead primary's log (ring order breaks ties).
+            dead_node = self.nodes[dead]
+            chosen = max(candidates, key=lambda n: n.applied_seq(dead_node.name))
+        self.detector.mark_down(dead)
+        self._promotions[dead] = chosen.name
+        self.failovers += 1
+        chosen.server.stats.failovers += 1
+        logger.info(
+            "promoted %s in place of %s (applied %d/%d of its log)",
+            chosen.name, dead, chosen.applied_seq(dead), self.nodes[dead].log.last_seq,
+        )
+        return chosen.name
+
+    def promote(self, dead: str, successor: str | None = None) -> str | None:
+        """Admin-forced promotion (``myproxy-cluster promote``)."""
+        if dead not in self.nodes:
+            raise ConfigError(f"unknown node {dead!r}")
+        with self._promote_lock:
+            self._promotions.pop(dead, None)
+            return self._promote_locked(dead, successor)
+
+    def demote_recovered(self, name: str) -> None:
+        """Clear a promotion after the node came back and resynced."""
+        with self._promote_lock:
+            self._promotions.pop(name, None)
+
+    def start_monitor(self, interval: float | None = None) -> None:
+        self._monitor = HeartbeatMonitor(
+            self.detector,
+            list(self.nodes),
+            lambda name: self.nodes[name].ping(),
+            interval=interval or 1.0,
+            on_sweep=lambda: (self.check_failover(), self.process_control()),
+        )
+        self._monitor.start()
+
+    def stop(self) -> None:
+        if self._monitor is not None:
+            self._monitor.stop()
+            self._monitor = None
+
+    # ------------------------------------------------------------------
+    # resync (a restarted node catches up from every peer's log)
+    # ------------------------------------------------------------------
+
+    def resync(self, name: str) -> int:
+        """Replay every peer's log tail into ``name``; returns ops applied."""
+        node = self.nodes.get(name)
+        if node is None:
+            raise ConfigError(f"unknown node {name!r}")
+        if not node.alive:
+            raise ConfigError(f"node {name!r} is down; restart it first")
+        applied = 0
+        for peer in self.nodes.values():
+            if peer is node:
+                continue
+            tail = peer.log.since(node.applied_seq(peer.name))
+            if tail:
+                applied += node.receive(tail)
+        self.detector.record_heartbeat(name)
+        return applied
+
+    # ------------------------------------------------------------------
+    # status + admin control path (the myproxy-cluster CLI's substrate)
+    # ------------------------------------------------------------------
+
+    def replica_lag(self, name: str) -> int:
+        """Worst-case ops this node lags behind any peer's log."""
+        node = self.nodes[name]
+        return max(
+            (node.lag_behind(peer) for peer in self.nodes.values() if peer is not node),
+            default=0,
+        )
+
+    def status(self) -> dict:
+        node_rows = {}
+        for name, node in self.nodes.items():
+            lag = self.replica_lag(name)
+            node.server.stats.replica_lag = lag
+            node_rows[name] = {
+                "alive": node.alive,
+                "state": self.detector.state(name),
+                "log_seq": node.log.last_seq,
+                "applied": dict(node.applied),
+                "replica_lag": lag,
+                "entries": node.backend.count(),
+                "stats": node.server.stats.snapshot(),
+            }
+        return {
+            "at": self.clock.now(),
+            "replication_factor": self.replication_factor,
+            "min_sync_acks": self.min_sync_acks,
+            "failovers": self.failovers,
+            "promotions": dict(self._promotions),
+            "nodes": node_rows,
+        }
+
+    def save_status(self) -> Path:
+        if self._state_dir is None:
+            raise ConfigError("cluster has no state_dir configured")
+        self._state_dir.mkdir(parents=True, exist_ok=True)
+        path = self._state_dir / STATUS_FILE
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(self.status(), indent=1, sort_keys=True), "utf-8")
+        os.replace(tmp, path)
+        return path
+
+    def process_control(self) -> list[dict]:
+        """Apply commands appended to the control file by the admin CLI."""
+        if self._state_dir is None:
+            return []
+        path = self._state_dir / CONTROL_FILE
+        if not path.exists():
+            return []
+        text = path.read_text("utf-8")
+        lines = text.splitlines()
+        pending = lines[self._control_offset:]
+        self._control_offset = len(lines)
+        handled: list[dict] = []
+        for line in pending:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                command = json.loads(line)
+                kind = command.get("cmd")
+                if kind == "promote":
+                    self.promote(command["node"], command.get("successor"))
+                elif kind == "resync":
+                    command["applied"] = self.resync(command["node"])
+                else:
+                    raise ConfigError(f"unknown control command {kind!r}")
+                handled.append(command)
+            except (json.JSONDecodeError, KeyError, ConfigError) as exc:
+                logger.warning("ignoring bad control command %r: %s", line, exc)
+        if handled:
+            self.save_status()
+        return handled
+
+
+def cluster_master_box(secret: bytes) -> SecretBox:
+    """The shared master key every node seals OTP/site entries under.
+
+    Replicated entries sealed by one node must be openable by its promoted
+    replica, so the cluster derives one master key from the cluster secret
+    instead of each server minting its own.
+    """
+    return SecretBox(hashlib.sha256(b"repro-cluster-master" + secret).digest())
+
+
+def build_cluster(
+    make_server,
+    backends,
+    *,
+    secret: bytes,
+    names: list[str] | None = None,
+    replication_factor: int = 2,
+    min_sync_acks: int = 1,
+    failover_timeout: float = 5.0,
+    clock: Clock = SYSTEM_CLOCK,
+    state_dir: str | os.PathLike | None = None,
+) -> MyProxyCluster:
+    """Assemble a cluster from per-node backends.
+
+    ``make_server(index, name, master_box)`` must return a configured
+    :class:`~repro.core.server.MyProxyServer`; ``backends`` is one
+    repository backend per node.  Used by tests, benchmarks and the
+    testbed; TCP deployments wire the same pieces from their config files.
+    """
+    names = names or [f"node{i}" for i in range(len(backends))]
+    if len(names) != len(backends):
+        raise ConfigError("names and backends must pair up")
+    box = cluster_master_box(secret)
+    nodes = []
+    for i, (name, backend) in enumerate(zip(names, backends)):
+        server = make_server(i, name, box)
+        if not isinstance(server, MyProxyServer):
+            raise ConfigError("make_server must return a MyProxyServer")
+        nodes.append(ClusterNode(name, server, backend, secret))
+    return MyProxyCluster(
+        nodes,
+        replication_factor=replication_factor,
+        min_sync_acks=min_sync_acks,
+        failover_timeout=failover_timeout,
+        clock=clock,
+        state_dir=state_dir,
+    )

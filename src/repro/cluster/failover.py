@@ -1,0 +1,140 @@
+"""Failover-aware client routing for a repository cluster.
+
+A cluster client needs two things the single-server
+:class:`~repro.core.client.MyProxyClient` does not have by itself:
+
+- *shard awareness* — the hash ring is deterministic, so a client given
+  the cluster's node list computes the same preference list the servers
+  use and dials the user's primary first (replicas next, then everyone
+  else as a last resort);
+- *failover* — transport failures rotate to the next endpoint with
+  jittered exponential backoff (:class:`~repro.core.client.RetryPolicy`),
+  so a Figure 1/2 flow completes through a node kill: the dead primary
+  refuses the dial, the promoted replica answers.
+
+The client needs no failover *protocol*: promotion is server-side, and any
+node holding the user's replicated (still-encrypted) entry can serve it.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable, Mapping
+
+from repro.cluster.hashring import DEFAULT_VNODES, ConsistentHashRing
+from repro.core.client import MyProxyClient, RetryPolicy
+from repro.pki.credentials import Credential
+from repro.pki.validation import ChainValidator
+from repro.util.clock import SYSTEM_CLOCK, Clock
+
+DEFAULT_CLUSTER_RETRY = RetryPolicy(rounds=4, base_delay=0.05, max_delay=1.0)
+
+
+class ClusterRouter:
+    """Orders a cluster's endpoints for a given username."""
+
+    def __init__(
+        self,
+        node_names: list[str],
+        replication_factor: int,
+        *,
+        vnodes: int = DEFAULT_VNODES,
+    ) -> None:
+        self.ring = ConsistentHashRing(sorted(node_names), vnodes=vnodes)
+        self.replication_factor = replication_factor
+
+    def order(self, username: str) -> list[str]:
+        """Every node, preference list first (primary, replicas, the rest)."""
+        return self.ring.preference_list(username)
+
+    def preference(self, username: str) -> list[str]:
+        return self.ring.preference_list(username, self.replication_factor)
+
+
+class FailoverMyProxyClient:
+    """A MyProxy client for a whole cluster rather than one endpoint.
+
+    ``targets`` maps node name → connect target (``(host, port)`` or a link
+    factory); per operation a shard-ordered single-server client is built,
+    so every :class:`~repro.core.client.MyProxyClient` method is available
+    with identical signatures.
+    """
+
+    def __init__(
+        self,
+        targets: Mapping[str, object],
+        router: ClusterRouter,
+        credential: Credential,
+        validator: ChainValidator,
+        *,
+        retry: RetryPolicy | None = None,
+        clock: Clock = SYSTEM_CLOCK,
+        key_source=None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
+    ) -> None:
+        unknown = set(targets) - set(router.ring.nodes)
+        if unknown:
+            raise ValueError(f"targets name nodes not on the ring: {sorted(unknown)}")
+        self.targets = dict(targets)
+        self.router = router
+        self.credential = credential
+        self.validator = validator
+        self.retry = retry or DEFAULT_CLUSTER_RETRY
+        self.clock = clock
+        self.key_source = key_source
+        self._sleep = sleep
+        self._rng = rng
+
+    def client_for(self, username: str) -> MyProxyClient:
+        """A single-server client dialing ``username``'s shard first."""
+        ordered = [
+            self.targets[name]
+            for name in self.router.order(username)
+            if name in self.targets
+        ]
+        if not ordered:
+            raise ValueError("no dialable targets for this cluster")
+        return MyProxyClient(
+            ordered[0],
+            self.credential,
+            self.validator,
+            clock=self.clock,
+            key_source=self.key_source,
+            fallbacks=ordered[1:],
+            retry=self.retry,
+            sleep=self._sleep,
+            rng=self._rng,
+        )
+
+    # -- the MyProxyClient call surface, routed per username ----------------
+
+    def put(self, source_credential, *, username: str, **kwargs):
+        return self.client_for(username).put(
+            source_credential, username=username, **kwargs
+        )
+
+    def get_delegation(self, *, username: str, **kwargs):
+        return self.client_for(username).get_delegation(username=username, **kwargs)
+
+    def info(self, *, username: str):
+        return self.client_for(username).info(username=username)
+
+    def destroy(self, *, username: str, **kwargs):
+        return self.client_for(username).destroy(username=username, **kwargs)
+
+    def change_passphrase(self, *, username: str, **kwargs):
+        return self.client_for(username).change_passphrase(username=username, **kwargs)
+
+    def store_longterm(self, credential, *, username: str, **kwargs):
+        return self.client_for(username).store_longterm(
+            credential, username=username, **kwargs
+        )
+
+    def retrieve_longterm(self, *, username: str, **kwargs):
+        return self.client_for(username).retrieve_longterm(username=username, **kwargs)
+
+    def get_trustroots(self):
+        # Trust material is identical cluster-wide; any node answers.
+        return self.client_for("trustroots").get_trustroots()

@@ -1,0 +1,83 @@
+"""Consistent-hash routing of users to repository nodes.
+
+Users are sharded by *MyProxy user name* (the §4.1 account key): every
+operation names a username, so both servers and clients can compute the
+same preference list without coordination.  Virtual nodes smooth the load
+so that N primaries each carry ~1/N of the users, and removing a node only
+remaps the users it owned — the property that lets the cluster scale
+horizontally without mass credential migration.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.util.errors import ConfigError
+
+DEFAULT_VNODES = 64
+
+
+def _point(data: str) -> int:
+    return int.from_bytes(hashlib.sha256(data.encode("utf-8")).digest()[:8], "big")
+
+
+class ConsistentHashRing:
+    """A classic consistent-hash ring with virtual nodes."""
+
+    def __init__(self, nodes: list[str] | None = None, *, vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ConfigError("vnodes must be at least 1")
+        self._vnodes = vnodes
+        self._points: list[int] = []  # sorted hash points
+        self._owners: dict[int, str] = {}  # point -> node name
+        self._nodes: set[str] = set()
+        for node in nodes or []:
+            self.add_node(node)
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def add_node(self, name: str) -> None:
+        if name in self._nodes:
+            raise ConfigError(f"node {name!r} already on the ring")
+        self._nodes.add(name)
+        for i in range(self._vnodes):
+            point = _point(f"{name}#{i}")
+            # Collisions across 64-bit points are negligible; last add wins.
+            if point not in self._owners:
+                bisect.insort(self._points, point)
+            self._owners[point] = name
+
+    def remove_node(self, name: str) -> None:
+        if name not in self._nodes:
+            raise ConfigError(f"node {name!r} not on the ring")
+        self._nodes.discard(name)
+        dead = [p for p, owner in self._owners.items() if owner == name]
+        for point in dead:
+            del self._owners[point]
+            index = bisect.bisect_left(self._points, point)
+            del self._points[index]
+
+    def preference_list(self, key: str, n: int | None = None) -> list[str]:
+        """The first ``n`` *distinct* nodes clockwise from the key's point.
+
+        ``preference_list(user)[0]`` is the user's primary; the following
+        entries are its replicas in promotion order.
+        """
+        if not self._nodes:
+            raise ConfigError("hash ring has no nodes")
+        want = len(self._nodes) if n is None else min(n, len(self._nodes))
+        start = bisect.bisect_right(self._points, _point(key))
+        chosen: list[str] = []
+        for i in range(len(self._points)):
+            owner = self._owners[self._points[(start + i) % len(self._points)]]
+            if owner not in chosen:
+                chosen.append(owner)
+                if len(chosen) == want:
+                    break
+        return chosen
+
+    def primary_for(self, key: str) -> str:
+        return self.preference_list(key, 1)[0]

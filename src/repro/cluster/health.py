@@ -1,0 +1,117 @@
+"""Heartbeat-driven failure detection for cluster nodes.
+
+A node is *suspected* once it has missed heartbeats for longer than the
+failover timeout, and *down* once the coordinator acts on the suspicion
+(promoting a replica).  Detection is deliberately conservative — promoting
+a live primary (split brain) is worse for a credential repository than a
+few seconds of unavailability, because two primaries could hand out
+diverging OTP state.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Iterable
+
+from repro.util.clock import SYSTEM_CLOCK, Clock
+from repro.util.concurrency import ServiceThread
+from repro.util.logging import get_logger
+
+logger = get_logger("cluster.health")
+
+STATE_UP = "up"
+STATE_SUSPECT = "suspect"
+STATE_DOWN = "down"
+
+
+class FailureDetector:
+    """Tracks the last successful heartbeat per node name."""
+
+    def __init__(self, *, timeout: float = 5.0, clock: Clock = SYSTEM_CLOCK) -> None:
+        if timeout <= 0:
+            raise ValueError("failure-detector timeout must be positive")
+        self.timeout = timeout
+        self.clock = clock
+        self._last_seen: dict[str, float] = {}
+        self._down: set[str] = set()
+        self._lock = threading.Lock()
+
+    def record_heartbeat(self, name: str) -> None:
+        with self._lock:
+            self._last_seen[name] = self.clock.now()
+            self._down.discard(name)
+
+    def mark_down(self, name: str) -> None:
+        """The coordinator acted on a suspicion (or an admin forced it)."""
+        with self._lock:
+            self._down.add(name)
+
+    def state(self, name: str) -> str:
+        with self._lock:
+            if name in self._down:
+                return STATE_DOWN
+            last = self._last_seen.get(name)
+            if last is None:
+                return STATE_SUSPECT  # never heard from it
+            if self.clock.now() - last > self.timeout:
+                return STATE_SUSPECT
+            return STATE_UP
+
+    def is_alive(self, name: str) -> bool:
+        return self.state(name) == STATE_UP
+
+    def suspects(self, names: Iterable[str]) -> list[str]:
+        return [n for n in names if self.state(n) != STATE_UP]
+
+
+class HeartbeatMonitor:
+    """Periodically probes every node and feeds the failure detector.
+
+    ``probe`` is called with a node name and must return True if the node
+    answered; exceptions count as a missed heartbeat.  ``on_change`` (if
+    given) runs after every sweep — the coordinator hangs its failover
+    check there.
+    """
+
+    def __init__(
+        self,
+        detector: FailureDetector,
+        names: Iterable[str],
+        probe: Callable[[str], bool],
+        *,
+        interval: float = 1.0,
+        on_sweep: Callable[[], None] | None = None,
+    ) -> None:
+        self.detector = detector
+        self.names = list(names)
+        self.probe = probe
+        self.interval = interval
+        self.on_sweep = on_sweep
+        self._thread: ServiceThread | None = None
+
+    def sweep_once(self) -> None:
+        for name in self.names:
+            try:
+                alive = self.probe(name)
+            except Exception:  # noqa: BLE001 - a dead node throws, that's the signal
+                alive = False
+            if alive:
+                self.detector.record_heartbeat(name)
+        if self.on_sweep is not None:
+            try:
+                self.on_sweep()
+            except Exception:  # noqa: BLE001 - monitoring must not die
+                logger.exception("post-sweep hook failed")
+
+    def start(self) -> None:
+        def _loop(stop_event: threading.Event) -> None:
+            while not stop_event.wait(self.interval):
+                self.sweep_once()
+
+        self._thread = ServiceThread(_loop, "cluster-heartbeat")
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._thread.stop()
+            self._thread = None

@@ -1,0 +1,126 @@
+"""One member of a credential-repository cluster.
+
+A node bundles a full :class:`~repro.core.server.MyProxyServer` (every node
+can authenticate clients and serve any command) with its durable local
+backend, a :class:`~repro.cluster.replog.ReplicationLog` of the writes it
+accepted, and the replica-side apply state (how far it has caught up with
+every peer's log).  Whether a node acts as the *primary* or a *replica*
+for a given user is decided per shard by the cluster's hash ring — a node
+is usually primary for some users and replica for others.
+
+Nodes expose an in-process connect target (the same pipe transport the
+testbed uses), so a cluster can be exercised — and killed mid-workload —
+without real sockets; the TCP path reuses ``server.start()`` unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.cluster.replog import (
+    ReplicatedOp,
+    ReplicatingRepository,
+    ReplicationLog,
+    apply_op,
+)
+from repro.core.repository import CredentialRepository
+from repro.core.server import MyProxyServer
+from repro.transport.links import pipe_pair
+from repro.util.errors import TransportError
+from repro.util.logging import get_logger
+
+logger = get_logger("cluster.node")
+
+
+class ClusterNode:
+    """A repository server plus its replication state."""
+
+    def __init__(
+        self,
+        name: str,
+        server: MyProxyServer,
+        backend: CredentialRepository,
+        secret: bytes,
+    ) -> None:
+        self.name = name
+        self.server = server
+        self.backend = backend
+        self.secret = secret
+        self.log = ReplicationLog(name, secret)
+        # The server's writes flow through the replicating wrapper; the
+        # cluster installs the shipper once membership is known.
+        self.repository = ReplicatingRepository(backend, self.log)
+        server.repository = self.repository
+        server.cluster_role = "member"
+        self.alive = True
+        #: origin node name -> last op sequence applied locally.
+        self.applied: dict[str, int] = {}
+        self._apply_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # replica side
+    # ------------------------------------------------------------------
+
+    def receive(self, ops: list[ReplicatedOp]) -> int:
+        """Apply shipped ops to the local backend; returns acks applied.
+
+        Ops land on :attr:`backend` directly (not the replicating wrapper)
+        so replication never cascades.  Already-seen sequence numbers are
+        skipped, which makes re-shipping during resync idempotent.
+        """
+        if not self.alive:
+            raise TransportError(f"node {self.name} is down")
+        applied = 0
+        with self._apply_lock:
+            for op in ops:
+                if op.seq <= self.applied.get(op.origin, 0):
+                    continue
+                apply_op(self.backend, op, self.secret)
+                self.applied[op.origin] = op.seq
+                applied += 1
+                self.server.stats.replication_ops_applied += 1
+        return applied
+
+    def applied_seq(self, origin: str) -> int:
+        with self._apply_lock:
+            return self.applied.get(origin, 0)
+
+    # ------------------------------------------------------------------
+    # liveness (the in-process stand-in for a process/host failure)
+    # ------------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return self.alive
+
+    def kill(self) -> None:
+        """Simulate a node loss: stop answering clients, peers, heartbeats."""
+        self.alive = False
+        logger.info("node %s killed", self.name)
+
+    def restart(self) -> None:
+        """Bring the node back (cold — call the cluster's resync to catch up)."""
+        self.alive = True
+        logger.info("node %s restarted", self.name)
+
+    # ------------------------------------------------------------------
+    # connect target (pipe transport; TCP deployments use server.start())
+    # ------------------------------------------------------------------
+
+    def target(self):
+        """A link factory clients can dial, refusing while the node is dead."""
+        if not self.alive:
+            raise TransportError(f"node {self.name} is down")
+        client_end, server_end = pipe_pair(f"cluster:{self.name}")
+
+        def _serve() -> None:
+            if not self.alive:
+                server_end.close()
+                return
+            self.server.handle_link(server_end)
+
+        threading.Thread(target=_serve, daemon=True, name=f"{self.name}-conn").start()
+        return client_end
+
+    def lag_behind(self, origin: "ClusterNode") -> int:
+        """How many of ``origin``'s logged ops this node has not applied."""
+        return max(origin.log.last_seq - self.applied_seq(origin.name), 0)

@@ -1,0 +1,226 @@
+"""The replication log: ordered, HMAC-authenticated repository operations.
+
+Every mutation a node accepts as a primary — store (PUT/STORE, and the
+entry-replacing CHANGE_PASSPHRASE / OTP advance) or destroy — is recorded
+as a :class:`ReplicatedOp` with a per-origin monotonic sequence number and
+an HMAC-SHA256 tag under the shared cluster secret, then shipped
+primary→replica.
+
+Security invariant (§5.1 carried over to replication): the ``document``
+field of a ``put`` op is the entry's canonical JSON **exactly as persisted**
+— the private key inside is encrypted under the user's pass phrase or
+sealed under the cluster master key.  No plaintext key material ever enters
+the log or crosses the replication channel; a replica's disk is as safe to
+steal as the primary's.
+
+The HMAC gives replicas origin authentication and tamper detection even if
+the shipping transport is weaker than the client-facing secure channel.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.repository import CredentialRepository, RepositoryEntry
+from repro.util.errors import RepositoryError
+
+OP_PUT = "put"
+OP_DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class ReplicatedOp:
+    """One logged repository mutation, as shipped to replicas."""
+
+    origin: str  # node that accepted the write
+    seq: int  # monotonic per origin
+    kind: str  # OP_PUT | OP_DELETE
+    username: str
+    cred_name: str
+    document: str | None  # canonical entry JSON for put (ciphertext inside)
+    mac: str  # hex HMAC-SHA256 over the signed payload
+
+    def _signed_payload(self) -> bytes:
+        doc = {
+            "origin": self.origin,
+            "seq": self.seq,
+            "kind": self.kind,
+            "username": self.username,
+            "cred_name": self.cred_name,
+            "document": self.document,
+        }
+        return json.dumps(doc, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def make(
+        cls,
+        *,
+        origin: str,
+        seq: int,
+        kind: str,
+        username: str,
+        cred_name: str,
+        document: str | None,
+        secret: bytes,
+    ) -> ReplicatedOp:
+        op = cls(origin, seq, kind, username, cred_name, document, mac="")
+        mac = hmac.new(secret, op._signed_payload(), hashlib.sha256).hexdigest()
+        return cls(origin, seq, kind, username, cred_name, document, mac=mac)
+
+    def verify(self, secret: bytes) -> None:
+        expected = hmac.new(secret, self._signed_payload(), hashlib.sha256).hexdigest()
+        if not hmac.compare_digest(expected, self.mac):
+            raise RepositoryError(
+                f"replication op {self.origin}#{self.seq} failed HMAC verification"
+            )
+
+    # -- wire form ----------------------------------------------------------
+
+    def encode(self) -> bytes:
+        doc = {
+            "origin": self.origin,
+            "seq": self.seq,
+            "kind": self.kind,
+            "username": self.username,
+            "cred_name": self.cred_name,
+            "document": self.document,
+            "mac": self.mac,
+        }
+        return json.dumps(doc, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def decode(cls, data: bytes) -> ReplicatedOp:
+        try:
+            doc = json.loads(data)
+            return cls(
+                origin=str(doc["origin"]),
+                seq=int(doc["seq"]),
+                kind=str(doc["kind"]),
+                username=str(doc["username"]),
+                cred_name=str(doc["cred_name"]),
+                document=doc["document"],
+                mac=str(doc["mac"]),
+            )
+        except (KeyError, ValueError, TypeError, json.JSONDecodeError) as exc:
+            raise RepositoryError(f"corrupt replication op: {exc}") from exc
+
+
+class ReplicationLog:
+    """Per-node ordered log of the mutations it accepted as a primary."""
+
+    def __init__(self, origin: str, secret: bytes) -> None:
+        self.origin = origin
+        self._secret = secret
+        self._ops: list[ReplicatedOp] = []
+        self._lock = threading.Lock()
+
+    @property
+    def last_seq(self) -> int:
+        with self._lock:
+            return self._ops[-1].seq if self._ops else 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ops)
+
+    def append(
+        self, kind: str, username: str, cred_name: str, document: str | None
+    ) -> ReplicatedOp:
+        with self._lock:
+            seq = (self._ops[-1].seq if self._ops else 0) + 1
+            op = ReplicatedOp.make(
+                origin=self.origin,
+                seq=seq,
+                kind=kind,
+                username=username,
+                cred_name=cred_name,
+                document=document,
+                secret=self._secret,
+            )
+            self._ops.append(op)
+            return op
+
+    def since(self, seq: int) -> list[ReplicatedOp]:
+        """All ops with sequence number strictly greater than ``seq``."""
+        with self._lock:
+            # Sequence numbers are dense (1, 2, ...), so slice directly.
+            start = max(seq, 0)
+            return self._ops[start:]
+
+
+def apply_op(backend: CredentialRepository, op: ReplicatedOp, secret: bytes) -> None:
+    """Verify and apply one replicated op to a replica's local backend."""
+    op.verify(secret)
+    if op.kind == OP_PUT:
+        if op.document is None:
+            raise RepositoryError(f"put op {op.origin}#{op.seq} carries no document")
+        backend.put(RepositoryEntry.from_json(op.document))
+    elif op.kind == OP_DELETE:
+        backend.delete(op.username, op.cred_name)
+    else:
+        raise RepositoryError(f"unknown replication op kind {op.kind!r}")
+
+
+Shipper = Callable[[ReplicatedOp], None]
+"""Delivers one op to the replica set; raises if the semi-sync ack
+requirement cannot be met (which fails — and therefore un-acknowledges —
+the client's store)."""
+
+
+class ReplicatingRepository(CredentialRepository):
+    """Wraps a backend so every mutation is logged and shipped to replicas.
+
+    The server underneath is unaware of the cluster: it calls ``put`` /
+    ``delete`` exactly as on a standalone backend.  Ordering guarantee: the
+    op is appended to the log and applied locally *before* shipping, and
+    the client's acknowledgement only happens after :attr:`shipper` returns
+    — so an acknowledged credential exists on the primary **and** on at
+    least ``min_sync_acks`` replicas.
+    """
+
+    def __init__(
+        self,
+        backend: CredentialRepository,
+        log: ReplicationLog,
+        shipper: Shipper | None = None,
+    ) -> None:
+        self.backend = backend
+        self.log = log
+        self.shipper = shipper
+
+    def _ship(self, op: ReplicatedOp) -> None:
+        if self.shipper is not None:
+            self.shipper(op)
+
+    # -- mutations (logged + shipped) --------------------------------------
+
+    def put(self, entry: RepositoryEntry) -> None:
+        op = self.log.append(OP_PUT, entry.username, entry.cred_name, entry.to_json())
+        self.backend.put(entry)
+        self._ship(op)
+
+    def delete(self, username: str, cred_name: str) -> bool:
+        existed = self.backend.delete(username, cred_name)
+        if existed:
+            op = self.log.append(OP_DELETE, username, cred_name, None)
+            self._ship(op)
+        return existed
+
+    # -- reads (pass-through) ----------------------------------------------
+
+    def get(self, username: str, cred_name: str) -> RepositoryEntry:
+        return self.backend.get(username, cred_name)
+
+    def list_for(self, username: str) -> list[RepositoryEntry]:
+        return self.backend.list_for(username)
+
+    def count(self) -> int:
+        return self.backend.count()
+
+    def usernames(self) -> list[str]:
+        return self.backend.usernames()

@@ -27,7 +27,9 @@ the short-lived original clients did.
 from __future__ import annotations
 
 import json
-from collections.abc import Callable
+import random
+import time
+from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass
 
 from repro.core.otp import OTPGenerator
@@ -47,9 +49,51 @@ from repro.transport.channel import SecureChannel, connect_secure
 from repro.transport.delegation import accept_delegation, delegate_credential
 from repro.transport.links import Link
 from repro.util.clock import SYSTEM_CLOCK, Clock
-from repro.util.errors import AuthenticationError, ProtocolError
+from repro.util.errors import (
+    AuthenticationError,
+    HandshakeError,
+    ProtocolError,
+    TransportError,
+)
 
 LinkFactory = Callable[[], Link]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff for transport-level failures.
+
+    One *round* tries every configured endpoint once; between rounds the
+    client sleeps ``min(base_delay * multiplier**i, max_delay)``, scaled
+    down by up to ``jitter`` (a fraction in [0, 1)) so a fleet of clients
+    recovering from the same node kill does not reconnect in lock-step.
+    Every backoff therefore lies in ``[cap * (1 - jitter), cap]``.
+
+    The default (one round, no sleep) preserves the original single-shot
+    client behaviour.  Only :class:`~repro.util.errors.TransportError` /
+    :class:`~repro.util.errors.HandshakeError` are retried — a server that
+    *refuses* (wrong pass phrase, ACL denial) answers authoritatively and
+    retrying would burn OTP words and lockout budget.
+    """
+
+    rounds: int = 1
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError("retry policy needs at least one round")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must lie in [0, 1)")
+
+    def backoffs(self, rng: random.Random | None = None) -> Iterator[float]:
+        """The sleep before each retry round (``rounds - 1`` values)."""
+        pick = (rng or random).random
+        for i in range(self.rounds - 1):
+            cap = min(self.base_delay * self.multiplier**i, self.max_delay)
+            yield cap * (1.0 - self.jitter * pick())
 
 
 @dataclass(frozen=True)
@@ -77,20 +121,59 @@ class MyProxyClient:
         *,
         clock: Clock = SYSTEM_CLOCK,
         key_source: KeySource | None = None,
+        fallbacks: Sequence[tuple[str, int] | LinkFactory] = (),
+        retry: RetryPolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
     ) -> None:
         self._target = target
         self.credential = credential
         self.validator = validator
         self.clock = clock
         self.key_source = key_source
+        self._fallbacks = tuple(fallbacks)
+        self.retry = retry or RetryPolicy()
+        self._sleep = sleep
+        self._rng = rng
 
     # -- plumbing -----------------------------------------------------------
 
-    def _open(self) -> SecureChannel:
-        target = self._target
+    def _connect(self, target: tuple[str, int] | LinkFactory) -> SecureChannel:
         if callable(target):
             return connect_secure(target(), self.credential, self.validator)
         return connect_secure(target, self.credential, self.validator)
+
+    def _open(self) -> SecureChannel:
+        return self._connect(self._target)
+
+    def _converse(self, conversation: Callable[[SecureChannel], object]):
+        """Run one request conversation with endpoint failover + backoff.
+
+        Each round dials the primary target, then the fallbacks, on a fresh
+        mutually-authenticated channel; only transport/handshake failures
+        rotate onward.  Conversations must be safe to re-run from the top
+        (every MyProxy command is: PUT/STORE replace the entry, GET/INFO
+        are reads, DESTROY tolerates repetition server-side).
+        """
+        targets = (self._target, *self._fallbacks)
+        backoffs = self.retry.backoffs(self._rng)
+        last: Exception | None = None
+        for round_no in range(self.retry.rounds):
+            if round_no:
+                self._sleep(next(backoffs))
+            for target in targets:
+                try:
+                    channel = self._connect(target)
+                except (TransportError, HandshakeError) as exc:
+                    last = exc
+                    continue
+                try:
+                    with channel:
+                        return conversation(channel)
+                except (TransportError, HandshakeError) as exc:
+                    last = exc
+                    continue
+        raise last if last is not None else TransportError("no targets to dial")
 
     @staticmethod
     def _expect_ok(channel: SecureChannel) -> Response:
@@ -147,13 +230,15 @@ class MyProxyClient:
             retrievers=retrievers,
             renewers=renewers,
         )
-        with self._open() as channel:
+        def conversation(channel: SecureChannel) -> Response:
             channel.send(request.encode())
             self._expect_ok(channel)
             delegate_credential(
                 channel, source_credential, lifetime=lifetime, clock=self.clock
             )
             return self._expect_ok(channel)
+
+        return self._converse(conversation)
 
     # -- Figure 2: retrieve a delegation *from* the repository ------------------
 
@@ -181,19 +266,24 @@ class MyProxyClient:
             cred_name=cred_name,
             auth_method=auth_method,
         )
-        with self._open() as channel:
+        def conversation(channel: SecureChannel) -> Credential:
             channel.send(request.encode())
             self._expect_ok(channel)
             return accept_delegation(channel, key_source=self.key_source)
+
+        return self._converse(conversation)
 
     # -- housekeeping -----------------------------------------------------------
 
     def info(self, *, username: str) -> list[StoredCredentialInfo]:
         """``myproxy-info``: list the credentials you own under ``username``."""
         request = Request(command=Command.INFO, username=username)
-        with self._open() as channel:
+
+        def conversation(channel: SecureChannel) -> Response:
             channel.send(request.encode())
-            response = self._expect_ok(channel)
+            return self._expect_ok(channel)
+
+        response = self._converse(conversation)
         rows = response.info.get("credentials", [])
         return [
             StoredCredentialInfo(
@@ -214,9 +304,12 @@ class MyProxyClient:
     ) -> Response:
         """``myproxy-destroy``: remove a credential you own."""
         request = Request(command=Command.DESTROY, username=username, cred_name=cred_name)
-        with self._open() as channel:
+
+        def conversation(channel: SecureChannel) -> Response:
             channel.send(request.encode())
             return self._expect_ok(channel)
+
+        return self._converse(conversation)
 
     def change_passphrase(
         self,
@@ -234,9 +327,12 @@ class MyProxyClient:
             new_passphrase=new_passphrase,
             cred_name=cred_name,
         )
-        with self._open() as channel:
+
+        def conversation(channel: SecureChannel) -> Response:
             channel.send(request.encode())
             return self._expect_ok(channel)
+
+        return self._converse(conversation)
 
     # -- trust distribution ------------------------------------------------------
 
@@ -250,9 +346,12 @@ class MyProxyClient:
         from repro.pki.certs import Certificate
 
         request = Request(command=Command.TRUSTROOTS, username="trustroots")
-        with self._open() as channel:
+
+        def conversation(channel: SecureChannel) -> Response:
             channel.send(request.encode())
-            response = self._expect_ok(channel)
+            return self._expect_ok(channel)
+
+        response = self._converse(conversation)
         cas = [
             Certificate.from_pem(pem.encode("ascii"))
             for pem in response.info.get("cas", [])
@@ -308,11 +407,14 @@ class MyProxyClient:
             retrievers=retrievers,
         )
         blob = credential.export_pem(passphrase)
-        with self._open() as channel:
+
+        def conversation(channel: SecureChannel) -> Response:
             channel.send(request.encode())
             self._expect_ok(channel)
             channel.send(blob)
             return self._expect_ok(channel)
+
+        return self._converse(conversation)
 
     def retrieve_longterm(
         self,
@@ -328,10 +430,12 @@ class MyProxyClient:
             passphrase=passphrase,
             cred_name=cred_name,
         )
-        with self._open() as channel:
+        def conversation(channel: SecureChannel) -> bytes:
             channel.send(request.encode())
             self._expect_ok(channel)
-            blob = channel.recv()
+            return channel.recv()
+
+        blob = self._converse(conversation)
         return Credential.import_pem(blob, passphrase)
 
 

@@ -20,12 +20,28 @@ parses the same style into a :class:`~repro.core.policy.ServerPolicy`::
     kdf_iterations 20000
     disable_otp            # or disable_passphrase / disable_site / disable_renewal
 
+A clustered deployment (see :mod:`repro.cluster`) adds its membership in
+the same file::
+
+    cluster_node_name "node0"
+    # every member, self included (repeatable)
+    cluster_peer "node0 10.0.0.1:7512"
+    cluster_peer "node1 10.0.0.2:7512"
+    cluster_peer "node2 10.0.0.3:7512"
+    cluster_secret "66616e6f7574..."   # hex; HMACs the replication log
+    cluster_replication_factor 2
+    cluster_min_sync_acks 1
+    cluster_heartbeat_seconds 1
+    cluster_failover_timeout_seconds 5
+    cluster_state_dir "/var/lib/myproxy/cluster"
+
 Unknown directives are an error (silently ignored security configuration
 is how deployments end up open).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.policy import PassphrasePolicy, ServerPolicy
@@ -47,6 +63,53 @@ _FLAG_KEYS = (
     "disable_site",
     "disable_renewal",
 )
+_CLUSTER_STRING_KEYS = ("cluster_node_name", "cluster_secret", "cluster_state_dir")
+_CLUSTER_NUMBER_KEYS = (
+    "cluster_replication_factor",
+    "cluster_min_sync_acks",
+    "cluster_heartbeat_seconds",
+    "cluster_failover_timeout_seconds",
+)
+
+
+@dataclass(frozen=True)
+class ClusterPeer:
+    """One member of the cluster as named in the config file."""
+
+    name: str
+    host: str
+    port: int
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Cluster membership and replication knobs for one node."""
+
+    node_name: str
+    peers: tuple[ClusterPeer, ...]
+    secret: bytes
+    replication_factor: int = 2
+    min_sync_acks: int = 1
+    heartbeat_interval: float = 1.0
+    failover_timeout: float = 5.0
+    state_dir: str | None = None
+
+    def peer_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.peers)
+
+    def peer(self, name: str) -> ClusterPeer:
+        for peer in self.peers:
+            if peer.name == name:
+                return peer
+        raise ConfigError(f"no cluster peer named {name!r}")
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything one ``myproxy-server.config`` file describes."""
+
+    policy: ServerPolicy
+    cluster: ClusterConfig | None = None
 
 
 def _split_directive(line: str) -> tuple[str, str]:
@@ -54,11 +117,66 @@ def _split_directive(line: str) -> tuple[str, str]:
     return key.strip(), rest.strip().strip('"')
 
 
-def parse_server_config(text: str) -> ServerPolicy:
-    """Parse directive text into a fully-populated policy."""
+def _parse_cluster(
+    strings: dict[str, str],
+    numbers: dict[str, float],
+    peers: list[ClusterPeer],
+) -> ClusterConfig | None:
+    if not strings and not numbers and not peers:
+        return None
+    node_name = strings.get("cluster_node_name")
+    if not node_name:
+        raise ConfigError("cluster configuration needs cluster_node_name")
+    if not peers:
+        raise ConfigError("cluster configuration needs at least one cluster_peer")
+    if node_name not in {p.name for p in peers}:
+        raise ConfigError(
+            f"cluster_node_name {node_name!r} is not among the cluster_peer entries"
+        )
+    if len({p.name for p in peers}) != len(peers):
+        raise ConfigError("duplicate cluster_peer names")
+    secret_hex = strings.get("cluster_secret")
+    if not secret_hex:
+        raise ConfigError("cluster configuration needs cluster_secret (hex)")
+    try:
+        secret = bytes.fromhex(secret_hex)
+    except ValueError as exc:
+        raise ConfigError("cluster_secret must be hexadecimal") from exc
+    if len(secret) < 16:
+        raise ConfigError("cluster_secret must be at least 16 bytes of entropy")
+    return ClusterConfig(
+        node_name=node_name,
+        peers=tuple(peers),
+        secret=secret,
+        replication_factor=int(numbers.get("cluster_replication_factor", 2)),
+        min_sync_acks=int(numbers.get("cluster_min_sync_acks", 1)),
+        heartbeat_interval=float(numbers.get("cluster_heartbeat_seconds", 1.0)),
+        failover_timeout=float(numbers.get("cluster_failover_timeout_seconds", 5.0)),
+        state_dir=strings.get("cluster_state_dir"),
+    )
+
+
+def _parse_peer(value: str, lineno: int) -> ClusterPeer:
+    name, _, endpoint = value.partition(" ")
+    host, sep, port = endpoint.strip().rpartition(":")
+    if not name or not sep or not host:
+        raise ConfigError(
+            f'line {lineno}: cluster_peer needs "name host:port", got {value!r}'
+        )
+    try:
+        return ClusterPeer(name=name, host=host, port=int(port))
+    except ValueError as exc:
+        raise ConfigError(f"line {lineno}: cluster_peer port must be an integer") from exc
+
+
+def parse_config(text: str) -> ServerConfig:
+    """Parse directive text into policy plus optional cluster membership."""
     acls: dict[str, list[str]] = {key: [] for key in _ACL_KEYS}
     numbers: dict[str, float] = {}
     flags: set[str] = set()
+    cluster_strings: dict[str, str] = {}
+    cluster_numbers: dict[str, float] = {}
+    peers: list[ClusterPeer] = []
 
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
@@ -80,6 +198,19 @@ def parse_server_config(text: str) -> ServerPolicy:
             if value:
                 raise ConfigError(f"line {lineno}: {key} takes no value")
             flags.add(key)
+        elif key == "cluster_peer":
+            peers.append(_parse_peer(value, lineno))
+        elif key in _CLUSTER_STRING_KEYS:
+            if not value:
+                raise ConfigError(f"line {lineno}: {key} needs a value")
+            cluster_strings[key] = value
+        elif key in _CLUSTER_NUMBER_KEYS:
+            try:
+                cluster_numbers[key] = float(value)
+            except ValueError as exc:
+                raise ConfigError(f"line {lineno}: {key} needs a number") from exc
+            if cluster_numbers[key] <= 0:
+                raise ConfigError(f"line {lineno}: {key} must be positive")
         else:
             raise ConfigError(f"line {lineno}: unknown directive {key!r}")
 
@@ -101,7 +232,7 @@ def parse_server_config(text: str) -> ServerPolicy:
                                    defaults.passphrase_policy.min_length)),
         require_non_alpha="passphrase_require_non_alpha" in flags,
     )
-    return ServerPolicy(
+    policy = ServerPolicy(
         max_stored_lifetime=_scaled(
             "max_stored_lifetime_days", defaults.max_stored_lifetime
         ),
@@ -121,7 +252,20 @@ def parse_server_config(text: str) -> ServerPolicy:
         allow_site_auth="disable_site" not in flags,
         allow_renewal_auth="disable_renewal" not in flags,
     )
+    return ServerConfig(
+        policy=policy,
+        cluster=_parse_cluster(cluster_strings, cluster_numbers, peers),
+    )
+
+
+def parse_server_config(text: str) -> ServerPolicy:
+    """Parse directive text into a fully-populated policy (legacy surface)."""
+    return parse_config(text).policy
+
+
+def load_config(path: str | Path) -> ServerConfig:
+    return parse_config(Path(path).read_text("utf-8"))
 
 
 def load_server_config(path: str | Path) -> ServerPolicy:
-    return parse_server_config(Path(path).read_text("utf-8"))
+    return load_config(path).policy

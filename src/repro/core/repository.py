@@ -289,6 +289,23 @@ class FileRepository(CredentialRepository):
         self.root.mkdir(parents=True, exist_ok=True)
         os.chmod(self.root, 0o700)
         self._lock = threading.RLock()
+        # Crash recovery: a put that died between temp-file write and
+        # rename leaves a ``*.json.tmp`` behind.  The rename was atomic, so
+        # the entry is either fully present under its real name or absent —
+        # the orphan is garbage either way and must not linger (it may hold
+        # a partially-written copy of an encrypted key).
+        for orphan in self.root.glob("*.json.tmp"):
+            orphan.unlink(missing_ok=True)
+
+    def _fsync_root(self) -> None:
+        """Flush the directory entry itself — a rename or unlink is only
+        durable once the parent directory's metadata hits the platter
+        (replicas rely on their local spool surviving a host crash)."""
+        fd = os.open(self.root, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     @staticmethod
     def _filename(username: str, cred_name: str) -> str:
@@ -318,6 +335,7 @@ class FileRepository(CredentialRepository):
             finally:
                 os.close(fd)
             os.replace(tmp, path)
+            self._fsync_root()
 
     def get(self, username: str, cred_name: str) -> RepositoryEntry:
         path = self._path(username, cred_name)
@@ -339,6 +357,7 @@ class FileRepository(CredentialRepository):
                 fh.flush()
                 os.fsync(fh.fileno())
             path.unlink()
+            self._fsync_root()
             return True
 
     def _iter_entries(self):

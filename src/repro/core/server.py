@@ -131,6 +131,15 @@ class ServerStats:
     retrieves: int = 0
     denials: int = 0
     shed: int = 0  # TCP connections dropped by the load-shedding limit
+    # Cluster replication counters (see repro.cluster): deliveries this
+    # node made as a primary, ops it applied as a replica, failed
+    # deliveries, promotions it won, and its current worst-case lag (a
+    # gauge, refreshed by the cluster status sweep).
+    replication_ops_shipped: int = 0
+    replication_ops_applied: int = 0
+    replication_failures: int = 0
+    failovers: int = 0
+    replica_lag: int = 0
 
     def snapshot(self) -> dict:
         return dict(self.__dict__)
@@ -187,6 +196,10 @@ class MyProxyServer:
         self.site_secrets = dict(site_secrets or {})
         self.key_source = key_source
         self.stats = ServerStats()
+        # Cluster membership (set by repro.cluster when this server joins a
+        # replicated deployment; standalone servers keep the defaults).
+        self.cluster_role: str = "standalone"
+        self.cluster_peers: tuple[str, ...] = ()
         self._audit: deque[AuditRecord] = deque(maxlen=audit_limit)
         self._audit_lock = threading.Lock()
         # Optional persistent audit trail (JSON lines, append-only, 0600):

@@ -1,0 +1,222 @@
+"""The cluster coordinator: semi-sync replication, failover, resync.
+
+These tests drive full MyProxy flows (Figure 1 PUT, Figure 2 GET) through
+:class:`~repro.cluster.cluster.MyProxyCluster` nodes, so replication covers
+exactly what a real deployment replicates: delegated proxies, encrypted at
+rest, shipped as ciphertext.
+"""
+
+import pytest
+
+from repro.core.client import myproxy_init_from_longterm
+from repro.util.errors import ConfigError, NotFoundError, RepositoryError, TransportError
+
+PASS = "correct horse 42"
+
+
+def store(cluster, cluster_client_factory, credential, username, key_pool):
+    """Run the Figure 1 flow for ``username`` through the failover client."""
+    client = cluster_client_factory(cluster, credential)
+    myproxy_init_from_longterm(
+        client, credential, username=username, passphrase=PASS, key_source=key_pool
+    )
+    return client
+
+
+class TestValidation:
+    def test_replication_factor_cannot_exceed_cluster_size(self, cluster_factory):
+        with pytest.raises(ConfigError, match="exceeds"):
+            cluster_factory(2, replication_factor=3)
+
+    def test_min_sync_acks_bounded_by_replica_count(self, cluster_factory):
+        with pytest.raises(ConfigError, match="min_sync_acks"):
+            cluster_factory(3, replication_factor=2, min_sync_acks=2)
+
+    def test_single_node_cluster_is_allowed(self, cluster_factory):
+        cluster = cluster_factory(1, replication_factor=1, min_sync_acks=0)
+        assert len(cluster.nodes) == 1
+
+
+class TestReplication:
+    def test_acknowledged_write_is_on_the_replica_too(
+        self, cluster_factory, cluster_client_factory, alice, key_pool
+    ):
+        cluster = cluster_factory(3, replication_factor=2)
+        store(cluster, cluster_client_factory, alice, "alice", key_pool)
+        primary, replica = cluster.preference("alice")
+        assert primary.backend.get("alice", "default").username == "alice"
+        assert replica.backend.get("alice", "default").username == "alice"
+        assert primary.server.stats.replication_ops_shipped >= 1
+        assert replica.server.stats.replication_ops_applied >= 1
+        # the third node is outside the shard and holds nothing
+        (outside,) = [
+            n for n in cluster.nodes.values() if n not in (primary, replica)
+        ]
+        with pytest.raises(NotFoundError):
+            outside.backend.get("alice", "default")
+
+    def test_unreachable_replica_fails_the_ack(
+        self, cluster_factory, entry_factory, monkeypatch
+    ):
+        cluster = cluster_factory(3, replication_factor=2, min_sync_acks=1)
+        primary, replica = cluster.preference("alice")
+
+        def refuse(ops):
+            raise TransportError("replication link severed")
+
+        monkeypatch.setattr(replica, "receive", refuse)
+        with pytest.raises(RepositoryError, match="refusing to acknowledge"):
+            primary.repository.put(entry_factory(username="alice"))
+        assert primary.server.stats.replication_failures == 1
+
+    def test_degraded_shard_still_accepts_writes(self, cluster_factory, entry_factory):
+        """With every replica dead the shard keeps serving (availability
+        over durability — there is nobody left to replicate to)."""
+        cluster = cluster_factory(3, replication_factor=2, min_sync_acks=1)
+        primary, replica = cluster.preference("alice")
+        replica.kill()
+        primary.repository.put(entry_factory(username="alice"))
+        assert primary.backend.get("alice", "default") is not None
+
+    def test_destroy_replicates(
+        self, cluster_factory, cluster_client_factory, alice, key_pool
+    ):
+        cluster = cluster_factory(3, replication_factor=2)
+        client = store(cluster, cluster_client_factory, alice, "alice", key_pool)
+        primary, replica = cluster.preference("alice")
+        client.destroy(username="alice")
+        for node in (primary, replica):
+            with pytest.raises(NotFoundError):
+                node.backend.get("alice", "default")
+
+
+def kill_and_detect(cluster, clock, victim):
+    """Kill a node and drive the detector until it acts.
+
+    The sweep is staggered: live nodes refresh their heartbeats partway
+    through the timeout window, so when it elapses only the victim's last
+    heartbeat is stale.
+    """
+    victim.kill()
+    clock.advance(cluster.detector.timeout * 0.7)
+    cluster.sweep_heartbeats()
+    clock.advance(cluster.detector.timeout * 0.6)
+    return cluster.check_failover()
+
+
+class TestFailover:
+
+    def test_most_caught_up_replica_is_promoted(
+        self, cluster_factory, cluster_client_factory, alice, key_pool, clock
+    ):
+        cluster = cluster_factory(3, replication_factor=2)
+        store(cluster, cluster_client_factory, alice, "alice", key_pool)
+        primary, replica = cluster.preference("alice")
+        promotions = kill_and_detect(cluster, clock, primary)
+        assert promotions == [(primary.name, replica.name)]
+        assert cluster.failovers == 1
+        assert replica.server.stats.failovers == 1
+        # routing now points the shard at the promoted replica
+        assert cluster.primary_for("alice") is replica
+
+    def test_get_succeeds_through_failover(
+        self, cluster_factory, cluster_client_factory, alice, bob, key_pool, clock
+    ):
+        """The Figure 2 flow survives a primary kill: the client's dial of
+        the dead node fails, the promoted replica answers."""
+        cluster = cluster_factory(3, replication_factor=2)
+        store(cluster, cluster_client_factory, alice, "alice", key_pool)
+        primary = cluster.primary_for("alice")
+        kill_and_detect(cluster, clock, primary)
+        requester = cluster_client_factory(cluster, bob)
+        proxy = requester.get_delegation(username="alice", passphrase=PASS)
+        assert proxy.identity == alice.identity
+
+    def test_no_failover_while_everyone_is_healthy(self, cluster_factory, clock):
+        cluster = cluster_factory(3)
+        cluster.sweep_heartbeats()
+        assert cluster.check_failover() == []
+        assert cluster.failovers == 0
+
+    def test_forced_promotion_of_named_successor(self, cluster_factory, clock):
+        cluster = cluster_factory(3, replication_factor=2)
+        names = sorted(cluster.nodes)
+        cluster.nodes[names[0]].kill()
+        promoted = cluster.promote(names[0], successor=names[2])
+        assert promoted == names[2]
+        assert cluster._resolve(names[0]) == names[2]
+
+    def test_promoting_onto_a_dead_node_refused(self, cluster_factory):
+        cluster = cluster_factory(3)
+        names = sorted(cluster.nodes)
+        cluster.nodes[names[0]].kill()
+        cluster.nodes[names[1]].kill()
+        with pytest.raises(ConfigError, match="dead node"):
+            cluster.promote(names[0], successor=names[1])
+
+    def test_promote_unknown_node_refused(self, cluster_factory):
+        with pytest.raises(ConfigError, match="unknown node"):
+            cluster_factory(3).promote("ghost")
+
+
+class TestResync:
+    def test_restarted_node_catches_up_and_takes_back_its_shards(
+        self, cluster_factory, cluster_client_factory, alice, bob, key_pool, clock
+    ):
+        cluster = cluster_factory(3, replication_factor=2)
+        store(cluster, cluster_client_factory, alice, "alice", key_pool)
+        victim = cluster.primary_for("alice")
+        kill_and_detect(cluster, clock, victim)
+        # more writes land while the victim is down
+        store(cluster, cluster_client_factory, bob, "bob", key_pool)
+
+        victim.restart()
+        applied = cluster.resync(victim.name)
+        cluster.demote_recovered(victim.name)
+        assert cluster.primary_for("alice") is victim
+        assert cluster.replica_lag(victim.name) == 0
+        # everything acked while it was away is present if it is in the shard
+        if victim in cluster.preference("bob"):
+            assert applied >= 1
+            assert victim.backend.get("bob", "default").username == "bob"
+
+    def test_resync_refuses_dead_or_unknown_nodes(self, cluster_factory):
+        cluster = cluster_factory(3)
+        name = sorted(cluster.nodes)[0]
+        cluster.nodes[name].kill()
+        with pytest.raises(ConfigError, match="restart it first"):
+            cluster.resync(name)
+        with pytest.raises(ConfigError, match="unknown node"):
+            cluster.resync("ghost")
+
+    def test_resync_is_idempotent(
+        self, cluster_factory, cluster_client_factory, alice, key_pool
+    ):
+        cluster = cluster_factory(3, replication_factor=2)
+        store(cluster, cluster_client_factory, alice, "alice", key_pool)
+        _primary, replica = cluster.preference("alice")
+        assert cluster.resync(replica.name) == 0  # already applied via shipping
+
+
+class TestStatus:
+    def test_status_reports_per_node_replication_state(
+        self, cluster_factory, cluster_client_factory, alice, key_pool
+    ):
+        cluster = cluster_factory(3, replication_factor=2)
+        store(cluster, cluster_client_factory, alice, "alice", key_pool)
+        primary, replica = cluster.preference("alice")
+        doc = cluster.status()
+        assert doc["replication_factor"] == 2
+        assert doc["failovers"] == 0
+        row = doc["nodes"][primary.name]
+        assert row["alive"] is True
+        assert row["log_seq"] >= 1
+        assert row["entries"] >= 1
+        assert row["stats"]["replication_ops_shipped"] >= 1
+        assert doc["nodes"][replica.name]["stats"]["replication_ops_applied"] >= 1
+        # the gauge lands on the server stats too (myproxy-admin surface)
+        assert replica.server.stats.replica_lag == doc["nodes"][replica.name]["replica_lag"]
+
+    def test_save_status_requires_a_state_dir(self, cluster_factory):
+        with pytest.raises(ConfigError, match="state_dir"):
+            cluster_factory(3).save_status()

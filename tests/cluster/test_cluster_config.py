@@ -1,0 +1,128 @@
+"""Cluster membership directives in the myproxy-server.config file."""
+
+import pytest
+
+from repro.core.config import parse_config, parse_server_config
+from repro.util.errors import ConfigError
+
+FULL = """
+# policy directives coexist with cluster membership
+accepted_credentials "/O=Grid/*"
+max_delegation_lifetime_hours 12
+
+cluster_node_name "node1"
+cluster_peer "node0 10.0.0.1:7512"
+cluster_peer "node1 10.0.0.2:7512"
+cluster_peer "node2 10.0.0.3:7512"
+cluster_secret "00112233445566778899aabbccddeeff"
+cluster_replication_factor 3
+cluster_min_sync_acks 2
+cluster_heartbeat_seconds 0.5
+cluster_failover_timeout_seconds 3
+cluster_state_dir "/var/lib/myproxy/cluster"
+"""
+
+
+class TestParsing:
+    def test_full_cluster_block(self):
+        config = parse_config(FULL)
+        cluster = config.cluster
+        assert cluster is not None
+        assert cluster.node_name == "node1"
+        assert cluster.peer_names() == ("node0", "node1", "node2")
+        assert cluster.peer("node2").host == "10.0.0.3"
+        assert cluster.peer("node2").port == 7512
+        assert cluster.secret == bytes.fromhex("00112233445566778899aabbccddeeff")
+        assert cluster.replication_factor == 3
+        assert cluster.min_sync_acks == 2
+        assert cluster.heartbeat_interval == 0.5
+        assert cluster.failover_timeout == 3.0
+        assert cluster.state_dir == "/var/lib/myproxy/cluster"
+        # the policy side still parses alongside
+        assert config.policy.max_delegation_lifetime == 12 * 3600.0
+
+    def test_defaults_for_optional_knobs(self):
+        config = parse_config(
+            'cluster_node_name "n0"\n'
+            'cluster_peer "n0 localhost:7512"\n'
+            'cluster_secret "00112233445566778899aabbccddeeff"\n'
+        )
+        cluster = config.cluster
+        assert cluster.replication_factor == 2
+        assert cluster.min_sync_acks == 1
+        assert cluster.heartbeat_interval == 1.0
+        assert cluster.failover_timeout == 5.0
+        assert cluster.state_dir is None
+
+    def test_no_cluster_directives_means_standalone(self):
+        config = parse_config('accepted_credentials "/O=Grid/*"\n')
+        assert config.cluster is None
+
+    def test_legacy_policy_surface_unchanged(self):
+        policy = parse_server_config(FULL)
+        assert policy.max_delegation_lifetime == 12 * 3600.0
+
+    def test_unknown_peer_lookup_reported(self):
+        cluster = parse_config(FULL).cluster
+        with pytest.raises(ConfigError, match="no cluster peer"):
+            cluster.peer("ghost")
+
+
+class TestValidation:
+    def test_cluster_needs_a_node_name(self):
+        with pytest.raises(ConfigError, match="cluster_node_name"):
+            parse_config(
+                'cluster_peer "n0 localhost:7512"\n'
+                'cluster_secret "00112233445566778899aabbccddeeff"\n'
+            )
+
+    def test_node_name_must_be_a_peer(self):
+        with pytest.raises(ConfigError, match="not among"):
+            parse_config(
+                'cluster_node_name "elsewhere"\n'
+                'cluster_peer "n0 localhost:7512"\n'
+                'cluster_secret "00112233445566778899aabbccddeeff"\n'
+            )
+
+    def test_duplicate_peer_names_refused(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            parse_config(
+                'cluster_node_name "n0"\n'
+                'cluster_peer "n0 hostA:7512"\n'
+                'cluster_peer "n0 hostB:7512"\n'
+                'cluster_secret "00112233445566778899aabbccddeeff"\n'
+            )
+
+    def test_secret_is_required(self):
+        with pytest.raises(ConfigError, match="cluster_secret"):
+            parse_config(
+                'cluster_node_name "n0"\ncluster_peer "n0 localhost:7512"\n'
+            )
+
+    def test_secret_must_be_hex(self):
+        with pytest.raises(ConfigError, match="hexadecimal"):
+            parse_config(
+                'cluster_node_name "n0"\n'
+                'cluster_peer "n0 localhost:7512"\n'
+                'cluster_secret "not-hex-at-all"\n'
+            )
+
+    def test_secret_must_carry_enough_entropy(self):
+        with pytest.raises(ConfigError, match="16 bytes"):
+            parse_config(
+                'cluster_node_name "n0"\n'
+                'cluster_peer "n0 localhost:7512"\n'
+                'cluster_secret "deadbeef"\n'
+            )
+
+    def test_peer_needs_name_and_endpoint(self):
+        with pytest.raises(ConfigError, match="name host:port"):
+            parse_config('cluster_peer "lonely"\n')
+
+    def test_peer_port_must_be_integer(self):
+        with pytest.raises(ConfigError, match="integer"):
+            parse_config('cluster_peer "n0 localhost:http"\n')
+
+    def test_unknown_cluster_directive_is_an_error(self):
+        with pytest.raises(ConfigError, match="unknown directive"):
+            parse_config("cluster_bogus 3\n")

@@ -1,0 +1,69 @@
+"""Consistent-hash routing: determinism, balance, minimal movement."""
+
+import pytest
+
+from repro.cluster.hashring import ConsistentHashRing
+from repro.util.errors import ConfigError
+
+NODES = ["node0", "node1", "node2", "node3"]
+USERS = [f"user{i:03d}" for i in range(200)]
+
+
+class TestRouting:
+    def test_deterministic_regardless_of_insertion_order(self):
+        """Servers and clients build the ring independently — same answers."""
+        a = ConsistentHashRing(NODES)
+        b = ConsistentHashRing(list(reversed(NODES)))
+        for user in USERS[:20]:
+            assert a.preference_list(user) == b.preference_list(user)
+
+    def test_preference_list_distinct_and_clamped(self):
+        ring = ConsistentHashRing(NODES)
+        full = ring.preference_list("alice")
+        assert sorted(full) == sorted(NODES)  # everyone exactly once
+        assert ring.preference_list("alice", 2) == full[:2]
+        assert ring.preference_list("alice", 99) == full
+
+    def test_primary_is_first_preference(self):
+        ring = ConsistentHashRing(NODES)
+        assert ring.primary_for("alice") == ring.preference_list("alice")[0]
+
+    def test_every_node_owns_some_users(self):
+        ring = ConsistentHashRing(NODES)
+        assert {ring.primary_for(u) for u in USERS} == set(NODES)
+
+    def test_removal_moves_only_the_dead_nodes_users(self):
+        ring = ConsistentHashRing(NODES)
+        before = {u: ring.primary_for(u) for u in USERS}
+        ring.remove_node("node2")
+        for user in USERS:
+            if before[user] != "node2":
+                assert ring.primary_for(user) == before[user]
+
+    def test_addition_moves_users_only_onto_the_new_node(self):
+        ring = ConsistentHashRing(NODES)
+        before = {u: ring.primary_for(u) for u in USERS}
+        ring.add_node("node4")
+        moved = [u for u in USERS if ring.primary_for(u) != before[u]]
+        assert moved  # the newcomer claims its share
+        assert all(ring.primary_for(u) == "node4" for u in moved)
+
+
+class TestErrors:
+    def test_duplicate_add_refused(self):
+        ring = ConsistentHashRing(NODES)
+        with pytest.raises(ConfigError, match="already on the ring"):
+            ring.add_node("node0")
+
+    def test_removing_unknown_node_refused(self):
+        ring = ConsistentHashRing(NODES)
+        with pytest.raises(ConfigError, match="not on the ring"):
+            ring.remove_node("ghost")
+
+    def test_empty_ring_has_no_answer(self):
+        with pytest.raises(ConfigError, match="no nodes"):
+            ConsistentHashRing([]).preference_list("alice")
+
+    def test_vnodes_must_be_positive(self):
+        with pytest.raises(ConfigError, match="vnodes"):
+            ConsistentHashRing(NODES, vnodes=0)

@@ -71,6 +71,85 @@ def tb(clock, key_pool):
     testbed.close()
 
 
+CLUSTER_SECRET = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+@pytest.fixture()
+def cluster_factory(ca, validator, key_pool, clock):
+    """Build an N-node repository cluster; defaults to in-memory backends."""
+    from repro.cluster import build_cluster
+    from repro.core.repository import MemoryRepository
+    from repro.core.server import MyProxyServer
+
+    clusters = []
+
+    def _make(
+        n=3,
+        *,
+        backends=None,
+        replication_factor=2,
+        min_sync_acks=1,
+        failover_timeout=5.0,
+        state_dir=None,
+        policy=None,
+    ):
+        backends = (
+            backends if backends is not None else [MemoryRepository() for _ in range(n)]
+        )
+
+        def make_server(i, name, box):
+            cred = ca.issue_host_credential(
+                f"{name}.example.org", key=key_pool.new_key()
+            )
+            return MyProxyServer(
+                cred,
+                validator,
+                clock=clock,
+                key_source=key_pool,
+                master_box=box,
+                policy=policy,
+            )
+
+        cluster = build_cluster(
+            make_server,
+            backends,
+            secret=CLUSTER_SECRET,
+            replication_factor=replication_factor,
+            min_sync_acks=min_sync_acks,
+            failover_timeout=failover_timeout,
+            clock=clock,
+            state_dir=state_dir,
+        )
+        clusters.append(cluster)
+        return cluster
+
+    yield _make
+    for cluster in clusters:
+        cluster.stop()
+
+
+@pytest.fixture()
+def cluster_client_factory(validator, key_pool, clock):
+    """A failover-aware client over a cluster's in-process pipe targets."""
+    from repro.cluster import FailoverMyProxyClient
+    from repro.core.client import RetryPolicy
+
+    fast_retry = RetryPolicy(rounds=3, base_delay=0.01, max_delay=0.05)
+
+    def _make(cluster, credential, retry=fast_retry):
+        return FailoverMyProxyClient(
+            {name: node.target for name, node in cluster.nodes.items()},
+            cluster.router(),
+            credential,
+            validator,
+            retry=retry,
+            clock=clock,
+            key_source=key_pool,
+        )
+
+    return _make
+
+
 @pytest.fixture()
 def tb_factory(clock, key_pool):
     """For tests needing a customized testbed (policies, multiple repos)."""

@@ -169,3 +169,17 @@ class TestFileBackend:
         entry_file.write_text("{broken json")
         with pytest.raises(RepositoryError):
             repo.get("alice", "default")
+
+    def test_orphan_tempfile_cleaned_on_open(self, tmp_path):
+        """Crash recovery: a put that died between temp-file write and the
+        atomic rename leaves a ``*.json.tmp`` orphan (possibly holding a
+        partial key copy) that the next open must remove."""
+        spool = tmp_path / "spool"
+        FileRepository(spool).put(entry())
+        orphan = spool / "interrupted.json.tmp"
+        orphan.write_text('{"half": "written')
+        reopened = FileRepository(spool)
+        assert not orphan.exists()
+        # committed entries are untouched and temp junk never shows up in reads
+        assert reopened.get("alice", "default").username == "alice"
+        assert reopened.count() == 1

@@ -63,6 +63,45 @@ class TestServiceThread:
     def test_stop_when_never_started_is_noop(self):
         ServiceThread(lambda stop: None, "idle").stop()
 
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_stop_after_target_exception_is_clean(self):
+        """A worker that dies on an exception must not wedge shutdown:
+        stop() still returns, reports not-running, and the service can be
+        restarted afterwards."""
+        started = threading.Event()
+
+        def dies(stop_event):
+            started.set()
+            raise RuntimeError("worker blew up")
+
+        service = ServiceThread(dies, "dies")
+        service.start()
+        assert started.wait(5.0)
+        wait_for(lambda: not service.running, timeout=5.0)
+        service.stop()  # no hang, no raise — the thread is already gone
+        assert not service.running
+        service.start()  # the crash did not poison the service
+        service.stop()
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_stop_ordering_when_target_raises_during_shutdown(self):
+        """If the worker raises *while* reacting to the stop event, stop()
+        must still join the thread rather than deadlock or leak it."""
+
+        def raises_on_stop(stop_event):
+            stop_event.wait(5.0)
+            raise RuntimeError("cleanup failed")
+
+        service = ServiceThread(raises_on_stop, "bad-cleanup")
+        service.start()
+        assert service.running
+        service.stop(timeout=5.0)
+        assert not service.running
+
 
 class TestWaitFor:
     def test_returns_once_true(self):
