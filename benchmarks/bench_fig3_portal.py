@@ -9,7 +9,6 @@ GRAM handshake + one delegation.
 
 import pytest
 
-from repro.grid.gram import JobSpec
 from benchmarks.conftest import PASS
 
 LOGIN = {

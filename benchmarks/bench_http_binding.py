@@ -13,7 +13,6 @@ import threading
 import pytest
 
 from repro.core.httpbinding import HttpMyProxyClient, MyProxyHttpGateway
-from repro.core.protocol import AuthMethod
 from repro.transport.links import SocketLink
 from benchmarks.conftest import PASS
 

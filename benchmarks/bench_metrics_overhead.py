@@ -1,0 +1,104 @@
+"""F2b — what the observability layer costs on the Figure-2 path.
+
+The obs registry instruments every conversation (a handful of
+lock-protected counter increments plus two histogram observations), so
+the relevant question is whether the Figure-2 retrieval latency moves.
+It should not: one GET is dominated by two RSA handshakes and a PBKDF2
+verification, all of which cost milliseconds; the instrumentation costs
+microseconds.
+
+``test_metrics_overhead_paired`` measures the same retrieval flow against
+two repositories — one fully instrumented, one built with
+``NULL_REGISTRY`` (every metric a no-op) — in *interleaved* batches, so
+clock drift and cache warmth hit both sides equally.  The acceptance
+bar is overhead under 2%; in practice it is far below measurement noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import PASS, record_latency_percentiles
+
+BATCH_OPS = 5
+BATCHES = 12
+WARMUP_OPS = 3
+OVERHEAD_BUDGET = 0.02
+
+
+@pytest.fixture(scope="module")
+def instrumented_get(tcp_tb):
+    alice = tcp_tb.new_user("obs_alice")
+    tcp_tb.myproxy_init(alice, passphrase=PASS)
+    requester = tcp_tb.new_user("obs_requester")
+    client = tcp_tb.myproxy_client(requester.credential)
+    return lambda: client.get_delegation(
+        username="obs_alice", passphrase=PASS, lifetime=3600
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline_get(tcp_tb_null_metrics):
+    tb = tcp_tb_null_metrics
+    alice = tb.new_user("obs_alice")
+    tb.myproxy_init(alice, passphrase=PASS)
+    requester = tb.new_user("obs_requester")
+    client = tb.myproxy_client(requester.credential)
+    return lambda: client.get_delegation(
+        username="obs_alice", passphrase=PASS, lifetime=3600
+    )
+
+
+def _batch_seconds(op) -> float:
+    start = time.perf_counter()
+    for _ in range(BATCH_OPS):
+        op()
+    return (time.perf_counter() - start) / BATCH_OPS
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def test_metrics_overhead_paired(benchmark, tcp_tb, instrumented_get, baseline_get):
+    for _ in range(WARMUP_OPS):
+        instrumented_get()
+        baseline_get()
+
+    live_batches: list[float] = []
+    null_batches: list[float] = []
+    for _ in range(BATCHES):
+        live_batches.append(_batch_seconds(instrumented_get))
+        null_batches.append(_batch_seconds(baseline_get))
+
+    live = _median(live_batches)
+    null = _median(null_batches)
+    overhead = live / null - 1.0
+
+    # The headline pytest-benchmark number is the instrumented path — the
+    # shape every deployment actually runs.
+    benchmark(instrumented_get)
+    benchmark.extra_info["instrumented_op_seconds"] = live
+    benchmark.extra_info["null_registry_op_seconds"] = null
+    benchmark.extra_info["overhead_fraction"] = overhead
+    record_latency_percentiles(benchmark, tcp_tb.myproxy)
+
+    assert overhead < OVERHEAD_BUDGET, (
+        f"metrics layer costs {overhead:.2%} on the Figure-2 path "
+        f"(budget {OVERHEAD_BUDGET:.0%}): live={live * 1000:.3f}ms "
+        f"null={null * 1000:.3f}ms"
+    )
+
+
+def test_null_registry_reads_as_zero(tcp_tb_null_metrics):
+    """The baseline server is genuinely uninstrumented, not just unread."""
+    stats = tcp_tb_null_metrics.myproxy.stats
+    assert stats.connections == 0
+    assert stats.gets == 0
+    assert tcp_tb_null_metrics.myproxy.metrics.snapshot() == {}

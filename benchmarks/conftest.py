@@ -18,11 +18,29 @@ from __future__ import annotations
 
 import pytest
 
+from repro.obs import NULL_REGISTRY
 from repro.pki.keys import PooledKeySource
 from repro.testbed import GridTestbed
 
 BENCH_BITS = 1024
 PASS = "benchmark pass phrase 1"
+
+
+def record_latency_percentiles(benchmark, server) -> None:
+    """Dump the server's own request-latency histogram into ``extra_info``.
+
+    The obs registry prices every conversation server-side, so benchmarks
+    get the p50/p95/p99 split (per command) for free alongside the
+    client-side wall-clock numbers pytest-benchmark measures.
+    """
+    families = server.metrics.snapshot()
+    for command, summary in families.get("myproxy_request_seconds", {}).items():
+        benchmark.extra_info[f"server_{command}"] = {
+            "count": summary["count"],
+            "p50": summary["p50"],
+            "p95": summary["p95"],
+            "p99": summary["p99"],
+        }
 
 
 @pytest.fixture(scope="session")
@@ -34,6 +52,21 @@ def key_pool() -> PooledKeySource:
 def tcp_tb(key_pool):
     """One TCP testbed per benchmark module."""
     testbed = GridTestbed(transport="tcp", key_source=key_pool)
+    yield testbed
+    testbed.close()
+
+
+@pytest.fixture(scope="module")
+def tcp_tb_null_metrics(key_pool):
+    """A TCP testbed whose repository has instrumentation disabled.
+
+    ``NULL_REGISTRY`` swaps every counter/histogram for no-ops — the
+    baseline against which bench_metrics_overhead prices the obs layer.
+    """
+    testbed = GridTestbed(
+        transport="tcp", key_source=key_pool,
+        myproxy_metrics_registry=NULL_REGISTRY,
+    )
     yield testbed
     testbed.close()
 

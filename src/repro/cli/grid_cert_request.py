@@ -19,7 +19,6 @@ from pathlib import Path
 from repro.cli.common import load_credential, prompt_passphrase, run_tool
 from repro.pki.ca import CertificateAuthority
 from repro.pki.certs import Certificate, build_certificate
-from repro.pki.credentials import Credential
 from repro.pki.keys import KeyPair, PublicKey
 from repro.pki.names import DistinguishedName
 from repro.util.clock import SYSTEM_CLOCK

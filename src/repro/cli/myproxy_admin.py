@@ -8,7 +8,6 @@ repository host, like the original ``myproxy-admin-query`` /
 from __future__ import annotations
 
 import argparse
-import time
 
 from repro.cli.common import run_tool
 from repro.core.admin import RepositoryAdmin
@@ -44,6 +43,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument("--state-dir", required=True, metavar="DIR")
 
+    metrics = sub.add_parser(
+        "metrics",
+        help="scrape a running server's /metrics endpoint and summarize it",
+    )
+    metrics.add_argument("--endpoint", required=True, metavar="HOST:PORT",
+                         help="where myproxy-server --metrics-port is listening")
+    metrics.add_argument("--raw", action="store_true",
+                         help="print the raw Prometheus exposition text")
+    metrics.add_argument("--slowlog", action="store_true",
+                         help="print the slow-operation log (JSON lines) instead")
+
     audit = sub.add_parser("audit", help="inspect a persistent audit trail")
     audit.add_argument("--audit-file", required=True, metavar="JSONL")
     audit.add_argument("-l", "--username", default=None)
@@ -51,6 +61,81 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--tail", type=int, default=None,
                        help="show only the last N records")
     return parser
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    return f"{value * 1000.0:.2f}ms"
+
+
+def _hist_quantile(buckets: list[tuple[float, float]], q: float) -> float:
+    """Linearly interpolated quantile from cumulative ``(le, count)`` rows."""
+    total = buckets[-1][1]
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    prev_bound, prev_cum = 0.0, 0.0
+    for bound, cum in buckets:
+        if cum >= rank:
+            if bound == float("inf"):
+                # Off the end of the finite buckets; the best estimate is
+                # the largest finite boundary (matches Histogram.percentile).
+                finite = [b for b, _ in buckets if b != float("inf")]
+                return finite[-1] if finite else 0.0
+            if cum == prev_cum:
+                return bound
+            return prev_bound + (bound - prev_bound) * (rank - prev_cum) / (cum - prev_cum)
+        prev_bound, prev_cum = bound, cum
+    return prev_bound
+
+
+def _summarize_metrics(text: str) -> list[str]:
+    """Human-oriented one-line-per-series view of exposition text."""
+    from repro.obs import parse_exposition
+
+    samples = parse_exposition(text)
+    hist_bases = {
+        name[: -len("_bucket")]
+        for name, labels, _ in samples
+        if name.endswith("_bucket") and "le" in labels
+    }
+    histograms: dict[tuple[str, tuple], dict] = {}
+    lines: list[str] = []
+    for name, labels, value in samples:
+        if name.endswith("_bucket") and "le" in labels:
+            le = labels.pop("le")
+            key = (name[: -len("_bucket")], tuple(sorted(labels.items())))
+            entry = histograms.setdefault(key, {"buckets": [], "sum": 0.0, "count": 0.0})
+            entry["buckets"].append(
+                (float("inf") if le == "+Inf" else float(le), value)
+            )
+        elif name.endswith("_sum") and name[: -len("_sum")] in hist_bases:
+            key = (name[: -len("_sum")], tuple(sorted(labels.items())))
+            histograms.setdefault(key, {"buckets": [], "sum": 0.0, "count": 0.0})["sum"] = value
+        elif name.endswith("_count") and name[: -len("_count")] in hist_bases:
+            key = (name[: -len("_count")], tuple(sorted(labels.items())))
+            histograms.setdefault(key, {"buckets": [], "sum": 0.0, "count": 0.0})["count"] = value
+        else:
+            labeltext = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+            series = f"{name}{{{labeltext}}}" if labeltext else name
+            lines.append(f"  {series} = {value:g}")
+    for (base, labelpairs), entry in sorted(histograms.items()):
+        labeltext = ",".join(f'{k}="{v}"' for k, v in labelpairs)
+        series = f"{base}{{{labeltext}}}" if labeltext else base
+        count = entry["count"]
+        if count <= 0:
+            lines.append(f"  {series} count=0")
+            continue
+        buckets = sorted(entry["buckets"])
+        mean = entry["sum"] / count
+        lines.append(
+            f"  {series} count={count:g} mean={_fmt_seconds(mean)} "
+            f"p50={_fmt_seconds(_hist_quantile(buckets, 0.50))} "
+            f"p95={_fmt_seconds(_hist_quantile(buckets, 0.95))} "
+            f"p99={_fmt_seconds(_hist_quantile(buckets, 0.99))}"
+        )
+    return lines
 
 
 def _fmt_row(row) -> str:
@@ -68,7 +153,10 @@ def main(argv: list[str] | None = None) -> int:
     configure_cli_logging(args.verbose)
 
     def _body() -> None:
-        if args.command not in ("audit", "cluster-status") and args.storage_dir is None:
+        if (
+            args.command not in ("audit", "cluster-status", "metrics")
+            and args.storage_dir is None
+        ):
             raise SystemExit(f"--storage-dir is required for {args.command!r}")
         admin = (
             RepositoryAdmin(open_repository(args.storage_dir))
@@ -114,6 +202,25 @@ def main(argv: list[str] | None = None) -> int:
                       f"applied={stats.get('replication_ops_applied', 0)} "
                       f"failures={stats.get('replication_failures', 0)} "
                       f"failovers_won={stats.get('failovers', 0)}")
+        elif args.command == "metrics":
+            from repro.obs import fetch_metrics
+
+            host, sep, port_text = args.endpoint.rpartition(":")
+            if not sep or not host:
+                raise SystemExit(f"--endpoint must be HOST:PORT, got {args.endpoint!r}")
+            try:
+                port = int(port_text)
+            except ValueError:
+                raise SystemExit(f"--endpoint port must be an integer, got {port_text!r}")
+            if args.slowlog:
+                print(fetch_metrics(host, port, path="/slowlog"), end="")
+                return
+            text = fetch_metrics(host, port)
+            if args.raw:
+                print(text, end="")
+                return
+            for line in _summarize_metrics(text):
+                print(line)
         elif args.command == "audit":
             from pathlib import Path
 

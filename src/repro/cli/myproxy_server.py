@@ -56,6 +56,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-delegation-lifetime-hours", type=float, default=None,
         help="cap on proxies delegated from the repository",
     )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus metrics at http://HOST:PORT/metrics "
+             "(overrides the metrics_port config directive)",
+    )
+    parser.add_argument(
+        "--slow-op-threshold", type=float, default=None, metavar="SECONDS",
+        help="log operations slower than this (overrides slow_op_threshold)",
+    )
     return parser
 
 
@@ -64,14 +73,19 @@ def main(argv: list[str] | None = None) -> int:
 
     def _body() -> None:
         cluster_cfg = None
+        metrics_port = args.metrics_port
         if args.config:
             from repro.core.config import load_config
 
             config = load_config(args.config)
             policy = config.policy
             cluster_cfg = config.cluster
+            if metrics_port is None:
+                metrics_port = config.metrics_port
         else:
             policy = ServerPolicy()
+        if args.slow_op_threshold is not None:
+            policy.slow_op_threshold = args.slow_op_threshold
         if args.max_stored_lifetime_days is not None:
             policy.max_stored_lifetime = args.max_stored_lifetime_days * 86400.0
         if args.max_delegation_lifetime_hours is not None:
@@ -112,6 +126,9 @@ def main(argv: list[str] | None = None) -> int:
                 f"(rf={cluster_cfg.replication_factor})"
             )
         print(f"myproxy-server listening on {host}:{port}")
+        if metrics_port is not None:
+            mhost, mport = server.start_metrics_endpoint(args.host, metrics_port)
+            print(f"metrics at http://{mhost}:{mport}/metrics")
         try:
             while True:
                 time.sleep(3600)

@@ -130,6 +130,11 @@ class MyProxyCluster:
     # ------------------------------------------------------------------
 
     def _make_shipper(self, origin: ClusterNode):
+        ship_seconds = origin.server.metrics.histogram(
+            "myproxy_replication_ship_seconds",
+            "Latency of delivering one write op to one replica.",
+        )
+
         def _ship(op: ReplicatedOp) -> None:
             replicas = [
                 node
@@ -139,11 +144,12 @@ class MyProxyCluster:
             acks = 0
             for replica in replicas:
                 try:
-                    replica.receive([op])
+                    with ship_seconds.time():
+                        replica.receive([op])
                     acks += 1
-                    origin.server.stats.replication_ops_shipped += 1
+                    origin.server.stats.inc("replication_ops_shipped")
                 except (TransportError, RepositoryError):
-                    origin.server.stats.replication_failures += 1
+                    origin.server.stats.inc("replication_failures")
                     logger.warning(
                         "shipping %s#%d to %s failed", op.origin, op.seq, replica.name
                     )
@@ -215,7 +221,7 @@ class MyProxyCluster:
         self.detector.mark_down(dead)
         self._promotions[dead] = chosen.name
         self.failovers += 1
-        chosen.server.stats.failovers += 1
+        chosen.server.stats.inc("failovers")
         logger.info(
             "promoted %s in place of %s (applied %d/%d of its log)",
             chosen.name, dead, chosen.applied_seq(dead), self.nodes[dead].log.last_seq,
@@ -287,7 +293,7 @@ class MyProxyCluster:
         node_rows = {}
         for name, node in self.nodes.items():
             lag = self.replica_lag(name)
-            node.server.stats.replica_lag = lag
+            node.server.stats.set_gauge("replica_lag", lag)
             node_rows[name] = {
                 "alive": node.alive,
                 "state": self.detector.state(name),

@@ -23,7 +23,7 @@ import time
 from collections.abc import Callable, Mapping
 
 from repro.cluster.hashring import DEFAULT_VNODES, ConsistentHashRing
-from repro.core.client import MyProxyClient, RetryPolicy
+from repro.core.client import ClientStats, MyProxyClient, RetryPolicy
 from repro.pki.credentials import Credential
 from repro.pki.validation import ChainValidator
 from repro.util.clock import SYSTEM_CLOCK, Clock
@@ -86,6 +86,10 @@ class FailoverMyProxyClient:
         self.key_source = key_source
         self._sleep = sleep
         self._rng = rng
+        # One ClientStats shared by every per-operation client below, so
+        # retry/failover counts accumulate for the cluster client as a
+        # whole instead of dying with each short-lived MyProxyClient.
+        self.stats = ClientStats()
 
     def client_for(self, username: str) -> MyProxyClient:
         """A single-server client dialing ``username``'s shard first."""
@@ -106,6 +110,7 @@ class FailoverMyProxyClient:
             retry=self.retry,
             sleep=self._sleep,
             rng=self._rng,
+            stats=self.stats,
         )
 
     # -- the MyProxyClient call surface, routed per username ----------------

@@ -78,7 +78,7 @@ class ClusterNode:
                 apply_op(self.backend, op, self.secret)
                 self.applied[op.origin] = op.seq
                 applied += 1
-                self.server.stats.replication_ops_applied += 1
+                self.server.stats.inc("replication_ops_applied")
         return applied
 
     def applied_seq(self, origin: str) -> int:

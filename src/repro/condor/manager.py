@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.client import MyProxyClient
 from repro.core.protocol import DEFAULT_CRED_NAME, AuthMethod

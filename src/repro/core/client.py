@@ -33,6 +33,7 @@ from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass
 
 from repro.core.otp import OTPGenerator
+from repro.obs.registry import MetricsRegistry
 from repro.core.protocol import (
     DEFAULT_CRED_NAME,
     AuthMethod,
@@ -96,6 +97,55 @@ class RetryPolicy:
             yield cap * (1.0 - self.jitter * pick())
 
 
+#: ClientStats counter fields with their Prometheus names and help text.
+_CLIENT_COUNTERS: tuple[tuple[str, str, str], ...] = (
+    ("operations", "myproxy_client_operations_total",
+     "Protocol operations attempted (one per put/get/info/...)."),
+    ("dial_attempts", "myproxy_client_dial_attempts_total",
+     "Individual endpoint dials, including retries and fallbacks."),
+    ("transport_failures", "myproxy_client_transport_failures_total",
+     "Dials or conversations lost to transport/handshake failures."),
+    ("failovers", "myproxy_client_failovers_total",
+     "Operations that succeeded only after rotating past a failed dial."),
+    ("retry_rounds", "myproxy_client_retry_rounds_total",
+     "Backoff sleeps taken between full endpoint rounds."),
+    ("exhausted", "myproxy_client_exhausted_total",
+     "Operations that failed every endpoint in every round."),
+)
+
+
+class ClientStats:
+    """Retry/failover counters for a client, exact under concurrency.
+
+    A :class:`MyProxyClient` owns one by default; a failover-aware cluster
+    client shares one across the per-operation clients it builds, so the
+    counters survive each short-lived client (see
+    :class:`repro.cluster.failover.FailoverMyProxyClient`).
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(metric, help_text)
+            for name, metric, help_text in _CLIENT_COUNTERS
+        }
+
+    def inc(self, field: str, amount: int = 1) -> None:
+        counter = self._counters.get(field)
+        if counter is None:
+            raise AttributeError(f"ClientStats has no counter {field!r}")
+        counter.inc(amount)
+
+    def __getattr__(self, name: str):
+        counters = object.__getattribute__(self, "_counters")
+        if name in counters:
+            return counters[name].value
+        raise AttributeError(name)
+
+    def snapshot(self) -> dict:
+        return {name: self._counters[name].value for name, _, _ in _CLIENT_COUNTERS}
+
+
 @dataclass(frozen=True)
 class StoredCredentialInfo:
     """One row of a ``myproxy-info`` answer."""
@@ -125,6 +175,7 @@ class MyProxyClient:
         retry: RetryPolicy | None = None,
         sleep: Callable[[float], None] = time.sleep,
         rng: random.Random | None = None,
+        stats: ClientStats | None = None,
     ) -> None:
         self._target = target
         self.credential = credential
@@ -135,6 +186,9 @@ class MyProxyClient:
         self.retry = retry or RetryPolicy()
         self._sleep = sleep
         self._rng = rng
+        # Retry/failover accounting; pass a shared ClientStats to aggregate
+        # across several clients (e.g. one per cluster operation).
+        self.stats = stats if stats is not None else ClientStats()
 
     # -- plumbing -----------------------------------------------------------
 
@@ -158,21 +212,33 @@ class MyProxyClient:
         targets = (self._target, *self._fallbacks)
         backoffs = self.retry.backoffs(self._rng)
         last: Exception | None = None
+        self.stats.inc("operations")
+        rotated = False  # at least one dial already failed this operation
         for round_no in range(self.retry.rounds):
             if round_no:
+                self.stats.inc("retry_rounds")
                 self._sleep(next(backoffs))
             for target in targets:
+                self.stats.inc("dial_attempts")
                 try:
                     channel = self._connect(target)
                 except (TransportError, HandshakeError) as exc:
                     last = exc
+                    self.stats.inc("transport_failures")
+                    rotated = True
                     continue
                 try:
                     with channel:
-                        return conversation(channel)
+                        result = conversation(channel)
                 except (TransportError, HandshakeError) as exc:
                     last = exc
+                    self.stats.inc("transport_failures")
+                    rotated = True
                     continue
+                if rotated:
+                    self.stats.inc("failovers")
+                return result
+        self.stats.inc("exhausted")
         raise last if last is not None else TransportError("no targets to dial")
 
     @staticmethod

@@ -20,6 +20,11 @@ parses the same style into a :class:`~repro.core.policy.ServerPolicy`::
     kdf_iterations 20000
     disable_otp            # or disable_passphrase / disable_site / disable_renewal
 
+Observability (see :mod:`repro.obs`)::
+
+    slow_op_threshold 0.5   # seconds; log operations slower than this
+    metrics_port 9512       # serve Prometheus text at http://host:9512/metrics
+
 A clustered deployment (see :mod:`repro.cluster`) adds its membership in
 the same file::
 
@@ -55,7 +60,9 @@ _NUMBER_KEYS = {
     "default_delegation_lifetime_hours": 3600.0,
     "passphrase_min_length": None,  # integer, no unit
     "kdf_iterations": None,
+    "slow_op_threshold": None,  # seconds, no unit
 }
+_OBS_NUMBER_KEYS = ("metrics_port",)
 _FLAG_KEYS = (
     "passphrase_require_non_alpha",
     "disable_passphrase",
@@ -110,6 +117,9 @@ class ServerConfig:
 
     policy: ServerPolicy
     cluster: ClusterConfig | None = None
+    #: Port for the plain-HTTP Prometheus ``/metrics`` endpoint
+    #: (``metrics_port`` directive); ``None`` leaves it off.
+    metrics_port: int | None = None
 
 
 def _split_directive(line: str) -> tuple[str, str]:
@@ -176,6 +186,7 @@ def parse_config(text: str) -> ServerConfig:
     flags: set[str] = set()
     cluster_strings: dict[str, str] = {}
     cluster_numbers: dict[str, float] = {}
+    obs_numbers: dict[str, int] = {}
     peers: list[ClusterPeer] = []
 
     for lineno, raw in enumerate(text.splitlines(), start=1):
@@ -211,6 +222,13 @@ def parse_config(text: str) -> ServerConfig:
                 raise ConfigError(f"line {lineno}: {key} needs a number") from exc
             if cluster_numbers[key] <= 0:
                 raise ConfigError(f"line {lineno}: {key} must be positive")
+        elif key in _OBS_NUMBER_KEYS:
+            try:
+                obs_numbers[key] = int(value)
+            except ValueError as exc:
+                raise ConfigError(f"line {lineno}: {key} needs an integer") from exc
+            if not 0 < obs_numbers[key] < 65536:
+                raise ConfigError(f"line {lineno}: {key} must be a TCP port")
         else:
             raise ConfigError(f"line {lineno}: unknown directive {key!r}")
 
@@ -251,10 +269,14 @@ def parse_config(text: str) -> ServerConfig:
         allow_otp_auth="disable_otp" not in flags,
         allow_site_auth="disable_site" not in flags,
         allow_renewal_auth="disable_renewal" not in flags,
+        slow_op_threshold=float(
+            numbers.get("slow_op_threshold", defaults.slow_op_threshold)
+        ),
     )
     return ServerConfig(
         policy=policy,
         cluster=_parse_cluster(cluster_strings, cluster_numbers, peers),
+        metrics_port=obs_numbers.get("metrics_port"),
     )
 
 

@@ -39,12 +39,11 @@ import secrets
 import threading
 
 from repro.core.protocol import DEFAULT_CRED_NAME, AuthMethod, Request, Command
-from repro.core.repository import KEY_ENC_PASSPHRASE, KEY_ENC_SERVER, RepositoryEntry
+from repro.core.repository import KEY_ENC_PASSPHRASE, RepositoryEntry
 from repro.core.server import MyProxyServer
 from repro.pki.certs import Certificate
 from repro.pki.credentials import Credential
 from repro.pki.keys import FreshKeySource, KeyPair, KeySource, PublicKey
-from repro.pki.names import DistinguishedName
 from repro.pki.proxy import sign_proxy_request
 from repro.pki.validation import ValidatedIdentity
 from repro.util.errors import (
@@ -256,7 +255,7 @@ class MyProxyHttpGateway:
         issued = sign_proxy_request(
             stored, public_key, lifetime=lifetime, clock=server.clock
         )
-        server.stats.gets += 1
+        server.stats.inc("gets")
         server._audit_event(
             str(peer.identity), "GET", request.username, request.cred_name, True,
             f"HTTP binding, delegated until {issued.not_after:.0f}",
@@ -370,7 +369,7 @@ class MyProxyHttpGateway:
             key_pem_renewal=key_pem_renewal,
         )
         server.repository.put(entry)
-        server.stats.puts += 1
+        server.stats.inc("puts")
         server._audit_event(
             str(peer.identity), "PUT", request.username, request.cred_name, True,
             f"HTTP binding, stored until {entry.not_after:.0f}",
@@ -466,7 +465,6 @@ class HttpMyProxyClient:
         self.clock = clock or SYSTEM_CLOCK
 
     def _call(self, path: str, payload: dict) -> dict:
-        from repro.transport.links import Link
         from repro.web.client import SecureTransport
 
         target = self._target() if callable(self._target) else self._target

@@ -147,6 +147,12 @@ class ServerPolicy:
     max_failed_auths: int = 10
     lockout_window: float = 600.0
 
+    #: Operations slower than this many seconds land in the server's
+    #: structured slow-op log (``slow_op_threshold`` directive).  0
+    #: disables the log — the default, since embedded test servers have
+    #: no operator watching.
+    slow_op_threshold: float = 0.0
+
     def clamp_delegation_lifetime(self, requested: float) -> float:
         """Resolve a GET lifetime request against server policy."""
         if requested <= 0:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import threading
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.client import MyProxyClient
 from repro.core.protocol import DEFAULT_CRED_NAME, AuthMethod

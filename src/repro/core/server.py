@@ -33,12 +33,18 @@ be used as a user-name oracle.  The audit log records the precise reason.
 from __future__ import annotations
 
 import json
+import os
 import socket
 import threading
+import time
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 
 from repro.core.otp import OTPVerifier
+from repro.obs.exporter import MetricsExporter
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slowlog import SlowOpLog
 from repro.core.policy import ServerPolicy
 from repro.core.protocol import AuthMethod, Command, Request, Response
 from repro.core.repository import (
@@ -55,7 +61,6 @@ from repro.core.siteauth import verify_ticket
 from repro.gsi.acl import AccessControlList
 from repro.pki.credentials import Credential
 from repro.pki.keys import KeyPair, KeySource
-from repro.pki.names import DistinguishedName
 from repro.pki.validation import ChainValidator, ValidatedIdentity
 from repro.transport.channel import SecureChannel, accept_secure
 from repro.transport.delegation import accept_delegation, delegate_credential
@@ -75,6 +80,11 @@ from repro.util.errors import (
 from repro.util.logging import get_logger
 
 _GENERIC_DENIAL = "remote authorization/authentication failed"
+
+#: Every this-many recorded failures, sweep *all* lockout windows for
+#: stale entries — without it, a username/cred-name scan grows
+#: ``_failed_auths`` forever (only re-checked keys used to be pruned).
+_FAILED_AUTH_PRUNE_EVERY = 256
 
 logger = get_logger("core.server")
 
@@ -119,30 +129,107 @@ class AuditRecord:
         )
 
 
-@dataclass
-class ServerStats:
-    """Operation counters, consumed by the benchmark harness."""
+#: ServerStats counter fields, in snapshot order, with their Prometheus
+#: names and help strings.  The cluster fields cover replication (see
+#: repro.cluster): deliveries this node made as a primary, ops it applied
+#: as a replica, failed deliveries, and promotions it won.
+_STATS_COUNTERS: tuple[tuple[str, str, str], ...] = (
+    ("connections", "myproxy_connections_total", "Conversations accepted."),
+    ("handshake_failures", "myproxy_handshake_failures_total",
+     "Connections that failed mutual authentication."),
+    ("puts", "myproxy_puts_total", "Successful PUT commands."),
+    ("gets", "myproxy_gets_total", "Successful GET commands."),
+    ("stores", "myproxy_stores_total", "Successful STORE commands."),
+    ("retrieves", "myproxy_retrieves_total", "Successful RETRIEVE commands."),
+    ("denials", "myproxy_denials_total", "Requests refused (audited)."),
+    ("shed", "myproxy_shed_total",
+     "TCP connections dropped by the load-shedding limit."),
+    ("audit_write_failures", "myproxy_audit_write_failures_total",
+     "Audit records that could not be written to the persistent trail."),
+    ("replication_ops_shipped", "myproxy_replication_ops_shipped_total",
+     "Write ops this node delivered to replicas as a primary."),
+    ("replication_ops_applied", "myproxy_replication_ops_applied_total",
+     "Shipped ops this node applied as a replica."),
+    ("replication_failures", "myproxy_replication_failures_total",
+     "Failed deliveries to replicas."),
+    ("failovers", "myproxy_failovers_total", "Promotions this node won."),
+)
+#: Gauge fields: worst-case replication lag, refreshed by the cluster
+#: status sweep.
+_STATS_GAUGES: tuple[tuple[str, str, str], ...] = (
+    ("replica_lag", "myproxy_replica_lag", "Worst-case ops behind any peer."),
+)
+_STATS_FIELDS = frozenset(
+    [name for name, _, _ in _STATS_COUNTERS] + [name for name, _, _ in _STATS_GAUGES]
+)
 
-    connections: int = 0
-    handshake_failures: int = 0
-    puts: int = 0
-    gets: int = 0
-    stores: int = 0
-    retrieves: int = 0
-    denials: int = 0
-    shed: int = 0  # TCP connections dropped by the load-shedding limit
-    # Cluster replication counters (see repro.cluster): deliveries this
-    # node made as a primary, ops it applied as a replica, failed
-    # deliveries, promotions it won, and its current worst-case lag (a
-    # gauge, refreshed by the cluster status sweep).
-    replication_ops_shipped: int = 0
-    replication_ops_applied: int = 0
-    replication_failures: int = 0
-    failovers: int = 0
-    replica_lag: int = 0
+
+class ServerStats:
+    """Operation counters, consumed by the benchmark harness.
+
+    Backed by a :class:`~repro.obs.registry.MetricsRegistry`, so every
+    count is exact under concurrency.  Reading ``stats.puts`` still works
+    everywhere it used to; *mutation* goes through :meth:`inc` and
+    :meth:`set_gauge` — bare ``stats.puts += 1`` was a data race (a lost
+    read-modify-write under concurrent conversations) and now raises.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        object.__setattr__(self, "registry", registry)
+        object.__setattr__(
+            self,
+            "_counters",
+            {
+                name: registry.counter(metric, help_text)
+                for name, metric, help_text in _STATS_COUNTERS
+            },
+        )
+        object.__setattr__(
+            self,
+            "_gauges",
+            {
+                name: registry.gauge(metric, help_text)
+                for name, metric, help_text in _STATS_GAUGES
+            },
+        )
+
+    def inc(self, field: str, amount: int = 1) -> None:
+        """Atomically add to a counter field."""
+        counter = self._counters.get(field)
+        if counter is None:
+            raise AttributeError(f"ServerStats has no counter {field!r}")
+        counter.inc(amount)
+
+    def set_gauge(self, field: str, value: int | float) -> None:
+        gauge = self._gauges.get(field)
+        if gauge is None:
+            raise AttributeError(f"ServerStats has no gauge {field!r}")
+        gauge.set(value)
+
+    def __getattr__(self, name: str):
+        counters = object.__getattribute__(self, "_counters")
+        if name in counters:
+            return counters[name].value
+        gauges = object.__getattribute__(self, "_gauges")
+        if name in gauges:
+            return int(gauges[name].value)
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in _STATS_FIELDS:
+            raise AttributeError(
+                f"ServerStats.{name} is an atomic metric; use "
+                "stats.inc(...) / stats.set_gauge(...)"
+            )
+        object.__setattr__(self, name, value)
 
     def snapshot(self) -> dict:
-        return dict(self.__dict__)
+        snap = {name: self._counters[name].value for name, _, _ in _STATS_COUNTERS}
+        snap.update(
+            {name: int(self._gauges[name].value) for name, _, _ in _STATS_GAUGES}
+        )
+        return snap
 
 
 class MyProxyServer:
@@ -184,6 +271,8 @@ class MyProxyServer:
         audit_limit: int = 10_000,
         audit_path: str | None = None,
         max_concurrent_connections: int = 64,
+        metrics_registry: MetricsRegistry | None = None,
+        slow_op_threshold: float | None = None,
     ) -> None:
         if credential.key is None:
             raise CredentialError("the repository needs its private key to run")
@@ -195,7 +284,32 @@ class MyProxyServer:
         self.master_box = master_box or SecretBox()
         self.site_secrets = dict(site_secrets or {})
         self.key_source = key_source
-        self.stats = ServerStats()
+        # One registry carries every metric this server emits; ServerStats
+        # is a named-counter facade over it, and the latency histograms,
+        # slow-op log and /metrics endpoint all read the same source.
+        self.metrics: MetricsRegistry = (
+            metrics_registry if metrics_registry is not None else MetricsRegistry()
+        )
+        self.stats = ServerStats(self.metrics)
+        self._request_seconds = self.metrics.histogram(
+            "myproxy_request_seconds",
+            "Full conversation latency by protocol command.",
+            labelnames=("command",),
+        )
+        self._phase_seconds = self.metrics.histogram(
+            "myproxy_phase_seconds",
+            "Latency of one conversation phase "
+            "(handshake, verify_secret, delegation).",
+            labelnames=("phase",),
+        )
+        threshold = (
+            slow_op_threshold
+            if slow_op_threshold is not None
+            else self.policy.slow_op_threshold
+        )
+        self.slow_ops = SlowOpLog(threshold)
+        self._phase_local = threading.local()
+        self._metrics_exporter: MetricsExporter | None = None
         # Cluster membership (set by repro.cluster when this server joins a
         # replicated deployment; standalone servers keep the defaults).
         self.cluster_role: str = "standalone"
@@ -204,13 +318,11 @@ class MyProxyServer:
         self._audit_lock = threading.Lock()
         # Optional persistent audit trail (JSON lines, append-only, 0600):
         # the in-memory deque is bounded, but §5.1's "allows time for the
-        # intrusion to be detected" presumes a trail that survives.
+        # intrusion to be detected" presumes a trail that survives.  One
+        # handle for the server's lifetime — reopening per event made every
+        # denial pay a file open/close.
         self._audit_path = audit_path
-        if audit_path is not None:
-            import os as _os
-
-            fd = _os.open(audit_path, _os.O_WRONLY | _os.O_CREAT | _os.O_APPEND, 0o600)
-            _os.close(fd)
+        self._audit_file = self._open_audit_file() if audit_path is not None else None
         self._listener: ServiceThread | None = None
         self._listen_sock: socket.socket | None = None
         self._endpoint: tuple[str, int] | None = None
@@ -219,10 +331,15 @@ class MyProxyServer:
         # repository on a "tightly secured host" should degrade predictably,
         # not fall over).
         self._conn_slots = threading.BoundedSemaphore(max_concurrent_connections)
+        # Live connection-handler threads, so stop() can drain in-flight
+        # conversations instead of leaking sockets into the next test.
+        self._conn_threads: set[threading.Thread] = set()
+        self._conn_threads_lock = threading.Lock()
         # Online-guessing lockout state: (username, cred_name) → recent
         # failed-auth timestamps.
         self._failed_auths: dict[tuple[str, str], list[float]] = {}
         self._failed_lock = threading.Lock()
+        self._failed_prune_countdown = _FAILED_AUTH_PRUNE_EVERY
         # OTP verification is read-verify-advance on shared state; without
         # serialization, two concurrent logins presenting the *same* word
         # could both pass (a classic TOCTOU double-spend).
@@ -247,6 +364,8 @@ class MyProxyServer:
                 self.handle_link(SocketLink(conn))
             finally:
                 self._conn_slots.release()
+                with self._conn_threads_lock:
+                    self._conn_threads.discard(threading.current_thread())
 
         def _loop(stop_event: threading.Event) -> None:
             while not stop_event.is_set():
@@ -257,29 +376,75 @@ class MyProxyServer:
                 except OSError:
                     break
                 if not self._conn_slots.acquire(blocking=False):
-                    self.stats.shed += 1
+                    self.stats.inc("shed")
                     conn.close()
                     continue
                 conn.settimeout(30.0)
-                threading.Thread(
+                worker = threading.Thread(
                     target=_serve_conn,
                     args=(conn,),
                     daemon=True,
                     name="myproxy-conn",
-                ).start()
+                )
+                with self._conn_threads_lock:
+                    self._conn_threads.add(worker)
+                worker.start()
 
         self._listener = ServiceThread(_loop, "myproxy-listener")
         self._listener.start()
         logger.info("MyProxy server listening on %s:%d", *self._endpoint)
         return self._endpoint
 
-    def stop(self) -> None:
+    def start_metrics_endpoint(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> tuple[str, int]:
+        """Expose this server's registry at ``http://host:port/metrics``.
+
+        Plain HTTP (Prometheus text exposition), plus ``/slowlog`` and
+        ``/healthz``; stopped by :meth:`stop`.  Returns the bound endpoint.
+        """
+        if self._metrics_exporter is not None:
+            raise RuntimeError("metrics endpoint already running")
+        exporter = MetricsExporter(self.metrics, slow_log=self.slow_ops)
+        endpoint = exporter.start(host, port)
+        self._metrics_exporter = exporter
+        return endpoint
+
+    @property
+    def metrics_endpoint(self) -> tuple[str, int]:
+        if self._metrics_exporter is None:
+            raise RuntimeError("metrics endpoint is not running")
+        return self._metrics_exporter.endpoint
+
+    def stop(self, drain_timeout: float = 5.0) -> None:
         if self._listener is not None:
             self._listener.stop()
             self._listener = None
         if self._listen_sock is not None:
             self._listen_sock.close()
             self._listen_sock = None
+        # Drain in-flight conversations (bounded): tests and benchmarks
+        # must not leak handler threads or half-open sockets past stop().
+        deadline = time.monotonic() + drain_timeout
+        with self._conn_threads_lock:
+            live = list(self._conn_threads)
+        for worker in live:
+            worker.join(max(deadline - time.monotonic(), 0.0))
+            if worker.is_alive():
+                logger.warning(
+                    "connection thread %s still running after %.1fs drain",
+                    worker.name, drain_timeout,
+                )
+        if self._metrics_exporter is not None:
+            self._metrics_exporter.stop()
+            self._metrics_exporter = None
+        with self._audit_lock:
+            if self._audit_file is not None:
+                try:
+                    self._audit_file.close()
+                except OSError:  # pragma: no cover - close is best-effort
+                    pass
+                self._audit_file = None
 
     @property
     def endpoint(self) -> tuple[str, int]:
@@ -296,6 +461,13 @@ class MyProxyServer:
     # ------------------------------------------------------------------
     # audit
     # ------------------------------------------------------------------
+
+    def _open_audit_file(self):
+        """Open the persistent trail append-only with mode 0600."""
+        fd = os.open(
+            self._audit_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o600
+        )
+        return os.fdopen(fd, "a", encoding="utf-8")
 
     def _audit_event(
         self,
@@ -316,12 +488,20 @@ class MyProxyServer:
             detail=detail,
         )
         with self._audit_lock:
+            # The in-memory record lands first and unconditionally: a full
+            # disk must not mask the denial it was trying to record.
             self._audit.append(record)
             if self._audit_path is not None:
-                with open(self._audit_path, "a", encoding="utf-8") as fh:
-                    fh.write(record.to_json() + "\n")
+                try:
+                    if self._audit_file is None:  # reopened after stop()
+                        self._audit_file = self._open_audit_file()
+                    self._audit_file.write(record.to_json() + "\n")
+                    self._audit_file.flush()
+                except OSError:
+                    self.stats.inc("audit_write_failures")
+                    logger.exception("audit write failed; record kept in memory")
         if not ok:
-            self.stats.denials += 1
+            self.stats.inc("denials")
             logger.info("denied %s %s/%s from %s: %s", command, username, cred_name, peer, detail)
 
     def audit_log(self) -> list[AuditRecord]:
@@ -332,18 +512,37 @@ class MyProxyServer:
     # connection handling
     # ------------------------------------------------------------------
 
+    @contextmanager
+    def _observe_phase(self, phase: str):
+        """Time one conversation phase into the phase histogram.
+
+        The elapsed time is also collected into the per-conversation phase
+        map (thread-local, reset by :meth:`handle_link`) so a slow-op
+        record can show where a slow conversation spent its time.
+        """
+        timer = self._phase_seconds.labels(phase=phase).time()
+        try:
+            with timer:
+                yield timer
+        finally:
+            phases = getattr(self._phase_local, "phases", None)
+            if phases is not None:
+                phases[phase] = phases.get(phase, 0.0) + timer.elapsed
+
     def handle_link(self, link: Link) -> None:
         """Serve one complete conversation on ``link`` (any transport)."""
-        self.stats.connections += 1
+        self.stats.inc("connections")
+        self._phase_local.phases = {}
         try:
-            channel = accept_secure(
-                link,
-                self.credential,
-                self.validator,
-                allow_anonymous=self.policy.allow_anonymous_trustroots,
-            )
+            with self._observe_phase("handshake"):
+                channel = accept_secure(
+                    link,
+                    self.credential,
+                    self.validator,
+                    allow_anonymous=self.policy.allow_anonymous_trustroots,
+                )
         except ReproError as exc:
-            self.stats.handshake_failures += 1
+            self.stats.inc("handshake_failures")
             self._audit_event("<unauthenticated>", "handshake", "", "", False, str(exc))
             return
         try:
@@ -381,6 +580,7 @@ class MyProxyServer:
             Command.RETRIEVE: self._do_retrieve,
             Command.TRUSTROOTS: self._do_trustroots,
         }[request.command]
+        started = time.perf_counter()
         try:
             handler(channel, peer, request)
         except (AuthenticationError, AuthorizationError, NotFoundError) as exc:
@@ -403,6 +603,17 @@ class MyProxyServer:
                 str(exc),
             )
             channel.send(Response.failure(str(exc)).encode())
+        finally:
+            elapsed = time.perf_counter() - started
+            self._request_seconds.labels(command=request.command.name).observe(elapsed)
+            self.slow_ops.maybe_record(
+                at=self.clock.now(),
+                command=request.command.name,
+                username=request.username,
+                peer=peer_name,
+                duration=elapsed,
+                phases=getattr(self._phase_local, "phases", None),
+            )
 
     # ------------------------------------------------------------------
     # shared checks
@@ -420,7 +631,10 @@ class MyProxyServer:
         cutoff = self.clock.now() - self.policy.lockout_window
         with self._failed_lock:
             recent = [t for t in self._failed_auths.get(key, []) if t > cutoff]
-            self._failed_auths[key] = recent
+            if recent:
+                self._failed_auths[key] = recent
+            else:
+                self._failed_auths.pop(key, None)
             if len(recent) >= self.policy.max_failed_auths:
                 raise AuthenticationError(
                     f"too many failed authentications for {key[0]}/{key[1]}; "
@@ -430,6 +644,27 @@ class MyProxyServer:
     def _record_failed_auth(self, key: tuple[str, str]) -> None:
         with self._failed_lock:
             self._failed_auths.setdefault(key, []).append(self.clock.now())
+            # Periodically sweep *every* key: per-key pruning only fires on
+            # re-checked keys, so a scan over many usernames would grow
+            # this dict without bound.
+            self._failed_prune_countdown -= 1
+            if self._failed_prune_countdown <= 0:
+                self._prune_failed_auths_locked()
+
+    def _prune_failed_auths_locked(self) -> None:
+        cutoff = self.clock.now() - self.policy.lockout_window
+        for key in list(self._failed_auths):
+            recent = [t for t in self._failed_auths[key] if t > cutoff]
+            if recent:
+                self._failed_auths[key] = recent
+            else:
+                del self._failed_auths[key]
+        self._failed_prune_countdown = _FAILED_AUTH_PRUNE_EVERY
+
+    def _clear_failed_auths(self, key: tuple[str, str]) -> None:
+        """A successful authentication resets the key's lockout budget."""
+        with self._failed_lock:
+            self._failed_auths.pop(key, None)
 
     def _verify_secret(self, entry: RepositoryEntry, request: Request) -> RepositoryEntry:
         """Authenticate a request against an entry's stored secret state.
@@ -445,10 +680,13 @@ class MyProxyServer:
         key = (entry.username, entry.cred_name)
         self._check_lockout(key)
         try:
-            return self._verify_secret_inner(entry, request)
+            with self._observe_phase("verify_secret"):
+                verified = self._verify_secret_inner(entry, request)
         except AuthenticationError:
             self._record_failed_auth(key)
             raise
+        self._clear_failed_auths(key)
+        return verified
 
     def _verify_secret_inner(
         self, entry: RepositoryEntry, request: Request
@@ -558,7 +796,8 @@ class MyProxyServer:
         verifier, key_encryption = self._initial_verifier(request)
 
         channel.send(Response.success({"accepted": True}).encode())
-        delegated = accept_delegation(channel, key_source=self.key_source)
+        with self._observe_phase("delegation"):
+            delegated = accept_delegation(channel, key_source=self.key_source)
 
         # Post-delegation validation, answered by the commit response.
         try:
@@ -616,7 +855,7 @@ class MyProxyServer:
             )
             channel.send(Response.failure(str(exc)).encode())
             return
-        self.stats.puts += 1
+        self.stats.inc("puts")
         self._audit_event(
             str(peer.identity), "PUT", request.username, request.cred_name, True,
             f"stored until {entry.not_after:.0f}",
@@ -696,10 +935,11 @@ class MyProxyServer:
         channel.send(
             Response.success({"granted_lifetime": lifetime, "cred_name": entry.cred_name}).encode()
         )
-        issued = delegate_credential(
-            channel, stored, lifetime=lifetime, clock=self.clock
-        )
-        self.stats.gets += 1
+        with self._observe_phase("delegation"):
+            issued = delegate_credential(
+                channel, stored, lifetime=lifetime, clock=self.clock
+            )
+        self.stats.inc("gets")
         self._audit_event(
             str(peer.identity), "GET", request.username, request.cred_name, True,
             f"delegated until {issued.not_after:.0f} "
@@ -879,7 +1119,7 @@ class MyProxyServer:
             )
             channel.send(Response.failure(str(exc)).encode())
             return
-        self.stats.stores += 1
+        self.stats.inc("stores")
         self._audit_event(
             str(peer.identity), "STORE", request.username, request.cred_name, True,
             "long-term credential stored",
@@ -902,7 +1142,7 @@ class MyProxyServer:
                 )
         channel.send(Response.success({"long_term": True}).encode())
         channel.send(entry.key_pem)  # the original pass-phrase-encrypted PEM
-        self.stats.retrieves += 1
+        self.stats.inc("retrieves")
         self._audit_event(
             str(peer.identity), "RETRIEVE", request.username, request.cred_name, True,
             "long-term credential returned (key still encrypted)",

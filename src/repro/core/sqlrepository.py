@@ -18,7 +18,7 @@ import threading
 from pathlib import Path
 
 from repro.core.repository import CredentialRepository, RepositoryEntry
-from repro.util.errors import NotFoundError, RepositoryError
+from repro.util.errors import NotFoundError
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS credentials (

@@ -1,0 +1,48 @@
+"""Observability for the credential repository (§5.1, operationalized).
+
+The paper's security argument leans on the repository being *watchable*:
+"allows time for the intrusion to be detected".  This package is the
+watching machinery — a thread-safe metrics substrate shared by the server,
+the clients and the cluster:
+
+- :mod:`repro.obs.registry` — atomic counters, gauges and fixed-bucket
+  latency histograms (p50/p95/p99 readout), grouped in a
+  :class:`MetricsRegistry`;
+- :mod:`repro.obs.prometheus` — the text exposition format scrapers eat;
+- :mod:`repro.obs.slowlog` — a bounded structured log of operations that
+  exceeded a configured latency threshold;
+- :mod:`repro.obs.exporter` — a tiny plain-HTTP ``/metrics`` endpoint
+  (reusing :mod:`repro.web.http11`).
+
+Every primitive is exact under concurrency: N threads × M increments is
+N·M, always — the benchmark harness builds on these numbers.
+"""
+
+from repro.obs.exporter import MetricsExporter, fetch_metrics
+from repro.obs.prometheus import parse_exposition, render_prometheus
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Timer,
+)
+from repro.obs.slowlog import SlowOpLog, SlowOpRecord
+
+__all__ = [
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsExporter",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SlowOpLog",
+    "SlowOpRecord",
+    "Timer",
+    "fetch_metrics",
+    "parse_exposition",
+    "render_prometheus",
+]

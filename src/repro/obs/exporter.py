@@ -1,0 +1,188 @@
+"""A minimal plain-HTTP ``/metrics`` endpoint.
+
+Scrapers (Prometheus, curl, the ``myproxy-admin metrics`` CLI) poll this
+endpoint; it serves:
+
+- ``GET /metrics``  — the registry in text exposition format;
+- ``GET /slowlog``  — the slow-operation log as JSON lines;
+- ``GET /healthz``  — liveness probe (``ok``).
+
+The endpoint is intentionally *not* the MyProxy protocol port and speaks
+no GSI: metrics are operational metadata, never credential material, and
+a scrape must stay cheap (no handshake, no delegation).  Deployments that
+consider even metadata sensitive simply don't enable it — the server runs
+identically without.  HTTP parsing reuses :mod:`repro.web.http11`.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slowlog import SlowOpLog
+from repro.util.concurrency import ServiceThread
+from repro.util.errors import ProtocolError, TransportError
+from repro.util.logging import get_logger
+from repro.web.http11 import HttpParser, HttpResponse
+
+logger = get_logger("obs.exporter")
+
+
+class MetricsExporter:
+    """Serve a registry (and optionally a slow-op log) over plain HTTP."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        slow_log: SlowOpLog | None = None,
+        extra_text: object = None,
+    ) -> None:
+        self.registry = registry
+        self.slow_log = slow_log
+        # Optional callable returning extra exposition text appended to
+        # /metrics (e.g. a cluster coordinator contributing lag lines).
+        self._extra_text = extra_text
+        self._listener: ServiceThread | None = None
+        self._sock: socket.socket | None = None
+        self._endpoint: tuple[str, int] | None = None
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+
+    def _respond(self, path: str) -> HttpResponse:
+        if path == "/metrics":
+            text = render_prometheus(self.registry)
+            if self._extra_text is not None:
+                text += self._extra_text()
+            return HttpResponse(
+                status=200,
+                headers=[("Content-Type", CONTENT_TYPE)],
+                body=text.encode("utf-8"),
+            )
+        if path == "/slowlog":
+            body = (self.slow_log.to_json_lines() if self.slow_log else "").encode("utf-8")
+            return HttpResponse(
+                status=200,
+                headers=[("Content-Type", "application/json")],
+                body=body,
+            )
+        if path == "/healthz":
+            return HttpResponse(
+                status=200, headers=[("Content-Type", "text/plain")], body=b"ok\n"
+            )
+        return HttpResponse.error(404, "unknown metrics path")
+
+    def handle_request(self, method: str, path: str) -> HttpResponse:
+        if method != "GET":
+            return HttpResponse.error(405, "metrics endpoint is read-only")
+        return self._respond(path)
+
+    def _serve_conn(self, conn: socket.socket) -> None:
+        parser = HttpParser()
+        try:
+            with conn:
+                while True:
+                    request = parser.next_request()
+                    if request is None:
+                        chunk = conn.recv(65536)
+                        if not chunk:
+                            return
+                        parser.feed(chunk)
+                        continue
+                    response = self.handle_request(request.method, request.path)
+                    conn.sendall(response.serialize())
+                    if (request.header("Connection") or "").lower() == "keep-alive":
+                        continue
+                    return
+        except (OSError, ProtocolError):
+            return  # a broken scrape is the scraper's problem
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, port))
+        sock.listen(16)
+        sock.settimeout(0.2)
+        self._sock = sock
+        self._endpoint = sock.getsockname()
+
+        def _loop(stop_event: threading.Event) -> None:
+            while not stop_event.is_set():
+                try:
+                    conn, _addr = sock.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                conn.settimeout(5.0)
+                threading.Thread(
+                    target=self._serve_conn,
+                    args=(conn,),
+                    daemon=True,
+                    name="metrics-conn",
+                ).start()
+
+        self._listener = ServiceThread(_loop, "metrics-exporter")
+        self._listener.start()
+        logger.info("metrics endpoint on http://%s:%d/metrics", *self._endpoint)
+        return self._endpoint
+
+    def stop(self) -> None:
+        if self._listener is not None:
+            self._listener.stop()
+            self._listener = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        if self._endpoint is None:
+            raise RuntimeError("metrics exporter is not listening")
+        return self._endpoint
+
+
+def fetch_metrics(host: str, port: int, path: str = "/metrics", timeout: float = 5.0) -> str:
+    """One plain-HTTP GET against a metrics endpoint; returns the body text.
+
+    Used by ``myproxy-admin metrics`` and tests; deliberately dependency-
+    free (no urllib) so its failure modes are this package's own.
+    """
+    from repro.web.http11 import HttpRequest
+
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        request = HttpRequest.get(path, Host=f"{host}:{port}")
+        conn.sendall(request.serialize())
+        data = b""
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+            # A response is complete once headers + declared body are in.
+            head, sep, body = data.partition(b"\r\n\r\n")
+            if sep:
+                declared = 0
+                for line in head.decode("latin-1").split("\r\n")[1:]:
+                    name, colon, value = line.partition(":")
+                    if colon and name.strip().lower() == "content-length":
+                        declared = int(value.strip())
+                        break
+                if len(body) >= declared:
+                    break
+    from repro.web.http11 import HttpResponse as _Resp
+
+    response = _Resp.parse(data)
+    if response.status != 200:
+        raise TransportError(
+            f"metrics endpoint answered {response.status} for {path!r}"
+        )
+    return response.text

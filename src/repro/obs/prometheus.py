@@ -1,0 +1,117 @@
+"""Prometheus text exposition (format version 0.0.4).
+
+Renders a :class:`~repro.obs.registry.MetricsRegistry` into the plain-text
+format every Prometheus-compatible scraper understands::
+
+    # HELP myproxy_requests_total Completed protocol conversations.
+    # TYPE myproxy_requests_total counter
+    myproxy_requests_total{command="GET"} 42
+    # TYPE myproxy_request_seconds histogram
+    myproxy_request_seconds_bucket{command="GET",le="0.005"} 40
+    myproxy_request_seconds_bucket{command="GET",le="+Inf"} 42
+    myproxy_request_seconds_sum{command="GET"} 0.123
+    myproxy_request_seconds_count{command="GET"} 42
+
+Only the subset the registry can produce is implemented — no exemplars,
+no timestamps — which is exactly what the ``/metrics`` endpoint needs.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _labels_text(pairs: tuple[tuple[str, str], ...]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label(value)}"' for name, value in pairs)
+    return "{" + inner + "}"
+
+
+def _render_histogram(lines: list[str], name: str, labelpairs, histogram: Histogram) -> None:
+    counts = histogram.bucket_counts()
+    cumulative = 0
+    for bound, count in zip(histogram.buckets, counts):
+        cumulative += count
+        pairs = labelpairs + (("le", _format_value(float(bound))),)
+        lines.append(f"{name}_bucket{_labels_text(pairs)} {cumulative}")
+    cumulative += counts[-1]
+    pairs = labelpairs + (("le", "+Inf"),)
+    lines.append(f"{name}_bucket{_labels_text(pairs)} {cumulative}")
+    lines.append(f"{name}_sum{_labels_text(labelpairs)} {_format_value(histogram.sum)}")
+    lines.append(f"{name}_count{_labels_text(labelpairs)} {cumulative}")
+
+
+def parse_exposition(text: str) -> list[tuple[str, dict[str, str], float]]:
+    """Parse exposition text back into ``(name, labels, value)`` samples.
+
+    The inverse of :func:`render_prometheus` for the subset it emits —
+    used by ``myproxy-admin metrics`` to summarize a scrape.  Comment and
+    blank lines are skipped; malformed lines raise ``ValueError``.
+    """
+    samples: list[tuple[str, dict[str, str], float]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"malformed sample line {line!r}")
+        labels: dict[str, str] = {}
+        name = name_part
+        if name_part.endswith("}"):
+            name, brace, label_text = name_part.partition("{")
+            if not brace:
+                raise ValueError(f"malformed labels in {line!r}")
+            for item in label_text[:-1].split(","):
+                if not item:
+                    continue
+                key, eq, raw = item.partition("=")
+                if not eq or not raw.startswith('"') or not raw.endswith('"'):
+                    raise ValueError(f"malformed label {item!r}")
+                labels[key] = (
+                    raw[1:-1]
+                    .replace('\\"', '"')
+                    .replace("\\n", "\n")
+                    .replace("\\\\", "\\")
+                )
+        value = float("inf") if value_part == "+Inf" else float(value_part)
+        samples.append((name, labels, value))
+    return samples
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry's current state as exposition text (trailing newline)."""
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        children = family.children() if family.labelnames else [((), family.labels())]
+        for labelpairs, metric in children:
+            if isinstance(metric, Histogram):
+                _render_histogram(lines, family.name, tuple(labelpairs), metric)
+            else:
+                lines.append(
+                    f"{family.name}{_labels_text(tuple(labelpairs))} "
+                    f"{_format_value(metric.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,388 @@
+"""Thread-safe metric primitives and the registry that names them.
+
+Three metric kinds, following the Prometheus data model closely enough
+that :mod:`repro.obs.prometheus` can render them verbatim:
+
+- :class:`Counter` — monotonically increasing (denials, puts, retries);
+- :class:`Gauge` — settable point-in-time value (replica lag);
+- :class:`Histogram` — fixed upper-bound buckets with sum/count, plus a
+  percentile readout interpolated from the bucket counts.
+
+Metrics with label dimensions are created through a family:
+``registry.counter("myproxy_requests_total", labelnames=("command",))``
+returns a family whose ``labels(command="GET")`` yields one child per
+label combination.  Unlabeled metrics skip the family and are returned
+directly.
+
+Every mutation takes the metric's lock: an increment is a read-modify-
+write, and the whole point of this module is that *none* of those are
+lost under concurrency (the old ``ServerStats`` bag of bare ``+=`` was).
+A lock per metric keeps contention local — two different counters never
+serialize against each other.
+
+:data:`NULL_REGISTRY` is a no-op drop-in for paths that must shed even
+the locking cost; ``benchmarks/bench_metrics_overhead.py`` uses it to
+price the instrumentation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from collections.abc import Iterable, Mapping
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Timer",
+]
+
+#: Upper bounds (seconds) sized for this codebase's operations: a pipe
+#: round-trip is sub-millisecond, a TCP conversation with PBKDF2 sits in
+#: the tens of milliseconds, and anything past a few seconds is an outage.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing counter; ``inc`` is exact under threads."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go anywhere: set, add, subtract."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: int | float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> int | float:
+        with self._lock:
+            return self._value
+
+
+class Timer:
+    """Context manager that observes its wall time into a histogram.
+
+    The elapsed duration stays readable on :attr:`elapsed` after exit, so
+    callers can reuse the same measurement (e.g. for the slow-op log)
+    without reading the clock twice.
+    """
+
+    __slots__ = ("_histogram", "_started", "elapsed")
+
+    def __init__(self, histogram: "Histogram | _NullMetric") -> None:
+        self._histogram = histogram
+        self._started = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._started
+        self._histogram.observe(self.elapsed)
+
+
+class Histogram:
+    """Fixed-bucket latency histogram with percentile readout.
+
+    ``buckets`` are inclusive upper bounds; an implicit ``+Inf`` bucket
+    catches the rest.  Percentiles are estimated by linear interpolation
+    inside the bucket that holds the requested rank — exact enough for
+    p50/p95/p99 dashboards when the buckets are sized to the workload.
+    """
+
+    __slots__ = ("_lock", "buckets", "_counts", "_sum", "_count")
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self._lock = threading.Lock()
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # trailing slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        idx = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    def time(self) -> Timer:
+        return Timer(self)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> list[int]:
+        """Per-bucket observation counts (last slot is the +Inf bucket)."""
+        with self._lock:
+            return list(self._counts)
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``q`` in [0, 1]) from the buckets.
+
+        Returns 0.0 for an empty histogram.  Ranks landing in the +Inf
+        bucket report the largest finite bound (the histogram cannot know
+        more than that).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must lie in [0, 1]")
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return 0.0
+        rank = q * total
+        seen = 0.0
+        for idx, bucket_count in enumerate(counts):
+            if bucket_count == 0:
+                continue
+            if seen + bucket_count >= rank:
+                if idx >= len(self.buckets):
+                    return self.buckets[-1]
+                lower = self.buckets[idx - 1] if idx else 0.0
+                upper = self.buckets[idx]
+                fraction = (rank - seen) / bucket_count
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+            seen += bucket_count
+        return self.buckets[-1]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            total_sum = self._sum
+        return {
+            "count": total,
+            "sum": total_sum,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "buckets": {
+                **{f"{b:g}": c for b, c in zip(self.buckets, counts)},
+                "+Inf": counts[-1],
+            },
+        }
+
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+class MetricFamily:
+    """All children of one metric name, one per label combination."""
+
+    __slots__ = ("name", "kind", "help", "labelnames", "_factory", "_lock", "_children")
+
+    def __init__(self, name, kind, help_text, labelnames, factory) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._factory = factory
+        self._lock = threading.Lock()
+        self._children: dict[_LabelKey, object] = {}
+
+    def labels(self, **labelvalues: str):
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple((n, str(labelvalues[n])) for n in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._factory()
+            return child
+
+    def children(self) -> list[tuple[_LabelKey, object]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class MetricsRegistry:
+    """Named, typed metrics; the unit every exporter and snapshot reads.
+
+    Registration is idempotent: asking twice for the same name returns
+    the same object, and asking with a conflicting kind or label set is a
+    programming error surfaced immediately.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+
+    def _register(self, name, kind, help_text, labelnames, factory):
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(name, kind, help_text, labelnames, factory)
+                self._families[name] = family
+            elif family.kind != kind or family.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind} "
+                    f"with labels {family.labelnames}"
+                )
+        if not family.labelnames:
+            return family.labels()
+        return family
+
+    def counter(self, name: str, help_text: str = "", labelnames=()):
+        return self._register(name, "counter", help_text, labelnames, Counter)
+
+    def gauge(self, name: str, help_text: str = "", labelnames=()):
+        return self._register(name, "gauge", help_text, labelnames, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames=(),
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        bounds = tuple(buckets)
+        return self._register(
+            name, "histogram", help_text, labelnames, lambda: Histogram(bounds)
+        )
+
+    def families(self) -> list[MetricFamily]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly dump: counters/gauges to numbers, histograms
+        to their ``count/sum/p50/p95/p99/buckets`` summaries."""
+        out: dict = {}
+        for family in self.families():
+            def _value(metric):
+                if isinstance(metric, Histogram):
+                    return metric.snapshot()
+                return metric.value
+
+            if not family.labelnames:
+                out[family.name] = _value(family.labels())
+            else:
+                out[family.name] = {
+                    ",".join(f"{k}={v}" for k, v in key): _value(metric)
+                    for key, metric in family.children()
+                }
+        return out
+
+
+class _NullMetric:
+    """Accepts every metric operation and does nothing."""
+
+    __slots__ = ()
+
+    def inc(self, amount=1) -> None:
+        pass
+
+    def dec(self, amount=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+    def labels(self, **labelvalues) -> "_NullMetric":
+        return self
+
+    def time(self) -> Timer:
+        return Timer(self)
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    @property
+    def value(self) -> int:
+        return 0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    @property
+    def sum(self) -> float:
+        return 0.0
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """A registry whose metrics are all no-ops (instrumentation off)."""
+
+    def counter(self, name, help_text="", labelnames=()) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name, help_text="", labelnames=()) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name, help_text="", labelnames=(), buckets=()) -> _NullMetric:
+        return _NULL_METRIC
+
+    def families(self) -> list:
+        return []
+
+    def snapshot(self) -> Mapping:
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()

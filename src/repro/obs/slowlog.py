@@ -1,0 +1,104 @@
+"""Structured slow-operation log.
+
+An operation that took longer than the configured threshold gets one
+structured record: what ran, for whom, how long, and how the time split
+across phases (handshake / secret verification / delegation).  The log is
+a bounded in-memory deque plus a WARNING line, so a slow spell is visible
+both to a human tailing logs and to tooling reading records.
+
+A threshold of 0 (or less) disables recording — the default for embedded
+test servers; deployments set ``slow_op_threshold`` in the config file.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.util.logging import get_logger
+
+logger = get_logger("obs.slowlog")
+
+
+@dataclass(frozen=True)
+class SlowOpRecord:
+    """One operation that crossed the slow threshold."""
+
+    at: float
+    command: str
+    username: str
+    peer: str
+    duration: float
+    threshold: float
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "at": self.at,
+                "command": self.command,
+                "username": self.username,
+                "peer": self.peer,
+                "duration": round(self.duration, 6),
+                "threshold": self.threshold,
+                "phases": {k: round(v, 6) for k, v in sorted(self.phases.items())},
+            },
+            sort_keys=True,
+        )
+
+
+class SlowOpLog:
+    """Bounded, thread-safe collection of :class:`SlowOpRecord`."""
+
+    def __init__(self, threshold: float = 0.0, *, limit: int = 1000) -> None:
+        self.threshold = threshold
+        self._records: deque[SlowOpRecord] = deque(maxlen=limit)
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold > 0.0
+
+    def maybe_record(
+        self,
+        *,
+        at: float,
+        command: str,
+        username: str,
+        peer: str,
+        duration: float,
+        phases: dict[str, float] | None = None,
+    ) -> SlowOpRecord | None:
+        """Record the operation if it was slow; returns the record if so."""
+        if not self.enabled or duration < self.threshold:
+            return None
+        record = SlowOpRecord(
+            at=at,
+            command=command,
+            username=username,
+            peer=peer,
+            duration=duration,
+            threshold=self.threshold,
+            phases=dict(phases or {}),
+        )
+        with self._lock:
+            self._records.append(record)
+        logger.warning("slow op: %s", record.to_json())
+        return record
+
+    def records(self) -> list[SlowOpRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def to_json_lines(self) -> str:
+        return "".join(r.to_json() + "\n" for r in self.records())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

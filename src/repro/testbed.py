@@ -23,14 +23,13 @@ Typical use::
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.client import MyProxyClient, myproxy_init_from_longterm
 from repro.core.policy import ServerPolicy
 from repro.core.protocol import Response
 from repro.core.server import MyProxyServer
 from repro.grid.gram import GramClient, GramService
-from repro.grid.service import GsiService
 from repro.grid.storage import StorageClient, StorageService
 from repro.gsi.gridmap import GridMap
 from repro.pki.ca import CertificateAuthority
@@ -86,6 +85,7 @@ class GridTestbed:
         key_source: PooledKeySource | None = None,
         n_repositories: int = 1,
         myproxy_policy: ServerPolicy | None = None,
+        myproxy_metrics_registry=None,
         start_grid_services: bool = True,
     ) -> None:
         if transport not in ("pipe", "tcp"):
@@ -121,6 +121,7 @@ class GridTestbed:
                 policy=myproxy_policy,
                 clock=clock,
                 key_source=self.key_source,
+                metrics_registry=myproxy_metrics_registry,
             )
             self.myproxy_servers.append(server)
             self.myproxy_targets[f"repo-{i}"] = self._serve(server.handle_link, server)

@@ -1,0 +1,62 @@
+"""``myproxy-admin metrics`` against a live exporter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import myproxy_admin
+from repro.obs import MetricsExporter, MetricsRegistry, SlowOpLog
+
+
+@pytest.fixture()
+def endpoint():
+    registry = MetricsRegistry()
+    registry.counter("myproxy_gets_total", "Delegations served.").inc(12)
+    family = registry.histogram(
+        "myproxy_request_seconds", "Latency.", labelnames=("command",),
+        buckets=(0.01, 0.1, 1.0),
+    )
+    hist = family.labels(command="GET")
+    for value in (0.005, 0.05, 0.05, 0.5):
+        hist.observe(value)
+    slow = SlowOpLog(threshold=0.1)
+    slow.maybe_record(
+        at=1.0, command="GET", username="alice", peer="portal", duration=0.5
+    )
+    exporter = MetricsExporter(registry, slow_log=slow)
+    host, port = exporter.start("127.0.0.1", 0)
+    yield f"{host}:{port}"
+    exporter.stop()
+
+
+def test_raw_dump(endpoint, capsys):
+    assert myproxy_admin.main(["metrics", "--endpoint", endpoint, "--raw"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE myproxy_gets_total counter" in out
+    assert "myproxy_gets_total 12" in out
+
+
+def test_summary_includes_percentiles(endpoint, capsys):
+    assert myproxy_admin.main(["metrics", "--endpoint", endpoint]) == 0
+    out = capsys.readouterr().out
+    assert "myproxy_gets_total = 12" in out
+    line = next(l for l in out.splitlines() if "myproxy_request_seconds" in l)
+    assert 'command="GET"' in line
+    assert "count=4" in line
+    assert "p50=" in line and "p95=" in line and "p99=" in line
+    # No raw bucket samples leak into the summary view.
+    assert "_bucket" not in out
+
+
+def test_slowlog_dump(endpoint, capsys):
+    assert myproxy_admin.main(["metrics", "--endpoint", endpoint, "--slowlog"]) == 0
+    out = capsys.readouterr().out
+    assert '"command": "GET"' in out
+    assert '"duration": 0.5' in out
+
+
+def test_bad_endpoint_argument():
+    with pytest.raises(SystemExit):
+        myproxy_admin.main(["metrics", "--endpoint", "no-port"])
+    with pytest.raises(SystemExit):
+        myproxy_admin.main(["metrics", "--endpoint", "host:not-a-number"])

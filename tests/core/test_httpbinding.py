@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.httpbinding import HttpMyProxyClient, MyProxyHttpGateway
 from repro.core.protocol import AuthMethod
-from repro.pki.proxy import create_proxy
 from repro.transport.links import pipe_pair
 from repro.util.errors import AuthenticationError, HandshakeError
 

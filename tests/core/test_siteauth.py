@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.siteauth import SiteAuthority, verify_ticket
-from repro.util.clock import ManualClock
 from repro.util.errors import AuthenticationError
 
 

@@ -2,7 +2,6 @@
 
 import threading
 
-import pytest
 
 from repro.core.sqlrepository import SqliteRepository, open_repository
 from tests.core.test_repository import entry
@@ -61,7 +60,6 @@ class TestOpenRepository:
 class TestServedFromSqlite:
     def test_full_myproxy_flow_on_sqlite(self, tmp_path, key_pool, clock):
         """The server runs unchanged on the SQLite backend."""
-        from repro.core.client import myproxy_init_from_longterm
         from repro.testbed import GridTestbed
 
         tb = GridTestbed(clock=clock, key_source=key_pool)

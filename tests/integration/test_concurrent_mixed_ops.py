@@ -7,7 +7,6 @@ cross-user contamination occurs.
 
 import threading
 
-import pytest
 
 from repro.core.client import myproxy_init_from_longterm
 from repro.util.errors import ReproError

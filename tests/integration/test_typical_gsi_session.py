@@ -8,7 +8,6 @@ credential to the remote host.  The process running on the remote host
 could then further authenticate with GSI to other hosts."
 """
 
-import pytest
 
 from repro.grid.gram import JobSpec, JobState
 from repro.pki.proxy import create_proxy

@@ -1,0 +1,81 @@
+"""Text exposition: golden output, escaping, and the parser's round-trip."""
+
+from __future__ import annotations
+
+from repro.obs import MetricsRegistry, parse_exposition, render_prometheus
+from repro.obs.prometheus import CONTENT_TYPE
+
+GOLDEN = """\
+# HELP demo_lag Replication lag.
+# TYPE demo_lag gauge
+demo_lag 2
+# HELP demo_requests_total Requests served.
+# TYPE demo_requests_total counter
+demo_requests_total{command="GET"} 3
+# HELP demo_seconds Latency.
+# TYPE demo_seconds histogram
+demo_seconds_bucket{le="0.1"} 1
+demo_seconds_bucket{le="1"} 2
+demo_seconds_bucket{le="+Inf"} 3
+demo_seconds_sum 5.55
+demo_seconds_count 3
+"""
+
+
+def _demo_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    requests = registry.counter(
+        "demo_requests_total", "Requests served.", labelnames=("command",)
+    )
+    requests.labels(command="GET").inc(3)
+    registry.gauge("demo_lag", "Replication lag.").set(2)
+    seconds = registry.histogram("demo_seconds", "Latency.", buckets=(0.1, 1.0))
+    seconds.observe(0.05)
+    seconds.observe(0.5)
+    seconds.observe(5.0)
+    return registry
+
+
+def test_golden_exposition_text():
+    assert render_prometheus(_demo_registry()) == GOLDEN
+
+
+def test_content_type_is_prometheus_text():
+    assert "version=0.0.4" in CONTENT_TYPE
+
+
+def test_empty_registry_renders_empty():
+    assert render_prometheus(MetricsRegistry()) == ""
+
+
+def test_parse_round_trip():
+    samples = parse_exposition(GOLDEN)
+    as_dict = {(name, tuple(sorted(labels.items()))): value
+               for name, labels, value in samples}
+    assert as_dict[("demo_lag", ())] == 2
+    assert as_dict[("demo_requests_total", (("command", "GET"),))] == 3
+    assert as_dict[("demo_seconds_bucket", (("le", "+Inf"),))] == 3
+    assert as_dict[("demo_seconds_sum", ())] == 5.55
+    assert as_dict[("demo_seconds_count", ())] == 3
+
+
+def test_label_values_are_escaped_and_recovered():
+    registry = MetricsRegistry()
+    family = registry.counter("esc_total", labelnames=("who",))
+    tricky = 'alice "the admin"\nline two'
+    family.labels(who=tricky).inc()
+    text = render_prometheus(registry)
+    assert "\n" in tricky and '\\n' in text  # newline survived as an escape
+    [(name, labels, value)] = parse_exposition(
+        [line for line in text.splitlines() if not line.startswith("#")][0]
+    )
+    assert name == "esc_total"
+    assert labels == {"who": tricky}
+    assert value == 1
+
+
+def test_parse_rejects_garbage():
+    import pytest
+
+    with pytest.raises(ValueError):
+        parse_exposition('metric{oops} 1')

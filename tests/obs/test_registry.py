@@ -1,0 +1,198 @@
+"""The metric primitives: exactness under threads, buckets, percentiles."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+N_THREADS = 16
+OPS_PER_THREAD = 50
+
+
+def _hammer(n_threads: int, work) -> None:
+    barrier = threading.Barrier(n_threads)
+
+    def _run() -> None:
+        barrier.wait()
+        work()
+
+    threads = [threading.Thread(target=_run) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestCounter:
+    def test_exact_under_concurrency(self):
+        counter = Counter()
+
+        def work():
+            for _ in range(OPS_PER_THREAD):
+                counter.inc()
+
+        _hammer(N_THREADS, work)
+        assert counter.value == N_THREADS * OPS_PER_THREAD
+
+    def test_increment_amount(self):
+        counter = Counter()
+        counter.inc(5)
+        counter.inc(0.5)
+        assert counter.value == 5.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(3)
+        gauge.dec(5)
+        assert gauge.value == 8
+
+    def test_exact_under_concurrency(self):
+        gauge = Gauge()
+
+        def work():
+            for _ in range(OPS_PER_THREAD):
+                gauge.inc(2)
+                gauge.dec(1)
+
+        _hammer(N_THREADS, work)
+        assert gauge.value == N_THREADS * OPS_PER_THREAD
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_inclusive_upper_bounds(self):
+        hist = Histogram(buckets=(1.0, 2.0, 5.0))
+        hist.observe(0.5)   # -> le=1
+        hist.observe(1.0)   # boundary value belongs to its own bucket
+        hist.observe(1.5)   # -> le=2
+        hist.observe(7.0)   # -> +Inf
+        assert hist.bucket_counts() == [2, 1, 0, 1]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(10.0)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_percentiles_interpolate(self):
+        hist = Histogram(buckets=(1.0, 2.0, 4.0))
+        for value in (0.5,) * 50 + (1.5,) * 50:
+            hist.observe(value)
+        # Ranks split evenly across the first two buckets.
+        assert 0.0 < hist.percentile(0.25) <= 1.0
+        assert 1.0 <= hist.percentile(0.75) <= 2.0
+        assert hist.percentile(0.25) < hist.percentile(0.75)
+
+    def test_percentile_edge_cases(self):
+        hist = Histogram(buckets=(1.0, 2.0))
+        assert hist.percentile(0.5) == 0.0  # empty
+        hist.observe(100.0)  # lands in +Inf
+        assert hist.percentile(0.99) == 2.0  # clamped to largest finite bound
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_timer_observes_and_exposes_elapsed(self):
+        hist = Histogram(buckets=(10.0,))
+        with hist.time() as timer:
+            pass
+        assert hist.count == 1
+        assert timer.elapsed >= 0.0
+        assert hist.sum == pytest.approx(timer.elapsed)
+
+    def test_exact_under_concurrency(self):
+        hist = Histogram(buckets=(0.5, 1.5))
+
+        def work():
+            for _ in range(OPS_PER_THREAD):
+                hist.observe(1.0)
+
+        _hammer(N_THREADS, work)
+        assert hist.count == N_THREADS * OPS_PER_THREAD
+        assert hist.bucket_counts() == [0, N_THREADS * OPS_PER_THREAD, 0]
+
+    def test_snapshot_shape(self):
+        hist = Histogram(buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(3.0)
+        snap = hist.snapshot()
+        assert snap["count"] == 2
+        assert snap["sum"] == pytest.approx(3.5)
+        assert set(snap["buckets"]) == {"1", "2", "+Inf"}
+        assert snap["buckets"]["+Inf"] == 1
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total")
+        b = registry.counter("x_total")
+        assert a is b
+
+    def test_kind_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_label_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labelnames=("command",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", labelnames=("phase",))
+
+    def test_labels_validate_names(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", labelnames=("command",))
+        with pytest.raises(ValueError):
+            family.labels(nope="GET")
+        child = family.labels(command="GET")
+        assert family.labels(command="GET") is child
+
+    def test_snapshot_covers_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["c_total"] == 2
+        assert snap["g"] == 7
+        assert snap["h_seconds"]["count"] == 1
+
+    def test_labeled_snapshot_keys(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", labelnames=("command",))
+        family.labels(command="GET").inc()
+        assert registry.snapshot() == {"c_total": {"command=GET": 1}}
+
+
+class TestNullRegistry:
+    def test_everything_is_a_noop(self):
+        counter = NULL_REGISTRY.counter("x_total")
+        counter.inc(100)
+        assert counter.value == 0
+        hist = NULL_REGISTRY.histogram("h_seconds")
+        with hist.time():
+            pass
+        assert hist.count == 0
+        assert hist.labels(command="GET") is hist
+        assert NULL_REGISTRY.snapshot() == {}
+        assert NULL_REGISTRY.families() == []

@@ -1,0 +1,69 @@
+"""The slow-operation log: thresholds, bounds, JSON output."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import SlowOpLog
+
+
+def _record(log: SlowOpLog, duration: float, command: str = "GET"):
+    return log.maybe_record(
+        at=1_600_000_000.0,
+        command=command,
+        username="alice",
+        peer="/O=Grid/CN=portal",
+        duration=duration,
+        phases={"handshake": duration * 0.6, "verify_secret": duration * 0.3},
+    )
+
+
+def test_disabled_by_default():
+    log = SlowOpLog()
+    assert not log.enabled
+    assert _record(log, 100.0) is None
+    assert len(log) == 0
+
+
+def test_fast_ops_are_not_recorded():
+    log = SlowOpLog(threshold=0.5)
+    assert _record(log, 0.1) is None
+    assert len(log) == 0
+
+
+def test_slow_ops_are_recorded_with_phases():
+    log = SlowOpLog(threshold=0.5)
+    record = _record(log, 0.8)
+    assert record is not None
+    assert record.command == "GET"
+    assert record.duration == 0.8
+    assert record.threshold == 0.5
+    assert set(record.phases) == {"handshake", "verify_secret"}
+    assert log.records() == [record]
+
+
+def test_log_is_bounded():
+    log = SlowOpLog(threshold=0.1, limit=5)
+    for i in range(10):
+        _record(log, 1.0 + i)
+    assert len(log) == 5
+    # Oldest records fell off the front.
+    assert log.records()[0].duration == 6.0
+
+
+def test_json_lines_are_valid_json():
+    log = SlowOpLog(threshold=0.1)
+    _record(log, 0.9)
+    _record(log, 1.1, command="PUT")
+    lines = log.to_json_lines().strip().splitlines()
+    docs = [json.loads(line) for line in lines]
+    assert [d["command"] for d in docs] == ["GET", "PUT"]
+    assert docs[0]["phases"]["handshake"] == 0.54
+
+
+def test_clear():
+    log = SlowOpLog(threshold=0.1)
+    _record(log, 0.9)
+    log.clear()
+    assert len(log) == 0
+    assert log.to_json_lines() == ""

@@ -5,7 +5,6 @@ import pytest
 from repro.pki.ca import CaPolicy, CertificateAuthority, validate_crl
 from repro.pki.keys import KeyPair
 from repro.pki.names import DistinguishedName
-from repro.util.clock import ManualClock
 from repro.util.errors import PolicyError, ValidationError
 
 ALICE = DistinguishedName.grid_user("Grid", "Repro", "Alice")

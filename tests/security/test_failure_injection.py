@@ -14,7 +14,7 @@ from repro.core.protocol import Command, Request, Response
 from repro.transport.channel import connect_secure
 from repro.transport.links import pipe_pair
 from repro.util.concurrency import wait_for
-from repro.util.errors import ProtocolError, ReproError
+from repro.util.errors import ReproError
 
 PASS = "correct horse 42"
 

@@ -8,7 +8,6 @@ the damage that could be done with them would be significantly limited."
 
 import pytest
 
-from repro.core.client import MyProxyClient
 from repro.grid.gram import JobSpec
 from repro.pki.proxy import ProxyRestrictions, create_proxy
 from repro.util.errors import AuthorizationError

@@ -1,6 +1,5 @@
 """The repository queueing model, validated against M/M/c theory."""
 
-import math
 
 import pytest
 

@@ -7,7 +7,6 @@ PROTOCOL.md must be updated deliberately.
 
 import struct
 
-import pytest
 
 
 class TestFrameSpec:

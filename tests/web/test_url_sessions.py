@@ -57,7 +57,6 @@ class TestUrlRewriting:
         )
         sid = redirect.header("Location").partition("sid=")[2]
         # A later POST carries the sid as a hidden form field instead.
-        from repro.web.http11 import HttpRequest
 
         follow = browser.post("http://site/login", {"username": "ignored", "sid": sid},
                               follow_redirects=False)
