@@ -65,6 +65,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--slow-op-threshold", type=float, default=None, metavar="SECONDS",
         help="log operations slower than this (overrides slow_op_threshold)",
     )
+    parser.add_argument(
+        "--max-connections", type=int, default=64, metavar="N",
+        help="worker pool size: concurrent conversations served (default 64)",
+    )
+    parser.add_argument(
+        "--listen-backlog", type=int, default=None, metavar="N",
+        help="TCP accept backlog (overrides listen_backlog)",
+    )
+    parser.add_argument(
+        "--connection-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-connection socket timeout (overrides connection_timeout)",
+    )
+    parser.add_argument(
+        "--qos-rate", type=float, default=None, metavar="PER_SECOND",
+        help="base per-identity admission rate; 0 disables rate limiting "
+             "(overrides qos_rate)",
+    )
+    parser.add_argument(
+        "--qos-burst", type=float, default=None, metavar="TOKENS",
+        help="base per-identity burst capacity (overrides qos_burst)",
+    )
+    parser.add_argument(
+        "--qos-queue-depth", type=int, default=None, metavar="N",
+        help="admission queue bound; 0 disables queueing (overrides qos_queue_depth)",
+    )
+    parser.add_argument(
+        "--qos-queue-deadline", type=float, default=None, metavar="SECONDS",
+        help="shed connections queued longer than this (overrides qos_queue_deadline)",
+    )
+    parser.add_argument(
+        "--qos-class", action="append", default=None, metavar='"NAME WEIGHT DN_GLOB"',
+        help="weighted service class (repeatable; overrides qos_class directives)",
+    )
     return parser
 
 
@@ -86,6 +119,24 @@ def main(argv: list[str] | None = None) -> int:
             policy = ServerPolicy()
         if args.slow_op_threshold is not None:
             policy.slow_op_threshold = args.slow_op_threshold
+        if args.listen_backlog is not None:
+            policy.listen_backlog = args.listen_backlog
+        if args.connection_timeout is not None:
+            policy.connection_timeout = args.connection_timeout
+        if args.qos_rate is not None:
+            policy.qos_rate = args.qos_rate
+        if args.qos_burst is not None:
+            policy.qos_burst = args.qos_burst
+        if args.qos_queue_depth is not None:
+            policy.qos_queue_depth = args.qos_queue_depth
+        if args.qos_queue_deadline is not None:
+            policy.qos_queue_deadline = args.qos_queue_deadline
+        if args.qos_class:
+            from repro.core.config import _parse_qos_classes
+
+            policy.qos_classes = _parse_qos_classes(
+                list(enumerate(args.qos_class, start=1))
+            )
         if args.max_stored_lifetime_days is not None:
             policy.max_stored_lifetime = args.max_stored_lifetime_days * 86400.0
         if args.max_delegation_lifetime_hours is not None:
@@ -114,6 +165,7 @@ def main(argv: list[str] | None = None) -> int:
             policy=policy,
             audit_path=args.audit_file,
             master_box=master_box or SecretBox(),
+            max_concurrent_connections=args.max_connections,
         )
         if cluster_cfg is not None:
             server.cluster_role = "member"

@@ -14,6 +14,10 @@ A cluster client needs two things the single-server
 
 The client needs no failover *protocol*: promotion is server-side, and any
 node holding the user's replicated (still-encrypted) entry can serve it.
+
+A node that answers *busy* (see :mod:`repro.qos`) is not treated as dead:
+the underlying client honors the ``RETRY_AFTER`` hint against the same
+node, and only a genuine transport failure rotates the preference list.
 """
 
 from __future__ import annotations

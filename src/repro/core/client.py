@@ -54,6 +54,7 @@ from repro.util.errors import (
     AuthenticationError,
     HandshakeError,
     ProtocolError,
+    ServerBusyError,
     TransportError,
 )
 
@@ -75,6 +76,13 @@ class RetryPolicy:
     :class:`~repro.util.errors.HandshakeError` are retried — a server that
     *refuses* (wrong pass phrase, ACL denial) answers authoritatively and
     retrying would burn OTP words and lockout budget.
+
+    A *busy* answer (:class:`~repro.util.errors.ServerBusyError`, carrying
+    the server's ``RETRY_AFTER`` hint) is neither: the node is alive and
+    explicitly asked us to come back, so the client sleeps the hinted time
+    (capped at ``max_retry_after``) and retries the *same* target up to
+    ``busy_retries`` times before moving on — without counting a failover,
+    because nothing failed.
     """
 
     rounds: int = 1
@@ -82,12 +90,22 @@ class RetryPolicy:
     max_delay: float = 2.0
     multiplier: float = 2.0
     jitter: float = 0.5
+    #: Consecutive busy replies honored per target per operation before
+    #: the client gives up on that target for this round.
+    busy_retries: int = 3
+    #: Cap on a single honored ``RETRY_AFTER`` sleep — a confused server
+    #: must not be able to park a client for an hour.
+    max_retry_after: float = 30.0
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
             raise ValueError("retry policy needs at least one round")
         if not 0.0 <= self.jitter < 1.0:
             raise ValueError("jitter must lie in [0, 1)")
+        if self.busy_retries < 0:
+            raise ValueError("busy_retries must be non-negative")
+        if self.max_retry_after <= 0:
+            raise ValueError("max_retry_after must be positive")
 
     def backoffs(self, rng: random.Random | None = None) -> Iterator[float]:
         """The sleep before each retry round (``rounds - 1`` values)."""
@@ -109,6 +127,9 @@ _CLIENT_COUNTERS: tuple[tuple[str, str, str], ...] = (
      "Operations that succeeded only after rotating past a failed dial."),
     ("retry_rounds", "myproxy_client_retry_rounds_total",
      "Backoff sleeps taken between full endpoint rounds."),
+    ("busy_backoffs", "myproxy_client_busy_backoffs_total",
+     "Busy replies honored: slept the server's RETRY_AFTER, retried "
+     "the same target."),
     ("exhausted", "myproxy_client_exhausted_total",
      "Operations that failed every endpoint in every round."),
 )
@@ -208,6 +229,13 @@ class MyProxyClient:
         rotate onward.  Conversations must be safe to re-run from the top
         (every MyProxy command is: PUT/STORE replace the entry, GET/INFO
         are reads, DESTROY tolerates repetition server-side).
+
+        A :class:`~repro.util.errors.ServerBusyError` — the server's
+        graceful shed, pre- or post-handshake — is handled differently
+        from a failure: the node is alive, so the client sleeps the
+        hinted ``RETRY_AFTER`` and redials the *same* target (up to
+        ``retry.busy_retries`` times) instead of declaring it dead and
+        rotating.  Only a real transport failure marks a target failed.
         """
         targets = (self._target, *self._fallbacks)
         backoffs = self.retry.backoffs(self._rng)
@@ -219,31 +247,41 @@ class MyProxyClient:
                 self.stats.inc("retry_rounds")
                 self._sleep(next(backoffs))
             for target in targets:
-                self.stats.inc("dial_attempts")
-                try:
-                    channel = self._connect(target)
-                except (TransportError, HandshakeError) as exc:
-                    last = exc
-                    self.stats.inc("transport_failures")
-                    rotated = True
-                    continue
-                try:
-                    with channel:
-                        result = conversation(channel)
-                except (TransportError, HandshakeError) as exc:
-                    last = exc
-                    self.stats.inc("transport_failures")
-                    rotated = True
-                    continue
-                if rotated:
-                    self.stats.inc("failovers")
-                return result
+                busy_left = self.retry.busy_retries
+                while True:
+                    self.stats.inc("dial_attempts")
+                    try:
+                        channel = self._connect(target)
+                        with channel:
+                            result = conversation(channel)
+                    except ServerBusyError as exc:
+                        last = exc
+                        if busy_left <= 0:
+                            break  # this target stays "alive", move along
+                        busy_left -= 1
+                        self.stats.inc("busy_backoffs")
+                        self._sleep(
+                            min(exc.retry_after, self.retry.max_retry_after)
+                        )
+                        continue  # same target: busy is not failure
+                    except (TransportError, HandshakeError) as exc:
+                        last = exc
+                        self.stats.inc("transport_failures")
+                        rotated = True
+                        break
+                    if rotated:
+                        self.stats.inc("failovers")
+                    return result
         self.stats.inc("exhausted")
         raise last if last is not None else TransportError("no targets to dial")
 
     @staticmethod
     def _expect_ok(channel: SecureChannel) -> Response:
         response = Response.decode(channel.recv())
+        if response.busy:
+            raise ServerBusyError(
+                f"server busy: {response.error}", response.retry_after or 0.0
+            )
         if not response.ok:
             raise AuthenticationError(f"server refused: {response.error}")
         return response

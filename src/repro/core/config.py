@@ -25,6 +25,19 @@ Observability (see :mod:`repro.obs`)::
     slow_op_threshold 0.5   # seconds; log operations slower than this
     metrics_port 9512       # serve Prometheus text at http://host:9512/metrics
 
+Admission control and fairness (see :mod:`repro.qos`)::
+
+    listen_backlog 128          # TCP accept backlog (default 64)
+    connection_timeout 30       # per-connection socket timeout, seconds
+    qos_rate 10                 # base per-identity conversations/second
+    qos_burst 40                # base per-identity burst (0 = 2 x rate)
+    qos_queue_depth 64          # admission queue bound (0 = no queueing)
+    qos_queue_deadline 3        # shed connections queued longer, seconds
+    # weighted service classes: name, weight, DN glob (repeatable; first
+    # match wins; unmatched identities get the built-in default, weight 1)
+    qos_class "portal      8 /O=Grid/CN=host/portal.*"
+    qos_class "interactive 1 /O=Grid/OU=People/CN=*"
+
 A clustered deployment (see :mod:`repro.cluster`) adds its membership in
 the same file::
 
@@ -51,6 +64,7 @@ from pathlib import Path
 
 from repro.core.policy import PassphrasePolicy, ServerPolicy
 from repro.gsi.acl import AccessControlList
+from repro.qos.classes import ServiceClass
 from repro.util.errors import ConfigError
 
 _ACL_KEYS = ("accepted_credentials", "authorized_retrievers", "authorized_renewers")
@@ -61,7 +75,14 @@ _NUMBER_KEYS = {
     "passphrase_min_length": None,  # integer, no unit
     "kdf_iterations": None,
     "slow_op_threshold": None,  # seconds, no unit
+    "listen_backlog": None,
+    "connection_timeout": None,  # seconds, no unit
+    "qos_rate": None,  # tokens/second, no unit
+    "qos_burst": None,
+    "qos_queue_deadline": None,  # seconds, no unit
 }
+#: Numeric directives for which zero is meaningful ("feature off").
+_ZERO_OK_NUMBER_KEYS = ("qos_queue_depth",)
 _OBS_NUMBER_KEYS = ("metrics_port",)
 _FLAG_KEYS = (
     "passphrase_require_non_alpha",
@@ -166,6 +187,46 @@ def _parse_cluster(
     )
 
 
+def _parse_qos_classes(lines: list[tuple[int, str]]) -> tuple[ServiceClass, ...]:
+    """``qos_class "name weight dn_glob"`` lines → ordered service classes.
+
+    Repeating a name appends another pattern to that class (its weight must
+    not change).  Declaration order is resolution order (first match wins).
+    """
+    order: list[str] = []
+    weights: dict[str, float] = {}
+    patterns: dict[str, list[str]] = {}
+    for lineno, value in lines:
+        parts = value.split(None, 2)
+        if len(parts) != 3:
+            raise ConfigError(
+                f'line {lineno}: qos_class needs "name weight dn_glob", got {value!r}'
+            )
+        name, weight_text, pattern = parts
+        try:
+            weight = float(weight_text)
+        except ValueError as exc:
+            raise ConfigError(
+                f"line {lineno}: qos_class weight must be a number"
+            ) from exc
+        if weight <= 0:
+            raise ConfigError(f"line {lineno}: qos_class weight must be positive")
+        if name in weights:
+            if weights[name] != weight:
+                raise ConfigError(
+                    f"line {lineno}: qos_class {name!r} redeclared with a "
+                    f"different weight ({weights[name]:g} vs {weight:g})"
+                )
+        else:
+            order.append(name)
+            weights[name] = weight
+            patterns[name] = []
+        patterns[name].append(pattern)
+    return tuple(
+        ServiceClass(name, weights[name], tuple(patterns[name])) for name in order
+    )
+
+
 def _parse_peer(value: str, lineno: int) -> ClusterPeer:
     name, _, endpoint = value.partition(" ")
     host, sep, port = endpoint.strip().rpartition(":")
@@ -188,6 +249,7 @@ def parse_config(text: str) -> ServerConfig:
     cluster_numbers: dict[str, float] = {}
     obs_numbers: dict[str, int] = {}
     peers: list[ClusterPeer] = []
+    qos_class_lines: list[tuple[int, str]] = []
 
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
@@ -205,6 +267,17 @@ def parse_config(text: str) -> ServerConfig:
                 raise ConfigError(f"line {lineno}: {key} needs a number") from exc
             if numbers[key] <= 0:
                 raise ConfigError(f"line {lineno}: {key} must be positive")
+        elif key in _ZERO_OK_NUMBER_KEYS:
+            try:
+                numbers[key] = float(value)
+            except ValueError as exc:
+                raise ConfigError(f"line {lineno}: {key} needs a number") from exc
+            if numbers[key] < 0:
+                raise ConfigError(f"line {lineno}: {key} must be non-negative")
+        elif key == "qos_class":
+            if not value:
+                raise ConfigError(f'line {lineno}: qos_class needs "name weight dn_glob"')
+            qos_class_lines.append((lineno, value))
         elif key in _FLAG_KEYS:
             if value:
                 raise ConfigError(f"line {lineno}: {key} takes no value")
@@ -272,6 +345,19 @@ def parse_config(text: str) -> ServerConfig:
         slow_op_threshold=float(
             numbers.get("slow_op_threshold", defaults.slow_op_threshold)
         ),
+        listen_backlog=int(numbers.get("listen_backlog", defaults.listen_backlog)),
+        connection_timeout=float(
+            numbers.get("connection_timeout", defaults.connection_timeout)
+        ),
+        qos_rate=float(numbers.get("qos_rate", defaults.qos_rate)),
+        qos_burst=float(numbers.get("qos_burst", defaults.qos_burst)),
+        qos_queue_depth=int(
+            numbers.get("qos_queue_depth", defaults.qos_queue_depth)
+        ),
+        qos_queue_deadline=float(
+            numbers.get("qos_queue_deadline", defaults.qos_queue_deadline)
+        ),
+        qos_classes=_parse_qos_classes(qos_class_lines),
     )
     return ServerConfig(
         policy=policy,

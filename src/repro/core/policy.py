@@ -18,6 +18,7 @@ import re
 from dataclasses import dataclass, field
 
 from repro.gsi.acl import AccessControlList
+from repro.qos.classes import ClassMap, ServiceClass
 from repro.util.errors import PolicyError
 
 ONE_HOUR = 3600.0
@@ -152,6 +153,48 @@ class ServerPolicy:
     #: disables the log — the default, since embedded test servers have
     #: no operator watching.
     slow_op_threshold: float = 0.0
+
+    # -- serving-path QoS (see repro.qos) -------------------------------
+
+    #: TCP listen backlog (``listen_backlog`` directive) — was a magic 64
+    #: in ``start()``.
+    listen_backlog: int = 64
+
+    #: Per-connection socket timeout in seconds (``connection_timeout``
+    #: directive) — was a magic 30.0 on every accepted socket.
+    connection_timeout: float = 30.0
+
+    #: Base per-identity admission rate, tokens (≈ conversations) per
+    #: second, scaled by the identity's service-class weight.  0 disables
+    #: rate limiting entirely (the default — a lone test server has no
+    #: noisy neighbours).
+    qos_rate: float = 0.0
+
+    #: Base per-identity burst capacity; 0 means "auto": twice the rate,
+    #: but at least 4 tokens, so short bursts ride through untouched.
+    qos_burst: float = 0.0
+
+    #: Bound on connections waiting for a worker; beyond it new arrivals
+    #: are shed with a busy reply.  0 disables queueing (every arrival
+    #: needing a worker that is not free is shed immediately).
+    qos_queue_depth: int = 64
+
+    #: Longest a connection may wait in the admission queue before it is
+    #: shed rather than served stale (seconds).
+    qos_queue_deadline: float = 3.0
+
+    #: Weighted service classes (``qos_class`` directives), resolved
+    #: first-match-wins against the authenticated base identity.
+    qos_classes: tuple[ServiceClass, ...] = ()
+
+    def qos_class_map(self) -> ClassMap:
+        return ClassMap(self.qos_classes)
+
+    def effective_qos_burst(self) -> float:
+        """The configured burst, or the auto default derived from the rate."""
+        if self.qos_burst > 0:
+            return self.qos_burst
+        return max(2.0 * self.qos_rate, 4.0)
 
     def clamp_delegation_lifetime(self, requested: float) -> float:
         """Resolve a GET lifetime request against server policy."""

@@ -28,7 +28,9 @@ RENEWERS            PUT only: comma-separated DN globs enabling §6.6
 NEW_PASSPHRASE      CHANGE_PASSPHRASE only
 ==================  =======================================================
 
-Responses carry ``RESPONSE=0`` (OK) or ``RESPONSE=1`` plus ``ERROR``, and
+Responses carry ``RESPONSE=0`` (OK), ``RESPONSE=1`` plus ``ERROR``, or
+``RESPONSE=2`` plus ``RETRY_AFTER`` — the *busy* reply a loaded server
+sends instead of silently dropping the connection (see :mod:`repro.qos`);
 INFO replies append ``INFO`` with a JSON document.  After an OK response to
 ``PUT``/``GET``/``STORE``/``RETRIEVE``, the corresponding credential
 transfer runs on the same secure channel (see
@@ -178,11 +180,24 @@ class Request:
 
 @dataclass(frozen=True)
 class Response:
-    """A decoded server response."""
+    """A decoded server response.
+
+    Three outcomes: OK, error, or *busy* — ``RESPONSE=2`` with a
+    ``RETRY_AFTER`` hint in seconds, sent by an overloaded server before it
+    tears the connection down so the client can back off intelligently
+    instead of treating the node as dead.
+    """
 
     ok: bool
     error: str = ""
     info: dict = field(default_factory=dict)
+    #: Seconds the client should wait before retrying; only present on a
+    #: busy (``RESPONSE=2``) reply.
+    retry_after: float | None = None
+
+    @property
+    def busy(self) -> bool:
+        return self.retry_after is not None
 
     @classmethod
     def success(cls, info: dict | None = None) -> Response:
@@ -192,13 +207,25 @@ class Response:
     def failure(cls, error: str) -> Response:
         return cls(ok=False, error=error)
 
+    @classmethod
+    def busy_reply(cls, retry_after: float, error: str = "server busy") -> Response:
+        if retry_after < 0:
+            raise ProtocolError("RETRY_AFTER must be non-negative")
+        return cls(ok=False, error=error, retry_after=retry_after)
+
     def encode(self) -> bytes:
+        if self.busy:
+            code = "2"
+        else:
+            code = "0" if self.ok else "1"
         fields: dict[str, str] = {
             "VERSION": PROTOCOL_VERSION,
-            "RESPONSE": "0" if self.ok else "1",
+            "RESPONSE": code,
         }
         if self.error:
             fields["ERROR"] = self.error.replace("\n", " ")
+        if self.retry_after is not None:
+            fields["RETRY_AFTER"] = f"{self.retry_after:.3f}"
         if self.info:
             fields["INFO"] = json.dumps(self.info, sort_keys=True)
         return encode_kv(fields)
@@ -211,7 +238,7 @@ class Response:
                 f"unsupported protocol version {fields.get('VERSION')!r}"
             )
         code = fields.get("RESPONSE")
-        if code not in ("0", "1"):
+        if code not in ("0", "1", "2"):
             raise ProtocolError(f"malformed RESPONSE {code!r}")
         info_raw = fields.get("INFO", "")
         try:
@@ -220,4 +247,17 @@ class Response:
             raise ProtocolError("malformed INFO payload") from exc
         if not isinstance(info, dict):
             raise ProtocolError("INFO payload must be a JSON object")
-        return cls(ok=code == "0", error=fields.get("ERROR", ""), info=info)
+        retry_after: float | None = None
+        if code == "2":
+            try:
+                retry_after = float(fields["RETRY_AFTER"])
+            except (KeyError, ValueError) as exc:
+                raise ProtocolError("busy response needs a RETRY_AFTER") from exc
+            if retry_after < 0:
+                raise ProtocolError("RETRY_AFTER must be non-negative")
+        return cls(
+            ok=code == "0",
+            error=fields.get("ERROR", ""),
+            info=info,
+            retry_after=retry_after,
+        )

@@ -62,8 +62,10 @@ from repro.gsi.acl import AccessControlList
 from repro.pki.credentials import Credential
 from repro.pki.keys import KeyPair, KeySource
 from repro.pki.validation import ChainValidator, ValidatedIdentity
+from repro.qos import AdmissionQueue, ClassMap, RateLimiter
 from repro.transport.channel import SecureChannel, accept_secure
 from repro.transport.delegation import accept_delegation, delegate_credential
+from repro.transport.handshake import send_busy_notice
 from repro.transport.links import Link, SocketLink
 from repro.util.clock import SYSTEM_CLOCK, Clock
 from repro.util.concurrency import ServiceThread
@@ -85,6 +87,12 @@ _GENERIC_DENIAL = "remote authorization/authentication failed"
 #: stale entries — without it, a username/cred-name scan grows
 #: ``_failed_auths`` forever (only re-checked keys used to be pruned).
 _FAILED_AUTH_PRUNE_EVERY = 256
+
+#: The pre-handshake per-address bucket is this many times looser than the
+#: heaviest per-identity bucket: one portal address multiplexes many users,
+#: so the address brake exists to stop floods, not to enforce fairness
+#: (that happens post-handshake, once the DN is known).
+_ANON_FANIN = 4.0
 
 logger = get_logger("core.server")
 
@@ -326,15 +334,45 @@ class MyProxyServer:
         self._listener: ServiceThread | None = None
         self._listen_sock: socket.socket | None = None
         self._endpoint: tuple[str, int] | None = None
-        # Load shedding: beyond this many in-flight conversations, new TCP
-        # connections are closed before any crypto is spent on them (a
-        # repository on a "tightly secured host" should degrade predictably,
-        # not fall over).
-        self._conn_slots = threading.BoundedSemaphore(max_concurrent_connections)
-        # Live connection-handler threads, so stop() can drain in-flight
-        # conversations instead of leaking sockets into the next test.
-        self._conn_threads: set[threading.Thread] = set()
-        self._conn_threads_lock = threading.Lock()
+        # -- QoS serving path (repro.qos) ------------------------------
+        # A fixed pool of this many workers drains a bounded admission
+        # queue; beyond it, new connections are shed with a busy notice
+        # before any crypto is spent on them (a repository on a "tightly
+        # secured host" should degrade predictably, not fall over).
+        self.max_concurrent_connections = max_concurrent_connections
+        self._class_map: ClassMap = self.policy.qos_class_map()
+        # Post-handshake per-DN fairness and the pre-handshake per-address
+        # flood brake keep separate tables: a noisy address must not be
+        # able to spend an authenticated identity's budget, or vice versa.
+        self._identity_limiter = RateLimiter()
+        self._anon_limiter = RateLimiter()
+        self._admission: AdmissionQueue | None = None
+        self._workers: list[threading.Thread] = []
+        self._workers_stop = threading.Event()
+        self._sweeper: ServiceThread | None = None
+        self._shed_reason_total = self.metrics.counter(
+            "myproxy_shed_reason_total",
+            "Connections shed on the admission path, by reason.",
+            labelnames=("reason",),
+        )
+        self._qos_admitted_total = self.metrics.counter(
+            "myproxy_qos_admitted_total",
+            "Conversations admitted past QoS, by service class.",
+            labelnames=("qclass",),
+        )
+        self._qos_queue_depth = self.metrics.gauge(
+            "myproxy_qos_queue_depth",
+            "Connections currently waiting in the admission queue.",
+        )
+        self._qos_inflight = self.metrics.gauge(
+            "myproxy_qos_inflight",
+            "Conversations currently being served.",
+        )
+        self._admission_wait_seconds = self.metrics.histogram(
+            "myproxy_qos_admission_wait_seconds",
+            "Time a connection spent in the admission queue before being "
+            "served or shed.",
+        )
         # Online-guessing lockout state: (username, cred_name) → recent
         # failed-auth timestamps.
         self._failed_auths: dict[tuple[str, str], list[float]] = {}
@@ -350,50 +388,173 @@ class MyProxyServer:
     # ------------------------------------------------------------------
 
     def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
-        """Listen on TCP and serve until :meth:`stop`.  Returns endpoint."""
+        """Listen on TCP and serve until :meth:`stop`.  Returns endpoint.
+
+        Serving is a fixed pool of ``max_concurrent_connections`` workers
+        fed by a bounded admission queue (see :mod:`repro.qos`): the
+        accept loop only ever classifies and enqueues, workers do the
+        crypto, and a sweeper sheds entries that overrun the queue
+        deadline while every worker is pinned.  Anything refused on this
+        path gets a busy notice naming a retry time — never a bare close.
+        """
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         sock.bind((host, port))
-        sock.listen(64)
+        sock.listen(self.policy.listen_backlog)
         sock.settimeout(0.2)
         self._listen_sock = sock
         self._endpoint = sock.getsockname()
 
-        def _serve_conn(conn: socket.socket) -> None:
-            try:
-                self.handle_link(SocketLink(conn))
-            finally:
-                self._conn_slots.release()
-                with self._conn_threads_lock:
-                    self._conn_threads.discard(threading.current_thread())
+        queue = AdmissionQueue(
+            self.policy.qos_queue_depth,
+            self.policy.qos_queue_deadline,
+            depth_gauge=self._qos_queue_depth,
+        )
+        self._admission = queue
 
-        def _loop(stop_event: threading.Event) -> None:
+        # Pre-handshake flood brake: per peer address, deliberately loose
+        # (_ANON_FANIN × the heaviest class) because the DN is not known
+        # yet — fairness proper happens post-handshake in _admit_channel.
+        anon_rate = anon_burst = 0.0
+        if self.policy.qos_rate > 0:
+            heaviest = self._class_map.max_weight()
+            anon_rate = self.policy.qos_rate * heaviest * _ANON_FANIN
+            anon_burst = (
+                self.policy.effective_qos_burst() * heaviest * _ANON_FANIN
+            )
+
+        def _accept_loop(stop_event: threading.Event) -> None:
             while not stop_event.is_set():
                 try:
-                    conn, _addr = sock.accept()
+                    conn, addr = sock.accept()
                 except socket.timeout:
                     continue
                 except OSError:
                     break
-                if not self._conn_slots.acquire(blocking=False):
-                    self.stats.inc("shed")
-                    conn.close()
-                    continue
-                conn.settimeout(30.0)
-                worker = threading.Thread(
-                    target=_serve_conn,
-                    args=(conn,),
-                    daemon=True,
-                    name="myproxy-conn",
-                )
-                with self._conn_threads_lock:
-                    self._conn_threads.add(worker)
-                worker.start()
+                peer = f"{addr[0]}:{addr[1]}"
+                if anon_rate > 0:
+                    retry = self._anon_limiter.check(addr[0], anon_rate, anon_burst)
+                    if retry > 0:
+                        self._shed_socket(conn, peer, "rate_limited", retry)
+                        continue
+                if not queue.offer((conn, peer)):
+                    self._shed_socket(
+                        conn, peer, "no_slots", queue.suggest_retry_after()
+                    )
 
-        self._listener = ServiceThread(_loop, "myproxy-listener")
+        def _sweep_loop(stop_event: threading.Event) -> None:
+            # Check often enough that a shed lands well within a deadline.
+            interval = min(max(queue.deadline / 4.0, 0.02), 0.25)
+            while not stop_event.wait(interval):
+                for ticket in queue.pop_expired():
+                    conn, peer = ticket.item
+                    self._admission_wait_seconds.observe(ticket.waited)
+                    self._shed_socket(
+                        conn, peer, "queue_deadline", queue.suggest_retry_after()
+                    )
+
+        self._workers_stop.clear()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(queue, self._workers_stop),
+                daemon=True,
+                name=f"myproxy-worker-{i}",
+            )
+            for i in range(self.max_concurrent_connections)
+        ]
+        for worker in self._workers:
+            worker.start()
+        self._sweeper = ServiceThread(_sweep_loop, "myproxy-qos-sweeper")
+        self._sweeper.start()
+        self._listener = ServiceThread(_accept_loop, "myproxy-listener")
         self._listener.start()
-        logger.info("MyProxy server listening on %s:%d", *self._endpoint)
+        logger.info(
+            "MyProxy server listening on %s:%d (%d workers, queue depth %d)",
+            *self._endpoint,
+            self.max_concurrent_connections,
+            self.policy.qos_queue_depth,
+        )
         return self._endpoint
+
+    def _worker_loop(self, queue: AdmissionQueue, stop: threading.Event) -> None:
+        """Serve queued connections until told to stop."""
+        while not stop.is_set():
+            ticket = queue.take(timeout=0.2)
+            if ticket is None:
+                continue
+            conn, peer = ticket.item
+            self._admission_wait_seconds.observe(ticket.waited)
+            if ticket.expired:
+                self._shed_socket(
+                    conn, peer, "queue_deadline", queue.suggest_retry_after()
+                )
+                continue
+            try:
+                conn.settimeout(self.policy.connection_timeout)
+                self.handle_link(SocketLink(conn))
+            except Exception:
+                logger.exception("unhandled error serving %s", peer)
+            finally:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - close is best-effort
+                    pass
+
+    def _shed_socket(
+        self, conn: socket.socket, peer: str, reason: str, retry_after: float
+    ) -> None:
+        """Refuse a connection on the admission path, politely.
+
+        Every shed is counted (the aggregate plus a by-reason counter),
+        audited, and told when to come back — the busy notice rides the
+        handshake framing, so the client surfaces it as
+        :class:`~repro.util.errors.ServerBusyError` instead of a reset.
+        """
+        self.stats.inc("shed")
+        self._shed_reason_total.labels(reason=reason).inc()
+        self._audit_event(
+            peer, "ADMISSION", "", "", False,
+            f"shed ({reason}); retry in {retry_after:.3f}s",
+            count_denial=False,
+        )
+        try:
+            send_busy_notice(SocketLink(conn), retry_after)
+        except OSError:  # pragma: no cover - peer already gone
+            pass
+        self._graceful_close(conn)
+
+    @staticmethod
+    def _graceful_close(conn: socket.socket) -> None:
+        """Drain-then-close so a shed burst does not become an RST storm.
+
+        A straight ``close()`` with unread bytes in the kernel receive
+        buffer — the client's hello usually landed before we decided to
+        shed — makes the kernel answer with RST, which clobbers the busy
+        notice still sitting in the send buffer.  Shut down our write
+        side, read off whatever the peer had in flight for a bounded
+        moment, then close.
+        """
+        try:
+            conn.shutdown(socket.SHUT_WR)
+        except OSError:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+            return
+        try:
+            conn.settimeout(0.25)
+            for _ in range(8):  # bounded: a chatty peer must not pin us
+                if not conn.recv(4096):
+                    break
+        except OSError:
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
 
     def start_metrics_endpoint(
         self, host: str = "127.0.0.1", port: int = 0
@@ -423,18 +584,32 @@ class MyProxyServer:
         if self._listen_sock is not None:
             self._listen_sock.close()
             self._listen_sock = None
+        if self._sweeper is not None:
+            self._sweeper.stop()
+            self._sweeper = None
+        # Connections still queued are quietly closed: the server going
+        # away IS a transport failure, and failover clients should treat
+        # it as one (unlike a busy shed, which must not trigger failover).
+        if self._admission is not None:
+            for ticket in self._admission.close():
+                conn, _peer = ticket.item
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - close is best-effort
+                    pass
+            self._admission = None
         # Drain in-flight conversations (bounded): tests and benchmarks
-        # must not leak handler threads or half-open sockets past stop().
+        # must not leak worker threads or half-open sockets past stop().
+        self._workers_stop.set()
         deadline = time.monotonic() + drain_timeout
-        with self._conn_threads_lock:
-            live = list(self._conn_threads)
-        for worker in live:
+        for worker in self._workers:
             worker.join(max(deadline - time.monotonic(), 0.0))
             if worker.is_alive():
                 logger.warning(
-                    "connection thread %s still running after %.1fs drain",
+                    "worker %s still serving after %.1fs drain",
                     worker.name, drain_timeout,
                 )
+        self._workers = []
         if self._metrics_exporter is not None:
             self._metrics_exporter.stop()
             self._metrics_exporter = None
@@ -477,7 +652,12 @@ class MyProxyServer:
         cred_name: str,
         ok: bool,
         detail: str,
+        *,
+        count_denial: bool = True,
     ) -> None:
+        # count_denial=False is for QoS sheds: they are audited like any
+        # refusal but counted under ``shed``, not ``denials`` — denials
+        # measure authorization decisions, sheds measure load.
         record = AuditRecord(
             at=self.clock.now(),
             peer=peer,
@@ -500,9 +680,11 @@ class MyProxyServer:
                 except OSError:
                     self.stats.inc("audit_write_failures")
                     logger.exception("audit write failed; record kept in memory")
-        if not ok:
+        if not ok and count_denial:
             self.stats.inc("denials")
             logger.info("denied %s %s/%s from %s: %s", command, username, cred_name, peer, detail)
+        elif not ok:
+            logger.info("shed %s from %s: %s", command, peer, detail)
 
     def audit_log(self) -> list[AuditRecord]:
         with self._audit_lock:
@@ -532,27 +714,78 @@ class MyProxyServer:
     def handle_link(self, link: Link) -> None:
         """Serve one complete conversation on ``link`` (any transport)."""
         self.stats.inc("connections")
+        self._qos_inflight.inc()
         self._phase_local.phases = {}
         try:
-            with self._observe_phase("handshake"):
-                channel = accept_secure(
-                    link,
-                    self.credential,
-                    self.validator,
-                    allow_anonymous=self.policy.allow_anonymous_trustroots,
+            try:
+                with self._observe_phase("handshake"):
+                    channel = accept_secure(
+                        link,
+                        self.credential,
+                        self.validator,
+                        allow_anonymous=self.policy.allow_anonymous_trustroots,
+                    )
+            except ReproError as exc:
+                self.stats.inc("handshake_failures")
+                self._audit_event(
+                    "<unauthenticated>", "handshake", "", "", False, str(exc)
                 )
-        except ReproError as exc:
-            self.stats.inc("handshake_failures")
-            self._audit_event("<unauthenticated>", "handshake", "", "", False, str(exc))
-            return
-        try:
-            self._serve_channel(channel)
-        except (TransportError, ProtocolError) as exc:
-            self._audit_event(
-                str(channel.peer.identity), "conversation", "", "", False, str(exc)
-            )
+                return
+            try:
+                if not self._admit_channel(channel):
+                    return
+                self._serve_channel(channel)
+            except (TransportError, ProtocolError) as exc:
+                self._audit_event(
+                    str(channel.peer.identity), "conversation", "", "", False, str(exc)
+                )
+            finally:
+                channel.close()
         finally:
-            channel.close()
+            self._qos_inflight.dec()
+
+    def _admit_channel(self, channel: SecureChannel) -> bool:
+        """Per-identity fairness, applied once the handshake names the peer.
+
+        The authenticated base identity resolves to its service class;
+        rate and burst scale with the class weight, so a portal's shared
+        DN gets proportionally more admission budget than one interactive
+        user (§3's many-users-behind-one-portal shape).  This runs in
+        :meth:`handle_link` so every transport — TCP or an embedded test
+        link — is covered.  A refusal answers with the busy reply over
+        the secure channel: the noisy identity alone is told to back
+        off; nobody else's bucket is touched.
+        """
+        peer = channel.peer
+        if peer is None:
+            # Anonymous TRUSTROOTS channels have no DN to bill; in TCP
+            # mode they already passed the per-address flood brake.
+            self._qos_admitted_total.labels(qclass="anonymous").inc()
+            return True
+        subject = str(peer.identity.base_identity())
+        qclass = self._class_map.resolve(subject)
+        if self.policy.qos_rate > 0:
+            retry = self._identity_limiter.check(
+                (qclass.name, subject),
+                self.policy.qos_rate * qclass.weight,
+                self.policy.effective_qos_burst() * qclass.weight,
+            )
+            if retry > 0:
+                self.stats.inc("shed")
+                self._shed_reason_total.labels(reason="rate_limited").inc()
+                self._audit_event(
+                    str(peer.identity), "ADMISSION", "", "", False,
+                    f"rate limited (class {qclass.name}); "
+                    f"retry in {retry:.3f}s",
+                    count_denial=False,
+                )
+                try:
+                    channel.send(Response.busy_reply(retry).encode())
+                except TransportError:  # pragma: no cover - peer gone
+                    pass
+                return False
+        self._qos_admitted_total.labels(qclass=qclass.name).inc()
+        return True
 
     def _serve_channel(self, channel: SecureChannel) -> None:
         peer = channel.peer

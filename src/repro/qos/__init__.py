@@ -1,0 +1,38 @@
+"""Quality of service for the repository's serving path.
+
+The paper's deployment shape (§3, Figure 3) funnels many web users through
+a few portal identities hammering one repository.  Under that fan-in an
+unprotected server has exactly two failure modes: fall over, or silently
+drop connections that one noisy client caused.  This package provides the
+three mechanisms a serving stack needs to degrade *predictably* instead:
+
+- :mod:`repro.qos.bucket` — per-identity token buckets
+  (:class:`TokenBucket`, :class:`RateLimiter`), so one portal cannot starve
+  every other client of the repository's crypto budget;
+- :mod:`repro.qos.classes` — weighted service classes
+  (:class:`ServiceClass`, :class:`ClassMap`) assigned by ACL-style DN
+  patterns, so a portal serving thousands of web users is *allowed* a
+  proportionally larger share than an interactive user;
+- :mod:`repro.qos.admission` — a bounded admission queue with deadlines
+  (:class:`AdmissionQueue`) in front of a fixed worker pool, so bursts
+  queue briefly instead of being dropped, and requests that would wait
+  longer than their deadline are shed early with a ``RETRY_AFTER`` hint.
+
+The package is deliberately free of :mod:`repro.core` imports — it deals in
+subject strings, clocks and duck-typed gauges, and is wired into the server
+by :class:`repro.core.server.MyProxyServer`.
+"""
+
+from repro.qos.admission import AdmissionQueue, AdmissionTicket
+from repro.qos.bucket import RateLimiter, TokenBucket
+from repro.qos.classes import DEFAULT_CLASS, ClassMap, ServiceClass
+
+__all__ = [
+    "DEFAULT_CLASS",
+    "AdmissionQueue",
+    "AdmissionTicket",
+    "ClassMap",
+    "RateLimiter",
+    "ServiceClass",
+    "TokenBucket",
+]

@@ -1,0 +1,130 @@
+"""Token buckets and the keyed rate-limiter table built on them.
+
+A :class:`TokenBucket` answers one question — *may this request proceed
+now, and if not, when is it worth retrying?* — which is exactly the
+``RETRY_AFTER`` field of the busy protocol response.  The refill arithmetic
+is lazy (no timer thread): tokens accrue as a function of elapsed time at
+acquisition, so an idle bucket costs nothing.
+
+:class:`RateLimiter` keys buckets by an arbitrary hashable (an
+authenticated DN, a peer IP address) and prunes entries that have been idle
+longer than ``max_idle`` so an address scan cannot grow the table without
+bound — the same discipline the server applies to its failed-auth lockout
+windows.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+__all__ = ["RateLimiter", "TokenBucket"]
+
+#: Sweep the bucket table for idle entries every this many checks.
+_PRUNE_EVERY = 512
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``try_acquire`` returns ``0.0`` when the request is admitted, otherwise
+    the number of seconds until the requested tokens will have refilled —
+    the natural ``RETRY_AFTER`` hint for the caller to pass back to a
+    client.  Thread-safe; time is injectable for deterministic tests.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_stamp", "_timefunc", "_lock")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        timefunc: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("token bucket rate must be positive")
+        if burst < 1:
+            raise ValueError("token bucket burst must be at least one token")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._timefunc = timefunc
+        self._stamp = timefunc()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self) -> None:
+        now = self._timefunc()
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` if available; return 0.0, else seconds to wait."""
+        with self._lock:
+            self._refill_locked()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return 0.0
+            return (tokens - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill_locked()
+            return self._tokens
+
+
+class RateLimiter:
+    """Per-key token buckets with idle-entry pruning.
+
+    ``check(key, rate, burst)`` admits or refuses one request for ``key``;
+    the rate/burst travel with the call (they depend on the key's service
+    class, which the caller resolved) and a bucket whose configured shape
+    changed is rebuilt in place, so reconfiguration does not need a
+    restart.
+    """
+
+    def __init__(
+        self,
+        *,
+        timefunc: Callable[[], float] = time.monotonic,
+        max_idle: float = 300.0,
+    ) -> None:
+        self._timefunc = timefunc
+        self._max_idle = max_idle
+        self._lock = threading.Lock()
+        self._buckets: dict[object, tuple[TokenBucket, float]] = {}
+        self._prune_countdown = _PRUNE_EVERY
+
+    def check(self, key: object, rate: float, burst: float) -> float:
+        """Charge one request to ``key``; 0.0 = admitted, else retry-after.
+
+        A non-positive ``rate`` means "unlimited" and always admits.
+        """
+        if rate <= 0:
+            return 0.0
+        now = self._timefunc()
+        with self._lock:
+            entry = self._buckets.get(key)
+            if entry is None or entry[0].rate != rate or entry[0].burst != burst:
+                bucket = TokenBucket(rate, burst, timefunc=self._timefunc)
+            else:
+                bucket = entry[0]
+            self._buckets[key] = (bucket, now)
+            self._prune_countdown -= 1
+            if self._prune_countdown <= 0:
+                self._prune_locked(now)
+        return bucket.try_acquire()
+
+    def _prune_locked(self, now: float) -> None:
+        cutoff = now - self._max_idle
+        for key in [k for k, (_, used) in self._buckets.items() if used < cutoff]:
+            del self._buckets[key]
+        self._prune_countdown = _PRUNE_EVERY
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buckets)

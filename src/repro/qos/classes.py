@@ -1,0 +1,86 @@
+"""Weighted service classes assigned by ACL-style DN patterns.
+
+The §3 portal flow makes one identity (the portal's host credential) speak
+for thousands of web users, while an interactive ``myproxy-get-delegation``
+speaks for one.  Giving both the same per-identity rate either starves the
+portal or lets any single user consume a portal-sized share.  Service
+classes resolve that: the config assigns DN patterns to named classes with
+a *weight*, and each identity's token bucket is scaled by its class weight::
+
+    qos_class "portal       8 /O=Grid/CN=host/portal.*"
+    qos_class "admin        4 /O=Grid/OU=Ops/CN=*"
+    qos_class "interactive  1 *"
+
+Patterns are the same shell-style globs over the slash-form base identity
+that the §5.1 ACLs use; first match wins, and unmatched identities fall to
+the built-in ``default`` class (weight 1).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+__all__ = ["DEFAULT_CLASS", "ClassMap", "ServiceClass"]
+
+
+@dataclass(frozen=True)
+class ServiceClass:
+    """One named class: a weight plus the DN globs that select it."""
+
+    name: str
+    weight: float = 1.0
+    patterns: tuple[str, ...] = ("*",)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("service class needs a name")
+        if self.weight <= 0:
+            raise ValueError(f"service class {self.name!r} weight must be positive")
+        if not self.patterns:
+            raise ValueError(f"service class {self.name!r} needs at least one pattern")
+
+    def matches(self, subject: str) -> bool:
+        return any(fnmatch.fnmatchcase(subject, p) for p in self.patterns)
+
+
+#: Where identities land when no configured class matches.
+DEFAULT_CLASS = ServiceClass("default", 1.0, ("*",))
+
+
+class ClassMap:
+    """Ordered subject → :class:`ServiceClass` resolution (first match wins)."""
+
+    def __init__(
+        self,
+        classes: Iterable[ServiceClass] = (),
+        *,
+        default: ServiceClass = DEFAULT_CLASS,
+    ) -> None:
+        self.classes = tuple(classes)
+        self.default = default
+        seen: set[str] = set()
+        for cls in self.classes:
+            if cls.name in seen:
+                raise ValueError(f"duplicate service class {cls.name!r}")
+            seen.add(cls.name)
+
+    def resolve(self, subject: str) -> ServiceClass:
+        """The first class whose patterns match the slash-form subject."""
+        for cls in self.classes:
+            if cls.matches(subject):
+                return cls
+        return self.default
+
+    def max_weight(self) -> float:
+        """The heaviest configured weight (≥ the default's).
+
+        Used to size the pre-handshake per-address bucket: an address
+        fronting the heaviest class must not be throttled below what that
+        class could legitimately consume.
+        """
+        return max([self.default.weight, *(c.weight for c in self.classes)])
+
+    def __bool__(self) -> bool:
+        return bool(self.classes)

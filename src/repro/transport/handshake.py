@@ -46,7 +46,13 @@ from repro.transport.kdf import (
 from repro.transport.links import Link
 from repro.transport.records import ContentType, RecordReader, RecordWriter
 from repro.util.encoding import pack_fields, unpack_fields
-from repro.util.errors import HandshakeError, IntegrityError, TransportError, ValidationError
+from repro.util.errors import (
+    HandshakeError,
+    IntegrityError,
+    ServerBusyError,
+    TransportError,
+    ValidationError,
+)
 
 PROTOCOL_VERSION = b"GSIv1"
 
@@ -83,6 +89,14 @@ class HandshakeResult:
     reader: RecordReader
 
 
+#: HF reason prefix announcing load shedding rather than a protocol fault.
+#: The busy notice must be speakable *before* any key material exists (the
+#: whole point of pre-handshake shedding is to spend no crypto on the
+#: connection), so it rides the plaintext HF abort alongside the encrypted
+#: in-protocol ``RESPONSE=2`` busy reply.
+_BUSY_PREFIX = "busy RETRY_AFTER="
+
+
 def _fail(link: Link, reason: str) -> None:
     """Best-effort failure notice to the peer, then raise."""
     try:
@@ -92,13 +106,42 @@ def _fail(link: Link, reason: str) -> None:
     raise HandshakeError(reason)
 
 
+def send_busy_notice(link: Link, retry_after: float) -> None:
+    """Tell a not-yet-handshaken peer the server is shedding load.
+
+    Best-effort: the peer may already be gone.  The client's handshake
+    surfaces this as :class:`~repro.util.errors.ServerBusyError` carrying
+    the retry hint, distinct from any transport failure.
+    """
+    try:
+        link.send_frame(
+            pack_fields(
+                [_T_FAILURE, f"{_BUSY_PREFIX}{max(retry_after, 0.0):.3f}".encode()]
+            )
+        )
+    except TransportError:
+        pass
+
+
+def _raise_peer_abort(detail: str) -> None:
+    if detail.startswith(_BUSY_PREFIX):
+        try:
+            retry_after = float(detail[len(_BUSY_PREFIX):])
+        except ValueError:
+            retry_after = 1.0
+        raise ServerBusyError(
+            f"server is shedding load; retry in {retry_after:.3f}s", retry_after
+        )
+    raise HandshakeError(f"peer aborted handshake: {detail}")
+
+
 def _expect(message: bytes, expected_type: bytes, link: Link) -> list[bytes]:
     fields = unpack_fields(message)
     if not fields:
         _fail(link, "empty handshake message")
     if fields[0] == _T_FAILURE:
         detail = fields[1].decode("utf-8", "replace") if len(fields) > 1 else "unknown"
-        raise HandshakeError(f"peer aborted handshake: {detail}")
+        _raise_peer_abort(detail)
     if fields[0] != expected_type:
         _fail(
             link,

@@ -56,6 +56,20 @@ class ProtocolError(ReproError):
     """A peer sent a message that violates the application protocol."""
 
 
+class ServerBusyError(ReproError):
+    """The server shed this request under load and named a retry time.
+
+    Deliberately *not* a :class:`TransportError`: a busy reply is an
+    authoritative, healthy answer from a live server — clients must honor
+    ``retry_after`` against the *same* node rather than failing over, or a
+    partially overloaded cluster stampedes its remaining members.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = max(float(retry_after), 0.0)
+
+
 class AuthenticationError(ReproError):
     """The presented identity proof (pass phrase, OTP, ticket) is wrong."""
 

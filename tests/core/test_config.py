@@ -108,3 +108,71 @@ class TestConfigDrivenServer:
         assert tb.myproxy_init(
             user, passphrase="long enough for fifteen", lifetime=86400.0
         ).ok
+
+
+class TestQosDirectives:
+    QOS = """
+listen_backlog 128
+connection_timeout 12
+qos_rate 10
+qos_burst 40
+qos_queue_depth 16
+qos_queue_deadline 1.5
+qos_class "portal      8 /O=Grid/CN=host/portal.*"
+qos_class "interactive 1 *"
+"""
+
+    def test_qos_knobs_parsed(self):
+        policy = parse_server_config(self.QOS)
+        assert policy.listen_backlog == 128
+        assert policy.connection_timeout == 12.0
+        assert policy.qos_rate == 10.0
+        assert policy.qos_burst == 40.0
+        assert policy.qos_queue_depth == 16
+        assert policy.qos_queue_deadline == 1.5
+
+    def test_classes_resolve_in_declaration_order(self):
+        policy = parse_server_config(self.QOS)
+        cmap = policy.qos_class_map()
+        assert cmap.resolve("/O=Grid/CN=host/portal.x.org").name == "portal"
+        assert cmap.resolve("/O=Grid/CN=host/portal.x.org").weight == 8.0
+        assert cmap.resolve("/O=Grid/OU=People/CN=Alice").name == "interactive"
+
+    def test_defaults_leave_qos_off(self):
+        policy = parse_server_config("")
+        assert policy.qos_rate == 0.0  # rate limiting disabled
+        assert policy.qos_queue_depth == 64
+        assert policy.listen_backlog == 64
+        assert policy.connection_timeout == 30.0
+        assert policy.effective_qos_burst() == 4.0  # auto floor
+
+    def test_repeated_class_appends_patterns(self):
+        policy = parse_server_config(
+            'qos_class "ops 4 /O=Grid/OU=Ops/CN=*"\n'
+            'qos_class "ops 4 /O=Grid/OU=Oncall/CN=*"\n'
+        )
+        (ops,) = policy.qos_classes
+        assert ops.patterns == ("/O=Grid/OU=Ops/CN=*", "/O=Grid/OU=Oncall/CN=*")
+
+    def test_class_weight_conflict_refused(self):
+        with pytest.raises(ConfigError, match="redeclared"):
+            parse_server_config(
+                'qos_class "ops 4 /O=Grid/OU=Ops/CN=*"\n'
+                'qos_class "ops 2 /O=Grid/OU=Oncall/CN=*"\n'
+            )
+
+    def test_malformed_class_line_refused(self):
+        with pytest.raises(ConfigError, match="qos_class"):
+            parse_server_config('qos_class "portal 8"\n')
+        with pytest.raises(ConfigError, match="weight"):
+            parse_server_config('qos_class "portal heavy /O=*"\n')
+
+    def test_queue_depth_zero_allowed_but_negative_refused(self):
+        assert parse_server_config("qos_queue_depth 0\n").qos_queue_depth == 0
+        with pytest.raises(ConfigError):
+            parse_server_config("qos_queue_depth -1\n")
+
+    def test_zero_rate_refused_use_default_off(self):
+        # qos_rate is a positive-number directive; "off" is its absence.
+        with pytest.raises(ConfigError):
+            parse_server_config("qos_rate 0\n")

@@ -184,15 +184,16 @@ class TestAuditHandle:
 
 
 class TestStopDrains:
-    def test_no_connection_threads_survive_stop(self, server):
+    def test_no_worker_threads_survive_stop(self, server):
         host, port = server.start("127.0.0.1", 0)
         # A connection the handshake will reject quickly...
         with socket.create_connection((host, port), timeout=5.0) as conn:
             conn.sendall(b"not a myproxy handshake")
         server.stop(drain_timeout=5.0)
-        assert server._conn_threads == set()
+        assert server._workers == []
         assert not any(
-            t.name == "myproxy-conn" and t.is_alive() for t in threading.enumerate()
+            t.name.startswith("myproxy-worker") and t.is_alive()
+            for t in threading.enumerate()
         )
 
 

@@ -98,6 +98,38 @@ class TestResponse:
             Response.decode(data)
 
 
+class TestBusyResponse:
+    def test_busy_roundtrip(self):
+        reply = Response.busy_reply(2.5)
+        assert b"RESPONSE=2" in reply.encode()
+        assert b"RETRY_AFTER=2.500" in reply.encode()
+        decoded = Response.decode(reply.encode())
+        assert decoded.busy
+        assert not decoded.ok
+        assert decoded.retry_after == 2.5
+        assert decoded.error == "server busy"
+
+    def test_busy_without_retry_after_rejected(self):
+        data = Response.busy_reply(1.0).encode().replace(
+            b"RETRY_AFTER=1.000\n", b""
+        )
+        with pytest.raises(ProtocolError, match="RETRY_AFTER"):
+            Response.decode(data)
+
+    def test_negative_retry_after_rejected(self):
+        with pytest.raises(ProtocolError):
+            Response.busy_reply(-1.0)
+        data = Response.busy_reply(1.0).encode().replace(
+            b"RETRY_AFTER=1.000", b"RETRY_AFTER=-4"
+        )
+        with pytest.raises(ProtocolError):
+            Response.decode(data)
+
+    def test_ordinary_responses_are_not_busy(self):
+        assert not Response.success().busy
+        assert not Response.failure("nope").busy
+
+
 _usernames = st.text(
     alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789._@-"),
     min_size=1,

@@ -1,17 +1,26 @@
-"""TCP load shedding: the repository degrades predictably under floods."""
+"""TCP load shedding: the repository degrades predictably under floods.
+
+The QoS contract (see :mod:`repro.qos`): a connection refused on the
+admission path is *told* — a busy notice carrying ``RETRY_AFTER`` that the
+client handshake surfaces as :class:`ServerBusyError` — never silently
+reset.
+"""
 
 import socket
+import threading
 
 import pytest
 
+from repro.core.policy import ServerPolicy
 from repro.core.server import MyProxyServer
+from repro.transport.channel import connect_secure
 from repro.util.concurrency import wait_for
+from repro.util.errors import ServerBusyError
 
 PASS = "correct horse 42"
 
 
-@pytest.fixture()
-def small_server(key_pool):
+def _make_server(key_pool, *, max_conns, policy):
     from repro.pki.ca import CertificateAuthority
     from repro.pki.names import DistinguishedName
     from repro.pki.validation import ChainValidator
@@ -24,46 +33,70 @@ def small_server(key_pool):
         ca.issue_host_credential("shed.example.org", key=key_pool.new_key()),
         validator,
         key_source=key_pool,
-        max_concurrent_connections=2,
+        policy=policy,
+        max_concurrent_connections=max_conns,
     )
     endpoint = server.start()
     alice = ca.issue_credential(
         DistinguishedName.grid_user("Grid", "Shed", "Alice"), key=key_pool.new_key()
     )
+    return server, endpoint, alice, validator
+
+
+@pytest.fixture()
+def small_server(key_pool):
+    # depth=0: at capacity, shed immediately (the old drop-on-accept
+    # shape, now with a busy notice instead of silence).
+    policy = ServerPolicy()
+    policy.qos_queue_depth = 0
+    policy.qos_queue_deadline = 0.2
+    policy.connection_timeout = 5.0
+    server, endpoint, alice, validator = _make_server(
+        key_pool, max_conns=2, policy=policy
+    )
     yield server, endpoint, alice, validator
     server.stop()
 
 
+def _pin_workers(server, endpoint, n):
+    """Occupy all workers with idle connections stuck in handshake read."""
+    holders = [socket.create_connection(endpoint) for _ in range(n)]
+    wait_for(
+        lambda: server._qos_inflight.value == n,
+        timeout=5.0,
+        message="workers pinned",
+    )
+    return holders
+
+
 class TestLoadShedding:
-    def test_flood_is_shed_not_crashed(self, small_server):
+    def test_flood_gets_busy_with_retry_after_not_reset(self, small_server):
         server, endpoint, alice, validator = small_server
-        # Two idle connections occupy both slots (they sit in the
-        # handshake read); further connects get closed immediately.
-        holders = [socket.create_connection(endpoint) for _ in range(2)]
+        holders = _pin_workers(server, endpoint, 2)
         try:
-            wait_for(lambda: True, timeout=0.1)  # let the accepts land
-            floods = []
+            busy, other = [], []
             for _ in range(5):
-                conn = socket.create_connection(endpoint)
-                conn.settimeout(2.0)
-                floods.append(conn)
-            # Shed connections read EOF promptly (no 30s handshake stall).
-            dead = 0
-            for conn in floods:
                 try:
-                    if conn.recv(1) == b"":
-                        dead += 1
-                except OSError:
-                    pass
-                conn.close()
-            wait_for(lambda: server.stats.shed >= 3, timeout=5.0,
-                     message="shed counter")
-            assert dead >= 3
+                    connect_secure(endpoint, alice, validator).close()
+                except ServerBusyError as exc:
+                    busy.append(exc)
+                except Exception as exc:  # noqa: BLE001 - sorting outcomes
+                    other.append(exc)
+            # Satellite acceptance: every shed client gets the busy reply
+            # with a usable RETRY_AFTER; zero bare resets on this path.
+            assert other == []
+            assert len(busy) == 5
+            assert all(exc.retry_after > 0 for exc in busy)
+            assert server.stats.shed >= 5
+            assert (
+                server._shed_reason_total.labels(reason="no_slots").value >= 5
+            )
         finally:
             for conn in holders:
                 conn.close()
 
-        # Slots free up; real service resumes.
+        # Slots free up; real service resumes (the client itself now
+        # honors any residual busy replies with a short sleep).
         from repro.core.client import MyProxyClient, myproxy_init_from_longterm
 
         def _ok():
@@ -74,8 +107,70 @@ class TestLoadShedding:
                     client, alice, username="alice", passphrase=PASS,
                     key_source=server.key_source,
                 ).ok
-            except Exception:  # noqa: BLE001 - retry until slots drain
+            except Exception:  # noqa: BLE001 - retry until workers drain
                 return False
 
         wait_for(_ok, timeout=10.0, message="service recovery after shedding")
         assert server.repository.count() == 1
+
+    def test_sheds_are_audited(self, small_server):
+        server, endpoint, alice, validator = small_server
+        holders = _pin_workers(server, endpoint, 2)
+        try:
+            with pytest.raises(ServerBusyError):
+                connect_secure(endpoint, alice, validator)
+            records = [r for r in server.audit_log() if r.command == "ADMISSION"]
+            assert records, "every shed leaves an audit record"
+            assert "no_slots" in records[-1].detail
+            assert "retry in" in records[-1].detail
+            # Sheds are not authorization denials; they must not inflate
+            # that counter.  (Checked before the holders close — their
+            # aborted handshakes legitimately audit as denials.)
+            assert server.stats.denials == 0
+        finally:
+            for conn in holders:
+                conn.close()
+
+
+class TestQueueDeadline:
+    def test_overdue_queued_connections_are_shed_by_the_sweeper(self, key_pool):
+        # One worker, a real queue, and a short deadline: with the worker
+        # pinned, queued clients must be answered (busy) within roughly
+        # the deadline — not left hanging until a worker frees up.
+        policy = ServerPolicy()
+        policy.qos_queue_depth = 8
+        policy.qos_queue_deadline = 0.3
+        policy.connection_timeout = 10.0
+        server, endpoint, alice, validator = _make_server(
+            key_pool, max_conns=1, policy=policy
+        )
+        holders = _pin_workers(server, endpoint, 1)
+        outcomes = []
+
+        def dial():
+            try:
+                connect_secure(endpoint, alice, validator).close()
+                outcomes.append("served")
+            except ServerBusyError as exc:
+                outcomes.append(("busy", exc.retry_after))
+            except Exception as exc:  # noqa: BLE001 - sorting outcomes
+                outcomes.append(("error", repr(exc)))
+
+        try:
+            threads = [threading.Thread(target=dial) for _ in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10.0)
+            assert len(outcomes) == 3
+            busy = [o for o in outcomes if isinstance(o, tuple) and o[0] == "busy"]
+            assert len(busy) == 3, outcomes
+            assert all(hint > 0 for _, hint in busy)
+            assert (
+                server._shed_reason_total.labels(reason="queue_deadline").value
+                >= 3
+            )
+        finally:
+            for conn in holders:
+                conn.close()
+            server.stop()

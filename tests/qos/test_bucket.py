@@ -1,0 +1,90 @@
+"""Token buckets and the keyed rate-limiter table (repro.qos.bucket)."""
+
+import pytest
+
+from repro.qos.bucket import RateLimiter, TokenBucket
+
+
+class FakeTime:
+    """A hand-cranked monotonic clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_burst_admits_then_refuses(self):
+        t = FakeTime()
+        bucket = TokenBucket(rate=1.0, burst=3, timefunc=t)
+        assert [bucket.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+        retry = bucket.try_acquire()
+        assert retry == pytest.approx(1.0)  # one token short at 1/s
+
+    def test_refill_is_lazy_and_capped(self):
+        t = FakeTime()
+        bucket = TokenBucket(rate=2.0, burst=4, timefunc=t)
+        for _ in range(4):
+            bucket.try_acquire()
+        t.advance(0.5)  # one token back at 2/s
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+        t.advance(1000.0)  # refill never exceeds burst
+        assert bucket.tokens == pytest.approx(4.0)
+
+    def test_retry_hint_shrinks_as_tokens_accrue(self):
+        t = FakeTime()
+        bucket = TokenBucket(rate=1.0, burst=1, timefunc=t)
+        bucket.try_acquire()
+        first = bucket.try_acquire()
+        t.advance(0.6)
+        second = bucket.try_acquire()
+        assert second == pytest.approx(first - 0.6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestRateLimiter:
+    def test_keys_are_independent(self):
+        t = FakeTime()
+        limiter = RateLimiter(timefunc=t)
+        # Drain alice's bucket; bob is untouched.
+        while limiter.check("alice", 1.0, 2) == 0.0:
+            pass
+        assert limiter.check("bob", 1.0, 2) == 0.0
+
+    def test_zero_rate_always_admits(self):
+        limiter = RateLimiter(timefunc=FakeTime())
+        for _ in range(100):
+            assert limiter.check("anyone", 0.0, 4) == 0.0
+        assert len(limiter) == 0  # unlimited keys never allocate a bucket
+
+    def test_reshaped_bucket_is_rebuilt(self):
+        t = FakeTime()
+        limiter = RateLimiter(timefunc=t)
+        while limiter.check("alice", 1.0, 1) == 0.0:
+            pass
+        # A weight/config change rebuilds the bucket with the new shape,
+        # so the fatter budget applies immediately.
+        assert limiter.check("alice", 10.0, 8) == 0.0
+
+    def test_idle_entries_are_pruned(self):
+        t = FakeTime()
+        limiter = RateLimiter(timefunc=t, max_idle=10.0)
+        limiter.check("old", 1.0, 4)
+        t.advance(100.0)
+        # Force enough checks to trip the periodic sweep.
+        from repro.qos.bucket import _PRUNE_EVERY
+
+        for i in range(_PRUNE_EVERY):
+            limiter.check(f"new-{i % 7}", 1.0, 4)
+        assert all("old" != key for key in limiter._buckets)

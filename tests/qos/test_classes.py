@@ -1,0 +1,49 @@
+"""Service-class resolution (repro.qos.classes)."""
+
+import pytest
+
+from repro.qos.classes import DEFAULT_CLASS, ClassMap, ServiceClass
+
+PORTAL = ServiceClass("portal", 8.0, ("/O=Grid/CN=host/portal.*",))
+ADMIN = ServiceClass("admin", 4.0, ("/O=Grid/OU=Ops/CN=*",))
+CATCH_ALL = ServiceClass("interactive", 1.0, ("*",))
+
+
+class TestServiceClass:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceClass("", 1.0)
+        with pytest.raises(ValueError):
+            ServiceClass("x", 0.0)
+        with pytest.raises(ValueError):
+            ServiceClass("x", 1.0, ())
+
+    def test_matches_globs_case_sensitively(self):
+        assert PORTAL.matches("/O=Grid/CN=host/portal.example.org")
+        assert not PORTAL.matches("/o=grid/cn=host/portal.example.org")
+
+
+class TestClassMap:
+    def test_first_match_wins(self):
+        cmap = ClassMap([PORTAL, ADMIN, CATCH_ALL])
+        assert cmap.resolve("/O=Grid/CN=host/portal.example.org") is PORTAL
+        assert cmap.resolve("/O=Grid/OU=Ops/CN=Carol") is ADMIN
+        assert cmap.resolve("/O=Grid/OU=Repro/CN=Alice") is CATCH_ALL
+
+    def test_unmatched_falls_to_default(self):
+        cmap = ClassMap([PORTAL])
+        resolved = cmap.resolve("/O=Elsewhere/CN=Nobody")
+        assert resolved is DEFAULT_CLASS
+        assert resolved.weight == 1.0
+
+    def test_duplicate_names_refused(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ClassMap([PORTAL, ServiceClass("portal", 2.0)])
+
+    def test_max_weight_includes_default(self):
+        assert ClassMap([]).max_weight() == 1.0
+        assert ClassMap([PORTAL, ADMIN]).max_weight() == 8.0
+
+    def test_empty_map_is_falsy(self):
+        assert not ClassMap([])
+        assert ClassMap([PORTAL])

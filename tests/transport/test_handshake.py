@@ -144,3 +144,49 @@ class TestChannelIntegrity:
         record[-1] ^= 1
         with pytest.raises(Exception):
             s._reader.open(bytes(record))
+
+
+class TestBusyNotice:
+    """A pre-handshake shed surfaces as ServerBusyError, not a failure."""
+
+    def test_client_surfaces_busy_with_retry_hint(self, alice, validator):
+        from repro.transport.handshake import send_busy_notice
+        from repro.util.errors import ServerBusyError
+
+        cl, sl = pipe_pair()
+
+        def _shed():
+            send_busy_notice(sl, 1.25)
+            sl.close()
+
+        thread = threading.Thread(target=_shed)
+        thread.start()
+        try:
+            with pytest.raises(ServerBusyError) as excinfo:
+                connect_secure(cl, alice, validator)
+        finally:
+            thread.join(10)
+        assert excinfo.value.retry_after == pytest.approx(1.25)
+        # Busy must not look like a transport failure, or failover
+        # clients would declare the node dead.
+        assert not isinstance(excinfo.value, (TransportError, HandshakeError))
+
+    def test_ordinary_abort_still_a_handshake_error(self, alice, validator):
+        from repro.transport.handshake import _fail
+
+        cl, sl = pipe_pair()
+
+        def _abort():
+            try:
+                _fail(sl, "go away")
+            except HandshakeError:
+                pass
+            sl.close()
+
+        thread = threading.Thread(target=_abort)
+        thread.start()
+        try:
+            with pytest.raises(HandshakeError, match="go away"):
+                connect_secure(cl, alice, validator)
+        finally:
+            thread.join(10)
