@@ -54,6 +54,16 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--slowlog", action="store_true",
                          help="print the slow-operation log (JSON lines) instead")
 
+    scrub = sub.add_parser(
+        "scrub",
+        help="check every spool entry; list or discard quarantined ones",
+    )
+    scrub.add_argument("--list", action="store_true", dest="list_only",
+                       help="only list quarantined entries (default action)")
+    scrub.add_argument("--discard", action="store_true",
+                       help="permanently delete quarantined files "
+                            "(use after the entries were re-stored or repaired)")
+
     audit = sub.add_parser("audit", help="inspect a persistent audit trail")
     audit.add_argument("--audit-file", required=True, metavar="JSONL")
     audit.add_argument("-l", "--username", default=None)
@@ -183,6 +193,39 @@ def main(argv: list[str] | None = None) -> int:
         elif args.command == "remove-user":
             count = admin.remove_user(args.username)
             print(f"removed {count} credential(s) for {args.username}")
+        elif args.command == "scrub":
+            repo = admin.repository
+            if not hasattr(repo, "quarantined"):
+                raise SystemExit(
+                    "scrub needs a spool directory (FileRepository), "
+                    f"not {type(repo).__name__}"
+                )
+            # Opening the repository already ran recovery; this re-checks
+            # every entry now and reports what sits in quarantine.
+            summary = repo.scrub()
+            print(f"checked {summary['checked']} entries, "
+                  f"quarantined {summary['quarantined_now']} new "
+                  f"({summary['quarantined_total']} total) "
+                  f"in {summary['duration_seconds'] * 1000.0:.1f}ms")
+            items = repo.quarantined()
+            for item in items:
+                who = (
+                    f"{item.username}/{item.cred_name}"
+                    if item.username
+                    else item.path.name
+                )
+                print(f"  QUARANTINED {who}: {item.reason}")
+            if args.discard:
+                for item in items:
+                    item.path.unlink(missing_ok=True)
+                    item.path.with_name(item.path.name + ".reason").unlink(
+                        missing_ok=True
+                    )
+                print(f"discarded {len(items)} quarantined file(s)")
+            elif items:
+                print("re-store these credentials (or repair from a cluster "
+                      "peer via 'myproxy-cluster scrub'), then rerun with "
+                      "--discard")
         elif args.command == "cluster-status":
             # The per-node ServerStats snapshots (replication counters
             # included) as the coordinator last published them.

@@ -11,7 +11,9 @@ heartbeat sweep:
   position, replica lag, replication counters, failover history);
 - ``promote`` — force a replica to take over a (dead) peer's shards;
 - ``resync``  — tell the coordinator to replay peers' log tails into a
-  restarted node until it has caught up.
+  restarted node until it has caught up;
+- ``scrub``   — tell the coordinator to repair a node's quarantined
+  (corrupt-on-disk) entries by re-fetching them from cluster peers.
 """
 
 from __future__ import annotations
@@ -54,6 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
         "resync", help="replay peers' replication logs into a restarted node"
     )
     resync.add_argument("--node", required=True, metavar="NAME")
+
+    scrub = sub.add_parser(
+        "scrub",
+        help="repair a node's quarantined entries from its cluster peers",
+    )
+    scrub.add_argument("--node", required=True, metavar="NAME")
     return parser
 
 
@@ -118,6 +126,10 @@ def main(argv: list[str] | None = None) -> int:
             _append_control(state_dir, {"cmd": "resync", "node": args.node})
             print(f"resync {args.node} queued; the coordinator applies it "
                   "on its next heartbeat sweep")
+        elif args.command == "scrub":
+            _append_control(state_dir, {"cmd": "scrub", "node": args.node})
+            print(f"scrub {args.node} queued; the coordinator re-fetches its "
+                  "quarantined entries from peers on its next heartbeat sweep")
 
     return run_tool(_body, args)
 

@@ -158,15 +158,29 @@ def main(argv: list[str] | None = None) -> int:
             from repro.cluster.cluster import cluster_master_box
 
             master_box = cluster_master_box(cluster_cfg.secret)
+        repository = open_repository(args.storage_dir)
         server = MyProxyServer(
             load_credential(args.credential),
             build_validator(args),
-            repository=open_repository(args.storage_dir),
+            repository=repository,
             policy=policy,
             audit_path=args.audit_file,
             master_box=master_box or SecretBox(),
             max_concurrent_connections=args.max_connections,
         )
+        if hasattr(repository, "stats"):
+            # Opening a spool runs crash recovery; surface what it found.
+            recovery = repository.stats.snapshot()
+            print(
+                "spool recovery: "
+                f"{recovery['records_recovered']} journal op(s) replayed, "
+                f"{recovery['torn_truncated']} torn tail(s) truncated, "
+                f"{recovery['quarantined']} entr(ies) quarantined "
+                f"in {recovery['last_recovery_seconds'] * 1000.0:.1f}ms"
+            )
+            if recovery["quarantined"]:
+                print("run 'myproxy-admin scrub --list' to inspect "
+                      "quarantined entries")
         if cluster_cfg is not None:
             server.cluster_role = "member"
             server.cluster_peers = cluster_cfg.peer_names()

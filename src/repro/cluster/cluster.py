@@ -31,7 +31,7 @@ from repro.cluster.failover import ClusterRouter
 from repro.cluster.hashring import ConsistentHashRing
 from repro.cluster.health import FailureDetector, HeartbeatMonitor
 from repro.cluster.node import ClusterNode
-from repro.cluster.replog import ReplicatedOp
+from repro.cluster.replog import SITE_SHIP_DELIVERED, ReplicatedOp
 from repro.core.repository import SecretBox
 from repro.core.server import MyProxyServer
 from repro.util.clock import SYSTEM_CLOCK, Clock
@@ -144,8 +144,16 @@ class MyProxyCluster:
             acks = 0
             for replica in replicas:
                 try:
+                    origin.injector.fire(f"replog.ship.to.{replica.name}")
                     with ship_seconds.time():
-                        replica.receive([op])
+                        applied = replica.receive([op])
+                    origin.injector.fire(SITE_SHIP_DELIVERED)
+                    # A replica that *skipped* the op (garbled in transit)
+                    # returns 0 — that is not an ack; the skip already
+                    # queued a resync on the replica.
+                    if applied < 1:
+                        origin.server.stats.inc("replication_failures")
+                        continue
                     acks += 1
                     origin.server.stats.inc("replication_ops_shipped")
                 except (TransportError, RepositoryError):
@@ -247,7 +255,11 @@ class MyProxyCluster:
             list(self.nodes),
             lambda name: self.nodes[name].ping(),
             interval=interval or 1.0,
-            on_sweep=lambda: (self.check_failover(), self.process_control()),
+            on_sweep=lambda: (
+                self.check_failover(),
+                self.auto_resync(),
+                self.process_control(),
+            ),
         )
         self._monitor.start()
 
@@ -274,8 +286,77 @@ class MyProxyCluster:
             tail = peer.log.since(node.applied_seq(peer.name))
             if tail:
                 applied += node.receive(tail)
+        node.resync_requested = False
         self.detector.record_heartbeat(name)
         return applied
+
+    def auto_resync(self) -> dict[str, int]:
+        """Resync every live node that skipped a shipped op (self-healing).
+
+        A replica that hit a garbled op marks itself ``resync_requested``
+        instead of dying; the coordinator's periodic sweep calls this to
+        re-ship the missing tail from the healthy logs.
+        """
+        healed: dict[str, int] = {}
+        for name, node in self.nodes.items():
+            if node.alive and node.resync_requested:
+                healed[name] = self.resync(name)
+        return healed
+
+    # ------------------------------------------------------------------
+    # scrub (anti-entropy: repair quarantined entries from peers)
+    # ------------------------------------------------------------------
+
+    def scrub(self, name: str) -> dict:
+        """Repair ``name``'s quarantined entries from its cluster peers.
+
+        Startup recovery never deletes a corrupt entry — it quarantines
+        it.  This pass closes the loop: for every quarantined credential,
+        re-fetch the canonical entry from a live peer in the user's
+        preference list and write it back to the local spool (directly on
+        the backend, so the repair is not re-replicated).
+        """
+        node = self.nodes.get(name)
+        if node is None:
+            raise ConfigError(f"unknown node {name!r}")
+        backend = node.backend
+        if not hasattr(backend, "quarantined"):
+            raise ConfigError(f"node {name!r}'s backend does not support scrub")
+        repaired = 0
+        unrepaired: list[dict] = []
+        for item in backend.quarantined():
+            if not item.username:
+                unrepaired.append({"path": str(item.path), "reason": item.reason})
+                continue
+            entry = None
+            for peer in self.preference(item.username):
+                if peer is node or not peer.alive:
+                    continue
+                try:
+                    entry = peer.backend.get(item.username, item.cred_name)
+                    break
+                except (RepositoryError, TransportError):
+                    continue
+            if entry is None:
+                unrepaired.append(
+                    {
+                        "username": item.username,
+                        "cred_name": item.cred_name,
+                        "reason": item.reason,
+                    }
+                )
+                continue
+            backend.put(entry)
+            backend.clear_quarantine(item.username, item.cred_name)
+            if hasattr(backend, "stats"):
+                backend.stats.inc("scrub_repaired")
+            node.server.stats.inc("scrub_repaired")
+            repaired += 1
+            logger.info(
+                "scrub: restored %s/%s on %s from a peer",
+                item.username, item.cred_name, name,
+            )
+        return {"node": name, "repaired": repaired, "unrepaired": unrepaired}
 
     # ------------------------------------------------------------------
     # status + admin control path (the myproxy-cluster CLI's substrate)
@@ -345,6 +426,8 @@ class MyProxyCluster:
                     self.promote(command["node"], command.get("successor"))
                 elif kind == "resync":
                     command["applied"] = self.resync(command["node"])
+                elif kind == "scrub":
+                    command["result"] = self.scrub(command["node"])
                 else:
                     raise ConfigError(f"unknown control command {kind!r}")
                 handled.append(command)
@@ -376,6 +459,8 @@ def build_cluster(
     failover_timeout: float = 5.0,
     clock: Clock = SYSTEM_CLOCK,
     state_dir: str | os.PathLike | None = None,
+    log_dir: str | os.PathLike | None = None,
+    injectors=None,
 ) -> MyProxyCluster:
     """Assemble a cluster from per-node backends.
 
@@ -383,17 +468,36 @@ def build_cluster(
     :class:`~repro.core.server.MyProxyServer`; ``backends`` is one
     repository backend per node.  Used by tests, benchmarks and the
     testbed; TCP deployments wire the same pieces from their config files.
+
+    ``log_dir`` makes each node's replication log durable (one framed
+    ``<name>.replog`` file per node); ``injectors`` is an optional list of
+    per-node :class:`~repro.faults.FaultInjector` instances the chaos
+    suite uses to fail one node without touching the others.
     """
     names = names or [f"node{i}" for i in range(len(backends))]
     if len(names) != len(backends):
         raise ConfigError("names and backends must pair up")
+    if injectors is not None and len(injectors) != len(backends):
+        raise ConfigError("injectors and backends must pair up")
+    if log_dir is not None:
+        log_dir = Path(log_dir)
+        log_dir.mkdir(parents=True, exist_ok=True)
     box = cluster_master_box(secret)
     nodes = []
     for i, (name, backend) in enumerate(zip(names, backends)):
         server = make_server(i, name, box)
         if not isinstance(server, MyProxyServer):
             raise ConfigError("make_server must return a MyProxyServer")
-        nodes.append(ClusterNode(name, server, backend, secret))
+        nodes.append(
+            ClusterNode(
+                name,
+                server,
+                backend,
+                secret,
+                injector=injectors[i] if injectors is not None else None,
+                log_path=log_dir / f"{name}.replog" if log_dir is not None else None,
+            )
+        )
     return MyProxyCluster(
         nodes,
         replication_factor=replication_factor,

@@ -26,6 +26,7 @@ import random
 import time
 from collections.abc import Callable, Mapping
 
+from repro import faults
 from repro.cluster.hashring import DEFAULT_VNODES, ConsistentHashRing
 from repro.core.client import ClientStats, MyProxyClient, RetryPolicy
 from repro.pki.credentials import Credential
@@ -77,11 +78,27 @@ class FailoverMyProxyClient:
         key_source=None,
         sleep: Callable[[float], None] = time.sleep,
         rng: random.Random | None = None,
+        injector: faults.FaultInjector | None = None,
     ) -> None:
         unknown = set(targets) - set(router.ring.nodes)
         if unknown:
             raise ValueError(f"targets name nodes not on the ring: {sorted(unknown)}")
         self.targets = dict(targets)
+        if injector is not None:
+            # Chaos hook: each dial of node <name> passes the injector at
+            # ``client.dial.<name>`` first, so a plan can reset or
+            # partition the path to one node and exercise failover.
+            # Only in-process link factories are wrappable; (host, port)
+            # endpoints fail at the socket, which needs no simulation.
+            def _wrap(name, factory):
+                def _dial():
+                    injector.fire(f"client.dial.{name}")
+                    return factory()
+                return _dial
+            self.targets = {
+                name: _wrap(name, t) if callable(t) else t
+                for name, t in self.targets.items()
+            }
         self.router = router
         self.credential = credential
         self.validator = validator

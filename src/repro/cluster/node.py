@@ -11,13 +11,22 @@ is usually primary for some users and replica for others.
 Nodes expose an in-process connect target (the same pipe transport the
 testbed uses), so a cluster can be exercised — and killed mid-workload —
 without real sockets; the TCP path reuses ``server.start()`` unchanged.
+
+Fault posture: each node carries a :class:`~repro.faults.FaultInjector`
+threaded into its replication log, replicating wrapper and apply path.  A
+:class:`~repro.faults.KillPoint` raised anywhere in a node's work is
+translated into that node dying (``kill()``) plus a transport error to the
+caller — exactly what a peer would observe of a crashed process.
 """
 
 from __future__ import annotations
 
 import threading
 
+from repro import faults
 from repro.cluster.replog import (
+    SITE_APPLY_APPLIED,
+    SITE_APPLY_PRE,
     ReplicatedOp,
     ReplicatingRepository,
     ReplicationLog,
@@ -26,7 +35,7 @@ from repro.cluster.replog import (
 from repro.core.repository import CredentialRepository
 from repro.core.server import MyProxyServer
 from repro.transport.links import pipe_pair
-from repro.util.errors import TransportError
+from repro.util.errors import RepositoryError, TransportError
 from repro.util.logging import get_logger
 
 logger = get_logger("cluster.node")
@@ -41,18 +50,33 @@ class ClusterNode:
         server: MyProxyServer,
         backend: CredentialRepository,
         secret: bytes,
+        *,
+        injector: faults.FaultInjector | None = None,
+        log_path=None,
     ) -> None:
         self.name = name
         self.server = server
         self.backend = backend
         self.secret = secret
-        self.log = ReplicationLog(name, secret)
+        self.injector = injector if injector is not None else faults.NO_FAULTS
+        self.log = ReplicationLog(
+            name, secret, path=log_path, injector=self.injector
+        )
         # The server's writes flow through the replicating wrapper; the
         # cluster installs the shipper once membership is known.
-        self.repository = ReplicatingRepository(backend, self.log)
+        self.repository = ReplicatingRepository(
+            backend, self.log, injector=self.injector
+        )
         server.repository = self.repository
         server.cluster_role = "member"
+        # Corruption counters of a durable backend belong on this node's
+        # /metrics endpoint (the server was built before the wrapper).
+        if hasattr(backend, "publish_metrics"):
+            backend.publish_metrics(server.metrics)
         self.alive = True
+        #: set when an op had to be skipped; the coordinator's sweep (or an
+        #: admin ``resync``) re-ships the tail to heal the gap.
+        self.resync_requested = False
         #: origin node name -> last op sequence applied locally.
         self.applied: dict[str, int] = {}
         self._apply_lock = threading.Lock()
@@ -67,18 +91,46 @@ class ClusterNode:
         Ops land on :attr:`backend` directly (not the replicating wrapper)
         so replication never cascades.  Already-seen sequence numbers are
         skipped, which makes re-shipping during resync idempotent.
+
+        A partial or garbled op (failed HMAC, undecodable document) does
+        **not** poison the apply loop: it is skipped with a counter, the
+        apply watermark for its origin stays put (so a resync re-ships
+        from the gap), and later ops from that origin are deferred to
+        preserve per-origin ordering.  A kill point firing mid-apply
+        downs this node, as a real crash would.
         """
         if not self.alive:
             raise TransportError(f"node {self.name} is down")
         applied = 0
-        with self._apply_lock:
-            for op in ops:
-                if op.seq <= self.applied.get(op.origin, 0):
-                    continue
-                apply_op(self.backend, op, self.secret)
-                self.applied[op.origin] = op.seq
-                applied += 1
-                self.server.stats.inc("replication_ops_applied")
+        try:
+            with self._apply_lock:
+                bad_origins: set[str] = set()
+                for op in ops:
+                    if op.origin in bad_origins:
+                        continue
+                    if op.seq <= self.applied.get(op.origin, 0):
+                        continue
+                    self.injector.fire(SITE_APPLY_PRE)
+                    try:
+                        apply_op(self.backend, op, self.secret)
+                    except RepositoryError as exc:
+                        # Skip-and-resync: never let one bad op kill the
+                        # apply thread or block the batch's other origins.
+                        self.server.stats.inc("replication_ops_skipped")
+                        self.resync_requested = True
+                        bad_origins.add(op.origin)
+                        logger.error(
+                            "node %s: skipping bad op %s#%d (%s); resync requested",
+                            self.name, op.origin, op.seq, exc,
+                        )
+                        continue
+                    self.injector.fire(SITE_APPLY_APPLIED)
+                    self.applied[op.origin] = op.seq
+                    applied += 1
+                    self.server.stats.inc("replication_ops_applied")
+        except faults.KillPoint:
+            self.kill()
+            raise TransportError(f"node {self.name} crashed mid-apply") from None
         return applied
 
     def applied_seq(self, origin: str) -> int:
@@ -97,8 +149,19 @@ class ClusterNode:
         self.alive = False
         logger.info("node %s killed", self.name)
 
-    def restart(self) -> None:
-        """Bring the node back (cold — call the cluster's resync to catch up)."""
+    def restart(self, backend: CredentialRepository | None = None) -> None:
+        """Bring the node back (cold — call the cluster's resync to catch up).
+
+        Pass a freshly reopened ``backend`` to model a real process
+        restart: reopening a :class:`~repro.core.repository.FileRepository`
+        runs its crash recovery (journal replay, quarantine) against
+        whatever the crash left on disk.
+        """
+        if backend is not None:
+            self.backend = backend
+            self.repository.backend = backend
+            if hasattr(backend, "publish_metrics"):
+                backend.publish_metrics(self.server.metrics)
         self.alive = True
         logger.info("node %s restarted", self.name)
 
@@ -116,7 +179,16 @@ class ClusterNode:
             if not self.alive:
                 server_end.close()
                 return
-            self.server.handle_link(server_end)
+            try:
+                self.server.handle_link(server_end)
+            except faults.KillPoint:
+                # The simulated process died mid-conversation: the node
+                # goes dark and the peer sees the link drop, not a reply.
+                self.kill()
+                try:
+                    server_end.close()
+                except Exception:  # noqa: BLE001 - already torn down
+                    pass
 
         threading.Thread(target=_serve, daemon=True, name=f"{self.name}-conn").start()
         return client_end

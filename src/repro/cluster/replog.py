@@ -22,15 +22,37 @@ from __future__ import annotations
 import hashlib
 import hmac
 import json
+import os
 import threading
 from collections.abc import Callable
 from dataclasses import dataclass
+from pathlib import Path
 
+from repro import faults
+from repro.core.journal import encode_frame, scan_frames
 from repro.core.repository import CredentialRepository, RepositoryEntry
 from repro.util.errors import RepositoryError
+from repro.util.logging import get_logger
+
+logger = get_logger("cluster.replog")
 
 OP_PUT = "put"
 OP_DELETE = "delete"
+
+# Replication-path kill points: the log append on the primary, the ship
+# to each replica, and the apply on the replica side.
+SITE_LOG_APPEND_PRE = faults.kill_point(
+    "replog.append.pre", "write accepted, replication log not yet appended")
+SITE_LOG_APPEND_SYNCED = faults.kill_point(
+    "replog.append.synced", "replication log entry durable, spool untouched")
+SITE_SHIP_PRE = faults.kill_point(
+    "replog.ship.pre", "op applied locally, not yet shipped to any replica")
+SITE_SHIP_DELIVERED = faults.kill_point(
+    "replog.ship.delivered", "op delivered to a replica, ack not yet counted")
+SITE_APPLY_PRE = faults.kill_point(
+    "replog.apply.pre", "replica received an op, not yet applied")
+SITE_APPLY_APPLIED = faults.kill_point(
+    "replog.apply.applied", "replica applied an op, watermark not yet advanced")
 
 
 @dataclass(frozen=True)
@@ -111,13 +133,70 @@ class ReplicatedOp:
 
 
 class ReplicationLog:
-    """Per-node ordered log of the mutations it accepted as a primary."""
+    """Per-node ordered log of the mutations it accepted as a primary.
 
-    def __init__(self, origin: str, secret: bytes) -> None:
+    With ``path`` set, every appended op is also persisted as a CRC-framed
+    record (through the fault injector's file shim, so chaos plans can
+    tear or error it) and recovered on reopen — a restarted primary can
+    still serve its log tail to lagging replicas.  Recovery truncates torn
+    tails and *skips* corrupt frames (counting them), which is why
+    sequence numbers may have gaps and :meth:`since` filters by value
+    instead of slicing.
+    """
+
+    def __init__(
+        self,
+        origin: str,
+        secret: bytes,
+        *,
+        path: str | os.PathLike | None = None,
+        injector: faults.FaultInjector | None = None,
+    ) -> None:
         self.origin = origin
         self._secret = secret
         self._ops: list[ReplicatedOp] = []
         self._lock = threading.Lock()
+        self._injector = injector if injector is not None else faults.NO_FAULTS
+        self._file: faults.ShimFile | None = None
+        self.corrupt_skipped = 0
+        self.torn_truncated = 0
+        if path is not None:
+            self._open(Path(path))
+
+    def _open(self, path: Path) -> None:
+        data = path.read_bytes() if path.exists() else b""
+        payloads, clean_len, status = scan_frames(data)
+        recovered: list[ReplicatedOp] = []
+        for payload in payloads:
+            try:
+                recovered.append(ReplicatedOp.decode(payload))
+            except RepositoryError as exc:
+                # A frame that passed its CRC but does not decode: the
+                # writer was broken.  Skip it loudly; resync re-fetches.
+                self.corrupt_skipped += 1
+                logger.error("replog %s: skipping corrupt record: %s", self.origin, exc)
+        recovered.sort(key=lambda op: op.seq)
+        self._ops = recovered
+        self._file = faults.ShimFile(
+            path,
+            self._injector,
+            write_site="replog.append.write",
+            fsync_site="replog.append.fsync",
+        )
+        if clean_len != len(data):
+            if status == "torn":
+                self.torn_truncated += 1
+                logger.warning(
+                    "replog %s: truncated %d torn bytes",
+                    self.origin, len(data) - clean_len,
+                )
+            else:
+                self.corrupt_skipped += 1
+                logger.error(
+                    "replog %s: dropped %d corrupt trailing bytes",
+                    self.origin, len(data) - clean_len,
+                )
+            self._file.truncate(clean_len)
 
     @property
     def last_seq(self) -> int:
@@ -142,15 +221,38 @@ class ReplicationLog:
                 document=document,
                 secret=self._secret,
             )
+            if self._file is not None:
+                start = self._file.size
+                try:
+                    self._file.write(encode_frame(op.encode()))
+                    self._file.fsync()
+                except OSError as exc:
+                    # Survived a failed append: trim the partial frame so
+                    # it cannot shadow later records at recovery.  (A
+                    # crash mid-append leaves a torn tail instead, which
+                    # _open truncates.)
+                    try:
+                        self._file.truncate(start)
+                    except OSError:  # pragma: no cover - disk truly gone
+                        pass
+                    raise RepositoryError(
+                        f"replication log append failed: {exc}"
+                    ) from exc
             self._ops.append(op)
             return op
 
     def since(self, seq: int) -> list[ReplicatedOp]:
         """All ops with sequence number strictly greater than ``seq``."""
         with self._lock:
-            # Sequence numbers are dense (1, 2, ...), so slice directly.
-            start = max(seq, 0)
-            return self._ops[start:]
+            # Recovered logs may have gaps (corrupt records skipped), so
+            # filter by sequence value rather than slicing by position.
+            return [op for op in self._ops if op.seq > seq]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
 
 
 def apply_op(backend: CredentialRepository, op: ReplicatedOp, secret: bytes) -> None:
@@ -188,19 +290,25 @@ class ReplicatingRepository(CredentialRepository):
         backend: CredentialRepository,
         log: ReplicationLog,
         shipper: Shipper | None = None,
+        *,
+        injector: faults.FaultInjector | None = None,
     ) -> None:
         self.backend = backend
         self.log = log
         self.shipper = shipper
+        self._injector = injector if injector is not None else faults.NO_FAULTS
 
     def _ship(self, op: ReplicatedOp) -> None:
+        self._injector.fire(SITE_SHIP_PRE)
         if self.shipper is not None:
             self.shipper(op)
 
     # -- mutations (logged + shipped) --------------------------------------
 
     def put(self, entry: RepositoryEntry) -> None:
+        self._injector.fire(SITE_LOG_APPEND_PRE)
         op = self.log.append(OP_PUT, entry.username, entry.cred_name, entry.to_json())
+        self._injector.fire(SITE_LOG_APPEND_SYNCED)
         self.backend.put(entry)
         self._ship(op)
 

@@ -76,6 +76,7 @@ from repro.util.errors import (
     NotFoundError,
     PolicyError,
     ProtocolError,
+    RepositoryError,
     ReproError,
     TransportError,
 )
@@ -160,6 +161,10 @@ _STATS_COUNTERS: tuple[tuple[str, str, str], ...] = (
      "Shipped ops this node applied as a replica."),
     ("replication_failures", "myproxy_replication_failures_total",
      "Failed deliveries to replicas."),
+    ("replication_ops_skipped", "myproxy_replication_ops_skipped_total",
+     "Garbled/unverifiable shipped ops skipped pending resync."),
+    ("scrub_repaired", "myproxy_scrub_repaired_total",
+     "Quarantined entries restored from a cluster peer by scrub."),
     ("failovers", "myproxy_failovers_total", "Promotions this node won."),
 )
 #: Gauge fields: worst-case replication lag, refreshed by the cluster
@@ -299,6 +304,10 @@ class MyProxyServer:
             metrics_registry if metrics_registry is not None else MetricsRegistry()
         )
         self.stats = ServerStats(self.metrics)
+        # Storage backends that track corruption/recovery (FileRepository)
+        # surface those counters on this server's /metrics endpoint.
+        if hasattr(self.repository, "publish_metrics"):
+            self.repository.publish_metrics(self.metrics)
         self._request_seconds = self.metrics.histogram(
             "myproxy_request_seconds",
             "Full conversation latency by protocol command.",
@@ -836,6 +845,21 @@ class MyProxyServer:
                 str(exc),
             )
             channel.send(Response.failure(str(exc)).encode())
+        except RepositoryError as exc:
+            # Storage trouble (I/O error, quarantined entry, failed
+            # replication quorum): audit the real cause but keep the wire
+            # message generic — a client must not learn spool internals.
+            self._audit_event(
+                peer_name,
+                request.command.name,
+                request.username,
+                request.cred_name,
+                False,
+                f"repository error: {exc}",
+            )
+            channel.send(
+                Response.failure("temporary repository error; retry").encode()
+            )
         finally:
             elapsed = time.perf_counter() - started
             self._request_seconds.labels(command=request.command.name).observe(elapsed)

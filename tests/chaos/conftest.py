@@ -1,0 +1,47 @@
+"""Fixtures for the deterministic chaos suite.
+
+Every test here follows the same shape: build the system with a dedicated
+(disarmed) :class:`~repro.faults.FaultInjector`, arm a seeded
+:class:`~repro.faults.FaultPlan` once fixtures are in place, provoke the
+fault, then disarm and assert the recovery invariants.  Nothing is
+monkeypatched and nothing depends on wall-clock timing, so a failure
+reproduces from the plan + seed alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.core.repository import FileRepository
+
+
+@pytest.fixture()
+def injector():
+    """A private injector; disarmed on teardown even if the test dies."""
+    inj = faults.FaultInjector()
+    yield inj
+    inj.disarm()
+
+
+@pytest.fixture()
+def repo_factory(tmp_path, injector):
+    """(Re)open the same spool directory, optionally with faults armed.
+
+    ``compact_threshold=1`` keeps the journal-compaction kill site
+    reachable from a single put.
+    """
+    repos = []
+
+    def _open(*, faulty: bool = True) -> FileRepository:
+        repo = FileRepository(
+            tmp_path / "spool",
+            injector=injector if faulty else faults.NO_FAULTS,
+            compact_threshold=1,
+        )
+        repos.append(repo)
+        return repo
+
+    yield _open
+    for repo in repos:
+        repo.close()

@@ -1,0 +1,183 @@
+"""Disk misbehavior (not crashes): errors, tears, lost fsyncs, bit rot."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.obs import MetricsRegistry
+from repro.obs.prometheus import render_prometheus
+from repro.util.errors import NotFoundError, RepositoryError
+from tests.cluster.conftest import make_plain_entry
+
+
+def _arm(injector, kind, site, **kw):
+    injector.arm(
+        faults.FaultPlan([faults.FaultRule(kind, site, **kw)], seed=99)
+    )
+
+
+class TestWriteErrors:
+    @pytest.mark.parametrize("kind", ["eio", "enospc"])
+    @pytest.mark.parametrize("site", ["repo.journal.write", "repo.spool.write"])
+    def test_failed_put_fails_cleanly_and_keeps_old(
+        self, repo_factory, injector, kind, site
+    ):
+        repo = repo_factory()
+        repo.put(make_plain_entry(key_pem=b"old"))
+        _arm(injector, kind, site)
+        with pytest.raises(RepositoryError):
+            repo.put(make_plain_entry(key_pem=b"new"))
+        injector.disarm()
+        # The repository survives the error in-process: the old entry is
+        # still served and the next put goes through.
+        assert repo.get("alice", "default").key_pem == b"old"
+        repo.put(make_plain_entry(key_pem=b"after"))
+        assert repo.get("alice", "default").key_pem == b"after"
+
+    def test_short_write_to_journal_does_not_shadow_later_records(
+        self, repo_factory, injector
+    ):
+        repo = repo_factory()
+        _arm(injector, "short", "repo.journal.write")
+        with pytest.raises(RepositoryError):
+            repo.put(make_plain_entry(key_pem=b"torn-away"))
+        injector.disarm()
+        # The partial frame was trimmed, so this put's journal record is
+        # readable by recovery — prove it by crashing before commit.
+        _arm(injector, "kill", "repo.journal.commit.pre")
+        with pytest.raises(faults.KillPoint):
+            repo.put(make_plain_entry(key_pem=b"must-replay"))
+        injector.disarm()
+        repo.close()
+        reopened = repo_factory(faulty=False)
+        assert reopened.get("alice", "default").key_pem == b"must-replay"
+        assert reopened.stats.get("records_recovered") >= 1
+
+
+class TestTornJournal:
+    def test_torn_append_is_truncated_at_recovery(self, repo_factory, injector):
+        repo = repo_factory()
+        repo.put(make_plain_entry("alice", "safe", key_pem=b"safe"))
+        _arm(injector, "torn", "repo.journal.write")
+        with pytest.raises(faults.KillPoint):
+            repo.put(make_plain_entry("alice", "torn", key_pem=b"torn"))
+        injector.disarm()
+        repo.close()
+
+        reopened = repo_factory(faulty=False)
+        # the torn (never-acked) op simply never happened
+        assert reopened.stats.get("torn_truncated") >= 0
+        assert reopened.get("alice", "safe").key_pem == b"safe"
+        with pytest.raises(NotFoundError):
+            reopened.get("alice", "torn")
+        assert reopened.quarantined() == []
+
+
+class TestLostFsync:
+    def test_lost_journal_fsync_then_crash_rolls_back(
+        self, repo_factory, injector
+    ):
+        # fsync silently does nothing, then the process dies at the next
+        # site: the unsynced journal record evaporates (page-cache loss),
+        # and recovery must roll back to the pre-op state.
+        repo = repo_factory()
+        repo.put(make_plain_entry(key_pem=b"old"))
+        injector.arm(
+            faults.FaultPlan(
+                [
+                    faults.FaultRule("lost_fsync", "repo.journal.fsync"),
+                    faults.FaultRule("kill", "repo.journal.append.synced"),
+                ],
+                seed=5,
+            )
+        )
+        with pytest.raises(faults.KillPoint):
+            repo.put(make_plain_entry(key_pem=b"vanishes"))
+        injector.disarm()
+        repo.close()
+
+        reopened = repo_factory(faulty=False)
+        assert reopened.get("alice", "default").key_pem == b"old"
+        assert reopened.quarantined() == []
+
+
+class TestBitRot:
+    def _corrupt_entry_file(self, repo):
+        [path] = [
+            p for p in repo.root.glob("*.json") if p.name != "journal.wal"
+        ]
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        return path
+
+    def test_get_quarantines_and_raises(self, repo_factory):
+        repo = repo_factory(faulty=False)
+        repo.put(make_plain_entry())
+        self._corrupt_entry_file(repo)
+        with pytest.raises(RepositoryError, match="quarantined"):
+            repo.get("alice", "default")
+        assert repo.stats.get("corruption_detected") == 1
+        assert repo.stats.get("quarantined") == 1
+        [item] = repo.quarantined()
+        assert (item.username, item.cred_name) == ("alice", "default")
+
+    def test_listing_surfaces_instead_of_skipping(self, repo_factory):
+        # Satellite fix: unreadable entries used to be invisible to
+        # list_for; now they are quarantined (and thus reported), never
+        # silently ignored.
+        repo = repo_factory(faulty=False)
+        repo.put(make_plain_entry("alice", "good", key_pem=b"fine"))
+        repo.put(make_plain_entry("alice", "rotten", key_pem=b"doomed"))
+        rotten = repo._path("alice", "rotten")
+        raw = bytearray(rotten.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        rotten.write_bytes(bytes(raw))
+
+        entries = repo.list_for("alice")
+        assert [e.cred_name for e in entries] == ["good"]
+        [item] = repo.quarantined()
+        assert item.cred_name == "rotten"
+
+    def test_reopen_quarantines_at_recovery(self, repo_factory):
+        repo = repo_factory(faulty=False)
+        repo.put(make_plain_entry())
+        self._corrupt_entry_file(repo)
+        repo.close()
+        reopened = repo_factory(faulty=False)
+        assert reopened.stats.get("quarantined") == 1
+        with pytest.raises(NotFoundError):
+            reopened.get("alice", "default")
+
+    def test_scrub_reports_and_clear_quarantine_forgets(self, repo_factory):
+        repo = repo_factory(faulty=False)
+        repo.put(make_plain_entry())
+        self._corrupt_entry_file(repo)
+        summary = repo.scrub()
+        assert summary["quarantined_now"] == 1
+        assert summary["quarantined_total"] == 1
+        # after a repair (re-store), the quarantine record can be dropped
+        repo.put(make_plain_entry(key_pem=b"restored"))
+        assert repo.clear_quarantine("alice", "default") == 1
+        assert repo.quarantined() == []
+        assert repo.get("alice", "default").key_pem == b"restored"
+
+
+class TestMetricsPublication:
+    def test_counters_transfer_and_mirror(self, repo_factory):
+        repo = repo_factory(faulty=False)
+        repo.put(make_plain_entry())
+        [path] = [p for p in repo.root.glob("*.json")]
+        path.write_bytes(b"bit rot ate this file")
+        with pytest.raises(RepositoryError):
+            repo.get("alice", "default")
+
+        registry = MetricsRegistry()
+        repo.publish_metrics(registry)
+        text = render_prometheus(registry)
+        assert "myproxy_storage_corruption_detected_total 1" in text
+        assert "myproxy_recovery_seconds_count 1" in text
+        # post-publication increments land in the registry too
+        repo.scrub()
+        assert "myproxy_recovery_seconds_count 2" in render_prometheus(registry)

@@ -92,6 +92,8 @@ def cluster_factory(ca, validator, key_pool, clock):
         failover_timeout=5.0,
         state_dir=None,
         policy=None,
+        log_dir=None,
+        injectors=None,
     ):
         backends = (
             backends if backends is not None else [MemoryRepository() for _ in range(n)]
@@ -119,6 +121,8 @@ def cluster_factory(ca, validator, key_pool, clock):
             failover_timeout=failover_timeout,
             clock=clock,
             state_dir=state_dir,
+            log_dir=log_dir,
+            injectors=injectors,
         )
         clusters.append(cluster)
         return cluster
