@@ -109,21 +109,58 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sizes", default="1000,10000,50000",
                         help="comma-separated entry counts")
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="also write BENCH_recovery.json (shared schema) "
+                             "into DIR")
     args = parser.parse_args(argv)
 
     sizes = [1000] if args.smoke else [int(s) for s in args.sizes.split(",")]
     repeats = 1 if args.smoke else args.repeats
 
+    results = []
     print(f"{'entries':>8}  {'recovery':>10}  {'entries/s':>10}  "
           f"{'replayed':>8}  {'quarantined':>11}")
     for size in sizes:
         result = measure(size, repeats)
+        results.append(result)
         print(f"{result['entries']:>8}  {result['best_seconds']:>9.3f}s  "
               f"{result['entries_per_second']:>10.0f}  "
               f"{result['records_recovered']:>8}  {result['quarantined']:>11}")
         # recovery must actually have exercised its paths
         assert result["records_recovered"] >= 10, "journal tail was not replayed"
         assert result["quarantined"] == 1, "bit rot was not quarantined"
+
+    if args.out:
+        from benchmarks.common import emit_closed_loop_report
+
+        # One report for the largest size measured; the per-size sweep
+        # rides along in the slo block for trend eyes.
+        headline = results[-1]
+        total_entries = sum(r["entries"] for r in results)
+        path = emit_closed_loop_report(
+            args.out,
+            scenario="recovery",
+            script="bench_recovery.py",
+            config={"sizes": sizes, "repeats": repeats},
+            offered_ops=total_entries,
+            achieved_ops=total_entries,
+            duration_s=sum(r["best_seconds"] for r in results),
+            latency_s={"p50": headline["best_seconds"],
+                       "p95": headline["best_seconds"],
+                       "p99": headline["best_seconds"]},
+            counts={"ok": total_entries},
+            extra_slo={
+                "recovery_sweep": [
+                    {"entries": r["entries"],
+                     "best_seconds": round(r["best_seconds"], 4),
+                     "entries_per_second": round(r["entries_per_second"], 1),
+                     "records_recovered": r["records_recovered"],
+                     "quarantined": r["quarantined"]}
+                    for r in results
+                ],
+            },
+        )
+        print(f"wrote {path}")
     return 0
 
 

@@ -1,0 +1,166 @@
+"""Compare fresh ``BENCH_*.json`` runs against committed baselines.
+
+Usage::
+
+    # validate every committed baseline parses against the schema
+    PYTHONPATH=src python benchmarks/check_regression.py --validate BENCH_*.json
+
+    # score fresh runs in /tmp/fresh against the baselines at repo root
+    PYTHONPATH=src python benchmarks/check_regression.py \\
+        --baseline-dir . --candidate-dir /tmp/fresh
+
+A candidate regresses when, versus its same-scenario baseline:
+
+- p99 latency grows by more than ``--p99-tolerance`` (default 20%)
+  *and* by more than ``--p99-slack`` seconds absolute (default 0.25 s —
+  sub-slack jitter on a loaded CI box is noise, not a regression);
+- goodput falls below ``(1 - tolerance)`` of the baseline;
+- the error rate grows past baseline + 5 points.
+
+Open-loop and closed-loop reports measure latency from different zero
+points (intended arrival vs request start), so the comparator refuses
+to score a candidate of one ``kind`` against a baseline of the other —
+that mismatch is a configuration error, not a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.loadgen.report import load_report, validate_report
+from repro.util.errors import ConfigError
+
+#: error-rate growth past the baseline that counts as a regression
+ERROR_RATE_SLACK = 0.05
+
+
+def compare(baseline: dict, candidate: dict, *, tolerance: float,
+            p99_slack: float) -> list[str]:
+    """Return the list of regression messages (empty means pass)."""
+    if baseline["scenario"] != candidate["scenario"]:
+        raise ConfigError(
+            f"scenario mismatch: baseline {baseline['scenario']!r} vs "
+            f"candidate {candidate['scenario']!r}"
+        )
+    if baseline["kind"] != candidate["kind"]:
+        raise ConfigError(
+            f"refusing to compare {candidate['kind']} candidate against "
+            f"{baseline['kind']} baseline for {baseline['scenario']!r}: "
+            "open-loop and closed-loop latencies measure different things"
+        )
+
+    problems: list[str] = []
+    base_p99 = baseline["slo"]["latency_s"]["p99"]
+    cand_p99 = candidate["slo"]["latency_s"]["p99"]
+    p99_limit = base_p99 * (1.0 + tolerance)
+    if cand_p99 > p99_limit and cand_p99 - base_p99 > p99_slack:
+        problems.append(
+            f"p99 latency {cand_p99:.4f}s > {p99_limit:.4f}s "
+            f"(baseline {base_p99:.4f}s + {tolerance:.0%})"
+        )
+
+    base_goodput = baseline["achieved"]["goodput_per_s"]
+    cand_goodput = candidate["achieved"]["goodput_per_s"]
+    goodput_floor = base_goodput * (1.0 - tolerance)
+    if cand_goodput < goodput_floor:
+        problems.append(
+            f"goodput {cand_goodput:.2f}/s < {goodput_floor:.2f}/s "
+            f"(baseline {base_goodput:.2f}/s - {tolerance:.0%})"
+        )
+
+    base_err = baseline["slo"].get("error_rate", 0.0)
+    cand_err = candidate["slo"].get("error_rate", 0.0)
+    if cand_err > base_err + ERROR_RATE_SLACK:
+        problems.append(
+            f"error rate {cand_err:.3f} > {base_err:.3f} + {ERROR_RATE_SLACK}"
+        )
+    return problems
+
+
+def _load(path: Path) -> dict:
+    report = load_report(path)
+    validate_report(report)
+    return report
+
+
+def _cmd_validate(paths: list[str]) -> int:
+    bad = 0
+    for name in paths:
+        try:
+            report = _load(Path(name))
+        except (OSError, ValueError, ConfigError) as exc:
+            print(f"INVALID {name}: {exc}")
+            bad += 1
+            continue
+        print(f"ok      {name} ({report['kind']} {report['scenario']})")
+    return 1 if bad else 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    baseline_dir = Path(args.baseline_dir)
+    candidate_dir = Path(args.candidate_dir)
+    candidates = sorted(candidate_dir.glob("BENCH_*.json"))
+    if not candidates:
+        print(f"no BENCH_*.json candidates in {candidate_dir}", file=sys.stderr)
+        return 2
+
+    failures = 0
+    compared = 0
+    for cand_path in candidates:
+        base_path = baseline_dir / cand_path.name
+        if not base_path.exists():
+            print(f"skip    {cand_path.name}: no committed baseline")
+            continue
+        try:
+            baseline = _load(base_path)
+            candidate = _load(cand_path)
+            problems = compare(baseline, candidate,
+                               tolerance=args.tolerance,
+                               p99_slack=args.p99_slack)
+        except (OSError, ValueError, ConfigError) as exc:
+            print(f"ERROR   {cand_path.name}: {exc}")
+            failures += 1
+            continue
+        compared += 1
+        if problems:
+            failures += 1
+            print(f"FAIL    {cand_path.name}")
+            for problem in problems:
+                print(f"        - {problem}")
+        else:
+            slo = candidate["slo"]["latency_s"]
+            print(f"pass    {cand_path.name}  "
+                  f"p99={slo['p99']:.4f}s  "
+                  f"goodput={candidate['achieved']['goodput_per_s']:.2f}/s")
+
+    if not compared and not failures:
+        print("no candidate matched a committed baseline", file=sys.stderr)
+        return 2
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--validate", nargs="+", metavar="JSON",
+                        help="schema-check these reports and exit")
+    parser.add_argument("--baseline-dir", default=".",
+                        help="directory holding committed BENCH_*.json")
+    parser.add_argument("--candidate-dir", default=None,
+                        help="directory holding freshly generated BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="relative regression budget for p99 and goodput")
+    parser.add_argument("--p99-slack", type=float, default=0.25, metavar="S",
+                        help="absolute p99 growth always tolerated (seconds)")
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        return _cmd_validate(args.validate)
+    if not args.candidate_dir:
+        parser.error("provide --candidate-dir (or --validate)")
+    return _cmd_compare(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

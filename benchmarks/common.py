@@ -1,0 +1,74 @@
+"""Shared JSON-results writer for benchmark scripts.
+
+Every benchmark that emits machine-readable results goes through
+:func:`emit_closed_loop_report`, which wraps the committed
+``BENCH_*.json`` schema from :mod:`repro.loadgen.report`.  The wrapper
+pins ``kind="closed-loop"`` because these scripts drive load the
+closed-loop way (next request only after the last returns): their
+latency numbers systematically omit the waiting an arrival process would
+have measured, so the comparator must never score them against the
+loadgen's open-loop numbers — and the schema's ``kind`` field is how it
+refuses to.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.loadgen.report import build_report, write_report
+
+
+def emit_closed_loop_report(
+    directory: Path | str,
+    *,
+    scenario: str,
+    script: str,
+    config: dict,
+    offered_ops: int,
+    achieved_ops: int,
+    duration_s: float,
+    latency_s: dict | None = None,
+    counts: dict | None = None,
+    shed_rate: float = 0.0,
+    error_rate: float = 0.0,
+    extra_slo: dict | None = None,
+    server: dict | None = None,
+) -> Path:
+    """Build + validate + write one closed-loop ``BENCH_<scenario>.json``.
+
+    ``latency_s`` must carry at least p50/p95/p99 (zeros are acceptable
+    for scripts that measure throughput, not latency); ``offered`` vs
+    ``achieved`` ops make the closed-loop bias explicit — under overload
+    a closed-loop driver *attempts* fewer ops than it intended, and that
+    gap is data, not noise.
+    """
+    duration = max(duration_s, 1e-9)
+    latency = {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    latency.update(latency_s or {})
+    slo = {
+        "latency_s": latency,
+        "latency_measurement": "closed-loop (from request start, not intended "
+                               "arrival; not comparable with open-loop numbers)",
+        "counts": counts or {"ok": achieved_ops},
+        "shed_rate": round(shed_rate, 4),
+        "error_rate": round(error_rate, 4),
+    }
+    slo.update(extra_slo or {})
+    report = build_report(
+        kind="closed-loop",
+        scenario=scenario,
+        generated_by=f"benchmarks/{script}",
+        config=config,
+        offered={
+            "ops": offered_ops,
+            "rate_per_s": round(offered_ops / duration, 3),
+        },
+        achieved={
+            "ops": achieved_ops,
+            "rate_per_s": round(achieved_ops / duration, 3),
+            "goodput_per_s": round((counts or {}).get("ok", achieved_ops) / duration, 3),
+        },
+        slo=slo,
+        server=server,
+    )
+    return write_report(directory, report)

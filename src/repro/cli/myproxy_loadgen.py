@@ -1,0 +1,189 @@
+"""``myproxy-loadgen`` — drive open-loop workload scenarios at a repository.
+
+Self-hosted by default (a complete single-node deployment assembled
+in-process over TCP loopback — a live server, minus the ops burden), or
+pointed at an external ``myproxy-server`` with ``--target``.
+
+Examples::
+
+    # The acceptance run: a renewal storm at 200 arrivals/s for 30 s.
+    myproxy-loadgen run --scenario renewal-storm --rate 200 --duration 30
+
+    # The CI preset that regenerates a committed baseline.
+    myproxy-loadgen run --scenario mixed-crud --smoke --out .
+
+    # Against a server you are running yourself.
+    myproxy-loadgen run --scenario portal-login --rate 50 --duration 20 \\
+        --target myproxy.example.org:7512 --trusted-ca ca.pem \\
+        --credential portal.pem
+
+Every run prints an SLO summary and writes ``BENCH_<scenario>.json``
+(schema in :mod:`repro.loadgen.report`) into ``--out``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli.common import parse_endpoint, run_tool
+from repro.core.policy import ServerPolicy
+from repro.loadgen.report import print_summary, write_report
+from repro.loadgen.runner import run_scenario
+from repro.loadgen.scenarios import SCENARIOS
+from repro.loadgen.schedule import SHAPES
+from repro.loadgen.target import ExternalTarget, SelfHostedTarget
+from repro.util.logging import configure_cli_logging
+
+#: Fixed smoke presets: the CI job and the committed baselines both use
+#: exactly these, so ``benchmarks/check_regression.py`` compares runs of
+#: the same offered load.
+SMOKE_PRESETS: dict[str, dict] = {
+    "renewal-storm": {"rate": 30.0, "duration": 12.0, "seed": 7, "users": 8,
+                      "agents": 64},
+    "mixed-crud": {"rate": 30.0, "duration": 12.0, "seed": 7, "users": 16},
+    "portal-login": {"rate": 20.0, "duration": 10.0, "seed": 7, "users": 16},
+    "restricted-delegation": {"rate": 20.0, "duration": 10.0, "seed": 7,
+                              "users": 8},
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="myproxy-loadgen",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lister = sub.add_parser("list", help="list available scenarios")
+    lister.add_argument("-v", "--verbose", action="store_true")
+
+    run = sub.add_parser("run", help="replay one scenario and emit BENCH json")
+    run.add_argument("--scenario", required=True, choices=sorted(SCENARIOS))
+    run.add_argument("--rate", type=float, default=None,
+                     help="offered arrivals per second (mean)")
+    run.add_argument("--duration", type=float, default=None,
+                     help="seconds of offered load")
+    run.add_argument("--shape", choices=SHAPES, default=None,
+                     help="arrival shape (default: the scenario's own)")
+    run.add_argument("--seed", type=int, default=None,
+                     help="schedule + op-mix seed (default 0)")
+    run.add_argument("--users", type=int, default=None,
+                     help="distinct identities in the keyspace")
+    run.add_argument("--agents", type=int, default=None,
+                     help="renewal-storm: distinct renewal agents")
+    run.add_argument("--vus", type=int, default=64,
+                     help="virtual-user pool size (open-loop workers)")
+    run.add_argument("--poisson", action="store_true",
+                     help="Poisson arrivals instead of deterministic spacing")
+    run.add_argument("--smoke", action="store_true",
+                     help="use the fixed CI preset for this scenario "
+                          "(rate/duration/seed/users pinned)")
+    run.add_argument("--out", default=".", metavar="DIR",
+                     help="directory for BENCH_<scenario>.json (default .)")
+    run.add_argument("--no-write", action="store_true",
+                     help="print the SLO summary only")
+    # -- self-hosted node knobs --
+    run.add_argument("--self-host", choices=("tcp", "pipe"), default="tcp",
+                     help="assemble the target node in-process (default tcp)")
+    run.add_argument("--max-connections", type=int, default=16,
+                     help="self-host: server worker pool size")
+    run.add_argument("--queue-depth", type=int, default=128,
+                     help="self-host: admission queue depth")
+    run.add_argument("--queue-deadline", type=float, default=2.0,
+                     help="self-host: longest admission wait before shedding")
+    run.add_argument("--kdf-iterations", type=int, default=20_000,
+                     help="self-host: PBKDF2 cost for stored verifiers")
+    # -- external node --
+    run.add_argument("--target", metavar="HOST:PORT", default=None,
+                     help="drive a live myproxy-server instead of self-hosting")
+    run.add_argument("--trusted-ca", action="append", default=None, metavar="PEM",
+                     help="CA the external server's credential chains to "
+                          "(repeatable)")
+    run.add_argument("--credential", metavar="PEM", default=None,
+                     help="credential to authenticate as against --target")
+    run.add_argument("--credential-passphrase", default=None)
+    run.add_argument("-v", "--verbose", action="store_true")
+    return parser
+
+
+def _make_target(args: argparse.Namespace):
+    if args.target is not None:
+        if not args.trusted_ca or not args.credential:
+            raise SystemExit("--target needs --trusted-ca and --credential")
+        return ExternalTarget(
+            parse_endpoint(args.target),
+            ca_paths=args.trusted_ca,
+            credential_path=args.credential,
+            credential_passphrase=args.credential_passphrase,
+        )
+    policy = ServerPolicy()
+    policy.qos_queue_depth = args.queue_depth
+    policy.qos_queue_deadline = args.queue_deadline
+    policy.kdf_iterations = args.kdf_iterations
+    return SelfHostedTarget(
+        transport=args.self_host,
+        policy=policy,
+        max_connections=args.max_connections,
+    )
+
+
+def _cmd_list() -> None:
+    for name in sorted(SCENARIOS):
+        cls = SCENARIOS[name]
+        headline = (cls.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:24s} {headline}")
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    preset = dict(SMOKE_PRESETS[args.scenario]) if args.smoke else {}
+    rate = args.rate if args.rate is not None else preset.get("rate")
+    duration = args.duration if args.duration is not None else preset.get("duration")
+    if rate is None or duration is None:
+        raise SystemExit("provide --rate and --duration (or --smoke)")
+    seed = args.seed if args.seed is not None else preset.get("seed", 0)
+    users = args.users if args.users is not None else preset.get("users")
+    extra: dict = {}
+    if args.scenario == "renewal-storm":
+        agents = args.agents if args.agents is not None else preset.get("agents")
+        if agents is not None:
+            extra["agents"] = agents
+
+    with _make_target(args) as target:
+        run = run_scenario(
+            target,
+            scenario=args.scenario,
+            rate=rate,
+            duration=duration,
+            shape=args.shape,
+            seed=seed,
+            users=users,
+            max_vus=args.vus,
+            poisson=args.poisson,
+            **extra,
+        )
+    print_summary(run.report)
+    if not args.no_write:
+        path = write_report(args.out, run.report)
+        print(f"wrote           {path}")
+    counts = run.report["slo"]["counts"]
+    if not counts.get("ok"):
+        print("FAIL: zero successful operations", file=sys.stderr)
+        raise SystemExit(1)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        configure_cli_logging(args.verbose)
+        _cmd_list()
+        return 0
+
+    def body() -> None:
+        _cmd_run(args)
+
+    return run_tool(body, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""`repro.loadgen` — the open-loop renewal-storm workload engine.
+
+The measurement substrate for the repository's performance trajectory:
+arrival-rate-driven scenarios (portal logins, Condor renewal storms,
+mixed CRUD, restricted delegation) replayed against a live node, scored
+against SLOs with latencies measured from *intended* arrival times (no
+coordinated omission), and emitted as committed ``BENCH_*.json``
+artifacts that ``benchmarks/check_regression.py`` gates in CI.
+
+Entry points: the ``myproxy-loadgen`` CLI
+(:mod:`repro.cli.myproxy_loadgen`) or :func:`run_scenario` in-process.
+"""
+
+from repro.loadgen.engine import OpenLoopEngine, RunResult
+from repro.loadgen.report import (
+    SCHEMA_VERSION,
+    bench_filename,
+    build_report,
+    load_report,
+    validate_report,
+    write_report,
+)
+from repro.loadgen.runner import ScenarioRun, run_scenario
+from repro.loadgen.scenarios import SCENARIOS, Scenario, build_scenario
+from repro.loadgen.schedule import ArrivalSchedule, ScheduleSpec, build_schedule
+from repro.loadgen.slo import Sample, SLOReport, percentile, score
+from repro.loadgen.target import ExternalTarget, SelfHostedTarget
+
+__all__ = [
+    "SCENARIOS",
+    "SCHEMA_VERSION",
+    "ArrivalSchedule",
+    "ExternalTarget",
+    "OpenLoopEngine",
+    "RunResult",
+    "Sample",
+    "SLOReport",
+    "Scenario",
+    "ScenarioRun",
+    "ScheduleSpec",
+    "SelfHostedTarget",
+    "bench_filename",
+    "build_report",
+    "build_scenario",
+    "build_schedule",
+    "load_report",
+    "percentile",
+    "run_scenario",
+    "score",
+    "validate_report",
+    "write_report",
+]

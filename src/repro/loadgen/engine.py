@@ -1,0 +1,177 @@
+"""The virtual-user scheduler: open-loop execution of an arrival schedule.
+
+Two timing modes share one code path for scoring:
+
+- **real** — a dispatcher thread walks the schedule against the wall
+  clock and hands each due arrival to a fixed pool of virtual-user
+  threads.  If every VU is busy the arrival *queues* and its eventual
+  latency includes the wait, measured from the intended arrival time —
+  the whole point of open-loop measurement.  Arrival times never depend
+  on completions, so a slow server cannot quietly lower the offered
+  load (no coordinated omission).
+
+- **deterministic** — for tests: a :class:`~repro.util.clock.ManualClock`
+  is advanced to each intended arrival and the operation runs inline.
+  Intended timestamps are then *exactly* the schedule's offsets, and the
+  run is reproducible from the spec's seed alone.
+
+Operations signal their fate by exception: a
+:class:`~repro.util.errors.ServerBusyError` scores as ``busy`` (the
+server's graceful shed — an SLO number, not a failure), any other
+:class:`~repro.util.errors.ReproError` as ``error``, a clean return as
+``ok``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.loadgen.schedule import ArrivalSchedule
+from repro.loadgen.slo import Sample, SLOReport, score
+from repro.util.clock import Clock, ManualClock
+from repro.util.errors import ReproError, ServerBusyError
+from repro.util.logging import get_logger
+
+logger = get_logger("loadgen.engine")
+
+#: An operation takes the arrival index and returns nothing; its fate is
+#: its return/raise behaviour.
+Operation = Callable[[int], None]
+
+_SENTINEL = object()
+
+
+@dataclass
+class RunResult:
+    """Raw samples plus the derived SLO report."""
+
+    samples: list[Sample]
+    report: SLOReport
+    wall_seconds: float
+
+
+class OpenLoopEngine:
+    """Replays an :class:`ArrivalSchedule` against a scenario's operations."""
+
+    def __init__(
+        self,
+        schedule: ArrivalSchedule,
+        operation: Operation,
+        *,
+        max_vus: int = 64,
+        clock: Clock | None = None,
+    ) -> None:
+        if max_vus < 1:
+            raise ValueError("need at least one virtual user")
+        self.schedule = schedule
+        self.operation = operation
+        self.max_vus = max_vus
+        self.clock = clock
+        self._samples: list[Sample] = []
+        self._samples_lock = threading.Lock()
+
+    # -- shared plumbing -------------------------------------------------
+
+    def _execute(self, index: int, intended: float, started: float) -> Sample:
+        begin = time.perf_counter()
+        outcome, detail = "ok", ""
+        try:
+            self.operation(index)
+        except ServerBusyError:
+            outcome = "busy"
+        except ReproError as exc:
+            outcome, detail = "error", type(exc).__name__
+        except Exception as exc:  # noqa: BLE001 - scenario bugs must surface in the report
+            outcome, detail = "error", type(exc).__name__
+            logger.warning("op %d raised %s: %s", index, type(exc).__name__, exc)
+        service = time.perf_counter() - begin
+        return Sample(
+            index=index,
+            intended=intended,
+            started=started,
+            finished=started + service,
+            outcome=outcome,
+            detail=detail,
+        )
+
+    def _record(self, sample: Sample) -> None:
+        with self._samples_lock:
+            self._samples.append(sample)
+
+    # -- real-time mode --------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Run the schedule against the wall clock with a VU pool."""
+        if isinstance(self.clock, ManualClock):
+            return self.run_deterministic()
+        work: queue.Queue = queue.Queue()
+        base = time.perf_counter()
+
+        def vu_loop() -> None:
+            while True:
+                item = work.get()
+                if item is _SENTINEL:
+                    return
+                index, intended = item
+                self._record(
+                    self._execute(index, intended, time.perf_counter() - base)
+                )
+
+        vus = [
+            threading.Thread(target=vu_loop, name=f"loadgen-vu-{i}", daemon=True)
+            for i in range(self.max_vus)
+        ]
+        for vu in vus:
+            vu.start()
+        for index, offset in enumerate(self.schedule.offsets):
+            delay = offset - (time.perf_counter() - base)
+            if delay > 0:
+                time.sleep(delay)
+            work.put((index, offset))
+        for _ in vus:
+            work.put(_SENTINEL)
+        for vu in vus:
+            vu.join()
+        wall = time.perf_counter() - base
+        return self._finish(wall)
+
+    # -- deterministic mode ----------------------------------------------
+
+    def run_deterministic(self) -> RunResult:
+        """Advance a manual clock through the schedule; ops run inline.
+
+        ``started`` equals the intended offset exactly (the virtual user
+        is never late in virtual time), so recorded latencies reduce to
+        the measured service time — which keeps the SLO math observable
+        while the *schedule* is what the test asserts against.
+        """
+        clock = self.clock
+        if not isinstance(clock, ManualClock):
+            raise ValueError("deterministic mode needs a ManualClock")
+        start = clock.now()
+        for index, offset in enumerate(self.schedule.offsets):
+            due = start + offset
+            lag = due - clock.now()
+            if lag > 0:
+                clock.advance(lag)
+            self._record(self._execute(index, offset, offset))
+        duration = self.schedule.spec.duration
+        remaining = (start + duration) - clock.now()
+        if remaining > 0:
+            clock.advance(remaining)
+        return self._finish(duration)
+
+    def _finish(self, wall: float) -> RunResult:
+        with self._samples_lock:
+            samples = sorted(self._samples, key=lambda s: s.index)
+        report = score(
+            samples,
+            offered_ops=len(self.schedule),
+            offered_rate=self.schedule.offered_rate,
+            duration=max(wall, self.schedule.spec.duration),
+        )
+        return RunResult(samples=samples, report=report, wall_seconds=wall)

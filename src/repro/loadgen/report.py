@@ -1,0 +1,194 @@
+"""The committed ``BENCH_*.json`` performance-trajectory schema.
+
+Every benchmark artifact this repository commits — loadgen scenario runs
+and the closed-loop scripts migrated onto the same writer — shares one
+schema, so ``benchmarks/check_regression.py`` can compare any pair of
+reports without knowing who produced them:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "kind": "open-loop" | "closed-loop",
+      "scenario": "renewal-storm",
+      "generated_by": "repro.loadgen 1.0.0",
+      "config": {"rate": 40.0, "duration": 15.0, "shape": "storm", "seed": 7},
+      "offered": {"ops": 600, "rate_per_s": 40.0},
+      "achieved": {"ops": 600, "rate_per_s": 40.0, "goodput_per_s": 39.8},
+      "slo": {"latency_s": {"p50": ..., "p95": ..., "p99": ...},
+               "shed_rate": 0.0, "error_rate": 0.0, "counts": {...}},
+      "server": {"myproxy_shed_reason_total": {...}},
+      "env": {"python": "3.12.3", "platform": "Linux-...", "cpu_count": 8}
+    }
+
+``kind`` exists because closed-loop latencies are **not comparable** to
+open-loop ones (they omit the waiting a real arrival process would have
+measured); the comparator refuses to cross-compare the two kinds.
+
+Committed baselines live at the repo root as ``BENCH_<scenario>.json``
+(dashes folded to underscores) and are regenerated per PR by the CI
+smoke job; ``validate_report`` is the schema gate both sides run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+from repro.util.errors import ConfigError
+
+SCHEMA_VERSION = 1
+KINDS = ("open-loop", "closed-loop")
+
+#: Keys every report must carry, with the type each must have.
+_REQUIRED: tuple[tuple[str, type], ...] = (
+    ("schema_version", int),
+    ("kind", str),
+    ("scenario", str),
+    ("generated_by", str),
+    ("config", dict),
+    ("offered", dict),
+    ("achieved", dict),
+    ("slo", dict),
+    ("env", dict),
+)
+
+_REQUIRED_SLO_LATENCY = ("p50", "p95", "p99")
+
+
+def bench_filename(scenario: str) -> str:
+    """``renewal-storm`` → ``BENCH_renewal_storm.json``."""
+    slug = scenario.replace("-", "_").replace(" ", "_")
+    return f"BENCH_{slug}.json"
+
+
+def env_fingerprint() -> dict:
+    """Where these numbers came from — context, not a comparison key."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 0,
+    }
+
+
+def build_report(
+    *,
+    kind: str,
+    scenario: str,
+    config: dict,
+    offered: dict,
+    achieved: dict,
+    slo: dict,
+    server: dict | None = None,
+    generated_by: str = "repro.loadgen",
+) -> dict:
+    """Assemble (and validate) one schema-conformant report document."""
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": kind,
+        "scenario": scenario,
+        "generated_by": generated_by,
+        "config": config,
+        "offered": offered,
+        "achieved": achieved,
+        "slo": slo,
+        "server": server or {},
+        "env": env_fingerprint(),
+    }
+    validate_report(report)
+    return report
+
+
+def validate_report(doc: object) -> dict:
+    """Raise :class:`ConfigError` unless ``doc`` conforms; return it typed."""
+    if not isinstance(doc, dict):
+        raise ConfigError("BENCH report must be a JSON object")
+    for key, expected in _REQUIRED:
+        if key not in doc:
+            raise ConfigError(f"BENCH report missing required key {key!r}")
+        if not isinstance(doc[key], expected):
+            raise ConfigError(
+                f"BENCH report key {key!r} must be {expected.__name__}, "
+                f"got {type(doc[key]).__name__}"
+            )
+    if doc["schema_version"] != SCHEMA_VERSION:
+        raise ConfigError(
+            f"unsupported BENCH schema_version {doc['schema_version']!r} "
+            f"(this tree speaks {SCHEMA_VERSION})"
+        )
+    if doc["kind"] not in KINDS:
+        raise ConfigError(f"BENCH kind must be one of {KINDS}, got {doc['kind']!r}")
+    if not doc["scenario"]:
+        raise ConfigError("BENCH scenario must be non-empty")
+    for block, field in (("offered", "ops"), ("offered", "rate_per_s"),
+                         ("achieved", "ops"), ("achieved", "goodput_per_s")):
+        value = doc[block].get(field)
+        if not isinstance(value, (int, float)):
+            raise ConfigError(f"BENCH {block}.{field} must be a number")
+        if value < 0:
+            raise ConfigError(f"BENCH {block}.{field} must be non-negative")
+    latency = doc["slo"].get("latency_s")
+    if not isinstance(latency, dict):
+        raise ConfigError("BENCH slo.latency_s must be an object")
+    for quantile in _REQUIRED_SLO_LATENCY:
+        if not isinstance(latency.get(quantile), (int, float)):
+            raise ConfigError(f"BENCH slo.latency_s.{quantile} must be a number")
+    shed = doc["slo"].get("shed_rate")
+    if not isinstance(shed, (int, float)) or not 0.0 <= shed <= 1.0:
+        raise ConfigError("BENCH slo.shed_rate must be a number in [0, 1]")
+    return doc
+
+
+def write_report(directory: Path | str, report: dict) -> Path:
+    """Validate and write ``BENCH_<scenario>.json`` into ``directory``."""
+    validate_report(report)
+    out = Path(directory) / bench_filename(report["scenario"])
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return out
+
+
+def load_report(path: Path | str) -> dict:
+    """Read and validate one committed report."""
+    raw = Path(path).read_text()
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{path}: not valid JSON ({exc})") from exc
+    try:
+        return validate_report(doc)
+    except ConfigError as exc:
+        raise ConfigError(f"{path}: {exc}") from exc
+
+
+def print_summary(report: dict, stream=sys.stdout) -> None:
+    """One human-readable block per run (the CLI's stdout)."""
+    slo = report["slo"]
+    latency = slo["latency_s"]
+    print(f"scenario       {report['scenario']}  [{report['kind']}]", file=stream)
+    print(
+        f"offered        {report['offered']['ops']} ops @ "
+        f"{report['offered']['rate_per_s']:.1f}/s",
+        file=stream,
+    )
+    print(
+        f"achieved       {report['achieved']['ops']} ops, goodput "
+        f"{report['achieved']['goodput_per_s']:.1f}/s",
+        file=stream,
+    )
+    print(
+        "latency        p50 {p50:.4f}s  p95 {p95:.4f}s  p99 {p99:.4f}s".format(**{
+            q: latency.get(q, 0.0) for q in ("p50", "p95", "p99")
+        }),
+        file=stream,
+    )
+    print(
+        f"shed/error     {slo['shed_rate']:.2%} shed, "
+        f"{slo.get('error_rate', 0.0):.2%} error",
+        file=stream,
+    )

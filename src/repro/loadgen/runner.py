@@ -1,0 +1,89 @@
+"""Glue: scenario + schedule + engine → one validated BENCH report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.loadgen.engine import OpenLoopEngine, RunResult
+from repro.loadgen.report import build_report
+from repro.loadgen.scenarios import Scenario, build_scenario
+from repro.loadgen.schedule import ArrivalSchedule, ScheduleSpec, build_schedule
+from repro.loadgen.slo import scrape_server_view
+
+
+@dataclass
+class ScenarioRun:
+    """Everything one run produced."""
+
+    scenario: Scenario
+    schedule: ArrivalSchedule
+    result: RunResult
+    report: dict  # the BENCH document
+
+
+def run_scenario(
+    target,
+    *,
+    scenario: str,
+    rate: float,
+    duration: float,
+    shape: str | None = None,
+    seed: int = 0,
+    users: int | None = None,
+    max_vus: int = 64,
+    poisson: bool = False,
+    deterministic_clock=None,
+    **scenario_kwargs,
+) -> ScenarioRun:
+    """Set up ``scenario`` on ``target``, replay its schedule, score it.
+
+    ``deterministic_clock`` (a :class:`~repro.util.clock.ManualClock`)
+    switches the engine to virtual time — the test mode.
+    """
+    built = build_scenario(
+        scenario, target, users=users, seed=seed, **scenario_kwargs
+    )
+    spec = ScheduleSpec(
+        rate=rate,
+        duration=duration,
+        shape=shape or built.default_shape,
+        seed=seed,
+        poisson=poisson,
+    )
+    schedule = build_schedule(spec)
+    built.setup()
+    engine = OpenLoopEngine(
+        schedule, built.operation, max_vus=max_vus, clock=deterministic_clock
+    )
+    result = engine.run()
+    slo = result.report.to_payload()
+    report = build_report(
+        kind="open-loop",
+        scenario=built.name,
+        config={
+            "rate": rate,
+            "duration": duration,
+            "shape": spec.shape,
+            "seed": seed,
+            "poisson": poisson,
+            "max_vus": max_vus,
+            "deterministic": deterministic_clock is not None,
+            **built.config(),
+        },
+        offered=slo["offered"],
+        achieved=slo["achieved"],
+        slo={
+            "latency_s": slo["latency_s"],
+            "service_time_s": slo["service_time_s"],
+            "counts": slo["counts"],
+            "shed_rate": slo["shed_rate"],
+            "error_rate": slo["error_rate"],
+            "max_lateness_s": slo["max_lateness_s"],
+            "errors": slo["errors"],
+            "client": target.client_stats.snapshot(),
+        },
+        server=scrape_server_view(target.server_snapshot()),
+    )
+    return ScenarioRun(
+        scenario=built, schedule=schedule, result=result, report=report
+    )

@@ -1,0 +1,178 @@
+"""SLO scoring for a load-generator run.
+
+Latency percentiles here are **exact** (computed from every recorded
+sample with linear interpolation), unlike the bucketed estimates the
+server's own histograms report — the loadgen is the measuring instrument,
+so it should not round.  Every latency is measured from the *intended*
+arrival time, so a sample that spent 2 s waiting behind a stalled server
+scores as 2 s even though the socket round-trip was fast: this is the
+anti-coordinated-omission contract.
+
+The score also folds in the server's own view when the target exposes an
+obs registry snapshot (shed reasons, admission waits) — the client sees
+*that* it was shed, the registry says *why*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+OUTCOMES = ("ok", "busy", "error")
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Exact q-quantile (q in [0, 1]) with linear interpolation.
+
+    Uses the standard ``(n-1)·q`` rank convention (numpy's default), so
+    ``percentile(xs, 0.5)`` of an even-length list is the midpoint of the
+    two middle samples.  Returns 0.0 for an empty list.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must lie in [0, 1]")
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+
+@dataclass
+class Sample:
+    """One virtual-user operation, timed from its intended arrival."""
+
+    index: int
+    intended: float  # scheduled offset from run start (seconds)
+    started: float  # when the op actually began executing
+    finished: float  # when the op returned
+    outcome: str  # "ok" | "busy" | "error"
+    detail: str = ""
+
+    @property
+    def latency(self) -> float:
+        """Intended-to-finish: includes any lateness behind the schedule."""
+        return self.finished - self.intended
+
+    @property
+    def service_time(self) -> float:
+        """Start-to-finish — what a closed-loop driver would have reported."""
+        return self.finished - self.started
+
+
+@dataclass
+class SLOReport:
+    """The scored outcome of one scenario run."""
+
+    offered_ops: int
+    offered_rate: float
+    duration: float
+    counts: dict[str, int] = field(default_factory=dict)
+    latency: dict[str, float] = field(default_factory=dict)
+    service_time: dict[str, float] = field(default_factory=dict)
+    goodput_per_s: float = 0.0
+    achieved_rate: float = 0.0
+    shed_rate: float = 0.0
+    error_rate: float = 0.0
+    max_lateness_s: float = 0.0
+    errors: dict[str, int] = field(default_factory=dict)
+
+    def to_payload(self) -> dict:
+        return {
+            "offered": {"ops": self.offered_ops, "rate_per_s": round(self.offered_rate, 3)},
+            "achieved": {
+                "ops": sum(self.counts.values()),
+                "rate_per_s": round(self.achieved_rate, 3),
+                "goodput_per_s": round(self.goodput_per_s, 3),
+            },
+            "counts": dict(self.counts),
+            "latency_s": self.latency,
+            "service_time_s": self.service_time,
+            "shed_rate": round(self.shed_rate, 4),
+            "error_rate": round(self.error_rate, 4),
+            "max_lateness_s": round(self.max_lateness_s, 4),
+            "errors": dict(self.errors),
+        }
+
+
+def _summary(values: list[float]) -> dict[str, float]:
+    if not values:
+        return {"count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "count": len(values),
+        "p50": round(percentile(values, 0.50), 6),
+        "p95": round(percentile(values, 0.95), 6),
+        "p99": round(percentile(values, 0.99), 6),
+        "mean": round(sum(values) / len(values), 6),
+        "max": round(max(values), 6),
+    }
+
+
+def score(samples: list[Sample], *, offered_ops: int, offered_rate: float,
+          duration: float) -> SLOReport:
+    """Fold raw samples into the per-scenario SLO numbers."""
+    counts = {outcome: 0 for outcome in OUTCOMES}
+    errors: dict[str, int] = {}
+    ok_latencies: list[float] = []
+    ok_service: list[float] = []
+    for sample in samples:
+        counts[sample.outcome] = counts.get(sample.outcome, 0) + 1
+        if sample.outcome == "ok":
+            ok_latencies.append(sample.latency)
+            ok_service.append(sample.service_time)
+        elif sample.outcome == "error" and sample.detail:
+            errors[sample.detail] = errors.get(sample.detail, 0) + 1
+    attempted = len(samples)
+    report = SLOReport(
+        offered_ops=offered_ops,
+        offered_rate=offered_rate,
+        duration=duration,
+        counts=counts,
+        latency=_summary(ok_latencies),
+        service_time=_summary(ok_service),
+        goodput_per_s=counts["ok"] / duration if duration else 0.0,
+        achieved_rate=attempted / duration if duration else 0.0,
+        shed_rate=counts["busy"] / attempted if attempted else 0.0,
+        error_rate=counts["error"] / attempted if attempted else 0.0,
+        max_lateness_s=max((s.started - s.intended for s in samples), default=0.0),
+        errors=errors,
+    )
+    return report
+
+
+#: Registry families worth carrying into a BENCH report when the target
+#: is self-hosted (the server-side half of the story).
+_SERVER_FAMILIES = (
+    "myproxy_shed_reason_total",
+    "myproxy_qos_admitted_total",
+    "myproxy_gets_total",
+    "myproxy_puts_total",
+    "myproxy_denials_total",
+    "myproxy_handshake_failures_total",
+)
+
+
+def scrape_server_view(snapshot: dict) -> dict:
+    """Distill an obs-registry snapshot into the report's ``server`` block."""
+    view: dict = {}
+    for family in _SERVER_FAMILIES:
+        if family in snapshot:
+            view[family] = snapshot[family]
+    wait = snapshot.get("myproxy_qos_admission_wait_seconds")
+    if isinstance(wait, dict):
+        view["admission_wait_s"] = {
+            "count": wait.get("count", 0),
+            "p50": wait.get("p50"),
+            "p99": wait.get("p99"),
+        }
+    request = snapshot.get("myproxy_request_seconds")
+    if isinstance(request, dict):
+        view["request_seconds"] = {
+            label: {"count": s["count"], "p50": s["p50"], "p99": s["p99"]}
+            for label, s in request.items()
+            if isinstance(s, dict)
+        }
+    return view

@@ -1,0 +1,107 @@
+"""The regression comparator: tolerances, slack, and the kind firewall."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.check_regression import compare, main
+from repro.util.errors import ConfigError
+
+
+def _report(*, kind="open-loop", scenario="mixed-crud", p99=0.10,
+            goodput=30.0, error_rate=0.0) -> dict:
+    return {
+        "schema_version": 1,
+        "kind": kind,
+        "scenario": scenario,
+        "generated_by": "test",
+        "config": {},
+        "offered": {"ops": 300, "rate_per_s": 30.0},
+        "achieved": {"ops": 300, "rate_per_s": 30.0, "goodput_per_s": goodput},
+        "slo": {"latency_s": {"p50": p99 / 2, "p95": p99 * 0.9, "p99": p99},
+                "shed_rate": 0.0, "error_rate": error_rate},
+        "server": {},
+        "env": {},
+    }
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        assert compare(_report(), _report(), tolerance=0.2, p99_slack=0.25) == []
+
+    def test_p99_regression_needs_both_relative_and_absolute_growth(self):
+        base = _report(p99=0.10)
+        # +50% relative but only +0.05 s absolute: inside the slack → pass
+        assert compare(base, _report(p99=0.15), tolerance=0.2, p99_slack=0.25) == []
+        # +50% relative AND past the slack → fail
+        problems = compare(_report(p99=1.0), _report(p99=1.5),
+                           tolerance=0.2, p99_slack=0.25)
+        assert len(problems) == 1 and "p99" in problems[0]
+
+    def test_goodput_regression_fails(self):
+        problems = compare(_report(goodput=30.0), _report(goodput=20.0),
+                           tolerance=0.2, p99_slack=0.25)
+        assert any("goodput" in p for p in problems)
+        # a 10% dip stays inside the 20% budget
+        assert compare(_report(goodput=30.0), _report(goodput=27.0),
+                       tolerance=0.2, p99_slack=0.25) == []
+
+    def test_error_rate_growth_fails(self):
+        problems = compare(_report(error_rate=0.0), _report(error_rate=0.10),
+                           tolerance=0.2, p99_slack=0.25)
+        assert any("error rate" in p for p in problems)
+
+    def test_cross_kind_comparison_refused(self):
+        with pytest.raises(ConfigError, match="refusing"):
+            compare(_report(kind="open-loop"), _report(kind="closed-loop"),
+                    tolerance=0.2, p99_slack=0.25)
+
+    def test_scenario_mismatch_refused(self):
+        with pytest.raises(ConfigError, match="scenario mismatch"):
+            compare(_report(scenario="a"), _report(scenario="b"),
+                    tolerance=0.2, p99_slack=0.25)
+
+
+class TestCli:
+    def _write(self, directory, doc):
+        name = f"BENCH_{doc['scenario'].replace('-', '_')}.json"
+        (directory / name).write_text(json.dumps(doc))
+
+    def test_pass_exit_zero(self, tmp_path):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        base.mkdir(), cand.mkdir()
+        self._write(base, _report())
+        self._write(cand, _report())
+        assert main(["--baseline-dir", str(base),
+                     "--candidate-dir", str(cand)]) == 0
+
+    def test_regression_exit_one(self, tmp_path):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        base.mkdir(), cand.mkdir()
+        self._write(base, _report(goodput=30.0))
+        self._write(cand, _report(goodput=10.0))
+        assert main(["--baseline-dir", str(base),
+                     "--candidate-dir", str(cand)]) == 1
+
+    def test_no_candidates_exit_two(self, tmp_path):
+        empty = tmp_path / "cand"
+        empty.mkdir()
+        assert main(["--baseline-dir", str(tmp_path),
+                     "--candidate-dir", str(empty)]) == 2
+
+    def test_candidate_without_baseline_is_skipped(self, tmp_path):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        base.mkdir(), cand.mkdir()
+        self._write(cand, _report(scenario="novel"))
+        assert main(["--baseline-dir", str(base),
+                     "--candidate-dir", str(cand)]) == 2  # nothing compared
+
+    def test_validate_mode(self, tmp_path):
+        good = tmp_path / "BENCH_ok.json"
+        good.write_text(json.dumps(_report()))
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{}")
+        assert main(["--validate", str(good)]) == 0
+        assert main(["--validate", str(good), str(bad)]) == 1

@@ -1,0 +1,94 @@
+"""The BENCH_*.json schema gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.loadgen.report import (
+    bench_filename,
+    build_report,
+    load_report,
+    validate_report,
+    write_report,
+)
+from repro.util.errors import ConfigError
+
+
+def _minimal(**overrides) -> dict:
+    doc = {
+        "schema_version": 1,
+        "kind": "open-loop",
+        "scenario": "renewal-storm",
+        "generated_by": "repro.loadgen",
+        "config": {"rate": 30.0},
+        "offered": {"ops": 360, "rate_per_s": 30.0},
+        "achieved": {"ops": 360, "rate_per_s": 30.0, "goodput_per_s": 29.5},
+        "slo": {"latency_s": {"p50": 0.01, "p95": 0.02, "p99": 0.05},
+                "shed_rate": 0.0},
+        "server": {},
+        "env": {"python": "3.12"},
+    }
+    doc.update(overrides)
+    return doc
+
+
+def test_bench_filename_slug():
+    assert bench_filename("renewal-storm") == "BENCH_renewal_storm.json"
+    assert bench_filename("mixed-crud") == "BENCH_mixed_crud.json"
+
+
+def test_build_report_validates_and_fingerprints():
+    report = build_report(
+        kind="open-loop", scenario="portal-login", config={},
+        offered={"ops": 1, "rate_per_s": 1.0},
+        achieved={"ops": 1, "rate_per_s": 1.0, "goodput_per_s": 1.0},
+        slo={"latency_s": {"p50": 0.0, "p95": 0.0, "p99": 0.0}, "shed_rate": 0.0},
+    )
+    assert report["schema_version"] == 1
+    assert "python" in report["env"] and "cpu_count" in report["env"]
+
+
+def test_valid_document_passes():
+    assert validate_report(_minimal()) is not None
+
+
+@pytest.mark.parametrize("mutate", [
+    lambda d: d.pop("scenario"),
+    lambda d: d.pop("env"),
+    lambda d: d.update(schema_version=99),
+    lambda d: d.update(kind="half-open"),
+    lambda d: d.update(scenario=""),
+    lambda d: d["offered"].pop("rate_per_s"),
+    lambda d: d["achieved"].update(goodput_per_s=-1.0),
+    lambda d: d["slo"].update(latency_s={"p50": 0.1}),  # missing p95/p99
+    lambda d: d["slo"].update(shed_rate=1.5),
+    lambda d: d["slo"].update(latency_s="fast"),
+])
+def test_malformed_documents_rejected(mutate):
+    doc = _minimal()
+    mutate(doc)
+    with pytest.raises(ConfigError):
+        validate_report(doc)
+
+
+def test_write_then_load_round_trip(tmp_path):
+    doc = _minimal()
+    path = write_report(tmp_path, doc)
+    assert path.name == "BENCH_renewal_storm.json"
+    assert load_report(path) == doc
+
+
+def test_load_rejects_non_json(tmp_path):
+    path = tmp_path / "BENCH_bad.json"
+    path.write_text("{not json")
+    with pytest.raises(ConfigError):
+        load_report(path)
+
+
+def test_load_names_offending_file(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text(json.dumps(_minimal(kind="half-open")))
+    with pytest.raises(ConfigError, match="BENCH_x.json"):
+        load_report(path)

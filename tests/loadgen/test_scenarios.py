@@ -1,0 +1,131 @@
+"""Scenarios against a real (pipe-transport) node on a manual clock.
+
+These are the deterministic end-to-end runs: the full loadgen stack —
+scenario setup, seeded schedule, engine, SLO scoring, BENCH document —
+driving an in-process single-node deployment in virtual time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen.report import validate_report
+from repro.loadgen.runner import run_scenario
+from repro.loadgen.scenarios import (
+    RESTRICTIONS,
+    PolicyLostError,
+    RestrictedDelegationScenario,
+    build_scenario,
+)
+from repro.loadgen.target import SelfHostedTarget
+from repro.pki.proxy import create_proxy
+from repro.util.clock import ManualClock
+from repro.util.errors import ConfigError
+
+EPOCH = 1_600_000_000.0
+
+
+@pytest.fixture()
+def target(key_pool):
+    clock = ManualClock(EPOCH)
+    with SelfHostedTarget(transport="pipe", clock=clock,
+                          key_source=key_pool) as t:
+        yield t
+
+
+def _run(target, scenario, *, rate, duration, users, **kwargs):
+    return run_scenario(
+        target,
+        scenario=scenario,
+        rate=rate,
+        duration=duration,
+        users=users,
+        seed=7,
+        deterministic_clock=target.clock,
+        **kwargs,
+    )
+
+
+def test_portal_login_all_ok_with_exact_arrivals(target):
+    run = _run(target, "portal-login", rate=5.0, duration=2.0, users=3)
+    # the sine shape front-loads the first half-period, so the offered
+    # count comes from the schedule, not rate × duration
+    offered = len(run.schedule)
+    assert offered > 0
+    assert run.report["slo"]["counts"] == {"ok": offered, "busy": 0, "error": 0}
+    # deterministic mode: intended timestamps are exactly the sine schedule
+    assert [s.intended for s in run.result.samples] == list(run.schedule.offsets)
+    validate_report(run.report)
+    assert run.report["kind"] == "open-loop"
+    assert run.report["config"]["shape"] == "sine"
+
+
+def test_renewal_storm_renews_by_possession(target):
+    run = _run(target, "renewal-storm", rate=4.0, duration=10.0,
+               users=2, agents=8)
+    counts = run.report["slo"]["counts"]
+    assert counts["error"] == 0
+    assert counts["ok"] == 40  # one epoch: rate × storm_period
+    # the server saw real renewal GETs
+    server = run.report["server"]
+    assert server.get("myproxy_gets_total", 0) >= counts["ok"]
+    assert run.report["config"]["agents"] == 8
+
+
+def test_mixed_crud_follows_seeded_mix(target):
+    run = _run(target, "mixed-crud", rate=10.0, duration=2.0, users=4)
+    counts = run.report["slo"]["counts"]
+    assert counts["error"] == 0
+    assert counts["ok"] == 20
+    # the op mix is drawn once from the seed at setup time — recompute
+    # the same seeded draw and check the scenario actually used it
+    import random
+
+    from repro.loadgen.scenarios import MixedCrudScenario
+
+    ops, weights = zip(*MixedCrudScenario.WEIGHTS)
+    expected = random.Random(7).choices(ops, weights=weights, k=65536)
+    assert run.scenario._mix == expected
+
+
+def test_restricted_delegation_policy_round_trip(target):
+    run = _run(target, "restricted-delegation", rate=5.0, duration=2.0, users=2)
+    counts = run.report["slo"]["counts"]
+    assert counts == {"ok": 10, "busy": 0, "error": 0}
+    assert run.report["slo"]["errors"] == {}
+
+
+def test_verify_restrictions_rejects_unrestricted_proxy(target):
+    """The scenario's check actually bites: a policy-free proxy fails it."""
+    user = target.new_user("victim")
+    bare = create_proxy(
+        user.credential,
+        lifetime=3600.0,
+        key_source=target.key_source,
+        clock=target.clock,
+    )
+    with pytest.raises(PolicyLostError):
+        RestrictedDelegationScenario.verify_restrictions(bare)
+
+
+def test_verify_restrictions_accepts_the_stored_policy(target):
+    user = target.new_user("holder")
+    restricted = create_proxy(
+        user.credential,
+        lifetime=3600.0,
+        restrictions=RESTRICTIONS,
+        key_source=target.key_source,
+        clock=target.clock,
+    )
+    RestrictedDelegationScenario.verify_restrictions(restricted)  # no raise
+
+
+def test_unknown_scenario_rejected(target):
+    with pytest.raises(ConfigError, match="unknown scenario"):
+        build_scenario("coffee-break", target)
+
+
+def test_report_carries_client_and_server_views(target):
+    run = _run(target, "portal-login", rate=5.0, duration=1.0, users=2)
+    assert "client" in run.report["slo"]
+    assert "request_seconds" in run.report["server"] or run.report["server"]

@@ -1,0 +1,102 @@
+"""Arrival schedules are pure functions of their spec — assert exact output."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen.schedule import ScheduleSpec, build_schedule
+from repro.util.errors import ConfigError
+
+
+class TestConstantShape:
+    def test_exact_timestamps(self):
+        """The deterministic contract: 10/s for 2 s is exactly these offsets."""
+        schedule = build_schedule(ScheduleSpec(rate=10.0, duration=2.0))
+        assert schedule.offsets == tuple(i / 10.0 for i in range(20))
+
+    def test_offered_rate_matches_spec(self):
+        schedule = build_schedule(ScheduleSpec(rate=50.0, duration=4.0))
+        assert len(schedule) == 200
+        assert schedule.offered_rate == pytest.approx(50.0)
+
+    def test_seed_is_irrelevant_without_randomness(self):
+        a = build_schedule(ScheduleSpec(rate=7.0, duration=3.0, seed=1))
+        b = build_schedule(ScheduleSpec(rate=7.0, duration=3.0, seed=2))
+        assert a.offsets == b.offsets
+
+
+class TestShapedArrivals:
+    def test_burst_is_mean_preserving(self):
+        """Bursts borrow from the troughs: total arrivals track rate×duration."""
+        spec = ScheduleSpec(rate=10.0, duration=10.0, shape="burst",
+                            burst_multiple=4.0, burst_period=5.0, burst_seconds=1.0)
+        schedule = build_schedule(spec)
+        assert len(schedule) == pytest.approx(100, abs=3)
+        # and the first burst second really is ~4× the quiet floor
+        in_burst = sum(1 for t in schedule.offsets if t % 5.0 < 1.0)
+        quiet = len(schedule) - in_burst
+        assert in_burst > quiet  # 2 burst-seconds carry most of the load
+
+    def test_ramp_accelerates(self):
+        schedule = build_schedule(ScheduleSpec(rate=10.0, duration=4.0, shape="ramp"))
+        first_half = sum(1 for t in schedule.offsets if t < 2.0)
+        second_half = len(schedule) - first_half
+        assert second_half > 2 * first_half  # density grows linearly
+
+    def test_sine_total_matches_integral(self):
+        # Over whole periods the sine term integrates to zero.
+        spec = ScheduleSpec(rate=8.0, duration=10.0, shape="sine",
+                            sine_period=10.0, sine_amplitude=0.8)
+        schedule = build_schedule(spec)
+        assert len(schedule) == pytest.approx(80, abs=2)
+
+    def test_storm_clusters_inside_window(self):
+        spec = ScheduleSpec(rate=4.0, duration=20.0, shape="storm", seed=3,
+                            storm_period=10.0, storm_window=2.0)
+        schedule = build_schedule(spec)
+        assert len(schedule) == 80  # 2 epochs × rate×period
+        for t in schedule.offsets:
+            assert (t % 10.0) < 2.0, f"arrival {t} escaped the storm window"
+
+    def test_storm_is_seed_reproducible(self):
+        spec = ScheduleSpec(rate=5.0, duration=20.0, shape="storm", seed=11)
+        assert build_schedule(spec).offsets == build_schedule(spec).offsets
+        other = ScheduleSpec(rate=5.0, duration=20.0, shape="storm", seed=12)
+        assert build_schedule(spec).offsets != build_schedule(other).offsets
+
+
+class TestPoisson:
+    def test_seeded_reproducible_but_uneven(self):
+        spec = ScheduleSpec(rate=20.0, duration=5.0, poisson=True, seed=9)
+        a, b = build_schedule(spec), build_schedule(spec)
+        assert a.offsets == b.offsets
+        gaps = {round(y - x, 6) for x, y in zip(a.offsets, a.offsets[1:])}
+        assert len(gaps) > 1  # not the deterministic lattice
+
+    def test_rate_is_respected_on_average(self):
+        spec = ScheduleSpec(rate=100.0, duration=10.0, poisson=True, seed=4)
+        schedule = build_schedule(spec)
+        assert len(schedule) == pytest.approx(1000, rel=0.15)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"rate": 0.0, "duration": 1.0},
+        {"rate": -5.0, "duration": 1.0},
+        {"rate": 1.0, "duration": 0.0},
+        {"rate": 1.0, "duration": 1.0, "shape": "sawtooth"},
+        {"rate": 1.0, "duration": 1.0, "sine_amplitude": 1.5},
+        {"rate": 1.0, "duration": 1.0, "burst_multiple": 0.5},
+        {"rate": 1.0, "duration": 1.0, "storm_window": 0.0},
+    ])
+    def test_bad_specs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ScheduleSpec(**kwargs)
+
+    def test_offsets_sorted_and_in_range(self):
+        for shape in ("constant", "burst", "ramp", "sine", "storm"):
+            schedule = build_schedule(
+                ScheduleSpec(rate=15.0, duration=6.0, shape=shape, seed=2)
+            )
+            assert list(schedule.offsets) == sorted(schedule.offsets)
+            assert all(0.0 <= t < 6.0 for t in schedule.offsets)

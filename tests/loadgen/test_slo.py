@@ -1,0 +1,92 @@
+"""SLO math on hand-built samples — every number checked by hand."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen.slo import Sample, percentile, score
+
+
+def _sample(i, intended, started, finished, outcome="ok", detail=""):
+    return Sample(index=i, intended=intended, started=started,
+                  finished=finished, outcome=outcome, detail=detail)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.99) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([0.42], 0.5) == 0.42
+
+    def test_median_of_even_list_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_known_quantiles(self):
+        xs = [float(i) for i in range(1, 101)]  # 1..100
+        assert percentile(xs, 0.0) == 1.0
+        assert percentile(xs, 1.0) == 100.0
+        # (n-1)·q rank convention: rank 49.5 → midpoint of 50 and 51
+        assert percentile(xs, 0.5) == pytest.approx(50.5)
+        assert percentile(xs, 0.99) == pytest.approx(99.01)
+
+    def test_order_does_not_matter(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_out_of_range_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestScore:
+    def test_latency_measured_from_intended_arrival(self):
+        """The anti-coordinated-omission contract: lateness counts."""
+        # intended at t=0 but only started at t=2 (queued behind a stall);
+        # the socket round-trip itself took 0.1 s.
+        late = _sample(0, intended=0.0, started=2.0, finished=2.1)
+        assert late.latency == pytest.approx(2.1)
+        assert late.service_time == pytest.approx(0.1)
+        report = score([late], offered_ops=1, offered_rate=1.0, duration=1.0)
+        assert report.latency["p50"] == pytest.approx(2.1)
+        assert report.service_time["p50"] == pytest.approx(0.1)
+        assert report.max_lateness_s == pytest.approx(2.0)
+
+    def test_counts_and_rates(self):
+        samples = [
+            _sample(0, 0.0, 0.0, 0.1),
+            _sample(1, 0.5, 0.5, 0.7),
+            _sample(2, 1.0, 1.0, 1.1, outcome="busy"),
+            _sample(3, 1.5, 1.5, 1.6, outcome="error", detail="TransportError"),
+        ]
+        report = score(samples, offered_ops=4, offered_rate=2.0, duration=2.0)
+        assert report.counts == {"ok": 2, "busy": 1, "error": 1}
+        assert report.goodput_per_s == pytest.approx(1.0)  # 2 ok / 2 s
+        assert report.achieved_rate == pytest.approx(2.0)  # 4 attempts / 2 s
+        assert report.shed_rate == pytest.approx(0.25)
+        assert report.error_rate == pytest.approx(0.25)
+        assert report.errors == {"TransportError": 1}
+
+    def test_only_ok_samples_enter_latency(self):
+        samples = [
+            _sample(0, 0.0, 0.0, 0.1),
+            _sample(1, 0.0, 0.0, 9.0, outcome="busy"),  # shed — not a latency
+        ]
+        report = score(samples, offered_ops=2, offered_rate=2.0, duration=1.0)
+        assert report.latency["max"] == pytest.approx(0.1)
+        assert report.latency["count"] == 1
+
+    def test_empty_run_scores_zeros(self):
+        report = score([], offered_ops=0, offered_rate=0.0, duration=1.0)
+        assert report.counts == {"ok": 0, "busy": 0, "error": 0}
+        assert report.shed_rate == 0.0
+        assert report.latency["p99"] == 0.0
+
+    def test_payload_carries_all_slo_blocks(self):
+        report = score([_sample(0, 0.0, 0.0, 0.2)],
+                       offered_ops=1, offered_rate=1.0, duration=1.0)
+        payload = report.to_payload()
+        for key in ("offered", "achieved", "counts", "latency_s",
+                    "service_time_s", "shed_rate", "error_rate",
+                    "max_lateness_s", "errors"):
+            assert key in payload
+        assert payload["achieved"]["goodput_per_s"] == pytest.approx(1.0)
