@@ -1,17 +1,30 @@
-"""B2 — primitive costs underneath every flow.
+"""B2 — primitive costs underneath every flow, and the hot-path savings.
 
 Expected shapes: RSA keygen ≫ sign ≫ verify; 2048-bit ≈ 4-8× the cost of
 1024-bit for private-key operations; the handshake ≈ 2 signs + 2 verifies +
 key transport + chain validation; the record layer runs at AES-GCM speed
 (hundreds of MB/s), so bulk data is never the bottleneck — signatures are.
+
+The crypto hot-path layers (DESIGN.md §6.5) each remove one of those
+costs: session resumption skips the RSA handshake, the one-shot keypair
+pool moves keygen off the delegation path, and the validated-chain cache
+skips repeat chain walks.  Run standalone to price all of them at once:
+
+Run as benchmarks:   pytest benchmarks/bench_crypto.py --benchmark-only
+Run as a smoke check: PYTHONPATH=src python benchmarks/bench_crypto.py --smoke --out .
 """
 
+import argparse
+import json
+import statistics
+import sys
 import threading
+import time
 
 import pytest
 
 from repro.pki.ca import CertificateAuthority
-from repro.pki.keys import KeyPair, PooledKeySource
+from repro.pki.keys import FreshKeySource, KeyPair, OneShotKeyPool, PooledKeySource
 from repro.pki.names import DistinguishedName
 from repro.pki.proxy import create_proxy
 from repro.pki.validation import ChainValidator
@@ -19,6 +32,7 @@ from repro.transport.channel import accept_secure, connect_secure
 from repro.transport.delegation import accept_delegation, delegate_credential
 from repro.transport.links import pipe_pair
 from repro.transport.records import ContentType, RecordReader, RecordWriter
+from repro.transport.tickets import SessionTicketManager
 
 
 @pytest.fixture(scope="module", params=[1024, 2048])
@@ -146,6 +160,61 @@ def test_b2_delegation_over_channel(benchmark, pki):
     channels["client"].close()
 
 
+def _handshake_once(user, host, validator, *, ticket_manager=None, store=None):
+    """One full-or-resumed handshake over a pipe; returns both channels."""
+    client_end, server_end = pipe_pair()
+    result = {}
+
+    def server():
+        result["channel"] = accept_secure(
+            server_end, host, validator, ticket_manager=ticket_manager
+        )
+
+    thread = threading.Thread(target=server)
+    thread.start()
+    channel = connect_secure(
+        client_end, user, validator,
+        ticket_store=store, ticket_key="bench" if store is not None else None,
+    )
+    thread.join()
+    return channel, result["channel"]
+
+
+def test_b2_handshake_resumed(benchmark, pki):
+    """The §3.2 abbreviated handshake: no RSA, no chain walk."""
+    from repro.transport.tickets import TicketStore
+
+    bits, _pool, _ca, user, host, validator = pki
+    manager = SessionTicketManager(lifetime=3600.0)
+    store = TicketStore()
+    # Seed the store with one full handshake; each resumption rotates
+    # the ticket, so the loop always has a fresh one.
+    c, s = _handshake_once(user, host, validator, ticket_manager=manager, store=store)
+    c.close(), s.close()
+
+    def resume():
+        c, s = _handshake_once(
+            user, host, validator, ticket_manager=manager, store=store
+        )
+        assert c.resumed
+        c.close(), s.close()
+
+    benchmark(resume)
+    benchmark.extra_info["bits"] = bits
+    benchmark.extra_info["mode"] = "resumed"
+
+
+def test_b2_chain_validation_cached(benchmark, pki):
+    bits, pool, ca, user, _host, _validator = pki
+    warm = ChainValidator([ca.certificate])
+    proxy = create_proxy(create_proxy(user, key_source=pool), key_source=pool)
+    chain = proxy.full_chain()
+    warm.validate(chain)
+    benchmark(lambda: warm.validate(chain))
+    benchmark.extra_info["bits"] = bits
+    benchmark.extra_info["mode"] = "cached"
+
+
 @pytest.mark.parametrize("size", [1024, 65536])
 def test_b2_record_layer_throughput(benchmark, size):
     writer = RecordWriter(bytes(16), bytes(12))
@@ -160,3 +229,179 @@ def test_b2_record_layer_throughput(benchmark, size):
     benchmark.extra_info["MB_per_second"] = round(
         size / benchmark.stats.stats.mean / 1e6, 1
     )
+
+
+# ---------------------------------------------------------------------------
+# Standalone mode: price every hot-path layer, emit BENCH_crypto.json
+# ---------------------------------------------------------------------------
+
+
+def _timed(fn, iterations):
+    """Run ``fn`` ``iterations`` times; per-call seconds."""
+    samples = []
+    for _ in range(iterations):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def _stats(samples):
+    ordered = sorted(samples)
+
+    def at(q):
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    return {
+        "mean_s": round(statistics.fmean(ordered), 6),
+        "p50_s": round(at(0.50), 6),
+        "p95_s": round(at(0.95), 6),
+        "p99_s": round(at(0.99), 6),
+    }
+
+
+def main(argv=None) -> int:
+    from repro.transport.tickets import TicketStore
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bits", type=int, default=1024)
+    parser.add_argument("--iterations", type=int, default=30)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny preset for CI: 10 iterations"
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="also write BENCH_crypto.json (shared schema) into DIR",
+    )
+    args = parser.parse_args(argv)
+    iters = 10 if args.smoke else args.iterations
+
+    pool = PooledKeySource(args.bits, size=8)
+    ca = CertificateAuthority(
+        DistinguishedName.parse(f"/O=Bench/CN=CA {args.bits}"), key=pool.new_key()
+    )
+    user = ca.issue_credential(
+        DistinguishedName.grid_user("Bench", "X", "User"), key=pool.new_key()
+    )
+    host = ca.issue_host_credential("bench.example.org", key=pool.new_key())
+    validator = ChainValidator([ca.certificate])
+    layers: dict[str, dict] = {}
+    started = time.perf_counter()
+
+    # -- handshake: full vs resumed -------------------------------------
+    def full_handshake():
+        c, s = _handshake_once(user, host, validator)
+        c.close(), s.close()
+
+    layers["handshake_full"] = _stats(_timed(full_handshake, iters))
+
+    manager = SessionTicketManager(lifetime=3600.0)
+    store = TicketStore()
+    c, s = _handshake_once(user, host, validator, ticket_manager=manager, store=store)
+    c.close(), s.close()
+
+    def resumed_handshake():
+        c, s = _handshake_once(
+            user, host, validator, ticket_manager=manager, store=store
+        )
+        assert c.resumed
+        c.close(), s.close()
+
+    layers["handshake_resumed"] = _stats(_timed(resumed_handshake, iters))
+
+    # -- delegation: inline keygen vs one-shot pool ---------------------
+    client, server = _handshake_once(user, host, validator)
+
+    def delegate_with(key_source):
+        def once():
+            result = {}
+
+            def acceptor():
+                result["cred"] = accept_delegation(server, key_source=key_source)
+
+            thread = threading.Thread(target=acceptor)
+            thread.start()
+            delegate_credential(client, user, lifetime=600)
+            thread.join()
+
+        return once
+
+    layers["delegation_inline_keygen"] = _stats(
+        _timed(delegate_with(FreshKeySource(args.bits)), iters)
+    )
+    with OneShotKeyPool(args.bits, size=8) as oneshot:
+        deadline = time.monotonic() + 30.0
+        while oneshot.depth < 8 and time.monotonic() < deadline:
+            time.sleep(0.02)  # let the refill thread pre-warm the pool
+        layers["delegation_pooled_keys"] = _stats(
+            _timed(delegate_with(oneshot), iters)
+        )
+        layers["delegation_pooled_keys"]["starvations"] = oneshot.stats()[
+            "starvations"
+        ]
+    client.close(), server.close()
+
+    # -- chain validation: cold cache vs warm ---------------------------
+    proxy = create_proxy(create_proxy(user, key_source=pool), key_source=pool)
+    chain = proxy.full_chain()
+    cold = ChainValidator([ca.certificate], cache_size=0)
+    layers["validation_uncached"] = _stats(_timed(lambda: cold.validate(chain), iters))
+    warm = ChainValidator([ca.certificate])
+    warm.validate(chain)
+    layers["validation_cached"] = _stats(_timed(lambda: warm.validate(chain), iters))
+
+    duration = time.perf_counter() - started
+    speedups = {
+        "resumption": round(
+            layers["handshake_full"]["p50_s"]
+            / max(layers["handshake_resumed"]["p50_s"], 1e-9), 1,
+        ),
+        "keypair_pool": round(
+            layers["delegation_inline_keygen"]["p50_s"]
+            / max(layers["delegation_pooled_keys"]["p50_s"], 1e-9), 1,
+        ),
+        "chain_cache": round(
+            layers["validation_uncached"]["p50_s"]
+            / max(layers["validation_cached"]["p50_s"], 1e-9), 1,
+        ),
+    }
+    report = {"bits": args.bits, "iterations": iters,
+              "layers": layers, "speedup_p50": speedups}
+    print(json.dumps(report, indent=2))
+
+    if args.out:
+        from benchmarks.common import emit_closed_loop_report
+
+        resumed = layers["handshake_resumed"]
+        total_ops = iters * 6
+        path = emit_closed_loop_report(
+            args.out,
+            scenario="crypto",
+            script="bench_crypto.py",
+            config={"bits": args.bits, "iterations": iters},
+            offered_ops=total_ops,
+            achieved_ops=total_ops,
+            duration_s=duration,
+            latency_s={
+                # Headline latency: the resumed handshake — the repeat
+                # client's steady-state connection cost.
+                "p50": resumed["p50_s"],
+                "p95": resumed["p95_s"],
+                "p99": resumed["p99_s"],
+            },
+            counts={"ok": total_ops},
+            extra_slo={"layers": layers, "speedup_p50": speedups},
+        )
+        print(f"wrote {path}", file=sys.stderr)
+
+    # The whole point of each layer is to be cheaper than what it
+    # replaces; a speedup below 1 means the hot path got slower.
+    if min(speedups.values()) < 1.0:
+        print("FAIL: a hot-path layer is slower than the path it replaces",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -103,6 +103,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--credential", metavar="PEM", default=None,
                      help="credential to authenticate as against --target")
     run.add_argument("--credential-passphrase", default=None)
+    run.add_argument("--unsafe-key-reuse", action="store_true",
+                     help="external target: recycle a fixed pool of proxy "
+                          "keys instead of one-shot fresh keys (ONLY for "
+                          "throwaway test servers — reused keys would "
+                          "compromise every delegation sharing them)")
     run.add_argument("-v", "--verbose", action="store_true")
     return parser
 
@@ -116,6 +121,7 @@ def _make_target(args: argparse.Namespace):
             ca_paths=args.trusted_ca,
             credential_path=args.credential,
             credential_passphrase=args.credential_passphrase,
+            unsafe_key_reuse=args.unsafe_key_reuse,
         )
     policy = ServerPolicy()
     policy.qos_queue_depth = args.queue_depth

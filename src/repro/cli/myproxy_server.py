@@ -98,6 +98,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--qos-class", action="append", default=None, metavar='"NAME WEIGHT DN_GLOB"',
         help="weighted service class (repeatable; overrides qos_class directives)",
     )
+    parser.add_argument(
+        "--session-ticket-lifetime", type=float, default=None, metavar="SECONDS",
+        help="session-resumption ticket lifetime "
+             "(overrides session_ticket_lifetime)",
+    )
+    parser.add_argument(
+        "--disable-session-tickets", action="store_true",
+        help="never issue or accept resumption tickets "
+             "(overrides disable_session_tickets)",
+    )
+    parser.add_argument(
+        "--keypair-pool", type=int, default=None, metavar="N",
+        help="pre-generate delegation keypairs in the background; each is "
+             "used once; 0 generates inline (overrides keypair_pool)",
+    )
     return parser
 
 
@@ -137,6 +152,12 @@ def main(argv: list[str] | None = None) -> int:
             policy.qos_classes = _parse_qos_classes(
                 list(enumerate(args.qos_class, start=1))
             )
+        if args.session_ticket_lifetime is not None:
+            policy.session_ticket_lifetime = args.session_ticket_lifetime
+        if args.disable_session_tickets:
+            policy.session_tickets = False
+        if args.keypair_pool is not None:
+            policy.keypair_pool_size = args.keypair_pool
         if args.max_stored_lifetime_days is not None:
             policy.max_stored_lifetime = args.max_stored_lifetime_days * 86400.0
         if args.max_delegation_lifetime_hours is not None:

@@ -37,6 +37,7 @@ from repro.obs.registry import MetricsRegistry
 from repro.core.protocol import (
     DEFAULT_CRED_NAME,
     AuthMethod,
+    BatchItem,
     Command,
     Request,
     Response,
@@ -49,6 +50,7 @@ from repro.pki.validation import ChainValidator
 from repro.transport.channel import SecureChannel, connect_secure
 from repro.transport.delegation import accept_delegation, delegate_credential
 from repro.transport.links import Link
+from repro.transport.tickets import TicketStore
 from repro.util.clock import SYSTEM_CLOCK, Clock
 from repro.util.errors import (
     AuthenticationError,
@@ -132,6 +134,10 @@ _CLIENT_COUNTERS: tuple[tuple[str, str, str], ...] = (
      "the same target."),
     ("exhausted", "myproxy_client_exhausted_total",
      "Operations that failed every endpoint in every round."),
+    ("resumed_handshakes", "myproxy_client_resumed_handshakes_total",
+     "Connections established by redeeming a session-resumption ticket."),
+    ("full_handshakes", "myproxy_client_full_handshakes_total",
+     "Connections that ran the full RSA handshake."),
 )
 
 
@@ -197,6 +203,7 @@ class MyProxyClient:
         sleep: Callable[[float], None] = time.sleep,
         rng: random.Random | None = None,
         stats: ClientStats | None = None,
+        ticket_store: TicketStore | None = None,
     ) -> None:
         self._target = target
         self.credential = credential
@@ -210,13 +217,42 @@ class MyProxyClient:
         # Retry/failover accounting; pass a shared ClientStats to aggregate
         # across several clients (e.g. one per cluster operation).
         self.stats = stats if stats is not None else ClientStats()
+        # Session-resumption tickets, keyed per endpoint.  The default is a
+        # private store (each client remembers its own servers); a portal
+        # that builds many short-lived clients shares one store so tickets
+        # outlive the client objects that earned them.
+        self.ticket_store = ticket_store if ticket_store is not None else TicketStore()
 
     # -- plumbing -----------------------------------------------------------
 
-    def _connect(self, target: tuple[str, int] | LinkFactory) -> SecureChannel:
+    def _ticket_key(self, target: tuple[str, int] | LinkFactory) -> str:
+        # The key binds *who we are* as well as where we dial: a shared
+        # store must never hand one identity's ticket to a client
+        # authenticating as another (the server would resume the wrong
+        # peer).
         if callable(target):
-            return connect_secure(target(), self.credential, self.validator)
-        return connect_secure(target, self.credential, self.validator)
+            where = f"link:{id(target)}"
+        else:
+            host, port = target
+            where = f"{host}:{port}"
+        who = (
+            str(self.credential.certificate.subject)
+            if self.credential is not None
+            else "<anonymous>"
+        )
+        return f"{who}|{where}"
+
+    def _connect(self, target: tuple[str, int] | LinkFactory) -> SecureChannel:
+        channel = connect_secure(
+            target() if callable(target) else target,
+            self.credential,
+            self.validator,
+            ticket_store=self.ticket_store,
+            ticket_key=self._ticket_key(target),
+            now=self.clock.now(),
+        )
+        self.stats.inc("resumed_handshakes" if channel.resumed else "full_handshakes")
+        return channel
 
     def _open(self) -> SecureChannel:
         return self._connect(self._target)
@@ -373,7 +409,54 @@ class MyProxyClient:
         def conversation(channel: SecureChannel) -> Credential:
             channel.send(request.encode())
             self._expect_ok(channel)
-            return accept_delegation(channel, key_source=self.key_source)
+            return accept_delegation(
+                channel, key_source=self.key_source, clock=self.clock
+            )
+
+        return self._converse(conversation)
+
+    def get_delegations(
+        self, items: Sequence[BatchItem]
+    ) -> list[Credential | Exception]:
+        """Batched ``GET``: many delegations over one connection.
+
+        One handshake (or ticket redemption) covers the whole batch, so a
+        portal fetching proxies for N users pays the asymmetric setup cost
+        once instead of N times.  Returns one result per item, in order:
+        a :class:`Credential` on success, or the server's refusal as an
+        :class:`~repro.util.errors.AuthenticationError` — one bad
+        pass phrase does not cost the rest of the batch.
+        """
+        if not items:
+            return []
+        request = Request(
+            command=Command.GET_MULTI,
+            username=items[0].username,
+            batch=tuple(items),
+        )
+
+        def conversation(channel: SecureChannel) -> list[Credential | Exception]:
+            channel.send(request.encode())
+            initial = self._expect_ok(channel)
+            count = int(initial.info.get("count", 0))
+            if count != len(items):
+                raise ProtocolError(
+                    f"server acknowledged {count} batch items, sent {len(items)}"
+                )
+            results: list[Credential | Exception] = []
+            for _item in items:
+                response = Response.decode(channel.recv())
+                if not response.ok:
+                    results.append(
+                        AuthenticationError(f"server refused: {response.error}")
+                    )
+                    continue
+                results.append(
+                    accept_delegation(
+                        channel, key_source=self.key_source, clock=self.clock
+                    )
+                )
+            return results
 
         return self._converse(conversation)
 

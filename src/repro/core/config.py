@@ -38,6 +38,13 @@ Admission control and fairness (see :mod:`repro.qos`)::
     qos_class "portal      8 /O=Grid/CN=host/portal.*"
     qos_class "interactive 1 /O=Grid/OU=People/CN=*"
 
+Crypto hot path (see :mod:`repro.transport.tickets`,
+:mod:`repro.pki.keys`)::
+
+    session_ticket_lifetime 3600   # seconds a resumption ticket stays valid
+    disable_session_tickets        # full handshake on every connection
+    keypair_pool 32                # one-shot pre-generated delegation keys (0 = off)
+
 A clustered deployment (see :mod:`repro.cluster`) adds its membership in
 the same file::
 
@@ -80,9 +87,10 @@ _NUMBER_KEYS = {
     "qos_rate": None,  # tokens/second, no unit
     "qos_burst": None,
     "qos_queue_deadline": None,  # seconds, no unit
+    "session_ticket_lifetime": None,  # seconds, no unit
 }
 #: Numeric directives for which zero is meaningful ("feature off").
-_ZERO_OK_NUMBER_KEYS = ("qos_queue_depth",)
+_ZERO_OK_NUMBER_KEYS = ("qos_queue_depth", "keypair_pool")
 _OBS_NUMBER_KEYS = ("metrics_port",)
 _FLAG_KEYS = (
     "passphrase_require_non_alpha",
@@ -90,6 +98,7 @@ _FLAG_KEYS = (
     "disable_otp",
     "disable_site",
     "disable_renewal",
+    "disable_session_tickets",
 )
 _CLUSTER_STRING_KEYS = ("cluster_node_name", "cluster_secret", "cluster_state_dir")
 _CLUSTER_NUMBER_KEYS = (
@@ -358,6 +367,13 @@ def parse_config(text: str) -> ServerConfig:
             numbers.get("qos_queue_deadline", defaults.qos_queue_deadline)
         ),
         qos_classes=_parse_qos_classes(qos_class_lines),
+        session_tickets="disable_session_tickets" not in flags,
+        session_ticket_lifetime=float(
+            numbers.get("session_ticket_lifetime", defaults.session_ticket_lifetime)
+        ),
+        keypair_pool_size=int(
+            numbers.get("keypair_pool", defaults.keypair_pool_size)
+        ),
     )
     return ServerConfig(
         policy=policy,

@@ -187,6 +187,26 @@ class ServerPolicy:
     #: first-match-wins against the authenticated base identity.
     qos_classes: tuple[ServiceClass, ...] = ()
 
+    # -- crypto hot path -------------------------------------------------
+
+    #: Session-resumption tickets (``disable_session_tickets`` directive):
+    #: repeat clients skip RSA key transport and the chain walk on
+    #: reconnect.  Tickets are refused after trust-root or CRL changes,
+    #: so disabling buys no extra revocation safety — only the guarantee
+    #: that every connection re-runs the full handshake.
+    session_tickets: bool = True
+
+    #: How long an issued resumption ticket stays redeemable, seconds
+    #: (``session_ticket_lifetime`` directive).  The encryption key under
+    #: the tickets rotates at twice this interval.
+    session_ticket_lifetime: float = 3600.0
+
+    #: Size of the background one-shot keypair pool (``keypair_pool``
+    #: directive).  0 — the default — generates delegation keys inline;
+    #: a positive value pre-generates that many, each handed out at most
+    #: once (never recycled), with inline fallback when drained.
+    keypair_pool_size: int = 0
+
     def qos_class_map(self) -> ClassMap:
         return ClassMap(self.qos_classes)
 

@@ -68,6 +68,13 @@ class Command(enum.IntEnum):
     #: ``myproxy-get-trustroots``): how clients keep CRLs fresh and how a
     #: host that trusts *one* federation CA learns about the rest.
     TRUSTROOTS = 7
+    #: Batched multi-credential GET: one connection, one auth handshake,
+    #: k delegations — what a portal burst (Figure 3, many users logging
+    #: in at once) needs instead of k connections.  The request carries a
+    #: ``BATCH`` JSON array of per-item GET parameters; after the initial
+    #: OK the server answers each item with its own response + delegation,
+    #: and a failed item never aborts the rest of the batch.
+    GET_MULTI = 8
 
 
 class AuthMethod(str, enum.Enum):
@@ -86,6 +93,60 @@ class AuthMethod(str, enum.Enum):
     RENEWAL = "renewal"
 
 
+MAX_BATCH_ITEMS = 64
+"""Cap on GET_MULTI batch size — a burst, not a bulk-export channel."""
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One credential request inside a GET_MULTI batch."""
+
+    username: str
+    passphrase: str = ""
+    lifetime: float = 0.0
+    cred_name: str = DEFAULT_CRED_NAME
+    auth_method: AuthMethod = AuthMethod.PASSPHRASE
+
+    def __post_init__(self) -> None:
+        if not self.username:
+            raise ProtocolError("batch item USERNAME must not be empty")
+        if len(self.username) > 256:
+            raise ProtocolError("batch item USERNAME too long")
+        if self.lifetime < 0:
+            raise ProtocolError("batch item LIFETIME must be non-negative")
+
+    def to_wire(self) -> dict:
+        return {
+            "username": self.username,
+            "passphrase": self.passphrase,
+            "lifetime": self.lifetime,
+            "cred_name": self.cred_name,
+            "auth_method": self.auth_method.value,
+        }
+
+    @classmethod
+    def from_wire(cls, raw: dict) -> "BatchItem":
+        if not isinstance(raw, dict):
+            raise ProtocolError("BATCH items must be JSON objects")
+        try:
+            auth_method = AuthMethod(raw.get("auth_method", "passphrase"))
+        except ValueError as exc:
+            raise ProtocolError(
+                f"unknown batch AUTH_METHOD {raw.get('auth_method')!r}"
+            ) from exc
+        try:
+            lifetime = float(raw.get("lifetime", 0.0))
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError("malformed batch LIFETIME") from exc
+        return cls(
+            username=str(raw.get("username", "")),
+            passphrase=str(raw.get("passphrase", "")),
+            lifetime=lifetime,
+            cred_name=str(raw.get("cred_name", DEFAULT_CRED_NAME)),
+            auth_method=auth_method,
+        )
+
+
 @dataclass(frozen=True)
 class Request:
     """A decoded client request."""
@@ -100,6 +161,8 @@ class Request:
     retrievers: tuple[str, ...] | None = None
     renewers: tuple[str, ...] | None = None
     new_passphrase: str = ""
+    #: GET_MULTI only: the per-credential requests of the batch.
+    batch: tuple[BatchItem, ...] | None = None
 
     def __post_init__(self) -> None:
         if not self.username:
@@ -108,6 +171,15 @@ class Request:
             raise ProtocolError("USERNAME too long")
         if self.lifetime < 0:
             raise ProtocolError("LIFETIME must be non-negative")
+        if self.command is Command.GET_MULTI:
+            if not self.batch:
+                raise ProtocolError("GET_MULTI needs a non-empty BATCH")
+            if len(self.batch) > MAX_BATCH_ITEMS:
+                raise ProtocolError(
+                    f"BATCH of {len(self.batch)} exceeds {MAX_BATCH_ITEMS} items"
+                )
+        elif self.batch is not None:
+            raise ProtocolError("BATCH is only valid with GET_MULTI")
 
     # -- wire form ------------------------------------------------------------
 
@@ -129,6 +201,10 @@ class Request:
             fields["RENEWERS"] = ",".join(self.renewers)
         if self.new_passphrase:
             fields["NEW_PASSPHRASE"] = self.new_passphrase
+        if self.batch is not None:
+            fields["BATCH"] = json.dumps(
+                [item.to_wire() for item in self.batch], sort_keys=True
+            )
         return encode_kv(fields)
 
     @classmethod
@@ -163,6 +239,17 @@ class Request:
             except ValueError as exc:
                 raise ProtocolError(f"malformed {key}") from exc
 
+        batch: tuple[BatchItem, ...] | None = None
+        batch_raw = fields.get("BATCH")
+        if batch_raw is not None:
+            try:
+                parsed = json.loads(batch_raw)
+            except json.JSONDecodeError as exc:
+                raise ProtocolError("malformed BATCH payload") from exc
+            if not isinstance(parsed, list):
+                raise ProtocolError("BATCH payload must be a JSON array")
+            batch = tuple(BatchItem.from_wire(item) for item in parsed)
+
         max_get = fields.get("MAX_GET_LIFETIME")
         return cls(
             command=command,
@@ -175,6 +262,7 @@ class Request:
             retrievers=retrievers,
             renewers=renewers,
             new_passphrase=fields.get("NEW_PASSPHRASE", ""),
+            batch=batch,
         )
 
 

@@ -60,12 +60,13 @@ from repro.core.repository import (
 from repro.core.siteauth import verify_ticket
 from repro.gsi.acl import AccessControlList
 from repro.pki.credentials import Credential
-from repro.pki.keys import KeyPair, KeySource
+from repro.pki.keys import KeyPair, KeySource, OneShotKeyPool
 from repro.pki.validation import ChainValidator, ValidatedIdentity
 from repro.qos import AdmissionQueue, ClassMap, RateLimiter
 from repro.transport.channel import SecureChannel, accept_secure
 from repro.transport.delegation import accept_delegation, delegate_credential
 from repro.transport.handshake import send_busy_notice
+from repro.transport.tickets import SessionTicketManager
 from repro.transport.links import Link, SocketLink
 from repro.util.clock import SYSTEM_CLOCK, Clock
 from repro.util.concurrency import ServiceThread
@@ -296,6 +297,14 @@ class MyProxyServer:
         self.clock = clock
         self.master_box = master_box or SecretBox()
         self.site_secrets = dict(site_secrets or {})
+        # Crypto hot path: an explicit key_source wins; otherwise the
+        # policy may ask for a background one-shot pool (never-recycled
+        # keys, pre-generated off the request path).  The server owns —
+        # and closes — only the pool it created itself.
+        self._owned_key_pool: OneShotKeyPool | None = None
+        if key_source is None and self.policy.keypair_pool_size > 0:
+            self._owned_key_pool = OneShotKeyPool(size=self.policy.keypair_pool_size)
+            key_source = self._owned_key_pool
         self.key_source = key_source
         # One registry carries every metric this server emits; ServerStats
         # is a named-counter facade over it, and the latency histograms,
@@ -308,6 +317,23 @@ class MyProxyServer:
         # surface those counters on this server's /metrics endpoint.
         if hasattr(self.repository, "publish_metrics"):
             self.repository.publish_metrics(self.metrics)
+        # Session resumption (transport/tickets.py): repeat clients skip
+        # RSA key transport and the full chain walk.  Disabled entirely by
+        # policy for deployments that want every connection to re-prove.
+        self.ticket_manager: SessionTicketManager | None = None
+        if self.policy.session_tickets:
+            self.ticket_manager = SessionTicketManager(
+                clock=self.clock, lifetime=self.policy.session_ticket_lifetime
+            )
+        self._resumption_total = self.metrics.counter(
+            "myproxy_resumption_total",
+            "Handshake resumption outcomes (hit = resumed, miss = ticket "
+            "presented but refused, none = no ticket offered).",
+            labelnames=("outcome",),
+        )
+        self.validator.publish_metrics(self.metrics)
+        if hasattr(self.key_source, "publish_metrics"):
+            self.key_source.publish_metrics(self.metrics)
         self._request_seconds = self.metrics.histogram(
             "myproxy_request_seconds",
             "Full conversation latency by protocol command.",
@@ -619,6 +645,8 @@ class MyProxyServer:
                     worker.name, drain_timeout,
                 )
         self._workers = []
+        if self._owned_key_pool is not None:
+            self._owned_key_pool.close()
         if self._metrics_exporter is not None:
             self._metrics_exporter.stop()
             self._metrics_exporter = None
@@ -733,7 +761,15 @@ class MyProxyServer:
                         self.credential,
                         self.validator,
                         allow_anonymous=self.policy.allow_anonymous_trustroots,
+                        ticket_manager=self.ticket_manager,
                     )
+                if channel.resumed:
+                    outcome = "hit"
+                elif channel.ticket_presented:
+                    outcome = "miss"
+                else:
+                    outcome = "none"
+                self._resumption_total.labels(outcome=outcome).inc()
             except ReproError as exc:
                 self.stats.inc("handshake_failures")
                 self._audit_event(
@@ -821,6 +857,7 @@ class MyProxyServer:
             Command.STORE: self._do_store,
             Command.RETRIEVE: self._do_retrieve,
             Command.TRUSTROOTS: self._do_trustroots,
+            Command.GET_MULTI: self._do_get_multi,
         }[request.command]
         started = time.perf_counter()
         try:
@@ -1054,7 +1091,9 @@ class MyProxyServer:
 
         channel.send(Response.success({"accepted": True}).encode())
         with self._observe_phase("delegation"):
-            delegated = accept_delegation(channel, key_source=self.key_source)
+            delegated = accept_delegation(
+                channel, key_source=self.key_source, clock=self.clock
+            )
 
         # Post-delegation validation, answered by the commit response.
         try:
@@ -1161,6 +1200,12 @@ class MyProxyServer:
         self, channel: SecureChannel, peer: ValidatedIdentity, request: Request
     ) -> None:
         self._require_acl(self.policy.authorized_retrievers, peer)
+        self._serve_one_get(channel, peer, request)
+
+    def _serve_one_get(
+        self, channel: SecureChannel, peer: ValidatedIdentity, request: Request
+    ) -> None:
+        """Authenticate, answer and delegate one GET item (ACL pre-checked)."""
         entry = self.repository.get(request.username, request.cred_name)
 
         if request.auth_method is AuthMethod.RENEWAL:
@@ -1202,6 +1247,54 @@ class MyProxyServer:
             f"delegated until {issued.not_after:.0f} "
             f"(auth={request.auth_method.value})",
         )
+
+    def _do_get_multi(
+        self, channel: SecureChannel, peer: ValidatedIdentity, request: Request
+    ) -> None:
+        """Batched GET: many delegations over one handshake (one RTT of
+        asymmetric crypto amortized across the batch — the portal shape
+        of §3, where one web server fetches proxies for many users).
+
+        One failing item does not abort the batch: each item gets its own
+        Response (and, on success, its own delegation), so the client can
+        pair outcomes positionally.  Authorization uses the same ACL and
+        per-item secret checks as single GET — batching changes framing,
+        never trust decisions.
+        """
+        self._require_acl(self.policy.authorized_retrievers, peer)
+        items = request.batch or ()
+        channel.send(Response.success({"accepted": True, "count": len(items)}).encode())
+        for item in items:
+            sub = Request(
+                command=Command.GET,
+                username=item.username,
+                passphrase=item.passphrase,
+                lifetime=item.lifetime,
+                cred_name=item.cred_name,
+                auth_method=item.auth_method,
+            )
+            try:
+                self._serve_one_get(channel, peer, sub)
+            except (AuthenticationError, AuthorizationError, NotFoundError) as exc:
+                self._audit_event(
+                    str(peer.identity), "GET_MULTI", item.username,
+                    item.cred_name, False, str(exc),
+                )
+                channel.send(Response.failure(_GENERIC_DENIAL).encode())
+            except (PolicyError, CredentialError) as exc:
+                self._audit_event(
+                    str(peer.identity), "GET_MULTI", item.username,
+                    item.cred_name, False, str(exc),
+                )
+                channel.send(Response.failure(str(exc)).encode())
+            except RepositoryError as exc:
+                self._audit_event(
+                    str(peer.identity), "GET_MULTI", item.username,
+                    item.cred_name, False, f"repository error: {exc}",
+                )
+                channel.send(
+                    Response.failure("temporary repository error; retry").encode()
+                )
 
     # ------------------------------------------------------------------
     # INFO / DESTROY / CHANGE_PASSPHRASE

@@ -194,7 +194,7 @@ class GramService(GsiService):
             # Tell the client all checks passed before it starts the
             # delegation sub-protocol (so refusals arrive as clean JSON).
             send_json(channel, {"ok": True, "proceed": "delegate"})
-            credential = accept_delegation(channel, key_source=self.key_source)
+            credential = accept_delegation(channel, key_source=self.key_source, clock=self.clock)
             if credential.identity != ctx.peer.identity:
                 raise AuthorizationError(
                     "delegated credential does not match the submitting identity"
@@ -260,7 +260,7 @@ class GramService(GsiService):
             if record.state not in refreshable:
                 raise PolicyError(f"job is {record.state.value}, not refreshable")
         send_json(channel, {"ok": True, "proceed": "delegate"})
-        fresh = accept_delegation(channel, key_source=self.key_source)
+        fresh = accept_delegation(channel, key_source=self.key_source, clock=self.clock)
         if fresh.identity != ctx.peer.identity:
             raise AuthorizationError("refreshed credential does not match the job owner")
         with record._lock:

@@ -192,7 +192,7 @@ class StorageService(GsiService):
         # Receive a delegation so the push runs under the *user's*
         # identity at the destination — never under this server's.
         send_json(channel, {"ok": True, "proceed": "delegate"})
-        credential = accept_delegation(channel, key_source=self.key_source)
+        credential = accept_delegation(channel, key_source=self.key_source, clock=self.clock)
         if credential.identity != ctx.peer.identity:
             raise AuthorizationError(
                 "transfer credential does not match the requesting identity"

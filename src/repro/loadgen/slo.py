@@ -152,6 +152,9 @@ _SERVER_FAMILIES = (
     "myproxy_puts_total",
     "myproxy_denials_total",
     "myproxy_handshake_failures_total",
+    "myproxy_resumption_total",
+    "myproxy_chain_cache_total",
+    "myproxy_keypool_keys_total",
 )
 
 

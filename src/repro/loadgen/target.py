@@ -26,9 +26,10 @@ from pathlib import Path
 from repro.core.client import ClientStats, MyProxyClient, RetryPolicy
 from repro.core.policy import ServerPolicy
 from repro.pki.credentials import Credential
-from repro.pki.keys import PooledKeySource
+from repro.pki.keys import KeySource, OneShotKeyPool, PooledKeySource
 from repro.pki.validation import ChainValidator
 from repro.testbed import GridTestbed, UserAccount
+from repro.transport.tickets import TicketStore
 from repro.util.clock import SYSTEM_CLOCK, Clock
 from repro.util.errors import ConfigError
 
@@ -75,6 +76,10 @@ class SelfHostedTarget:
             self.testbed.myproxy_targets["repo-0"] = endpoint
         self.key_source = self.testbed.key_source
         self.client_stats = ClientStats()
+        # One store for every client the run builds: repeat conversations
+        # resume instead of re-running the full RSA handshake, exactly as
+        # a long-lived portal process would.
+        self.ticket_store = TicketStore()
 
     # -- identities ------------------------------------------------------
 
@@ -98,6 +103,7 @@ class SelfHostedTarget:
             key_source=self.key_source,
             retry=NO_BUSY_RETRY,
             stats=self.client_stats,
+            ticket_store=self.ticket_store,
         )
 
     # -- observability ---------------------------------------------------
@@ -127,6 +133,7 @@ class ExternalTarget:
         credential_passphrase: str | None = None,
         clock: Clock = SYSTEM_CLOCK,
         key_pool: int = 32,
+        unsafe_key_reuse: bool = False,
     ) -> None:
         from repro.pki.certs import Certificate
 
@@ -141,8 +148,18 @@ class ExternalTarget:
         self.credential = Credential.import_pem(
             Path(credential_path).read_bytes(), credential_passphrase
         )
-        self.key_source = PooledKeySource(LOADGEN_KEY_BITS, size=key_pool)
+        # Against a *live* server every proxy key must be unique — leaking
+        # one pooled key would compromise every delegation that reused it.
+        # The one-shot pool keeps generation off the measured path without
+        # recycling; ``unsafe_key_reuse`` restores the recycling pool for
+        # throwaway test servers where max load matters more than hygiene.
+        self.key_source: KeySource
+        if unsafe_key_reuse:
+            self.key_source = PooledKeySource(LOADGEN_KEY_BITS, size=key_pool)
+        else:
+            self.key_source = OneShotKeyPool(LOADGEN_KEY_BITS, size=key_pool)
         self.client_stats = ClientStats()
+        self.ticket_store = TicketStore()
 
     def new_user(self, name: str) -> UserAccount:
         """Single-identity mode: every "user" is the provided credential.
@@ -174,13 +191,15 @@ class ExternalTarget:
             key_source=self.key_source,
             retry=NO_BUSY_RETRY,
             stats=self.client_stats,
+            ticket_store=self.ticket_store,
         )
 
     def server_snapshot(self) -> dict:
         return {}  # a remote registry is scraped via its /metrics port, not here
 
     def close(self) -> None:
-        pass
+        if isinstance(self.key_source, OneShotKeyPool):
+            self.key_source.close()
 
     def __enter__(self) -> "ExternalTarget":
         return self

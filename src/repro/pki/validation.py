@@ -22,6 +22,9 @@ effective restrictions.
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -34,6 +37,14 @@ from repro.util.errors import ExpiredError, RevokedError, ValidationError
 
 MAX_PROXY_DEPTH = 16
 """Hard ceiling on delegation chain length, against pathological chains."""
+
+CACHE_BUCKET_SECONDS = 300.0
+"""Default width of the chain-cache time bucket: a cached verdict is reused
+for at most this long before the signatures are re-walked, which bounds how
+stale the CRL-age check (strict ``crl_max_age`` mode) can get."""
+
+CACHE_SIZE = 1024
+"""Default LRU capacity of the validated-chain cache."""
 
 
 @dataclass(frozen=True)
@@ -79,6 +90,8 @@ class ChainValidator:
         skew: float = CLOCK_SKEW,
         max_proxy_depth: int = MAX_PROXY_DEPTH,
         crl_max_age: float | None = None,
+        cache_size: int = CACHE_SIZE,
+        cache_bucket: float = CACHE_BUCKET_SECONDS,
     ) -> None:
         self.clock = clock
         self.skew = skew
@@ -98,15 +111,36 @@ class ChainValidator:
         if not self._anchors:
             raise ValidationError("a validator needs at least one trust anchor")
         self._crls: dict[DistinguishedName, CertificateRevocationList] = {}
+        # -- validated-chain cache (keyed by digest + generation + bucket) --
+        # ``_generation`` counts trust-material changes; it is baked into
+        # every cache key *and* every outstanding session-resumption ticket,
+        # so one add_anchor/update_crl invalidates both at a stroke.
+        self._generation = 0
+        self.cache_size = max(int(cache_size), 0)
+        self.cache_bucket = cache_bucket
+        self._cache: OrderedDict[tuple, tuple[ValidatedIdentity, float, float]] = (
+            OrderedDict()
+        )
+        self._cache_lock = threading.Lock()
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._metric_hits = None
+        self._metric_misses = None
 
     @property
     def anchors(self) -> tuple[Certificate, ...]:
         return tuple(self._anchors.values())
 
+    @property
+    def generation(self) -> int:
+        """Monotonic counter of trust-material changes (anchors + CRLs)."""
+        return self._generation
+
     def add_anchor(self, anchor: Certificate) -> None:
         if not anchor.is_ca or not anchor.signed_by(anchor.public_key):
             raise ValidationError("refusing non-self-signed trust anchor")
         self._anchors[anchor.subject] = anchor
+        self._bump_generation()
 
     def update_crl(self, crl: CertificateRevocationList) -> None:
         """Install a CRL after verifying its signature against its CA."""
@@ -115,6 +149,31 @@ class ChainValidator:
             raise ValidationError(f"CRL from unknown CA {crl.issuer}")
         validate_crl(crl, anchor)
         self._crls[crl.issuer] = crl
+        self._bump_generation()
+
+    def _bump_generation(self) -> None:
+        with self._cache_lock:
+            self._generation += 1
+            self._cache.clear()
+
+    def cache_stats(self) -> dict[str, int]:
+        with self._cache_lock:
+            return {
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "entries": len(self._cache),
+                "generation": self._generation,
+            }
+
+    def publish_metrics(self, registry) -> None:
+        """Expose cache hit/miss counters through an obs registry."""
+        family = registry.counter(
+            "myproxy_chain_cache_total",
+            "Validated-chain cache lookups by result.",
+            labelnames=("result",),
+        )
+        self._metric_hits = family.labels(result="hit")
+        self._metric_misses = family.labels(result="miss")
 
     @property
     def crls(self) -> tuple[CertificateRevocationList, ...]:
@@ -128,8 +187,64 @@ class ChainValidator:
 
         Raises :class:`ValidationError` (or a subclass —
         :class:`ExpiredError`, :class:`RevokedError`) on any defect.
+
+        Recently validated chains are served from an LRU cache keyed by
+        the chain digest, the trust-material generation, and a time
+        bucket.  A hit skips the signature walk but still re-checks the
+        validity window at *now* and the EEC against the installed CRL,
+        so a hit can never outlive the chain it vouches for; any
+        ``add_anchor``/``update_crl`` clears the cache wholesale.
         """
         certs = [c for c in chain]
+        if self.cache_size <= 0 or not certs:
+            return self._validate_full(certs)
+        now = self.clock.now()
+        key = (
+            hashlib.sha256(
+                b"".join(c.fingerprint().encode("ascii") for c in certs)
+            ).digest(),
+            self._generation,
+            int(now // self.cache_bucket) if self.cache_bucket > 0 else 0,
+        )
+        cached = self._cache_get(key, now)
+        if cached is not None:
+            return cached
+        identity = self._validate_full(certs)
+        window_lo = max(c.not_before for c in certs + [identity.anchor])
+        window_hi = min(c.not_after for c in certs + [identity.anchor])
+        with self._cache_lock:
+            self._cache_misses += 1
+            self._cache[key] = (identity, window_lo, window_hi)
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        if self._metric_misses is not None:
+            self._metric_misses.inc()
+        return identity
+
+    def _cache_get(self, key: tuple, now: float) -> ValidatedIdentity | None:
+        with self._cache_lock:
+            entry = self._cache.get(key)
+            if entry is None:
+                return None
+            identity, window_lo, window_hi = entry
+            if not (window_lo - self.skew <= now <= window_hi + self.skew):
+                del self._cache[key]
+                return None
+            # Generation is baked into the key, so the CRL cannot have
+            # changed since the entry was stored — but re-checking the EEC
+            # serial is one set lookup, and defense-in-depth is free here.
+            crl = self._crls.get(identity.anchor.subject)
+            if crl is not None and crl.is_revoked(identity.eec.serial):
+                del self._cache[key]
+                return None
+            self._cache.move_to_end(key)
+            self._cache_hits += 1
+        if self._metric_hits is not None:
+            self._metric_hits.inc()
+        return identity
+
+    def _validate_full(self, certs: list[Certificate]) -> ValidatedIdentity:
         if not certs:
             raise ValidationError("empty certificate chain")
         # Peers may append the CA root itself; drop it, we trust our own copy.

@@ -42,6 +42,7 @@ from repro.util.clock import SYSTEM_CLOCK, Clock
 from repro.util.errors import ConfigError, TransportError
 from repro.web.client import Browser, HttpTransport, LinkTransport, SecureTransport
 from repro.transport.links import pipe_pair
+from repro.transport.tickets import TicketStore
 
 TEST_KEY_BITS = 1024
 
@@ -107,6 +108,11 @@ class GridTestbed:
         self.validator = ChainValidator([self.ca.certificate], clock=clock)
         self.gridmap = GridMap()
         self.users: dict[str, UserAccount] = {}
+        # One shared ticket store: every client this testbed builds can
+        # resume sessions earned by earlier clients against the same
+        # repository (the portal shape — many short-lived clients, one
+        # long-lived process).
+        self.ticket_store = TicketStore()
 
         # -- MyProxy repositories (§3.3: multiple per portal) -------------------
         self.myproxy_servers: list[MyProxyServer] = []
@@ -206,6 +212,7 @@ class GridTestbed:
             self.validator,
             clock=self.clock,
             key_source=self.key_source,
+            ticket_store=self.ticket_store,
         )
 
     def myproxy_init(

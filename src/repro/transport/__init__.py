@@ -21,18 +21,31 @@ itself, SSL-3-style:
 - :mod:`repro.transport.delegation` — proxy delegation over an established
   channel: the remote side generates a key pair, proves possession, and
   receives a signed proxy certificate; the private key never crosses the
-  wire (§2.4).
+  wire (§2.4);
+- :mod:`repro.transport.tickets` — session-resumption tickets: repeat
+  clients (portals, renewal agents) skip RSA key transport and the chain
+  walk on reconnect, with revocation-safe refusal rules.
 """
 
 from repro.transport.channel import SecureChannel, connect_secure, accept_secure
 from repro.transport.delegation import accept_delegation, delegate_credential
 from repro.transport.links import Link, PipeLink, SocketLink, pipe_pair
+from repro.transport.tickets import (
+    SessionTicket,
+    SessionTicketManager,
+    TicketRefused,
+    TicketStore,
+)
 
 __all__ = [
     "Link",
     "PipeLink",
     "SocketLink",
     "SecureChannel",
+    "SessionTicket",
+    "SessionTicketManager",
+    "TicketRefused",
+    "TicketStore",
     "accept_delegation",
     "accept_secure",
     "connect_secure",

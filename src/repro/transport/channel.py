@@ -18,6 +18,7 @@ from repro.pki.validation import ChainValidator, ValidatedIdentity
 from repro.transport.handshake import HandshakeResult, client_handshake, server_handshake
 from repro.transport.links import Link, connect_tcp
 from repro.transport.records import ContentType
+from repro.transport.tickets import SessionTicket, SessionTicketManager, TicketStore
 from repro.util.errors import TransportError
 
 _ALERT_CLOSE = b"close notify"
@@ -31,6 +32,10 @@ class SecureChannel:
         #: ``None`` for an anonymous (browser-style) client, on the server side.
         self.peer: ValidatedIdentity | None = result.peer
         self.is_client = result.is_client
+        #: Resumption telemetry: whether this connection rode a session
+        #: ticket, and whether one was presented at all (hit/miss signal).
+        self.resumed = result.resumed
+        self.ticket_presented = result.ticket_presented
         # Continue the handshake's record streams: their sequence numbers
         # already cover the Finished messages, so no AES-GCM nonce repeats.
         self._writer = result.writer
@@ -95,19 +100,43 @@ def connect_secure(
     validator: ChainValidator,
     *,
     timeout: float = 10.0,
+    ticket: SessionTicket | None = None,
+    ticket_store: TicketStore | None = None,
+    ticket_key: str | None = None,
+    now: float | None = None,
 ) -> SecureChannel:
     """Open a channel as the initiating (client) side.
 
     ``target`` is an existing :class:`Link` (tests, pipes) or a
     ``(host, port)`` TCP endpoint.  ``credential=None`` connects
     anonymously (browser-style); GSI services will refuse that.
+
+    Session resumption: pass an explicit ``ticket``, or a ``ticket_store``
+    plus ``ticket_key`` to have the channel look up a cached ticket for
+    the endpoint and deposit the replacement the server issues.  ``now``
+    is the caller's idea of the current time (its Clock), used only to
+    skip tickets that have already expired locally.
     """
     link = target if isinstance(target, Link) else connect_tcp(*target, timeout=timeout)
+    if ticket is None and ticket_store is not None and ticket_key is not None:
+        if now is None:
+            import time
+
+            now = time.time()
+        ticket = ticket_store.get(ticket_key, now)
     try:
-        return SecureChannel(link, client_handshake(link, credential, validator))
+        result = client_handshake(link, credential, validator, ticket=ticket)
     except Exception:
         link.close()
         raise
+    if ticket_store is not None and ticket_key is not None:
+        if result.new_ticket is not None:
+            ticket_store.put(ticket_key, result.new_ticket)
+        elif ticket is not None and not result.resumed:
+            # The server refused our ticket and issued no replacement —
+            # stop presenting it.
+            ticket_store.invalidate(ticket_key)
+    return SecureChannel(link, result)
 
 
 def accept_secure(
@@ -116,13 +145,18 @@ def accept_secure(
     validator: ChainValidator,
     *,
     allow_anonymous: bool = False,
+    ticket_manager: SessionTicketManager | None = None,
 ) -> SecureChannel:
     """Open a channel as the accepting (server) side."""
     try:
         return SecureChannel(
             link,
             server_handshake(
-                link, credential, validator, allow_anonymous=allow_anonymous
+                link,
+                credential,
+                validator,
+                allow_anonymous=allow_anonymous,
+                ticket_manager=ticket_manager,
             ),
         )
     except Exception:

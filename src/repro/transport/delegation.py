@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import secrets
 
-from repro.pki.certs import Certificate
+from repro.pki.certs import CLOCK_SKEW, Certificate
 from repro.pki.credentials import Credential
 from repro.pki.keys import FreshKeySource, KeySource, PublicKey
 from repro.pki.proxy import DEFAULT_PROXY_LIFETIME, ProxyRestrictions, sign_proxy_request
@@ -102,11 +102,27 @@ def accept_delegation(
     channel: SecureChannel,
     *,
     key_source: KeySource | None = None,
+    clock: Clock = SYSTEM_CLOCK,
 ) -> Credential:
-    """Receive a delegated proxy credential from the peer on ``channel``."""
+    """Receive a delegated proxy credential from the peer on ``channel``.
+
+    The issued proxy is verified **against the Offer** before a
+    :class:`Credential` is constructed: its lifetime must fit the offered
+    one (± clock skew), its limited flag must match, and the returned
+    issuer chain must actually link — a buggy or malicious delegator
+    cannot hand back more authority than it offered, or a chain that
+    falls apart on first use.  Defects raise :class:`CredentialError`.
+    """
     fields = unpack_fields(channel.recv())
     if len(fields) != 4 or fields[0] != _T_OFFER:
         raise ProtocolError("expected a delegation Offer message")
+    try:
+        offered_lifetime = float(fields[1].decode("ascii"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"malformed delegation Offer lifetime: {exc}") from None
+    if offered_lifetime <= 0:
+        raise ProtocolError("delegation Offer lifetime must be positive")
+    offered_limited = fields[2] == b"1"
     nonce = fields[3]
     if len(nonce) < 16:
         raise ProtocolError("delegation nonce too short")
@@ -120,9 +136,29 @@ def accept_delegation(
     if len(fields) != 3 or fields[0] != _T_ISSUE:
         raise ProtocolError("expected a delegation Issue message")
     proxy_cert = Certificate.from_pem(fields[1])
+    if not fields[2].strip():
+        raise CredentialError("issued proxy arrived without an issuer chain")
     chain = tuple(Certificate.list_from_pem(fields[2]))
     if proxy_cert.public_key != key.public:
         raise CredentialError("issued proxy does not match the generated key")
-    if not chain or proxy_cert.issuer != chain[0].subject:
+    if proxy_cert.issuer != chain[0].subject or not proxy_cert.signed_by(
+        chain[0].public_key
+    ):
         raise CredentialError("issued proxy chain does not link to its issuer")
+    for child, parent in zip(chain, chain[1:]):
+        if child.issuer != parent.subject or not child.signed_by(parent.public_key):
+            raise CredentialError(
+                f"issuer chain does not link at {child.subject}"
+            )
+    now = clock.now()
+    if proxy_cert.not_after > now + offered_lifetime + CLOCK_SKEW:
+        raise CredentialError(
+            "issued proxy outlives the offered lifetime "
+            f"({proxy_cert.not_after - now:.0f}s > {offered_lifetime:.0f}s offered)"
+        )
+    if proxy_cert.subject.last_cn_is_limited != offered_limited:
+        raise CredentialError(
+            "issued proxy limitation does not match the offer "
+            f"(offered limited={offered_limited})"
+        )
     return Credential(certificate=proxy_cert, key=key, chain=chain)

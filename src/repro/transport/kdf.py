@@ -37,6 +37,14 @@ _TOTAL = 2 * _KEY_LEN + 2 * _SALT_LEN + 2 * _FIN_LEN
 
 _INFO = b"repro-gsi-secure-conversation-v1"
 
+#: Distinct expansion label for ticket-resumed sessions, so a resumption
+#: secret can never collide with a key-transport pre-master in the key
+#: schedule even if the byte strings were somehow equal.
+_RESUME_INFO = b"repro-gsi-session-resumption-v1"
+
+#: Length of the per-ticket resumption secret (same size as a pre-master).
+TICKET_SECRET_LEN = PRE_MASTER_LEN
+
 
 class TranscriptHash:
     """Running SHA-256 over every handshake message, in wire order.
@@ -101,6 +109,36 @@ def derive_session_keys(
     parts = []
     cursor = 0
     for size in offsets:
+        parts.append(block[cursor : cursor + size])
+        cursor += size
+    return SessionKeys(*parts)
+
+
+def derive_resumed_keys(
+    ticket_secret: bytes, client_random: bytes, server_random: bytes
+) -> SessionKeys:
+    """Key schedule for a ticket-resumed session (abbreviated handshake).
+
+    Same HKDF expansion as :func:`derive_session_keys` but seeded by the
+    ticket's resumption secret instead of an RSA-transported pre-master,
+    and bound to the *new* connection's randoms — two resumptions of the
+    same ticket never share traffic keys.
+    """
+    if len(ticket_secret) != TICKET_SECRET_LEN:
+        raise ValueError(f"resumption secret must be {TICKET_SECRET_LEN} bytes")
+    if len(client_random) != RANDOM_LEN or len(server_random) != RANDOM_LEN:
+        raise ValueError(f"handshake randoms must be {RANDOM_LEN} bytes")
+    hkdf = HKDF(
+        algorithm=hashes.SHA256(),
+        length=_TOTAL,
+        salt=client_random + server_random,
+        info=_RESUME_INFO,
+    )
+    block = hkdf.derive(ticket_secret)
+    sizes = [_KEY_LEN, _KEY_LEN, _SALT_LEN, _SALT_LEN, _FIN_LEN, _FIN_LEN]
+    parts = []
+    cursor = 0
+    for size in sizes:
         parts.append(block[cursor : cursor + size])
         cursor += size
     return SessionKeys(*parts)

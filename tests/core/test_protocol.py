@@ -3,7 +3,14 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.protocol import AuthMethod, Command, Request, Response
+from repro.core.protocol import (
+    MAX_BATCH_ITEMS,
+    AuthMethod,
+    BatchItem,
+    Command,
+    Request,
+    Response,
+)
 from repro.util.errors import ProtocolError
 
 
@@ -150,6 +157,18 @@ _phrases = st.text(
     auth=st.sampled_from(list(AuthMethod)),
 )
 def test_property_request_roundtrip(command, username, passphrase, lifetime, cred_name, auth):
+    # GET_MULTI structurally requires a batch; give it a representative one.
+    batch = None
+    if command is Command.GET_MULTI:
+        batch = (
+            BatchItem(
+                username=username,
+                passphrase=passphrase,
+                lifetime=round(lifetime, 3),
+                cred_name=cred_name,
+                auth_method=auth,
+            ),
+        )
     request = Request(
         command=command,
         username=username,
@@ -157,5 +176,46 @@ def test_property_request_roundtrip(command, username, passphrase, lifetime, cre
         lifetime=round(lifetime, 3),
         cred_name=cred_name,
         auth_method=auth,
+        batch=batch,
     )
     assert Request.decode(request.encode()) == request
+
+
+class TestBatch:
+    def _item(self, name="alice"):
+        return BatchItem(username=name, passphrase="pw", lifetime=3600.0)
+
+    def test_get_multi_roundtrip(self):
+        request = Request(
+            command=Command.GET_MULTI,
+            username="alice",
+            batch=(self._item("alice"), self._item("bob")),
+        )
+        decoded = Request.decode(request.encode())
+        assert decoded == request
+        assert decoded.batch is not None and len(decoded.batch) == 2
+
+    def test_get_multi_requires_batch(self):
+        with pytest.raises(ProtocolError, match="BATCH"):
+            Request(command=Command.GET_MULTI, username="alice")
+
+    def test_batch_only_valid_with_get_multi(self):
+        with pytest.raises(ProtocolError, match="BATCH"):
+            Request(command=Command.GET, username="alice", batch=(self._item(),))
+
+    def test_batch_size_capped(self):
+        items = tuple(self._item(f"u{i}") for i in range(MAX_BATCH_ITEMS + 1))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            Request(command=Command.GET_MULTI, username="u0", batch=items)
+
+    def test_batch_item_rejects_empty_username(self):
+        with pytest.raises(ProtocolError):
+            BatchItem(username="")
+
+    def test_malformed_batch_payload_rejected(self):
+        data = Request(
+            command=Command.GET_MULTI, username="alice", batch=(self._item(),)
+        ).encode()
+        broken = data.replace(b"BATCH=[", b"BATCH={")
+        with pytest.raises(ProtocolError):
+            Request.decode(broken)

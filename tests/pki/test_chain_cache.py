@@ -1,0 +1,127 @@
+"""The validated-chain LRU cache: hits, invalidation, and safety limits.
+
+A cache hit skips the signature walk but must never change the *answer*:
+revocation, expiry, and trust-material changes all beat the cache.
+"""
+
+import pytest
+
+from repro.pki.ca import CertificateAuthority
+from repro.pki.names import DistinguishedName
+from repro.pki.proxy import create_proxy
+from repro.pki.validation import ChainValidator
+from repro.util.errors import ExpiredError, RevokedError
+
+
+class TestCacheHits:
+    def test_second_validation_is_a_hit(self, validator, alice):
+        validator.validate(alice.full_chain())
+        validator.validate(alice.full_chain())
+        stats = validator.cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert stats["entries"] == 1
+
+    def test_hit_returns_the_same_identity(self, validator, alice, clock, key_pool):
+        proxy = create_proxy(alice, key_source=key_pool, clock=clock)
+        first = validator.validate(proxy.full_chain())
+        second = validator.validate(proxy.full_chain())
+        assert second.identity == first.identity
+        assert second.proxy_depth == first.proxy_depth == 1
+
+    def test_distinct_chains_get_distinct_entries(self, validator, alice, bob):
+        validator.validate(alice.full_chain())
+        validator.validate(bob.full_chain())
+        stats = validator.cache_stats()
+        assert stats["misses"] == 2 and stats["entries"] == 2
+
+    def test_cache_disabled_by_size_zero(self, ca, alice, clock):
+        uncached = ChainValidator([ca.certificate], clock=clock, cache_size=0)
+        uncached.validate(alice.full_chain())
+        uncached.validate(alice.full_chain())
+        stats = uncached.cache_stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+
+class TestInvalidation:
+    def test_crl_update_clears_the_cache(self, ca, validator, alice):
+        validator.validate(alice.full_chain())
+        generation = validator.generation
+        validator.update_crl(ca.crl())
+        stats = validator.cache_stats()
+        assert stats["entries"] == 0
+        assert validator.generation == generation + 1
+        # The next validation re-walks under the new generation.
+        validator.validate(alice.full_chain())
+        assert validator.cache_stats()["misses"] == 2
+
+    def test_new_anchor_clears_the_cache(self, validator, alice, clock, key_pool):
+        validator.validate(alice.full_chain())
+        other = CertificateAuthority(
+            DistinguishedName.parse("/O=Grid/OU=Repro/CN=Other CA"),
+            clock=clock,
+            key=key_pool.new_key(),
+        )
+        validator.add_anchor(other.certificate)
+        assert validator.cache_stats()["entries"] == 0
+
+    def test_revoked_chain_rejected_even_when_cached(self, ca, validator, alice):
+        validator.validate(alice.full_chain())  # warm the cache
+        ca.revoke(alice.certificate)
+        validator.update_crl(ca.crl())
+        with pytest.raises(RevokedError):
+            validator.validate(alice.full_chain())
+
+    def test_expired_chain_rejected_even_when_cached(
+        self, ca, validator, clock, key_pool
+    ):
+        flash = ca.issue_credential(
+            DistinguishedName.grid_user("Grid", "Repro", "Flash"),
+            lifetime=600.0,
+            key=key_pool.new_key(),
+        )
+        validator.validate(flash.full_chain())
+        clock.advance(2000.0)
+        with pytest.raises(ExpiredError):
+            validator.validate(flash.full_chain())
+
+    def test_time_bucket_forces_rewalk(self, ca, alice, clock):
+        bucketed = ChainValidator(
+            [ca.certificate], clock=clock, cache_bucket=300.0
+        )
+        bucketed.validate(alice.full_chain())
+        clock.advance(301.0)
+        bucketed.validate(alice.full_chain())
+        # Different bucket → different key → a second miss, not a hit.
+        assert bucketed.cache_stats()["misses"] == 2
+
+
+class TestEviction:
+    def test_lru_bounded_by_cache_size(self, ca, clock, key_pool):
+        small = ChainValidator([ca.certificate], clock=clock, cache_size=2)
+        users = [
+            ca.issue_credential(
+                DistinguishedName.grid_user("Grid", "Repro", f"User{i}"),
+                key=key_pool.new_key(),
+            )
+            for i in range(3)
+        ]
+        for user in users:
+            small.validate(user.full_chain())
+        assert small.cache_stats()["entries"] == 2
+        # The oldest entry was evicted; re-validating it is a miss.
+        small.validate(users[0].full_chain())
+        assert small.cache_stats()["misses"] == 4
+
+
+class TestMetrics:
+    def test_published_counters_track_lookups(self, validator, alice):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        validator.publish_metrics(registry)
+        validator.validate(alice.full_chain())
+        validator.validate(alice.full_chain())
+        family = registry.snapshot()["myproxy_chain_cache_total"]
+        assert family["result=miss"] == 1
+        assert family["result=hit"] == 1

@@ -1,0 +1,87 @@
+"""OneShotKeyPool: pre-generated keys, handed out exactly once.
+
+Unlike ``PooledKeySource`` (a test convenience that recycles private
+keys), the one-shot pool must behave exactly like fresh generation —
+just earlier.  These tests pin the uniqueness guarantee, the inline
+fallback accounting, and the published metrics.
+"""
+
+import time
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.pki.keys import TEST_KEY_BITS, OneShotKeyPool
+
+
+def _wait_for(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return predicate()
+
+
+@pytest.fixture()
+def pool():
+    p = OneShotKeyPool(TEST_KEY_BITS, size=2)
+    yield p
+    p.close()
+
+
+class TestOneShot:
+    def test_every_key_is_unique(self, pool):
+        seen = {pool.new_key().public.to_pem() for _ in range(6)}
+        assert len(seen) == 6
+
+    def test_pool_refills_after_draws(self, pool):
+        assert _wait_for(lambda: pool.depth >= 1)
+        pool.new_key()
+        assert _wait_for(lambda: pool.depth >= 1)
+
+    def test_drained_pool_generates_inline(self, pool):
+        pool.close()  # stop the refill thread so the drain sticks
+        while pool.depth:
+            pool.new_key()
+        key = pool.new_key()  # must still work — inline generation
+        assert key.public is not None
+        assert pool.stats()["starvations"] >= 1
+
+    def test_stats_accounting(self, pool):
+        assert _wait_for(lambda: pool.depth >= 1)
+        pool.new_key()
+        stats = pool.stats()
+        assert stats["served_from_pool"] >= 1
+        assert set(stats) == {"served_from_pool", "starvations", "depth"}
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            OneShotKeyPool(TEST_KEY_BITS, size=0)
+
+    def test_close_is_idempotent(self):
+        pool = OneShotKeyPool(TEST_KEY_BITS, size=1)
+        pool.close()
+        pool.close()
+
+    def test_context_manager_closes(self):
+        with OneShotKeyPool(TEST_KEY_BITS, size=1) as pool:
+            pool.new_key()
+        assert pool._stop.is_set()
+
+
+class TestMetrics:
+    def test_published_counters_and_depth(self, pool):
+        registry = MetricsRegistry()
+        pool.publish_metrics(registry)
+        assert _wait_for(lambda: pool.depth >= 1)
+        pool.new_key()  # from the pool
+        pool.close()
+        while pool.depth:
+            pool.new_key()
+        pool.new_key()  # starved → inline
+        snapshot = registry.snapshot()
+        family = snapshot["myproxy_keypool_keys_total"]
+        assert family["source=pool"] >= 1
+        assert family["source=inline"] >= 1
+        assert snapshot["myproxy_keypool_depth"] == pool.depth

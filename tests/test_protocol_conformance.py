@@ -76,6 +76,44 @@ class TestHandshakeSpec:
         )
 
 
+class TestResumptionSpec:
+    def test_resume_hkdf_info_string(self):
+        import repro.transport.kdf as kdf
+
+        assert kdf._RESUME_INFO == b"repro-gsi-session-resumption-v1"
+
+    def test_ticket_secret_is_pre_master_sized(self):
+        from repro.transport.kdf import PRE_MASTER_LEN
+        from repro.transport.tickets import TICKET_SECRET_LEN
+
+        assert TICKET_SECRET_LEN == PRE_MASTER_LEN == 48
+
+    def test_resumption_message_tags(self):
+        import repro.transport.handshake as hs
+
+        assert hs._T_SERVER_RESUME == b"SR"
+        assert hs._T_NEW_TICKET == b"NT"
+        assert hs._TICKET_OFFERED == b"1"
+
+    def test_ticket_blob_layout(self):
+        import repro.transport.tickets as tk
+
+        assert tk._KEY_ID_LEN == 8
+        assert tk._NONCE_LEN == 12
+        assert tk._STEK_LEN == 16
+
+    def test_resumed_key_schedule_differs_from_full(self):
+        from repro.transport.kdf import derive_resumed_keys, derive_session_keys
+
+        full = derive_session_keys(b"\x01" * 48, b"\x02" * 32, b"\x03" * 32)
+        resumed = derive_resumed_keys(b"\x01" * 48, b"\x02" * 32, b"\x03" * 32)
+        assert len(resumed.client_write_key) == 16
+        assert len(resumed.server_finished_key) == 32
+        # Same inputs, different info label — must not collide with the
+        # full-handshake schedule.
+        assert resumed.client_write_key != full.client_write_key
+
+
 class TestRecordSpec:
     def test_content_types(self):
         from repro.transport.records import ContentType
@@ -115,9 +153,10 @@ class TestMyProxySpec:
     def test_command_codes(self):
         from repro.core.protocol import Command
 
-        assert [int(c) for c in Command] == [0, 1, 2, 3, 4, 5, 6, 7]
+        assert [int(c) for c in Command] == [0, 1, 2, 3, 4, 5, 6, 7, 8]
         assert Command.GET == 0 and Command.PUT == 1
         assert Command.TRUSTROOTS == 7
+        assert Command.GET_MULTI == 8
 
     def test_auth_method_strings(self):
         from repro.core.protocol import AuthMethod

@@ -1,0 +1,214 @@
+"""Adversarial delegators: the acceptor must verify issue against offer.
+
+``accept_delegation`` receives whatever a (buggy or malicious) delegator
+sends.  These tests hand-roll the delegator's wire messages to lie in
+each of the ways the acceptor promises to catch: a proxy outliving the
+offered lifetime, a limited/unlimited mismatch, and issuer chains that
+do not actually link.
+"""
+
+import secrets
+import threading
+
+import pytest
+
+from repro.pki.keys import PublicKey
+from repro.pki.proxy import sign_proxy_request
+from repro.transport.channel import accept_secure, connect_secure
+from repro.transport.delegation import accept_delegation
+from repro.transport.links import pipe_pair
+from repro.util.encoding import pack_fields, unpack_fields
+from repro.util.errors import CredentialError
+
+
+@pytest.fixture()
+def channel_pair(alice, host_cred, validator):
+    cl, sl = pipe_pair()
+    result = {}
+
+    def _server():
+        result["channel"] = accept_secure(sl, host_cred, validator)
+
+    thread = threading.Thread(target=_server)
+    thread.start()
+    client = connect_secure(cl, alice, validator)
+    thread.join(10)
+    yield client, result["channel"]
+    client.close()
+
+
+def _lying_delegate(
+    channel,
+    issuer,
+    *,
+    clock,
+    offer_lifetime=600.0,
+    offer_limited=False,
+    issue_lifetime=None,
+    issue_limited=None,
+    chain_override=None,
+):
+    """Speak the delegator's side, with the Issue free to contradict the Offer."""
+    nonce = secrets.token_bytes(32)
+    channel.send(
+        pack_fields(
+            [
+                b"DG1",
+                f"{offer_lifetime:.3f}".encode("ascii"),
+                b"1" if offer_limited else b"0",
+                nonce,
+            ]
+        )
+    )
+    fields = unpack_fields(channel.recv())
+    assert fields[0] == b"DG2"
+    public_key = PublicKey.from_pem(fields[1])
+    proxy_cert = sign_proxy_request(
+        issuer,
+        public_key,
+        lifetime=issue_lifetime if issue_lifetime is not None else offer_lifetime,
+        limited=issue_limited if issue_limited is not None else offer_limited,
+        clock=clock,
+    )
+    if chain_override is not None:
+        chain_pem = chain_override
+    else:
+        chain_pem = b"".join(c.to_pem() for c in issuer.full_chain())
+    channel.send(pack_fields([b"DG3", proxy_cert.to_pem(), chain_pem]))
+
+
+def _accept_against(channel_pair, key_pool, clock, delegator):
+    """Run the acceptor in a thread against ``delegator`` on the client side."""
+    client, server = channel_pair
+    result = {}
+
+    def _accept():
+        try:
+            result["credential"] = accept_delegation(
+                server, key_source=key_pool, clock=clock
+            )
+        except Exception as exc:  # noqa: BLE001
+            result["error"] = exc
+
+    thread = threading.Thread(target=_accept)
+    thread.start()
+    delegator(client)
+    thread.join(10)
+    if "error" in result:
+        raise result["error"]
+    return result["credential"]
+
+
+class TestHonestBaseline:
+    def test_lying_helper_can_also_tell_the_truth(
+        self, channel_pair, alice, key_pool, clock
+    ):
+        credential = _accept_against(
+            channel_pair,
+            key_pool,
+            clock,
+            lambda ch: _lying_delegate(ch, alice, clock=clock),
+        )
+        assert credential.identity == alice.subject
+
+
+class TestOverLifetime:
+    def test_proxy_outliving_offer_rejected(
+        self, channel_pair, alice, key_pool, clock
+    ):
+        with pytest.raises(CredentialError, match="outlives the offered"):
+            _accept_against(
+                channel_pair,
+                key_pool,
+                clock,
+                lambda ch: _lying_delegate(
+                    ch, alice, clock=clock,
+                    offer_lifetime=600.0, issue_lifetime=36_000.0,
+                ),
+            )
+
+    def test_small_skew_tolerated(self, channel_pair, alice, key_pool, clock):
+        """± clock skew must not turn honest delegators into liars."""
+        credential = _accept_against(
+            channel_pair,
+            key_pool,
+            clock,
+            lambda ch: _lying_delegate(
+                ch, alice, clock=clock,
+                offer_lifetime=600.0, issue_lifetime=650.0,  # within 300 s skew
+            ),
+        )
+        assert credential.identity == alice.subject
+
+
+class TestLimitedMismatch:
+    def test_unlimited_proxy_for_limited_offer_rejected(
+        self, channel_pair, alice, key_pool, clock
+    ):
+        with pytest.raises(CredentialError, match="limitation"):
+            _accept_against(
+                channel_pair,
+                key_pool,
+                clock,
+                lambda ch: _lying_delegate(
+                    ch, alice, clock=clock,
+                    offer_limited=True, issue_limited=False,
+                ),
+            )
+
+    def test_limited_proxy_for_unlimited_offer_rejected(
+        self, channel_pair, alice, key_pool, clock
+    ):
+        with pytest.raises(CredentialError, match="limitation"):
+            _accept_against(
+                channel_pair,
+                key_pool,
+                clock,
+                lambda ch: _lying_delegate(
+                    ch, alice, clock=clock,
+                    offer_limited=False, issue_limited=True,
+                ),
+            )
+
+
+class TestBrokenChains:
+    def test_empty_chain_rejected(self, channel_pair, alice, key_pool, clock):
+        with pytest.raises(CredentialError, match="without an issuer chain"):
+            _accept_against(
+                channel_pair,
+                key_pool,
+                clock,
+                lambda ch: _lying_delegate(
+                    ch, alice, clock=clock, chain_override=b""
+                ),
+            )
+
+    def test_unrelated_chain_rejected(
+        self, channel_pair, alice, bob, key_pool, clock
+    ):
+        """Proxy signed by Alice arrives with Bob's chain — no link."""
+        bob_chain = b"".join(c.to_pem() for c in bob.full_chain())
+        with pytest.raises(CredentialError, match="does not link"):
+            _accept_against(
+                channel_pair,
+                key_pool,
+                clock,
+                lambda ch: _lying_delegate(
+                    ch, alice, clock=clock, chain_override=bob_chain
+                ),
+            )
+
+    def test_non_linking_middle_rejected(
+        self, channel_pair, alice, bob, key_pool, clock
+    ):
+        """First hop links, but the chain's own links are broken."""
+        franken = alice.certificate.to_pem() + bob.certificate.to_pem()
+        with pytest.raises(CredentialError, match="does not link"):
+            _accept_against(
+                channel_pair,
+                key_pool,
+                clock,
+                lambda ch: _lying_delegate(
+                    ch, alice, clock=clock, chain_override=franken
+                ),
+            )

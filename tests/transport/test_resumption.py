@@ -1,0 +1,330 @@
+"""Session-resumption tickets: fast path, fallback, and refusal rules.
+
+The safety contract under test (PROTOCOL.md §3.2): resumption may skip
+RSA key transport, but it must never outlive the credential or trust
+material it vouches for — any defect refuses the ticket and silently
+falls back to the full handshake.
+"""
+
+import threading
+
+import pytest
+
+from repro.transport.channel import accept_secure, connect_secure
+from repro.transport.links import pipe_pair
+from repro.transport.tickets import (
+    SessionTicket,
+    SessionTicketManager,
+    TicketRefused,
+    TicketStore,
+)
+
+def run_handshake(
+    client_args,
+    server_args,
+    *,
+    allow_anonymous=False,
+    ticket_manager=None,
+    ticket=None,
+    ticket_store=None,
+    ticket_key=None,
+    now=None,
+):
+    """Drive both sides over a pipe; return (client_channel, server_channel)."""
+    cl, sl = pipe_pair()
+    result = {}
+
+    def _server():
+        try:
+            result["channel"] = accept_secure(
+                sl,
+                *server_args,
+                allow_anonymous=allow_anonymous,
+                ticket_manager=ticket_manager,
+            )
+        except Exception as exc:  # noqa: BLE001
+            result["error"] = exc
+
+    thread = threading.Thread(target=_server)
+    thread.start()
+    try:
+        client_channel = connect_secure(
+            cl,
+            *client_args,
+            ticket=ticket,
+            ticket_store=ticket_store,
+            ticket_key=ticket_key,
+            now=now,
+        )
+    finally:
+        thread.join(10)
+    if "error" in result:
+        raise result["error"]
+    return client_channel, result["channel"]
+
+
+@pytest.fixture
+def manager(clock):
+    return SessionTicketManager(clock=clock, lifetime=600.0)
+
+
+def _full_then_ticket(alice, host_cred, validator, manager, store, clock):
+    """Run one full handshake and return the ticket it deposited."""
+    c, s = run_handshake(
+        (alice, validator),
+        (host_cred, validator),
+        ticket_manager=manager,
+        ticket_store=store,
+        ticket_key="repo",
+        now=clock.now(),
+    )
+    assert not c.resumed and not s.resumed
+    ticket = store.get("repo", clock.now())
+    assert ticket is not None
+    return ticket
+
+
+class TestResumptionFastPath:
+    def test_full_handshake_issues_a_ticket(
+        self, alice, host_cred, validator, manager, clock
+    ):
+        store = TicketStore()
+        ticket = _full_then_ticket(alice, host_cred, validator, manager, store, clock)
+        assert ticket.usable_at(clock.now())
+        assert ticket.peer.identity == host_cred.subject
+        assert manager.stats()["issued"] == 1
+
+    def test_second_connection_resumes(
+        self, alice, host_cred, validator, manager, clock
+    ):
+        store = TicketStore()
+        _full_then_ticket(alice, host_cred, validator, manager, store, clock)
+        c, s = run_handshake(
+            (alice, validator),
+            (host_cred, validator),
+            ticket_manager=manager,
+            ticket_store=store,
+            ticket_key="repo",
+            now=clock.now(),
+        )
+        assert c.resumed and s.resumed
+        assert s.ticket_presented
+        # Both sides keep the identities the original full handshake proved.
+        assert s.peer.identity == alice.subject
+        assert c.peer.identity == host_cred.subject
+        # The resumed channel is a real channel.
+        c.send(b"ping")
+        assert s.recv() == b"ping"
+        s.send(b"pong")
+        assert c.recv() == b"pong"
+        assert manager.stats()["redeemed"] == 1
+
+    def test_resumed_connection_gets_a_replacement_ticket(
+        self, alice, host_cred, validator, manager, clock
+    ):
+        store = TicketStore()
+        first = _full_then_ticket(alice, host_cred, validator, manager, store, clock)
+        run_handshake(
+            (alice, validator),
+            (host_cred, validator),
+            ticket_manager=manager,
+            ticket_store=store,
+            ticket_key="repo",
+            now=clock.now(),
+        )
+        replacement = store.get("repo", clock.now())
+        assert replacement is not None
+        assert replacement.blob != first.blob
+        assert manager.stats()["issued"] == 2
+
+    def test_no_manager_means_no_ticket(self, alice, host_cred, validator, clock):
+        store = TicketStore()
+        c, _s = run_handshake(
+            (alice, validator),
+            (host_cred, validator),
+            ticket_store=store,
+            ticket_key="repo",
+            now=clock.now(),
+        )
+        assert not c.resumed
+        assert store.get("repo", clock.now()) is None
+
+    def test_anonymous_clients_never_ticketed(
+        self, host_cred, validator, manager, clock
+    ):
+        store = TicketStore()
+        c, s = run_handshake(
+            (None, validator),
+            (host_cred, validator),
+            allow_anonymous=True,
+            ticket_manager=manager,
+            ticket_store=store,
+            ticket_key="repo",
+            now=clock.now(),
+        )
+        assert s.peer is None and not c.resumed
+        assert store.get("repo", clock.now()) is None
+        assert manager.stats()["issued"] == 0
+
+
+class TestRefusalRules:
+    """Every refusal must fall back to the full handshake, never error out."""
+
+    def _resume_attempt(self, alice, host_cred, validator, manager, ticket, clock):
+        store = TicketStore()
+        store.put("repo", ticket)
+        c, s = run_handshake(
+            (alice, validator),
+            (host_cred, validator),
+            ticket_manager=manager,
+            ticket_store=store,
+            ticket_key="repo",
+            now=clock.now(),
+        )
+        return c, s, store
+
+    def test_expired_ticket_skipped_client_side(
+        self, alice, host_cred, validator, manager, clock
+    ):
+        store = TicketStore()
+        _full_then_ticket(alice, host_cred, validator, manager, store, clock)
+        clock.advance(601.0)  # past the 600 s ticket lifetime
+        assert store.get("repo", clock.now()) is None
+
+    def test_expired_ticket_refused_server_side(
+        self, alice, host_cred, validator, manager, clock
+    ):
+        store = TicketStore()
+        real = _full_then_ticket(alice, host_cred, validator, manager, store, clock)
+        clock.advance(601.0)
+        # Lie about the local expiry so the blob actually reaches the server.
+        stale = SessionTicket(
+            real.blob, real.secret, clock.now() + 100.0, peer=real.peer
+        )
+        c, s, _store = self._resume_attempt(
+            alice, host_cred, validator, manager, stale, clock
+        )
+        assert not c.resumed and not s.resumed
+        assert s.ticket_presented  # the server saw and refused it
+        assert s.peer.identity == alice.subject  # full handshake re-proved it
+        assert manager.stats()["refused"] == 1
+
+    def test_tampered_ticket_falls_back(
+        self, alice, host_cred, validator, manager, clock
+    ):
+        store = TicketStore()
+        real = _full_then_ticket(alice, host_cred, validator, manager, store, clock)
+        evil_blob = bytearray(real.blob)
+        evil_blob[-1] ^= 1
+        forged = SessionTicket(
+            bytes(evil_blob), real.secret, real.expires_at, peer=real.peer
+        )
+        c, s, _store = self._resume_attempt(
+            alice, host_cred, validator, manager, forged, clock
+        )
+        assert not c.resumed and not s.resumed
+        assert s.peer.identity == alice.subject
+
+    def test_ticket_refused_after_crl_update(
+        self, ca, alice, host_cred, validator, manager, clock
+    ):
+        store = TicketStore()
+        _full_then_ticket(alice, host_cred, validator, manager, store, clock)
+        ticket = store.get("repo", clock.now())
+        validator.update_crl(ca.crl())  # generation bump: refuse old tickets
+        c, s, _store = self._resume_attempt(
+            alice, host_cred, validator, manager, ticket, clock
+        )
+        assert not c.resumed and not s.resumed
+        assert s.peer.identity == alice.subject
+        assert manager.stats()["refused"] == 1
+
+    def test_ticket_refused_after_new_anchor(
+        self, ca, alice, host_cred, validator, manager, clock, key_pool
+    ):
+        from repro.pki.ca import CertificateAuthority
+        from repro.pki.names import DistinguishedName
+
+        store = TicketStore()
+        _full_then_ticket(alice, host_cred, validator, manager, store, clock)
+        ticket = store.get("repo", clock.now())
+        other = CertificateAuthority(
+            DistinguishedName.parse("/O=Grid/OU=Repro/CN=Second CA"),
+            clock=clock,
+            key=key_pool.new_key(),
+        )
+        validator.add_anchor(other.certificate)
+        c, s, _store = self._resume_attempt(
+            alice, host_cred, validator, manager, ticket, clock
+        )
+        assert not c.resumed and not s.resumed
+
+    def test_revoked_identity_cannot_resume(
+        self, ca, alice, host_cred, validator, manager, clock
+    ):
+        """Redeeming re-validates the chain — revocation beats any ticket."""
+        store = TicketStore()
+        _full_then_ticket(alice, host_cred, validator, manager, store, clock)
+        ticket = store.get("repo", clock.now())
+        ca.revoke(alice.certificate)
+        validator.update_crl(ca.crl())
+        with pytest.raises(TicketRefused):
+            manager.redeem(ticket.blob, validator)
+        # And through the full stack the handshake falls back — then the
+        # full path rejects the revoked chain outright.
+        from repro.util.errors import HandshakeError
+
+        with pytest.raises(HandshakeError):
+            self._resume_attempt(alice, host_cred, validator, manager, ticket, clock)
+
+    def test_refused_ticket_dropped_from_store(
+        self, alice, host_cred, validator, manager, clock
+    ):
+        store = TicketStore()
+        real = _full_then_ticket(alice, host_cred, validator, manager, store, clock)
+        evil_blob = bytes(b ^ 0xFF for b in real.blob)
+        store.put("repo", SessionTicket(evil_blob, real.secret, real.expires_at))
+        no_reissue = None  # server without a manager issues no replacement
+        c, _s = run_handshake(
+            (alice, validator),
+            (host_cred, validator),
+            ticket_manager=no_reissue,
+            ticket_store=store,
+            ticket_key="repo",
+            now=clock.now(),
+        )
+        assert not c.resumed
+        assert store.get("repo", clock.now()) is None
+
+    def test_stek_rotation_keeps_previous_key_redeemable(
+        self, alice, host_cred, validator, manager, clock
+    ):
+        store = TicketStore()
+        _full_then_ticket(alice, host_cred, validator, manager, store, clock)
+        ticket = store.get("repo", clock.now())
+        manager.rotate()  # one rotation: previous STEK still honored
+        secret, identity, _chain = manager.redeem(ticket.blob, validator)
+        assert secret == ticket.secret
+        assert identity.identity == alice.subject
+        manager.rotate()  # second rotation retires the issuing STEK
+        with pytest.raises(TicketRefused, match="retired"):
+            manager.redeem(ticket.blob, validator)
+
+
+class TestManagerUnit:
+    def test_lifetime_must_be_positive(self, clock):
+        with pytest.raises(ValueError):
+            SessionTicketManager(clock=clock, lifetime=0.0)
+
+    def test_issue_redeem_roundtrip(self, alice, validator, manager):
+        chain_pem = b"".join(c.to_pem() for c in alice.full_chain())
+        blob, secret, expires_at = manager.issue(chain_pem, validator.generation)
+        got_secret, identity, got_chain = manager.redeem(blob, validator)
+        assert got_secret == secret
+        assert identity.identity == alice.subject
+        assert got_chain == chain_pem
+        assert expires_at > manager.clock.now()
+
+    def test_truncated_blob_refused(self, validator, manager):
+        with pytest.raises(TicketRefused, match="short"):
+            manager.redeem(b"tiny", validator)
