@@ -45,6 +45,7 @@ SMOKE_PRESETS: dict[str, dict] = {
     "portal-login": {"rate": 20.0, "duration": 10.0, "seed": 7, "users": 16},
     "restricted-delegation": {"rate": 20.0, "duration": 10.0, "seed": 7,
                               "users": 8},
+    "portal-sso": {"rate": 8.0, "duration": 10.0, "seed": 7, "users": 8},
 }
 
 
@@ -114,6 +115,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _make_target(args: argparse.Namespace):
     if args.target is not None:
+        if args.scenario == "portal-sso":
+            raise SystemExit(
+                "portal-sso needs a self-hosted federated target (two "
+                "in-process realms); it cannot drive an external server"
+            )
         if not args.trusted_ca or not args.credential:
             raise SystemExit("--target needs --trusted-ca and --credential")
         return ExternalTarget(
@@ -131,6 +137,7 @@ def _make_target(args: argparse.Namespace):
         transport=args.self_host,
         policy=policy,
         max_connections=args.max_connections,
+        federation=args.scenario == "portal-sso",
     )
 
 

@@ -113,6 +113,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="pre-generate delegation keypairs in the background; each is "
              "used once; 0 generates inline (overrides keypair_pool)",
     )
+    parser.add_argument(
+        "--federation", action="store_true",
+        help="serve the HTTPS binding + IVOA CDP endpoints and load peer "
+             "realm trust roots (overrides the federation directive)",
+    )
+    parser.add_argument(
+        "--federation-port", type=int, default=7513, metavar="PORT",
+        help="port for the HTTPS binding / CDP endpoint set (default 7513)",
+    )
+    parser.add_argument(
+        "--realm-name", default=None, metavar="NAME",
+        help="this deployment's federation realm (overrides realm_name)",
+    )
     return parser
 
 
@@ -121,6 +134,7 @@ def main(argv: list[str] | None = None) -> int:
 
     def _body() -> None:
         cluster_cfg = None
+        realm_peers = ()
         metrics_port = args.metrics_port
         if args.config:
             from repro.core.config import load_config
@@ -128,10 +142,15 @@ def main(argv: list[str] | None = None) -> int:
             config = load_config(args.config)
             policy = config.policy
             cluster_cfg = config.cluster
+            realm_peers = config.realm_peers
             if metrics_port is None:
                 metrics_port = config.metrics_port
         else:
             policy = ServerPolicy()
+        if args.federation:
+            policy.federation_enabled = True
+        if args.realm_name is not None:
+            policy.realm_name = args.realm_name
         if args.slow_op_threshold is not None:
             policy.slow_op_threshold = args.slow_op_threshold
         if args.listen_backlog is not None:
@@ -206,6 +225,26 @@ def main(argv: list[str] | None = None) -> int:
             server.cluster_role = "member"
             server.cluster_peers = cluster_cfg.peer_names()
         host, port = server.start(args.host, args.port)
+        extra_listeners = []
+        if policy.federation_enabled:
+            from repro.core.httpbinding import MyProxyHttpGateway
+            from repro.federation.cdp import CdpService
+            from repro.federation.realms import distribute_trust
+
+            if realm_peers:
+                n_roots = distribute_trust(server.validator, list(realm_peers))
+                print(
+                    f"federation: trusted {n_roots} root(s) from "
+                    f"{len(realm_peers)} peer realm(s)"
+                )
+            http_gateway = MyProxyHttpGateway(server)
+            CdpService(http_gateway)
+            fhost, fport = http_gateway.serve(args.host, args.federation_port)
+            extra_listeners.append(http_gateway.web)
+            print(
+                f"federation realm {policy.realm_name!r}: HTTPS binding + "
+                f"CDP at https://{fhost}:{fport}/cdp/*"
+            )
         if cluster_cfg is not None:
             print(
                 f"cluster node {cluster_cfg.node_name} of "
@@ -220,6 +259,8 @@ def main(argv: list[str] | None = None) -> int:
             while True:
                 time.sleep(3600)
         finally:
+            for listener in extra_listeners:
+                listener.stop()
             server.stop()
 
     return run_tool(_body, args)

@@ -45,6 +45,17 @@ Crypto hot path (see :mod:`repro.transport.tickets`,
     disable_session_tickets        # full handshake on every connection
     keypair_pool 32                # one-shot pre-generated delegation keys (0 = off)
 
+Federation (see :mod:`repro.federation`)::
+
+    federation                        # turn the subsystem on
+    realm_name "alpha"                # this deployment's realm
+    # portals whose SSO assertions the gateway redeems (repeatable)
+    federation_portals "/O=Grid/CN=host/portal-*"
+    assertion_max_lifetime 300        # seconds; assertions are bearer tokens
+    federation_delegation_lifetime 3600   # seconds for deposited proxies
+    # peer realms: trust roots, optionally a CDP endpoint (repeatable)
+    realm_peer "beta /etc/grid-security/beta-roots.pem beta.example.org:7513"
+
 A clustered deployment (see :mod:`repro.cluster`) adds its membership in
 the same file::
 
@@ -74,7 +85,12 @@ from repro.gsi.acl import AccessControlList
 from repro.qos.classes import ServiceClass
 from repro.util.errors import ConfigError
 
-_ACL_KEYS = ("accepted_credentials", "authorized_retrievers", "authorized_renewers")
+_ACL_KEYS = (
+    "accepted_credentials",
+    "authorized_retrievers",
+    "authorized_renewers",
+    "federation_portals",
+)
 _NUMBER_KEYS = {
     "max_stored_lifetime_days": 86400.0,
     "max_delegation_lifetime_hours": 3600.0,
@@ -88,6 +104,8 @@ _NUMBER_KEYS = {
     "qos_burst": None,
     "qos_queue_deadline": None,  # seconds, no unit
     "session_ticket_lifetime": None,  # seconds, no unit
+    "assertion_max_lifetime": None,  # seconds, no unit
+    "federation_delegation_lifetime": None,  # seconds, no unit
 }
 #: Numeric directives for which zero is meaningful ("feature off").
 _ZERO_OK_NUMBER_KEYS = ("qos_queue_depth", "keypair_pool")
@@ -99,7 +117,9 @@ _FLAG_KEYS = (
     "disable_site",
     "disable_renewal",
     "disable_session_tickets",
+    "federation",
 )
+_FEDERATION_STRING_KEYS = ("realm_name",)
 _CLUSTER_STRING_KEYS = ("cluster_node_name", "cluster_secret", "cluster_state_dir")
 _CLUSTER_NUMBER_KEYS = (
     "cluster_replication_factor",
@@ -150,6 +170,9 @@ class ServerConfig:
     #: Port for the plain-HTTP Prometheus ``/metrics`` endpoint
     #: (``metrics_port`` directive); ``None`` leaves it off.
     metrics_port: int | None = None
+    #: Peer realms (``realm_peer`` directives): trust roots to load plus
+    #: optional CDP endpoints, consumed when federation is enabled.
+    realm_peers: tuple = ()
 
 
 def _split_directive(line: str) -> tuple[str, str]:
@@ -259,6 +282,8 @@ def parse_config(text: str) -> ServerConfig:
     obs_numbers: dict[str, int] = {}
     peers: list[ClusterPeer] = []
     qos_class_lines: list[tuple[int, str]] = []
+    federation_strings: dict[str, str] = {}
+    realm_peer_lines: list[tuple[int, str]] = []
 
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
@@ -293,6 +318,16 @@ def parse_config(text: str) -> ServerConfig:
             flags.add(key)
         elif key == "cluster_peer":
             peers.append(_parse_peer(value, lineno))
+        elif key == "realm_peer":
+            if not value:
+                raise ConfigError(
+                    f'line {lineno}: realm_peer needs "name roots.pem [host:port]"'
+                )
+            realm_peer_lines.append((lineno, value))
+        elif key in _FEDERATION_STRING_KEYS:
+            if not value:
+                raise ConfigError(f"line {lineno}: {key} needs a value")
+            federation_strings[key] = value
         elif key in _CLUSTER_STRING_KEYS:
             if not value:
                 raise ConfigError(f"line {lineno}: {key} needs a value")
@@ -374,11 +409,37 @@ def parse_config(text: str) -> ServerConfig:
         keypair_pool_size=int(
             numbers.get("keypair_pool", defaults.keypair_pool_size)
         ),
+        federation_enabled="federation" in flags,
+        realm_name=federation_strings.get("realm_name", defaults.realm_name),
+        federation_portals=_acl("federation_portals"),
+        assertion_max_lifetime=float(
+            numbers.get("assertion_max_lifetime", defaults.assertion_max_lifetime)
+        ),
+        federation_delegation_lifetime=float(
+            numbers.get(
+                "federation_delegation_lifetime",
+                defaults.federation_delegation_lifetime,
+            )
+        ),
     )
+    from repro.federation.realms import parse_realm_peer
+    from repro.util.errors import PolicyError as _PolicyError
+
+    realm_peers = []
+    for lineno, value in realm_peer_lines:
+        try:
+            realm_peers.append(parse_realm_peer(value, lineno))
+        except _PolicyError as exc:
+            raise ConfigError(str(exc)) from exc
+    if realm_peers and not policy.federation_enabled:
+        raise ConfigError(
+            "realm_peer directives require the federation directive"
+        )
     return ServerConfig(
         policy=policy,
         cluster=_parse_cluster(cluster_strings, cluster_numbers, peers),
         metrics_port=obs_numbers.get("metrics_port"),
+        realm_peers=tuple(realm_peers),
     )
 
 

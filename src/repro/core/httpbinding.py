@@ -37,6 +37,7 @@ import base64
 import json
 import secrets
 import threading
+import time
 
 from repro.core.protocol import DEFAULT_CRED_NAME, AuthMethod, Request, Command
 from repro.core.repository import KEY_ENC_PASSPHRASE, RepositoryEntry
@@ -64,6 +65,10 @@ logger = get_logger("core.httpbinding")
 _POP_LABEL = b"myproxy-http-binding-pop-v1"
 _GENERIC_DENIAL = "remote authorization/authentication failed"
 PUT_SESSION_TTL = 120.0
+#: How long a consumed/expired PUT token's tombstone is kept, so a replay
+#: or late completion gets a *distinct* refusal instead of the generic
+#: "unknown session" denial.  Past this, replays fold into "unknown".
+PUT_TOMBSTONE_TTL = 10 * PUT_SESSION_TTL
 
 
 def _pop_message(nonce_hex: str, public_pem: bytes, identity: str) -> bytes:
@@ -106,7 +111,23 @@ class MyProxyHttpGateway:
             validator=server.validator,
         )
         self._pending_puts: dict[str, dict] = {}
+        #: token → {"peer", "fate" ("expired" | "used"), "until"} — dead
+        #: sessions remembered long enough to name the refusal precisely.
+        self._dead_puts: dict[str, dict] = {}
         self._pending_lock = threading.Lock()
+        # Per-endpoint observability: every mounted route (the /myproxy/*
+        # set here, /cdp/* when the federation subsystem mounts beside it)
+        # reports through the same two families.
+        self._requests_total = server.metrics.counter(
+            "myproxy_http_requests_total",
+            "HTTP-binding requests by endpoint and outcome.",
+            labelnames=("endpoint", "outcome"),
+        )
+        self._request_seconds = server.metrics.histogram(
+            "myproxy_http_request_seconds",
+            "HTTP-binding request latency by endpoint.",
+            labelnames=("endpoint",),
+        )
         self._register_routes()
 
     # ------------------------------------------------------------------
@@ -127,6 +148,8 @@ class MyProxyHttpGateway:
             logger.info("HTTP-binding handshake rejected: %s", exc)
             return
         try:
+            if not self._admit(channel):
+                return
             while True:
                 try:
                     data = channel.recv()
@@ -143,35 +166,107 @@ class MyProxyHttpGateway:
         finally:
             channel.close()
 
-    def _register_routes(self) -> None:
-        self.web.add_route("POST", "/myproxy/get", self._route(self._op_get))
-        self.web.add_route("POST", "/myproxy/put/begin", self._route(self._op_put_begin))
-        self.web.add_route(
-            "POST", "/myproxy/put/complete", self._route(self._op_put_complete)
+    def _admit(self, channel) -> bool:
+        """Apply the server's per-identity QoS budget to HTTP conversations.
+
+        The HTTP binding bypasses :meth:`MyProxyServer.handle_link`, so
+        without this a web client could sidestep the §3 fairness machinery
+        entirely.  Refusals mirror the channel protocol's busy reply in
+        HTTP shape: a 503 with a ``retry_after`` hint, billed to the noisy
+        identity's bucket alone.
+        """
+        server = self.server
+        peer = channel.peer
+        if peer is None or server.policy.qos_rate <= 0:
+            return True
+        subject = str(peer.identity.base_identity())
+        qclass = server._class_map.resolve(subject)
+        retry = server._identity_limiter.check(
+            (qclass.name, subject),
+            server.policy.qos_rate * qclass.weight,
+            server.policy.effective_qos_burst() * qclass.weight,
         )
-        self.web.add_route("POST", "/myproxy/info", self._route(self._op_info))
-        self.web.add_route("POST", "/myproxy/destroy", self._route(self._op_destroy))
+        if retry <= 0:
+            return True
+        server.stats.inc("shed")
+        server._shed_reason_total.labels(reason="rate_limited").inc()
+        server._audit_event(
+            str(peer.identity), "ADMISSION", "", "", False,
+            f"HTTP binding rate limited (class {qclass.name}); "
+            f"retry in {retry:.3f}s",
+            count_denial=False,
+        )
+        try:
+            channel.send(
+                _json_response(
+                    {"ok": False, "error": "busy", "retry_after": retry}, 503
+                ).serialize()
+            )
+        except ReproError:  # pragma: no cover - peer gone
+            pass
+        return False
+
+    def serve(self, host: str, port: int) -> tuple[str, int]:
+        """Listen for HTTPS connections on ``host:port`` (client certs
+        required).  Returns the bound address."""
+        from repro.transport.links import SocketLink
+
+        def _per_conn(conn) -> None:
+            self.handle_secure_link(SocketLink(conn))
+
+        return self.web.listen(host, port, _per_conn, "https")
+
+    def _register_routes(self) -> None:
+        self.add_json_route("/myproxy/get", self._op_get)
+        self.add_json_route("/myproxy/put/begin", self._op_put_begin)
+        self.add_json_route("/myproxy/put/complete", self._op_put_complete)
+        self.add_json_route("/myproxy/info", self._op_info)
+        self.add_json_route("/myproxy/destroy", self._op_destroy)
+        self.add_json_route("/myproxy/change-passphrase", self._op_change)
+
+    def add_json_route(self, path: str, op, *, audit_command: str = "HTTP") -> None:
+        """Mount an authenticated JSON op at ``POST path``.
+
+        The federation subsystem mounts its ``/cdp/*`` endpoints through
+        this, so every route shares one error-mapping and observability
+        discipline: denials are generic 403s, client mistakes are 400s
+        with a precise message, and each request lands in the
+        per-endpoint counter/histogram pair.
+        """
         self.web.add_route(
-            "POST", "/myproxy/change-passphrase", self._route(self._op_change)
+            "POST", path, self._route(op, path, audit_command=audit_command)
         )
 
-    def _route(self, op):
+    def _route(self, op, path: str, *, audit_command: str = "HTTP"):
         def _handler(ctx: WebContext) -> HttpResponse:
-            peer = ctx.peer
-            if peer is None or not isinstance(peer, ValidatedIdentity):
-                return _json_response(
-                    {"ok": False, "error": "client certificate required"}, 401
-                )
+            started = time.perf_counter()
+            outcome = "error"
             try:
-                payload = _json_body(ctx.request)
-                return op(peer, payload)
-            except (AuthenticationError, AuthorizationError, NotFoundError) as exc:
-                self.server._audit_event(
-                    str(peer.identity), "HTTP", "", "", False, str(exc)
+                peer = ctx.peer
+                if peer is None or not isinstance(peer, ValidatedIdentity):
+                    outcome = "unauthenticated"
+                    return _json_response(
+                        {"ok": False, "error": "client certificate required"}, 401
+                    )
+                try:
+                    payload = _json_body(ctx.request)
+                    response = op(peer, payload)
+                    outcome = "ok"
+                    return response
+                except (AuthenticationError, AuthorizationError, NotFoundError) as exc:
+                    outcome = "denied"
+                    self.server._audit_event(
+                        str(peer.identity), audit_command, "", "", False, str(exc)
+                    )
+                    return _json_response({"ok": False, "error": _GENERIC_DENIAL}, 403)
+                except (PolicyError, CredentialError, ProtocolError) as exc:
+                    outcome = "rejected"
+                    return _json_response({"ok": False, "error": str(exc)}, 400)
+            finally:
+                self._requests_total.labels(endpoint=path, outcome=outcome).inc()
+                self._request_seconds.labels(endpoint=path).observe(
+                    time.perf_counter() - started
                 )
-                return _json_response({"ok": False, "error": _GENERIC_DENIAL}, 403)
-            except (PolicyError, CredentialError, ProtocolError) as exc:
-                return _json_response({"ok": False, "error": str(exc)}, 400)
 
         return _handler
 
@@ -304,18 +399,78 @@ class MyProxyHttpGateway:
         now = self.server.clock.now()
         dead = [t for t, s in self._pending_puts.items() if s["expires"] <= now]
         for token in dead:
-            del self._pending_puts[token]
+            session = self._pending_puts.pop(token)
+            self._dead_puts[token] = {
+                "peer": session["peer"],
+                "fate": "expired",
+                "until": now + PUT_TOMBSTONE_TTL,
+            }
+        stale = [t for t, s in self._dead_puts.items() if s["until"] <= now]
+        for token in stale:
+            del self._dead_puts[token]
+
+    def _take_put_session(self, token: str, peer: ValidatedIdentity) -> dict:
+        """Consume a PUT session token exactly once.
+
+        A live, owned token is popped and tombstoned as ``used``; the
+        same token presented again — or one whose TTL lapsed — gets a
+        *distinct* :class:`ProtocolError` naming the fate, because the
+        token is a bearer secret the caller legitimately held and the
+        precise reason is actionable (restart the PUT).  Tokens that were
+        never issued, or that belong to a different identity, stay on the
+        generic denial path: nothing is revealed to a guesser.
+        """
+        now = self.server.clock.now()
+        with self._pending_lock:
+            self._reap_pending()
+            session = self._pending_puts.get(token)
+            if session is not None and session["peer"] == str(peer.identity):
+                del self._pending_puts[token]
+                self._dead_puts[token] = {
+                    "peer": session["peer"],
+                    "fate": "used",
+                    "until": now + PUT_TOMBSTONE_TTL,
+                }
+                return session
+            tombstone = self._dead_puts.get(token)
+        if tombstone is not None and tombstone["peer"] == str(peer.identity):
+            if tombstone["fate"] == "used":
+                raise ProtocolError(
+                    "PUT session token already used (replay refused)"
+                )
+            raise ProtocolError("PUT session expired")
+        raise AuthenticationError("unknown PUT session")
 
     def _op_put_complete(self, peer: ValidatedIdentity, payload: dict) -> HttpResponse:
         server = self.server
         server._require_acl(server.policy.accepted_credentials, peer)
-        token = str(payload.get("token", ""))
-        with self._pending_lock:
-            self._reap_pending()
-            session = self._pending_puts.pop(token, None)
-        if session is None or session["peer"] != str(peer.identity):
-            raise AuthenticationError("unknown or expired PUT session")
+        session = self._take_put_session(str(payload.get("token", "")), peer)
+        entry = self._complete_delegation(
+            peer, payload, session["key"], command="PUT", stat="puts",
+            detail_prefix="HTTP binding",
+        )
+        return _json_response(
+            {"ok": True, "stored": True, "not_after": entry.not_after}
+        )
 
+    def _complete_delegation(
+        self,
+        peer: ValidatedIdentity,
+        payload: dict,
+        key: KeyPair,
+        *,
+        command: str,
+        stat: str,
+        detail_prefix: str,
+    ) -> RepositoryEntry:
+        """Validate a client-signed proxy for a server-held key and store it.
+
+        Shared tail of the two delegation-to-the-repository protocols:
+        the ``/myproxy/put`` pair here and the IVOA CDP ``certificate``
+        step in :mod:`repro.federation.cdp` — same certificate/key/chain
+        checks, same policy gates, same repository entry shape.
+        """
+        server = self.server
         request = self._request_from(payload, Command.PUT)
         server.policy.passphrase_policy.check_username(request.username)
         lifetime = request.lifetime or server.policy.max_stored_lifetime
@@ -329,7 +484,6 @@ class MyProxyHttpGateway:
             )
         except (KeyError, TypeError) as exc:
             raise ProtocolError("missing certificate material") from exc
-        key: KeyPair = session["key"]
         if cert.public_key != key.public:
             raise ProtocolError("certificate does not match the session key")
         delegated = Credential(certificate=cert, key=key, chain=chain)
@@ -369,14 +523,12 @@ class MyProxyHttpGateway:
             key_pem_renewal=key_pem_renewal,
         )
         server.repository.put(entry)
-        server.stats.inc("puts")
+        server.stats.inc(stat)
         server._audit_event(
-            str(peer.identity), "PUT", request.username, request.cred_name, True,
-            f"HTTP binding, stored until {entry.not_after:.0f}",
+            str(peer.identity), command, request.username, request.cred_name, True,
+            f"{detail_prefix}, stored until {entry.not_after:.0f}",
         )
-        return _json_response(
-            {"ok": True, "stored": True, "not_after": entry.not_after}
-        )
+        return entry
 
     # ------------------------------------------------------------------
     # INFO / DESTROY / CHANGE — straight JSON reuse of the server logic

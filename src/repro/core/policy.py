@@ -207,6 +207,31 @@ class ServerPolicy:
     #: once (never recycled), with inline fallback when drained.
     keypair_pool_size: int = 0
 
+    # -- federation (repro.federation) ----------------------------------
+
+    #: Whether this deployment participates in cross-realm federation
+    #: (``federation`` directive / ``myproxy-server --federation``).
+    federation_enabled: bool = False
+
+    #: This deployment's realm name (``realm_name`` directive).  Used as
+    #: the assertion issuer realm and as the audience peers mint for.
+    realm_name: str = "local"
+
+    #: Portals whose signed SSO assertions the federation gateway will
+    #: redeem.  The chain still has to validate — this ACL narrows *which*
+    #: validated identities may vouch for web sessions.
+    federation_portals: AccessControlList = field(
+        default_factory=lambda: AccessControlList.allow_all("federation_portals")
+    )
+
+    #: Cap on SSO assertion validity width (``assertion_max_lifetime``
+    #: directive).  Assertions are bearer tokens; minutes, not hours.
+    assertion_max_lifetime: float = 300.0
+
+    #: Lifetime of the restricted proxy a redeemed assertion deposits in
+    #: the peer realm (``federation_delegation_lifetime`` directive).
+    federation_delegation_lifetime: float = ONE_HOUR
+
     def qos_class_map(self) -> ClassMap:
         return ClassMap(self.qos_classes)
 

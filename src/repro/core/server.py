@@ -167,6 +167,10 @@ _STATS_COUNTERS: tuple[tuple[str, str, str], ...] = (
     ("scrub_repaired", "myproxy_scrub_repaired_total",
      "Quarantined entries restored from a cluster peer by scrub."),
     ("failovers", "myproxy_failovers_total", "Promotions this node won."),
+    ("cdp_delegations", "myproxy_cdp_delegations_total",
+     "Delegations deposited via the IVOA CDP endpoints."),
+    ("federation_redemptions", "myproxy_federation_redemptions_total",
+     "SSO assertions redeemed into a peer realm by the federation gateway."),
 )
 #: Gauge fields: worst-case replication lag, refreshed by the cluster
 #: status sweep.

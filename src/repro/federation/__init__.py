@@ -1,0 +1,43 @@
+"""Federation: standards-based delegation + cross-realm portal SSO (§6.4).
+
+The paper closes by asking for "more standard protocols" so that web
+portals and non-GSI tooling can drive the repository.  This package is
+that second protocol surface, three cooperating pieces:
+
+- :mod:`repro.federation.cdp` — the IVOA *Credential Delegation
+  Protocol* endpoint set (``/cdp/register``, ``/cdp/proxy-csr``,
+  ``/cdp/certificate``, ``/cdp/delete``) mounted beside the existing
+  HTTP binding.  The server publishes a CSR; the client signs a proxy
+  certificate with its own credential; the delegated proxy lands in the
+  repository under the authenticated DN.
+- :mod:`repro.federation.sso` + :mod:`repro.federation.assertions` —
+  GridCertLib-style single sign-on: a live portal web session is
+  exchanged for a signed, audience- and lifetime-bound assertion token,
+  redeemable exactly once.  No passphrase re-entry; destroying the web
+  session revokes every outstanding assertion.
+- :mod:`repro.federation.gateway` + :mod:`repro.federation.realms` —
+  cross-realm trust: realm configs distribute trust roots between
+  independent clusters, and the federation gateway redeems an assertion
+  from realm A into a restricted short-lived proxy stored in realm B
+  via CDP.
+"""
+
+from repro.federation.assertions import SsoAssertion, issue_assertion, verify_assertion
+from repro.federation.cdp import CdpClient, CdpService
+from repro.federation.gateway import FederationGateway
+from repro.federation.realms import RealmPeer, distribute_trust, parse_realm_peer
+from repro.federation.sso import SsoAuthority, enable_sso
+
+__all__ = [
+    "CdpClient",
+    "CdpService",
+    "FederationGateway",
+    "RealmPeer",
+    "SsoAssertion",
+    "SsoAuthority",
+    "distribute_trust",
+    "enable_sso",
+    "issue_assertion",
+    "parse_realm_peer",
+    "verify_assertion",
+]

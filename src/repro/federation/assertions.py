@@ -1,0 +1,194 @@
+"""SAML-flavoured SSO assertions: signed, audience- and lifetime-bound.
+
+An assertion is the federation analogue of a SAML authentication
+statement, carried in the minimal shape this codebase favours: a
+canonical-JSON payload signed by the issuing portal's Grid credential,
+bundled with the certificate chain that proves who signed.  The verifier
+(the federation gateway) revalidates the chain against *its* trust roots
+— so an assertion is only as good as the trust federation that
+distributed the issuer's CA — and then checks:
+
+- the signature, over a domain-separated label plus the payload;
+- the issuer field against the identity the chain actually validated to
+  (no speaking-for: a valid chain cannot vouch for someone else's DN);
+- the audience, which names the *target realm* — an assertion minted for
+  realm B is useless against realm C;
+- the validity window and a cap on its total width, because assertions
+  are bearer tokens and must stay short-lived;
+- the trust generation it was minted under: bumping trust material
+  (new anchor, fresh CRL) invalidates every outstanding assertion, the
+  same revocation-always-wins rule the session-ticket cache follows.
+
+Single-use enforcement is *not* here — the token itself is stateless.
+:class:`repro.federation.sso.SsoAuthority` owns the server-side record
+that makes redemption one-shot and session-revocable.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import secrets
+from dataclasses import dataclass
+
+from repro.pki.certs import Certificate
+from repro.pki.credentials import Credential
+from repro.pki.validation import ChainValidator, ValidatedIdentity
+from repro.util.clock import Clock
+from repro.util.errors import AuthenticationError, CredentialError, ProtocolError
+
+_ASSERTION_LABEL = b"repro-federation-assertion-v1"
+
+#: Tolerated clock skew between issuer and verifier, seconds.
+CLOCK_SKEW = 60.0
+
+#: Default cap on assertion validity width, seconds.  GridCertLib-style
+#: SSO hands the token straight from portal to gateway, so minutes are
+#: plenty; anything longer just widens the bearer-token window.
+DEFAULT_MAX_LIFETIME = 300.0
+
+
+@dataclass(frozen=True)
+class SsoAssertion:
+    """The signed payload of one SSO exchange."""
+
+    assertion_id: str
+    subject: str  #: DN of the user the portal holds a proxy for
+    username: str  #: the MyProxy account name behind that proxy
+    issuer: str  #: DN of the issuing portal (must match the signing chain)
+    realm: str  #: realm the assertion was minted in
+    audience: str  #: realm the assertion may be redeemed against
+    issued_at: float
+    not_after: float
+    trust_generation: int  #: issuer-side trust generation at mint time
+
+    def to_payload(self) -> dict:
+        return {
+            "assertion_id": self.assertion_id,
+            "subject": self.subject,
+            "username": self.username,
+            "issuer": self.issuer,
+            "realm": self.realm,
+            "audience": self.audience,
+            "issued_at": self.issued_at,
+            "not_after": self.not_after,
+            "trust_generation": self.trust_generation,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> SsoAssertion:
+        try:
+            return cls(
+                assertion_id=str(payload["assertion_id"]),
+                subject=str(payload["subject"]),
+                username=str(payload["username"]),
+                issuer=str(payload["issuer"]),
+                realm=str(payload["realm"]),
+                audience=str(payload["audience"]),
+                issued_at=float(payload["issued_at"]),
+                not_after=float(payload["not_after"]),
+                trust_generation=int(payload["trust_generation"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError("malformed assertion payload") from exc
+
+
+def _signed_bytes(payload: dict) -> bytes:
+    return _ASSERTION_LABEL + json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def issue_assertion(
+    signer: Credential,
+    *,
+    subject: str,
+    username: str,
+    realm: str,
+    audience: str,
+    lifetime: float,
+    trust_generation: int,
+    clock: Clock,
+) -> tuple[str, SsoAssertion]:
+    """Mint a signed assertion token.  Returns ``(token, assertion)``.
+
+    The token is opaque to carriers: base64url over a JSON envelope of
+    payload, signature, and the signer's certificate chain.
+    """
+    if lifetime <= 0:
+        raise ProtocolError("assertion lifetime must be positive")
+    now = clock.now()
+    assertion = SsoAssertion(
+        assertion_id=secrets.token_urlsafe(16),
+        subject=subject,
+        username=username,
+        issuer=str(signer.identity),
+        realm=realm,
+        audience=audience,
+        issued_at=now,
+        not_after=now + lifetime,
+        trust_generation=trust_generation,
+    )
+    payload = assertion.to_payload()
+    signature = signer.sign(_signed_bytes(payload))
+    envelope = {
+        "payload": payload,
+        "signature": base64.b64encode(signature).decode("ascii"),
+        "chain_pem": b"".join(
+            c.to_pem() for c in signer.full_chain()
+        ).decode("ascii"),
+    }
+    token = base64.urlsafe_b64encode(
+        json.dumps(envelope, sort_keys=True).encode("utf-8")
+    ).decode("ascii")
+    return token, assertion
+
+
+def verify_assertion(
+    token: str,
+    validator: ChainValidator,
+    *,
+    audience: str,
+    clock: Clock,
+    max_lifetime: float = DEFAULT_MAX_LIFETIME,
+) -> tuple[SsoAssertion, ValidatedIdentity]:
+    """Verify ``token`` end to end; returns ``(assertion, signer)``.
+
+    Malformed tokens raise :class:`ProtocolError`; well-formed tokens
+    that fail a trust check raise :class:`AuthenticationError` (the
+    caller's generic-denial path — a forger learns nothing about which
+    check tripped).
+    """
+    try:
+        envelope = json.loads(base64.urlsafe_b64decode(token.encode("ascii")))
+        payload = envelope["payload"]
+        signature = base64.b64decode(envelope["signature"])
+        chain = tuple(
+            Certificate.list_from_pem(envelope["chain_pem"].encode("ascii"))
+        )
+    except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+        raise ProtocolError("malformed assertion token") from exc
+    if not isinstance(payload, dict) or not chain:
+        raise ProtocolError("malformed assertion token")
+    assertion = SsoAssertion.from_payload(payload)
+
+    try:
+        signer = validator.validate(chain)
+    except CredentialError as exc:
+        raise AuthenticationError(f"assertion signer chain rejected: {exc}") from exc
+    if not chain[0].public_key.verify(signature, _signed_bytes(payload)):
+        raise AuthenticationError("assertion signature invalid")
+    if assertion.issuer != str(signer.identity):
+        raise AuthenticationError("assertion issuer does not match its chain")
+    if assertion.audience != audience:
+        raise AuthenticationError(
+            f"assertion audience {assertion.audience!r} is not {audience!r}"
+        )
+    now = clock.now()
+    if assertion.issued_at > now + CLOCK_SKEW:
+        raise AuthenticationError("assertion issued in the future")
+    if assertion.not_after <= now:
+        raise AuthenticationError("assertion expired")
+    if assertion.not_after - assertion.issued_at > max_lifetime + CLOCK_SKEW:
+        raise AuthenticationError("assertion lifetime exceeds policy")
+    return assertion, signer

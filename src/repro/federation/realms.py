@@ -1,0 +1,97 @@
+"""Cross-realm trust: who we are, whom we trust, where they live.
+
+A *realm* is one independently-administered MyProxy deployment — its own
+CA(s), repository cluster, portals.  Federation per the grid-gateway
+model (arXiv:1204.6629) needs exactly two things exchanged out of band
+between realm operators:
+
+- each other's **trust roots**, so chains minted under realm A's CA
+  validate in realm B (distribution is just ``add_anchor``, which bumps
+  the trust generation — outstanding assertions and session tickets die
+  with the old trust set, revocation-always-wins);
+- each other's **CDP endpoint**, so a gateway can deposit delegations
+  remotely.
+
+The ``realm_peer`` config directive carries both::
+
+    realm_name alpha
+    realm_peer "beta /etc/grid-security/beta-roots.pem beta.example.org:7513"
+
+The endpoint is optional for peers we only *trust* but never push to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pki.certs import Certificate
+from repro.pki.validation import ChainValidator
+from repro.util.errors import ConfigError, CredentialError, PolicyError
+from repro.util.logging import get_logger
+
+logger = get_logger("federation.realms")
+
+
+@dataclass(frozen=True)
+class RealmPeer:
+    """One federated peer realm, as configured."""
+
+    name: str
+    trust_roots_path: str
+    #: ``host:port`` of the peer's HTTPS binding (CDP mount), or None.
+    endpoint: tuple[str, int] | None = None
+
+
+def parse_realm_peer(value: str, lineno: int = 0) -> RealmPeer:
+    """Parse a ``realm_peer "name roots.pem [host:port]"`` directive value."""
+    parts = value.split()
+    if len(parts) not in (2, 3):
+        raise PolicyError(
+            f"realm_peer needs 'name roots.pem [host:port]' (line {lineno})"
+        )
+    endpoint = None
+    if len(parts) == 3:
+        host, sep, port = parts[2].rpartition(":")
+        if not sep or not port.isdigit():
+            raise PolicyError(
+                f"realm_peer endpoint must be host:port (line {lineno})"
+            )
+        endpoint = (host, int(port))
+    return RealmPeer(name=parts[0], trust_roots_path=parts[1], endpoint=endpoint)
+
+
+def distribute_trust(validator: ChainValidator, peers: list[RealmPeer]) -> int:
+    """Load every peer's trust roots into ``validator``.  Returns the count.
+
+    This is the whole trust-federation mechanism: after it, chains
+    anchored in a peer realm's CA validate locally, and the generation
+    bump invalidates anything minted under the narrower trust set.
+    """
+    added = 0
+    for peer in peers:
+        try:
+            with open(peer.trust_roots_path, "rb") as handle:
+                roots = Certificate.list_from_pem(handle.read())
+        except OSError as exc:
+            raise ConfigError(
+                f"realm_peer {peer.name!r}: cannot read trust roots "
+                f"{peer.trust_roots_path}: {exc}"
+            ) from exc
+        except CredentialError as exc:
+            raise ConfigError(
+                f"realm_peer {peer.name!r}: bad trust roots in "
+                f"{peer.trust_roots_path}: {exc}"
+            ) from exc
+        if not roots:
+            raise ConfigError(
+                f"realm_peer {peer.name!r}: no certificates in "
+                f"{peer.trust_roots_path}"
+            )
+        for root in roots:
+            validator.add_anchor(root)
+            added += 1
+        logger.info(
+            "realm peer %r: trusted %d root(s) from %s",
+            peer.name, len(roots), peer.trust_roots_path,
+        )
+    return added

@@ -24,6 +24,12 @@ restricted-       Mediated *restricted* delegation: policy-bearing
 delegation        proxies (operations/resources limits, §6.5) stored
                   and retrieved; every retrieval round-trips the policy
                   extensions and any loss scores as an error.
+portal-sso        The full federation path (``repro.federation``): a
+                  logged-in web session mints an SSO assertion, the
+                  gateway redeems it into a restricted proxy deposited
+                  in the *peer realm* over IVOA CDP, and a job-style
+                  retrieval fetches it there.  Needs a federated
+                  self-hosted target (two in-process realms).
 ================  =====================================================
 """
 
@@ -308,6 +314,98 @@ class RestrictedDelegationScenario(Scenario):
             raise PolicyLostError("restricted proxy permits an excluded operation")
 
 
+class PortalSsoScenario(Scenario):
+    """login → assertion → cross-realm CDP delegation → job retrieval."""
+
+    name = "portal-sso"
+    default_shape = "constant"
+
+    #: Where sessions live and where credentials land.
+    home_realm = "alpha"
+    peer_realm = "beta"
+
+    def __init__(self, target, *, users: int, seed: int) -> None:
+        super().__init__(target, users=users, seed=seed)
+        if getattr(target, "federation", None) is None:
+            raise ConfigError(
+                "portal-sso needs a federated self-hosted target "
+                "(two in-process realms); external targets cannot host it"
+            )
+        self.fed = target.federation
+
+    def setup(self) -> None:
+        from repro.web.sessions import SESSION_COOKIE
+
+        home = self.fed[self.home_realm]
+        self._portal_host = f"portal-{self.home_realm}.example.org"
+        self._gateway_host = home.gateway_host
+        self._sessions: list[str] = []
+        for i in range(self.n_users):
+            user = home.tb.new_user(f"sso{i:03d}")
+            home.tb.myproxy_init(user, passphrase=self._passphrase(user.name))
+            browser = self.fed.browser()
+            login = browser.post(
+                f"https://{self._portal_host}/login",
+                {
+                    "username": user.name,
+                    "passphrase": self._passphrase(user.name),
+                    "repository": "repo-0",
+                    "lifetime_hours": "2",
+                    "auth_method": "passphrase",
+                },
+            )
+            if login.status not in (200, 302, 303):
+                raise ReproError(f"portal login failed for {user.name}")
+            sid = browser.cookies[self._portal_host][SESSION_COOKIE]
+            self._sessions.append(sid)
+        self._session_cookie = SESSION_COOKIE
+        # The job-side retriever in the peer realm (Figure 2's client).
+        peer = self.fed[self.peer_realm]
+        self._job_cred = peer.tb.ca.issue_host_credential(
+            "loadgen-job.example.org", key=self.target.key_source.new_key()
+        )
+
+    def operation(self, index: int) -> None:
+        import json
+
+        sid = self._sessions[index % len(self._sessions)]
+        # A fresh browser per arrival carrying the session cookie — the
+        # user's next page-load, not a long-lived client.
+        browser = self.fed.browser()
+        browser.cookies[self._portal_host] = {self._session_cookie: sid}
+        issued = browser.post(
+            f"https://{self._portal_host}/sso/assert",
+            {"audience": self.peer_realm},
+        )
+        answer = json.loads(issued.body.decode("utf-8"))
+        if not answer.get("ok"):
+            raise ReproError(f"assertion refused: {answer.get('error')}")
+        redeemed = browser.post(
+            f"https://{self._gateway_host}/federation/redeem",
+            {"assertion": answer["assertion"], "realm": self.peer_realm},
+        )
+        out = json.loads(redeemed.body.decode("utf-8"))
+        if not out.get("ok"):
+            raise ReproError(f"redemption refused: {out.get('error')}")
+        # Job-style retrieval in the peer realm, with the one-shot secret.
+        proxy = self.target.client_for_realm(
+            self.peer_realm, self._job_cred
+        ).get_delegation(
+            username=out["username"],
+            passphrase=out["passphrase"],
+            cred_name=out["cred_name"],
+            lifetime=1800.0,
+        )
+        RestrictedDelegationScenario.verify_restrictions(proxy)
+
+    def config(self) -> dict:
+        return {
+            **super().config(),
+            "home_realm": self.home_realm,
+            "peer_realm": self.peer_realm,
+        }
+
+
 SCENARIOS: dict[str, type[Scenario]] = {
     cls.name: cls
     for cls in (
@@ -315,6 +413,7 @@ SCENARIOS: dict[str, type[Scenario]] = {
         RenewalStormScenario,
         MixedCrudScenario,
         RestrictedDelegationScenario,
+        PortalSsoScenario,
     )
 }
 
@@ -324,6 +423,7 @@ DEFAULT_USERS = {
     "renewal-storm": 8,
     "mixed-crud": 16,
     "restricted-delegation": 8,
+    "portal-sso": 8,
 }
 
 

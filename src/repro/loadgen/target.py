@@ -54,26 +54,44 @@ class SelfHostedTarget:
         key_source: PooledKeySource | None = None,
         policy: ServerPolicy | None = None,
         max_connections: int = 16,
+        federation: bool = False,
     ) -> None:
         self.clock = clock
-        self.testbed = GridTestbed(
-            transport=transport,
-            clock=clock,
-            key_bits=LOADGEN_KEY_BITS,
-            key_pool=key_pool,
-            key_source=key_source,
-            myproxy_policy=policy,
-            start_grid_services=False,
-        )
-        self.testbed.myproxy.max_concurrent_connections = max_connections
-        # ``max_concurrent_connections`` is consumed when the worker pool
-        # spawns; for TCP that already happened inside GridTestbed, so
-        # restart the server with the requested pool size.
-        if transport == "tcp":
-            server = self.testbed.myproxy
-            server.stop()
-            endpoint = server.start()
-            self.testbed.myproxy_targets["repo-0"] = endpoint
+        self.federation = None
+        if federation:
+            # The portal-sso scenario needs two live realms; "repo-0" and
+            # the identity surface below resolve to the primary realm.
+            from repro.federation.testbed import FederatedTestbed
+
+            self.federation = FederatedTestbed(
+                transport=transport,
+                clock=clock,
+                key_source=key_source
+                or PooledKeySource(LOADGEN_KEY_BITS, key_pool),
+                myproxy_policy=policy,
+            )
+            self.testbed = self.federation["alpha"].tb
+        else:
+            self.testbed = GridTestbed(
+                transport=transport,
+                clock=clock,
+                key_bits=LOADGEN_KEY_BITS,
+                key_pool=key_pool,
+                key_source=key_source,
+                myproxy_policy=policy,
+                start_grid_services=False,
+            )
+            self.testbed.myproxy.max_concurrent_connections = max_connections
+            # ``max_concurrent_connections`` is consumed when the worker
+            # pool spawns; for TCP that already happened inside
+            # GridTestbed, so restart the server with the requested pool
+            # size.  (Federated mode keeps the default pool: portals and
+            # gateways captured the original endpoints at wiring time.)
+            if transport == "tcp":
+                server = self.testbed.myproxy
+                server.stop()
+                endpoint = server.start()
+                self.testbed.myproxy_targets["repo-0"] = endpoint
         self.key_source = self.testbed.key_source
         self.client_stats = ClientStats()
         # One store for every client the run builds: repeat conversations
@@ -106,13 +124,32 @@ class SelfHostedTarget:
             ticket_store=self.ticket_store,
         )
 
+    def client_for_realm(self, realm: str, credential: Credential) -> MyProxyClient:
+        """A counted client against a *federated peer* realm's repository."""
+        if self.federation is None:
+            raise ConfigError("this target was not built with federation=True")
+        tb = self.federation[realm].tb
+        return MyProxyClient(
+            tb.myproxy_targets["repo-0"],
+            credential,
+            tb.validator,
+            clock=self.clock,
+            key_source=self.key_source,
+            retry=NO_BUSY_RETRY,
+            stats=self.client_stats,
+            ticket_store=self.ticket_store,
+        )
+
     # -- observability ---------------------------------------------------
 
     def server_snapshot(self) -> dict:
         return self.testbed.myproxy.metrics.snapshot()
 
     def close(self) -> None:
-        self.testbed.close()
+        if self.federation is not None:
+            self.federation.close()
+        else:
+            self.testbed.close()
 
     def __enter__(self) -> "SelfHostedTarget":
         return self

@@ -112,6 +112,24 @@ class GridPortal:
             return None
         return repo, credential
 
+    def credential_for_session(self, session_id: str) -> Credential | None:
+        """The live delegated proxy bound to ``session_id``, or None.
+
+        The federation gateway resolves redeemed SSO assertions through
+        this: if the web session was destroyed (logout, expiry, admin
+        revocation) the proxy is already wiped and redemption fails —
+        revoking the session revokes the federation path too.
+        """
+        with self._creds_lock:
+            held = self._session_credentials.get(session_id)
+        if held is None:
+            return None
+        _repo, credential = held
+        if credential.seconds_remaining(self.clock) <= 0:
+            self._wipe_credential(session_id)
+            return None
+        return credential
+
     def held_credentials(self) -> dict[str, tuple[str, Credential]]:
         """Snapshot of every delegated proxy currently on this portal.
 

@@ -88,6 +88,7 @@ class GridTestbed:
         myproxy_policy: ServerPolicy | None = None,
         myproxy_metrics_registry=None,
         start_grid_services: bool = True,
+        ca_name: str = "Testbed CA",
     ) -> None:
         if transport not in ("pipe", "tcp"):
             raise ConfigError(f"unknown transport {transport!r}")
@@ -100,8 +101,11 @@ class GridTestbed:
         self._servers_started: list = []
 
         # -- trust fabric ----------------------------------------------------
+        # Federated testbeds give each realm its own CA *name*: two
+        # anchors with identical subjects cannot coexist in one trust
+        # store (issuer lookup is by subject DN).
         self.ca = CertificateAuthority(
-            DistinguishedName.parse("/O=Grid/OU=Repro/CN=Testbed CA"),
+            DistinguishedName.parse(f"/O=Grid/OU=Repro/CN={ca_name}"),
             key_bits=key_bits,
             clock=clock,
         )

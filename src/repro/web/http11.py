@@ -31,6 +31,7 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 

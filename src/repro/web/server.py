@@ -222,7 +222,7 @@ class WebServer:
 
     # -- listeners ------------------------------------------------------------
 
-    def _listen(
+    def listen(
         self, host: str, port: int, per_conn: Callable, label: str
     ) -> tuple[str, int]:
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -254,7 +254,7 @@ class WebServer:
 
     def start_http(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
         """Plain HTTP on raw TCP."""
-        self.http_endpoint = self._listen(host, port, self._handle_plain_socket, "http")
+        self.http_endpoint = self.listen(host, port, self._handle_plain_socket, "http")
         return self.http_endpoint
 
     def start_https(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
@@ -265,7 +265,7 @@ class WebServer:
         def _per_conn(conn: socket.socket) -> None:
             self.handle_secure_link(SocketLink(conn))
 
-        self.https_endpoint = self._listen(host, port, _per_conn, "https")
+        self.https_endpoint = self.listen(host, port, _per_conn, "https")
         return self.https_endpoint
 
     def stop(self) -> None:

@@ -176,3 +176,67 @@ qos_class "interactive 1 *"
         # qos_rate is a positive-number directive; "off" is its absence.
         with pytest.raises(ConfigError):
             parse_server_config("qos_rate 0\n")
+
+
+class TestFederationDirectives:
+    FED = """
+federation
+realm_name "alpha"
+federation_portals "/O=Grid/CN=host/portal-*"
+assertion_max_lifetime 120
+federation_delegation_lifetime 1800
+"""
+
+    def test_federation_block_parsed(self):
+        from repro.core.config import parse_config
+
+        config = parse_config(self.FED)
+        policy = config.policy
+        assert policy.federation_enabled
+        assert policy.realm_name == "alpha"
+        assert policy.assertion_max_lifetime == 120.0
+        assert policy.federation_delegation_lifetime == 1800.0
+        portal = DistinguishedName.parse("/O=Grid/CN=host/portal-alpha.example.org")
+        stranger = DistinguishedName.parse("/O=Grid/OU=People/CN=Alice")
+        assert policy.federation_portals.allows(portal)
+        assert not policy.federation_portals.allows(stranger)
+
+    def test_defaults_leave_federation_off(self):
+        policy = parse_server_config("")
+        assert not policy.federation_enabled
+        assert policy.realm_name == "local"
+        anyone = DistinguishedName.parse("/O=X/CN=Y")
+        assert policy.federation_portals.allows(anyone)
+
+    def test_realm_peer_parsed(self, tmp_path):
+        from repro.core.config import parse_config
+
+        config = parse_config(
+            'federation\nrealm_peer "beta /etc/beta-roots.pem beta.example.org:7513"\n'
+            'realm_peer "gamma /etc/gamma-roots.pem"\n'
+        )
+        beta, gamma = config.realm_peers
+        assert beta.name == "beta"
+        assert beta.trust_roots_path == "/etc/beta-roots.pem"
+        assert beta.endpoint == ("beta.example.org", 7513)
+        assert gamma.endpoint is None
+
+    def test_realm_peer_requires_federation_flag(self):
+        from repro.core.config import parse_config
+
+        with pytest.raises(ConfigError, match="federation directive"):
+            parse_config('realm_peer "beta /etc/beta-roots.pem"\n')
+
+    def test_malformed_realm_peer_refused(self):
+        from repro.core.config import parse_config
+
+        with pytest.raises(ConfigError):
+            parse_config("federation\nrealm_peer \n")
+        with pytest.raises(ConfigError):
+            parse_config('federation\nrealm_peer "beta"\n')
+        with pytest.raises(ConfigError):
+            parse_config('federation\nrealm_peer "beta roots.pem not-a-port:x"\n')
+
+    def test_assertion_lifetime_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            parse_server_config("assertion_max_lifetime 0\n")

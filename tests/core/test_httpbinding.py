@@ -107,6 +107,82 @@ class TestPutOverHttp:
             )
 
 
+class TestPutSessionHardening:
+    """Consumed and lapsed tokens get *distinct* refusals (§6.4).
+
+    The token is a bearer secret its holder legitimately had, so naming
+    the fate (replayed vs expired) is actionable for the client and not
+    an oracle for guessers — who still get the generic denial.
+    """
+
+    def _begin(self, tb, gateway, credential):
+        import secrets as s
+
+        client = http_client(tb, gateway, credential)
+        begin = client._call("/myproxy/put/begin", {"nonce": s.token_hex(16)})
+        return client, begin["token"]
+
+    def _complete(self, client, token, username="alice"):
+        return client._call(
+            "/myproxy/put/complete",
+            {"token": token, "username": username, "passphrase": PASS,
+             "lifetime": 3600, "certificate_pem": "", "chain_pem": ""},
+        )
+
+    def test_replayed_token_names_the_replay(self, world):
+        tb, gateway, alice, _ = world
+        client, token = self._begin(tb, gateway, alice.credential)
+        with pytest.raises(AuthenticationError):
+            self._complete(client, token)  # consumes the session
+        with pytest.raises(AuthenticationError, match="already used"):
+            self._complete(client, token)
+
+    def test_expired_token_names_the_expiry(self, world, clock):
+        from repro.core.httpbinding import PUT_SESSION_TTL
+
+        tb, gateway, alice, _ = world
+        client, token = self._begin(tb, gateway, alice.credential)
+        clock.advance(PUT_SESSION_TTL + 1.0)
+        with pytest.raises(AuthenticationError, match="PUT session expired"):
+            self._complete(client, token)
+
+    def test_tombstones_eventually_forgotten(self, world, clock):
+        """Past the tombstone TTL, a stale token folds into 'unknown'."""
+        from repro.core.httpbinding import PUT_SESSION_TTL, PUT_TOMBSTONE_TTL
+
+        tb, gateway, alice, _ = world
+        client, token = self._begin(tb, gateway, alice.credential)
+        clock.advance(PUT_SESSION_TTL + 1.0)
+        self._begin(tb, gateway, alice.credential)  # reap: expiry noticed here
+        clock.advance(PUT_TOMBSTONE_TTL + 1.0)
+        with pytest.raises(AuthenticationError, match="authorization"):
+            self._complete(client, token)
+
+    def test_other_peers_tombstone_stays_generic(self, world, clock):
+        """Mallory probing alice's expired token learns nothing."""
+        from repro.core.httpbinding import PUT_SESSION_TTL
+
+        tb, gateway, alice, _ = world
+        mallory = tb.new_user("mallory")
+        _client, token = self._begin(tb, gateway, alice.credential)
+        clock.advance(PUT_SESSION_TTL + 1.0)
+        mallory_client = http_client(tb, gateway, mallory.credential)
+        with pytest.raises(AuthenticationError, match="authorization"):
+            self._complete(mallory_client, token, username="mallory")
+
+    def test_endpoint_metrics_counted(self, world):
+        tb, gateway, alice, _ = world
+        client, token = self._begin(tb, gateway, alice.credential)
+        with pytest.raises(AuthenticationError):
+            self._complete(client, token)
+        families = tb.myproxy.metrics.snapshot()
+        requests = families["myproxy_http_requests_total"]
+        assert requests["endpoint=/myproxy/put/begin,outcome=ok"] == 1
+        assert requests["endpoint=/myproxy/put/complete,outcome=rejected"] == 1
+        latency = families["myproxy_http_request_seconds"]
+        assert latency["endpoint=/myproxy/put/begin"]["count"] == 1
+
+
 class TestGetOverHttp:
     @pytest.fixture()
     def stored(self, world):

@@ -1,0 +1,128 @@
+"""SSO assertion tokens: signature, audience, window, trust pinning."""
+
+import base64
+import json
+
+import pytest
+
+from repro.federation.assertions import (
+    CLOCK_SKEW,
+    _signed_bytes,
+    issue_assertion,
+    verify_assertion,
+)
+from repro.pki.ca import CertificateAuthority
+from repro.pki.names import DistinguishedName
+from repro.util.errors import AuthenticationError, ProtocolError
+
+
+def mint(alice, clock, *, audience="beta", lifetime=120.0, generation=0):
+    return issue_assertion(
+        alice,
+        subject=str(alice.identity),
+        username="alice",
+        realm="alpha",
+        audience=audience,
+        lifetime=lifetime,
+        trust_generation=generation,
+        clock=clock,
+    )
+
+
+class TestRoundTrip:
+    def test_verify_returns_assertion_and_signer(self, alice, validator, clock):
+        token, minted = mint(alice, clock)
+        assertion, signer = verify_assertion(
+            token, validator, audience="beta", clock=clock
+        )
+        assert assertion == minted
+        assert signer.identity == alice.identity
+        assert assertion.not_after == clock.now() + 120.0
+
+    def test_token_is_opaque_ascii(self, alice, clock):
+        token, _ = mint(alice, clock)
+        assert token == token.strip()
+        base64.urlsafe_b64decode(token.encode("ascii"))  # well-formed
+
+
+class TestRefusals:
+    def test_wrong_audience(self, alice, validator, clock):
+        token, _ = mint(alice, clock, audience="beta")
+        with pytest.raises(AuthenticationError, match="audience"):
+            verify_assertion(token, validator, audience="gamma", clock=clock)
+
+    def test_expired(self, alice, validator, clock):
+        token, _ = mint(alice, clock, lifetime=120.0)
+        clock.advance(121.0)
+        with pytest.raises(AuthenticationError, match="expired"):
+            verify_assertion(token, validator, audience="beta", clock=clock)
+
+    def test_lifetime_cap(self, alice, validator, clock):
+        token, _ = mint(alice, clock, lifetime=3600.0)
+        with pytest.raises(AuthenticationError, match="lifetime"):
+            verify_assertion(
+                token, validator, audience="beta", clock=clock, max_lifetime=300.0
+            )
+
+    def test_future_dated_beyond_skew(self, alice, validator, clock):
+        from repro.util.clock import ManualClock
+
+        ahead = ManualClock(clock.now() + CLOCK_SKEW + 30.0)
+        token, _ = mint(alice, ahead)
+        with pytest.raises(AuthenticationError, match="future"):
+            verify_assertion(token, validator, audience="beta", clock=clock)
+
+    def test_tampered_payload_breaks_signature(self, alice, validator, clock):
+        token, _ = mint(alice, clock)
+        envelope = json.loads(base64.urlsafe_b64decode(token.encode("ascii")))
+        envelope["payload"]["username"] = "mallory"
+        forged = base64.urlsafe_b64encode(
+            json.dumps(envelope).encode("utf-8")
+        ).decode("ascii")
+        with pytest.raises(AuthenticationError, match="signature"):
+            verify_assertion(forged, validator, audience="beta", clock=clock)
+
+    def test_untrusted_signer_chain(self, validator, clock, key_pool):
+        rogue_ca = CertificateAuthority(
+            DistinguishedName.parse("/O=Rogue/CN=Shadow CA"),
+            clock=clock, key=key_pool.new_key(),
+        )
+        rogue = rogue_ca.issue_credential(
+            DistinguishedName.grid_user("Rogue", "X", "Eve"),
+            key=key_pool.new_key(),
+        )
+        token, _ = mint(rogue, clock)
+        with pytest.raises(AuthenticationError, match="chain rejected"):
+            verify_assertion(token, validator, audience="beta", clock=clock)
+
+    def test_issuer_must_match_signing_chain(self, alice, bob, validator, clock):
+        """A valid chain cannot vouch for someone else's DN."""
+        payload = {
+            "assertion_id": "fixed", "subject": str(bob.identity),
+            "username": "bob", "issuer": str(bob.identity), "realm": "alpha",
+            "audience": "beta", "issued_at": clock.now(),
+            "not_after": clock.now() + 60.0, "trust_generation": 0,
+        }
+        envelope = {
+            "payload": payload,
+            "signature": base64.b64encode(
+                alice.sign(_signed_bytes(payload))
+            ).decode("ascii"),
+            "chain_pem": b"".join(
+                c.to_pem() for c in alice.full_chain()
+            ).decode("ascii"),
+        }
+        token = base64.urlsafe_b64encode(
+            json.dumps(envelope).encode("utf-8")
+        ).decode("ascii")
+        with pytest.raises(AuthenticationError, match="issuer"):
+            verify_assertion(token, validator, audience="beta", clock=clock)
+
+    @pytest.mark.parametrize("garbage", ["", "not base64!!", "AAAA", "e30="])
+    def test_malformed_tokens_are_protocol_errors(self, garbage, validator, clock):
+        with pytest.raises(ProtocolError):
+            verify_assertion(garbage, validator, audience="beta", clock=clock)
+
+    def test_nonpositive_lifetime_refused_at_mint(self, alice, clock):
+        with pytest.raises(ProtocolError):
+            mint(alice, clock, lifetime=0.0)

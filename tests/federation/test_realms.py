@@ -1,0 +1,57 @@
+"""Realm peer directives and trust-root distribution."""
+
+import pytest
+
+from repro.federation.realms import RealmPeer, distribute_trust, parse_realm_peer
+from repro.pki.ca import CertificateAuthority
+from repro.pki.names import DistinguishedName
+from repro.util.errors import ConfigError, PolicyError
+
+
+class TestParse:
+    def test_full_form(self):
+        peer = parse_realm_peer("beta /etc/beta.pem beta.example.org:7513")
+        assert peer == RealmPeer(
+            name="beta", trust_roots_path="/etc/beta.pem",
+            endpoint=("beta.example.org", 7513),
+        )
+
+    def test_endpoint_optional(self):
+        peer = parse_realm_peer("beta /etc/beta.pem")
+        assert peer.endpoint is None
+
+    @pytest.mark.parametrize("bad", ["", "beta", "beta roots.pem host:nan"])
+    def test_malformed_refused(self, bad):
+        with pytest.raises(PolicyError):
+            parse_realm_peer(bad)
+
+
+class TestDistributeTrust:
+    def test_loads_anchors_and_bumps_generation(
+        self, validator, clock, key_pool, tmp_path
+    ):
+        peer_ca = CertificateAuthority(
+            DistinguishedName.parse("/O=Grid/CN=Peer Realm CA"),
+            clock=clock, key=key_pool.new_key(),
+        )
+        roots = tmp_path / "beta-roots.pem"
+        roots.write_bytes(peer_ca.certificate.to_pem())
+        before = validator.generation
+        n = distribute_trust(
+            validator, [parse_realm_peer(f"beta {roots}")]
+        )
+        assert n == 1
+        assert validator.generation > before
+        # A credential from the peer realm now validates here.
+        peer_user = peer_ca.issue_credential(
+            DistinguishedName.grid_user("Grid", "Peer", "Carol"),
+            key=key_pool.new_key(),
+        )
+        identity = validator.validate(peer_user.full_chain())
+        assert str(identity.identity) == str(peer_user.identity)
+
+    def test_empty_roots_file_is_an_error(self, validator, tmp_path):
+        roots = tmp_path / "empty.pem"
+        roots.write_bytes(b"")
+        with pytest.raises(ConfigError):
+            distribute_trust(validator, [parse_realm_peer(f"beta {roots}")])

@@ -1,0 +1,138 @@
+"""The SSO authority and the portal's /sso/assert route."""
+
+import json
+
+import pytest
+
+from repro.federation.assertions import verify_assertion
+from repro.federation.sso import RECORD_GRACE, SsoAuthority, enable_sso
+from repro.util.errors import AuthenticationError, PolicyError, ProtocolError
+
+PASS = "correct horse 42"
+
+
+@pytest.fixture()
+def authority(alice, validator, clock):
+    return SsoAuthority(
+        realm="alpha", credential=alice, validator=validator, clock=clock,
+        max_lifetime=300.0,
+    )
+
+
+def issue(authority, session_id="sess-1", **kwargs):
+    kwargs.setdefault("subject", str(authority.credential.identity))
+    kwargs.setdefault("username", "alice")
+    kwargs.setdefault("audience", "beta")
+    return authority.issue_for_session(session_id, **kwargs)
+
+
+class TestAuthority:
+    def test_issue_and_consume_resolves_session(self, authority):
+        _token, assertion = issue(authority, "sess-42")
+        assert authority.outstanding() == 1
+        assert authority.check_and_consume(assertion) == "sess-42"
+        assert authority.outstanding() == 0
+
+    def test_replay_named_precisely(self, authority):
+        _token, assertion = issue(authority)
+        authority.check_and_consume(assertion)
+        with pytest.raises(ProtocolError, match="replay refused"):
+            authority.check_and_consume(assertion)
+
+    def test_revoked_session_fails_generically(self, authority):
+        _token, assertion = issue(authority, "sess-dead")
+        authority.revoke_session("sess-dead")
+        with pytest.raises(AuthenticationError, match="unknown or revoked"):
+            authority.check_and_consume(assertion)
+
+    def test_expired_assertion_refused(self, authority, clock):
+        _token, assertion = issue(authority, lifetime=100.0)
+        clock.advance(101.0)
+        with pytest.raises(AuthenticationError, match="expired"):
+            authority.check_and_consume(assertion)
+
+    def test_records_reaped_after_grace(self, authority, clock):
+        _token, assertion = issue(authority, lifetime=100.0)
+        clock.advance(100.0 + RECORD_GRACE + 1.0)
+        issue(authority, "sess-2")  # triggers the reap
+        with pytest.raises(AuthenticationError, match="unknown"):
+            authority.check_and_consume(assertion)
+
+    def test_lifetime_over_cap_is_policy_error(self, authority):
+        with pytest.raises(PolicyError, match="cap"):
+            issue(authority, lifetime=3600.0)
+
+    def test_missing_audience_is_protocol_error(self, authority):
+        with pytest.raises(ProtocolError, match="audience"):
+            issue(authority, audience="")
+
+    def test_token_verifies_against_trust_roots(self, authority, validator, clock):
+        token, minted = issue(authority)
+        assertion, signer = verify_assertion(
+            token, validator, audience="beta", clock=clock
+        )
+        assert assertion == minted
+        assert assertion.trust_generation == validator.generation
+
+
+class TestAssertRoute:
+    @pytest.fixture()
+    def portal_world(self, tb, clock):
+        alice = tb.new_user("alice")
+        tb.myproxy_init(alice, passphrase=PASS)
+        portal = tb.new_portal("portal")
+        authority = SsoAuthority(
+            realm="alpha", credential=portal.credential,
+            validator=tb.validator, clock=clock,
+        )
+        enable_sso(portal, authority)
+        return tb, portal, authority
+
+    def _login(self, tb):
+        browser = tb.browser()
+        response = browser.post(
+            "https://portal.example.org/login",
+            {"username": "alice", "passphrase": PASS, "repository": "repo-0",
+             "lifetime_hours": "2", "auth_method": "passphrase"},
+        )
+        assert response.status in (200, 302, 303)
+        return browser
+
+    def test_requires_login(self, portal_world):
+        tb, _portal, _authority = portal_world
+        browser = tb.browser()
+        response = browser.post(
+            "https://portal.example.org/sso/assert", {"audience": "beta"}
+        )
+        assert response.status == 401
+
+    def test_logged_in_session_gets_verifiable_token(self, portal_world, clock):
+        tb, _portal, authority = portal_world
+        browser = self._login(tb)
+        response = browser.post(
+            "https://portal.example.org/sso/assert", {"audience": "beta"}
+        )
+        assert response.status == 200
+        answer = json.loads(response.body.decode("utf-8"))
+        assert answer["ok"] and answer["audience"] == "beta"
+        assertion, _signer = verify_assertion(
+            answer["assertion"], tb.validator, audience="beta", clock=clock
+        )
+        assert assertion.username == "alice"
+        assert authority.outstanding() == 1
+
+    def test_missing_audience_is_400(self, portal_world):
+        tb, _portal, _authority = portal_world
+        browser = self._login(tb)
+        response = browser.post("https://portal.example.org/sso/assert", {})
+        assert response.status == 400
+
+    def test_logout_revokes_outstanding_assertions(self, portal_world):
+        tb, _portal, authority = portal_world
+        browser = self._login(tb)
+        browser.post(
+            "https://portal.example.org/sso/assert", {"audience": "beta"}
+        )
+        assert authority.outstanding() == 1
+        browser.post("https://portal.example.org/logout", {})
+        assert authority.outstanding() == 0

@@ -1,5 +1,7 @@
 """Session store: cookies, expiry, destroy hooks (§5.2)."""
 
+import threading
+
 from repro.web.sessions import SessionStore
 
 
@@ -60,3 +62,110 @@ class TestSessions:
         assert not session.authenticated
         session.data["username"] = "alice"
         assert session.authenticated
+
+
+class TestSessionEdgeCases:
+    """Expiry boundaries and concurrent access — what the SSO authority
+    and the portal's credential map both hang their revocation off."""
+
+    def test_expiry_boundary_is_exclusive(self, clock):
+        """A session dies at exactly ``expires_at``, not a tick later."""
+        store = SessionStore(ttl=100.0, clock=clock)
+        session = store.create()
+        clock.advance(100.0)
+        assert store.get(session.session_id) is None
+
+    def test_just_before_expiry_still_live(self, clock):
+        store = SessionStore(ttl=100.0, clock=clock)
+        session = store.create()
+        clock.advance(99.0)
+        assert store.get(session.session_id) is session
+
+    def test_concurrent_destroy_fires_hooks_once(self, clock):
+        """Racing destroys must not double-revoke downstream state."""
+        store = SessionStore(clock=clock)
+        fired = []
+        store.on_destroy.append(fired.append)
+        session = store.create()
+        barrier = threading.Barrier(8)
+        results = []
+
+        def race():
+            barrier.wait()
+            results.append(store.destroy(session.session_id))
+
+        threads = [threading.Thread(target=race) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results.count(True) == 1
+        assert fired == [session.session_id]
+
+    def test_concurrent_expired_gets_fire_hook_once(self, clock):
+        """Every expired ``get`` sees None; revocation still runs once."""
+        store = SessionStore(ttl=50.0, clock=clock)
+        fired = []
+        store.on_destroy.append(fired.append)
+        session = store.create()
+        clock.advance(51.0)
+        barrier = threading.Barrier(8)
+        seen = []
+
+        def race():
+            barrier.wait()
+            seen.append(store.get(session.session_id))
+
+        threads = [threading.Thread(target=race) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen == [None] * 8
+        assert fired == [session.session_id]
+
+    def test_concurrent_creates_stay_distinct(self, clock):
+        store = SessionStore(clock=clock)
+        ids = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def create_many():
+            barrier.wait()
+            mine = [store.create().session_id for _ in range(25)]
+            with lock:
+                ids.extend(mine)
+
+        threads = [threading.Thread(target=create_many) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(ids)) == 200
+        assert store.count() == 200
+
+    def test_reap_and_touch_race(self, clock):
+        """reap() and expired get() colliding destroy each session once."""
+        store = SessionStore(ttl=10.0, clock=clock)
+        fired = []
+        store.on_destroy.append(fired.append)
+        sessions = [store.create() for _ in range(20)]
+        clock.advance(11.0)
+        barrier = threading.Barrier(2)
+
+        def reaper():
+            barrier.wait()
+            store.reap()
+
+        def toucher():
+            barrier.wait()
+            for s in sessions:
+                store.get(s.session_id)
+
+        threads = [threading.Thread(target=reaper), threading.Thread(target=toucher)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(fired) == sorted(s.session_id for s in sessions)
+        assert store.count() == 0
