@@ -1,0 +1,85 @@
+"""T2 — data movement: streaming throughput and third-party transfer.
+
+Expected shapes: streaming throughput approaches the record layer's AES-GCM
+rate (hundreds of MB/s) once payloads amortize the per-chunk overhead;
+third-party transfer ≈ one extra handshake + delegation + the push itself.
+"""
+
+import itertools
+
+import pytest
+
+from repro.grid.storage import StorageService
+from repro.pki.proxy import create_proxy
+
+_names = itertools.count()
+
+
+@pytest.fixture(scope="module")
+def alice_proxy(tcp_tb):
+    # Benchmark rounds accumulate files; lift the default per-user quota.
+    tcp_tb.storage.quota_bytes = 8 * 1024 * 1024 * 1024
+    alice = tcp_tb.new_user("alice")
+    return create_proxy(alice.credential, key_source=tcp_tb.key_source)
+
+
+@pytest.fixture(scope="module")
+def second_site(tcp_tb):
+    cred = tcp_tb.ca.issue_host_credential(
+        "storage2.example.org", key=tcp_tb.key_source.new_key()
+    )
+    remote = StorageService(
+        "mass-storage-2", cred, tcp_tb.validator, tcp_tb.gridmap, clock=tcp_tb.clock
+    )
+    endpoint = remote.start()
+    tcp_tb.storage.peers["site-2"] = endpoint
+    yield remote
+    remote.stop()
+
+
+@pytest.mark.parametrize("size", [64 * 1024, 1024 * 1024, 4 * 1024 * 1024])
+def test_t2_stream_upload_throughput(benchmark, tcp_tb, alice_proxy, size):
+    payload = b"\x5a" * size
+    chunk = 256 * 1024
+    with tcp_tb.storage_client(alice_proxy) as storage:
+        def upload():
+            storage.store_stream(
+                f"bench{next(_names)}.bin",
+                (payload[i : i + chunk] for i in range(0, size, chunk)),
+            )
+
+        benchmark(upload)
+    benchmark.extra_info["payload_bytes"] = size
+    benchmark.extra_info["MB_per_second"] = round(
+        size / benchmark.stats.stats.mean / 1e6, 1
+    )
+
+
+def test_t2_stream_download_throughput(benchmark, tcp_tb, alice_proxy):
+    size = 4 * 1024 * 1024
+    with tcp_tb.storage_client(alice_proxy) as storage:
+        storage.store_stream("down.bin", iter([b"\xa5" * size]))
+
+        def download():
+            total = sum(len(chunk) for chunk in storage.fetch_stream("down.bin"))
+            assert total == size
+
+        benchmark(download)
+    benchmark.extra_info["MB_per_second"] = round(
+        size / benchmark.stats.stats.mean / 1e6, 1
+    )
+
+
+def test_t2_third_party_transfer(benchmark, tcp_tb, alice_proxy, second_site):
+    size = 256 * 1024
+    with tcp_tb.storage_client(alice_proxy) as storage:
+        storage.store("tpt.bin", b"\x42" * size)
+
+        def push():
+            storage.transfer(
+                "tpt.bin", destination="site-2",
+                dest_path=f"mirror{next(_names)}.bin",
+            )
+
+        benchmark(push)
+    benchmark.extra_info["payload_bytes"] = size

@@ -1,18 +1,25 @@
-"""Recovery-time characterization: reopening a crashed spool vs its size.
+"""Recovery-time characterization: reopening a crashed store vs its size.
 
 Startup recovery scans every spool file (CRC verification), replays the
 journal tail, and quarantines bit rot — so it is O(entries).  This script
 measures that cost at 1k/10k/50k entries, with a journal tail to replay
-and a pinch of injected damage (one torn journal tail, one corrupt entry)
-so the run exercises every recovery path, not just the happy scan.
+and a pinch of injected damage (one torn tail, one corrupt region) so the
+run exercises every recovery path, not just the happy scan.
+
+Both backends are measured: the **spool** (one file per credential) and
+the **segments** engine, whose crashed store gets a torn active-segment
+tail (truncated as unacked), a missing active sidecar (the crash beat the
+clean close), and one bit-rotted sealed segment (its sidecar CRC check
+fails, forcing the full scan that quarantines the damage).
 
 Run directly (it is a script, not a pytest-benchmark module)::
 
     PYTHONPATH=src python benchmarks/bench_recovery.py
     PYTHONPATH=src python benchmarks/bench_recovery.py --smoke   # CI: 1k only
 
-Expected shape: linear in the entry count, dominated by the per-file
-read+CRC; the journal replay adds a constant ~10 ops.
+Expected shape: linear in the entry count for the spool; for segments,
+linear only in the damaged segment's records (everything intact loads
+from sidecar indexes).
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from pathlib import Path
 
 from repro.core.journal import OP_PUT, encode_frame
 from repro.core.repository import JOURNAL_FILE, FileRepository, RepositoryEntry
+from repro.core.segments import SegmentRepository, _sidecar_path
 
 
 def _entry(i: int) -> RepositoryEntry:
@@ -75,30 +83,56 @@ def build_crashed_spool(root: Path, entries: int, pending_ops: int = 10) -> None
     victim.write_bytes(bytes(raw))
 
 
-def measure(entries: int, repeats: int) -> dict:
+def build_crashed_segments(root: Path, entries: int) -> None:
+    """A segment store as a crash would leave it: torn active tail, no
+    sidecar for the active segment, one bit-rotted sealed segment."""
+    repo = SegmentRepository(root, segment_max_bytes=4 * 1024 * 1024)
+    repo.bulk_load(_entry(i) for i in range(entries))
+    repo.close()
+
+    tails = sorted(p for p in root.glob("seg-*.mps") if ".c" not in p.name)
+    with open(tails[-1], "ab") as fh:  # torn in-flight append
+        fh.write(encode_frame(b"P half a record")[:20])
+    _sidecar_path(tails[-1]).unlink(missing_ok=True)
+
+    victim = tails[0]  # bit rot inside the oldest (sealed when >1) segment
+    raw = bytearray(victim.read_bytes())
+    raw[len(raw) // 2] ^= 0xFF
+    victim.write_bytes(bytes(raw))
+
+
+def measure(entries: int, repeats: int, backend: str = "spool") -> dict:
     samples = []
-    recovered = quarantined = 0
+    recovered = quarantined = torn = 0
     for _ in range(repeats):
         workdir = Path(tempfile.mkdtemp(prefix="bench-recovery-"))
         try:
-            spool = workdir / "spool"
-            build_crashed_spool(spool, entries)
+            store = workdir / backend
+            if backend == "spool":
+                build_crashed_spool(store, entries)
+                opener = FileRepository
+            else:
+                build_crashed_segments(store, entries)
+                opener = SegmentRepository
             start = time.perf_counter()
-            repo = FileRepository(spool)
+            repo = opener(store)
             samples.append(time.perf_counter() - start)
             snap = repo.stats.snapshot()
             recovered = snap["records_recovered"]
             quarantined = snap["quarantined"]
+            torn = snap["torn_truncated"]
             repo.close()
         finally:
             shutil.rmtree(workdir, ignore_errors=True)
     best = min(samples)
     return {
+        "backend": backend,
         "entries": entries,
         "best_seconds": best,
         "entries_per_second": entries / best if best else float("inf"),
         "records_recovered": recovered,
         "quarantined": quarantined,
+        "torn_truncated": torn,
     }
 
 
@@ -118,17 +152,25 @@ def main(argv: list[str] | None = None) -> int:
     repeats = 1 if args.smoke else args.repeats
 
     results = []
-    print(f"{'entries':>8}  {'recovery':>10}  {'entries/s':>10}  "
+    print(f"{'backend':>8}  {'entries':>8}  {'recovery':>10}  {'entries/s':>10}  "
           f"{'replayed':>8}  {'quarantined':>11}")
     for size in sizes:
-        result = measure(size, repeats)
-        results.append(result)
-        print(f"{result['entries']:>8}  {result['best_seconds']:>9.3f}s  "
-              f"{result['entries_per_second']:>10.0f}  "
-              f"{result['records_recovered']:>8}  {result['quarantined']:>11}")
-        # recovery must actually have exercised its paths
-        assert result["records_recovered"] >= 10, "journal tail was not replayed"
-        assert result["quarantined"] == 1, "bit rot was not quarantined"
+        for backend in ("spool", "segments"):
+            result = measure(size, repeats, backend)
+            results.append(result)
+            print(f"{result['backend']:>8}  {result['entries']:>8}  "
+                  f"{result['best_seconds']:>9.3f}s  "
+                  f"{result['entries_per_second']:>10.0f}  "
+                  f"{result['records_recovered']:>8}  {result['quarantined']:>11}")
+            # recovery must actually have exercised its paths
+            if backend == "spool":
+                assert result["records_recovered"] >= 10, \
+                    "journal tail was not replayed"
+                assert result["quarantined"] == 1, "bit rot was not quarantined"
+            else:
+                assert result["quarantined"] >= 1, "bit rot was not quarantined"
+                assert result["torn_truncated"] >= 1, \
+                    "torn segment tail was not truncated"
 
     if args.out:
         from benchmarks.common import emit_closed_loop_report
@@ -151,7 +193,8 @@ def main(argv: list[str] | None = None) -> int:
             counts={"ok": total_entries},
             extra_slo={
                 "recovery_sweep": [
-                    {"entries": r["entries"],
+                    {"backend": r["backend"],
+                     "entries": r["entries"],
                      "best_seconds": round(r["best_seconds"], 4),
                      "entries_per_second": round(r["entries_per_second"], 1),
                      "records_recovered": r["records_recovered"],

@@ -64,6 +64,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="permanently delete quarantined files "
                             "(use after the entries were re-stored or repaired)")
 
+    migrate = sub.add_parser(
+        "migrate",
+        help="convert a spool directory to the packed segments backend in place",
+    )
+    migrate.add_argument("--keep-spool", action="store_true",
+                         help="leave the old per-credential files behind "
+                              "(the storage.backend marker still flips reads "
+                              "to segments)")
+    migrate.add_argument("--segment-max-bytes", type=int,
+                         default=32 * 1024 * 1024, metavar="BYTES",
+                         help="roll segments at this size (default 32 MiB)")
+
     audit = sub.add_parser("audit", help="inspect a persistent audit trail")
     audit.add_argument("--audit-file", required=True, metavar="JSONL")
     audit.add_argument("-l", "--username", default=None)
@@ -170,7 +182,7 @@ def main(argv: list[str] | None = None) -> int:
             raise SystemExit(f"--storage-dir is required for {args.command!r}")
         admin = (
             RepositoryAdmin(open_repository(args.storage_dir))
-            if args.storage_dir is not None
+            if args.storage_dir is not None and args.command != "migrate"
             else None
         )
         if args.command == "query":
@@ -193,11 +205,28 @@ def main(argv: list[str] | None = None) -> int:
         elif args.command == "remove-user":
             count = admin.remove_user(args.username)
             print(f"removed {count} credential(s) for {args.username}")
+        elif args.command == "migrate":
+            from repro.core.segments import migrate_spool_to_segments
+
+            result = migrate_spool_to_segments(
+                args.storage_dir,
+                keep_spool=args.keep_spool,
+                segment_max_bytes=args.segment_max_bytes,
+            )
+            if not result["migrated"]:
+                print(f"nothing to do: {result['reason']}")
+            else:
+                print(
+                    f"migrated {result['entries']} credential(s) to the "
+                    f"segments backend"
+                    + (" (spool files kept)" if args.keep_spool
+                       else " (spool files zeroized and removed)")
+                )
         elif args.command == "scrub":
             repo = admin.repository
             if not hasattr(repo, "quarantined"):
                 raise SystemExit(
-                    "scrub needs a spool directory (FileRepository), "
+                    "scrub needs a spool or segments directory, "
                     f"not {type(repo).__name__}"
                 )
             # Opening the repository already ran recovery; this re-checks

@@ -13,7 +13,9 @@ heartbeat sweep:
 - ``resync``  — tell the coordinator to replay peers' log tails into a
   restarted node until it has caught up;
 - ``scrub``   — tell the coordinator to repair a node's quarantined
-  (corrupt-on-disk) entries by re-fetching them from cluster peers.
+  (corrupt-on-disk) entries by re-fetching them from cluster peers;
+- ``bootstrap`` — seed an empty (segments-backed) node from a peer's
+  streaming snapshot instead of replaying the full replication log.
 """
 
 from __future__ import annotations
@@ -62,6 +64,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="repair a node's quarantined entries from its cluster peers",
     )
     scrub.add_argument("--node", required=True, metavar="NAME")
+
+    bootstrap = sub.add_parser(
+        "bootstrap",
+        help="seed an empty segments-backed node from a peer's snapshot stream",
+    )
+    bootstrap.add_argument("--node", required=True, metavar="NAME")
+    bootstrap.add_argument("--source", default=None, metavar="NAME",
+                           help="peer to stream from (default: fullest live peer)")
     return parser
 
 
@@ -130,6 +140,13 @@ def main(argv: list[str] | None = None) -> int:
             _append_control(state_dir, {"cmd": "scrub", "node": args.node})
             print(f"scrub {args.node} queued; the coordinator re-fetches its "
                   "quarantined entries from peers on its next heartbeat sweep")
+        elif args.command == "bootstrap":
+            command = {"cmd": "bootstrap", "node": args.node}
+            if args.source:
+                command["source"] = args.source
+            _append_control(state_dir, command)
+            print(f"bootstrap {args.node} queued; the coordinator streams a "
+                  "peer snapshot into it on its next heartbeat sweep")
 
     return run_tool(_body, args)
 

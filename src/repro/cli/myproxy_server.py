@@ -27,6 +27,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--storage-dir", required=True, metavar="DIR", help="credential spool directory"
     )
     parser.add_argument(
+        "--storage-backend", default=None, metavar="BACKEND",
+        choices=("auto", "spool", "segments", "sqlite"),
+        help="repository backend; 'auto' honours the directory's "
+             "storage.backend marker (overrides storage_backend)",
+    )
+    parser.add_argument(
         "--config", default=None, metavar="FILE",
         help="myproxy-server.config-style policy file (flags below override it)",
     )
@@ -133,9 +139,12 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     def _body() -> None:
+        from repro.core.config import StorageConfig
+
         cluster_cfg = None
         realm_peers = ()
         metrics_port = args.metrics_port
+        storage_cfg = StorageConfig()
         if args.config:
             from repro.core.config import load_config
 
@@ -143,10 +152,15 @@ def main(argv: list[str] | None = None) -> int:
             policy = config.policy
             cluster_cfg = config.cluster
             realm_peers = config.realm_peers
+            storage_cfg = config.storage
             if metrics_port is None:
                 metrics_port = config.metrics_port
         else:
             policy = ServerPolicy()
+        if args.storage_backend is not None:
+            import dataclasses
+
+            storage_cfg = dataclasses.replace(storage_cfg, backend=args.storage_backend)
         if args.federation:
             policy.federation_enabled = True
         if args.realm_name is not None:
@@ -198,7 +212,7 @@ def main(argv: list[str] | None = None) -> int:
             from repro.cluster.cluster import cluster_master_box
 
             master_box = cluster_master_box(cluster_cfg.secret)
-        repository = open_repository(args.storage_dir)
+        repository = open_repository(args.storage_dir, storage=storage_cfg)
         server = MyProxyServer(
             load_credential(args.credential),
             build_validator(args),
@@ -209,11 +223,22 @@ def main(argv: list[str] | None = None) -> int:
             max_concurrent_connections=args.max_connections,
         )
         if hasattr(repository, "stats"):
-            # Opening a spool runs crash recovery; surface what it found.
+            # Opening a repository runs crash recovery; surface what it
+            # found, naming the backend that actually did the work.
+            from repro.core.segments import SegmentRepository
+
             recovery = repository.stats.snapshot()
+            if isinstance(repository, SegmentRepository):
+                label = (
+                    f"segment recovery "
+                    f"({len(repository.segment_info())} segment(s), "
+                    f"{repository.count()} entries): "
+                )
+            else:
+                label = "spool recovery: "
             print(
-                "spool recovery: "
-                f"{recovery['records_recovered']} journal op(s) replayed, "
+                label
+                + f"{recovery['records_recovered']} journal op(s) replayed, "
                 f"{recovery['torn_truncated']} torn tail(s) truncated, "
                 f"{recovery['quarantined']} entr(ies) quarantined "
                 f"in {recovery['last_recovery_seconds'] * 1000.0:.1f}ms"

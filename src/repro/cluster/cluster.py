@@ -304,6 +304,77 @@ class MyProxyCluster:
         return healed
 
     # ------------------------------------------------------------------
+    # bootstrap (a joining replica streams a snapshot, not the full log)
+    # ------------------------------------------------------------------
+
+    def bootstrap(self, name: str, source: str | None = None) -> dict:
+        """Seed an empty node from a peer's segment snapshot stream.
+
+        Replaying the full replication log into a new replica costs one
+        journaled apply per historical op; at 10^5+ entries the segment
+        backends stream the live set instead — header, raw record frames,
+        CRC-summed trailer (PROTOCOL.md §11) — and the target adopts the
+        source's apply watermarks so the follow-up :meth:`resync` ships
+        only the tail written since the snapshot was cut.
+        """
+        node = self.nodes.get(name)
+        if node is None:
+            raise ConfigError(f"unknown node {name!r}")
+        if not node.alive:
+            raise ConfigError(f"node {name!r} is down; restart it first")
+        if not hasattr(node.backend, "ingest_snapshot"):
+            raise ConfigError(
+                f"node {name!r}'s backend cannot ingest snapshots "
+                "(segments backend required; use resync instead)"
+            )
+        if node.backend.count():
+            raise ConfigError(
+                f"bootstrap requires an empty backend on {name!r} "
+                f"({node.backend.count()} entries present); use resync "
+                "for incremental catch-up"
+            )
+        if source is not None:
+            src = self.nodes.get(source)
+            if src is None:
+                raise ConfigError(f"unknown source node {source!r}")
+        else:
+            candidates = [
+                peer
+                for peer in self.nodes.values()
+                if peer is not node
+                and peer.alive
+                and hasattr(peer.backend, "stream_snapshot")
+            ]
+            if not candidates:
+                raise ConfigError("no live peer can stream a snapshot")
+            src = max(candidates, key=lambda peer: peer.backend.count())
+        if src is node:
+            raise ConfigError("a node cannot bootstrap from itself")
+        if not src.alive:
+            raise ConfigError(f"source node {src.name!r} is down")
+        if not hasattr(src.backend, "stream_snapshot"):
+            raise ConfigError(
+                f"source node {src.name!r}'s backend cannot stream snapshots"
+            )
+        watermarks = src.watermarks()
+        chunks = src.backend.stream_snapshot(
+            extra_meta={"source": src.name, "watermarks": watermarks}
+        )
+        entries = node.backend.ingest_snapshot(chunks)
+        node.adopt_watermarks(watermarks)
+        tail_ops = self.resync(name)
+        logger.info(
+            "bootstrapped %s from %s: %d entries streamed, %d tail op(s) replayed",
+            name, src.name, entries, tail_ops,
+        )
+        return {
+            "node": name,
+            "source": src.name,
+            "entries": entries,
+            "tail_ops": tail_ops,
+        }
+
+    # ------------------------------------------------------------------
     # scrub (anti-entropy: repair quarantined entries from peers)
     # ------------------------------------------------------------------
 
@@ -428,10 +499,14 @@ class MyProxyCluster:
                     command["applied"] = self.resync(command["node"])
                 elif kind == "scrub":
                     command["result"] = self.scrub(command["node"])
+                elif kind == "bootstrap":
+                    command["result"] = self.bootstrap(
+                        command["node"], command.get("source")
+                    )
                 else:
                     raise ConfigError(f"unknown control command {kind!r}")
                 handled.append(command)
-            except (json.JSONDecodeError, KeyError, ConfigError) as exc:
+            except (json.JSONDecodeError, KeyError, ConfigError, RepositoryError) as exc:
                 logger.warning("ignoring bad control command %r: %s", line, exc)
         if handled:
             self.save_status()

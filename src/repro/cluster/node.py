@@ -137,6 +137,31 @@ class ClusterNode:
         with self._apply_lock:
             return self.applied.get(origin, 0)
 
+    def watermarks(self) -> dict[str, int]:
+        """Per-origin apply positions, including this node's own log head.
+
+        Shipped inside a snapshot stream's header: the entries a peer
+        ingests already reflect this node's view up to these sequences.
+        """
+        with self._apply_lock:
+            marks = dict(self.applied)
+        marks[self.name] = self.log.last_seq
+        return marks
+
+    def adopt_watermarks(self, watermarks: dict[str, int]) -> None:
+        """After a snapshot bootstrap: fast-forward the apply positions.
+
+        The ingested entries already contain every op the source had
+        applied, so replaying those ops again would be wasted work (and
+        ``receive`` would skip them one by one) — a following resync only
+        ships the tails written since the snapshot was cut.
+        """
+        with self._apply_lock:
+            for origin, seq in watermarks.items():
+                if origin == self.name:
+                    continue  # nobody ships a node its own ops
+                self.applied[origin] = max(self.applied.get(origin, 0), int(seq))
+
     # ------------------------------------------------------------------
     # liveness (the in-process stand-in for a process/host failure)
     # ------------------------------------------------------------------

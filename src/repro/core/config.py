@@ -56,6 +56,14 @@ Federation (see :mod:`repro.federation`)::
     # peer realms: trust roots, optionally a CDP endpoint (repeatable)
     realm_peer "beta /etc/grid-security/beta-roots.pem beta.example.org:7513"
 
+Storage backend (see :mod:`repro.core.segments`)::
+
+    storage_backend segments          # spool | segments | sqlite | auto
+    storage_segment_max_bytes 33554432   # roll the active segment at this size
+    storage_compact_ratio 0.5            # compact when half the sealed bytes are dead
+    storage_cache_entries 1024           # hot-entry read cache (0 = off)
+    storage_compact_interval 0           # background compactor period, seconds (0 = inline only)
+
 A clustered deployment (see :mod:`repro.cluster`) adds its membership in
 the same file::
 
@@ -120,6 +128,15 @@ _FLAG_KEYS = (
     "federation",
 )
 _FEDERATION_STRING_KEYS = ("realm_name",)
+_STORAGE_STRING_KEYS = ("storage_backend",)
+#: Storage knobs where zero is meaningful (cache off, inline-only compaction).
+_STORAGE_ZERO_OK_KEYS = (
+    "storage_cache_entries",
+    "storage_compact_interval",
+    "storage_compact_ratio",
+)
+_STORAGE_NUMBER_KEYS = ("storage_segment_max_bytes",)
+_STORAGE_BACKENDS = ("auto", "spool", "segments", "sqlite")
 _CLUSTER_STRING_KEYS = ("cluster_node_name", "cluster_secret", "cluster_state_dir")
 _CLUSTER_NUMBER_KEYS = (
     "cluster_replication_factor",
@@ -162,11 +179,31 @@ class ClusterConfig:
 
 
 @dataclass(frozen=True)
+class StorageConfig:
+    """Which repository backend to open and its tuning knobs.
+
+    ``backend="auto"`` keeps the historical behaviour: the directory's
+    ``storage.backend`` marker (written by ``myproxy-admin migrate``)
+    decides, falling back to segment-file detection and finally the
+    spool.  The remaining knobs only apply to the segments backend.
+    """
+
+    backend: str = "auto"
+    segment_max_bytes: int = 32 * 1024 * 1024
+    compact_ratio: float = 0.5
+    cache_entries: int = 1024
+    compact_interval: float = 0.0
+
+
+@dataclass(frozen=True)
 class ServerConfig:
     """Everything one ``myproxy-server.config`` file describes."""
 
     policy: ServerPolicy
     cluster: ClusterConfig | None = None
+    #: Repository backend selection + segment-engine knobs
+    #: (``storage_*`` directives).
+    storage: StorageConfig = StorageConfig()
     #: Port for the plain-HTTP Prometheus ``/metrics`` endpoint
     #: (``metrics_port`` directive); ``None`` leaves it off.
     metrics_port: int | None = None
@@ -284,6 +321,8 @@ def parse_config(text: str) -> ServerConfig:
     qos_class_lines: list[tuple[int, str]] = []
     federation_strings: dict[str, str] = {}
     realm_peer_lines: list[tuple[int, str]] = []
+    storage_strings: dict[str, str] = {}
+    storage_numbers: dict[str, float] = {}
 
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
@@ -328,6 +367,27 @@ def parse_config(text: str) -> ServerConfig:
             if not value:
                 raise ConfigError(f"line {lineno}: {key} needs a value")
             federation_strings[key] = value
+        elif key in _STORAGE_STRING_KEYS:
+            if value not in _STORAGE_BACKENDS:
+                raise ConfigError(
+                    f"line {lineno}: {key} must be one of "
+                    f"{', '.join(_STORAGE_BACKENDS)}, got {value!r}"
+                )
+            storage_strings[key] = value
+        elif key in _STORAGE_NUMBER_KEYS or key in _STORAGE_ZERO_OK_KEYS:
+            try:
+                storage_numbers[key] = float(value)
+            except ValueError as exc:
+                raise ConfigError(f"line {lineno}: {key} needs a number") from exc
+            if key in _STORAGE_ZERO_OK_KEYS:
+                if storage_numbers[key] < 0:
+                    raise ConfigError(f"line {lineno}: {key} must be non-negative")
+            elif storage_numbers[key] <= 0:
+                raise ConfigError(f"line {lineno}: {key} must be positive")
+            if key == "storage_compact_ratio" and storage_numbers[key] > 1:
+                raise ConfigError(
+                    f"line {lineno}: {key} is a dead-byte fraction (0..1)"
+                )
         elif key in _CLUSTER_STRING_KEYS:
             if not value:
                 raise ConfigError(f"line {lineno}: {key} needs a value")
@@ -435,11 +495,54 @@ def parse_config(text: str) -> ServerConfig:
         raise ConfigError(
             "realm_peer directives require the federation directive"
         )
+    storage_defaults = StorageConfig()
+    storage = StorageConfig(
+        backend=storage_strings.get("storage_backend", storage_defaults.backend),
+        segment_max_bytes=int(
+            storage_numbers.get(
+                "storage_segment_max_bytes", storage_defaults.segment_max_bytes
+            )
+        ),
+        compact_ratio=float(
+            storage_numbers.get("storage_compact_ratio", storage_defaults.compact_ratio)
+        ),
+        cache_entries=int(
+            storage_numbers.get("storage_cache_entries", storage_defaults.cache_entries)
+        ),
+        compact_interval=float(
+            storage_numbers.get(
+                "storage_compact_interval", storage_defaults.compact_interval
+            )
+        ),
+    )
     return ServerConfig(
         policy=policy,
         cluster=_parse_cluster(cluster_strings, cluster_numbers, peers),
+        storage=storage,
         metrics_port=obs_numbers.get("metrics_port"),
         realm_peers=tuple(realm_peers),
+    )
+
+
+def known_directives() -> set[str]:
+    """Every directive :func:`parse_config` accepts.
+
+    ``docs/CONFIG.md`` must document each of these; a test diffs the two
+    so a new directive cannot land without its reference row.
+    """
+    return (
+        set(_ACL_KEYS)
+        | set(_NUMBER_KEYS)
+        | set(_ZERO_OK_NUMBER_KEYS)
+        | set(_OBS_NUMBER_KEYS)
+        | set(_FLAG_KEYS)
+        | set(_FEDERATION_STRING_KEYS)
+        | set(_STORAGE_STRING_KEYS)
+        | set(_STORAGE_ZERO_OK_KEYS)
+        | set(_STORAGE_NUMBER_KEYS)
+        | set(_CLUSTER_STRING_KEYS)
+        | set(_CLUSTER_NUMBER_KEYS)
+        | {"qos_class", "cluster_peer", "realm_peer"}
     )
 
 

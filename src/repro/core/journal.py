@@ -101,6 +101,63 @@ def scan_frames(data: bytes) -> tuple[list[bytes], int, str]:
     return payloads, pos, "clean"
 
 
+def iter_frames(data: bytes, pos: int = 0):
+    """Yield ``(payload, start, end)`` for consecutive intact frames.
+
+    Like :func:`scan_frames` but with byte offsets, which is what the
+    segment engine's index needs; stops at the first torn or corrupt
+    byte.  The caller learns where it stopped from the last yielded
+    ``end`` (or ``pos`` if nothing was yielded) and can classify the
+    remainder with :func:`scan_frames` or resume with
+    :func:`find_next_frame`.
+    """
+    size = len(data)
+    while pos < size:
+        nl = data.find(b"\n", pos, pos + 64)
+        if nl == -1:
+            return
+        parts = data[pos:nl].split(b" ")
+        if len(parts) != 3 or parts[0] != MAGIC:
+            return
+        try:
+            length, crc = int(parts[1]), int(parts[2])
+        except ValueError:
+            return
+        if length < 0:
+            return
+        start = nl + 1
+        end = start + length + 1
+        if end > size:
+            return
+        payload = data[start:start + length]
+        if data[end - 1] != 0x0A or zlib.crc32(payload) != crc:
+            return
+        yield payload, pos, end
+        pos = end
+
+
+def find_next_frame(data: bytes, pos: int) -> int:
+    """Offset of the next *intact* frame at or after ``pos``, or -1.
+
+    The salvage scan after a corrupt region: bit rot in the middle of a
+    segment must not cost the intact records behind it, so recovery
+    resynchronizes on the next verifiable frame header instead of
+    discarding the rest of the file.
+    """
+    size = len(data)
+    while 0 <= pos < size:
+        pos = data.find(MAGIC, pos)
+        if pos == -1:
+            return -1
+        probe = iter_frames(data, pos)
+        try:
+            next(probe)
+            return pos
+        except StopIteration:
+            pos += 1
+    return -1
+
+
 def decode_single_frame(data: bytes) -> bytes:
     """Decode a file that must hold exactly one intact frame (spool entry)."""
     payloads, clean_len, status = scan_frames(data)
@@ -122,6 +179,10 @@ def is_framed(data: bytes) -> bool:
 OP_PUT = "put"
 OP_DELETE = "delete"
 OP_COMMIT = "commit"
+#: Structural op journaled by the segment engine: a compaction's
+#: rename-and-delete sequence is redo-logged so a crash mid-rewrite rolls
+#: forward to the compacted state instead of leaving both generations.
+OP_COMPACT = "compact"
 
 
 @dataclass

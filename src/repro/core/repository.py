@@ -302,6 +302,25 @@ QUARANTINE_DIR = "quarantine"
 JOURNAL_FILE = "journal.wal"
 
 
+def encode_key_token(username: str, cred_name: str) -> str:
+    """URL-safe base64 of ``username\\x00cred_name``.
+
+    Used for spool file names and segment record headers alike: it avoids
+    path traversal via hostile user names, keeps the mapping bijective,
+    and lets quarantine artifacts from either backend name the credential
+    they hold.
+    """
+    return base64.urlsafe_b64encode(
+        username.encode("utf-8") + b"\x00" + cred_name.encode("utf-8")
+    ).decode("ascii")
+
+
+def decode_key_token(token: str) -> tuple[str, str]:
+    raw = base64.urlsafe_b64decode(token.encode("ascii"))
+    username, _, cred_name = raw.partition(b"\x00")
+    return username.decode("utf-8"), cred_name.decode("utf-8")
+
+
 class StorageStats:
     """Corruption/recovery counters for one spool, mirrorable into obs.
 
@@ -589,16 +608,11 @@ class FileRepository(CredentialRepository):
 
     @staticmethod
     def _filename(username: str, cred_name: str) -> str:
-        token = base64.urlsafe_b64encode(
-            username.encode("utf-8") + b"\x00" + cred_name.encode("utf-8")
-        ).decode("ascii")
-        return f"{token}.json"
+        return f"{encode_key_token(username, cred_name)}.json"
 
     @staticmethod
     def _unfilename(name: str) -> tuple[str, str]:
-        raw = base64.urlsafe_b64decode(name.removesuffix(".json").encode("ascii"))
-        username, _, cred_name = raw.partition(b"\x00")
-        return username.decode("utf-8"), cred_name.decode("utf-8")
+        return decode_key_token(name.removesuffix(".json"))
 
     def _path(self, username: str, cred_name: str) -> Path:
         return self.root / self._filename(username, cred_name)

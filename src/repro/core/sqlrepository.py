@@ -18,7 +18,7 @@ import threading
 from pathlib import Path
 
 from repro.core.repository import CredentialRepository, RepositoryEntry
-from repro.util.errors import NotFoundError
+from repro.util.errors import NotFoundError, RepositoryError
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS credentials (
@@ -128,11 +128,44 @@ class SqliteRepository(CredentialRepository):
             self._local.conn = None
 
 
-def open_repository(path: str | os.PathLike) -> CredentialRepository:
-    """Open a spool by convention: ``*.db``/``*.sqlite`` → SQLite, else files."""
-    from repro.core.repository import FileRepository
+def open_repository(
+    path: str | os.PathLike,
+    backend: str = "auto",
+    *,
+    storage=None,
+) -> CredentialRepository:
+    """Open a repository, resolving which backend owns ``path``.
 
+    Explicit ``backend`` (or ``storage.backend``) wins; ``"auto"`` keeps
+    the historical conventions — ``*.db``/``*.sqlite`` → SQLite, a
+    ``storage.backend`` marker or ``seg-*.mps`` files → segments, else
+    the one-file-per-credential spool.  ``storage`` may be a
+    :class:`~repro.core.config.StorageConfig` carrying the segment
+    engine's tuning knobs.
+    """
+    from repro.core.repository import FileRepository
+    from repro.core.segments import SegmentRepository, detect_backend
+
+    if storage is not None and backend == "auto":
+        backend = storage.backend
     text = str(path)
-    if text.endswith((".db", ".sqlite", ".sqlite3")):
+    if backend == "auto":
+        if text.endswith((".db", ".sqlite", ".sqlite3")):
+            backend = "sqlite"
+        else:
+            backend = detect_backend(path)
+    if backend == "sqlite":
         return SqliteRepository(path)
-    return FileRepository(path)
+    if backend == "segments":
+        knobs = {}
+        if storage is not None:
+            knobs = dict(
+                segment_max_bytes=storage.segment_max_bytes,
+                compact_ratio=storage.compact_ratio,
+                cache_entries=storage.cache_entries,
+                compact_interval=storage.compact_interval,
+            )
+        return SegmentRepository(path, **knobs)
+    if backend == "spool":
+        return FileRepository(path)
+    raise RepositoryError(f"unknown storage backend {backend!r}")

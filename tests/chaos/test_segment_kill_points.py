@@ -1,0 +1,227 @@
+"""Kill the segment engine at every registered site; recovery must hold.
+
+Same contract as the spool chaos suite, stated for the packed layout:
+
+- an **acknowledged** write (the append fsync returned) is never lost;
+- an **unacknowledged** write lands old-or-new — a torn tail frame is
+  truncated as unacked, never quarantined as corruption;
+- a crash anywhere inside compaction (including inside the journal that
+  redo-logs its rename/cleanup) leaves the live set identical: either the
+  inputs are still authoritative or the output is, never both, never
+  neither;
+- reopening the store (which runs recovery) never raises.
+
+Kills drop unsynced file tails (deterministic page-cache loss), so these
+are strictly harsher than a polite process exit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.core.segments import SegmentRepository
+from tests.cluster.conftest import make_plain_entry
+
+# Importing the module registers its sites; enumerate them.
+SEG_SITES = faults.kill_points("repo.segment.")
+APPEND_SITES = [s for s in SEG_SITES if "compact" not in s]
+# Compaction also runs through the write-ahead journal (its rename and
+# input cleanup are redo-logged), so the journal's own kill sites are on
+# the compaction path too.
+COMPACT_SITES = [s for s in SEG_SITES if "compact" in s] + faults.kill_points(
+    "repo.journal."
+)
+
+
+def _arm_kill(injector, site):
+    injector.arm(faults.FaultPlan([faults.FaultRule("kill", site)], seed=1234))
+
+
+@pytest.fixture()
+def seg_factory(tmp_path, injector):
+    """(Re)open the same segment store, optionally with faults armed.
+
+    A small ``segment_max_bytes`` makes seals (and hence the roll path)
+    reachable from a handful of puts.
+    """
+    repos = []
+
+    def _open(*, faulty: bool = True, segment_max_bytes: int = 8192):
+        repo = SegmentRepository(
+            tmp_path / "segstore",
+            injector=injector if faulty else faults.NO_FAULTS,
+            segment_max_bytes=segment_max_bytes,
+        )
+        repos.append(repo)
+        return repo
+
+    yield _open
+    for repo in repos:
+        repo.close()
+
+
+@pytest.mark.parametrize("site", APPEND_SITES)
+class TestKillDuringPut:
+    def test_old_or_new_never_corrupt(self, seg_factory, injector, site):
+        repo = seg_factory()
+        repo.put(make_plain_entry(key_pem=b"old-ciphertext"))
+
+        _arm_kill(injector, site)
+        crashed = False
+        try:
+            repo.put(make_plain_entry(key_pem=b"new-ciphertext"))
+        except faults.KillPoint:
+            crashed = True
+        injector.disarm()
+        repo.close()
+
+        reopened = seg_factory(faulty=False)
+        entry = reopened.get("alice", "default")
+        assert entry.key_pem in (b"old-ciphertext", b"new-ciphertext")
+        if not crashed:
+            assert entry.key_pem == b"new-ciphertext"
+        # A torn tail is truncated as unacked, never quarantined.
+        assert reopened.quarantined() == []
+        assert reopened.stats.get("corruption_detected") == 0
+
+    def test_acked_writes_survive_crashed_later_write(
+        self, seg_factory, injector, site
+    ):
+        repo = seg_factory()
+        # Enough acked entries to span a seal before the doomed write.
+        for i in range(8):
+            repo.put(make_plain_entry("alice", f"acked{i}", key_pem=b"precious"))
+
+        _arm_kill(injector, site)
+        try:
+            repo.put(make_plain_entry("alice", "doomed", key_pem=b"doomed?"))
+        except faults.KillPoint:
+            pass
+        injector.disarm()
+        repo.close()
+
+        reopened = seg_factory(faulty=False)
+        for i in range(8):
+            assert reopened.get("alice", f"acked{i}").key_pem == b"precious"
+
+
+@pytest.mark.parametrize("site", APPEND_SITES)
+class TestKillDuringDelete:
+    def test_gone_or_intact(self, seg_factory, injector, site):
+        repo = seg_factory()
+        repo.put(make_plain_entry(key_pem=b"to-be-deleted"))
+
+        _arm_kill(injector, site)
+        crashed = False
+        try:
+            repo.delete("alice", "default")
+        except faults.KillPoint:
+            crashed = True
+        injector.disarm()
+        repo.close()
+
+        reopened = seg_factory(faulty=False)
+        names = {e.cred_name for e in reopened.list_for("alice")}
+        if not crashed:
+            assert names == set()  # acked tombstone: gone for good
+        elif "default" in names:
+            assert reopened.get("alice", "default").key_pem == b"to-be-deleted"
+        assert reopened.quarantined() == []
+
+
+@pytest.mark.parametrize("site", COMPACT_SITES)
+class TestKillDuringCompaction:
+    def _loaded(self, seg_factory):
+        repo = seg_factory()
+        expected = {}
+        for i in range(12):
+            repo.put(make_plain_entry("alice", f"c{i}", key_pem=b"v1-%d" % i))
+            expected[f"c{i}"] = b"v1-%d" % i
+        for i in range(0, 12, 2):  # dead bytes: overwrites…
+            repo.put(make_plain_entry("alice", f"c{i}", key_pem=b"v2-%d" % i))
+            expected[f"c{i}"] = b"v2-%d" % i
+        repo.delete("alice", "c11")  # …and a tombstone
+        del expected["c11"]
+        return repo, expected
+
+    def test_live_set_identical_after_crash(self, seg_factory, injector, site):
+        repo, expected = self._loaded(seg_factory)
+
+        _arm_kill(injector, site)
+        try:
+            repo.compact()
+        except faults.KillPoint:
+            pass
+        injector.disarm()
+        repo.close()
+
+        reopened = seg_factory(faulty=False)
+        got = {e.cred_name: e.key_pem for e in reopened.list_for("alice")}
+        assert got == expected
+        assert reopened.quarantined() == []
+        assert reopened.stats.get("corruption_detected") == 0
+
+    def test_no_debris_after_recovery(self, seg_factory, injector, site, tmp_path):
+        repo, expected = self._loaded(seg_factory)
+        _arm_kill(injector, site)
+        try:
+            repo.compact()
+        except faults.KillPoint:
+            pass
+        injector.disarm()
+        repo.close()
+
+        reopened = seg_factory(faulty=False)
+        reopened.close()
+        root = tmp_path / "segstore"
+        # Recovery either rolled the compaction forward or discarded it:
+        # no orphaned temp outputs, no superseded inputs left behind.
+        assert not list(root.glob("*.tmp"))
+        live = sorted(p.name for p in root.glob("seg-*.mps"))
+        compacted = [n for n in live if ".c" in n]
+        if compacted:
+            # Output present → every input it covers must be gone; any
+            # plain segment still on disk must be newer than the coverage
+            # (the active tail rolled after the compaction was cut).
+            import re
+
+            assert len(compacted) == 1
+            covered_max = int(
+                re.match(r"seg-(\d{8})\.c\d+\.mps", compacted[0]).group(1)
+            )
+            for name in (n for n in live if ".c" not in n):
+                assert int(re.match(r"seg-(\d{8})", name).group(1)) > covered_max
+
+
+class TestRecoveryRollsCompactionForward:
+    def test_crash_after_journal_entry_redoes_rename(self, seg_factory, injector):
+        """Past the journal begin, recovery must finish the compaction."""
+        repo = seg_factory()
+        for i in range(10):
+            repo.put(make_plain_entry("alice", f"c{i}", key_pem=b"x-%d" % i))
+        for i in range(10):
+            repo.put(make_plain_entry("alice", f"c{i}", key_pem=b"y-%d" % i))
+
+        _arm_kill(injector, "repo.segment.compact.pre_rename")
+        with pytest.raises(faults.KillPoint):
+            repo.compact()
+        injector.disarm()
+        repo.close()
+
+        reopened = seg_factory(faulty=False)
+        for i in range(10):
+            assert reopened.get("alice", f"c{i}").key_pem == b"y-%d" % i
+        # The redo produced exactly one compacted segment.
+        info = reopened.segment_info()
+        assert sum(1 for seg in info if seg["gen"] > 0) == 1
+
+    def test_clean_reopen_counts_nothing(self, seg_factory):
+        repo = seg_factory(faulty=False)
+        repo.put(make_plain_entry())
+        repo.close()
+        reopened = seg_factory(faulty=False)
+        snap = reopened.stats.snapshot()
+        assert snap["corruption_detected"] == 0
+        assert snap["quarantined"] == 0
+        assert snap["recoveries"] == 1  # the reopen itself was timed

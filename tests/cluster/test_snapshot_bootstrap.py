@@ -1,0 +1,175 @@
+"""Snapshot bootstrap: seeding an empty segments-backed replica.
+
+A joining (or disk-replaced) node used to catch up by replaying every
+peer's replication log op by op.  With segment backends the coordinator
+streams the source's live record frames instead and fast-forwards the
+target's apply watermarks, so the follow-up resync ships only the tail
+written after the snapshot was cut.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import myproxy_cluster
+from repro.core.segments import SegmentRepository
+from repro.util.errors import ConfigError
+from tests.cluster.conftest import make_plain_entry
+
+
+@pytest.fixture()
+def segment_cluster(tmp_path, cluster_factory):
+    """3 nodes, full replication, each on its own on-disk segment store."""
+    backends = [
+        SegmentRepository(tmp_path / f"n{i}", segment_max_bytes=16384)
+        for i in range(3)
+    ]
+    cluster = cluster_factory(3, replication_factor=3, backends=backends)
+    return cluster
+
+
+def load(cluster, n=25):
+    entries = []
+    for i in range(n):
+        entry = make_plain_entry(f"user{i}", "default", key_pem=b"ct-%d" % i)
+        cluster.primary_for(entry.username).repository.put(entry)
+        entries.append(entry)
+    return entries
+
+
+def replace_disk(tmp_path, node, tag="fresh"):
+    """Model a disk swap: the node restarts on a brand-new empty store."""
+    node.backend.close()
+    fresh = SegmentRepository(tmp_path / f"{node.name}-{tag}",
+                              segment_max_bytes=16384)
+    node.restart(backend=fresh)
+    return fresh
+
+
+class TestBootstrap:
+    def test_streams_full_live_set_to_empty_node(self, tmp_path, segment_cluster):
+        cluster = segment_cluster
+        entries = load(cluster)
+        victim = cluster.nodes["node2"]
+        victim.kill()
+        replace_disk(tmp_path, victim)
+
+        result = cluster.bootstrap("node2")
+        assert result["node"] == "node2"
+        assert result["entries"] == len(entries)
+        assert result["tail_ops"] == 0  # watermarks adopted, nothing to replay
+        assert victim.backend.count() == len(entries)
+        for entry in entries:
+            got = victim.backend.get(entry.username, entry.cred_name)
+            assert got.to_json() == entry.to_json()
+
+    def test_watermarks_adopted_from_source(self, tmp_path, segment_cluster):
+        cluster = segment_cluster
+        load(cluster)
+        victim = cluster.nodes["node2"]
+        victim.kill()
+        replace_disk(tmp_path, victim)
+        result = cluster.bootstrap("node2")
+        source = cluster.nodes[result["source"]]
+        # Every op the source had logged or applied is now covered.
+        for origin, seq in source.watermarks().items():
+            if origin == victim.name:
+                continue
+            assert victim.applied_seq(origin) >= seq
+
+    def test_replication_resumes_after_bootstrap(self, tmp_path, segment_cluster):
+        cluster = segment_cluster
+        load(cluster, n=5)
+        victim = cluster.nodes["node0"]
+        victim.kill()
+        replace_disk(tmp_path, victim)
+        cluster.bootstrap("node0")
+        # A write after the bootstrap replicates to the rebuilt node too.
+        entry = make_plain_entry("late-arrival", "default")
+        cluster.primary_for("late-arrival").repository.put(entry)
+        assert victim.backend.get("late-arrival", "default").username == "late-arrival"
+
+    def test_explicit_source_is_honoured(self, tmp_path, segment_cluster):
+        cluster = segment_cluster
+        load(cluster, n=4)
+        victim = cluster.nodes["node1"]
+        victim.kill()
+        replace_disk(tmp_path, victim)
+        result = cluster.bootstrap("node1", source="node2")
+        assert result["source"] == "node2"
+        assert victim.backend.count() == 4
+
+
+class TestRefusals:
+    def test_non_empty_target_refused(self, segment_cluster):
+        cluster = segment_cluster
+        load(cluster, n=3)
+        with pytest.raises(ConfigError, match="empty backend"):
+            cluster.bootstrap("node1")
+
+    def test_dead_target_refused(self, segment_cluster):
+        cluster = segment_cluster
+        cluster.nodes["node1"].kill()
+        with pytest.raises(ConfigError, match="down"):
+            cluster.bootstrap("node1")
+
+    def test_memory_backend_cannot_ingest(self, cluster_factory):
+        cluster = cluster_factory(3, replication_factor=3)
+        with pytest.raises(ConfigError, match="cannot ingest"):
+            cluster.bootstrap("node0")
+
+    def test_unknown_nodes_refused(self, tmp_path, segment_cluster):
+        cluster = segment_cluster
+        with pytest.raises(ConfigError, match="unknown node"):
+            cluster.bootstrap("ghost")
+        victim = cluster.nodes["node0"]
+        victim.kill()
+        replace_disk(tmp_path, victim)
+        with pytest.raises(ConfigError, match="unknown source"):
+            cluster.bootstrap("node0", source="ghost")
+
+    def test_bootstrap_from_self_refused(self, tmp_path, segment_cluster):
+        cluster = segment_cluster
+        victim = cluster.nodes["node0"]
+        victim.kill()
+        replace_disk(tmp_path, victim)
+        with pytest.raises(ConfigError, match="itself"):
+            cluster.bootstrap("node0", source="node0")
+
+
+class TestControlFile:
+    def test_bootstrap_command_applied_on_sweep(
+        self, tmp_path, cluster_factory
+    ):
+        state_dir = tmp_path / "state"
+        state_dir.mkdir()
+        backends = [
+            SegmentRepository(tmp_path / f"n{i}", segment_max_bytes=16384)
+            for i in range(3)
+        ]
+        cluster = cluster_factory(
+            3, replication_factor=3, backends=backends, state_dir=state_dir
+        )
+        load(cluster, n=6)
+        victim = cluster.nodes["node2"]
+        victim.kill()
+        replace_disk(tmp_path, victim)
+        (state_dir / myproxy_cluster.CONTROL_FILE).write_text(
+            json.dumps({"cmd": "bootstrap", "node": "node2"}) + "\n"
+        )
+        (handled,) = cluster.process_control()
+        assert handled["cmd"] == "bootstrap"
+        assert handled["result"]["entries"] == 6
+        assert victim.backend.count() == 6
+
+    def test_failed_bootstrap_does_not_kill_the_sweep(
+        self, tmp_path, cluster_factory
+    ):
+        state_dir = tmp_path / "state"
+        state_dir.mkdir()
+        cluster = cluster_factory(3, replication_factor=3, state_dir=state_dir)
+        # Memory backends cannot ingest — the command is logged and dropped.
+        (state_dir / myproxy_cluster.CONTROL_FILE).write_text(
+            json.dumps({"cmd": "bootstrap", "node": "node0"}) + "\n"
+        )
+        assert cluster.process_control() == []

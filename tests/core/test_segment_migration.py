@@ -1,0 +1,200 @@
+"""``myproxy-admin migrate``: in-place spool → segments conversion.
+
+The acceptance bar: every entry survives byte-identically (ACLs and
+renewal state included), quarantined files stay available for cluster
+scrub, re-migration is a no-op, and a conversion that crashed before its
+commit marker leaves the spool authoritative.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.repository import FileRepository
+from repro.core.segments import (
+    SegmentRepository,
+    detect_backend,
+    migrate_spool_to_segments,
+)
+from repro.core.sqlrepository import open_repository
+from tests.cluster.conftest import make_plain_entry
+
+
+def populate(spool: FileRepository) -> list:
+    entries = [
+        make_plain_entry("alice", f"c{i}", key_pem=b"ct-%d" % i) for i in range(20)
+    ]
+    entries.append(make_plain_entry("bob", "default"))
+    # An entry exercising the policy fields migration must not drop.
+    entries.append(
+        dataclasses.replace(
+            make_plain_entry("carol", "locked"),
+            retrievers=("/O=Grid/CN=host/portal.*", "/O=Grid/CN=host/other.*"),
+            renewers=("/O=Grid/CN=renewer.*",),
+            key_pem_renewal=b"sealed-renewal-copy",
+            long_term=True,
+        )
+    )
+    for entry in entries:
+        spool.put(entry)
+    return entries
+
+
+class TestRoundTrip:
+    def test_every_entry_and_acl_preserved(self, tmp_path):
+        root = tmp_path / "store"
+        spool = FileRepository(root)
+        entries = populate(spool)
+        spool.close()
+
+        result = migrate_spool_to_segments(root)
+        assert result["migrated"] is True
+        assert result["entries"] == len(entries)
+
+        segs = SegmentRepository(root)
+        try:
+            assert segs.count() == len(entries)
+            for entry in entries:
+                assert (
+                    segs.get(entry.username, entry.cred_name).to_json()
+                    == entry.to_json()
+                )
+            carol = segs.get("carol", "locked")
+            assert carol.retrievers == (
+                "/O=Grid/CN=host/portal.*",
+                "/O=Grid/CN=host/other.*",
+            )
+            assert carol.renewers == ("/O=Grid/CN=renewer.*",)
+            assert carol.key_pem_renewal == b"sealed-renewal-copy"
+        finally:
+            segs.close()
+
+    def test_spool_files_zeroized_and_removed(self, tmp_path):
+        root = tmp_path / "store"
+        spool = FileRepository(root)
+        populate(spool)
+        spool.close()
+        migrate_spool_to_segments(root)
+        assert not list(root.glob("*.json"))
+        assert not (root / "journal.wal").exists()
+
+    def test_keep_spool_leaves_files_but_flips_reads(self, tmp_path):
+        root = tmp_path / "store"
+        spool = FileRepository(root)
+        populate(spool)
+        spool.close()
+        migrate_spool_to_segments(root, keep_spool=True)
+        assert list(root.glob("*.json"))  # old files intact
+        assert detect_backend(root) == "segments"  # but the marker wins
+        repo = open_repository(root)
+        try:
+            assert isinstance(repo, SegmentRepository)
+        finally:
+            repo.close()
+
+    def test_quarantined_files_preserved_for_scrub(self, tmp_path):
+        root = tmp_path / "store"
+        spool = FileRepository(root)
+        populate(spool)
+        spool.close()
+        # Rot one spool entry; reopening quarantines it, then migrate.
+        victim = sorted(root.glob("*.json"))[0]
+        data = bytearray(victim.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        victim.write_bytes(bytes(data))
+        reopened = FileRepository(root)
+        assert reopened.stats.get("quarantined") == 1
+        reopened.close()
+
+        migrate_spool_to_segments(root)
+        segs = SegmentRepository(root)
+        try:
+            items = segs.quarantined()
+            assert len(items) == 1
+            assert items[0].username  # identity preserved → scrub can heal
+        finally:
+            segs.close()
+
+    def test_remigration_is_noop(self, tmp_path):
+        root = tmp_path / "store"
+        spool = FileRepository(root)
+        populate(spool)
+        spool.close()
+        first = migrate_spool_to_segments(root)
+        assert first["migrated"] is True
+        second = migrate_spool_to_segments(root)
+        assert second["migrated"] is False
+        assert second["reason"] == "already segments"
+
+    def test_empty_spool_migrates_cleanly(self, tmp_path):
+        root = tmp_path / "store"
+        FileRepository(root).close()
+        result = migrate_spool_to_segments(root)
+        assert result["migrated"] is True
+        assert result["entries"] == 0
+        assert detect_backend(root) == "segments"
+
+
+class TestCrashSafety:
+    def test_crashed_migration_leaves_spool_authoritative(self, tmp_path):
+        """Segment debris without a marker must not shadow the spool."""
+        root = tmp_path / "store"
+        spool = FileRepository(root)
+        entries = populate(spool)
+        spool.close()
+        # Simulate a crash mid-bulk-load: segment files exist, no marker.
+        (root / "seg-00000001.mps").write_bytes(b"%MPS1 v1 id=1 gen=0\n")
+        assert detect_backend(root) == "spool"
+        repo = open_repository(root)
+        try:
+            assert isinstance(repo, FileRepository)
+            assert repo.count() == len(entries)
+        finally:
+            repo.close()
+
+    def test_retry_after_crash_succeeds(self, tmp_path):
+        root = tmp_path / "store"
+        spool = FileRepository(root)
+        entries = populate(spool)
+        spool.close()
+        (root / "seg-00000001.mps").write_bytes(b"%MPS1 v1 id=1 gen=0\n")
+        result = migrate_spool_to_segments(root)
+        assert result["migrated"] is True
+        assert result["entries"] == len(entries)
+        segs = SegmentRepository(root)
+        try:
+            assert segs.count() == len(entries)
+        finally:
+            segs.close()
+
+
+class TestOpenRepositoryResolution:
+    def test_explicit_backend_beats_detection(self, tmp_path):
+        root = tmp_path / "store"
+        FileRepository(root).close()
+        repo = open_repository(root, "segments")
+        try:
+            assert isinstance(repo, SegmentRepository)
+        finally:
+            repo.close()
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        from repro.util.errors import RepositoryError
+
+        with pytest.raises(RepositoryError, match="unknown storage backend"):
+            open_repository(tmp_path / "store", "tape")
+
+    def test_storage_config_knobs_passed_through(self, tmp_path):
+        from repro.core.config import StorageConfig
+
+        cfg = StorageConfig(backend="segments", segment_max_bytes=8192,
+                            cache_entries=7)
+        repo = open_repository(tmp_path / "store", storage=cfg)
+        try:
+            assert isinstance(repo, SegmentRepository)
+            assert repo.segment_max_bytes == 8192
+            assert repo.cache_info()["capacity"] == 7
+        finally:
+            repo.close()
