@@ -1,0 +1,245 @@
+"""Failover characterization: time-to-recover through a real partition.
+
+A three-node cluster runs on the system clock with its control plane
+threaded through a :class:`~repro.faults.NetChaos` plan.  Each trial
+isolates the primary for a stored credential and measures, from the
+instant of the cut:
+
+- **time_to_promote_s** — when the coordinator's sweep loop gathers a
+  quorum of unreachability confirmations and promotes a replica (this is
+  dominated by ``failover_timeout``: the detector must first let the
+  victim's heartbeat go stale);
+- **unavailability_s** — when a client write for that shard next
+  succeeds end to end (dial, busy protocol against the lapsed primary,
+  failover to the promoted node, replication ack at the new epoch).
+
+Run directly (it is a script, not a pytest-benchmark module)::
+
+    PYTHONPATH=src:. python benchmarks/bench_failover.py
+    PYTHONPATH=src:. python benchmarks/bench_failover.py --smoke --out /tmp/fresh
+
+Expected shape: promotion lands one failover timeout plus one sweep
+interval after the cut; the unavailability window tracks it closely
+(the client's first post-promotion attempt goes through), so both
+numbers scale linearly with ``--failover-timeout`` and neither should
+drift between runs of the same configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import time
+
+from repro.cluster import FailoverMyProxyClient, build_cluster
+from repro.core.client import RetryPolicy, myproxy_init_from_longterm
+from repro.core.repository import MemoryRepository
+from repro.core.server import MyProxyServer
+from repro.faults import NetChaos
+from repro.pki.ca import CertificateAuthority
+from repro.pki.keys import PooledKeySource
+from repro.pki.names import DistinguishedName
+from repro.pki.validation import ChainValidator
+
+SECRET = bytes.fromhex("00112233445566778899aabbccddeeff")
+PASS = "benchmark pass phrase 1"
+USERNAME = "alice"
+TRIAL_DEADLINE_S = 30.0
+
+
+def build_world(key_pool):
+    ca = CertificateAuthority(
+        DistinguishedName.parse("/O=Bench/CN=Failover CA"), key=key_pool.new_key()
+    )
+    return ca, ChainValidator([ca.certificate])
+
+
+def run_trial(
+    world, key_pool, *, failover_timeout: float, sweep_interval: float, seed: int
+) -> dict:
+    ca, validator = world
+    net = NetChaos(seed=seed)
+
+    def make_server(i, name, box):
+        cred = ca.issue_host_credential(f"{name}.bench.org", key=key_pool.new_key())
+        return MyProxyServer(cred, validator, key_source=key_pool, master_box=box)
+
+    cluster = build_cluster(
+        make_server,
+        [MemoryRepository() for _ in range(3)],
+        secret=SECRET,
+        replication_factor=2,
+        min_sync_acks=1,
+        failover_timeout=failover_timeout,
+        network=net,
+    )
+    try:
+        cred = ca.issue_credential(
+            DistinguishedName.grid_user("Bench", "Users", "Alice"),
+            key=key_pool.new_key(),
+        )
+        client = FailoverMyProxyClient(
+            {name: node.target for name, node in cluster.nodes.items()},
+            cluster.router(),
+            cred,
+            validator,
+            # Tight schedule: honored RETRY_AFTER waits are capped so the
+            # measured window is the cluster's, not the busy protocol's.
+            retry=RetryPolicy(
+                rounds=2, base_delay=0.01, max_delay=0.05,
+                busy_retries=1, max_retry_after=0.05,
+            ),
+            key_source=key_pool,
+        )
+
+        def write_once():
+            myproxy_init_from_longterm(
+                client, cred, username=USERNAME, passphrase=PASS,
+                key_source=key_pool,
+            )
+
+        write_once()  # the shard works before the cut
+        primary = cluster.primary_for(USERNAME)
+        cluster.sweep_heartbeats()  # fresh heartbeats at cut time
+
+        start = time.perf_counter()
+        net.isolate(primary.name)
+        promoted_at = None
+        recovered_at = None
+        attempts = 0
+        while recovered_at is None:
+            elapsed = time.perf_counter() - start
+            if elapsed > TRIAL_DEADLINE_S:
+                raise RuntimeError(
+                    f"cluster did not recover within {TRIAL_DEADLINE_S}s "
+                    f"(promoted={promoted_at is not None}, {attempts} write "
+                    "attempts)"
+                )
+            cluster.sweep_heartbeats()
+            if promoted_at is None and cluster.check_failover():
+                promoted_at = time.perf_counter()
+            attempts += 1
+            try:
+                write_once()
+                recovered_at = time.perf_counter()
+            except Exception:  # noqa: BLE001 - unavailability is the measurement
+                time.sleep(sweep_interval)
+
+        new_primary = cluster.primary_for(USERNAME)
+        assert new_primary is not primary, "recovery without a promotion"
+        return {
+            "time_to_promote_s": promoted_at - start,
+            "unavailability_s": recovered_at - start,
+            "write_attempts": attempts,
+            "lease_denied_writes": sum(
+                n.server.stats.lease_denied_writes for n in cluster.nodes.values()
+            ),
+            "promoted": new_primary.name,
+        }
+    finally:
+        cluster.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: 3 trials, 1 s failover timeout")
+    parser.add_argument("--trials", type=int, default=5)
+    parser.add_argument("--failover-timeout", type=float, default=2.0,
+                        metavar="S", help="detector staleness window")
+    parser.add_argument("--sweep-interval", type=float, default=0.05,
+                        metavar="S", help="control-loop cadence")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="also write BENCH_failover.json (shared schema) "
+                             "into DIR")
+    args = parser.parse_args(argv)
+
+    trials = 3 if args.smoke else args.trials
+    failover_timeout = 1.0 if args.smoke else args.failover_timeout
+
+    key_pool = PooledKeySource(1024, size=16)
+    world = build_world(key_pool)
+
+    results = []
+    print(f"{'trial':>5}  {'promote':>9}  {'unavailable':>11}  "
+          f"{'attempts':>8}  {'busy':>5}  promoted")
+    for trial in range(trials):
+        result = run_trial(
+            world, key_pool,
+            failover_timeout=failover_timeout,
+            sweep_interval=args.sweep_interval,
+            seed=trial,
+        )
+        results.append(result)
+        print(f"{trial:>5}  {result['time_to_promote_s']:>8.3f}s  "
+              f"{result['unavailability_s']:>10.3f}s  "
+              f"{result['write_attempts']:>8}  "
+              f"{result['lease_denied_writes']:>5}  {result['promoted']}")
+        # the window must be dominated by the detector, not by retries:
+        # recovery later than 3x the staleness timeout means something
+        # beyond detection (routing, fencing, client schedule) is slow
+        assert result["unavailability_s"] < 3.0 * failover_timeout + 1.0, \
+            "unavailability window is not detection-bound"
+        assert result["time_to_promote_s"] >= failover_timeout * 0.5, \
+            "promotion before the heartbeat could possibly go stale"
+
+    windows = sorted(r["unavailability_s"] for r in results)
+    promotes = [r["time_to_promote_s"] for r in results]
+    print(f"median promote {statistics.median(promotes):.3f}s, "
+          f"median unavailable {statistics.median(windows):.3f}s "
+          f"over {trials} trials (timeout {failover_timeout}s)")
+
+    if args.out:
+        from benchmarks.common import emit_closed_loop_report
+
+        total_attempts = sum(r["write_attempts"] for r in results)
+        duration = sum(r["unavailability_s"] for r in results)
+        path = emit_closed_loop_report(
+            args.out,
+            scenario="failover",
+            script="bench_failover.py",
+            config={
+                "trials": trials,
+                "failover_timeout_s": failover_timeout,
+                "sweep_interval_s": args.sweep_interval,
+                "nodes": 3,
+                "replication_factor": 2,
+            },
+            offered_ops=total_attempts,
+            achieved_ops=trials,
+            duration_s=duration,
+            # "latency" of a failover scenario is the unavailability
+            # window itself: cut -> first acknowledged write
+            latency_s={
+                "p50": statistics.median(windows),
+                "p95": windows[-1],
+                "p99": windows[-1],
+            },
+            counts={
+                "ok": trials,
+                "refused_during_outage": total_attempts - trials,
+            },
+            extra_slo={
+                "failover": {
+                    "median_time_to_promote_s": round(
+                        statistics.median(promotes), 4
+                    ),
+                    "worst_unavailability_s": round(windows[-1], 4),
+                    "trials": [
+                        {
+                            "time_to_promote_s": round(r["time_to_promote_s"], 4),
+                            "unavailability_s": round(r["unavailability_s"], 4),
+                            "write_attempts": r["write_attempts"],
+                            "lease_denied_writes": r["lease_denied_writes"],
+                        }
+                        for r in results
+                    ],
+                },
+            },
+        )
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

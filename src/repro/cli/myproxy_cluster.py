@@ -86,24 +86,37 @@ def _print_status(doc: dict) -> None:
         f"cluster @ {doc.get('at', 0):.0f}  "
         f"rf={doc.get('replication_factor')} "
         f"min_sync_acks={doc.get('min_sync_acks')} "
+        f"quorum={doc.get('quorum', '?')} "
         f"failovers={doc.get('failovers', 0)}"
     )
     promotions = doc.get("promotions", {})
     if promotions:
         for dead, successor in sorted(promotions.items()):
             print(f"  promotion: {dead} -> {successor}")
+    owners = doc.get("epoch_owners", {})
     for name, row in sorted(doc.get("nodes", {}).items()):
         stats = row.get("stats", {})
         state = row.get("state", "?")
         liveness = "up  " if row.get("alive") else "DOWN"
+        lease = row.get("lease", {})
+        if lease.get("held"):
+            lease_text = f"held({lease.get('expires_in', 0)}s)"
+        else:
+            lease_text = "LAPSED"
+        epoch = row.get("epoch", 0)
+        owner = owners.get(name)
+        epoch_text = f"{epoch}" + (f"@{owner}" if owner else "")
         print(
             f"  {name:<10} {liveness} ({state})  "
+            f"epoch={epoch_text:<12} "
+            f"lease={lease_text:<12} "
             f"entries={row.get('entries', 0):<5} "
             f"log_seq={row.get('log_seq', 0):<5} "
             f"lag={row.get('replica_lag', 0):<4} "
             f"shipped={stats.get('replication_ops_shipped', 0)} "
             f"applied={stats.get('replication_ops_applied', 0)} "
             f"ship_failures={stats.get('replication_failures', 0)} "
+            f"fenced={stats.get('fenced_ships', 0)} "
             f"failovers_won={stats.get('failovers', 0)}"
         )
 

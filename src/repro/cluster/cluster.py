@@ -15,6 +15,28 @@
 - an admin control path (status snapshot + command file) backs the
   ``myproxy-cluster`` CLI: status, promote, resync.
 
+Partition tolerance (the control plane's CP stance):
+
+- **epochs** — every promotion bumps a persisted, monotonic epoch for
+  each shard the dead node was primary for; primaries stamp their epoch
+  into every shipped record and replicas fence anything older, so a
+  deposed-but-alive primary can never collect acks;
+- **quorum** — a suspect is only promoted away from once a majority of
+  the voting set (every node, plus the coordinator as tie-breaking
+  witness) confirms it unreachable; ``myproxy-cluster promote`` remains
+  the admin override;
+- **leases** — a primary may only acknowledge writes while it holds a
+  time-bounded lease; renewal needs the same quorum, so the minority
+  side of a partition drops to reads + ``RETRY_AFTER`` (bounded
+  unavailability, never divergence).  Promotion waits a full lease
+  duration so the old lease provably lapsed first.
+
+The voting sets of lease renewal and promotion intersect (both are
+majorities of the same electorate), so a partition can sustain at most
+one side that writes.  All probes, ships and announcements thread an
+optional :class:`~repro.faults.NetChaos` so the chaos suite drives the
+*real* promotion/fencing code under asymmetric partitions.
+
 All replication payloads stay ciphertext (see :mod:`repro.cluster.replog`);
 the §5.1 encrypted-at-rest property holds on every replica.
 """
@@ -31,17 +53,29 @@ from repro.cluster.failover import ClusterRouter
 from repro.cluster.hashring import ConsistentHashRing
 from repro.cluster.health import FailureDetector, HeartbeatMonitor
 from repro.cluster.node import ClusterNode
-from repro.cluster.replog import SITE_SHIP_DELIVERED, ReplicatedOp
+from repro.cluster.replog import SITE_SHIP_DELIVERED, ReplicatedOp, StaleEpochError
 from repro.core.repository import SecretBox
 from repro.core.server import MyProxyServer
+from repro.faults.netchaos import NetChaos
 from repro.util.clock import SYSTEM_CLOCK, Clock
-from repro.util.errors import ConfigError, RepositoryError, TransportError
+from repro.util.errors import (
+    ConfigError,
+    RepositoryError,
+    ServerBusyError,
+    TransportError,
+)
 from repro.util.logging import get_logger
 
 logger = get_logger("cluster.cluster")
 
 STATUS_FILE = "cluster-status.json"
 CONTROL_FILE = "cluster-control.jsonl"
+EPOCH_FILE = "cluster-epochs.json"
+
+#: The coordinator's vantage point on the chaos network: probes and epoch
+#: announcements originate here, so a plan can partition the control
+#: plane away from a node without touching the data paths (or vice versa).
+COORDINATOR = "@coordinator"
 
 
 class MyProxyCluster:
@@ -57,6 +91,10 @@ class MyProxyCluster:
         heartbeat_interval: float = 1.0,
         clock: Clock = SYSTEM_CLOCK,
         state_dir: str | os.PathLike | None = None,
+        quorum: int | None = None,
+        lease_duration: float | None = None,
+        network: NetChaos | None = None,
+        probe_timeout: float = 2.0,
     ) -> None:
         if not nodes:
             raise ConfigError("a cluster needs at least one node")
@@ -91,9 +129,43 @@ class MyProxyCluster:
         self._state_dir = Path(state_dir) if state_dir is not None else None
         self._control_offset = 0
         self._monitor: HeartbeatMonitor | None = None
+        self.network = network
+        self.probe_timeout = probe_timeout
+        # The electorate is every node plus the coordinator (tie-breaking
+        # witness, so a 2-node cluster can still fail over).  Promotion
+        # confirmation and lease renewal both demand a majority of it;
+        # two majorities always intersect, so no partition can sustain a
+        # writing primary on both sides.
+        electorate = len(nodes) + 1
+        if quorum is not None:
+            if not 1 <= quorum <= electorate:
+                raise ConfigError(
+                    f"cluster_quorum must be between 1 and {electorate} "
+                    f"(nodes + coordinator witness), got {quorum}"
+                )
+            self.quorum = quorum
+        else:
+            self.quorum = electorate // 2 + 1
+        self.lease_duration = (
+            lease_duration if lease_duration is not None else failover_timeout
+        )
+        #: shard root (ring node name) -> current primary epoch.
+        self.epochs: dict[str, int] = {}
+        self._load_epochs()
+        now = clock.now()
         for node in nodes:
             node.server.cluster_peers = tuple(sorted(self.nodes))
             node.repository.shipper = self._make_shipper(node)
+            node.shard_of = self._shard_root
+            node.repository.epoch_source = node.epoch_for
+            node.repository.write_gate = self._make_write_gate(node)
+            node.learn_epochs(self.epochs)
+            # Every node starts with a full lease: a fresh cluster is in
+            # contact with itself.  The gate renews (or refuses) once the
+            # first duration elapses.
+            if self.lease_duration > 0:
+                node.lease_expires = now + self.lease_duration
+                node.server.stats.set_gauge("lease_state", 1)
 
     # ------------------------------------------------------------------
     # routing
@@ -106,6 +178,35 @@ class MyProxyCluster:
             seen.add(name)
             name = self._promotions[name]
         return name
+
+    def _shard_root(self, username: str) -> str:
+        """The stable shard identity for a user: the *unresolved* ring head.
+
+        Promotions move who serves a shard, never which shard a user is
+        in — epochs are keyed by this root so a shard's epoch survives
+        arbitrarily long promotion chains.
+        """
+        return self.ring.preference_list(username)[0]
+
+    # ------------------------------------------------------------------
+    # network vantage (all perfect when no chaos plan is installed)
+    # ------------------------------------------------------------------
+
+    def _coordinator_sees(self, node: ClusterNode) -> bool:
+        """Can the coordinator hold a round trip with this node right now?"""
+        if not node.alive:
+            return False
+        if self.network is None:
+            return True
+        return self.network.bidirectional(COORDINATOR, node.name)
+
+    def _nodes_see(self, a: ClusterNode, b: ClusterNode) -> bool:
+        """Can node ``a`` hold a round trip with node ``b`` right now?"""
+        if not (a.alive and b.alive):
+            return False
+        if self.network is None:
+            return True
+        return self.network.bidirectional(a.name, b.name)
 
     def preference(self, username: str) -> list[ClusterNode]:
         """The user's current replica set, promotions applied, primary first."""
@@ -136,6 +237,9 @@ class MyProxyCluster:
         )
 
         def _ship(op: ReplicatedOp) -> None:
+            # Partitioned-but-alive replicas stay in the set: under a
+            # partition the ack requirement must *fail*, not silently
+            # shrink to zero.
             replicas = [
                 node
                 for node in self.preference(op.username)
@@ -145,8 +249,23 @@ class MyProxyCluster:
             for replica in replicas:
                 try:
                     origin.injector.fire(f"replog.ship.to.{replica.name}")
+                    copies = 1
+                    if self.network is not None:
+                        copies = self.network.transmit(origin.name, replica.name)
                     with ship_seconds.time():
-                        applied = replica.receive([op])
+                        applied = replica.receive([op], fresh=True)
+                        for _ in range(copies - 1):
+                            # Duplicate delivery (retransmit storm): the
+                            # replica's idempotent apply absorbs it.
+                            replica.receive([op], fresh=True)
+                    if self.network is not None and not self.network.reachable(
+                        replica.name, origin.name
+                    ):
+                        # Half-open return path: the replica applied the
+                        # op but the ack never made it home.
+                        raise TransportError(
+                            f"ack from {replica.name} lost to the partition"
+                        )
                     origin.injector.fire(SITE_SHIP_DELIVERED)
                     # A replica that *skipped* the op (garbled in transit)
                     # returns 0 — that is not an ack; the skip already
@@ -156,6 +275,23 @@ class MyProxyCluster:
                         continue
                     acks += 1
                     origin.server.stats.inc("replication_ops_shipped")
+                except StaleEpochError as exc:
+                    # A replica witnessed a newer epoch: this origin was
+                    # deposed behind its back.  Adopt the fence, drop the
+                    # lease (self-demotion) and refuse the ack outright —
+                    # no quorum of stale-epoch acks may rescue the write.
+                    origin.server.stats.inc("replication_failures")
+                    origin.learn_epochs({exc.shard: exc.fence})
+                    origin.lease_expires = 0.0
+                    origin.server.stats.set_gauge("lease_state", 0)
+                    logger.warning(
+                        "node %s deposed: ship %s#%d fenced by %s at epoch %d",
+                        origin.name, op.origin, op.seq, replica.name, exc.fence,
+                    )
+                    raise RepositoryError(
+                        f"write {op.origin}#{op.seq} fenced (epoch {exc.shipped} "
+                        f"< {exc.fence}); refusing to acknowledge"
+                    ) from exc
                 except (TransportError, RepositoryError):
                     origin.server.stats.inc("replication_failures")
                     logger.warning(
@@ -174,25 +310,164 @@ class MyProxyCluster:
         return _ship
 
     # ------------------------------------------------------------------
+    # primary leases (writes only while in provable contact with quorum)
+    # ------------------------------------------------------------------
+
+    def _make_write_gate(self, node: ClusterNode):
+        def _gate(username: str) -> None:
+            if self.lease_duration <= 0:
+                return  # leases disabled by configuration
+            now = self.clock.now()
+            if now <= node.lease_expires:
+                return
+            if self._renew_lease(node, now):
+                return
+            node.server.stats.set_gauge("lease_state", 0)
+            logger.warning(
+                "node %s: write for %r refused — lease lapsed and quorum "
+                "unreachable", node.name, username,
+            )
+            raise ServerBusyError(
+                f"primary lease lapsed on {node.name}; retry after failover "
+                "settles",
+                retry_after=max(self.lease_duration, 0.1),
+            )
+
+        return _gate
+
+    def _renew_lease(self, node: ClusterNode, now: float) -> bool:
+        """On-demand renewal: count the voters this node can reach *now*."""
+        votes = 1  # self
+        if self._coordinator_sees(node):
+            votes += 1  # the coordinator witness
+        for peer in self.nodes.values():
+            if peer is not node and self._nodes_see(node, peer):
+                votes += 1
+        if votes < self.quorum:
+            return False
+        node.lease_expires = now + self.lease_duration
+        node.server.stats.set_gauge("lease_state", 1)
+        return True
+
+    # ------------------------------------------------------------------
+    # epochs (bumped on every change of shard leadership, persisted)
+    # ------------------------------------------------------------------
+
+    def _epoch_path(self) -> Path | None:
+        if self._state_dir is None:
+            return None
+        return self._state_dir / EPOCH_FILE
+
+    def _load_epochs(self) -> None:
+        self._owners: dict[str, str] = {}
+        path = self._epoch_path()
+        if path is None or not path.exists():
+            return
+        try:
+            doc = json.loads(path.read_text("utf-8"))
+            self.epochs = {str(k): int(v) for k, v in doc.get("epochs", {}).items()}
+            self._owners = {
+                str(k): str(v) for k, v in doc.get("owners", {}).items()
+            }
+            self._promotions.update(
+                {str(k): str(v) for k, v in doc.get("promotions", {}).items()}
+            )
+            self.failovers = int(doc.get("failovers", 0))
+        except (OSError, ValueError, TypeError) as exc:
+            # A coordinator must never come up with *lower* epochs than it
+            # had: refuse to guess rather than risk re-acking fenced writes.
+            raise ConfigError(f"corrupt epoch state in {path}: {exc}") from exc
+
+    def _save_epochs(self) -> None:
+        path = self._epoch_path()
+        if path is None:
+            return
+        self._state_dir.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "epochs": self.epochs,
+            "owners": self._owners,
+            "promotions": self._promotions,
+            "failovers": self.failovers,
+        }
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(doc, indent=1, sort_keys=True), "utf-8")
+        os.replace(tmp, path)
+
+    def _announce_epochs(self) -> None:
+        """Push (epoch, owner) to every node the coordinator can reach.
+
+        Unreachable nodes learn late — from this announcement after the
+        heal, from a resync, or from the first newer-epoch ship they see.
+        Fencing only needs *some* ack-granting replica to know; quorum
+        guarantees the promotion was witnessed by a majority.
+        """
+        if not self.epochs:
+            return
+        for node in self.nodes.values():
+            if self._coordinator_sees(node):
+                node.learn_epochs(self.epochs, self._owners)
+
+    def _bump_epochs(self, roots: list[str], owner: str) -> None:
+        for root in roots:
+            self.epochs[root] = self.epochs.get(root, 0) + 1
+            self._owners[root] = owner
+        self._save_epochs()
+        self._announce_epochs()
+
+    # ------------------------------------------------------------------
     # health + failover
     # ------------------------------------------------------------------
 
     def sweep_heartbeats(self) -> None:
         for node in self.nodes.values():
             try:
-                if node.ping():
+                if self._coordinator_sees(node) and node.ping():
                     self.detector.record_heartbeat(node.name)
             except Exception:  # noqa: BLE001 - a dead node is the signal
                 pass
 
+    def _confirm_unreachable(self, suspect: str) -> int:
+        """How many voters agree the suspect is gone right now.
+
+        The coordinator's own failed probes are one vote; every live,
+        coordinator-reachable peer that cannot hold a round trip with the
+        suspect adds another.  Peers on the far side of a partition
+        cannot be polled and therefore cannot confirm — which is the
+        point: a minority-side coordinator must not promote.
+        """
+        suspect_node = self.nodes[suspect]
+        votes = 0
+        if not self._coordinator_sees(suspect_node):
+            votes += 1
+        for peer in self.nodes.values():
+            if peer is suspect_node or not self._coordinator_sees(peer):
+                continue
+            if not self._nodes_see(peer, suspect_node):
+                votes += 1
+        return votes
+
     def check_failover(self) -> list[tuple[str, str]]:
-        """Promote replicas for every newly-dead node.  Returns promotions."""
+        """Promote replicas for every quorum-confirmed-dead node.
+
+        A suspect is promoted away from only when :attr:`quorum` voters
+        independently confirm it unreachable — one slow or partitioned
+        heartbeat path is not evidence enough to risk a second primary.
+        Unconfirmed suspects stay suspects and are re-examined every
+        sweep; ``myproxy-cluster promote`` remains the human override.
+        """
         performed: list[tuple[str, str]] = []
         with self._promote_lock:
             for name in self.detector.suspects(self.nodes):
                 if name in self._promotions:
                     continue  # already failed over
-                promoted = self._promote_locked(name)
+                confirmations = self._confirm_unreachable(name)
+                if confirmations < self.quorum:
+                    logger.warning(
+                        "suspect %s: %d/%d unreachability confirmations; "
+                        "deferring promotion", name, confirmations, self.quorum,
+                    )
+                    continue
+                promoted = self._promote_locked(name, reason="quorum")
                 if promoted is not None:
                     performed.append((name, promoted))
         if self._state_dir is not None and performed:
@@ -209,10 +484,14 @@ class MyProxyCluster:
         return [
             node
             for name, node in sorted(self.nodes.items())
-            if name != dead and node.alive and self._resolve(name) != dead
+            if name != dead
+            and self._coordinator_sees(node)
+            and self._resolve(name) != dead
         ]
 
-    def _promote_locked(self, dead: str, successor: str | None = None) -> str | None:
+    def _promote_locked(
+        self, dead: str, successor: str | None = None, *, reason: str = "forced"
+    ) -> str | None:
         candidates = self._successors(dead)
         if not candidates:
             logger.error("no live replica to promote for %s", dead)
@@ -226,13 +505,27 @@ class MyProxyCluster:
             # the dead primary's log (ring order breaks ties).
             dead_node = self.nodes[dead]
             chosen = max(candidates, key=lambda n: n.applied_seq(dead_node.name))
+        # Shards whose promotion chains currently end at the dead node
+        # change hands: their epochs bump *before* routing moves, so by
+        # the time a client can reach the new primary, the old one's
+        # ships are already fenceable.
+        moving = [r for r in self.nodes if self._resolve(r) == dead]
         self.detector.mark_down(dead)
         self._promotions[dead] = chosen.name
         self.failovers += 1
         chosen.server.stats.inc("failovers")
+        chosen.server.metrics.counter(
+            "myproxy_promotions_total",
+            "Shard promotions this node won, by trigger.",
+            labelnames=("reason",),
+        ).labels(reason=reason).inc()
+        self._bump_epochs(moving, chosen.name)
         logger.info(
-            "promoted %s in place of %s (applied %d/%d of its log)",
-            chosen.name, dead, chosen.applied_seq(dead), self.nodes[dead].log.last_seq,
+            "promoted %s in place of %s (%s; applied %d/%d of its log; "
+            "epochs now %s)",
+            chosen.name, dead, reason, chosen.applied_seq(dead),
+            self.nodes[dead].log.last_seq,
+            {r: self.epochs[r] for r in moving},
         )
         return chosen.name
 
@@ -242,22 +535,34 @@ class MyProxyCluster:
             raise ConfigError(f"unknown node {dead!r}")
         with self._promote_lock:
             self._promotions.pop(dead, None)
-            return self._promote_locked(dead, successor)
+            return self._promote_locked(dead, successor, reason="forced")
 
     def demote_recovered(self, name: str) -> None:
-        """Clear a promotion after the node came back and resynced."""
+        """Clear a promotion after the node came back and resynced.
+
+        Shard leadership moves *back* to the recovered node — that is as
+        much a change of primary as the failover was, so the returning
+        shards get a fresh epoch with the recovered node as owner
+        (otherwise the interim primary could keep collecting acks).
+        """
         with self._promote_lock:
-            self._promotions.pop(name, None)
+            if self._promotions.pop(name, None) is None:
+                return
+            returning = [r for r in self.nodes if self._resolve(r) == name]
+            self._bump_epochs(returning, name)
 
     def start_monitor(self, interval: float | None = None) -> None:
         self._monitor = HeartbeatMonitor(
             self.detector,
             list(self.nodes),
-            lambda name: self.nodes[name].ping(),
+            lambda name: self._coordinator_sees(self.nodes[name])
+            and self.nodes[name].ping(),
             interval=interval or 1.0,
+            probe_timeout=self.probe_timeout,
             on_sweep=lambda: (
                 self.check_failover(),
                 self.auto_resync(),
+                self._announce_epochs(),
                 self.process_control(),
             ),
         )
@@ -283,9 +588,14 @@ class MyProxyCluster:
         for peer in self.nodes.values():
             if peer is node:
                 continue
+            if not self._nodes_see(node, peer):
+                continue  # the heal will trigger another resync round
             tail = peer.log.since(node.applied_seq(peer.name))
             if tail:
                 applied += node.receive(tail)
+        # Catching up includes catching up on leadership: the node must
+        # fence by the current epochs before it grants anyone an ack.
+        node.learn_epochs(self.epochs, self._owners)
         node.resync_requested = False
         self.detector.record_heartbeat(name)
         return applied
@@ -299,7 +609,11 @@ class MyProxyCluster:
         """
         healed: dict[str, int] = {}
         for name, node in self.nodes.items():
-            if node.alive and node.resync_requested:
+            if (
+                node.alive
+                and node.resync_requested
+                and self._coordinator_sees(node)
+            ):
                 healed[name] = self.resync(name)
         return healed
 
@@ -358,10 +672,19 @@ class MyProxyCluster:
             )
         watermarks = src.watermarks()
         chunks = src.backend.stream_snapshot(
-            extra_meta={"source": src.name, "watermarks": watermarks}
+            extra_meta={
+                "source": src.name,
+                "watermarks": watermarks,
+                # The snapshot header carries the shipping side's epoch
+                # view (PROTOCOL §11.2): an ingesting node is fenced
+                # correctly from its very first fresh ship.
+                "epochs": dict(src.shard_epochs),
+                "epoch_owners": dict(src.shard_owners),
+            }
         )
         entries = node.backend.ingest_snapshot(chunks)
         node.adopt_watermarks(watermarks)
+        node.learn_epochs(dict(src.shard_epochs), dict(src.shard_owners))
         tail_ops = self.resync(name)
         logger.info(
             "bootstrapped %s from %s: %d entries streamed, %d tail op(s) replayed",
@@ -442,10 +765,13 @@ class MyProxyCluster:
         )
 
     def status(self) -> dict:
+        now = self.clock.now()
         node_rows = {}
         for name, node in self.nodes.items():
             lag = self.replica_lag(name)
             node.server.stats.set_gauge("replica_lag", lag)
+            lease_held = self.lease_duration > 0 and now <= node.lease_expires
+            node.server.stats.set_gauge("lease_state", 1 if lease_held else 0)
             node_rows[name] = {
                 "alive": node.alive,
                 "state": self.detector.state(name),
@@ -453,14 +779,23 @@ class MyProxyCluster:
                 "applied": dict(node.applied),
                 "replica_lag": lag,
                 "entries": node.backend.count(),
+                "epoch": self.epochs.get(name, 0),
+                "lease": {
+                    "held": lease_held,
+                    "expires_in": round(max(node.lease_expires - now, 0.0), 3),
+                },
                 "stats": node.server.stats.snapshot(),
             }
         return {
-            "at": self.clock.now(),
+            "at": now,
             "replication_factor": self.replication_factor,
             "min_sync_acks": self.min_sync_acks,
+            "quorum": self.quorum,
+            "lease_duration": self.lease_duration,
             "failovers": self.failovers,
             "promotions": dict(self._promotions),
+            "epochs": dict(self.epochs),
+            "epoch_owners": dict(self._owners),
             "nodes": node_rows,
         }
 
@@ -536,6 +871,10 @@ def build_cluster(
     state_dir: str | os.PathLike | None = None,
     log_dir: str | os.PathLike | None = None,
     injectors=None,
+    quorum: int | None = None,
+    lease_duration: float | None = None,
+    network: NetChaos | None = None,
+    probe_timeout: float = 2.0,
 ) -> MyProxyCluster:
     """Assemble a cluster from per-node backends.
 
@@ -580,4 +919,8 @@ def build_cluster(
         failover_timeout=failover_timeout,
         clock=clock,
         state_dir=state_dir,
+        quorum=quorum,
+        lease_duration=lease_duration,
+        network=network,
+        probe_timeout=probe_timeout,
     )

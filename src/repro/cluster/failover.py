@@ -18,6 +18,14 @@ node holding the user's replicated (still-encrypted) entry can serve it.
 A node that answers *busy* (see :mod:`repro.qos`) is not treated as dead:
 the underlying client honors the ``RETRY_AFTER`` hint against the same
 node, and only a genuine transport failure rotates the preference list.
+
+Against a *partitioned* cluster, raw failover is not enough — a client
+that retries every endpoint every round amplifies the outage.  The
+cluster client therefore carries per-endpoint circuit breakers, a shared
+retry-budget token bucket, and optional end-to-end deadlines (see
+:mod:`repro.cluster.resilience`); every per-operation client it builds is
+handed an :class:`~repro.cluster.resilience.OperationGuard` over that
+shared state.
 """
 
 from __future__ import annotations
@@ -28,12 +36,26 @@ from collections.abc import Callable, Mapping
 
 from repro import faults
 from repro.cluster.hashring import DEFAULT_VNODES, ConsistentHashRing
+from repro.cluster.resilience import (
+    CircuitBreaker,
+    Deadline,
+    OperationGuard,
+    RetryBudget,
+)
 from repro.core.client import ClientStats, MyProxyClient, RetryPolicy
 from repro.pki.credentials import Credential
 from repro.pki.validation import ChainValidator
 from repro.util.clock import SYSTEM_CLOCK, Clock
 
 DEFAULT_CLUSTER_RETRY = RetryPolicy(rounds=4, base_delay=0.05, max_delay=1.0)
+
+#: Resilience defaults: generous enough that a healthy cluster (or a plain
+#: single-node kill) never notices them, tight enough that a client facing
+#: a partitioned cluster stops hammering within a few operations.
+DEFAULT_BREAKER_FAILURES = 8
+DEFAULT_BREAKER_COOLDOWN = 3.0
+DEFAULT_RETRY_BUDGET_TOKENS = 64.0
+DEFAULT_RETRY_BUDGET_REFILL = 8.0
 
 
 class ClusterRouter:
@@ -79,6 +101,12 @@ class FailoverMyProxyClient:
         sleep: Callable[[float], None] = time.sleep,
         rng: random.Random | None = None,
         injector: faults.FaultInjector | None = None,
+        breaker_failures: int = DEFAULT_BREAKER_FAILURES,
+        breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN,
+        retry_budget_tokens: float = DEFAULT_RETRY_BUDGET_TOKENS,
+        retry_budget_refill_per_s: float = DEFAULT_RETRY_BUDGET_REFILL,
+        deadline_seconds: float | None = None,
+        resilience: bool = True,
     ) -> None:
         unknown = set(targets) - set(router.ring.nodes)
         if unknown:
@@ -111,14 +139,59 @@ class FailoverMyProxyClient:
         # retry/failover counts accumulate for the cluster client as a
         # whole instead of dying with each short-lived MyProxyClient.
         self.stats = ClientStats()
+        # Long-lived resilience state shared across operations: one breaker
+        # per endpoint, one retry-budget bucket for the whole client.  The
+        # per-operation guard (built in client_for) is just a view over
+        # these plus a fresh deadline.
+        self.deadline_seconds = deadline_seconds
+        if resilience:
+            gauge = self.stats.registry.gauge(
+                "myproxy_client_breaker_state",
+                "Circuit breaker per endpoint: 0 closed, 1 half-open, 2 open.",
+                labelnames=("endpoint",),
+            )
+            self.breakers: dict[str, CircuitBreaker] = {}
+            for name in sorted(self.targets):
+                child = gauge.labels(endpoint=name)
+                child.set(0)
+                self.breakers[name] = CircuitBreaker(
+                    failures=breaker_failures,
+                    cooldown=breaker_cooldown,
+                    clock=clock,
+                    gauge=child,
+                )
+            self.budget: RetryBudget | None = RetryBudget(
+                tokens=retry_budget_tokens,
+                refill_per_s=retry_budget_refill_per_s,
+                clock=clock,
+            )
+        else:
+            self.breakers = {}
+            self.budget = None
+
+    def _guard_for(self, names: list[str]) -> OperationGuard | None:
+        """One operation's guard over the shared breakers and budget."""
+        if not self.breakers and self.budget is None and self.deadline_seconds is None:
+            return None
+        deadline = (
+            Deadline(self.deadline_seconds, clock=self.clock)
+            if self.deadline_seconds is not None
+            else None
+        )
+        return OperationGuard(
+            names,
+            self.breakers,
+            budget=self.budget,
+            deadline=deadline,
+            stats=self.stats,
+        )
 
     def client_for(self, username: str) -> MyProxyClient:
         """A single-server client dialing ``username``'s shard first."""
-        ordered = [
-            self.targets[name]
-            for name in self.router.order(username)
-            if name in self.targets
+        names = [
+            name for name in self.router.order(username) if name in self.targets
         ]
+        ordered = [self.targets[name] for name in names]
         if not ordered:
             raise ValueError("no dialable targets for this cluster")
         return MyProxyClient(
@@ -132,6 +205,7 @@ class FailoverMyProxyClient:
             sleep=self._sleep,
             rng=self._rng,
             stats=self.stats,
+            guard=self._guard_for(names),
         )
 
     # -- the MyProxyClient call surface, routed per username ----------------

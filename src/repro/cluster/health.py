@@ -41,6 +41,21 @@ class FailureDetector:
             self._last_seen[name] = self.clock.now()
             self._down.discard(name)
 
+    def seed(self, names: Iterable[str]) -> None:
+        """Grant a warmup grace to nodes never heard from.
+
+        A freshly booted monitor knows nothing; without seeding, every
+        node reads ``SUSPECT`` until the first sweep completes — and a
+        quorum check running in that window could condemn the whole
+        cluster at once.  Seeding starts everyone's timeout window *now*;
+        a node that genuinely is not there still goes suspect one full
+        timeout later.  Nodes already heard from are left untouched.
+        """
+        with self._lock:
+            now = self.clock.now()
+            for name in names:
+                self._last_seen.setdefault(name, now)
+
     def mark_down(self, name: str) -> None:
         """The coordinator acted on a suspicion (or an admin forced it)."""
         with self._lock:
@@ -71,6 +86,11 @@ class HeartbeatMonitor:
     answered; exceptions count as a missed heartbeat.  ``on_change`` (if
     given) runs after every sweep — the coordinator hangs its failover
     check there.
+
+    Every probe is bounded by ``probe_timeout``: a peer that accepts the
+    connection and then hangs (half-open link, wedged process) is a
+    missed heartbeat, not a stalled sweep — one sick node must never
+    blind the detector to the other nine.
     """
 
     def __init__(
@@ -81,21 +101,57 @@ class HeartbeatMonitor:
         *,
         interval: float = 1.0,
         on_sweep: Callable[[], None] | None = None,
+        probe_timeout: float = 2.0,
     ) -> None:
         self.detector = detector
         self.names = list(names)
         self.probe = probe
         self.interval = interval
         self.on_sweep = on_sweep
+        if probe_timeout <= 0:
+            raise ValueError("probe_timeout must be positive")
+        self.probe_timeout = probe_timeout
+        #: probes that had to be abandoned at the timeout (the probe
+        #: thread may still be blocked inside a dead socket).
+        self.hung_probes = 0
         self._thread: ServiceThread | None = None
+
+    def _bounded_probe(self, name: str) -> bool:
+        """Run one probe with a hard deadline.
+
+        The probe callable may block forever (a SYN swallowed by a
+        filter, a peer that accepted and went quiet).  It runs on a
+        daemon thread and is simply abandoned at the deadline — the
+        result slot stays False, which is exactly what a silent peer has
+        earned.
+        """
+        result = [False]
+        done = threading.Event()
+
+        def _run() -> None:
+            try:
+                result[0] = bool(self.probe(name))
+            except Exception:  # noqa: BLE001 - a dead node throws, that's the signal
+                result[0] = False
+            finally:
+                done.set()
+
+        worker = threading.Thread(
+            target=_run, daemon=True, name=f"probe-{name}"
+        )
+        worker.start()
+        if not done.wait(self.probe_timeout):
+            self.hung_probes += 1
+            logger.warning(
+                "probe of %s still hanging after %.1fs; counting it as a "
+                "missed heartbeat", name, self.probe_timeout,
+            )
+            return False
+        return result[0]
 
     def sweep_once(self) -> None:
         for name in self.names:
-            try:
-                alive = self.probe(name)
-            except Exception:  # noqa: BLE001 - a dead node throws, that's the signal
-                alive = False
-            if alive:
+            if self._bounded_probe(name):
                 self.detector.record_heartbeat(name)
         if self.on_sweep is not None:
             try:
@@ -104,6 +160,10 @@ class HeartbeatMonitor:
                 logger.exception("post-sweep hook failed")
 
     def start(self) -> None:
+        # Warmup grace: nobody is condemned for silence before they had
+        # one full timeout window to speak.
+        self.detector.seed(self.names)
+
         def _loop(stop_event: threading.Event) -> None:
             while not stop_event.wait(self.interval):
                 self.sweep_once()

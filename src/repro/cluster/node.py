@@ -30,6 +30,7 @@ from repro.cluster.replog import (
     ReplicatedOp,
     ReplicatingRepository,
     ReplicationLog,
+    StaleEpochError,
     apply_op,
 )
 from repro.core.repository import CredentialRepository
@@ -80,17 +81,67 @@ class ClusterNode:
         #: origin node name -> last op sequence applied locally.
         self.applied: dict[str, int] = {}
         self._apply_lock = threading.Lock()
+        #: shard root -> highest primary epoch this node has witnessed.
+        #: Fresh ships below a witnessed epoch are fenced (split-brain
+        #: defense); announcements and newer ships ratchet it up.
+        self.shard_epochs: dict[str, int] = {}
+        #: shard root -> the node entitled to ship at the witnessed epoch.
+        #: An epoch names exactly one primary; a fresh ship at the right
+        #: epoch from the wrong node is as fenced as a stale one.
+        self.shard_owners: dict[str, str] = {}
+        #: username -> shard root, installed by the cluster once the hash
+        #: ring is known.  Without it (standalone node) fencing is inert.
+        self.shard_of = None
+        #: Primary lease: wall-clock instant (cluster clock) until which
+        #: this node may acknowledge writes for its shards.  0 means no
+        #: lease; the cluster's write gate renews or refuses on demand.
+        self.lease_expires = 0.0
+
+    # ------------------------------------------------------------------
+    # epochs (split-brain fencing)
+    # ------------------------------------------------------------------
+
+    def learn_epochs(
+        self, epochs: dict[str, int], owners: dict[str, str] | None = None
+    ) -> None:
+        """Adopt the coordinator's epoch announcements (ratchet, never drop)."""
+        with self._apply_lock:
+            for shard, epoch in epochs.items():
+                witnessed = self.shard_epochs.get(shard, 0)
+                if int(epoch) > witnessed:
+                    self.shard_epochs[shard] = int(epoch)
+                    if owners and shard in owners:
+                        self.shard_owners[shard] = owners[shard]
+                    else:
+                        self.shard_owners.pop(shard, None)
+                elif int(epoch) == witnessed and owners and shard in owners:
+                    self.shard_owners.setdefault(shard, owners[shard])
+
+    def epoch_for(self, username: str) -> int:
+        """The primary epoch this node holds for ``username``'s shard."""
+        if self.shard_of is None:
+            return 0
+        return self.shard_epochs.get(self.shard_of(username), 0)
 
     # ------------------------------------------------------------------
     # replica side
     # ------------------------------------------------------------------
 
-    def receive(self, ops: list[ReplicatedOp]) -> int:
+    def receive(self, ops: list[ReplicatedOp], *, fresh: bool = False) -> int:
         """Apply shipped ops to the local backend; returns acks applied.
 
         Ops land on :attr:`backend` directly (not the replicating wrapper)
         so replication never cascades.  Already-seen sequence numbers are
         skipped, which makes re-shipping during resync idempotent.
+
+        ``fresh`` marks a primary shipping a write it wants *acknowledged
+        right now* (as opposed to a resync replaying history).  Fresh ops
+        are epoch-fenced: if the op's stamped epoch is older than the
+        highest this node has witnessed for the shard, the op is refused
+        with :class:`StaleEpochError` and never applied — a deposed
+        primary that is still alive behind a partition cannot collect
+        acks.  Resync replays are exempt (old records legitimately carry
+        old epochs); they are idempotent by sequence number instead.
 
         A partial or garbled op (failed HMAC, undecodable document) does
         **not** poison the apply loop: it is skipped with a counter, the
@@ -110,6 +161,28 @@ class ClusterNode:
                         continue
                     if op.seq <= self.applied.get(op.origin, 0):
                         continue
+                    if fresh and self.shard_of is not None:
+                        shard = self.shard_of(op.username)
+                        witnessed = self.shard_epochs.get(shard, 0)
+                        owner = self.shard_owners.get(shard)
+                        if op.epoch < witnessed or (
+                            op.epoch == witnessed
+                            and owner is not None
+                            and op.origin != owner
+                        ):
+                            self.server.stats.inc("fenced_ships")
+                            logger.warning(
+                                "node %s: fenced ship %s#%d for shard %s "
+                                "(op epoch %d, witnessed %d owned by %s)",
+                                self.name, op.origin, op.seq, shard,
+                                op.epoch, witnessed, owner,
+                            )
+                            raise StaleEpochError(shard, op.epoch, witnessed)
+                        if op.epoch > witnessed:
+                            # A promotion this node had not heard about:
+                            # the ship itself is the announcement.
+                            self.shard_epochs[shard] = op.epoch
+                            self.shard_owners[shard] = op.origin
                     self.injector.fire(SITE_APPLY_PRE)
                     try:
                         apply_op(self.backend, op, self.secret)
@@ -188,6 +261,9 @@ class ClusterNode:
             if hasattr(backend, "publish_metrics"):
                 backend.publish_metrics(self.server.metrics)
         self.alive = True
+        # A lease never survives a restart: the node rejoins as a replica
+        # and only earns write authority back through the cluster's gate.
+        self.lease_expires = 0.0
         logger.info("node %s restarted", self.name)
 
     # ------------------------------------------------------------------

@@ -55,6 +55,24 @@ SITE_APPLY_APPLIED = faults.kill_point(
     "replog.apply.applied", "replica applied an op, watermark not yet advanced")
 
 
+class StaleEpochError(RepositoryError):
+    """A fresh ship carried an epoch below the replica's witnessed fence.
+
+    Raised replica-side and surfaced to the shipping origin: the write is
+    refused (so the deposed primary cannot acknowledge it) and the carried
+    ``fence`` tells the origin the epoch the cluster has moved on to.
+    """
+
+    def __init__(self, shard: str, shipped: int, fence: int) -> None:
+        super().__init__(
+            f"fenced: shard {shard!r} ship at epoch {shipped} refused "
+            f"(witnessed epoch {fence})"
+        )
+        self.shard = shard
+        self.shipped = shipped
+        self.fence = fence
+
+
 @dataclass(frozen=True)
 class ReplicatedOp:
     """One logged repository mutation, as shipped to replicas."""
@@ -66,6 +84,7 @@ class ReplicatedOp:
     cred_name: str
     document: str | None  # canonical entry JSON for put (ciphertext inside)
     mac: str  # hex HMAC-SHA256 over the signed payload
+    epoch: int = 0  # shard primary epoch the origin held when it logged this
 
     def _signed_payload(self) -> bytes:
         doc = {
@@ -76,6 +95,10 @@ class ReplicatedOp:
             "cred_name": self.cred_name,
             "document": self.document,
         }
+        # Epoch 0 is the pre-epoch wire form: leaving it out keeps the MACs
+        # of records logged before the fencing upgrade verifiable.
+        if self.epoch:
+            doc["epoch"] = self.epoch
         return json.dumps(doc, sort_keys=True).encode("utf-8")
 
     @classmethod
@@ -89,10 +112,13 @@ class ReplicatedOp:
         cred_name: str,
         document: str | None,
         secret: bytes,
+        epoch: int = 0,
     ) -> ReplicatedOp:
-        op = cls(origin, seq, kind, username, cred_name, document, mac="")
+        op = cls(origin, seq, kind, username, cred_name, document, mac="",
+                 epoch=epoch)
         mac = hmac.new(secret, op._signed_payload(), hashlib.sha256).hexdigest()
-        return cls(origin, seq, kind, username, cred_name, document, mac=mac)
+        return cls(origin, seq, kind, username, cred_name, document, mac=mac,
+                   epoch=epoch)
 
     def verify(self, secret: bytes) -> None:
         expected = hmac.new(secret, self._signed_payload(), hashlib.sha256).hexdigest()
@@ -112,6 +138,7 @@ class ReplicatedOp:
             "cred_name": self.cred_name,
             "document": self.document,
             "mac": self.mac,
+            "epoch": self.epoch,
         }
         return json.dumps(doc, sort_keys=True).encode("utf-8")
 
@@ -127,6 +154,9 @@ class ReplicatedOp:
                 cred_name=str(doc["cred_name"]),
                 document=doc["document"],
                 mac=str(doc["mac"]),
+                # Records framed before the epoch upgrade carry none: treat
+                # them as epoch 0, which every replica accepts.
+                epoch=int(doc.get("epoch", 0)),
             )
         except (KeyError, ValueError, TypeError, json.JSONDecodeError) as exc:
             raise RepositoryError(f"corrupt replication op: {exc}") from exc
@@ -208,7 +238,13 @@ class ReplicationLog:
             return len(self._ops)
 
     def append(
-        self, kind: str, username: str, cred_name: str, document: str | None
+        self,
+        kind: str,
+        username: str,
+        cred_name: str,
+        document: str | None,
+        *,
+        epoch: int = 0,
     ) -> ReplicatedOp:
         with self._lock:
             seq = (self._ops[-1].seq if self._ops else 0) + 1
@@ -220,6 +256,7 @@ class ReplicationLog:
                 cred_name=cred_name,
                 document=document,
                 secret=self._secret,
+                epoch=epoch,
             )
             if self._file is not None:
                 start = self._file.size
@@ -283,6 +320,16 @@ class ReplicatingRepository(CredentialRepository):
     the client's acknowledgement only happens after :attr:`shipper` returns
     — so an acknowledged credential exists on the primary **and** on at
     least ``min_sync_acks`` replicas.
+
+    Two optional control-plane hooks guard the partition story:
+
+    - ``write_gate(username)`` runs before anything is logged.  The
+      cluster installs its lease check here, so a primary partitioned
+      from quorum refuses the write (``ServerBusyError`` → the busy
+      protocol) *before* the op can reach the log or local disk;
+    - ``epoch_source(username)`` supplies the primary epoch this node
+      currently holds for the entry's shard, stamped (and MAC'd) into
+      the shipped record so replicas can fence a deposed primary.
     """
 
     def __init__(
@@ -292,30 +339,47 @@ class ReplicatingRepository(CredentialRepository):
         shipper: Shipper | None = None,
         *,
         injector: faults.FaultInjector | None = None,
+        epoch_source: Callable[[str], int] | None = None,
+        write_gate: Callable[[str], None] | None = None,
     ) -> None:
         self.backend = backend
         self.log = log
         self.shipper = shipper
         self._injector = injector if injector is not None else faults.NO_FAULTS
+        self.epoch_source = epoch_source
+        self.write_gate = write_gate
 
     def _ship(self, op: ReplicatedOp) -> None:
         self._injector.fire(SITE_SHIP_PRE)
         if self.shipper is not None:
             self.shipper(op)
 
+    def _gate(self, username: str) -> None:
+        if self.write_gate is not None:
+            self.write_gate(username)
+
+    def _epoch(self, username: str) -> int:
+        if self.epoch_source is not None:
+            return self.epoch_source(username)
+        return 0
+
     # -- mutations (logged + shipped) --------------------------------------
 
     def put(self, entry: RepositoryEntry) -> None:
+        self._gate(entry.username)
         self._injector.fire(SITE_LOG_APPEND_PRE)
-        op = self.log.append(OP_PUT, entry.username, entry.cred_name, entry.to_json())
+        op = self.log.append(OP_PUT, entry.username, entry.cred_name,
+                             entry.to_json(), epoch=self._epoch(entry.username))
         self._injector.fire(SITE_LOG_APPEND_SYNCED)
         self.backend.put(entry)
         self._ship(op)
 
     def delete(self, username: str, cred_name: str) -> bool:
+        self._gate(username)
         existed = self.backend.delete(username, cred_name)
         if existed:
-            op = self.log.append(OP_DELETE, username, cred_name, None)
+            op = self.log.append(OP_DELETE, username, cred_name, None,
+                                 epoch=self._epoch(username))
             self._ship(op)
         return existed
 

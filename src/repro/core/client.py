@@ -134,6 +134,9 @@ _CLIENT_COUNTERS: tuple[tuple[str, str, str], ...] = (
      "the same target."),
     ("exhausted", "myproxy_client_exhausted_total",
      "Operations that failed every endpoint in every round."),
+    ("retry_budget_exhausted", "myproxy_client_retry_budget_exhausted_total",
+     "Operations refused an extra dial because the shared retry budget "
+     "ran dry (see repro.cluster.resilience.RetryBudget)."),
     ("resumed_handshakes", "myproxy_client_resumed_handshakes_total",
      "Connections established by redeeming a session-resumption ticket."),
     ("full_handshakes", "myproxy_client_full_handshakes_total",
@@ -204,6 +207,7 @@ class MyProxyClient:
         rng: random.Random | None = None,
         stats: ClientStats | None = None,
         ticket_store: TicketStore | None = None,
+        guard=None,
     ) -> None:
         self._target = target
         self.credential = credential
@@ -214,6 +218,11 @@ class MyProxyClient:
         self.retry = retry or RetryPolicy()
         self._sleep = sleep
         self._rng = rng
+        # Optional resilience guard (repro.cluster.resilience.OperationGuard
+        # or anything with the same allow_dial/on_success/on_failure/pace
+        # surface).  Kept duck-typed: the core client must not import the
+        # cluster layer.
+        self._guard = guard
         # Retry/failover accounting; pass a shared ClientStats to aggregate
         # across several clients (e.g. one per cluster operation).
         self.stats = stats if stats is not None else ClientStats()
@@ -272,19 +281,32 @@ class MyProxyClient:
         hinted ``RETRY_AFTER`` and redials the *same* target (up to
         ``retry.busy_retries`` times) instead of declaring it dead and
         rotating.  Only a real transport failure marks a target failed.
+
+        When a resilience guard is attached it is consulted before every
+        dial (circuit breakers may skip an endpoint; an exhausted retry
+        budget or an expired deadline aborts the operation) and around
+        every sleep (backoffs are clamped to the deadline).
         """
         targets = (self._target, *self._fallbacks)
         backoffs = self.retry.backoffs(self._rng)
         last: Exception | None = None
         self.stats.inc("operations")
+        guard = self._guard
         rotated = False  # at least one dial already failed this operation
+        attempted = False  # the guard's retry budget never charges dial one
         for round_no in range(self.retry.rounds):
             if round_no:
                 self.stats.inc("retry_rounds")
-                self._sleep(next(backoffs))
-            for target in targets:
+                delay = next(backoffs)
+                self._sleep(guard.pace(delay) if guard is not None else delay)
+            for index, target in enumerate(targets):
                 busy_left = self.retry.busy_retries
                 while True:
+                    if guard is not None and not guard.allow_dial(
+                        index, first=not attempted
+                    ):
+                        break  # breaker open for this endpoint: skip it
+                    attempted = True
                     self.stats.inc("dial_attempts")
                     try:
                         channel = self._connect(target)
@@ -292,19 +314,28 @@ class MyProxyClient:
                             result = conversation(channel)
                     except ServerBusyError as exc:
                         last = exc
+                        if guard is not None:
+                            # A busy reply proves the node is alive; it
+                            # must not trip the breaker.
+                            guard.on_success(index)
                         if busy_left <= 0:
                             break  # this target stays "alive", move along
                         busy_left -= 1
                         self.stats.inc("busy_backoffs")
+                        delay = min(exc.retry_after, self.retry.max_retry_after)
                         self._sleep(
-                            min(exc.retry_after, self.retry.max_retry_after)
+                            guard.pace(delay) if guard is not None else delay
                         )
                         continue  # same target: busy is not failure
                     except (TransportError, HandshakeError) as exc:
                         last = exc
                         self.stats.inc("transport_failures")
+                        if guard is not None:
+                            guard.on_failure(index)
                         rotated = True
                         break
+                    if guard is not None:
+                        guard.on_success(index)
                     if rotated:
                         self.stats.inc("failovers")
                     return result

@@ -78,6 +78,18 @@ the same file::
     cluster_heartbeat_seconds 1
     cluster_failover_timeout_seconds 5
     cluster_state_dir "/var/lib/myproxy/cluster"
+    cluster_quorum 3                  # votes to renew a lease / confirm a death
+    cluster_lease_seconds 5           # primary lease length (0 = leases off)
+    cluster_probe_timeout_seconds 2   # hung heartbeat probe = missed beat
+
+Portals that build a cluster client from the same file can bound how hard
+that client retries into a degraded cluster::
+
+    client_breaker_failures 8             # consecutive failures to open a breaker
+    client_breaker_cooldown_seconds 3     # open time before a half-open probe
+    client_retry_budget_tokens 64         # extra-dial bucket size
+    client_retry_budget_refill_per_s 8    # bucket refill rate
+    client_deadline_seconds 30            # end-to-end op deadline (0 = none)
 
 Unknown directives are an error (silently ignored security configuration
 is how deployments end up open).
@@ -143,6 +155,23 @@ _CLUSTER_NUMBER_KEYS = (
     "cluster_min_sync_acks",
     "cluster_heartbeat_seconds",
     "cluster_failover_timeout_seconds",
+    "cluster_quorum",
+    "cluster_probe_timeout_seconds",
+)
+#: Cluster knobs where zero is meaningful (primary leases off).
+_CLUSTER_ZERO_OK_KEYS = ("cluster_lease_seconds",)
+#: Client-side resilience knobs, read by portals that build a
+#: :class:`~repro.cluster.failover.FailoverMyProxyClient` from the same
+#: config file the servers use.
+_CLIENT_NUMBER_KEYS = (
+    "client_retry_budget_tokens",
+    "client_breaker_failures",
+    "client_breaker_cooldown_seconds",
+)
+#: Client knobs where zero is meaningful (no refill / no deadline).
+_CLIENT_ZERO_OK_KEYS = (
+    "client_retry_budget_refill_per_s",
+    "client_deadline_seconds",
 )
 
 
@@ -167,6 +196,13 @@ class ClusterConfig:
     heartbeat_interval: float = 1.0
     failover_timeout: float = 5.0
     state_dir: str | None = None
+    #: Votes needed to renew a lease or confirm a peer unreachable;
+    #: ``None`` derives a strict majority of nodes + coordinator witness.
+    quorum: int | None = None
+    #: Primary lease length; ``None`` tracks failover_timeout, 0 disables.
+    lease_seconds: float | None = None
+    #: Hard deadline on each heartbeat probe (hung peer = missed beat).
+    probe_timeout: float = 2.0
 
     def peer_names(self) -> tuple[str, ...]:
         return tuple(p.name for p in self.peers)
@@ -176,6 +212,22 @@ class ClusterConfig:
             if peer.name == name:
                 return peer
         raise ConfigError(f"no cluster peer named {name!r}")
+
+
+@dataclass(frozen=True)
+class ClientResilienceConfig:
+    """Client-side brakes for dialing a degraded cluster.
+
+    Defaults mirror :mod:`repro.cluster.failover`: generous enough that a
+    healthy deployment never notices them.  ``deadline_seconds=None``
+    leaves operations unbounded (the retry schedule alone limits them).
+    """
+
+    breaker_failures: int = 8
+    breaker_cooldown: float = 3.0
+    retry_budget_tokens: float = 64.0
+    retry_budget_refill_per_s: float = 8.0
+    deadline_seconds: float | None = None
 
 
 @dataclass(frozen=True)
@@ -210,6 +262,9 @@ class ServerConfig:
     #: Peer realms (``realm_peer`` directives): trust roots to load plus
     #: optional CDP endpoints, consumed when federation is enabled.
     realm_peers: tuple = ()
+    #: Client-side resilience knobs (``client_*`` directives) for portals
+    #: building a failover client from this file.
+    client_resilience: ClientResilienceConfig = ClientResilienceConfig()
 
 
 def _split_directive(line: str) -> tuple[str, str]:
@@ -244,6 +299,16 @@ def _parse_cluster(
         raise ConfigError("cluster_secret must be hexadecimal") from exc
     if len(secret) < 16:
         raise ConfigError("cluster_secret must be at least 16 bytes of entropy")
+    quorum = None
+    if "cluster_quorum" in numbers:
+        quorum = int(numbers["cluster_quorum"])
+        # Electorate = every node plus the coordinator's own witness vote.
+        electorate = len(peers) + 1
+        if not 1 <= quorum <= electorate:
+            raise ConfigError(
+                f"cluster_quorum must lie in 1..{electorate} "
+                f"({len(peers)} nodes + the coordinator witness)"
+            )
     return ClusterConfig(
         node_name=node_name,
         peers=tuple(peers),
@@ -253,6 +318,13 @@ def _parse_cluster(
         heartbeat_interval=float(numbers.get("cluster_heartbeat_seconds", 1.0)),
         failover_timeout=float(numbers.get("cluster_failover_timeout_seconds", 5.0)),
         state_dir=strings.get("cluster_state_dir"),
+        quorum=quorum,
+        lease_seconds=(
+            float(numbers["cluster_lease_seconds"])
+            if "cluster_lease_seconds" in numbers
+            else None
+        ),
+        probe_timeout=float(numbers.get("cluster_probe_timeout_seconds", 2.0)),
     )
 
 
@@ -323,6 +395,7 @@ def parse_config(text: str) -> ServerConfig:
     realm_peer_lines: list[tuple[int, str]] = []
     storage_strings: dict[str, str] = {}
     storage_numbers: dict[str, float] = {}
+    client_numbers: dict[str, float] = {}
 
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
@@ -392,12 +465,25 @@ def parse_config(text: str) -> ServerConfig:
             if not value:
                 raise ConfigError(f"line {lineno}: {key} needs a value")
             cluster_strings[key] = value
-        elif key in _CLUSTER_NUMBER_KEYS:
+        elif key in _CLUSTER_NUMBER_KEYS or key in _CLUSTER_ZERO_OK_KEYS:
             try:
                 cluster_numbers[key] = float(value)
             except ValueError as exc:
                 raise ConfigError(f"line {lineno}: {key} needs a number") from exc
-            if cluster_numbers[key] <= 0:
+            if key in _CLUSTER_ZERO_OK_KEYS:
+                if cluster_numbers[key] < 0:
+                    raise ConfigError(f"line {lineno}: {key} must be non-negative")
+            elif cluster_numbers[key] <= 0:
+                raise ConfigError(f"line {lineno}: {key} must be positive")
+        elif key in _CLIENT_NUMBER_KEYS or key in _CLIENT_ZERO_OK_KEYS:
+            try:
+                client_numbers[key] = float(value)
+            except ValueError as exc:
+                raise ConfigError(f"line {lineno}: {key} needs a number") from exc
+            if key in _CLIENT_ZERO_OK_KEYS:
+                if client_numbers[key] < 0:
+                    raise ConfigError(f"line {lineno}: {key} must be non-negative")
+            elif client_numbers[key] <= 0:
                 raise ConfigError(f"line {lineno}: {key} must be positive")
         elif key in _OBS_NUMBER_KEYS:
             try:
@@ -515,12 +601,37 @@ def parse_config(text: str) -> ServerConfig:
             )
         ),
     )
+    res_defaults = ClientResilienceConfig()
+    client_resilience = ClientResilienceConfig(
+        breaker_failures=int(
+            client_numbers.get("client_breaker_failures", res_defaults.breaker_failures)
+        ),
+        breaker_cooldown=float(
+            client_numbers.get(
+                "client_breaker_cooldown_seconds", res_defaults.breaker_cooldown
+            )
+        ),
+        retry_budget_tokens=float(
+            client_numbers.get(
+                "client_retry_budget_tokens", res_defaults.retry_budget_tokens
+            )
+        ),
+        retry_budget_refill_per_s=float(
+            client_numbers.get(
+                "client_retry_budget_refill_per_s",
+                res_defaults.retry_budget_refill_per_s,
+            )
+        ),
+        # 0 means "no deadline" so the directive can be toggled in place.
+        deadline_seconds=client_numbers.get("client_deadline_seconds") or None,
+    )
     return ServerConfig(
         policy=policy,
         cluster=_parse_cluster(cluster_strings, cluster_numbers, peers),
         storage=storage,
         metrics_port=obs_numbers.get("metrics_port"),
         realm_peers=tuple(realm_peers),
+        client_resilience=client_resilience,
     )
 
 
@@ -542,6 +653,9 @@ def known_directives() -> set[str]:
         | set(_STORAGE_NUMBER_KEYS)
         | set(_CLUSTER_STRING_KEYS)
         | set(_CLUSTER_NUMBER_KEYS)
+        | set(_CLUSTER_ZERO_OK_KEYS)
+        | set(_CLIENT_NUMBER_KEYS)
+        | set(_CLIENT_ZERO_OK_KEYS)
         | {"qos_class", "cluster_peer", "realm_peer"}
     )
 

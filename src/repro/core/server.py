@@ -79,6 +79,7 @@ from repro.util.errors import (
     ProtocolError,
     RepositoryError,
     ReproError,
+    ServerBusyError,
     TransportError,
 )
 from repro.util.logging import get_logger
@@ -167,6 +168,10 @@ _STATS_COUNTERS: tuple[tuple[str, str, str], ...] = (
     ("scrub_repaired", "myproxy_scrub_repaired_total",
      "Quarantined entries restored from a cluster peer by scrub."),
     ("failovers", "myproxy_failovers_total", "Promotions this node won."),
+    ("fenced_ships", "myproxy_fenced_ships_total",
+     "Fresh replication ships refused for carrying a stale primary epoch."),
+    ("lease_denied_writes", "myproxy_lease_denied_writes_total",
+     "Writes refused (busy protocol) while the primary lease was lapsed."),
     ("cdp_delegations", "myproxy_cdp_delegations_total",
      "Delegations deposited via the IVOA CDP endpoints."),
     ("federation_redemptions", "myproxy_federation_redemptions_total",
@@ -176,6 +181,8 @@ _STATS_COUNTERS: tuple[tuple[str, str, str], ...] = (
 #: status sweep.
 _STATS_GAUGES: tuple[tuple[str, str, str], ...] = (
     ("replica_lag", "myproxy_replica_lag", "Worst-case ops behind any peer."),
+    ("lease_state", "myproxy_lease_state",
+     "Primary lease: 1 = held, 0 = lapsed or not a primary."),
 )
 _STATS_FIELDS = frozenset(
     [name for name, _, _ in _STATS_COUNTERS] + [name for name, _, _ in _STATS_GAUGES]
@@ -886,6 +893,21 @@ class MyProxyServer:
                 str(exc),
             )
             channel.send(Response.failure(str(exc)).encode())
+        except ServerBusyError as exc:
+            # The cluster's lease gate refused the write: the node is
+            # alive but (temporarily) not allowed to acknowledge — speak
+            # the busy protocol so clients back off and retry here rather
+            # than failing over to a node that cannot be fresher.
+            self.stats.inc("lease_denied_writes")
+            self._audit_event(
+                peer_name,
+                request.command.name,
+                request.username,
+                request.cred_name,
+                False,
+                f"write refused, primary lease lapsed: {exc}",
+            )
+            channel.send(Response.busy_reply(exc.retry_after).encode())
         except RepositoryError as exc:
             # Storage trouble (I/O error, quarantined entry, failed
             # replication quorum): audit the real cause but keep the wire
@@ -1149,6 +1171,11 @@ class MyProxyServer:
                 key_pem_renewal=key_pem_renewal,
             )
             self.repository.put(entry)
+        except (ServerBusyError, RepositoryError):
+            # Let the dispatcher answer: the busy protocol for a lapsed
+            # lease, the generic storage reply for repository trouble —
+            # the storage layer's message must not reach the wire verbatim.
+            raise
         except ReproError as exc:
             self._audit_event(
                 str(peer.identity), "PUT", request.username, request.cred_name, False, str(exc)
@@ -1467,6 +1494,10 @@ class MyProxyServer:
                 long_term=True,
             )
             self.repository.put(entry)
+        except (ServerBusyError, RepositoryError):
+            # Same contract as PUT: busy protocol / generic storage reply
+            # come from the dispatcher, not this handler.
+            raise
         except ReproError as exc:
             self._audit_event(
                 str(peer.identity), "STORE", request.username, request.cred_name, False, str(exc)

@@ -17,6 +17,16 @@ from repro.faults.injector import (
     kill_points,
     reset_active,
 )
+from repro.faults.netchaos import (
+    NET_DELAY,
+    NET_DUPLICATE,
+    NET_HALF_OPEN,
+    NET_PARTITION,
+    NET_TRICKLE,
+    ChaosLink,
+    NetChaos,
+    NetRule,
+)
 from repro.faults.plan import (
     CONN_RESET,
     DELAY,
@@ -42,15 +52,23 @@ __all__ = [
     "FAULT_KINDS",
     "KILL",
     "LOST_FSYNC",
+    "NET_DELAY",
+    "NET_DUPLICATE",
+    "NET_HALF_OPEN",
+    "NET_PARTITION",
+    "NET_TRICKLE",
     "NO_FAULTS",
     "PARTITION",
     "SHORT_WRITE",
     "TORN_WRITE",
+    "ChaosLink",
     "FaultInjector",
     "FaultPlan",
     "FaultRule",
     "InjectedFault",
     "KillPoint",
+    "NetChaos",
+    "NetRule",
     "ShimFile",
     "active",
     "kill_point",

@@ -1,0 +1,303 @@
+"""Network chaos: seeded, directed link faults between named endpoints.
+
+The storage injector (:mod:`repro.faults.injector`) models what a *disk*
+can do to this system; this module models what a *network* can do.  A
+:class:`NetChaos` holds an ordered list of :class:`NetRule` entries, each
+describing one misbehaving **directed** edge ``src -> dst``:
+
+- ``partition`` — the edge is cut: sends fail immediately (the peer is
+  unreachable, connections are refused);
+- ``half_open`` — the worst case: the edge silently eats traffic.  A
+  frame send "succeeds" locally but never arrives; a caller only learns
+  through its own timeout.  This is what a mid-conversation firewall
+  state loss or a dead NAT entry looks like;
+- ``delay`` — every transmission stalls for ``delay`` seconds first;
+- ``trickle`` — slow-loris: the transmission stalls per frame for
+  ``delay`` seconds, modeling a link delivering bytes at a crawl;
+- ``duplicate`` — the edge delivers every message twice (retransmit
+  storms; receivers must be idempotent).
+
+Edges are directed on purpose: an *asymmetric* partition (A can reach B,
+B cannot reach A) is the failure mode that breaks naive failure
+detectors, and symmetric cuts are just two rules (:meth:`NetChaos.cut`
+adds both).  Rules can carry an activation window (``start``/``until``
+against the chaos clock) so a plan can schedule a partition and its heal
+up front — the whole scenario replays deterministically from its seed.
+
+Two consumers:
+
+- the cluster control plane (:mod:`repro.cluster.cluster`) threads every
+  probe, lease renewal, replication ship and suspicion vote through
+  :meth:`transmit`/:meth:`reachable`, so partition tests exercise the
+  real promotion/fencing logic;
+- :class:`ChaosLink` wraps a :class:`~repro.transport.links.Link` so
+  byte-level transports (pipe or TCP) misbehave the same way.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from random import Random
+
+from repro.transport.links import Link
+from repro.util.clock import SYSTEM_CLOCK, Clock
+from repro.util.errors import TransportError
+
+__all__ = [
+    "NET_DELAY",
+    "NET_DUPLICATE",
+    "NET_HALF_OPEN",
+    "NET_PARTITION",
+    "NET_TRICKLE",
+    "ChaosLink",
+    "NetChaos",
+    "NetRule",
+]
+
+NET_PARTITION = "partition"
+NET_HALF_OPEN = "half_open"
+NET_DELAY = "delay"
+NET_TRICKLE = "trickle"
+NET_DUPLICATE = "duplicate"
+
+NET_KINDS = frozenset(
+    {NET_PARTITION, NET_HALF_OPEN, NET_DELAY, NET_TRICKLE, NET_DUPLICATE}
+)
+
+#: Kinds that make an edge unreachable for control-plane purposes.
+_BLOCKING = frozenset({NET_PARTITION, NET_HALF_OPEN})
+
+
+@dataclass
+class NetRule:
+    """One misbehaving directed edge, optionally time-windowed.
+
+    ``src``/``dst`` are fnmatch globs over endpoint names (``"*"``
+    matches everything, so ``NetRule(NET_PARTITION, "node0", "*")``
+    isolates node0's outbound side).  ``start``/``until`` bound the rule
+    against the chaos clock: the rule is active while
+    ``start <= now < until`` (``until=None`` means until healed).
+    """
+
+    kind: str
+    src: str
+    dst: str
+    start: float = 0.0
+    until: float | None = None
+    delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in NET_KINDS:
+            raise ValueError(f"unknown network fault kind {self.kind!r}")
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+
+    def matches(self, src: str, dst: str, now: float) -> bool:
+        if now < self.start:
+            return False
+        if self.until is not None and now >= self.until:
+            return False
+        return fnmatchcase(src, self.src) and fnmatchcase(dst, self.dst)
+
+
+class NetChaos:
+    """A seeded, mutable network fault plan over named endpoints."""
+
+    def __init__(
+        self,
+        rules: list[NetRule] | None = None,
+        *,
+        seed: int = 0,
+        clock: Clock = SYSTEM_CLOCK,
+        sleep=time.sleep,
+    ) -> None:
+        self._rules: list[NetRule] = list(rules or [])
+        self.seed = seed
+        self.clock = clock
+        self._sleep = sleep
+        self._rng = Random(seed)
+        self._lock = threading.Lock()
+        #: (src, dst) -> messages swallowed or refused on that edge.
+        self.dropped: dict[tuple[str, str], int] = {}
+
+    # -- plan editing -----------------------------------------------------
+
+    def add(self, rule: NetRule) -> NetRule:
+        with self._lock:
+            self._rules.append(rule)
+        return rule
+
+    def cut(
+        self,
+        a: str,
+        b: str,
+        *,
+        kind: str = NET_PARTITION,
+        symmetric: bool = True,
+        start: float = 0.0,
+        until: float | None = None,
+    ) -> list[NetRule]:
+        """Partition ``a -> b`` (and ``b -> a`` unless asymmetric)."""
+        rules = [NetRule(kind, a, b, start=start, until=until)]
+        if symmetric:
+            rules.append(NetRule(kind, b, a, start=start, until=until))
+        for rule in rules:
+            self.add(rule)
+        return rules
+
+    def isolate(
+        self, name: str, *, kind: str = NET_PARTITION,
+        start: float = 0.0, until: float | None = None,
+    ) -> list[NetRule]:
+        """Cut every edge touching ``name`` (both directions)."""
+        return [
+            self.add(NetRule(kind, name, "*", start=start, until=until)),
+            self.add(NetRule(kind, "*", name, start=start, until=until)),
+        ]
+
+    def heal(self, src: str | None = None, dst: str | None = None) -> int:
+        """Drop rules matching the given endpoint globs (all, by default)."""
+        with self._lock:
+            keep = []
+            healed = 0
+            for rule in self._rules:
+                if (src is None or fnmatchcase(rule.src, src) or rule.src == src) and (
+                    dst is None or fnmatchcase(rule.dst, dst) or rule.dst == dst
+                ):
+                    healed += 1
+                else:
+                    keep.append(rule)
+            self._rules = keep
+            return healed
+
+    # -- queries ----------------------------------------------------------
+
+    def _active(self, src: str, dst: str) -> NetRule | None:
+        now = self.clock.now()
+        with self._lock:
+            for rule in self._rules:
+                if rule.matches(src, dst, now):
+                    return rule
+        return None
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """True when nothing currently blocks one-way traffic src→dst."""
+        rule = self._active(src, dst)
+        return rule is None or rule.kind not in _BLOCKING
+
+    def bidirectional(self, a: str, b: str) -> bool:
+        """Request/response reachability: both directions must pass.
+
+        A probe is a round trip, so an asymmetric cut in either direction
+        makes the peer look dark — which is exactly how real TCP probes
+        behave across one-way filtering.
+        """
+        return self.reachable(a, b) and self.reachable(b, a)
+
+    def _drop(self, src: str, dst: str) -> None:
+        with self._lock:
+            key = (src, dst)
+            self.dropped[key] = self.dropped.get(key, 0) + 1
+
+    def transmit(self, src: str, dst: str) -> int:
+        """Model one message crossing ``src -> dst``.
+
+        Returns the number of copies delivered (normally 1; 2 under a
+        ``duplicate`` rule).  Raises :class:`TransportError` when the
+        edge is cut; a ``half_open`` edge raises only after stalling
+        ``delay`` seconds — the caller's experience of a timeout against
+        a link that silently ate the message.  ``delay``/``trickle``
+        sleep, then deliver.
+        """
+        rule = self._active(src, dst)
+        if rule is None:
+            return 1
+        if rule.kind == NET_PARTITION:
+            self._drop(src, dst)
+            raise TransportError(f"network partition: {src} cannot reach {dst}")
+        if rule.kind == NET_HALF_OPEN:
+            self._drop(src, dst)
+            if rule.delay:
+                self._sleep(rule.delay)
+            raise TransportError(
+                f"half-open link {src}->{dst}: send timed out with no answer"
+            )
+        if rule.kind in (NET_DELAY, NET_TRICKLE):
+            self._sleep(rule.delay)
+            return 1
+        if rule.kind == NET_DUPLICATE:
+            return 2
+        return 1  # pragma: no cover - NET_KINDS is closed
+
+    # -- link wrapping -----------------------------------------------------
+
+    def wrap(self, link: Link, src: str, dst: str) -> "ChaosLink":
+        return ChaosLink(link, src, dst, self)
+
+
+class ChaosLink(Link):
+    """A :class:`~repro.transport.links.Link` filtered through a plan.
+
+    Send-side behaviour per active ``src -> dst`` rule:
+
+    - ``partition``: raise immediately (connection reset / unreachable);
+    - ``half_open``: swallow the frame silently — the local send
+      *succeeds* and the receiver simply never sees it, so only the
+      application's own deadline can save it;
+    - ``delay`` / ``trickle``: sleep ``delay`` (trickle sleeps again per
+      4 KiB of payload, bounding the worst slow-loris stall);
+    - ``duplicate``: deliver the frame twice.
+
+    The receive side is governed by the reverse edge ``dst -> src`` and
+    only its ``delay``-flavored rules: losing *inbound* frames is already
+    modeled by the sender-side rule of the peer.
+    """
+
+    _TRICKLE_CHUNK = 4096
+
+    def __init__(self, inner: Link, src: str, dst: str, net: NetChaos) -> None:
+        self.inner = inner
+        self.src = src
+        self.dst = dst
+        self.net = net
+
+    def send_frame(self, frame: bytes) -> None:
+        rule = self.net._active(self.src, self.dst)
+        if rule is None:
+            self.inner.send_frame(frame)
+            return
+        if rule.kind == NET_PARTITION:
+            self.net._drop(self.src, self.dst)
+            raise TransportError(
+                f"network partition: {self.src} cannot reach {self.dst}"
+            )
+        if rule.kind == NET_HALF_OPEN:
+            self.net._drop(self.src, self.dst)
+            return  # swallowed: the caller believes it was sent
+        if rule.kind == NET_DELAY:
+            self.net._sleep(rule.delay)
+            self.inner.send_frame(frame)
+            return
+        if rule.kind == NET_TRICKLE:
+            stalls = 1 + len(frame) // self._TRICKLE_CHUNK
+            for _ in range(stalls):
+                self.net._sleep(rule.delay)
+            self.inner.send_frame(frame)
+            return
+        if rule.kind == NET_DUPLICATE:
+            self.inner.send_frame(frame)
+            self.inner.send_frame(frame)
+            return
+        self.inner.send_frame(frame)  # pragma: no cover - NET_KINDS is closed
+
+    def recv_frame(self) -> bytes:
+        rule = self.net._active(self.dst, self.src)
+        if rule is not None and rule.kind in (NET_DELAY, NET_TRICKLE):
+            self.net._sleep(rule.delay)
+        return self.inner.recv_frame()
+
+    def close(self) -> None:
+        self.inner.close()

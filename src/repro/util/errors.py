@@ -56,6 +56,24 @@ class ProtocolError(ReproError):
     """A peer sent a message that violates the application protocol."""
 
 
+class DeadlineExceededError(TransportError):
+    """A client operation ran out its end-to-end deadline.
+
+    Raised by the client's resilience guard (:mod:`repro.cluster.resilience`)
+    before a dial or sleep that would start after the deadline — the
+    operation may have partially retried, but no further attempts follow.
+    """
+
+
+class RetryBudgetExhaustedError(TransportError):
+    """The client's shared retry budget is empty; the operation fails fast.
+
+    A drained token bucket means this client has recently burned many
+    extra dials (retries, failovers, busy redials) — almost certainly
+    into a degraded cluster.  Failing promptly sheds the retry storm.
+    """
+
+
 class ServerBusyError(ReproError):
     """The server shed this request under load and named a retry time.
 

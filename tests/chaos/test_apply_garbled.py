@@ -82,8 +82,8 @@ class TestGarbledApply:
         ]
         for replica in replicas:
             original = replica.receive
-            replica.receive = lambda ops, _orig=original: _orig(
-                [_garble(op) if op.kind == "put" else op for op in ops]
+            replica.receive = lambda ops, _orig=original, **kw: _orig(
+                [_garble(op) if op.kind == "put" else op for op in ops], **kw
             )
         # min_sync_acks=1 and no replica can ack -> the put must NOT be
         # acknowledged to the client.

@@ -1,0 +1,207 @@
+"""Unit tests for the network chaos plan and its link wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    NET_DELAY,
+    NET_DUPLICATE,
+    NET_HALF_OPEN,
+    NET_PARTITION,
+    NET_TRICKLE,
+    ChaosLink,
+    NetChaos,
+    NetRule,
+)
+from repro.util.clock import ManualClock
+from repro.util.errors import TransportError
+
+EPOCH = 1_600_000_000.0
+
+
+@pytest.fixture()
+def clock():
+    return ManualClock(EPOCH)
+
+
+@pytest.fixture()
+def sleeps():
+    return []
+
+
+@pytest.fixture()
+def net(clock, sleeps):
+    return NetChaos(seed=1, clock=clock, sleep=sleeps.append)
+
+
+class TestNetRule:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown network fault kind"):
+            NetRule("smoke", "a", "b")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            NetRule(NET_DELAY, "a", "b", delay=-0.1)
+
+    def test_globs_and_windows(self, clock):
+        rule = NetRule(
+            NET_PARTITION, "node*", "*", start=EPOCH + 5, until=EPOCH + 10
+        )
+        assert not rule.matches("node0", "node1", EPOCH)  # before the window
+        assert rule.matches("node0", "node1", EPOCH + 5)
+        assert rule.matches("node9", "@coordinator", EPOCH + 9)
+        assert not rule.matches("node0", "node1", EPOCH + 10)  # past it
+        assert not rule.matches("gateway", "node1", EPOCH + 5)  # glob miss
+
+
+class TestNetChaosPlan:
+    def test_default_plan_is_a_healthy_network(self, net):
+        assert net.reachable("a", "b")
+        assert net.bidirectional("a", "b")
+        assert net.transmit("a", "b") == 1
+        assert net.dropped == {}
+
+    def test_partition_blocks_one_direction_only(self, net):
+        net.cut("a", "b", symmetric=False)
+        assert not net.reachable("a", "b")
+        assert net.reachable("b", "a")
+        assert not net.bidirectional("a", "b")  # probes are round trips
+        with pytest.raises(TransportError, match="cannot reach"):
+            net.transmit("a", "b")
+        assert net.transmit("b", "a") == 1
+        assert net.dropped == {("a", "b"): 1}
+
+    def test_symmetric_cut_and_targeted_heal(self, net):
+        net.cut("a", "b")
+        assert not net.reachable("b", "a")
+        assert net.heal("a", "b") == 1  # only the a->b rule matches
+        assert net.reachable("a", "b")
+        assert not net.reachable("b", "a")
+        assert net.heal() == 1  # bare heal drops the rest
+        assert net.bidirectional("a", "b")
+
+    def test_isolate_cuts_every_edge_of_a_node(self, net):
+        net.isolate("b")
+        assert not net.reachable("a", "b")
+        assert not net.reachable("b", "c")
+        assert net.reachable("a", "c")  # bystanders unaffected
+
+    def test_timed_window_activates_and_expires(self, net, clock):
+        net.cut("a", "b", start=clock.now() + 2, until=clock.now() + 4)
+        assert net.reachable("a", "b")
+        clock.advance(2)
+        assert not net.reachable("a", "b")
+        clock.advance(2)
+        assert net.reachable("a", "b")  # the heal was scheduled up front
+
+    def test_half_open_is_blocking_and_stalls_before_failing(
+        self, net, sleeps
+    ):
+        net.add(NetRule(NET_HALF_OPEN, "a", "b", delay=1.5))
+        assert not net.reachable("a", "b")
+        with pytest.raises(TransportError, match="half-open"):
+            net.transmit("a", "b")
+        assert sleeps == [1.5]  # the caller's timeout, not a fast failure
+        assert net.dropped == {("a", "b"): 1}
+
+    def test_delay_and_trickle_do_not_block(self, net, sleeps):
+        net.add(NetRule(NET_DELAY, "a", "b", delay=0.2))
+        assert net.reachable("a", "b")
+        assert net.transmit("a", "b") == 1
+        assert sleeps == [0.2]
+
+    def test_duplicate_delivers_two_copies(self, net):
+        net.add(NetRule(NET_DUPLICATE, "a", "b"))
+        assert net.transmit("a", "b") == 2
+        assert net.reachable("a", "b")
+
+    def test_first_matching_rule_wins(self, net):
+        net.add(NetRule(NET_DUPLICATE, "a", "b"))
+        net.add(NetRule(NET_PARTITION, "a", "b"))
+        assert net.transmit("a", "b") == 2
+
+
+class _FakeLink:
+    def __init__(self):
+        self.sent = []
+        self.inbox = []
+        self.closed = False
+
+    def send_frame(self, frame):
+        self.sent.append(frame)
+
+    def recv_frame(self):
+        return self.inbox.pop(0)
+
+    def close(self):
+        self.closed = True
+
+
+class TestChaosLink:
+    @pytest.fixture()
+    def inner(self):
+        return _FakeLink()
+
+    @pytest.fixture()
+    def link(self, net, inner):
+        return net.wrap(inner, "client", "server")
+
+    def test_clean_passthrough(self, link, inner):
+        link.send_frame(b"hello")
+        assert inner.sent == [b"hello"]
+        inner.inbox.append(b"world")
+        assert link.recv_frame() == b"world"
+        link.close()
+        assert inner.closed
+
+    def test_partition_raises_and_counts(self, net, link, inner):
+        net.cut("client", "server", symmetric=False)
+        with pytest.raises(TransportError, match="cannot reach"):
+            link.send_frame(b"hello")
+        assert inner.sent == []
+        assert net.dropped == {("client", "server"): 1}
+
+    def test_half_open_swallows_silently(self, net, link, inner):
+        net.add(NetRule(NET_HALF_OPEN, "client", "server"))
+        link.send_frame(b"hello")  # no exception: the send "succeeded"
+        assert inner.sent == []
+        assert net.dropped == {("client", "server"): 1}
+
+    def test_delay_sleeps_once_then_delivers(self, net, link, inner, sleeps):
+        net.add(NetRule(NET_DELAY, "client", "server", delay=0.3))
+        link.send_frame(b"hello")
+        assert sleeps == [0.3]
+        assert inner.sent == [b"hello"]
+
+    def test_trickle_stalls_per_chunk(self, net, link, inner, sleeps):
+        net.add(NetRule(NET_TRICKLE, "client", "server", delay=0.1))
+        frame = b"x" * (4096 * 2 + 1)  # 3 stalls: 1 + payload // 4 KiB
+        link.send_frame(frame)
+        assert sleeps == [0.1, 0.1, 0.1]
+        assert inner.sent == [frame]
+
+    def test_duplicate_sends_the_frame_twice(self, net, link, inner):
+        net.add(NetRule(NET_DUPLICATE, "client", "server"))
+        link.send_frame(b"hello")
+        assert inner.sent == [b"hello", b"hello"]
+
+    def test_recv_honors_reverse_edge_delay_only(
+        self, net, link, inner, sleeps
+    ):
+        # forward-edge faults must not affect the receive path ...
+        net.add(NetRule(NET_DELAY, "client", "server", delay=0.4))
+        inner.inbox.append(b"a")
+        assert link.recv_frame() == b"a"
+        assert sleeps == []
+        # ... the reverse edge's delay does
+        net.add(NetRule(NET_DELAY, "server", "client", delay=0.7))
+        inner.inbox.append(b"b")
+        assert link.recv_frame() == b"b"
+        assert sleeps == [0.7]
+
+    def test_recv_ignores_reverse_partition(self, net, link, inner):
+        # inbound loss is modeled by the peer's own send-side rule
+        net.add(NetRule(NET_PARTITION, "server", "client"))
+        inner.inbox.append(b"a")
+        assert link.recv_frame() == b"a"

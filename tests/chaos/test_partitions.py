@@ -1,0 +1,302 @@
+"""Partition tolerance, proven deterministically.
+
+Every scenario threads the cluster's control plane through a seeded
+:class:`~repro.faults.NetChaos` plan on a manual clock — no wall-clock
+timing, no sampling.  The invariants under test:
+
+- no two nodes ever acknowledge writes for the same shard at the same
+  epoch, whatever the partition shape;
+- a deposed primary's ships are fenced (counted, never applied) the
+  moment they reach a replica that witnessed the newer epoch;
+- a primary that cannot renew its lease serves reads and busy replies
+  only;
+- the cluster converges once the partition heals.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import COORDINATOR
+from repro.core.client import myproxy_init_from_longterm
+from repro.faults import NET_DUPLICATE, NET_HALF_OPEN, NetChaos, NetRule
+from repro.util.errors import NotFoundError, RepositoryError, ServerBusyError
+from tests.cluster.conftest import make_plain_entry
+
+pytestmark = pytest.mark.usefixtures("key_pool")
+
+PASS = "correct horse 42"
+TIMEOUT = 5.0
+
+
+@pytest.fixture()
+def net(clock):
+    return NetChaos(seed=7, clock=clock, sleep=lambda s: None)
+
+
+def partitioned_cluster(cluster_factory, net, **kwargs):
+    kwargs.setdefault("replication_factor", 2)
+    kwargs.setdefault("failover_timeout", TIMEOUT)
+    return cluster_factory(3, network=net, **kwargs)
+
+
+def shard_nodes(cluster, username="alice"):
+    """(primary, replica, outsider) for the user's shard."""
+    primary, replica = cluster.preference(username)
+    (outsider,) = [
+        n for n in cluster.nodes.values() if n not in (primary, replica)
+    ]
+    return primary, replica, outsider
+
+
+def detect(cluster, clock):
+    """The staggered sweep from the failover tests: only the partitioned
+    node's heartbeat goes stale."""
+    clock.advance(TIMEOUT * 0.7)
+    cluster.sweep_heartbeats()
+    clock.advance(TIMEOUT * 0.6)
+    return cluster.check_failover()
+
+
+class TestLeases:
+    def test_isolated_primary_serves_reads_and_busy_replies_only(
+        self, cluster_factory, net, clock
+    ):
+        cluster = partitioned_cluster(cluster_factory, net)
+        primary, replica, _ = shard_nodes(cluster)
+        primary.repository.put(make_plain_entry("alice"))
+
+        net.isolate(primary.name)
+        clock.advance(TIMEOUT + 1)  # initial lease expired, quorum dark
+
+        with pytest.raises(ServerBusyError) as exc_info:
+            primary.repository.put(make_plain_entry("alice", "second"))
+        assert exc_info.value.retry_after > 0
+        assert primary.server.stats.lease_state == 0
+        # reads are never gated: the entry stored before the cut still serves
+        assert primary.backend.get("alice", "default").username == "alice"
+        with pytest.raises(NotFoundError):
+            primary.backend.get("alice", "second")
+
+    def test_majority_side_keeps_writing_after_renewal(
+        self, cluster_factory, net, clock
+    ):
+        cluster = partitioned_cluster(cluster_factory, net)
+        primary, replica, outsider = shard_nodes(cluster)
+        net.isolate(primary.name)
+        clock.advance(TIMEOUT + 1)
+        # the replica's initial lease expired too, but it can renew:
+        # itself + the coordinator + the outsider make quorum (3).
+        bob_primary = cluster.primary_for("bob")
+        if bob_primary is primary:
+            pytest.skip("bob hashed onto the partitioned shard")
+        bob_primary.repository.put(make_plain_entry("bob"))
+        assert bob_primary.server.stats.lease_state == 1
+
+
+class TestQuorumPromotion:
+    def test_fully_isolated_primary_is_promoted_away_from(
+        self, cluster_factory, net, clock
+    ):
+        cluster = partitioned_cluster(cluster_factory, net)
+        primary, replica, outsider = shard_nodes(cluster)
+        net.isolate(primary.name)
+        promotions = detect(cluster, clock)
+        # coordinator + both peers = 3 confirmations >= quorum 3
+        assert dict(promotions).get(primary.name)
+        assert cluster.primary_for("alice") is not primary
+        root = cluster._shard_root("alice")
+        assert cluster.epochs[root] == 1
+
+    def test_no_promotion_without_quorum(self, cluster_factory, net, clock):
+        """Coordinator-only blindness is one vote — not evidence enough."""
+        cluster = partitioned_cluster(cluster_factory, net)
+        primary, _, _ = shard_nodes(cluster)
+        net.cut(COORDINATOR, primary.name, symmetric=True)
+        promotions = detect(cluster, clock)
+        assert promotions == []
+        assert cluster.failovers == 0
+        assert cluster.primary_for("alice") is primary
+        assert cluster.epochs == {}
+
+    def test_asymmetric_cut_defers_promotion(self, cluster_factory, net, clock):
+        """One-way loss toward the coordinator darkens its round-trip
+        probe, but the peers still see the primary: no quorum vote."""
+        cluster = partitioned_cluster(cluster_factory, net)
+        primary, _, _ = shard_nodes(cluster)
+        net.cut(primary.name, COORDINATOR, symmetric=False)
+        promotions = detect(cluster, clock)
+        assert promotions == []
+        assert cluster.failovers == 0
+        assert cluster.primary_for("alice") is primary
+
+
+class TestEpochFencing:
+    def test_deposed_primary_ships_are_fenced_and_never_applied(
+        self, cluster_factory, net, clock
+    ):
+        # Leases off: the point is that even a primary still accepting
+        # writes cannot get them acknowledged once it was deposed.
+        cluster = partitioned_cluster(cluster_factory, net, lease_duration=0)
+        primary, replica, outsider = shard_nodes(cluster)
+        primary.repository.put(make_plain_entry("alice"))
+
+        net.isolate(primary.name)
+        promotions = detect(cluster, clock)
+        assert dict(promotions).get(primary.name)
+
+        # Partial heal: the deposed primary reaches its peers again but
+        # not the coordinator, so nothing has told it about the new epoch.
+        net.heal()
+        net.cut(COORDINATOR, primary.name, symmetric=True)
+        root = cluster._shard_root("alice")
+        assert primary.shard_epochs.get(root, 0) == 0  # still in the past
+
+        with pytest.raises(RepositoryError, match="fenced"):
+            primary.repository.put(make_plain_entry("alice", "stale-write"))
+
+        fenced_counts = [
+            n.server.stats.fenced_ships for n in (replica, outsider)
+        ]
+        assert sum(fenced_counts) >= 1
+        for node in (replica, outsider):
+            with pytest.raises(NotFoundError):
+                node.backend.get("alice", "stale-write")
+        # the fence is also the origin's demotion notice
+        assert primary.shard_epochs[root] == 1
+        assert primary.lease_expires == 0.0
+
+    def test_no_two_acks_for_the_same_shard_and_epoch(
+        self, cluster_factory, net, clock
+    ):
+        """The headline invariant, across every phase of a partition."""
+        cluster = partitioned_cluster(cluster_factory, net)
+        primary, replica, outsider = shard_nodes(cluster)
+        root = cluster._shard_root("alice")
+        acked: list[tuple[str, int]] = []  # (node, epoch) per acked write
+
+        def try_write(node, cred_name):
+            try:
+                node.repository.put(make_plain_entry("alice", cred_name))
+            except (ServerBusyError, RepositoryError):
+                return False
+            acked.append((node.name, node.shard_epochs.get(root, 0)))
+            return True
+
+        assert try_write(primary, "before")  # epoch 0, undisputed
+
+        net.isolate(primary.name)
+        clock.advance(TIMEOUT * 0.7)
+        cluster.sweep_heartbeats()
+        clock.advance(TIMEOUT * 0.6)
+        # Phase 1: old primary first (its lease lapsed -> busy), then the
+        # promotion, then the new primary (renews against quorum).
+        assert not try_write(primary, "during")
+        assert cluster.check_failover()
+        new_primary = cluster.primary_for("alice")
+        assert new_primary is not primary
+        assert try_write(new_primary, "during")
+
+        # Phase 2: partial heal — the deposed primary regains its peers
+        # (so its lease CAN renew) but still carries the old epoch; the
+        # fence at the replicas is the backstop that refuses the ack.
+        net.heal()
+        net.cut(COORDINATOR, primary.name, symmetric=True)
+        assert not try_write(primary, "after-heal")
+
+        by_epoch: dict[int, set[str]] = {}
+        for name, epoch in acked:
+            by_epoch.setdefault(epoch, set()).add(name)
+        for epoch, names in by_epoch.items():
+            assert len(names) == 1, (
+                f"split brain: {sorted(names)} both acked shard {root!r} "
+                f"writes at epoch {epoch}"
+            )
+
+    def test_duplicate_delivery_is_absorbed(self, cluster_factory, net, clock):
+        cluster = partitioned_cluster(cluster_factory, net)
+        primary, replica, _ = shard_nodes(cluster)
+        net.add(NetRule(NET_DUPLICATE, primary.name, replica.name))
+        primary.repository.put(make_plain_entry("alice"))
+        assert replica.server.stats.replication_ops_applied == 1
+        assert replica.backend.get("alice", "default").username == "alice"
+
+    def test_half_open_ack_loss_refuses_the_write(
+        self, cluster_factory, net, clock
+    ):
+        """The replica applies, the ack dies on the return path: the
+        client must still see a refusal (no silent ack downgrade)."""
+        cluster = partitioned_cluster(cluster_factory, net)
+        primary, replica, _ = shard_nodes(cluster)
+        net.add(NetRule(NET_HALF_OPEN, replica.name, primary.name))
+        with pytest.raises(RepositoryError, match="refusing to acknowledge"):
+            primary.repository.put(make_plain_entry("alice"))
+        assert primary.server.stats.replication_failures >= 1
+        # the orphan apply on the replica is healed by idempotent redelivery
+        net.heal()
+        primary.repository.put(make_plain_entry("alice"))
+        assert replica.backend.get("alice", "default").username == "alice"
+
+
+class TestHealing:
+    def test_cluster_converges_after_the_partition_heals(
+        self, cluster_factory, net, clock
+    ):
+        cluster = partitioned_cluster(cluster_factory, net)
+        primary, replica, outsider = shard_nodes(cluster)
+        primary.repository.put(make_plain_entry("alice"))
+        root = cluster._shard_root("alice")
+
+        net.isolate(primary.name)
+        assert detect(cluster, clock)
+        new_primary = cluster.primary_for("alice")
+        new_primary.repository.put(make_plain_entry("alice", "during"))
+
+        net.heal()
+        cluster.sweep_heartbeats()
+        cluster.resync(primary.name)
+        cluster.demote_recovered(primary.name)
+
+        # leadership returned at a fresh epoch, owned by the original
+        assert cluster.primary_for("alice") is primary
+        assert cluster.epochs[root] == 2
+        assert primary.shard_epochs[root] == 2
+        # the write accepted while it was away is on it now
+        assert primary.backend.get("alice", "during").username == "alice"
+        assert cluster.replica_lag(primary.name) == 0
+        # and the rejoined primary accepts writes again (lease renews)
+        primary.repository.put(make_plain_entry("alice", "after"))
+        assert primary.server.stats.lease_state == 1
+
+
+class TestClientFacingPartition:
+    def test_client_write_survives_via_busy_protocol_and_failover(
+        self,
+        cluster_factory,
+        cluster_client_factory,
+        net,
+        clock,
+        alice,
+        key_pool,
+    ):
+        """End to end: the lapsed primary answers RETRY_AFTER, the client
+        honors it, gives up on that node and lands on the promoted one."""
+        cluster = partitioned_cluster(cluster_factory, net)
+        client = cluster_client_factory(cluster, alice, sleep=lambda s: None)
+        myproxy_init_from_longterm(
+            client, alice, username="alice", passphrase=PASS, key_source=key_pool
+        )
+        primary, replica, outsider = shard_nodes(cluster)
+
+        net.isolate(primary.name)
+        assert detect(cluster, clock)
+
+        # the client still dials the old primary first (routing is static);
+        # it gets busy replies, honors them, then fails over and succeeds
+        myproxy_init_from_longterm(
+            client, alice, username="alice", passphrase=PASS, key_source=key_pool
+        )
+        assert client.stats.busy_backoffs >= 1
+        assert primary.server.stats.lease_denied_writes >= 1
+        new_primary = cluster.primary_for("alice")
+        assert new_primary.backend.get("alice", "default") is not None

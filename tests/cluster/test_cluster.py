@@ -61,7 +61,7 @@ class TestReplication:
         cluster = cluster_factory(3, replication_factor=2, min_sync_acks=1)
         primary, replica = cluster.preference("alice")
 
-        def refuse(ops):
+        def refuse(ops, *, fresh=False):
             raise TransportError("replication link severed")
 
         monkeypatch.setattr(replica, "receive", refuse)

@@ -1,0 +1,232 @@
+"""Control-plane plumbing for partition tolerance.
+
+Epoch bookkeeping (bump, announce, persist), quorum configuration,
+failure-detector warmup seeding, and the hard probe deadline — the pieces
+`tests/chaos/test_partitions.py` composes into end-to-end scenarios.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.cluster.cluster import EPOCH_FILE
+from repro.cluster.health import (
+    STATE_SUSPECT,
+    STATE_UP,
+    FailureDetector,
+    HeartbeatMonitor,
+)
+from repro.util.clock import ManualClock
+from repro.util.errors import ConfigError
+from tests.cluster.conftest import make_plain_entry
+from tests.cluster.test_cluster import kill_and_detect
+
+pytestmark = pytest.mark.usefixtures("key_pool")
+
+
+class TestQuorumConfiguration:
+    def test_default_is_a_majority_of_nodes_plus_witness(self, cluster_factory):
+        # electorate = nodes + the coordinator witness
+        assert cluster_factory(3).quorum == 3  # 4 // 2 + 1
+        assert cluster_factory(2).quorum == 2  # 3 // 2 + 1
+        solo = cluster_factory(1, replication_factor=1, min_sync_acks=0)
+        assert solo.quorum == 2
+
+    def test_explicit_override(self, cluster_factory):
+        assert cluster_factory(3, quorum=2).quorum == 2
+
+    @pytest.mark.parametrize("bad", [0, 5, -1])
+    def test_out_of_range_override_rejected(self, cluster_factory, bad):
+        with pytest.raises(ConfigError, match="cluster_quorum must be between"):
+            cluster_factory(3, quorum=bad)
+
+    def test_lease_duration_defaults_to_failover_timeout(self, cluster_factory):
+        cluster = cluster_factory(3, failover_timeout=7.0)
+        assert cluster.lease_duration == 7.0
+        assert cluster_factory(3, lease_duration=0).lease_duration == 0
+
+
+class TestEpochBookkeeping:
+    def test_promotion_bumps_epoch_and_announces_owner(
+        self, cluster_factory, clock
+    ):
+        cluster = cluster_factory(3)
+        victim = cluster.primary_for("alice")
+        performed = kill_and_detect(cluster, clock, victim)
+        assert dict(performed).get(victim.name)
+        root = cluster._shard_root("alice")
+        assert cluster.epochs[root] == 1
+        winner = cluster._promotions[victim.name]
+        assert cluster._owners[root] == winner
+        # every live node heard the announcement; the dead one did not
+        for node in cluster.nodes.values():
+            expected = 0 if node is victim else 1
+            assert node.shard_epochs.get(root, 0) == expected
+        # the promotion shows up on the labeled counter with its trigger
+        promoted = cluster.nodes[winner]
+        family = promoted.server.metrics.counter(
+            "myproxy_promotions_total", labelnames=("reason",)
+        )
+        assert family.labels(reason="quorum").value == 1
+
+    def test_forced_promotion_uses_the_forced_label(self, cluster_factory):
+        cluster = cluster_factory(3)
+        victim = cluster.primary_for("alice")
+        winner = cluster.promote(victim.name)
+        family = cluster.nodes[winner].server.metrics.counter(
+            "myproxy_promotions_total", labelnames=("reason",)
+        )
+        assert family.labels(reason="forced").value == 1
+        assert family.labels(reason="quorum").value == 0
+
+    def test_demotion_after_recovery_bumps_again(self, cluster_factory, clock):
+        cluster = cluster_factory(3)
+        victim = cluster.primary_for("alice")
+        kill_and_detect(cluster, clock, victim)
+        root = cluster._shard_root("alice")
+
+        victim.restart()
+        cluster.resync(victim.name)
+        cluster.demote_recovered(victim.name)
+        assert cluster.epochs[root] == 2
+        assert cluster._owners[root] == victim.name
+        assert victim.shard_epochs[root] == 2
+        # demoting a node that was never promoted away from is a no-op
+        cluster.demote_recovered(victim.name)
+        assert cluster.epochs[root] == 2
+
+    def test_epochs_persist_across_coordinator_restart(
+        self, cluster_factory, clock, tmp_path
+    ):
+        cluster = cluster_factory(3, state_dir=tmp_path)
+        victim = cluster.primary_for("alice")
+        kill_and_detect(cluster, clock, victim)
+        root = cluster._shard_root("alice")
+        assert (tmp_path / EPOCH_FILE).exists()
+
+        reborn = cluster_factory(3, state_dir=tmp_path)
+        assert reborn.epochs[root] == 1
+        assert reborn._owners[root] == cluster._owners[root]
+        assert reborn.failovers == 1
+        assert reborn._promotions == cluster._promotions
+        # the surviving routing chain holds: the shard is not served by
+        # the node the old coordinator condemned
+        assert reborn.primary_for("alice").name != victim.name
+
+    def test_corrupt_epoch_state_refuses_to_boot(
+        self, cluster_factory, tmp_path
+    ):
+        (tmp_path / EPOCH_FILE).write_text("{not json", "utf-8")
+        with pytest.raises(ConfigError, match="corrupt epoch state"):
+            cluster_factory(3, state_dir=tmp_path)
+
+    def test_epoch_and_lease_in_status(self, cluster_factory, clock):
+        cluster = cluster_factory(3)
+        victim = cluster.primary_for("alice")
+        kill_and_detect(cluster, clock, victim)
+        # renewal is lazy (write-gated), so write once through the winner
+        cluster.primary_for("alice").repository.put(make_plain_entry("alice"))
+        doc = cluster.status()
+        root = cluster._shard_root("alice")
+        assert doc["quorum"] == 3
+        assert doc["epochs"][root] == 1
+        assert doc["epoch_owners"][root] == cluster._promotions[victim.name]
+        survivor = doc["nodes"][cluster._promotions[victim.name]]
+        assert survivor["lease"]["held"] is True
+        assert survivor["lease"]["expires_in"] > 0
+        assert doc["nodes"][victim.name]["lease"]["held"] is False
+        assert json.dumps(doc)  # the CLI serializes this verbatim
+
+
+class TestDetectorSeeding:
+    """Regression: a freshly booted monitor must not condemn everyone."""
+
+    def test_unseen_node_reads_suspect(self):
+        detector = FailureDetector(timeout=5.0, clock=ManualClock(100.0))
+        assert detector.state("node0") == STATE_SUSPECT
+
+    def test_seed_grants_one_full_timeout_of_grace(self):
+        clock = ManualClock(100.0)
+        detector = FailureDetector(timeout=5.0, clock=clock)
+        detector.seed(["node0"])
+        assert detector.state("node0") == STATE_UP
+        clock.advance(6.0)  # grace over: true silence is still suspicion
+        assert detector.state("node0") == STATE_SUSPECT
+
+    def test_seed_never_extends_a_real_heartbeat(self):
+        clock = ManualClock(100.0)
+        detector = FailureDetector(timeout=5.0, clock=clock)
+        detector.record_heartbeat("node0")
+        clock.advance(4.0)
+        detector.seed(["node0", "node1"])  # node0 keeps its older stamp
+        clock.advance(2.0)
+        assert detector.state("node0") == STATE_SUSPECT
+        assert detector.state("node1") == STATE_UP
+
+    def test_monitor_start_seeds_before_the_first_sweep(self):
+        clock = ManualClock(100.0)
+        detector = FailureDetector(timeout=5.0, clock=clock)
+        monitor = HeartbeatMonitor(
+            detector, ["node0", "node1"], lambda name: True, interval=30.0
+        )
+        try:
+            monitor.start()
+            assert detector.state("node0") == STATE_UP
+            assert detector.state("node1") == STATE_UP
+        finally:
+            monitor.stop()
+
+
+class TestProbeDeadline:
+    def test_hung_probe_counts_as_missed_heartbeat(self):
+        clock = ManualClock(100.0)
+        detector = FailureDetector(timeout=5.0, clock=clock)
+        hang = threading.Event()
+
+        def probe(name):
+            if name == "wedged":
+                hang.wait(5.0)  # far past the probe deadline
+            return True
+
+        monitor = HeartbeatMonitor(
+            detector, ["wedged", "healthy"], probe, probe_timeout=0.05
+        )
+        try:
+            monitor.sweep_once()
+        finally:
+            hang.set()
+        assert monitor.hung_probes == 1
+        # the healthy peer was still probed — one sick node must not
+        # blind the detector to the rest
+        assert detector.state("healthy") == STATE_UP
+        assert detector.state("wedged") == STATE_SUSPECT
+
+    def test_probe_exception_is_a_missed_heartbeat(self):
+        clock = ManualClock(100.0)
+        detector = FailureDetector(timeout=5.0, clock=clock)
+
+        def probe(name):
+            raise OSError("connection refused")
+
+        monitor = HeartbeatMonitor(detector, ["node0"], probe, probe_timeout=1.0)
+        monitor.sweep_once()
+        assert monitor.hung_probes == 0  # it answered (badly), not hung
+        assert detector.state("node0") == STATE_SUSPECT
+
+    def test_nonpositive_probe_timeout_rejected(self):
+        detector = FailureDetector(timeout=5.0)
+        with pytest.raises(ValueError, match="probe_timeout"):
+            HeartbeatMonitor(detector, [], lambda n: True, probe_timeout=0)
+
+    def test_cluster_threads_probe_timeout_into_its_monitor(
+        self, cluster_factory
+    ):
+        cluster = cluster_factory(3, probe_timeout=0.25)
+        cluster.start_monitor(interval=30.0)
+        try:
+            assert cluster._monitor.probe_timeout == 0.25
+        finally:
+            cluster.stop()

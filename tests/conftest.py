@@ -94,6 +94,7 @@ def cluster_factory(ca, validator, key_pool, clock):
         policy=None,
         log_dir=None,
         injectors=None,
+        **cluster_kwargs,
     ):
         backends = (
             backends if backends is not None else [MemoryRepository() for _ in range(n)]
@@ -123,6 +124,7 @@ def cluster_factory(ca, validator, key_pool, clock):
             state_dir=state_dir,
             log_dir=log_dir,
             injectors=injectors,
+            **cluster_kwargs,
         )
         clusters.append(cluster)
         return cluster
@@ -140,7 +142,7 @@ def cluster_client_factory(validator, key_pool, clock):
 
     fast_retry = RetryPolicy(rounds=3, base_delay=0.01, max_delay=0.05)
 
-    def _make(cluster, credential, retry=fast_retry):
+    def _make(cluster, credential, retry=fast_retry, **kwargs):
         return FailoverMyProxyClient(
             {name: node.target for name, node in cluster.nodes.items()},
             cluster.router(),
@@ -149,6 +151,7 @@ def cluster_client_factory(validator, key_pool, clock):
             retry=retry,
             clock=clock,
             key_source=key_pool,
+            **kwargs,
         )
 
     return _make
