@@ -18,11 +18,15 @@ Run directly (it is a script, not a pytest-benchmark module)::
     PYTHONPATH=src:. python benchmarks/bench_failover.py
     PYTHONPATH=src:. python benchmarks/bench_failover.py --smoke --out /tmp/fresh
 
-Expected shape: promotion lands one failover timeout plus one sweep
-interval after the cut; the unavailability window tracks it closely
-(the client's first post-promotion attempt goes through), so both
-numbers scale linearly with ``--failover-timeout`` and neither should
-drift between runs of the same configuration.
+Expected shape: the partitioned primary is alive, so after the detector
+lets its heartbeat go stale (one failover timeout) the coordinator holds
+promotion for a further full lease duration (defaulting to the failover
+timeout) — the suspect could have renewed its lease right before the
+cut.  Promotion therefore lands roughly two failover timeouts plus a
+sweep interval after the cut; the unavailability window tracks it
+closely (the client's first post-promotion attempt goes through), so
+both numbers scale linearly with ``--failover-timeout`` and neither
+should drift between runs of the same configuration.
 """
 
 from __future__ import annotations

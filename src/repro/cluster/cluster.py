@@ -28,8 +28,13 @@ Partition tolerance (the control plane's CP stance):
 - **leases** — a primary may only acknowledge writes while it holds a
   time-bounded lease; renewal needs the same quorum, so the minority
   side of a partition drops to reads + ``RETRY_AFTER`` (bounded
-  unavailability, never divergence).  Promotion waits a full lease
-  duration so the old lease provably lapsed first.
+  unavailability, never divergence).  Promotion away from a suspect
+  that is still *alive* (partitioned, not crashed) is deferred until
+  the suspect has stayed quorum-confirmed unreachable for a full lease
+  duration, so any lease it renewed before losing quorum provably
+  lapsed before a second primary can exist; a crashed node's lease
+  dies with its process (``restart()`` rejoins leaseless), so a
+  confirmed-dead node is promoted away from immediately.
 
 The voting sets of lease renewal and promotion intersect (both are
 majorities of the same electorate), so a partition can sustain at most
@@ -124,6 +129,12 @@ class MyProxyCluster:
             self.detector.record_heartbeat(node.name)
         #: dead node name -> the replica promoted in its place.
         self._promotions: dict[str, str] = {}
+        #: alive suspect -> instant quorum confirmation was first gathered
+        #: (and has held at every sweep since).  Promotion waits until
+        #: ``lease_duration`` elapsed past this instant: the suspect could
+        #: have renewed right up to the moment it lost its quorum, so only
+        #: then has its last possible lease provably lapsed.
+        self._confirmed_since: dict[str, float] = {}
         self._promote_lock = threading.Lock()
         self.failovers = 0
         self._state_dir = Path(state_dir) if state_dir is not None else None
@@ -159,7 +170,7 @@ class MyProxyCluster:
             node.shard_of = self._shard_root
             node.repository.epoch_source = node.epoch_for
             node.repository.write_gate = self._make_write_gate(node)
-            node.learn_epochs(self.epochs)
+            node.learn_epochs(self.epochs, self._owners)
             # Every node starts with a full lease: a fresh cluster is in
             # contact with itself.  The gate renews (or refuses) once the
             # first duration elapses.
@@ -281,7 +292,10 @@ class MyProxyCluster:
                     # lease (self-demotion) and refuse the ack outright —
                     # no quorum of stale-epoch acks may rescue the write.
                     origin.server.stats.inc("replication_failures")
-                    origin.learn_epochs({exc.shard: exc.fence})
+                    origin.learn_epochs(
+                        {exc.shard: exc.fence},
+                        {exc.shard: exc.owner} if exc.owner is not None else None,
+                    )
                     origin.lease_expires = 0.0
                     origin.server.stats.set_gauge("lease_state", 0)
                     logger.warning(
@@ -454,20 +468,54 @@ class MyProxyCluster:
         heartbeat path is not evidence enough to risk a second primary.
         Unconfirmed suspects stay suspects and are re-examined every
         sweep; ``myproxy-cluster promote`` remains the human override.
+
+        A suspect that is still *alive* (partitioned, not crashed) could
+        have renewed its lease right up to the instant it lost its quorum
+        — and lease renewal may succeed via a majority that excludes the
+        coordinator, so the coordinator's own probe history proves
+        nothing about the lease.  Promotion therefore waits until the
+        suspect has stayed quorum-confirmed unreachable, re-validated at
+        every sweep, for a full :attr:`lease_duration`: only then has
+        every lease it could possibly hold lapsed, and no configuration
+        of ``lease_duration`` versus ``failover_timeout`` can open a
+        window with two acking primaries.  A suspect whose process is
+        known dead skips the wait — its lease died with it
+        (:meth:`ClusterNode.restart` rejoins leaseless).
         """
         performed: list[tuple[str, str]] = []
         with self._promote_lock:
-            for name in self.detector.suspects(self.nodes):
+            suspects = set(self.detector.suspects(self.nodes))
+            # A node that came back (or was promoted away from) restarts
+            # the lease wait from scratch on its next suspicion.
+            for tracked in list(self._confirmed_since):
+                if tracked not in suspects or tracked in self._promotions:
+                    del self._confirmed_since[tracked]
+            for name in sorted(suspects):
                 if name in self._promotions:
                     continue  # already failed over
                 confirmations = self._confirm_unreachable(name)
                 if confirmations < self.quorum:
+                    # Confirmation lapsed: unreachability was not
+                    # continuous, so any wait in progress is void.
+                    self._confirmed_since.pop(name, None)
                     logger.warning(
                         "suspect %s: %d/%d unreachability confirmations; "
                         "deferring promotion", name, confirmations, self.quorum,
                     )
                     continue
+                if self.nodes[name].alive and self.lease_duration > 0:
+                    now = self.clock.now()
+                    since = self._confirmed_since.setdefault(name, now)
+                    remaining = self.lease_duration - (now - since)
+                    if remaining > 0:
+                        logger.warning(
+                            "suspect %s: quorum-confirmed but possibly "
+                            "still leased; deferring promotion %.1fs more",
+                            name, remaining,
+                        )
+                        continue
                 promoted = self._promote_locked(name, reason="quorum")
+                self._confirmed_since.pop(name, None)
                 if promoted is not None:
                     performed.append((name, promoted))
         if self._state_dir is not None and performed:

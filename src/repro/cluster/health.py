@@ -114,6 +114,12 @@ class HeartbeatMonitor:
         #: probes that had to be abandoned at the timeout (the probe
         #: thread may still be blocked inside a dead socket).
         self.hung_probes = 0
+        #: endpoint -> the probe thread last launched for it.  An entry
+        #: whose thread is still alive marks a probe abandoned at a prior
+        #: deadline; the endpoint is not re-probed until it returns, so a
+        #: peer whose socket blocks forever pins exactly one thread
+        #: instead of leaking one per sweep.
+        self._inflight: dict[str, threading.Thread] = {}
         self._thread: ServiceThread | None = None
 
     def _bounded_probe(self, name: str) -> bool:
@@ -121,10 +127,20 @@ class HeartbeatMonitor:
 
         The probe callable may block forever (a SYN swallowed by a
         filter, a peer that accepted and went quiet).  It runs on a
-        daemon thread and is simply abandoned at the deadline — the
-        result slot stays False, which is exactly what a silent peer has
-        earned.
+        daemon thread and is abandoned at the deadline — the result slot
+        stays False, which is exactly what a silent peer has earned.
+        While an abandoned probe is still blocked, later sweeps count
+        the endpoint as a missed heartbeat without stacking another
+        thread behind the same dead socket; probing resumes once the
+        stuck thread finally returns (its late result is discarded).
         """
+        prior = self._inflight.get(name)
+        if prior is not None and prior.is_alive():
+            logger.warning(
+                "probe of %s from an earlier sweep is still blocked; "
+                "counting a missed heartbeat without re-probing", name,
+            )
+            return False
         result = [False]
         done = threading.Event()
 
@@ -139,6 +155,7 @@ class HeartbeatMonitor:
         worker = threading.Thread(
             target=_run, daemon=True, name=f"probe-{name}"
         )
+        self._inflight[name] = worker
         worker.start()
         if not done.wait(self.probe_timeout):
             self.hung_probes += 1
@@ -147,6 +164,7 @@ class HeartbeatMonitor:
                 "missed heartbeat", name, self.probe_timeout,
             )
             return False
+        self._inflight.pop(name, None)
         return result[0]
 
     def sweep_once(self) -> None:

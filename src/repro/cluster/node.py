@@ -104,18 +104,27 @@ class ClusterNode:
     def learn_epochs(
         self, epochs: dict[str, int], owners: dict[str, str] | None = None
     ) -> None:
-        """Adopt the coordinator's epoch announcements (ratchet, never drop)."""
+        """Adopt the coordinator's epoch announcements (ratchet, never drop).
+
+        Owner bindings follow the CP stance: an epoch that ratchets up
+        *without* an accompanying owner keeps the existing binding — a
+        possibly-stale owner still fences wrong-origin ships, whereas a
+        cleared binding would wave them through until the next
+        announcement.  When an announcement does carry an owner it is
+        authoritative and overwrites, so a stale binding costs at most
+        one refused write before the coordinator's next sweep corrects
+        it (bounded unavailability, never divergence).
+        """
         with self._apply_lock:
             for shard, epoch in epochs.items():
+                epoch = int(epoch)
                 witnessed = self.shard_epochs.get(shard, 0)
-                if int(epoch) > witnessed:
-                    self.shard_epochs[shard] = int(epoch)
-                    if owners and shard in owners:
-                        self.shard_owners[shard] = owners[shard]
-                    else:
-                        self.shard_owners.pop(shard, None)
-                elif int(epoch) == witnessed and owners and shard in owners:
-                    self.shard_owners.setdefault(shard, owners[shard])
+                if epoch < witnessed:
+                    continue
+                if epoch > witnessed:
+                    self.shard_epochs[shard] = epoch
+                if owners and shard in owners:
+                    self.shard_owners[shard] = owners[shard]
 
     def epoch_for(self, username: str) -> int:
         """The primary epoch this node holds for ``username``'s shard."""
@@ -177,7 +186,9 @@ class ClusterNode:
                                 self.name, op.origin, op.seq, shard,
                                 op.epoch, witnessed, owner,
                             )
-                            raise StaleEpochError(shard, op.epoch, witnessed)
+                            raise StaleEpochError(
+                                shard, op.epoch, witnessed, owner=owner
+                            )
                         if op.epoch > witnessed:
                             # A promotion this node had not heard about:
                             # the ship itself is the announcement.

@@ -60,10 +60,15 @@ class StaleEpochError(RepositoryError):
 
     Raised replica-side and surfaced to the shipping origin: the write is
     refused (so the deposed primary cannot acknowledge it) and the carried
-    ``fence`` tells the origin the epoch the cluster has moved on to.
+    ``fence`` tells the origin the epoch the cluster has moved on to —
+    with ``owner`` naming the node entitled to ship at that epoch, when
+    the fencing replica knows it, so the origin adopts the full binding
+    rather than a bare epoch.
     """
 
-    def __init__(self, shard: str, shipped: int, fence: int) -> None:
+    def __init__(
+        self, shard: str, shipped: int, fence: int, owner: str | None = None
+    ) -> None:
         super().__init__(
             f"fenced: shard {shard!r} ship at epoch {shipped} refused "
             f"(witnessed epoch {fence})"
@@ -71,6 +76,7 @@ class StaleEpochError(RepositoryError):
         self.shard = shard
         self.shipped = shipped
         self.fence = fence
+        self.owner = owner
 
 
 @dataclass(frozen=True)

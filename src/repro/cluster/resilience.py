@@ -175,6 +175,12 @@ class RetryBudget:
             self._level -= cost
             return True
 
+    def refund(self, cost: float = 1.0) -> None:
+        """Return a token charged for a dial that never happened."""
+        with self._lock:
+            self._refill_locked()
+            self._level = min(self.capacity, self._level + cost)
+
 
 class Deadline:
     """An absolute end-to-end bound for one operation."""
@@ -231,29 +237,44 @@ class OperationGuard:
         the next); raises when the whole *operation* must stop — the
         deadline passed or the shared retry budget ran dry.  The first
         dial of an operation never spends budget: a healthy cluster costs
-        nothing, only retries draw down.
+        nothing, only retries draw down.  The breaker is consulted
+        *before* the budget is charged: an endpoint the breaker refuses
+        causes no dial, so it must not drain tokens the remaining
+        endpoints (or other operations) still need.
         """
         if self.deadline is not None and self.deadline.expired():
             raise DeadlineExceededError(
                 "operation deadline expired before the dial"
             )
-        if not first and self.budget is not None and not self.budget.try_spend():
-            if self.stats is not None:
-                self.stats.inc("retry_budget_exhausted")
-            raise RetryBudgetExhaustedError(
-                "client retry budget exhausted; failing fast instead of "
-                "retrying into a degraded cluster"
-            )
         breaker = self._breaker(index)
-        if breaker is None or breaker.allow():
+        break_glass = False
+        if breaker is not None and not breaker.would_allow():
+            # Break-glass: with every endpoint's breaker refusing,
+            # skipping them all would fail the operation without a single
+            # dial — worse than any outcome the breakers prevent.
+            if any(
+                b.would_allow()
+                for b in (self.breakers.get(n) for n in self.names)
+                if b
+            ):
+                return False  # another endpoint can serve; skip, free
+            break_glass = True
+        charged = False
+        if not first and self.budget is not None:
+            if not self.budget.try_spend():
+                if self.stats is not None:
+                    self.stats.inc("retry_budget_exhausted")
+                raise RetryBudgetExhaustedError(
+                    "client retry budget exhausted; failing fast instead of "
+                    "retrying into a degraded cluster"
+                )
+            charged = True
+        if break_glass or breaker is None or breaker.allow():
             return True
-        # Break-glass: with every endpoint's breaker refusing, skipping
-        # them all would fail the operation without a single dial — worse
-        # than any outcome the breakers prevent.  Dial through.
-        if not any(
-            b.would_allow() for b in (self.breakers.get(n) for n in self.names) if b
-        ):
-            return True
+        # Raced: another thread claimed the half-open probe slot between
+        # the peek and the claim.  No dial happens — hand the token back.
+        if charged:
+            self.budget.refund()
         return False
 
     def on_success(self, index: int) -> None:

@@ -159,14 +159,33 @@ class NetChaos:
         ]
 
     def heal(self, src: str | None = None, dst: str | None = None) -> int:
-        """Drop rules matching the given endpoint globs (all, by default)."""
+        """Drop every rule whose edge overlaps the given globs (all, by default).
+
+        A rule endpoint and a query endpoint overlap when either matches
+        the other as a glob (or they are equal as literals) — both
+        directions, because stored rules and heal arguments may each be
+        patterns.  So ``heal("node0")`` after ``isolate("node0")``
+        removes the inbound ``("*", "node0")`` rule as well as the
+        outbound ``("node0", "*")`` one, fully reconnecting the node;
+        the flip side is that a rule with a wildcard endpoint (it covers
+        node0's traffic too) is dropped even where it also covered other
+        nodes.  Heal per-edge with both ``src`` and ``dst`` for surgical
+        removal.
+        """
+
+        def overlaps(pattern: str, query: str | None) -> bool:
+            return (
+                query is None
+                or fnmatchcase(pattern, query)
+                or fnmatchcase(query, pattern)
+                or pattern == query
+            )
+
         with self._lock:
             keep = []
             healed = 0
             for rule in self._rules:
-                if (src is None or fnmatchcase(rule.src, src) or rule.src == src) and (
-                    dst is None or fnmatchcase(rule.dst, dst) or rule.dst == dst
-                ):
+                if overlaps(rule.src, src) and overlaps(rule.dst, dst):
                     healed += 1
                 else:
                     keep.append(rule)

@@ -87,6 +87,23 @@ class TestNetChaosPlan:
         assert not net.reachable("b", "c")
         assert net.reachable("a", "c")  # bystanders unaffected
 
+    def test_heal_reconnects_an_isolated_node(self, net):
+        """Regression: ``heal("b")`` after ``isolate("b")`` must drop the
+        inbound ``("*", "b")`` rule too, not just the outbound one —
+        matching rule globs against the query in both directions."""
+        net.isolate("b")
+        assert not net.bidirectional("a", "b")
+        assert net.heal("b") == 2  # outbound and inbound
+        assert net.bidirectional("a", "b")
+        assert net.bidirectional("b", "c")
+
+    def test_heal_leaves_unrelated_edges_alone(self, net):
+        net.isolate("b")
+        net.cut("a", "c", symmetric=False)
+        assert net.heal("b") == 2  # only the edges touching b
+        assert net.bidirectional("a", "b")
+        assert not net.reachable("a", "c")  # the unrelated cut stands
+
     def test_timed_window_activates_and_expires(self, net, clock):
         net.cut("a", "b", start=clock.now() + 2, until=clock.now() + 4)
         assert net.reachable("a", "b")

@@ -51,11 +51,20 @@ def shard_nodes(cluster, username="alice"):
 
 def detect(cluster, clock):
     """The staggered sweep from the failover tests: only the partitioned
-    node's heartbeat goes stale."""
+    node's heartbeat goes stale.
+
+    A partitioned node is alive, so after the quorum first confirms it
+    unreachable the coordinator waits out a full lease duration before
+    promoting (the suspect could have renewed right before the cut);
+    the second check, one lease later, performs the promotion.
+    """
     clock.advance(TIMEOUT * 0.7)
     cluster.sweep_heartbeats()
     clock.advance(TIMEOUT * 0.6)
-    return cluster.check_failover()
+    performed = cluster.check_failover()  # starts the lease wait
+    clock.advance(cluster.lease_duration)
+    cluster.sweep_heartbeats()
+    return performed + cluster.check_failover()
 
 
 class TestLeases:
@@ -118,6 +127,53 @@ class TestQuorumPromotion:
         assert cluster.failovers == 0
         assert cluster.primary_for("alice") is primary
         assert cluster.epochs == {}
+
+    def test_promotion_waits_out_the_deposed_lease(
+        self, cluster_factory, net, clock
+    ):
+        """An alive-but-partitioned primary may have renewed its lease —
+        possibly via a majority that excludes the coordinator — right up
+        to the instant it lost its quorum, so promotion defers until a
+        full lease duration of continuous confirmation has passed."""
+        cluster = partitioned_cluster(cluster_factory, net)
+        primary, _, _ = shard_nodes(cluster)
+        net.isolate(primary.name)
+        clock.advance(TIMEOUT * 0.7)
+        cluster.sweep_heartbeats()
+        clock.advance(TIMEOUT * 0.6)
+        assert cluster.check_failover() == []  # confirmed, possibly leased
+        assert cluster.primary_for("alice") is primary
+        clock.advance(cluster.lease_duration / 2)
+        cluster.sweep_heartbeats()
+        assert cluster.check_failover() == []  # lease not provably lapsed
+        clock.advance(cluster.lease_duration / 2)
+        cluster.sweep_heartbeats()
+        promotions = cluster.check_failover()  # now it provably has
+        assert dict(promotions).get(primary.name)
+        assert cluster.primary_for("alice") is not primary
+
+    def test_lost_confirmation_restarts_the_lease_wait(
+        self, cluster_factory, net, clock
+    ):
+        """The wait demands *continuous* unreachability: a flapping link
+        that lets the suspect answer mid-wait voids the timer — it could
+        have renewed its lease through the gap."""
+        cluster = partitioned_cluster(cluster_factory, net)
+        primary, _, _ = shard_nodes(cluster)
+        net.isolate(primary.name)
+        clock.advance(TIMEOUT * 0.7)
+        cluster.sweep_heartbeats()
+        clock.advance(TIMEOUT * 0.6)
+        assert cluster.check_failover() == []  # wait starts
+        net.heal()  # the link flaps back mid-wait
+        assert cluster.check_failover() == []  # confirmation lost: wait void
+        net.isolate(primary.name)
+        clock.advance(cluster.lease_duration)
+        cluster.sweep_heartbeats()
+        assert cluster.check_failover() == []  # the old half-wait is gone
+        clock.advance(cluster.lease_duration)
+        cluster.sweep_heartbeats()
+        assert dict(cluster.check_failover()).get(primary.name)
 
     def test_asymmetric_cut_defers_promotion(self, cluster_factory, net, clock):
         """One-way loss toward the coordinator darkens its round-trip
@@ -192,6 +248,11 @@ class TestEpochFencing:
         # Phase 1: old primary first (its lease lapsed -> busy), then the
         # promotion, then the new primary (renews against quorum).
         assert not try_write(primary, "during")
+        # the partitioned primary is alive: promotion waits out a full
+        # lease duration past the first quorum confirmation
+        assert cluster.check_failover() == []
+        clock.advance(cluster.lease_duration)
+        cluster.sweep_heartbeats()
         assert cluster.check_failover()
         new_primary = cluster.primary_for("alice")
         assert new_primary is not primary

@@ -182,6 +182,43 @@ class TestOperationGuard:
         # than whatever the breakers are protecting against — dial through
         assert guard.allow_dial(0, first=True)
 
+    def test_refused_breaker_does_not_drain_the_budget(self, clock):
+        """A dial the breaker refuses never happens, so it must not cost
+        a token — otherwise a few open breakers could exhaust the shared
+        budget without a single extra dial being made."""
+        breakers = {
+            name: CircuitBreaker(failures=1, cooldown=60.0, clock=clock)
+            for name in ("a", "b")
+        }
+        budget = RetryBudget(tokens=2, refill_per_s=0, clock=clock)
+        guard = OperationGuard(["a", "b"], breakers, budget=budget)
+        breakers["a"].record_failure()  # a open, b healthy
+        for _ in range(5):
+            assert not guard.allow_dial(0, first=False)  # skipped, free
+        assert budget.available() == 2.0
+        assert guard.allow_dial(1, first=False)  # a real dial: one token
+        assert budget.available() == 1.0
+
+    def test_lost_probe_slot_race_refunds_the_token(self, clock):
+        """If another thread claims the half-open probe slot between the
+        peek and the claim, no dial happens — the token comes back."""
+
+        class ClaimedElsewhere(CircuitBreaker):
+            def would_allow(self):
+                return True
+
+            def allow(self):
+                return False
+
+        budget = RetryBudget(tokens=1, refill_per_s=0, clock=clock)
+        guard = OperationGuard(
+            ["a"],
+            {"a": ClaimedElsewhere(failures=1, cooldown=60.0, clock=clock)},
+            budget=budget,
+        )
+        assert not guard.allow_dial(0, first=False)
+        assert budget.available() == 1.0
+
     def test_expired_deadline_stops_the_operation(self, clock):
         guard = OperationGuard(["a"], {}, deadline=Deadline(5.0, clock=clock))
         assert guard.allow_dial(0, first=True)

@@ -19,8 +19,9 @@ from repro.cluster.health import (
     FailureDetector,
     HeartbeatMonitor,
 )
+from repro.cluster.replog import OP_PUT, ReplicatedOp, StaleEpochError
 from repro.util.clock import ManualClock
-from repro.util.errors import ConfigError
+from repro.util.errors import ConfigError, RepositoryError
 from tests.cluster.conftest import make_plain_entry
 from tests.cluster.test_cluster import kill_and_detect
 
@@ -112,6 +113,11 @@ class TestEpochBookkeeping:
         assert reborn._owners[root] == cluster._owners[root]
         assert reborn.failovers == 1
         assert reborn._promotions == cluster._promotions
+        # the restored owner bindings reach every node, so the owner
+        # fence is armed from the first fresh ship — not only after the
+        # next promotion's announcement
+        for node in reborn.nodes.values():
+            assert node.shard_owners[root] == reborn._owners[root]
         # the surviving routing chain holds: the shard is not served by
         # the node the old coordinator condemned
         assert reborn.primary_for("alice").name != victim.name
@@ -139,6 +145,71 @@ class TestEpochBookkeeping:
         assert survivor["lease"]["expires_in"] > 0
         assert doc["nodes"][victim.name]["lease"]["held"] is False
         assert json.dumps(doc)  # the CLI serializes this verbatim
+
+
+class TestOwnerBindings:
+    """The owner half of the fence must survive owner-less epoch updates."""
+
+    def test_ratchet_without_owner_keeps_the_binding(self, cluster_factory):
+        cluster = cluster_factory(3)
+        node = next(iter(cluster.nodes.values()))
+        root = cluster._shard_root("alice")
+        node.learn_epochs({root: 1}, {root: "somebody"})
+        node.learn_epochs({root: 2})  # owner-less ratchet must not clear it
+        assert node.shard_epochs[root] == 2
+        assert node.shard_owners[root] == "somebody"
+        # an announcement that does carry the owner is authoritative
+        node.learn_epochs({root: 2}, {root: "winner"})
+        assert node.shard_owners[root] == "winner"
+        # and epochs never regress, with or without owners
+        node.learn_epochs({root: 1}, {root: "somebody"})
+        assert node.shard_epochs[root] == 2
+        assert node.shard_owners[root] == "winner"
+
+    def test_wrong_origin_ship_at_current_epoch_is_fenced_after_restore(
+        self, cluster_factory, clock, tmp_path
+    ):
+        """Regression: a coordinator restart used to rehydrate epochs but
+        not owner bindings, so a wrong-origin ship at the current epoch
+        slipped past the fence until the next announcement."""
+        cluster = cluster_factory(3, state_dir=tmp_path)
+        victim = cluster.primary_for("alice")
+        kill_and_detect(cluster, clock, victim)
+        root = cluster._shard_root("alice")
+
+        reborn = cluster_factory(3, state_dir=tmp_path)
+        winner = reborn._owners[root]
+        replica = next(
+            n for n in reborn.nodes.values() if n.name != winner
+        )
+        imposter = next(
+            name for name in reborn.nodes if name not in (winner, replica.name)
+        )
+        op = ReplicatedOp(
+            origin=imposter, seq=1, kind=OP_PUT, username="alice",
+            cred_name="default", document=None, mac="00", epoch=1,
+        )
+        with pytest.raises(StaleEpochError):
+            replica.receive([op], fresh=True)
+        assert replica.server.stats.fenced_ships == 1
+
+    def test_deposed_origin_adopts_the_owner_from_the_fence(
+        self, cluster_factory, clock
+    ):
+        """A fenced ship teaches the deposed origin the whole binding —
+        epoch *and* owner — so its own fence is armed from then on."""
+        cluster = cluster_factory(3)
+        victim = cluster.primary_for("alice")
+        kill_and_detect(cluster, clock, victim)
+        root = cluster._shard_root("alice")
+        winner = cluster._promotions[victim.name]
+
+        victim.restart()  # back, but it never heard the announcement
+        assert victim.shard_epochs.get(root, 0) == 0
+        with pytest.raises(RepositoryError, match="fenced"):
+            victim.repository.put(make_plain_entry("alice"))
+        assert victim.shard_epochs[root] == 1
+        assert victim.shard_owners[root] == winner
 
 
 class TestDetectorSeeding:
@@ -203,6 +274,38 @@ class TestProbeDeadline:
         # blind the detector to the rest
         assert detector.state("healthy") == STATE_UP
         assert detector.state("wedged") == STATE_SUSPECT
+
+    def test_hung_probe_is_not_reprobed_until_it_returns(self):
+        """Regression: every sweep used to launch (and abandon) a fresh
+        daemon thread against a peer whose socket blocks forever —
+        unbounded thread growth on a long-running coordinator.  A stuck
+        endpoint keeps counting as missed without stacking threads, and
+        probing resumes once the stuck call finally returns."""
+        detector = FailureDetector(timeout=5.0, clock=ManualClock(100.0))
+        hang = threading.Event()
+        launches = []
+
+        def probe(name):
+            launches.append(name)
+            hang.wait(10.0)
+            return True
+
+        monitor = HeartbeatMonitor(
+            detector, ["wedged"], probe, probe_timeout=0.05
+        )
+        try:
+            monitor.sweep_once()
+            monitor.sweep_once()  # the first probe is still blocked
+            monitor.sweep_once()
+        finally:
+            hang.set()
+        assert launches == ["wedged"]  # one thread behind the dead socket
+        assert monitor.hung_probes == 1
+        assert detector.state("wedged") == STATE_SUSPECT
+        # the stuck call drains; the next sweep probes again
+        monitor._inflight["wedged"].join(5.0)
+        monitor.sweep_once()
+        assert launches == ["wedged", "wedged"]
 
     def test_probe_exception_is_a_missed_heartbeat(self):
         clock = ManualClock(100.0)
